@@ -1,0 +1,8 @@
+//! Bench target for the MSC parameter ablation (not a paper figure; see
+//! `prism_bench::experiments::ablation_msc_parameters`).
+
+fn main() {
+    let scale = prism_bench::Scale::from_env();
+    let tables = prism_bench::experiments::ablation_msc_parameters::run(&scale);
+    assert!(!tables.is_empty());
+}

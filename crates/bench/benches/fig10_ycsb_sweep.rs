@@ -1,0 +1,8 @@
+//! Bench target regenerating the paper artefact; see
+//! `prism_bench::experiments::fig10_ycsb_sweep`.
+
+fn main() {
+    let scale = prism_bench::Scale::from_env();
+    let tables = prism_bench::experiments::fig10_ycsb_sweep::run(&scale);
+    assert!(!tables.is_empty());
+}

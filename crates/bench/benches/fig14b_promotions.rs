@@ -1,0 +1,8 @@
+//! Bench target regenerating the paper artefact; see
+//! `prism_bench::experiments::fig14_components::promotions`.
+
+fn main() {
+    let scale = prism_bench::Scale::from_env();
+    let table = prism_bench::experiments::fig14_components::promotions(&scale);
+    assert!(table.row_count() > 0);
+}

@@ -1,0 +1,8 @@
+//! Bench target regenerating the paper artefact; see
+//! `prism_bench::experiments::fig2_lsm_breakdown`.
+
+fn main() {
+    let scale = prism_bench::Scale::from_env();
+    let tables = prism_bench::experiments::fig2_lsm_breakdown::run(&scale);
+    assert!(!tables.is_empty());
+}

@@ -1,0 +1,8 @@
+//! Bench target regenerating the paper artefact; see
+//! `prism_bench::experiments::fig9_cost_throughput`.
+
+fn main() {
+    let scale = prism_bench::Scale::from_env();
+    let tables = prism_bench::experiments::fig9_cost_throughput::run(&scale);
+    assert!(!tables.is_empty());
+}

@@ -1,0 +1,68 @@
+//! Ablation study: sensitivity of MSC compaction to its two tuning knobs —
+//! the number of sampled candidate ranges (power-of-k choices, §5.3) and the
+//! bucket width of the approx-MSC statistics (§6).
+//!
+//! This is not a figure in the paper; it backs the design choices the paper
+//! states (k = 8, bucket = one SST file's worth of keys) by showing the
+//! trade-off each knob controls: more candidates cost planning CPU but find
+//! colder ranges; narrower buckets approximate the precise metric better at
+//! higher memory/maintenance cost.
+
+use prism_types::KvStore;
+use prism_workloads::Workload;
+
+use crate::engines;
+use crate::report::{fmt_f64, Table};
+use crate::{Runner, Scale};
+
+/// Sweep the candidate count and bucket width.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let runner = Runner::new(super::run_config(scale));
+    let keys = scale.record_count;
+    let workload = Workload::ycsb_a(keys).with_zipf(0.99);
+
+    let mut by_k = Table::new(
+        "Ablation: power-of-k candidate sampling (YCSB-A, Zipf 0.99)",
+        &["k", "throughput (Kops/s)", "flash write amplification", "avg compaction (ms)"],
+    );
+    for k in [1usize, 2, 4, 8, 16] {
+        let mut options = engines::prism_options(keys);
+        options.compaction.k_candidates = k;
+        let mut db = prism_db::PrismDb::open(options).expect("valid options");
+        let cost = db.cost_per_gb();
+        let result = runner.run(&mut db, &workload, cost);
+        let compaction = result.stats.compaction;
+        let avg_ms = if compaction.jobs == 0 {
+            0.0
+        } else {
+            compaction.total_time.as_nanos() as f64 / compaction.jobs as f64 / 1e6
+        };
+        by_k.add_row(vec![
+            k.to_string(),
+            fmt_f64(result.throughput_kops),
+            fmt_f64(result.stats.flash_write_amplification()),
+            fmt_f64(avg_ms),
+        ]);
+    }
+    by_k.print();
+
+    let mut by_bucket = Table::new(
+        "Ablation: approx-MSC bucket width (YCSB-A, Zipf 0.99)",
+        &["bucket (keys)", "throughput (Kops/s)", "flash write amplification"],
+    );
+    for bucket in [256u64, 1_024, 4_096, 16_384] {
+        let mut options = engines::prism_options(keys);
+        options.compaction.bucket_size_keys = bucket;
+        let mut db = prism_db::PrismDb::open(options).expect("valid options");
+        let cost = db.cost_per_gb();
+        let result = runner.run(&mut db, &workload, cost);
+        by_bucket.add_row(vec![
+            bucket.to_string(),
+            fmt_f64(result.throughput_kops),
+            fmt_f64(result.stats.flash_write_amplification()),
+        ]);
+    }
+    by_bucket.print();
+
+    vec![by_k, by_bucket]
+}

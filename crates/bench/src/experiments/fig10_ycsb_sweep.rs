@@ -1,0 +1,108 @@
+//! Figure 10: throughput, median and tail latency across the YCSB suite.
+
+use prism_types::KvStore;
+use prism_workloads::Workload;
+
+use crate::engines;
+use crate::report::{fmt_f64, Table};
+use crate::{RunResult, Runner, Scale};
+
+fn engines_for(keys: u64) -> Vec<(&'static str, Box<dyn KvStore>)> {
+    vec![
+        ("rocksdb-het", Box::new(engines::rocksdb_het(keys)) as Box<dyn KvStore>),
+        ("rocksdb-l2c", Box::new(engines::rocksdb_l2c(keys))),
+        ("rocksdb-ra", Box::new(engines::rocksdb_read_aware(keys))),
+        ("mutant", Box::new(engines::mutant(keys))),
+        ("prismdb", Box::new(engines::prismdb(keys))),
+    ]
+}
+
+fn cost_of(name: &str, keys: u64) -> f64 {
+    match name {
+        "prismdb" => engines::prismdb(keys).cost_per_gb(),
+        _ => engines::rocksdb_het(keys).cost_per_gb(),
+    }
+}
+
+/// Run every engine on YCSB A–F, reporting throughput plus median and p99
+/// latency normalised to PrismDB (as the paper's Figure 10b/c normalises to
+/// the best system).
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let runner = Runner::new(super::run_config(scale));
+    let keys = scale.record_count;
+
+    let mut throughput = Table::new(
+        "Figure 10a: YCSB throughput (Kops/s)",
+        &["engine", "A", "B", "C", "D", "E", "F"],
+    );
+    let mut p50 = Table::new(
+        "Figure 10b: median latency normalised to prismdb",
+        &["engine", "A", "B", "C", "D", "E", "F"],
+    );
+    let mut p99 = Table::new(
+        "Figure 10c: p99 latency normalised to prismdb",
+        &["engine", "A", "B", "C", "D", "E", "F"],
+    );
+
+    let letters = ['a', 'b', 'c', 'd', 'e', 'f'];
+    let mut results: Vec<(String, Vec<RunResult>)> = Vec::new();
+    for (name, mut engine) in engines_for(keys) {
+        let cost = cost_of(name, keys);
+        let mut per_workload = Vec::new();
+        for letter in letters {
+            let workload = Workload::ycsb(letter, keys);
+            per_workload.push(runner.run(engine.as_mut(), &workload, cost));
+        }
+        results.push((name.to_string(), per_workload));
+    }
+
+    let prism_results = results
+        .iter()
+        .find(|(name, _)| name == "prismdb")
+        .expect("prismdb always runs")
+        .1
+        .clone();
+
+    for (name, per_workload) in &results {
+        let tputs: Vec<String> = per_workload
+            .iter()
+            .map(|r| fmt_f64(r.throughput_kops))
+            .collect();
+        throughput.add_row([vec![name.clone()], tputs].concat());
+        let p50s: Vec<String> = per_workload
+            .iter()
+            .zip(prism_results.iter())
+            .map(|(r, base)| fmt_f64(r.p50_us / base.p50_us.max(1e-9)))
+            .collect();
+        p50.add_row([vec![name.clone()], p50s].concat());
+        let p99s: Vec<String> = per_workload
+            .iter()
+            .zip(prism_results.iter())
+            .map(|(r, base)| fmt_f64(r.p99_us / base.p99_us.max(1e-9)))
+            .collect();
+        p99.add_row([vec![name.clone()], p99s].concat());
+    }
+
+    throughput.print();
+    p50.print();
+    p99.print();
+    vec![throughput, p50, p99]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_prism_wins_point_query_workloads() {
+        let tables = run(&Scale::quick());
+        let throughput = &tables[0];
+        let get = |engine: &str, col: &str| -> f64 {
+            throughput.cell(engine, col).unwrap().parse().unwrap()
+        };
+        // PrismDB outperforms the multi-tier LSM on the write-heavy and
+        // read-heavy point-query workloads (A and B).
+        assert!(get("prismdb", "A") > get("rocksdb-het", "A"));
+        assert!(get("prismdb", "B") > get("rocksdb-het", "B"));
+    }
+}

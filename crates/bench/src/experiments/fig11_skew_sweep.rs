@@ -1,0 +1,75 @@
+//! Figure 11: YCSB-A performance across Zipfian skew levels.
+
+use prism_types::OpKind;
+use prism_workloads::{Distribution, Workload};
+
+use crate::engines;
+use crate::report::{fmt_f64, Table};
+use crate::{Runner, Scale};
+
+/// Sweep the key-skew parameter for YCSB-A, comparing PrismDB with the
+/// multi-tier LSM on throughput and read/update latency percentiles.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let runner = Runner::new(super::run_config(scale));
+    let keys = scale.record_count;
+    let distributions = vec![
+        ("unif".to_string(), Distribution::Uniform),
+        ("0.4".to_string(), Distribution::Zipfian(0.4)),
+        ("0.6".to_string(), Distribution::Zipfian(0.6)),
+        ("0.8".to_string(), Distribution::Zipfian(0.8)),
+        ("0.99".to_string(), Distribution::Zipfian(0.99)),
+        ("1.2".to_string(), Distribution::Zipfian(1.2)),
+        ("1.4".to_string(), Distribution::Zipfian(1.4)),
+    ];
+
+    let mut table = Table::new(
+        "Figure 11: YCSB-A across Zipfian parameters",
+        &[
+            "distribution",
+            "rocksdb tput (Kops/s)",
+            "prismdb tput (Kops/s)",
+            "rocksdb read p99 (us)",
+            "prismdb read p99 (us)",
+            "rocksdb update p99 (us)",
+            "prismdb update p99 (us)",
+        ],
+    );
+
+    for (label, distribution) in distributions {
+        let workload = Workload::ycsb_a(keys).with_distribution(distribution);
+        let mut rocks = engines::rocksdb_het(keys);
+        let rocks_cost = rocks.cost_per_gb();
+        let rocks_result = runner.run(&mut rocks, &workload, rocks_cost);
+        let mut prism = engines::prismdb(keys);
+        let prism_cost = prism.cost_per_gb();
+        let prism_result = runner.run(&mut prism, &workload, prism_cost);
+        table.add_row(vec![
+            label,
+            fmt_f64(rocks_result.throughput_kops),
+            fmt_f64(prism_result.throughput_kops),
+            fmt_f64(rocks_result.kind(OpKind::Read).p99_us),
+            fmt_f64(prism_result.kind(OpKind::Read).p99_us),
+            fmt_f64(rocks_result.kind(OpKind::Update).p99_us),
+            fmt_f64(prism_result.kind(OpKind::Update).p99_us),
+        ]);
+    }
+    table.print();
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig11_prism_provides_benefit_at_high_skew() {
+        let mut scale = Scale::quick();
+        scale.measure_ops = 1_500;
+        let tables = run(&scale);
+        let t = &tables[0];
+        let rocks: f64 = t.cell("0.99", "rocksdb tput (Kops/s)").unwrap().parse().unwrap();
+        let prism: f64 = t.cell("0.99", "prismdb tput (Kops/s)").unwrap().parse().unwrap();
+        assert!(prism > rocks, "prism {prism} should beat rocksdb {rocks} at zipf 0.99");
+        assert_eq!(t.row_count(), 7);
+    }
+}

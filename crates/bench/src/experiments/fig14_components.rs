@@ -1,0 +1,163 @@
+//! Figure 14: evaluating PrismDB's individual components.
+//!
+//! * (a) read latency CDF of PrismDB vs the multi-tier LSM on YCSB-B,
+//! * (b) effect of promotions on a read-only workload,
+//! * (c) throughput as a function of the pinning threshold,
+//! * (d) scalability with the number of partitions.
+
+use prism_workloads::Workload;
+
+use crate::engines;
+use crate::report::{fmt_f64, Table};
+use crate::{RunConfig, Runner, Scale};
+
+/// Figure 14a: read latency CDF on YCSB-B.
+pub fn latency_cdf(scale: &Scale) -> Table {
+    let runner = Runner::new(super::run_config(scale));
+    let keys = scale.record_count;
+    let workload = Workload::ycsb_b(keys);
+
+    let mut prism = engines::prismdb(keys);
+    let prism_cost = prism.cost_per_gb();
+    let prism_result = runner.run(&mut prism, &workload, prism_cost);
+    let mut rocks = engines::rocksdb_het(keys);
+    let rocks_cost = rocks.cost_per_gb();
+    let rocks_result = runner.run(&mut rocks, &workload, rocks_cost);
+
+    let mut table = Table::new(
+        "Figure 14a: read latency CDF on YCSB-B (us)",
+        &["percentile", "rocksdb-het", "prismdb"],
+    );
+    for p in [0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999] {
+        table.add_row(vec![
+            format!("p{:.1}", p * 100.0),
+            fmt_f64(rocks_result.latency_percentile_us(p)),
+            fmt_f64(prism_result.latency_percentile_us(p)),
+        ]);
+    }
+    table.print();
+    table
+}
+
+/// Figure 14b: promotions on a read-only workload (YCSB-C): throughput and
+/// NVM read ratio over time, with and without promotions.
+pub fn promotions(scale: &Scale) -> Table {
+    let keys = scale.record_count;
+    let config = RunConfig {
+        record_count: keys,
+        warmup_ops: scale.warmup_ops,
+        measure_ops: scale.measure_ops,
+        seed: 42,
+        windows: 4,
+    };
+    let runner = Runner::new(config);
+    let workload = Workload::ycsb_c(keys);
+
+    let mut with = engines::prismdb(keys);
+    let with_cost = with.cost_per_gb();
+    let with_result = runner.run(&mut with, &workload, with_cost);
+    let mut without = engines::prismdb_without_promotions(keys);
+    let without_cost = without.cost_per_gb();
+    let without_result = runner.run(&mut without, &workload, without_cost);
+
+    let mut table = Table::new(
+        "Figure 14b: promotions under read-only YCSB-C",
+        &[
+            "window",
+            "tput prom (Kops/s)",
+            "tput noprom (Kops/s)",
+            "fast read ratio prom",
+            "fast read ratio noprom",
+        ],
+    );
+    for (i, (w_with, w_without)) in with_result
+        .windows
+        .iter()
+        .zip(without_result.windows.iter())
+        .enumerate()
+    {
+        table.add_row(vec![
+            format!("{i}"),
+            fmt_f64(w_with.throughput_kops),
+            fmt_f64(w_without.throughput_kops),
+            fmt_f64(w_with.fast_read_ratio),
+            fmt_f64(w_without.fast_read_ratio),
+        ]);
+    }
+    table.print();
+    table
+}
+
+/// Figure 14c: throughput as a function of the pinning threshold for
+/// read-heavy, balanced and write-heavy mixes.
+pub fn pinning_threshold(scale: &Scale) -> Table {
+    let runner = Runner::new(super::run_config(scale));
+    let keys = scale.record_count;
+    let mixes = [("ycsb 5/95", 0.05), ("ycsb 50/50", 0.5), ("ycsb 95/5", 0.95)];
+    let thresholds = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+    let mut table = Table::new(
+        "Figure 14c: throughput (Kops/s) vs pinning threshold",
+        &["threshold (%)", "ycsb 5/95", "ycsb 50/50", "ycsb 95/5"],
+    );
+    for threshold in thresholds {
+        let mut row = vec![fmt_f64(threshold * 100.0)];
+        for (name, read_fraction) in mixes {
+            let workload = Workload::read_update_mix(name, keys, read_fraction);
+            let mut db = engines::prismdb_with_pinning_threshold(keys, threshold);
+            let cost = db.cost_per_gb();
+            let result = runner.run(&mut db, &workload, cost);
+            row.push(fmt_f64(result.throughput_kops));
+        }
+        table.add_row(row);
+    }
+    table.print();
+    table
+}
+
+/// Figure 14d: throughput as a function of the number of partitions.
+pub fn scalability(scale: &Scale) -> Table {
+    let runner = Runner::new(super::run_config(scale));
+    let keys = scale.record_count;
+    let workload = Workload::ycsb_a(keys);
+    let mut table = Table::new(
+        "Figure 14d: throughput vs number of partitions (YCSB-A)",
+        &["partitions", "throughput (Kops/s)"],
+    );
+    for partitions in [1usize, 2, 4, 8, 12] {
+        let mut db = engines::prismdb_with_partitions(keys, partitions);
+        let cost = db.cost_per_gb();
+        let result = runner.run(&mut db, &workload, cost);
+        table.add_row(vec![partitions.to_string(), fmt_f64(result.throughput_kops)]);
+    }
+    table.print();
+    table
+}
+
+/// Run all four component studies.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    vec![
+        latency_cdf(scale),
+        promotions(scale),
+        pinning_threshold(scale),
+        scalability(scale),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig14d_more_partitions_do_not_hurt_throughput() {
+        let table = scalability(&Scale::quick());
+        let get = |p: &str| -> f64 { table.cell(p, "throughput (Kops/s)").unwrap().parse().unwrap() };
+        assert!(get("8") > get("1"), "8 partitions should outrun 1");
+    }
+
+    #[test]
+    fn fig14c_produces_full_grid() {
+        let table = pinning_threshold(&Scale::quick());
+        assert_eq!(table.row_count(), 5);
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 2: where multi-tier RocksDB spends its time — compaction split
+//! between tiers (a) and read distribution across LSM components (b).
+
+use prism_workloads::Workload;
+
+use crate::engines;
+use crate::report::{fmt_f64, Table};
+use crate::{Runner, Scale};
+
+/// Run the multi-tier LSM on YCSB-A and break down compaction time by tier
+/// and reads by source.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let runner = Runner::new(super::run_config(scale));
+    let workload = Workload::ycsb_a(scale.record_count).with_zipf(0.99);
+    let mut het = engines::rocksdb_het(scale.record_count);
+    let cost = het.cost_per_gb();
+    let result = runner.run(&mut het, &workload, cost);
+
+    let compaction = result.stats.compaction;
+    let total = compaction
+        .fast_tier_time
+        .as_nanos()
+        .saturating_add(compaction.slow_tier_time.as_nanos())
+        .max(1) as f64;
+    let mut fig2a = Table::new(
+        "Figure 2a: compaction time split between tiers (rocksdb-het, YCSB-A)",
+        &["tier", "compaction time share (%)"],
+    );
+    fig2a.add_row(vec![
+        "nvm".into(),
+        fmt_f64(compaction.fast_tier_time.as_nanos() as f64 / total * 100.0),
+    ]);
+    fig2a.add_row(vec![
+        "qlc".into(),
+        fmt_f64(compaction.slow_tier_time.as_nanos() as f64 / total * 100.0),
+    ]);
+    fig2a.print();
+
+    let reads_total = (result.stats.reads_found()).max(1) as f64;
+    let mut fig2b = Table::new(
+        "Figure 2b: read distribution across LSM components (rocksdb-het, YCSB-A)",
+        &["source", "reads (%)"],
+    );
+    fig2b.add_row(vec![
+        "memtable+blockcache".into(),
+        fmt_f64(result.stats.reads_from_dram as f64 / reads_total * 100.0),
+    ]);
+    for level in 0..5 {
+        fig2b.add_row(vec![
+            format!("L{level}"),
+            fmt_f64(result.stats.reads_per_level[level] as f64 / reads_total * 100.0),
+        ]);
+    }
+    fig2b.print();
+
+    vec![fig2a, fig2b]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_reports_both_tiers_and_flash_reads() {
+        let tables = run(&Scale::quick());
+        assert_eq!(tables.len(), 2);
+        let share: f64 = tables[0].cell("nvm", "compaction time share (%)").unwrap().parse().unwrap();
+        assert!((0.0..=100.0).contains(&share));
+        assert_eq!(tables[1].row_count(), 6);
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 5: clock-value distributions under different YCSB workloads.
+
+use prism_workloads::Workload;
+
+use crate::engines;
+use crate::report::{fmt_f64, Table};
+use crate::{Runner, Scale};
+
+/// Run PrismDB under YCSB A, B, D and F and report the tracker's clock-value
+/// histogram for each.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let runner = Runner::new(super::run_config(scale));
+    let mut table = Table::new(
+        "Figure 5: clock value distributions by workload (%)",
+        &["workload", "clk-0", "clk-1", "clk-2", "clk-3"],
+    );
+    for letter in ['a', 'b', 'd', 'f'] {
+        let workload = Workload::ycsb(letter, scale.record_count);
+        let mut db = engines::prismdb(scale.record_count);
+        let cost = db.cost_per_gb();
+        let _ = runner.run(&mut db, &workload, cost);
+        let histogram = db.clock_histogram();
+        let total: u64 = histogram.iter().sum();
+        let total = total.max(1) as f64;
+        table.add_row(vec![
+            workload.name.clone(),
+            fmt_f64(histogram[0] as f64 / total * 100.0),
+            fmt_f64(histogram[1] as f64 / total * 100.0),
+            fmt_f64(histogram[2] as f64 / total * 100.0),
+            fmt_f64(histogram[3] as f64 / total * 100.0),
+        ]);
+    }
+    table.print();
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_distributions_sum_to_one() {
+        let tables = run(&Scale::quick());
+        let table = &tables[0];
+        assert_eq!(table.row_count(), 4);
+        for row in &table.rows {
+            let sum: f64 = row[1..].iter().map(|c| c.parse::<f64>().unwrap()).sum();
+            assert!((sum - 100.0).abs() < 1.0, "row {row:?} sums to {sum}");
+        }
+    }
+}

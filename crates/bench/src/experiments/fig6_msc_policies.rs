@@ -1,0 +1,69 @@
+//! Figure 6: precise-MSC vs approx-MSC vs random range selection.
+
+use prism_compaction::CompactionPolicy;
+use prism_workloads::Workload;
+
+use crate::engines;
+use crate::report::{fmt_f64, Table};
+use crate::{Runner, Scale};
+
+/// Compare the three compaction range-selection policies on YCSB-A,
+/// reporting throughput, flash write I/O per user byte and average
+/// compaction time.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let runner = Runner::new(super::run_config(scale));
+    let workload = Workload::ycsb_a(scale.record_count).with_zipf(0.99);
+
+    let mut table = Table::new(
+        "Figure 6: compaction policy comparison (YCSB-A, Zipf 0.99)",
+        &[
+            "policy",
+            "throughput (Kops/s)",
+            "flash write amplification",
+            "avg compaction time (ms)",
+        ],
+    );
+    for (label, policy) in [
+        ("random", CompactionPolicy::Random),
+        ("precise-msc", CompactionPolicy::PreciseMsc),
+        ("approx-msc", CompactionPolicy::ApproxMsc),
+    ] {
+        let mut db = engines::prismdb_with_policy(scale.record_count, policy);
+        let cost = db.cost_per_gb();
+        let result = runner.run(&mut db, &workload, cost);
+        let compaction = result.stats.compaction;
+        let avg_compaction_ms = if compaction.jobs == 0 {
+            0.0
+        } else {
+            compaction.total_time.as_nanos() as f64 / compaction.jobs as f64 / 1e6
+        };
+        table.add_row(vec![
+            label.to_string(),
+            fmt_f64(result.throughput_kops),
+            fmt_f64(result.stats.flash_write_amplification()),
+            fmt_f64(avg_compaction_ms),
+        ]);
+    }
+    table.print();
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msc_policies_reduce_flash_write_amplification() {
+        let tables = run(&Scale::quick());
+        let t = &tables[0];
+        let wa = |row: &str| -> f64 {
+            t.cell(row, "flash write amplification").unwrap().parse().unwrap()
+        };
+        // The MSC metric (approximate or precise) must not write
+        // meaningfully more flash per user byte than random range
+        // selection. At simulator scale the gap is far smaller than the
+        // paper's 2.5x (see EXPERIMENTS.md), so only parity is asserted.
+        assert!(wa("approx-msc") <= wa("random") * 1.25);
+        assert!(wa("precise-msc") <= wa("random") * 1.25);
+    }
+}

@@ -1,0 +1,82 @@
+//! Figure 9: throughput vs storage cost across single- and multi-tier
+//! configurations.
+
+use prism_workloads::Workload;
+
+use crate::engines;
+use crate::report::{fmt_f64, Table};
+use crate::{Runner, Scale};
+
+/// Sweep single-tier and heterogeneous configurations for RocksDB-like
+/// baselines and PrismDB under YCSB-A, reporting throughput and cost per GB.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let runner = Runner::new(super::run_config(scale));
+    let workload = Workload::ycsb_a(scale.record_count);
+    let keys = scale.record_count;
+
+    let mut table = Table::new(
+        "Figure 9: throughput vs storage cost (YCSB-A, Zipf 0.99)",
+        &["config", "cost ($/GB)", "throughput (Kops/s)"],
+    );
+
+    let mut add = |label: &str, result: crate::RunResult| {
+        table.add_row(vec![
+            label.to_string(),
+            fmt_f64(result.cost_per_gb),
+            fmt_f64(result.throughput_kops),
+        ]);
+    };
+
+    let mut qlc = engines::rocksdb_qlc(keys);
+    let c = qlc.cost_per_gb();
+    add("rocksdb-qlc", runner.run(&mut qlc, &workload, c));
+    let mut tlc = engines::rocksdb_tlc(keys);
+    let c = tlc.cost_per_gb();
+    add("rocksdb-tlc", runner.run(&mut tlc, &workload, c));
+    let mut nvm = engines::rocksdb_nvm(keys);
+    let c = nvm.cost_per_gb();
+    add("rocksdb-nvm", runner.run(&mut nvm, &workload, c));
+
+    for (label, fraction) in [("het10", 0.10), ("het20", 0.20), ("het33", 0.33)] {
+        let mut het = engines::rocksdb_het_fraction(keys, fraction);
+        let c = het.cost_per_gb();
+        add(&format!("rocksdb-{label}"), runner.run(&mut het, &workload, c));
+    }
+
+    let mut l2c = engines::rocksdb_l2c(keys);
+    let c = l2c.cost_per_gb();
+    add("rocksdb-l2c", runner.run(&mut l2c, &workload, c));
+    let mut ra = engines::rocksdb_read_aware(keys);
+    let c = ra.cost_per_gb();
+    add("rocksdb-ra", runner.run(&mut ra, &workload, c));
+    let mut mutant = engines::mutant(keys);
+    let c = mutant.cost_per_gb();
+    add("mutant", runner.run(&mut mutant, &workload, c));
+
+    for (label, fraction) in [("het10", 0.10), ("het20", 0.20), ("het33", 0.33)] {
+        let mut prism = engines::prismdb_with_nvm_fraction(keys, fraction);
+        let c = prism.cost_per_gb();
+        add(&format!("prismdb-{label}"), runner.run(&mut prism, &workload, c));
+    }
+
+    table.print();
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_prism_dominates_het_lsm_at_same_cost_point() {
+        let tables = run(&Scale::quick());
+        let t = &tables[0];
+        let tput = |row: &str| -> f64 { t.cell(row, "throughput (Kops/s)").unwrap().parse().unwrap() };
+        let cost = |row: &str| -> f64 { t.cell(row, "cost ($/GB)").unwrap().parse().unwrap() };
+        assert!(tput("prismdb-het20") > tput("rocksdb-het20"));
+        assert!((cost("prismdb-het20") - cost("rocksdb-het20")).abs() < 0.2);
+        // More NVM means higher cost for both systems.
+        assert!(cost("rocksdb-het33") > cost("rocksdb-het10"));
+        assert!(cost("prismdb-het33") > cost("prismdb-het10"));
+    }
+}

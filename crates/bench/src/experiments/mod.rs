@@ -1,0 +1,53 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! Every module exposes a `run(&Scale) -> Vec<Table>` entry point that
+//! executes the experiment, prints the resulting tables and returns them so
+//! integration tests can assert on the shape of the results. The bench
+//! targets in `crates/bench/benches/` are thin wrappers around these
+//! functions.
+
+pub mod ablation_msc_parameters;
+pub mod fig11_skew_sweep;
+pub mod fig12_endurance;
+pub mod fig13_fsync;
+pub mod fig14_components;
+pub mod fig2_lsm_breakdown;
+pub mod fig5_clock_distributions;
+pub mod fig6_msc_policies;
+pub mod fig9_cost_throughput;
+pub mod fig10_ycsb_sweep;
+pub mod table1_devices;
+pub mod table2_single_vs_multi;
+pub mod table5_twitter;
+
+use crate::{RunConfig, Scale};
+
+/// Translate an experiment [`Scale`] into a [`RunConfig`].
+pub(crate) fn run_config(scale: &Scale) -> RunConfig {
+    RunConfig {
+        record_count: scale.record_count,
+        warmup_ops: scale.warmup_ops,
+        measure_ops: scale.measure_ops,
+        seed: 42,
+        windows: 1,
+    }
+}
+
+/// Run every experiment at the given scale (used by `examples/` and for a
+/// one-shot regeneration of all paper artefacts).
+pub fn run_all(scale: &Scale) -> Vec<crate::Table> {
+    let mut tables = Vec::new();
+    tables.extend(table1_devices::run(scale));
+    tables.extend(table2_single_vs_multi::run(scale));
+    tables.extend(fig2_lsm_breakdown::run(scale));
+    tables.extend(fig5_clock_distributions::run(scale));
+    tables.extend(fig6_msc_policies::run(scale));
+    tables.extend(fig9_cost_throughput::run(scale));
+    tables.extend(fig10_ycsb_sweep::run(scale));
+    tables.extend(fig11_skew_sweep::run(scale));
+    tables.extend(fig12_endurance::run(scale));
+    tables.extend(fig13_fsync::run(scale));
+    tables.extend(fig14_components::run(scale));
+    tables.extend(table5_twitter::run(scale));
+    tables
+}

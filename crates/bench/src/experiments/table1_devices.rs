@@ -1,0 +1,52 @@
+//! Table 1: characteristics of the simulated storage devices.
+
+use prism_storage::DeviceProfile;
+
+use crate::report::{fmt_f64, Table};
+use crate::Scale;
+
+/// Print the device characteristics used by every other experiment.
+pub fn run(_scale: &Scale) -> Vec<Table> {
+    let mut table = Table::new(
+        "Table 1: NVM vs dense flash device characteristics",
+        &[
+            "device",
+            "lifetime (DWPD)",
+            "cost ($/GB)",
+            "4KB rand read (us)",
+            "4KB rand write (us)",
+            "seq write (MB/s)",
+        ],
+    );
+    for profile in [
+        DeviceProfile::optane_nvm(1 << 30),
+        DeviceProfile::tlc_flash(1 << 30),
+        DeviceProfile::qlc_flash(1 << 30),
+    ] {
+        table.add_row(vec![
+            profile.kind.label().to_string(),
+            fmt_f64(profile.dwpd),
+            fmt_f64(profile.cost_per_gb),
+            fmt_f64(profile.read_latency_4k.as_micros_f64()),
+            fmt_f64(profile.write_latency_4k.as_micros_f64()),
+            profile.seq_write_mbps.to_string(),
+        ]);
+    }
+    table.print();
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_preserves_paper_gaps() {
+        let tables = run(&Scale::quick());
+        let table = &tables[0];
+        assert_eq!(table.row_count(), 3);
+        let nvm_read: f64 = table.cell("nvm", "4KB rand read (us)").unwrap().parse().unwrap();
+        let qlc_read: f64 = table.cell("qlc", "4KB rand read (us)").unwrap().parse().unwrap();
+        assert!(qlc_read / nvm_read > 50.0, "read gap must stay ~65x");
+    }
+}

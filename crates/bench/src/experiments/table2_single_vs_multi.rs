@@ -1,0 +1,77 @@
+//! Table 2: single-tier vs multi-tier throughput and cost (YCSB-A, Zipf 0.8).
+
+use prism_workloads::Workload;
+
+use crate::engines;
+use crate::report::{fmt_f64, Table};
+use crate::{Runner, Scale};
+
+/// Run RocksDB on single-tier NVM and QLC, multi-tier RocksDB, and PrismDB
+/// on the heterogeneous setup, reporting throughput and blended cost.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let runner = Runner::new(super::run_config(scale));
+    let workload = Workload::ycsb_a(scale.record_count).with_zipf(0.8);
+
+    let mut table = Table::new(
+        "Table 2: single-tier vs multi-tier (YCSB-A, Zipf 0.8)",
+        &["config", "throughput (Kops/s)", "cost ($/GB)"],
+    );
+
+    let mut nvm = engines::rocksdb_nvm(scale.record_count);
+    let nvm_cost = nvm.cost_per_gb();
+    let nvm_result = runner.run(&mut nvm, &workload, nvm_cost);
+    table.add_row(vec![
+        "rocksdb-nvm".into(),
+        fmt_f64(nvm_result.throughput_kops),
+        fmt_f64(nvm_cost),
+    ]);
+
+    let mut qlc = engines::rocksdb_qlc(scale.record_count);
+    let qlc_cost = qlc.cost_per_gb();
+    let qlc_result = runner.run(&mut qlc, &workload, qlc_cost);
+    table.add_row(vec![
+        "rocksdb-qlc".into(),
+        fmt_f64(qlc_result.throughput_kops),
+        fmt_f64(qlc_cost),
+    ]);
+
+    let mut het = engines::rocksdb_het(scale.record_count);
+    let het_cost = het.cost_per_gb();
+    let het_result = runner.run(&mut het, &workload, het_cost);
+    table.add_row(vec![
+        "rocksdb-het".into(),
+        fmt_f64(het_result.throughput_kops),
+        fmt_f64(het_cost),
+    ]);
+
+    let mut prism = engines::prismdb(scale.record_count);
+    let prism_cost = prism.cost_per_gb();
+    let prism_result = runner.run(&mut prism, &workload, prism_cost);
+    table.add_row(vec![
+        "prismdb-het".into(),
+        fmt_f64(prism_result.throughput_kops),
+        fmt_f64(prism_cost),
+    ]);
+
+    table.print();
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_shape_matches_paper() {
+        let tables = run(&Scale::quick());
+        let t = &tables[0];
+        let tput = |row: &str| -> f64 { t.cell(row, "throughput (Kops/s)").unwrap().parse().unwrap() };
+        // NVM single-tier beats QLC single-tier; PrismDB beats multi-tier
+        // RocksDB on equivalent hardware.
+        assert!(tput("rocksdb-nvm") > tput("rocksdb-qlc"));
+        assert!(tput("prismdb-het") > tput("rocksdb-het"));
+        let cost = |row: &str| -> f64 { t.cell(row, "cost ($/GB)").unwrap().parse().unwrap() };
+        assert!(cost("rocksdb-nvm") > cost("rocksdb-het"));
+        assert!(cost("rocksdb-het") > cost("rocksdb-qlc"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Table 5: performance on the Twitter production-trace workloads.
+
+use prism_types::OpKind;
+use prism_workloads::Workload;
+
+use crate::engines;
+use crate::report::{fmt_f64, Table};
+use crate::{Runner, Scale};
+
+/// Run the three Twitter cluster synthetics against RocksDB-het and PrismDB,
+/// reporting throughput and average put latency.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let runner = Runner::new(super::run_config(scale));
+    let keys = scale.record_count;
+
+    let workloads = vec![
+        ("write-heavy (cluster39)", Workload::twitter_cluster39(keys)),
+        ("mixed (cluster19)", Workload::twitter_cluster19(keys)),
+        ("read-heavy (cluster51)", Workload::twitter_cluster51(keys)),
+    ];
+
+    let mut table = Table::new(
+        "Table 5: Twitter production workloads",
+        &[
+            "trace",
+            "rocksdb tput (Kops/s)",
+            "prismdb tput (Kops/s)",
+            "rocksdb avg put (us)",
+            "prismdb avg put (us)",
+        ],
+    );
+
+    for (label, workload) in workloads {
+        let mut rocks = engines::rocksdb_het(keys);
+        let rocks_cost = rocks.cost_per_gb();
+        let rocks_result = runner.run(&mut rocks, &workload, rocks_cost);
+        let mut prism = engines::prismdb(keys);
+        let prism_cost = prism.cost_per_gb();
+        let prism_result = runner.run(&mut prism, &workload, prism_cost);
+        let put_latency = |result: &crate::RunResult| {
+            let update = result.kind(OpKind::Update);
+            let insert = result.kind(OpKind::Insert);
+            let total = update.count + insert.count;
+            if total == 0 {
+                0.0
+            } else {
+                (update.mean_us * update.count as f64 + insert.mean_us * insert.count as f64)
+                    / total as f64
+            }
+        };
+        table.add_row(vec![
+            label.to_string(),
+            fmt_f64(rocks_result.throughput_kops),
+            fmt_f64(prism_result.throughput_kops),
+            fmt_f64(put_latency(&rocks_result)),
+            fmt_f64(put_latency(&prism_result)),
+        ]);
+    }
+
+    table.print();
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_prism_wins_the_skewed_read_heavy_trace() {
+        let tables = run(&Scale::quick());
+        let t = &tables[0];
+        let rocks: f64 = t
+            .cell("read-heavy (cluster51)", "rocksdb tput (Kops/s)")
+            .unwrap()
+            .parse()
+            .unwrap();
+        let prism: f64 = t
+            .cell("read-heavy (cluster51)", "prismdb tput (Kops/s)")
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(prism > rocks, "prism {prism} vs rocksdb {rocks} on cluster51");
+        assert_eq!(t.row_count(), 3);
+    }
+}

@@ -1,0 +1,85 @@
+//! Benchmark harness reproducing every table and figure of the PrismDB
+//! paper's evaluation (§7).
+//!
+//! The harness drives any engine implementing [`prism_types::KvStore`]
+//! (PrismDB and the LSM baseline family) with the workloads from
+//! `prism-workloads`, entirely in simulated time, and prints tables whose
+//! rows correspond to the data series of the paper's tables and figures.
+//!
+//! * [`Runner`] — load / warm-up / measure phases, latency percentiles,
+//!   statistics deltas.
+//! * [`engines`] — factory functions building every engine configuration
+//!   used in the evaluation at a given scale.
+//! * [`experiments`] — one module per table/figure; each returns the
+//!   [`report::Table`]s it prints. `cargo bench` runs one bench target per
+//!   experiment (see `crates/bench/benches/`).
+//! * [`Scale`] — experiment sizing. Scaled-down defaults keep a full
+//!   `cargo bench` run in minutes while preserving the paper's capacity
+//!   ratios; set `PRISM_BENCH_SCALE=paperish` for a larger run.
+//!
+//! # Example
+//!
+//! ```
+//! use prism_bench::{engines, Runner, RunConfig};
+//! use prism_workloads::Workload;
+//!
+//! let config = RunConfig::quick(2_000);
+//! let runner = Runner::new(config);
+//! let mut db = engines::prismdb(2_000);
+//! let cost = db.cost_per_gb();
+//! let result = runner.run(&mut db, &Workload::ycsb_a(2_000), cost);
+//! assert!(result.throughput_kops > 0.0);
+//! ```
+
+pub mod engines;
+pub mod experiments;
+pub mod report;
+mod runner;
+mod scale;
+
+pub use report::Table;
+pub use runner::{RunConfig, RunResult, Runner};
+pub use scale::Scale;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_workloads::Workload;
+
+    #[test]
+    fn quick_run_produces_sane_numbers() {
+        let runner = Runner::new(RunConfig::quick(1_500));
+        let mut db = engines::prismdb(1_500);
+        let cost = db.cost_per_gb();
+        let result = runner.run(&mut db, &Workload::ycsb_a(1_500), cost);
+        assert!(result.throughput_kops > 0.0);
+        assert!(result.p99_us >= result.p50_us);
+        assert!(result.cost_per_gb > 0.0);
+        assert!(result.stats.user_bytes_written > 0);
+    }
+
+    #[test]
+    fn prism_beats_multitier_lsm_on_write_heavy_zipfian_workload() {
+        // The headline claim of the paper (Table 2 / Figure 10a): on YCSB-A
+        // with equivalently-sized tiers, PrismDB's throughput exceeds the
+        // multi-tier LSM baseline.
+        let keys = 4_000;
+        let runner = Runner::new(RunConfig::quick(keys));
+        let workload = Workload::ycsb_a(keys);
+
+        let mut prism = engines::prismdb(keys);
+        let prism_cost = prism.cost_per_gb();
+        let prism_result = runner.run(&mut prism, &workload, prism_cost);
+
+        let mut rocks = engines::rocksdb_het(keys);
+        let rocks_cost = rocks.cost_per_gb();
+        let rocks_result = runner.run(&mut rocks, &workload, rocks_cost);
+
+        assert!(
+            prism_result.throughput_kops > rocks_result.throughput_kops,
+            "prism {:.1} kops should beat rocksdb-het {:.1} kops",
+            prism_result.throughput_kops,
+            rocks_result.throughput_kops
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Plain-text tables printed by the experiments.
+
+use std::fmt;
+
+/// A simple fixed-width table with a title, matching one table or one data
+/// series of a paper figure.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Title, e.g. `"Table 2: single-tier vs multi-tier"`.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Find a cell by row label (first column) and column header.
+    pub fn cell(&self, row_label: &str, column: &str) -> Option<&str> {
+        let col = self.headers.iter().position(|h| h == column)?;
+        self.rows
+            .iter()
+            .find(|r| r.first().map(String::as_str) == Some(row_label))
+            .and_then(|r| r.get(col))
+            .map(String::as_str)
+    }
+
+    /// Print the table to stdout.
+    pub fn print(&self) {
+        println!("{self}");
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        writeln!(f, "\n=== {} ===", self.title)?;
+        let header: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{h:<width$}", width = widths[i]))
+            .collect();
+        writeln!(f, "{}", header.join("  "))?;
+        writeln!(
+            f,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        )?;
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:<width$}", width = widths.get(i).copied().unwrap_or(c.len())))
+                .collect();
+            writeln!(f, "{}", line.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a float with a sensible number of decimals for tables.
+pub fn fmt_f64(value: f64) -> String {
+    if value >= 100.0 {
+        format!("{value:.0}")
+    } else if value >= 1.0 {
+        format!("{value:.1}")
+    } else {
+        format!("{value:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_layout_and_lookup() {
+        let mut table = Table::new("Demo", &["engine", "tput", "cost"]);
+        table.add_row(vec!["prismdb".into(), "184".into(), "0.3".into()]);
+        table.add_row(vec!["rocksdb".into(), "93".into(), "0.3".into()]);
+        assert_eq!(table.row_count(), 2);
+        assert_eq!(table.cell("prismdb", "tput"), Some("184"));
+        assert_eq!(table.cell("rocksdb", "cost"), Some("0.3"));
+        assert_eq!(table.cell("nope", "tput"), None);
+        assert_eq!(table.cell("prismdb", "nope"), None);
+        let rendered = format!("{table}");
+        assert!(rendered.contains("=== Demo ==="));
+        assert!(rendered.contains("prismdb"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(1234.5), "1234");
+        assert_eq!(fmt_f64(12.34), "12.3");
+        assert_eq!(fmt_f64(0.1234), "0.123");
+    }
+}

@@ -1,0 +1,312 @@
+//! Driving an engine with a workload and collecting results.
+
+use std::collections::HashMap;
+
+use prism_types::{EngineStats, KvStore, Nanos, Op, OpKind, Result};
+use prism_workloads::{OpStream, Workload};
+
+/// Sizing of one experiment run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Number of keys loaded before the measured phase.
+    pub record_count: u64,
+    /// Warm-up operations (executed but not measured).
+    pub warmup_ops: u64,
+    /// Measured operations.
+    pub measure_ops: u64,
+    /// RNG seed for the operation stream.
+    pub seed: u64,
+    /// Number of measurement windows for time-series experiments
+    /// (Figure 14b); 1 means a single aggregate window.
+    pub windows: usize,
+}
+
+impl RunConfig {
+    /// A configuration proportional to the key count: warm-up equal to the
+    /// key count and twice as many measured operations.
+    pub fn scaled(record_count: u64) -> Self {
+        RunConfig {
+            record_count,
+            warmup_ops: record_count,
+            measure_ops: record_count * 2,
+            seed: 42,
+            windows: 1,
+        }
+    }
+
+    /// A small configuration for tests.
+    pub fn quick(record_count: u64) -> Self {
+        RunConfig {
+            record_count,
+            warmup_ops: record_count / 2,
+            measure_ops: record_count,
+            seed: 42,
+            windows: 1,
+        }
+    }
+
+    /// Use `windows` measurement windows (for time-series plots).
+    pub fn with_windows(mut self, windows: usize) -> Self {
+        self.windows = windows.max(1);
+        self
+    }
+}
+
+/// One measurement window of a run.
+#[derive(Debug, Clone)]
+pub struct Window {
+    /// Throughput in thousands of operations per simulated second.
+    pub throughput_kops: f64,
+    /// Fraction of found reads served from DRAM or NVM during the window.
+    pub fast_read_ratio: f64,
+}
+
+/// The outcome of driving one engine with one workload.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Engine name.
+    pub engine: String,
+    /// Workload name.
+    pub workload: String,
+    /// Overall throughput in thousands of operations per simulated second.
+    pub throughput_kops: f64,
+    /// Mean operation latency in microseconds.
+    pub mean_us: f64,
+    /// Median operation latency in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile operation latency in microseconds.
+    pub p99_us: f64,
+    /// Per-operation-kind latency percentiles (microseconds).
+    pub per_kind: HashMap<OpKind, KindLatency>,
+    /// Engine statistics accumulated during the measured window only.
+    pub stats: EngineStats,
+    /// Simulated time spent in the measured window.
+    pub elapsed: Nanos,
+    /// Blended storage cost of the engine's devices.
+    pub cost_per_gb: f64,
+    /// Per-window results (length = `RunConfig::windows`).
+    pub windows: Vec<Window>,
+    /// All measured operation latencies, sorted ascending, in microseconds
+    /// (used for CDF plots such as Figure 14a).
+    pub read_latencies_us: Vec<f64>,
+}
+
+/// Latency summary for one operation kind.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KindLatency {
+    /// Number of operations of this kind.
+    pub count: u64,
+    /// Mean latency in microseconds.
+    pub mean_us: f64,
+    /// Median latency in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_us: f64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)] as f64 / 1_000.0
+}
+
+/// Drives engines through load, warm-up and measurement phases.
+#[derive(Debug, Clone, Copy)]
+pub struct Runner {
+    config: RunConfig,
+}
+
+impl Runner {
+    /// Create a runner.
+    pub fn new(config: RunConfig) -> Self {
+        Runner { config }
+    }
+
+    /// The runner's configuration.
+    pub fn config(&self) -> &RunConfig {
+        &self.config
+    }
+
+    fn apply<E: KvStore + ?Sized>(engine: &mut E, op: &Op) -> Result<(Nanos, OpKind)> {
+        let kind = op.kind();
+        let latency = match op {
+            Op::Read(key) => engine.get(key)?.latency,
+            Op::Update(key, value) | Op::Insert(key, value) => {
+                engine.put(key.clone(), value.clone())?
+            }
+            Op::ReadModifyWrite(key, value) => {
+                let read = engine.get(key)?.latency;
+                let write = engine.put(key.clone(), value.clone())?;
+                read + write
+            }
+            Op::Scan(key, count) => engine.scan(key, *count)?.latency,
+            Op::Delete(key) => engine.delete(key)?,
+        };
+        Ok((latency, kind))
+    }
+
+    /// Run the workload against `engine` and collect results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine returns an error (experiments are expected to be
+    /// configured within capacity limits).
+    pub fn run<E: KvStore + ?Sized>(
+        &self,
+        engine: &mut E,
+        workload: &Workload,
+        cost_per_gb: f64,
+    ) -> RunResult {
+        let spec = Workload {
+            record_count: self.config.record_count,
+            ..workload.clone()
+        };
+        let mut stream: OpStream = spec.stream(self.config.seed);
+
+        // Load phase.
+        for op in stream.load_ops() {
+            Self::apply(engine, &op).expect("load phase must not fail");
+        }
+        // Warm-up phase.
+        for _ in 0..self.config.warmup_ops {
+            let op = stream.next().expect("stream is infinite");
+            Self::apply(engine, &op).expect("warm-up must not fail");
+        }
+
+        // Measured phase, possibly split into windows.
+        let mut latencies: Vec<u64> = Vec::with_capacity(self.config.measure_ops as usize);
+        let mut by_kind: HashMap<OpKind, Vec<u64>> = HashMap::new();
+        let mut windows = Vec::with_capacity(self.config.windows);
+        let start_stats = engine.stats();
+        let start_elapsed = engine.elapsed();
+        let ops_per_window = (self.config.measure_ops / self.config.windows as u64).max(1);
+
+        let mut window_stats = start_stats;
+        let mut window_elapsed = start_elapsed;
+        for w in 0..self.config.windows {
+            for _ in 0..ops_per_window {
+                let op = stream.next().expect("stream is infinite");
+                let (latency, kind) =
+                    Self::apply(engine, &op).expect("measured ops must not fail");
+                latencies.push(latency.as_nanos());
+                by_kind.entry(kind).or_default().push(latency.as_nanos());
+            }
+            let now_stats = engine.stats();
+            let now_elapsed = engine.elapsed();
+            let delta = now_stats.delta_since(&window_stats);
+            let took = now_elapsed.saturating_sub(window_elapsed);
+            windows.push(Window {
+                throughput_kops: if took.is_zero() {
+                    0.0
+                } else {
+                    ops_per_window as f64 / took.as_secs_f64() / 1_000.0
+                },
+                fast_read_ratio: delta.fast_read_ratio(),
+            });
+            window_stats = now_stats;
+            window_elapsed = now_elapsed;
+            let _ = w;
+        }
+
+        let stats = engine.stats().delta_since(&start_stats);
+        let elapsed = engine.elapsed().saturating_sub(start_elapsed);
+        let measured_ops = ops_per_window * self.config.windows as u64;
+
+        latencies.sort_unstable();
+        let mean_us = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<u64>() as f64 / latencies.len() as f64 / 1_000.0
+        };
+        let per_kind = by_kind
+            .into_iter()
+            .map(|(kind, mut v)| {
+                v.sort_unstable();
+                let mean = v.iter().sum::<u64>() as f64 / v.len() as f64 / 1_000.0;
+                (
+                    kind,
+                    KindLatency {
+                        count: v.len() as u64,
+                        mean_us: mean,
+                        p50_us: percentile(&v, 0.5),
+                        p99_us: percentile(&v, 0.99),
+                    },
+                )
+            })
+            .collect();
+
+        let read_latencies_us: Vec<f64> =
+            latencies.iter().map(|ns| *ns as f64 / 1_000.0).collect();
+
+        RunResult {
+            engine: engine.engine_name().to_string(),
+            workload: spec.name.clone(),
+            throughput_kops: if elapsed.is_zero() {
+                0.0
+            } else {
+                measured_ops as f64 / elapsed.as_secs_f64() / 1_000.0
+            },
+            mean_us,
+            p50_us: percentile(&latencies, 0.5),
+            p99_us: percentile(&latencies, 0.99),
+            per_kind,
+            stats,
+            elapsed,
+            cost_per_gb,
+            windows,
+            read_latencies_us,
+        }
+    }
+}
+
+impl RunResult {
+    /// Latency summary for one operation kind (zeroes if that kind never
+    /// ran).
+    pub fn kind(&self, kind: OpKind) -> KindLatency {
+        self.per_kind.get(&kind).copied().unwrap_or_default()
+    }
+
+    /// Fraction of found reads served without touching flash.
+    pub fn fast_read_ratio(&self) -> f64 {
+        self.stats.fast_read_ratio()
+    }
+
+    /// A percentile (0.0–1.0) of the measured per-operation latencies, in
+    /// microseconds.
+    pub fn latency_percentile_us(&self, p: f64) -> f64 {
+        if self.read_latencies_us.is_empty() {
+            return 0.0;
+        }
+        let idx = ((self.read_latencies_us.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+        self.read_latencies_us[idx.min(self.read_latencies_us.len() - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines;
+    use prism_workloads::Workload;
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let sorted = vec![100, 200, 300, 400, 1_000_000];
+        assert!(percentile(&sorted, 0.5) <= percentile(&sorted, 0.99));
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn windows_split_the_measurement() {
+        let config = RunConfig::quick(800).with_windows(4);
+        let runner = Runner::new(config);
+        let mut db = engines::prismdb(800);
+        let cost = db.cost_per_gb();
+        let result = runner.run(&mut db, &Workload::ycsb_b(800), cost);
+        assert_eq!(result.windows.len(), 4);
+        assert!(result.windows.iter().all(|w| w.throughput_kops >= 0.0));
+        assert!(result.kind(prism_types::OpKind::Read).count > 0);
+        assert!(result.latency_percentile_us(0.9) >= result.latency_percentile_us(0.1));
+    }
+}

@@ -1,0 +1,77 @@
+//! Experiment sizing.
+
+/// How large the experiments run.
+///
+/// The paper uses 100 M keys × 1 KB objects on real hardware; the simulator
+/// preserves the capacity *ratios* (1:5 NVM:flash, 20 % tracker, 70 %
+/// pinning threshold) while scaling the key count down so a full
+/// `cargo bench --workspace` finishes in minutes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Number of keys loaded before measurement.
+    pub record_count: u64,
+    /// Operations issued during warm-up (not measured).
+    pub warmup_ops: u64,
+    /// Operations measured.
+    pub measure_ops: u64,
+}
+
+impl Scale {
+    /// The default benchmark scale.
+    pub fn default_bench() -> Self {
+        Scale {
+            record_count: 8_000,
+            warmup_ops: 8_000,
+            measure_ops: 16_000,
+        }
+    }
+
+    /// A small scale for unit/integration tests of the experiment code.
+    ///
+    /// This is intentionally large enough that the fast tier cannot hold
+    /// the whole dataset — otherwise tiering has nothing to do and the
+    /// paper's comparisons degenerate.
+    pub fn quick() -> Self {
+        Scale {
+            record_count: 4_000,
+            warmup_ops: 3_000,
+            measure_ops: 6_000,
+        }
+    }
+
+    /// A larger scale closer to the paper's run lengths (still simulated).
+    pub fn paperish() -> Self {
+        Scale {
+            record_count: 60_000,
+            warmup_ops: 60_000,
+            measure_ops: 120_000,
+        }
+    }
+
+    /// Pick the scale from the `PRISM_BENCH_SCALE` environment variable:
+    /// `quick`, `default` (default) or `paperish`.
+    pub fn from_env() -> Self {
+        match std::env::var("PRISM_BENCH_SCALE").as_deref() {
+            Ok("quick") => Scale::quick(),
+            Ok("paperish") => Scale::paperish(),
+            _ => Scale::default_bench(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::quick().record_count < Scale::default_bench().record_count);
+        assert!(Scale::default_bench().record_count < Scale::paperish().record_count);
+    }
+
+    #[test]
+    fn from_env_defaults_without_variable() {
+        std::env::remove_var("PRISM_BENCH_SCALE");
+        assert_eq!(Scale::from_env(), Scale::default_bench());
+    }
+}

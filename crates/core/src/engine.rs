@@ -1,0 +1,371 @@
+//! The PrismDB engine: partition routing and the [`KvStore`] implementation.
+
+use std::sync::Arc;
+
+use prism_storage::TieredStorage;
+use prism_types::{
+    EngineStats, Key, KvStore, Lookup, Nanos, PrismError, Result, ScanResult, Value,
+};
+
+use crate::options::{Options, Partitioning};
+use crate::partition::Partition;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// PrismDB: a two-tier key-value store with popularity-aware multi-tiered
+/// storage compaction.
+///
+/// The engine is partitioned: each partition owns a contiguous slice of the
+/// key-id space along with its NVM slab store, B-tree index, flash sorted
+/// log, popularity tracker and compaction state (Figure 3 of the paper).
+/// All client operations are routed by key; scans walk partitions in key
+/// order because partitioning is range-based.
+///
+/// # Example
+///
+/// ```
+/// use prism_db::{Options, PrismDb};
+/// use prism_types::{Key, KvStore, Value};
+///
+/// let options = Options::builder(10_000).partitions(2).build().unwrap();
+/// let mut db = PrismDb::open(options).unwrap();
+/// db.put(Key::from_id(7), Value::filled(256, 1)).unwrap();
+/// let found = db.get(&Key::from_id(7)).unwrap();
+/// assert_eq!(found.value.unwrap().len(), 256);
+/// ```
+pub struct PrismDb {
+    options: Arc<Options>,
+    storage: TieredStorage,
+    partitions: Vec<Partition>,
+    /// Key-id span covered by each partition.
+    partition_span: u64,
+}
+
+impl PrismDb {
+    /// Open a database with the given options, creating the simulated
+    /// storage devices from the configured profiles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::InvalidConfig`] if the options fail validation.
+    pub fn open(options: Options) -> Result<Self> {
+        options.validate()?;
+        let storage = TieredStorage::new(options.nvm_profile, options.flash_profile);
+        Self::open_with_storage(options, storage)
+    }
+
+    /// Open a database on an existing pair of simulated devices (used by
+    /// the benchmark harness so all engines in one experiment share device
+    /// profiles).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::InvalidConfig`] if the options fail validation.
+    pub fn open_with_storage(options: Options, storage: TieredStorage) -> Result<Self> {
+        options.validate()?;
+        let options = Arc::new(options);
+        let mut partitions = Vec::with_capacity(options.num_partitions);
+        for id in 0..options.num_partitions {
+            partitions.push(Partition::new(id, options.clone(), &storage)?);
+        }
+        // Leave headroom above the expected key count so freshly inserted
+        // keys (YCSB-D style) still route to the last partition's range
+        // rather than overflowing.
+        let span = (options.expected_keys * 2 / options.num_partitions as u64).max(1);
+        Ok(PrismDb {
+            options,
+            storage,
+            partitions,
+            partition_span: span,
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn options(&self) -> &Options {
+        &self.options
+    }
+
+    /// The simulated storage devices backing the engine.
+    pub fn storage(&self) -> &TieredStorage {
+        &self.storage
+    }
+
+    /// Blended storage cost per gigabyte of the configured tiers.
+    pub fn cost_per_gb(&self) -> f64 {
+        self.storage.cost_per_gb()
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total live objects currently resident on NVM across partitions.
+    pub fn nvm_object_count(&self) -> usize {
+        self.partitions.iter().map(Partition::nvm_object_count).sum()
+    }
+
+    /// Total objects currently resident on flash across partitions
+    /// (including stale versions not yet compacted away).
+    pub fn flash_object_count(&self) -> usize {
+        self.partitions
+            .iter()
+            .map(Partition::flash_object_count)
+            .sum()
+    }
+
+    /// Aggregate clock-value histogram across partitions (index = clock
+    /// value), as plotted in Figure 5 of the paper.
+    pub fn clock_histogram(&self) -> [u64; 4] {
+        let mut total = [0u64; 4];
+        for partition in &self.partitions {
+            let h = partition.clock_histogram();
+            for (slot, value) in total.iter_mut().zip(h.iter()) {
+                *slot += value;
+            }
+        }
+        total
+    }
+
+    /// Mean NVM utilisation across partitions.
+    pub fn nvm_utilization(&self) -> f64 {
+        let sum: f64 = self.partitions.iter().map(Partition::nvm_utilization).sum();
+        sum / self.partitions.len() as f64
+    }
+
+    /// Simulate a crash that loses all DRAM state, then recover every
+    /// partition in parallel (recovery time is the maximum over partitions,
+    /// since partitions recover independently, §6 of the paper). Returns
+    /// that recovery time.
+    pub fn crash_and_recover(&mut self) -> Nanos {
+        self.partitions
+            .iter_mut()
+            .map(Partition::crash_and_recover)
+            .fold(Nanos::ZERO, Nanos::max)
+    }
+
+    fn partition_for(&self, key: &Key) -> usize {
+        match self.options.partitioning {
+            Partitioning::Hash => (splitmix64(key.id()) % self.partitions.len() as u64) as usize,
+            Partitioning::Range => {
+                let idx = (key.id() / self.partition_span) as usize;
+                idx.min(self.partitions.len() - 1)
+            }
+        }
+    }
+}
+
+impl KvStore for PrismDb {
+    fn put(&mut self, key: Key, value: Value) -> Result<Nanos> {
+        if value.len() > prism_nvm::MAX_OBJECT_SIZE {
+            return Err(PrismError::ObjectTooLarge {
+                size: value.len(),
+                max: prism_nvm::MAX_OBJECT_SIZE,
+            });
+        }
+        let idx = self.partition_for(&key);
+        self.partitions[idx].put(key, value)
+    }
+
+    fn get(&mut self, key: &Key) -> Result<Lookup> {
+        let idx = self.partition_for(key);
+        self.partitions[idx].get(key)
+    }
+
+    fn delete(&mut self, key: &Key) -> Result<Nanos> {
+        let idx = self.partition_for(key);
+        self.partitions[idx].delete(key)
+    }
+
+    fn scan(&mut self, start: &Key, count: usize) -> Result<ScanResult> {
+        match self.options.partitioning {
+            Partitioning::Range => {
+                // Partitions hold contiguous key ranges: walk them in order
+                // until enough entries are collected.
+                let mut entries = Vec::with_capacity(count);
+                let mut latency = Nanos::ZERO;
+                let mut idx = self.partition_for(start);
+                let mut cursor = start.clone();
+                while entries.len() < count && idx < self.partitions.len() {
+                    let remaining = count - entries.len();
+                    let (mut chunk, cost) =
+                        self.partitions[idx].scan_collect(&cursor, remaining)?;
+                    latency += cost;
+                    entries.append(&mut chunk);
+                    idx += 1;
+                    cursor = Key::min();
+                }
+                Ok(ScanResult { entries, latency })
+            }
+            Partitioning::Hash => {
+                // Keys are scattered: every partition may hold part of the
+                // range, so collect `count` candidates from each and merge.
+                let mut entries: Vec<(Key, Value)> = Vec::with_capacity(count * 2);
+                let mut latency = Nanos::ZERO;
+                for partition in &mut self.partitions {
+                    let (mut chunk, cost) = partition.scan_collect(start, count)?;
+                    latency += cost;
+                    entries.append(&mut chunk);
+                }
+                entries.sort_by(|a, b| a.0.cmp(&b.0));
+                entries.truncate(count);
+                Ok(ScanResult { entries, latency })
+            }
+        }
+    }
+
+    fn stats(&self) -> EngineStats {
+        let mut stats = EngineStats {
+            nvm_io: self.storage.nvm_io(),
+            flash_io: self.storage.flash_io(),
+            ..EngineStats::default()
+        };
+        for partition in &self.partitions {
+            let p = partition.stats();
+            stats.reads_from_dram += p.reads_from_dram;
+            stats.reads_from_nvm += p.reads_from_nvm;
+            stats.reads_from_flash += p.reads_from_flash;
+            stats.reads_not_found += p.reads_not_found;
+            stats.user_bytes_written += p.user_bytes_written;
+            stats.compaction.jobs += p.compaction.jobs;
+            stats.compaction.total_time += p.compaction.total_time;
+            stats.compaction.fast_tier_time += p.compaction.fast_tier_time;
+            stats.compaction.slow_tier_time += p.compaction.slow_tier_time;
+            stats.compaction.demoted_objects += p.compaction.demoted_objects;
+            stats.compaction.promoted_objects += p.compaction.promoted_objects;
+            stats.compaction.stall_time += p.compaction.stall_time;
+        }
+        stats
+    }
+
+    fn elapsed(&self) -> Nanos {
+        self.partitions
+            .iter()
+            .map(Partition::elapsed)
+            .fold(Nanos::ZERO, Nanos::max)
+    }
+
+    fn engine_name(&self) -> &str {
+        "prismdb"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_types::ReadSource;
+
+    fn small_db(keys: u64, partitions: usize) -> PrismDb {
+        let mut options = Options::scaled_default(keys);
+        options.num_partitions = partitions;
+        options.compaction.bucket_size_keys = 512;
+        options.sst_target_bytes = 32 * 1024;
+        PrismDb::open(options).unwrap()
+    }
+
+    #[test]
+    fn routing_covers_all_partitions() {
+        let mut db = small_db(10_000, 4);
+        for id in (0..10_000u64).step_by(101) {
+            db.put(Key::from_id(id), Value::filled(200, 1)).unwrap();
+        }
+        for id in (0..10_000u64).step_by(101) {
+            assert!(db.get(&Key::from_id(id)).unwrap().value.is_some());
+        }
+        assert_eq!(db.partition_count(), 4);
+        assert!(db.nvm_object_count() > 0);
+    }
+
+    #[test]
+    fn oversized_values_are_rejected_at_the_engine_boundary() {
+        let mut db = small_db(1_000, 2);
+        let err = db
+            .put(Key::from_id(1), Value::filled(8192, 0))
+            .unwrap_err();
+        assert!(matches!(err, PrismError::ObjectTooLarge { .. }));
+    }
+
+    #[test]
+    fn cross_partition_scan_returns_keys_in_order() {
+        let mut db = small_db(4_000, 4);
+        for id in 0..4_000u64 {
+            db.put(Key::from_id(id), Value::filled(300, 1)).unwrap();
+        }
+        // Start near the end of one partition so the scan must spill into
+        // the next partition.
+        let span = 4_000 * 2 / 4;
+        let start = span - 20;
+        let result = db.scan(&Key::from_id(start), 60).unwrap();
+        let ids: Vec<u64> = result.entries.iter().map(|(k, _)| k.id()).collect();
+        let expected: Vec<u64> = (start..start + 60).collect();
+        assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn stats_aggregate_partitions_and_devices() {
+        let mut db = small_db(5_000, 2);
+        for id in 0..5_000u64 {
+            db.put(Key::from_id(id), Value::filled(1000, 1)).unwrap();
+        }
+        for id in (0..5_000u64).step_by(7) {
+            db.get(&Key::from_id(id)).unwrap();
+        }
+        let stats = db.stats();
+        assert!(stats.user_bytes_written >= 5_000 * 1000);
+        assert!(stats.nvm_io.bytes_written > 0);
+        assert!(stats.reads_found() > 0);
+        assert!(db.elapsed() > Nanos::ZERO);
+        assert!(db.cost_per_gb() > 0.0);
+        assert_eq!(db.engine_name(), "prismdb");
+    }
+
+    #[test]
+    fn engine_crash_recovery_preserves_data() {
+        let mut db = small_db(3_000, 2);
+        for id in 0..3_000u64 {
+            db.put(Key::from_id(id), Value::filled(900, 1)).unwrap();
+        }
+        db.put(Key::from_id(11), Value::filled(900, 99)).unwrap();
+        db.delete(&Key::from_id(12)).unwrap();
+        let recovery = db.crash_and_recover();
+        assert!(recovery > Nanos::ZERO);
+        assert_eq!(
+            db.get(&Key::from_id(11)).unwrap().value.unwrap().as_bytes()[0],
+            99
+        );
+        assert!(db.get(&Key::from_id(12)).unwrap().value.is_none());
+        for id in (0..3_000u64).step_by(41) {
+            if id == 12 {
+                continue;
+            }
+            assert!(db.get(&Key::from_id(id)).unwrap().value.is_some());
+        }
+    }
+
+    #[test]
+    fn read_heavy_workload_keeps_hot_reads_fast() {
+        let mut db = small_db(4_000, 2);
+        for id in 0..4_000u64 {
+            db.put(Key::from_id(id), Value::filled(1000, 1)).unwrap();
+        }
+        // Zipf-like hot set: read keys 0..100 repeatedly.
+        for _ in 0..30 {
+            for id in 0..100u64 {
+                db.get(&Key::from_id(id)).unwrap();
+            }
+        }
+        let mut fast = 0;
+        for id in 0..100u64 {
+            let got = db.get(&Key::from_id(id)).unwrap();
+            if matches!(got.source, ReadSource::Dram | ReadSource::Nvm) {
+                fast += 1;
+            }
+        }
+        assert!(fast >= 90, "hot reads should avoid flash, {fast}/100 fast");
+    }
+}

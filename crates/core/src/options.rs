@@ -1,0 +1,330 @@
+//! Engine configuration.
+
+use prism_compaction::{CompactionConfig, ReadTriggerConfig};
+use prism_storage::DeviceProfile;
+use prism_types::{PrismError, Result};
+
+/// How keys are assigned to partitions.
+///
+/// The paper uses hash partitioning for workloads with load skew and range
+/// partitioning for scan-heavy workloads (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partitioning {
+    /// Hash of the key id; spreads skewed and append-only workloads evenly.
+    Hash,
+    /// Contiguous key-id ranges; keeps scans within few partitions.
+    Range,
+}
+
+/// Configuration of a [`crate::PrismDb`] instance.
+///
+/// The defaults mirror the paper's evaluation setup (§7): a 1:5 NVM:QLC
+/// capacity ratio, tracker sized at 20 % of the key space, a 70 % pinning
+/// threshold, 98 %/95 % NVM watermarks and the approx-MSC compaction policy
+/// with power-of-8 candidate selection.
+///
+/// Use [`Options::builder`] for fluent construction:
+///
+/// ```
+/// use prism_db::Options;
+///
+/// let options = Options::builder(100_000)
+///     .nvm_capacity(64 << 20)
+///     .flash_capacity(320 << 20)
+///     .partitions(4)
+///     .pinning_threshold(0.7)
+///     .build()
+///     .unwrap();
+/// assert_eq!(options.num_partitions, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Number of shared-nothing partitions (each with its own worker and
+    /// compaction accounting).
+    pub num_partitions: usize,
+    /// Expected number of distinct keys; used for range partitioning and
+    /// for sizing the tracker.
+    pub expected_keys: u64,
+    /// NVM (fast tier) capacity in bytes.
+    pub nvm_capacity_bytes: u64,
+    /// Flash (slow tier) capacity in bytes.
+    pub flash_capacity_bytes: u64,
+    /// NVM device profile (defaults to Optane-class).
+    pub nvm_profile: DeviceProfile,
+    /// Flash device profile (defaults to QLC-class).
+    pub flash_profile: DeviceProfile,
+    /// How keys are assigned to partitions.
+    pub partitioning: Partitioning,
+    /// Bytes of DRAM used as an object cache (stand-in for the OS page
+    /// cache the paper relies on).
+    pub dram_cache_bytes: u64,
+    /// Slab slot sizes for the NVM store.
+    pub slab_slot_sizes: Vec<u32>,
+    /// Tracker capacity as a fraction of `expected_keys` (0.2 in §7).
+    pub tracker_fraction: f64,
+    /// Pinning threshold: fraction of tracked objects to retain on NVM
+    /// (0.7 in §7).
+    pub pinning_threshold: f64,
+    /// NVM utilisation that triggers a demotion compaction (0.98).
+    pub high_watermark: f64,
+    /// NVM utilisation at which compaction stops freeing space (0.95).
+    pub low_watermark: f64,
+    /// Target size of one SST file written by compaction.
+    pub sst_target_bytes: u64,
+    /// Compaction policy and candidate-selection configuration.
+    pub compaction: CompactionConfig,
+    /// Whether compactions may promote hot flash objects back to NVM.
+    pub promotions_enabled: bool,
+    /// Read-triggered compaction configuration; `None` disables the
+    /// mechanism entirely.
+    pub read_trigger: Option<ReadTriggerConfig>,
+    /// How many flash-served reads accumulate before a promotion compaction
+    /// runs (while read-triggered compactions are active).
+    pub promotion_batch_flash_reads: u64,
+    /// Synchronous-durability mode. PrismDB always persists writes to NVM
+    /// synchronously (it has no WAL), so this only affects reporting parity
+    /// with baselines that add an fsync per write.
+    pub fsync: bool,
+}
+
+impl Options {
+    /// Start building options for a database expected to hold
+    /// `expected_keys` distinct keys.
+    pub fn builder(expected_keys: u64) -> OptionsBuilder {
+        OptionsBuilder {
+            options: Options::scaled_default(expected_keys),
+        }
+    }
+
+    /// Defaults scaled to `expected_keys` 1 KB objects with the paper's
+    /// 1:5 NVM:flash ratio.
+    pub fn scaled_default(expected_keys: u64) -> Self {
+        let logical_bytes = expected_keys.max(1) * 1024;
+        // Leave generous headroom on flash; NVM is 1/5 of flash capacity.
+        let flash_capacity = logical_bytes * 3;
+        let nvm_capacity = (flash_capacity / 5).max(64 * 1024);
+        let scale_factor = (100_000_000 / expected_keys.max(1)).max(1);
+        Options {
+            num_partitions: 8,
+            expected_keys,
+            nvm_capacity_bytes: nvm_capacity,
+            flash_capacity_bytes: flash_capacity,
+            nvm_profile: DeviceProfile::optane_nvm(nvm_capacity),
+            flash_profile: DeviceProfile::qlc_flash(flash_capacity),
+            partitioning: Partitioning::Hash,
+            // The paper provisions DRAM at a 1:10 ratio to storage capacity.
+            dram_cache_bytes: flash_capacity / 10,
+            slab_slot_sizes: vec![128, 256, 512, 1024, 2048, 4096],
+            tracker_fraction: 0.2,
+            pinning_threshold: 0.7,
+            high_watermark: 0.98,
+            low_watermark: 0.95,
+            sst_target_bytes: 256 * 1024,
+            compaction: CompactionConfig {
+                bucket_size_keys: (expected_keys / 64).clamp(256, 65_536),
+                ..CompactionConfig::default()
+            },
+            promotions_enabled: true,
+            read_trigger: Some(ReadTriggerConfig::scaled_down(scale_factor)),
+            promotion_batch_flash_reads: 200,
+            fsync: false,
+        }
+    }
+
+    /// Tracker capacity in keys, derived from the expected key count.
+    pub fn tracker_capacity(&self) -> usize {
+        ((self.expected_keys as f64 * self.tracker_fraction) as usize).max(16)
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::InvalidConfig`] describing the first invalid
+    /// field found.
+    pub fn validate(&self) -> Result<()> {
+        if self.num_partitions == 0 {
+            return Err(PrismError::InvalidConfig("at least one partition is required".into()));
+        }
+        if self.expected_keys == 0 {
+            return Err(PrismError::InvalidConfig("expected_keys must be non-zero".into()));
+        }
+        if self.nvm_capacity_bytes == 0 || self.flash_capacity_bytes == 0 {
+            return Err(PrismError::InvalidConfig("tier capacities must be non-zero".into()));
+        }
+        if !(0.0..=1.0).contains(&self.pinning_threshold) {
+            return Err(PrismError::InvalidConfig("pinning threshold must be in [0, 1]".into()));
+        }
+        if !(0.0 < self.low_watermark && self.low_watermark < self.high_watermark && self.high_watermark <= 1.0) {
+            return Err(PrismError::InvalidConfig(
+                "watermarks must satisfy 0 < low < high <= 1".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.tracker_fraction) || self.tracker_fraction == 0.0 {
+            return Err(PrismError::InvalidConfig("tracker fraction must be in (0, 1]".into()));
+        }
+        if self.sst_target_bytes == 0 {
+            return Err(PrismError::InvalidConfig("sst_target_bytes must be non-zero".into()));
+        }
+        self.compaction.validate()?;
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`Options`].
+#[derive(Debug, Clone)]
+pub struct OptionsBuilder {
+    options: Options,
+}
+
+impl OptionsBuilder {
+    /// Set the number of partitions.
+    pub fn partitions(mut self, n: usize) -> Self {
+        self.options.num_partitions = n;
+        self
+    }
+
+    /// Set the NVM capacity in bytes (also refreshes the NVM device profile
+    /// capacity).
+    pub fn nvm_capacity(mut self, bytes: u64) -> Self {
+        self.options.nvm_capacity_bytes = bytes;
+        self.options.nvm_profile = DeviceProfile::optane_nvm(bytes);
+        self
+    }
+
+    /// Set the flash capacity in bytes (also refreshes the flash device
+    /// profile capacity, keeping its kind).
+    pub fn flash_capacity(mut self, bytes: u64) -> Self {
+        self.options.flash_capacity_bytes = bytes;
+        self.options.flash_profile.capacity_bytes = bytes;
+        self
+    }
+
+    /// Replace the flash device profile (e.g. TLC instead of QLC).
+    pub fn flash_profile(mut self, profile: DeviceProfile) -> Self {
+        self.options.flash_capacity_bytes = profile.capacity_bytes;
+        self.options.flash_profile = profile;
+        self
+    }
+
+    /// Set the DRAM object-cache size.
+    pub fn dram_cache(mut self, bytes: u64) -> Self {
+        self.options.dram_cache_bytes = bytes;
+        self
+    }
+
+    /// Choose the partitioning scheme (hash by default; range keeps scans
+    /// local to few partitions).
+    pub fn partitioning(mut self, partitioning: Partitioning) -> Self {
+        self.options.partitioning = partitioning;
+        self
+    }
+
+    /// Set the pinning threshold.
+    pub fn pinning_threshold(mut self, threshold: f64) -> Self {
+        self.options.pinning_threshold = threshold;
+        self
+    }
+
+    /// Set the compaction configuration.
+    pub fn compaction(mut self, config: CompactionConfig) -> Self {
+        self.options.compaction = config;
+        self
+    }
+
+    /// Enable or disable promotions.
+    pub fn promotions(mut self, enabled: bool) -> Self {
+        self.options.promotions_enabled = enabled;
+        self
+    }
+
+    /// Set or disable the read-triggered compaction controller.
+    pub fn read_trigger(mut self, config: Option<ReadTriggerConfig>) -> Self {
+        self.options.read_trigger = config;
+        self
+    }
+
+    /// Set the tracker size as a fraction of the expected keys.
+    pub fn tracker_fraction(mut self, fraction: f64) -> Self {
+        self.options.tracker_fraction = fraction;
+        self
+    }
+
+    /// Set synchronous-durability mode.
+    pub fn fsync(mut self, enabled: bool) -> Self {
+        self.options.fsync = enabled;
+        self
+    }
+
+    /// Finish building.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::InvalidConfig`] if the resulting options are
+    /// invalid.
+    pub fn build(self) -> Result<Options> {
+        self.options.validate()?;
+        Ok(self.options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_defaults_are_valid_and_keep_paper_ratios() {
+        let options = Options::scaled_default(100_000);
+        options.validate().unwrap();
+        assert_eq!(options.num_partitions, 8);
+        assert!((options.tracker_fraction - 0.2).abs() < 1e-9);
+        assert!((options.pinning_threshold - 0.7).abs() < 1e-9);
+        assert_eq!(options.nvm_capacity_bytes * 5, options.flash_capacity_bytes);
+        assert_eq!(options.tracker_capacity(), 20_000);
+    }
+
+    #[test]
+    fn builder_overrides_fields() {
+        let options = Options::builder(1000)
+            .partitions(2)
+            .nvm_capacity(1 << 20)
+            .flash_capacity(5 << 20)
+            .pinning_threshold(0.3)
+            .promotions(false)
+            .tracker_fraction(0.5)
+            .fsync(true)
+            .build()
+            .unwrap();
+        assert_eq!(options.num_partitions, 2);
+        assert_eq!(options.nvm_capacity_bytes, 1 << 20);
+        assert_eq!(options.nvm_profile.capacity_bytes, 1 << 20);
+        assert!((options.pinning_threshold - 0.3).abs() < 1e-9);
+        assert!(!options.promotions_enabled);
+        assert!(options.fsync);
+        assert_eq!(options.tracker_capacity(), 500);
+    }
+
+    #[test]
+    fn invalid_options_are_rejected() {
+        assert!(Options::builder(0).build().is_err());
+        assert!(Options::builder(100).partitions(0).build().is_err());
+        assert!(Options::builder(100).pinning_threshold(1.5).build().is_err());
+        let mut bad = Options::scaled_default(100);
+        bad.low_watermark = 0.99;
+        assert!(bad.validate().is_err());
+        let mut bad = Options::scaled_default(100);
+        bad.sst_target_bytes = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = Options::scaled_default(100);
+        bad.tracker_fraction = 0.0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn flash_profile_override_keeps_capacity_consistent() {
+        let tlc = DeviceProfile::tlc_flash(10 << 20);
+        let options = Options::builder(1000).flash_profile(tlc).build().unwrap();
+        assert_eq!(options.flash_capacity_bytes, 10 << 20);
+        assert_eq!(options.flash_profile.kind, prism_storage::DeviceKind::TlcNand);
+    }
+}

@@ -1,0 +1,1099 @@
+//! A single shared-nothing partition of PrismDB.
+//!
+//! Each partition owns a disjoint slice of the key space and all the data
+//! structures for it (Figure 3 of the paper): the NVM slab store and its
+//! B-tree index, the flash sorted log and manifest, the clock tracker and
+//! mapper, the bucket map for approx-MSC, and the compaction planner. A
+//! partition also owns its virtual clocks: a foreground clock advanced by
+//! client operations and a background completion time advanced by
+//! compaction work, which together produce write-stall behaviour when
+//! compactions cannot keep up.
+
+use std::sync::Arc;
+
+use prism_compaction::{
+    msc_score, BucketMap, CompactionPlanner, CompactionPolicy, RangeStatsBuilder,
+    ReadTriggeredController,
+};
+use prism_flash::{Manifest, SortedLog, SstBuilder, SstEntry, SstFile};
+use prism_index::BTreeIndex;
+use prism_nvm::{NvmAddress, SlabConfig, SlabStore};
+use prism_storage::{CpuCosts, Device, TieredStorage};
+use prism_tracker::{ClockTracker, Mapper, PinDecision};
+use prism_types::{CompactionStats, Key, Lookup, Nanos, PrismError, ReadSource, Result, Value};
+
+use crate::cache::LruCache;
+use crate::options::Options;
+
+/// Entry in the partition's B-tree index describing the NVM-resident
+/// version of a key.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct IndexEntry {
+    addr: NvmAddress,
+    timestamp: u64,
+    tombstone: bool,
+}
+
+/// Per-partition counters merged into [`prism_types::EngineStats`].
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct PartitionStats {
+    pub reads_from_dram: u64,
+    pub reads_from_nvm: u64,
+    pub reads_from_flash: u64,
+    pub reads_not_found: u64,
+    pub user_bytes_written: u64,
+    pub compaction: CompactionStats,
+}
+
+/// Result of one compaction job.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct CompactionOutcome {
+    pub duration: Nanos,
+    pub flash_time: Nanos,
+    pub demoted: u64,
+    pub promoted: u64,
+}
+
+pub(crate) struct Partition {
+    options: Arc<Options>,
+    cpu: CpuCosts,
+    nvm_dev: Arc<Device>,
+    flash_dev: Arc<Device>,
+    slab: SlabStore,
+    index: BTreeIndex<Key, IndexEntry>,
+    log: SortedLog,
+    manifest: Manifest,
+    tracker: ClockTracker,
+    mapper: Mapper,
+    buckets: BucketMap,
+    planner: CompactionPlanner,
+    read_trigger: Option<ReadTriggeredController>,
+    cache: LruCache,
+    next_timestamp: u64,
+    fg: Nanos,
+    busy_until: Nanos,
+    flash_reads_since_promotion: u64,
+    stats: PartitionStats,
+}
+
+impl Partition {
+    pub(crate) fn new(id: usize, options: Arc<Options>, storage: &TieredStorage) -> Result<Self> {
+        let partitions = options.num_partitions as u64;
+        let slab_config = SlabConfig {
+            slot_sizes: options.slab_slot_sizes.clone(),
+            capacity_bytes: (options.nvm_capacity_bytes / partitions).max(4096),
+        };
+        let slab = SlabStore::new(slab_config, storage.nvm.clone())?;
+        let tracker_capacity = (options.tracker_capacity() / options.num_partitions).max(8);
+        let mut compaction_config = options.compaction;
+        // Give each partition its own deterministic-but-distinct seed.
+        compaction_config.seed = compaction_config.seed.wrapping_add(id as u64);
+        let planner = CompactionPlanner::new(compaction_config)?;
+        Ok(Partition {
+            cpu: storage.cpu,
+            nvm_dev: storage.nvm.clone(),
+            flash_dev: storage.flash.clone(),
+            slab,
+            index: BTreeIndex::new(),
+            log: SortedLog::new(),
+            manifest: Manifest::new(),
+            tracker: ClockTracker::new(tracker_capacity),
+            mapper: Mapper::new(),
+            buckets: BucketMap::new(options.compaction.bucket_size_keys),
+            planner,
+            read_trigger: options.read_trigger.map(ReadTriggeredController::new),
+            cache: LruCache::new(options.dram_cache_bytes / partitions),
+            next_timestamp: 1,
+            fg: Nanos::ZERO,
+            busy_until: Nanos::ZERO,
+            flash_reads_since_promotion: 0,
+            stats: PartitionStats::default(),
+            options,
+        })
+    }
+
+    pub(crate) fn elapsed(&self) -> Nanos {
+        self.fg.max(self.busy_until)
+    }
+
+    pub(crate) fn stats(&self) -> PartitionStats {
+        self.stats
+    }
+
+    pub(crate) fn nvm_object_count(&self) -> usize {
+        self.slab.object_count()
+    }
+
+    pub(crate) fn flash_object_count(&self) -> usize {
+        self.log.total_entries()
+    }
+
+    pub(crate) fn nvm_utilization(&self) -> f64 {
+        self.slab.usage().utilization()
+    }
+
+    pub(crate) fn clock_histogram(&self) -> [u64; 4] {
+        self.mapper.histogram()
+    }
+
+    fn next_ts(&mut self) -> u64 {
+        let ts = self.next_timestamp;
+        self.next_timestamp += 1;
+        ts
+    }
+
+    /// Track an access and update the popularity structures; returns the
+    /// CPU cost charged for it.
+    fn observe_access(&mut self, key: &Key, on_flash: bool) -> Nanos {
+        let event = self.tracker.access(key, on_flash);
+        self.mapper.apply(&event);
+        self.buckets.on_access(key.id());
+        if let Some((evicted, _)) = &event.evicted {
+            self.buckets.on_tracker_evict(evicted.id());
+        }
+        self.cpu.tracker_op
+    }
+
+    fn observe_for_read_trigger(&mut self, is_read: bool, source: ReadSource) {
+        let promote_now = if let Some(ctrl) = &mut self.read_trigger {
+            ctrl.observe_op(
+                is_read,
+                source == ReadSource::Nvm,
+                source == ReadSource::Flash,
+            );
+            if source == ReadSource::Flash {
+                self.flash_reads_since_promotion += 1;
+            }
+            ctrl.promotions_enabled()
+                && self.options.promotions_enabled
+                && self.flash_reads_since_promotion >= self.options.promotion_batch_flash_reads
+        } else {
+            false
+        };
+        if promote_now {
+            self.flash_reads_since_promotion = 0;
+            if let Ok(outcome) = self.run_promotion_compaction() {
+                self.busy_until = self.busy_until.max(self.fg) + outcome.duration;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Client operations
+    // ------------------------------------------------------------------
+
+    pub(crate) fn put(&mut self, key: Key, value: Value) -> Result<Nanos> {
+        let mut cost = self.cpu.request_overhead + self.cpu.index_op;
+        let ts = self.next_ts();
+        let key_id = key.id();
+        let value_len = value.len() as u64;
+
+        let existing = self.index.get(&key).copied();
+        let write_result = self.write_to_slab(existing, &key, value.clone(), ts);
+        let (addr, write_cost) = match write_result {
+            Ok(ok) => ok,
+            Err(PrismError::CapacityExceeded { .. }) => {
+                // Free space with forced compactions, then retry once.
+                let freed = self.free_space_forcibly()?;
+                self.busy_until = self.busy_until.max(self.fg) + freed;
+                let existing = self.index.get(&key).copied();
+                self.write_to_slab(existing, &key, value.clone(), ts)?
+            }
+            Err(err) => return Err(err),
+        };
+        cost += write_cost;
+
+        let was_new = existing.is_none();
+        self.index.insert(
+            key.clone(),
+            IndexEntry {
+                addr,
+                timestamp: ts,
+                tombstone: false,
+            },
+        );
+        if was_new {
+            self.buckets.on_nvm_insert(key_id);
+        }
+        cost += self.observe_access(&key, false);
+        self.cache.remove(&key);
+        self.stats.user_bytes_written += value_len;
+
+        // Watermark check: demote cold data if NVM is (nearly) full.
+        let stall = self.maybe_demote()?;
+        cost += stall;
+
+        self.observe_for_read_trigger(false, ReadSource::NotFound);
+        self.fg += cost;
+        Ok(cost)
+    }
+
+    fn write_to_slab(
+        &mut self,
+        existing: Option<IndexEntry>,
+        key: &Key,
+        value: Value,
+        ts: u64,
+    ) -> Result<(NvmAddress, Nanos)> {
+        match existing {
+            Some(entry) if !entry.tombstone => self.slab.update(entry.addr, key, value, ts),
+            Some(entry) => {
+                // The key currently has a tombstone on NVM: write the new
+                // value first, then reclaim the tombstone slot, so a failed
+                // insert cannot leave a dangling index entry.
+                let inserted = self.slab.insert(key.clone(), value, ts)?;
+                self.slab.remove(entry.addr)?;
+                Ok(inserted)
+            }
+            None => self.slab.insert(key.clone(), value, ts),
+        }
+    }
+
+    pub(crate) fn get(&mut self, key: &Key) -> Result<Lookup> {
+        let mut cost = self.cpu.request_overhead + self.cpu.index_op;
+        let mut source = ReadSource::NotFound;
+        let mut value: Option<Value> = None;
+
+        if let Some(cached) = self.cache.get(key) {
+            cost += self.cpu.dram_hit;
+            source = ReadSource::Dram;
+            value = Some(cached);
+        } else if let Some(entry) = self.index.get(key).copied() {
+            if !entry.tombstone {
+                let (slot, read_cost) = self.slab.read(entry.addr)?;
+                let found = slot.value.clone();
+                cost += read_cost;
+                source = ReadSource::Nvm;
+                self.cache.insert(key.clone(), found.clone());
+                value = Some(found);
+            }
+        } else {
+            // Flash path: the SST index and bloom filter live on NVM.
+            cost += self.cpu.bloom_probe;
+            if let Some(file) = self.log.lookup(key) {
+                let probe = file.probe(key);
+                if probe.may_contain {
+                    cost += self.nvm_dev.read_random(512);
+                    if probe.data_block_bytes > 0 {
+                        cost += self.flash_dev.read_random(probe.data_block_bytes);
+                    }
+                }
+                if let Some(entry) = probe.entry {
+                    if let Some(found) = entry.value {
+                        source = ReadSource::Flash;
+                        self.cache.insert(key.clone(), found.clone());
+                        value = Some(found);
+                    }
+                }
+            }
+        }
+
+        match source {
+            ReadSource::Dram => self.stats.reads_from_dram += 1,
+            ReadSource::Nvm => self.stats.reads_from_nvm += 1,
+            ReadSource::Flash => self.stats.reads_from_flash += 1,
+            ReadSource::NotFound => self.stats.reads_not_found += 1,
+        }
+        if value.is_some() {
+            cost += self.observe_access(key, source == ReadSource::Flash);
+        }
+        self.observe_for_read_trigger(true, source);
+        self.fg += cost;
+        Ok(Lookup {
+            value,
+            latency: cost,
+            source,
+        })
+    }
+
+    pub(crate) fn delete(&mut self, key: &Key) -> Result<Nanos> {
+        let mut cost = self.cpu.request_overhead + self.cpu.index_op;
+        let ts = self.next_ts();
+        let key_id = key.id();
+
+        let existing = self.index.get(key).copied();
+        // Does any version of this key exist on flash?
+        cost += self.cpu.bloom_probe;
+        let on_flash = self
+            .log
+            .lookup(key)
+            .map(|file| file.probe(key).entry.is_some())
+            .unwrap_or(false);
+
+        if let Some(entry) = existing {
+            if !entry.tombstone {
+                self.slab.remove(entry.addr)?;
+                self.buckets.on_nvm_remove(key_id);
+                self.index.remove(key);
+            }
+        }
+
+        if on_flash {
+            // Write a tombstone to NVM so the flash version is hidden until
+            // a compaction merges and drops both.
+            let (addr, write_cost) = match self.slab.insert(key.clone(), Value::empty(), ts) {
+                Ok(ok) => ok,
+                Err(PrismError::CapacityExceeded { .. }) => {
+                    let freed = self.free_space_forcibly()?;
+                    self.busy_until = self.busy_until.max(self.fg) + freed;
+                    self.slab.insert(key.clone(), Value::empty(), ts)?
+                }
+                Err(err) => return Err(err),
+            };
+            cost += write_cost;
+            self.index.insert(
+                key.clone(),
+                IndexEntry {
+                    addr,
+                    timestamp: ts,
+                    tombstone: true,
+                },
+            );
+            self.buckets.on_nvm_insert(key_id);
+        }
+
+        self.cache.remove(key);
+        let stall = self.maybe_demote()?;
+        cost += stall;
+        self.fg += cost;
+        Ok(cost)
+    }
+
+    /// Collect up to `limit` live key-value pairs with keys `>= start` from
+    /// this partition, in key order, merging the NVM and flash views.
+    pub(crate) fn scan_collect(
+        &mut self,
+        start: &Key,
+        limit: usize,
+    ) -> Result<(Vec<(Key, Value)>, Nanos)> {
+        let mut cost = self.cpu.request_overhead + self.cpu.index_op;
+        let mut out: Vec<(Key, Value)> = Vec::with_capacity(limit);
+        if limit == 0 {
+            self.fg += cost;
+            return Ok((out, cost));
+        }
+
+        let mut nvm_iter = self.index.range_from(start).peekable();
+        // Flash iterator: walk files in key order starting from the first
+        // file that can contain `start`.
+        let files = self.log.files();
+        let mut file_idx = files.partition_point(|f| f.max_key() < start);
+        let mut flash_buf: Vec<(Key, SstEntry)> = Vec::new();
+        let mut flash_pos = 0usize;
+        let mut flash_bytes_consumed = 0u64;
+        let max_key = Key::from_id(u64::MAX);
+
+        let refill = |idx: &mut usize, buf: &mut Vec<(Key, SstEntry)>, pos: &mut usize| {
+            while *pos >= buf.len() && *idx < files.len() {
+                *buf = files[*idx]
+                    .range(start, &max_key)
+                    .map(|(k, e)| (k.clone(), e.clone()))
+                    .collect();
+                *pos = 0;
+                *idx += 1;
+            }
+        };
+
+        let mut nvm_reads = 0u64;
+        while out.len() < limit {
+            refill(&mut file_idx, &mut flash_buf, &mut flash_pos);
+            let nvm_next = nvm_iter.peek().map(|(k, _)| (*k).clone());
+            let flash_next = flash_buf.get(flash_pos).map(|(k, _)| k.clone());
+            let take_nvm = match (&nvm_next, &flash_next) {
+                (None, None) => break,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some(nk), Some(fk)) => nk <= fk,
+            };
+            if take_nvm {
+                let nk = nvm_next.expect("take_nvm implies an NVM key");
+                let (_, entry) = nvm_iter.next().expect("peeked");
+                if flash_next.as_ref() == Some(&nk) {
+                    // The flash version of this key is stale: skip it.
+                    flash_pos += 1;
+                }
+                if !entry.tombstone {
+                    if let Some(slot) = self.slab.peek(entry.addr) {
+                        out.push((nk, slot.value.clone()));
+                        nvm_reads += 1;
+                    }
+                }
+            } else {
+                let (fk, entry) = &flash_buf[flash_pos];
+                flash_pos += 1;
+                if let Some(v) = &entry.value {
+                    flash_bytes_consumed += v.len() as u64 + fk.len() as u64;
+                    out.push((fk.clone(), v.clone()));
+                }
+            }
+        }
+        drop(nvm_iter);
+
+        if nvm_reads > 0 {
+            cost += self.nvm_dev.read_random(4096) * nvm_reads.div_ceil(4);
+        }
+        if flash_bytes_consumed > 0 {
+            cost += self.flash_dev.read_sequential(flash_bytes_consumed);
+        }
+        cost += self.cpu.merge_per_object * out.len() as u64;
+        self.fg += cost;
+        Ok((out, cost))
+    }
+
+    // ------------------------------------------------------------------
+    // Compaction
+    // ------------------------------------------------------------------
+
+    /// If NVM is above the high watermark, run demotion compactions until it
+    /// drops below the low watermark. Returns the foreground stall charged
+    /// to the triggering operation.
+    fn maybe_demote(&mut self) -> Result<Nanos> {
+        if self.slab.usage().utilization() < self.options.high_watermark {
+            return Ok(Nanos::ZERO);
+        }
+        // If a previous compaction is still "running" in the background, the
+        // write has to wait for it before space can be freed.
+        let stall = self.busy_until.saturating_sub(self.fg);
+        let mut background = Nanos::ZERO;
+        let mut rounds = 0;
+        while self.slab.usage().utilization() > self.options.low_watermark {
+            let outcome = self.run_demotion_compaction(false)?;
+            background += outcome.duration;
+            if outcome.demoted == 0 {
+                let forced = self.run_demotion_compaction(true)?;
+                background += forced.duration;
+                if forced.demoted == 0 {
+                    break;
+                }
+            }
+            rounds += 1;
+            if rounds > 128 {
+                break;
+            }
+        }
+        self.stats.compaction.stall_time += stall;
+        self.busy_until = self.busy_until.max(self.fg) + background;
+        Ok(stall)
+    }
+
+    /// Forced space reclamation used when a write hits a full slab store
+    /// before the watermark machinery had a chance to run. Returns the
+    /// background time spent.
+    fn free_space_forcibly(&mut self) -> Result<Nanos> {
+        let mut background = Nanos::ZERO;
+        for _ in 0..8 {
+            let outcome = self.run_demotion_compaction(true)?;
+            background += outcome.duration;
+            if outcome.demoted > 0
+                && self.slab.usage().utilization() < self.options.low_watermark
+            {
+                return Ok(background);
+            }
+            if outcome.demoted == 0 {
+                break;
+            }
+        }
+        // Safety valve: sampled candidates may all have been empty of NVM
+        // objects. Compact the whole key space once, ignoring popularity,
+        // so the write can proceed.
+        let outcome =
+            self.compact_range(&Key::min(), &Key::from_id(u64::MAX), true, false)?;
+        self.record_compaction(&outcome);
+        background += outcome.duration;
+        Ok(background)
+    }
+
+    /// Candidate compaction key ranges: the key ranges of consecutive SST
+    /// file windows, extended at both ends to cover NVM keys outside any
+    /// flash file.
+    fn candidate_ranges(&self) -> Vec<(Key, Key)> {
+        if self.log.is_empty() {
+            if self.index.is_empty() {
+                return Vec::new();
+            }
+            return vec![(Key::min(), Key::from_id(u64::MAX))];
+        }
+        let files = self.log.files();
+        let width = self.options.compaction.range_width_files.max(1);
+        let mut ranges = Vec::new();
+        // Chain the ranges so together they cover the entire key space:
+        // NVM keys that fall in the gap between two flash files belong to
+        // the range on their left and can still be demoted.
+        let mut prev_end = Key::min();
+        let mut i = 0;
+        while i < files.len() {
+            let window_end = (i + width).min(files.len());
+            let start = prev_end.clone();
+            let end = if window_end >= files.len() {
+                Key::from_id(u64::MAX)
+            } else {
+                files[window_end - 1].max_key().clone()
+            };
+            prev_end = end.clone();
+            ranges.push((start, end));
+            i = window_end;
+        }
+        ranges
+    }
+
+    /// Score one candidate range according to the configured policy, adding
+    /// the planning CPU time to `planning_cost`.
+    fn score_candidate(&self, start: &Key, end: &Key, planning_cost: &mut Nanos) -> f64 {
+        match self.options.compaction.policy {
+            CompactionPolicy::Random => 0.0,
+            CompactionPolicy::ApproxMsc => {
+                *planning_cost += self.cpu.index_op;
+                let stats = self.buckets.estimate(start.id(), end.id(), 0.25);
+                msc_score(&stats)
+            }
+            CompactionPolicy::PreciseMsc => {
+                let mut builder = RangeStatsBuilder::new();
+                let tracked = self.tracker.len();
+                for (key, _entry) in self
+                    .index
+                    .range_from(start)
+                    .take_while(|(k, _)| *k <= end)
+                {
+                    let clock = self.tracker.clock_of(key);
+                    let pinned = matches!(
+                        self.mapper
+                            .pin_decision(clock, self.options.pinning_threshold, tracked),
+                        PinDecision::Pin
+                    );
+                    builder.add_nvm_object(clock, pinned);
+                }
+                for file in self.log.overlapping(start, end) {
+                    for (key, _) in file.range(start, end) {
+                        builder.add_flash_object(self.index.contains_key(key));
+                    }
+                }
+                *planning_cost += self.cpu.merge_per_object * builder.objects_examined();
+                msc_score(&builder.build())
+            }
+        }
+    }
+
+    fn run_demotion_compaction(&mut self, force: bool) -> Result<CompactionOutcome> {
+        let candidates = self.candidate_ranges();
+        if candidates.is_empty() {
+            return Ok(CompactionOutcome::default());
+        }
+        let picked = self.planner.pick_candidate_indices(candidates.len());
+        let mut planning_cost = Nanos::ZERO;
+        let scored: Vec<(usize, f64)> = picked
+            .iter()
+            .map(|&i| {
+                (
+                    i,
+                    self.score_candidate(&candidates[i].0, &candidates[i].1, &mut planning_cost),
+                )
+            })
+            .collect();
+        let Some(best) = self.planner.select_best(&scored) else {
+            return Ok(CompactionOutcome::default());
+        };
+        let (start, end) = candidates[best].clone();
+        let mut outcome = self.compact_range(&start, &end, force, self.options.promotions_enabled)?;
+        outcome.duration += planning_cost;
+        self.record_compaction(&outcome);
+        Ok(outcome)
+    }
+
+    /// A promotion-oriented compaction: pick the range with the most popular
+    /// flash-only objects and rewrite it, pulling those objects up to NVM.
+    fn run_promotion_compaction(&mut self) -> Result<CompactionOutcome> {
+        if self.log.is_empty() {
+            return Ok(CompactionOutcome::default());
+        }
+        let candidates = self.candidate_ranges();
+        let picked = self.planner.pick_candidate_indices(candidates.len());
+        let scored: Vec<(usize, f64)> = picked
+            .iter()
+            .map(|&i| {
+                let (start, end) = &candidates[i];
+                (
+                    i,
+                    self.buckets
+                        .popular_flash_only_objects(start.id(), end.id()),
+                )
+            })
+            .collect();
+        let Some(best) = scored
+            .iter()
+            .filter(|(_, s)| *s > 0.0)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .map(|(i, _)| *i)
+        else {
+            return Ok(CompactionOutcome::default());
+        };
+        let (start, end) = candidates[best].clone();
+        let outcome = self.compact_range(&start, &end, false, true)?;
+        self.record_compaction(&outcome);
+        Ok(outcome)
+    }
+
+    fn record_compaction(&mut self, outcome: &CompactionOutcome) {
+        if outcome.duration.is_zero() {
+            return;
+        }
+        self.stats.compaction.jobs += 1;
+        self.stats.compaction.total_time += outcome.duration;
+        self.stats.compaction.slow_tier_time += outcome.flash_time;
+        self.stats.compaction.fast_tier_time +=
+            outcome.duration.saturating_sub(outcome.flash_time);
+        self.stats.compaction.demoted_objects += outcome.demoted;
+        self.stats.compaction.promoted_objects += outcome.promoted;
+    }
+
+    /// Merge the NVM objects in `[start, end]` with the overlapping SST
+    /// files: demote unpopular NVM objects, drop stale flash versions and
+    /// tombstoned keys, and optionally promote hot flash objects to NVM.
+    fn compact_range(
+        &mut self,
+        start: &Key,
+        end: &Key,
+        force: bool,
+        allow_promote: bool,
+    ) -> Result<CompactionOutcome> {
+        let mut duration = Nanos::ZERO;
+        let mut flash_time = Nanos::ZERO;
+        let tracked = self.tracker.len();
+        let pin_threshold = self.options.pinning_threshold;
+
+        // 1. Select the NVM objects to demote (unpopular ones, or everything
+        //    in forced mode). Tombstones always participate so they can be
+        //    merged away.
+        let in_range: Vec<(Key, IndexEntry)> = self
+            .index
+            .range_from(start)
+            .take_while(|(k, _)| *k <= end)
+            .map(|(k, e)| (k.clone(), *e))
+            .collect();
+        let mut demote: Vec<(Key, IndexEntry)> = Vec::new();
+        for (key, entry) in in_range {
+            let pinned = if force || entry.tombstone {
+                false
+            } else {
+                let clock = self.tracker.clock_of(&key);
+                let decision = self.mapper.pin_decision(clock, pin_threshold, tracked);
+                decision.should_pin(self.planner.draw())
+            };
+            if !pinned {
+                demote.push((key, entry));
+            }
+        }
+
+        // 2. Read the overlapping SST files from flash.
+        let files = self.log.overlapping(start, end);
+        let flash_bytes: u64 = files.iter().map(|f| f.size_bytes()).sum();
+        if flash_bytes > 0 {
+            let t = self.flash_dev.read_sequential(flash_bytes);
+            duration += t;
+            flash_time += t;
+        }
+        let flash_entries: Vec<(Key, SstEntry)> = files
+            .iter()
+            .flat_map(|f| f.iter().map(|(k, e)| (k.clone(), e.clone())))
+            .collect();
+
+        if demote.is_empty() && flash_entries.is_empty() {
+            return Ok(CompactionOutcome::default());
+        }
+
+        // 3. Merge-sort the two sorted streams.
+        duration +=
+            self.cpu.merge_per_object * (demote.len() as u64 + flash_entries.len() as u64);
+        let mut merged: Vec<(Key, SstEntry)> = Vec::new();
+        let mut promoted = 0u64;
+        let mut demoted = 0u64;
+        let mut removed_from_flash: Vec<u64> = Vec::new();
+        let mut di = 0usize;
+        let mut fi = 0usize;
+        let nvm_headroom = self.options.low_watermark;
+
+        while di < demote.len() || fi < flash_entries.len() {
+            let take_nvm = match (demote.get(di), flash_entries.get(fi)) {
+                (Some((nk, _)), Some((fk, _))) => nk <= fk,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_nvm {
+                let (key, entry) = &demote[di];
+                let same_key_on_flash = flash_entries
+                    .get(fi)
+                    .map(|(fk, _)| fk == key)
+                    .unwrap_or(false);
+                if same_key_on_flash {
+                    // The flash version is stale: it is dropped by simply
+                    // advancing past it.
+                    fi += 1;
+                }
+                if entry.tombstone {
+                    // Key is deleted everywhere once the merge completes.
+                    removed_from_flash.push(key.id());
+                } else if let Some(slot) = self.slab.peek(entry.addr) {
+                    merged.push((
+                        key.clone(),
+                        SstEntry::value(slot.value.clone(), entry.timestamp),
+                    ));
+                }
+                di += 1;
+            } else {
+                let (key, entry) = &flash_entries[fi];
+                fi += 1;
+                if entry.is_tombstone() {
+                    // Single-level log: a tombstone with no newer version can
+                    // be dropped entirely.
+                    removed_from_flash.push(key.id());
+                    continue;
+                }
+                let promote = allow_promote
+                    && !self.index.contains_key(key)
+                    && self.slab.usage().utilization() < nvm_headroom
+                    && matches!(
+                        self.mapper.pin_decision(
+                            self.tracker.clock_of(key),
+                            pin_threshold,
+                            tracked
+                        ),
+                        PinDecision::Pin
+                    );
+                if promote {
+                    let ts = self.next_ts();
+                    match self.slab.insert(key.clone(), entry.value.clone().expect("not a tombstone"), ts) {
+                        Ok((addr, cost)) => {
+                            duration += cost;
+                            self.index.insert(
+                                key.clone(),
+                                IndexEntry {
+                                    addr,
+                                    timestamp: ts,
+                                    tombstone: false,
+                                },
+                            );
+                            self.buckets.on_nvm_insert(key.id());
+                            self.buckets.on_flash_remove(key.id());
+                            self.tracker.set_location(key, false);
+                            removed_from_flash.push(key.id());
+                            promoted += 1;
+                        }
+                        Err(PrismError::CapacityExceeded { .. }) => {
+                            merged.push((key.clone(), entry.clone()));
+                        }
+                        Err(err) => return Err(err),
+                    }
+                } else {
+                    merged.push((key.clone(), entry.clone()));
+                }
+            }
+        }
+
+        // 4. Write the merged output as new SST files.
+        let (new_files, write_cost) = self.write_sst_files(&merged)?;
+        duration += write_cost;
+        flash_time += write_cost;
+
+        // 5. Apply metadata updates: demoted keys leave NVM, new flash keys
+        //    are recorded, old files are retired.
+        for (key, entry) in &demote {
+            self.slab.remove(entry.addr)?;
+            self.index.remove(key);
+            self.buckets.on_nvm_remove(key.id());
+            if !entry.tombstone {
+                self.tracker.set_location(key, true);
+                demoted += 1;
+            }
+        }
+        for (key, _) in &merged {
+            self.buckets.on_flash_insert(key.id());
+        }
+        for key_id in removed_from_flash {
+            self.buckets.on_flash_remove(key_id);
+        }
+        let old_ids: Vec<u64> = files.iter().map(|f| f.id()).collect();
+        for id in &old_ids {
+            self.manifest.remove_file(*id)?;
+        }
+        let _retired = self.log.install(&old_ids, new_files.clone());
+        for file in &new_files {
+            self.manifest.add_file(file.clone())?;
+        }
+        drop(files);
+        self.manifest.collect_garbage(&self.flash_dev);
+
+        Ok(CompactionOutcome {
+            duration,
+            flash_time,
+            demoted,
+            promoted,
+        })
+    }
+
+    fn write_sst_files(
+        &mut self,
+        merged: &[(Key, SstEntry)],
+    ) -> Result<(Vec<Arc<SstFile>>, Nanos)> {
+        let mut files = Vec::new();
+        let mut cost = Nanos::ZERO;
+        if merged.is_empty() {
+            return Ok((files, cost));
+        }
+        let target = self.options.sst_target_bytes;
+        let mut builder = SstBuilder::new(self.manifest.allocate_file_id());
+        for (key, entry) in merged {
+            builder.add(key.clone(), entry.clone());
+            if builder.size_bytes() >= target {
+                let (file, c) = builder.finish(&self.flash_dev);
+                cost += c;
+                files.push(Arc::new(file));
+                builder = SstBuilder::new(self.manifest.allocate_file_id());
+            }
+        }
+        if !builder.is_empty() {
+            let (file, c) = builder.finish(&self.flash_dev);
+            cost += c;
+            files.push(Arc::new(file));
+        }
+        Ok((files, cost))
+    }
+
+    // ------------------------------------------------------------------
+    // Crash recovery
+    // ------------------------------------------------------------------
+
+    /// Simulate a crash (losing all DRAM state) followed by recovery: the
+    /// B-tree index is rebuilt from a scan of the NVM slabs, keeping only
+    /// the newest timestamp per key, and the bucket map is reconstructed
+    /// from the slab scan plus the flash manifest. Returns the simulated
+    /// recovery time.
+    pub(crate) fn crash_and_recover(&mut self) -> Nanos {
+        self.cache.clear();
+        self.index.clear();
+        let tracker_capacity =
+            (self.options.tracker_capacity() / self.options.num_partitions).max(8);
+        self.tracker = ClockTracker::new(tracker_capacity);
+        self.mapper = Mapper::new();
+        self.buckets = BucketMap::new(self.options.compaction.bucket_size_keys);
+
+        let cost = self.slab.recovery_scan_cost();
+        let mut newest: std::collections::HashMap<Key, (NvmAddress, u64, bool)> =
+            std::collections::HashMap::new();
+        let mut max_ts = 0u64;
+        for (addr, slot) in self.slab.scan() {
+            max_ts = max_ts.max(slot.timestamp);
+            let tombstone = slot.value.is_empty();
+            match newest.get(&slot.key) {
+                Some((_, ts, _)) if *ts >= slot.timestamp => {}
+                _ => {
+                    newest.insert(slot.key.clone(), (addr, slot.timestamp, tombstone));
+                }
+            }
+        }
+        for (key, (addr, timestamp, tombstone)) in newest {
+            self.buckets.on_nvm_insert(key.id());
+            self.index.insert(
+                key,
+                IndexEntry {
+                    addr,
+                    timestamp,
+                    tombstone,
+                },
+            );
+        }
+        for (key, _) in self.log.iter() {
+            self.buckets.on_flash_insert(key.id());
+        }
+        self.next_timestamp = max_ts + 1;
+        self.fg += cost;
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_storage::DeviceProfile;
+
+    fn small_options(keys: u64) -> Arc<Options> {
+        let mut options = Options::scaled_default(keys);
+        options.num_partitions = 1;
+        options.compaction.bucket_size_keys = 256;
+        options.sst_target_bytes = 32 * 1024;
+        Arc::new(options)
+    }
+
+    fn storage_for(options: &Options) -> TieredStorage {
+        TieredStorage::new(
+            DeviceProfile::optane_nvm(options.nvm_capacity_bytes),
+            options.flash_profile,
+        )
+    }
+
+    fn partition(keys: u64) -> Partition {
+        let options = small_options(keys);
+        let storage = storage_for(&options);
+        Partition::new(0, options, &storage).unwrap()
+    }
+
+    #[test]
+    fn put_get_roundtrip_served_from_nvm_then_dram() {
+        let mut p = partition(1000);
+        p.put(Key::from_id(1), Value::filled(500, 7)).unwrap();
+        // First read comes from NVM, second from the DRAM cache.
+        let first = p.get(&Key::from_id(1)).unwrap();
+        assert_eq!(first.source, ReadSource::Nvm);
+        assert_eq!(first.value.unwrap().len(), 500);
+        let second = p.get(&Key::from_id(1)).unwrap();
+        assert_eq!(second.source, ReadSource::Dram);
+        assert!(second.latency < first.latency);
+        let missing = p.get(&Key::from_id(999)).unwrap();
+        assert!(missing.value.is_none());
+        assert_eq!(missing.source, ReadSource::NotFound);
+    }
+
+    #[test]
+    fn updates_are_in_place_and_latest_version_wins() {
+        let mut p = partition(1000);
+        p.put(Key::from_id(5), Value::filled(200, 1)).unwrap();
+        p.put(Key::from_id(5), Value::filled(210, 2)).unwrap();
+        let got = p.get(&Key::from_id(5)).unwrap();
+        assert_eq!(got.value.unwrap().as_bytes()[0], 2);
+        assert_eq!(p.nvm_object_count(), 1);
+    }
+
+    #[test]
+    fn filling_nvm_triggers_demotion_to_flash() {
+        let keys = 4_000u64;
+        let mut p = partition(keys);
+        for id in 0..keys {
+            p.put(Key::from_id(id), Value::filled(1000, 1)).unwrap();
+        }
+        assert!(
+            p.flash_object_count() > 0,
+            "cold objects must have been demoted to flash"
+        );
+        assert!(p.nvm_utilization() <= 1.0);
+        assert!(p.stats().compaction.jobs > 0);
+        assert!(p.stats().compaction.demoted_objects > 0);
+        // Every key must still be readable (from NVM or flash).
+        for id in (0..keys).step_by(97) {
+            let got = p.get(&Key::from_id(id)).unwrap();
+            assert!(got.value.is_some(), "key {id} lost after compaction");
+        }
+    }
+
+    #[test]
+    fn hot_keys_stay_on_nvm_after_compactions() {
+        let keys = 4_000u64;
+        let mut p = partition(keys);
+        // Load everything once.
+        for id in 0..keys {
+            p.put(Key::from_id(id), Value::filled(1000, 1)).unwrap();
+        }
+        // Make keys 0..50 hot with repeated reads and updates.
+        for _ in 0..20 {
+            for id in 0..50u64 {
+                p.get(&Key::from_id(id)).unwrap();
+                p.put(Key::from_id(id), Value::filled(1000, 2)).unwrap();
+            }
+            // Interleave cold inserts to force more compactions.
+            for id in 0..200u64 {
+                p.put(Key::from_id(keys + id), Value::filled(1000, 3)).unwrap();
+            }
+        }
+        let mut hot_from_fast = 0;
+        for id in 0..50u64 {
+            let got = p.get(&Key::from_id(id)).unwrap();
+            if got.source != ReadSource::Flash {
+                hot_from_fast += 1;
+            }
+        }
+        assert!(
+            hot_from_fast >= 40,
+            "most hot keys should be served from DRAM/NVM, got {hot_from_fast}/50"
+        );
+    }
+
+    #[test]
+    fn delete_hides_flash_versions_via_tombstones() {
+        let keys = 3_000u64;
+        let mut p = partition(keys);
+        for id in 0..keys {
+            p.put(Key::from_id(id), Value::filled(1000, 1)).unwrap();
+        }
+        assert!(p.flash_object_count() > 0);
+        // Delete a key that was demoted to flash.
+        let victim = (0..keys)
+            .find(|id| !p.index.contains_key(&Key::from_id(*id)))
+            .expect("some key lives only on flash");
+        p.delete(&Key::from_id(victim)).unwrap();
+        let got = p.get(&Key::from_id(victim)).unwrap();
+        assert!(got.value.is_none(), "deleted key must not be readable");
+        // Deleting an NVM-only key removes it immediately.
+        let nvm_key = (0..keys)
+            .find(|id| {
+                p.index
+                    .get(&Key::from_id(*id))
+                    .map(|e| !e.tombstone)
+                    .unwrap_or(false)
+            })
+            .expect("some key lives on NVM");
+        p.delete(&Key::from_id(nvm_key)).unwrap();
+        assert!(p.get(&Key::from_id(nvm_key)).unwrap().value.is_none());
+    }
+
+    #[test]
+    fn scan_merges_nvm_and_flash_in_order() {
+        let keys = 3_000u64;
+        let mut p = partition(keys);
+        for id in 0..keys {
+            p.put(Key::from_id(id), Value::filled(500, (id % 251) as u8)).unwrap();
+        }
+        let (entries, cost) = p.scan_collect(&Key::from_id(100), 50).unwrap();
+        assert_eq!(entries.len(), 50);
+        let ids: Vec<u64> = entries.iter().map(|(k, _)| k.id()).collect();
+        let expected: Vec<u64> = (100..150).collect();
+        assert_eq!(ids, expected);
+        assert!(cost > Nanos::ZERO);
+    }
+
+    #[test]
+    fn crash_recovery_rebuilds_index_from_slabs() {
+        let keys = 2_000u64;
+        let mut p = partition(keys);
+        for id in 0..keys {
+            p.put(Key::from_id(id), Value::filled(800, 1)).unwrap();
+        }
+        p.put(Key::from_id(3), Value::filled(800, 42)).unwrap();
+        let nvm_before = p.nvm_object_count();
+        let flash_before = p.flash_object_count();
+        let cost = p.crash_and_recover();
+        assert!(cost > Nanos::ZERO);
+        assert_eq!(p.nvm_object_count(), nvm_before);
+        assert_eq!(p.flash_object_count(), flash_before);
+        for id in (0..keys).step_by(53) {
+            assert!(p.get(&Key::from_id(id)).unwrap().value.is_some());
+        }
+        assert_eq!(
+            p.get(&Key::from_id(3)).unwrap().value.unwrap().as_bytes()[0],
+            42
+        );
+    }
+
+    #[test]
+    fn compaction_stats_and_write_stalls_accumulate_under_pressure() {
+        let keys = 3_000u64;
+        let mut p = partition(keys);
+        for round in 0..3u64 {
+            for id in 0..keys {
+                p.put(Key::from_id(id), Value::filled(1000, round as u8)).unwrap();
+            }
+        }
+        let stats = p.stats();
+        assert!(stats.compaction.jobs > 0);
+        assert!(stats.compaction.total_time > Nanos::ZERO);
+        assert!(stats.user_bytes_written >= keys * 1000);
+        assert!(p.elapsed() >= p.fg);
+    }
+}

@@ -1,0 +1,405 @@
+//! Sorted String Table (SST) files.
+
+use std::sync::Arc;
+
+use prism_storage::Device;
+use prism_types::{Key, Nanos, Value};
+
+use crate::bloom::BloomFilter;
+
+/// Target size of one SST data block.
+pub const BLOCK_SIZE: usize = 4096;
+
+/// Identifier of an SST file, unique within one engine.
+pub type FileId = u64;
+
+/// One record stored in an SST file.
+///
+/// A record is either a value with its logical timestamp, or a delete
+/// tombstone (written when a deleted key's latest version lives on flash).
+#[derive(Debug, Clone)]
+pub struct SstEntry {
+    /// The stored value; `None` marks a tombstone.
+    pub value: Option<Value>,
+    /// Logical timestamp of the version.
+    pub timestamp: u64,
+}
+
+impl SstEntry {
+    /// A live value entry.
+    pub fn value(value: Value, timestamp: u64) -> Self {
+        SstEntry {
+            value: Some(value),
+            timestamp,
+        }
+    }
+
+    /// A delete tombstone.
+    pub fn tombstone(timestamp: u64) -> Self {
+        SstEntry {
+            value: None,
+            timestamp,
+        }
+    }
+
+    /// True if this entry is a tombstone.
+    pub fn is_tombstone(&self) -> bool {
+        self.value.is_none()
+    }
+
+    /// Size in bytes this entry contributes to a data block.
+    pub fn encoded_size(&self, key: &Key) -> usize {
+        key.len() + self.value.as_ref().map(Value::len).unwrap_or(0) + 16
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BlockMeta {
+    first_key: Key,
+    start: usize,
+    len: usize,
+    bytes: u64,
+}
+
+/// Result of probing an SST file for a key.
+///
+/// The probe itself does not charge device time; the caller decides which
+/// device (and which tier) pays for the index/filter lookup and the data
+/// block read, because PrismDB keeps the index and filter on NVM while the
+/// LSM baselines keep them in the block cache.
+#[derive(Debug, Clone)]
+pub struct BlockProbe {
+    /// The entry, if the key is present in the file.
+    pub entry: Option<SstEntry>,
+    /// True if the bloom filter could not rule the key out (so an index and
+    /// data-block access was required).
+    pub may_contain: bool,
+    /// Bytes of data block that had to be read from flash (0 when the bloom
+    /// filter rejected the key).
+    pub data_block_bytes: u64,
+}
+
+/// An immutable sorted file of key-value entries, made of ~4 KB blocks with
+/// a per-file block index and bloom filter.
+#[derive(Debug)]
+pub struct SstFile {
+    id: FileId,
+    entries: Vec<(Key, SstEntry)>,
+    blocks: Vec<BlockMeta>,
+    bloom: BloomFilter,
+    total_bytes: u64,
+}
+
+impl SstFile {
+    /// File identifier.
+    pub fn id(&self) -> FileId {
+        self.id
+    }
+
+    /// Smallest key in the file.
+    pub fn min_key(&self) -> &Key {
+        &self.entries.first().expect("SST files are never empty").0
+    }
+
+    /// Largest key in the file.
+    pub fn max_key(&self) -> &Key {
+        &self.entries.last().expect("SST files are never empty").0
+    }
+
+    /// Number of entries in the file.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// SST files are never empty, but the conventional check is provided.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total bytes of encoded data blocks.
+    pub fn size_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Bytes of index + filter metadata (stored on NVM in PrismDB).
+    pub fn metadata_bytes(&self) -> u64 {
+        (self.blocks.len() * 32 + self.bloom.size_bytes()) as u64
+    }
+
+    /// True if `key` falls within the file's key range.
+    pub fn covers(&self, key: &Key) -> bool {
+        key >= self.min_key() && key <= self.max_key()
+    }
+
+    /// True if the file's key range overlaps `[start, end]`.
+    pub fn overlaps(&self, start: &Key, end: &Key) -> bool {
+        self.min_key() <= end && self.max_key() >= start
+    }
+
+    /// Probe the file for `key`: bloom filter, then block index, then a
+    /// binary search within the data block.
+    pub fn probe(&self, key: &Key) -> BlockProbe {
+        if !self.bloom.may_contain(key) {
+            return BlockProbe {
+                entry: None,
+                may_contain: false,
+                data_block_bytes: 0,
+            };
+        }
+        // Find the block whose first key is <= key.
+        let block_idx = match self.blocks.partition_point(|b| &b.first_key <= key) {
+            0 => {
+                return BlockProbe {
+                    entry: None,
+                    may_contain: true,
+                    data_block_bytes: 0,
+                }
+            }
+            n => n - 1,
+        };
+        let block = &self.blocks[block_idx];
+        let slice = &self.entries[block.start..block.start + block.len];
+        let entry = slice
+            .binary_search_by(|(k, _)| k.cmp(key))
+            .ok()
+            .map(|i| slice[i].1.clone());
+        BlockProbe {
+            entry,
+            may_contain: true,
+            data_block_bytes: block.bytes,
+        }
+    }
+
+    /// Iterate over all entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = &(Key, SstEntry)> {
+        self.entries.iter()
+    }
+
+    /// Iterate over entries with keys in `[start, end]` (inclusive).
+    pub fn range(&self, start: &Key, end: &Key) -> impl Iterator<Item = &(Key, SstEntry)> {
+        let lo = self.entries.partition_point(|(k, _)| k < start);
+        let hi = self.entries.partition_point(|(k, _)| k <= end);
+        self.entries[lo..hi].iter()
+    }
+
+    /// Number of entries with keys in `[start, end]` (inclusive), without
+    /// iterating.
+    pub fn count_in_range(&self, start: &Key, end: &Key) -> usize {
+        let lo = self.entries.partition_point(|(k, _)| k < start);
+        let hi = self.entries.partition_point(|(k, _)| k <= end);
+        hi - lo
+    }
+}
+
+/// Builder producing an [`SstFile`] from entries added in ascending key
+/// order.
+#[derive(Debug)]
+pub struct SstBuilder {
+    id: FileId,
+    entries: Vec<(Key, SstEntry)>,
+    bytes: u64,
+}
+
+impl SstBuilder {
+    /// Start building file `id`.
+    pub fn new(id: FileId) -> Self {
+        SstBuilder {
+            id,
+            entries: Vec::new(),
+            bytes: 0,
+        }
+    }
+
+    /// Append an entry. Keys must be added in strictly ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if keys are added out of order.
+    pub fn add(&mut self, key: Key, entry: SstEntry) {
+        debug_assert!(
+            self.entries.last().map(|(k, _)| k < &key).unwrap_or(true),
+            "SST entries must be added in ascending key order"
+        );
+        self.bytes += entry.encoded_size(&key) as u64;
+        self.entries.push((key, entry));
+    }
+
+    /// Number of entries added so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been added.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Estimated encoded size so far.
+    pub fn size_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Finish the file, charging one sequential flash write of its full
+    /// size to `device` and returning the file plus the simulated cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no entries were added; callers must not create empty SSTs.
+    pub fn finish(self, device: &Arc<Device>) -> (SstFile, Nanos) {
+        assert!(!self.entries.is_empty(), "cannot build an empty SST file");
+        let mut blocks = Vec::new();
+        let mut block_start = 0usize;
+        let mut block_bytes = 0u64;
+        let mut bloom = BloomFilter::new(self.entries.len(), 10);
+        for (i, (key, entry)) in self.entries.iter().enumerate() {
+            bloom.add(key);
+            let sz = entry.encoded_size(key) as u64;
+            if block_bytes + sz > BLOCK_SIZE as u64 && i > block_start {
+                blocks.push(BlockMeta {
+                    first_key: self.entries[block_start].0.clone(),
+                    start: block_start,
+                    len: i - block_start,
+                    bytes: block_bytes,
+                });
+                block_start = i;
+                block_bytes = 0;
+            }
+            block_bytes += sz;
+        }
+        blocks.push(BlockMeta {
+            first_key: self.entries[block_start].0.clone(),
+            start: block_start,
+            len: self.entries.len() - block_start,
+            bytes: block_bytes,
+        });
+        let total_bytes = self.bytes;
+        let cost = device.write_sequential(total_bytes);
+        device.allocate(total_bytes);
+        (
+            SstFile {
+                id: self.id,
+                entries: self.entries,
+                blocks,
+                bloom,
+                total_bytes,
+            },
+            cost,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_storage::DeviceProfile;
+
+    fn flash() -> Arc<Device> {
+        Arc::new(Device::new(DeviceProfile::qlc_flash(1 << 30)))
+    }
+
+    fn build_file(ids: &[u64]) -> SstFile {
+        let dev = flash();
+        let mut b = SstBuilder::new(1);
+        for &id in ids {
+            b.add(Key::from_id(id), SstEntry::value(Value::filled(100, id as u8), id));
+        }
+        b.finish(&dev).0
+    }
+
+    #[test]
+    fn probe_finds_present_and_rejects_absent() {
+        let ids: Vec<u64> = (0..500).map(|i| i * 2).collect();
+        let sst = build_file(&ids);
+        assert_eq!(sst.len(), 500);
+        assert_eq!(sst.min_key().id(), 0);
+        assert_eq!(sst.max_key().id(), 998);
+        let hit = sst.probe(&Key::from_id(424));
+        assert!(hit.entry.is_some());
+        assert!(hit.data_block_bytes > 0);
+        let miss = sst.probe(&Key::from_id(423));
+        assert!(miss.entry.is_none());
+    }
+
+    #[test]
+    fn bloom_avoids_block_reads_for_most_absent_keys() {
+        let ids: Vec<u64> = (0..2000).collect();
+        let sst = build_file(&ids);
+        let mut skipped = 0;
+        let mut total = 0;
+        for id in 10_000..12_000u64 {
+            total += 1;
+            if !sst.probe(&Key::from_id(id)).may_contain {
+                skipped += 1;
+            }
+        }
+        assert!(
+            skipped as f64 / total as f64 > 0.95,
+            "bloom should reject most absent keys, rejected {skipped}/{total}"
+        );
+    }
+
+    #[test]
+    fn blocks_are_about_4k() {
+        let ids: Vec<u64> = (0..1000).collect();
+        let sst = build_file(&ids);
+        // 100-byte values + overhead: roughly 30+ entries per 4 KB block.
+        let blocks = sst.size_bytes() / BLOCK_SIZE as u64;
+        let probe = sst.probe(&Key::from_id(500));
+        assert!(probe.data_block_bytes <= BLOCK_SIZE as u64 + 200);
+        assert!(blocks >= 20, "expected many blocks, got {blocks}");
+    }
+
+    #[test]
+    fn range_and_count() {
+        let ids: Vec<u64> = (0..100).map(|i| i * 10).collect();
+        let sst = build_file(&ids);
+        let in_range: Vec<u64> = sst
+            .range(&Key::from_id(95), &Key::from_id(250))
+            .map(|(k, _)| k.id())
+            .collect();
+        assert_eq!(in_range, vec![100, 110, 120, 130, 140, 150, 160, 170, 180, 190, 200, 210, 220, 230, 240, 250]);
+        assert_eq!(
+            sst.count_in_range(&Key::from_id(95), &Key::from_id(250)),
+            in_range.len()
+        );
+        assert!(sst.covers(&Key::from_id(500)));
+        assert!(!sst.covers(&Key::from_id(5000)));
+        assert!(sst.overlaps(&Key::from_id(900), &Key::from_id(2000)));
+        assert!(!sst.overlaps(&Key::from_id(1000), &Key::from_id(2000)));
+    }
+
+    #[test]
+    fn tombstones_round_trip() {
+        let dev = flash();
+        let mut b = SstBuilder::new(3);
+        b.add(Key::from_id(1), SstEntry::value(Value::filled(10, 0), 5));
+        b.add(Key::from_id(2), SstEntry::tombstone(6));
+        let (sst, _) = b.finish(&dev);
+        assert!(!sst.probe(&Key::from_id(1)).entry.unwrap().is_tombstone());
+        assert!(sst.probe(&Key::from_id(2)).entry.unwrap().is_tombstone());
+    }
+
+    #[test]
+    fn finish_charges_sequential_write_and_allocates() {
+        let dev = flash();
+        let mut b = SstBuilder::new(9);
+        for id in 0..100u64 {
+            b.add(Key::from_id(id), SstEntry::value(Value::filled(1000, 0), id));
+        }
+        let expected_bytes = b.size_bytes();
+        let (sst, cost) = b.finish(&dev);
+        assert_eq!(sst.size_bytes(), expected_bytes);
+        assert!(cost > Nanos::ZERO);
+        assert_eq!(dev.counters().as_tier_io().bytes_written, expected_bytes);
+        assert_eq!(dev.used_bytes(), expected_bytes);
+        assert!(sst.metadata_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty SST")]
+    fn empty_builder_panics() {
+        let dev = flash();
+        let b = SstBuilder::new(1);
+        let _ = b.finish(&dev);
+    }
+}

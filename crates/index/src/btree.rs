@@ -1,0 +1,505 @@
+//! B+-tree implementation backing [`BTreeIndex`].
+
+const DEFAULT_ORDER: usize = 32;
+const MIN_ORDER: usize = 4;
+
+#[derive(Debug, Clone)]
+enum Node<K, V> {
+    Leaf {
+        keys: Vec<K>,
+        vals: Vec<V>,
+    },
+    Internal {
+        /// Routing separators; `children[i]` holds keys `< keys[i]`,
+        /// `children[i + 1]` holds keys `>= keys[i]`.
+        keys: Vec<K>,
+        children: Vec<Node<K, V>>,
+    },
+}
+
+impl<K: Ord + Clone, V> Node<K, V> {
+    fn new_leaf() -> Self {
+        Node::Leaf {
+            keys: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+}
+
+/// An ordered in-memory index mapping keys to values.
+///
+/// See the crate-level documentation for the role this plays in PrismDB.
+/// The tree stores values only in leaf nodes (B+-tree layout), splits nodes
+/// at a configurable order, and performs lazy deletion.
+#[derive(Debug, Clone)]
+pub struct BTreeIndex<K, V> {
+    root: Node<K, V>,
+    len: usize,
+    order: usize,
+}
+
+impl<K: Ord + Clone, V> Default for BTreeIndex<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+enum InsertResult<K, V> {
+    Done(Option<V>),
+    Split {
+        replaced: Option<V>,
+        separator: K,
+        right: Node<K, V>,
+    },
+}
+
+impl<K: Ord + Clone, V> BTreeIndex<K, V> {
+    /// Create an empty index with the default node order (32 keys/node).
+    pub fn new() -> Self {
+        Self::with_order(DEFAULT_ORDER)
+    }
+
+    /// Create an empty index whose nodes hold at most `order` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order < 4`; smaller orders cannot split meaningfully.
+    pub fn with_order(order: usize) -> Self {
+        assert!(order >= MIN_ORDER, "B-tree order must be at least {MIN_ORDER}");
+        BTreeIndex {
+            root: Node::new_leaf(),
+            len: 0,
+            order,
+        }
+    }
+
+    /// Number of key-value pairs in the index.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { keys, vals } => {
+                    return keys.binary_search(key).ok().map(|i| &vals[i]);
+                }
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|sep| sep <= key);
+                    node = &children[idx];
+                }
+            }
+        }
+    }
+
+    /// Look up a key and return a mutable reference to its value.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let mut node = &mut self.root;
+        loop {
+            match node {
+                Node::Leaf { keys, vals } => {
+                    return keys.binary_search(key).ok().map(|i| &mut vals[i]);
+                }
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|sep| sep <= key);
+                    node = &mut children[idx];
+                }
+            }
+        }
+    }
+
+    /// True if the index contains `key`.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Insert a key-value pair, returning the previous value if the key was
+    /// already present.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let order = self.order;
+        match Self::insert_into(&mut self.root, key, value, order) {
+            InsertResult::Done(replaced) => {
+                if replaced.is_none() {
+                    self.len += 1;
+                }
+                replaced
+            }
+            InsertResult::Split {
+                replaced,
+                separator,
+                right,
+            } => {
+                if replaced.is_none() {
+                    self.len += 1;
+                }
+                let old_root = std::mem::replace(&mut self.root, Node::new_leaf());
+                self.root = Node::Internal {
+                    keys: vec![separator],
+                    children: vec![old_root, right],
+                };
+                replaced
+            }
+        }
+    }
+
+    fn insert_into(node: &mut Node<K, V>, key: K, value: V, order: usize) -> InsertResult<K, V> {
+        match node {
+            Node::Leaf { keys, vals } => {
+                let replaced = match keys.binary_search(&key) {
+                    Ok(i) => Some(std::mem::replace(&mut vals[i], value)),
+                    Err(i) => {
+                        keys.insert(i, key);
+                        vals.insert(i, value);
+                        None
+                    }
+                };
+                if keys.len() > order {
+                    let mid = keys.len() / 2;
+                    let right_keys = keys.split_off(mid);
+                    let right_vals = vals.split_off(mid);
+                    let separator = right_keys[0].clone();
+                    InsertResult::Split {
+                        replaced,
+                        separator,
+                        right: Node::Leaf {
+                            keys: right_keys,
+                            vals: right_vals,
+                        },
+                    }
+                } else {
+                    InsertResult::Done(replaced)
+                }
+            }
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|sep| sep <= &key);
+                match Self::insert_into(&mut children[idx], key, value, order) {
+                    InsertResult::Done(replaced) => InsertResult::Done(replaced),
+                    InsertResult::Split {
+                        replaced,
+                        separator,
+                        right,
+                    } => {
+                        keys.insert(idx, separator);
+                        children.insert(idx + 1, right);
+                        if keys.len() > order {
+                            let mid = keys.len() / 2;
+                            let promote = keys[mid].clone();
+                            let right_keys = keys.split_off(mid + 1);
+                            keys.pop();
+                            let right_children = children.split_off(mid + 1);
+                            InsertResult::Split {
+                                replaced,
+                                separator: promote,
+                                right: Node::Internal {
+                                    keys: right_keys,
+                                    children: right_children,
+                                },
+                            }
+                        } else {
+                            InsertResult::Done(replaced)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Remove a key, returning its value if it was present.
+    ///
+    /// Removal is lazy: the entry is deleted from its leaf but nodes are not
+    /// rebalanced or merged, so the tree height never decreases. This trades
+    /// a small memory overhead for very cheap bulk removals, which is the
+    /// pattern compactions produce (removing an entire demoted key range).
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let mut node = &mut self.root;
+        loop {
+            match node {
+                Node::Leaf { keys, vals } => {
+                    return match keys.binary_search(key) {
+                        Ok(i) => {
+                            keys.remove(i);
+                            let removed = vals.remove(i);
+                            self.len -= 1;
+                            Some(removed)
+                        }
+                        Err(_) => None,
+                    };
+                }
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|sep| sep <= key);
+                    node = &mut children[idx];
+                }
+            }
+        }
+    }
+
+    /// Iterate over all entries in ascending key order.
+    pub fn iter(&self) -> Range<'_, K, V> {
+        Range::new(&self.root, None, None)
+    }
+
+    /// Iterate over entries with keys `>= start`, ascending.
+    pub fn range_from<'a>(&'a self, start: &K) -> Range<'a, K, V> {
+        Range::new(&self.root, Some(start), None)
+    }
+
+    /// Iterate over entries with keys in `[start, end)`, ascending.
+    pub fn range<'a>(&'a self, start: &K, end: &K) -> Range<'a, K, V> {
+        Range::new(&self.root, Some(start), Some(end.clone()))
+    }
+
+    /// The smallest key in the index, if any.
+    pub fn first_key(&self) -> Option<&K> {
+        self.iter().next().map(|(k, _)| k)
+    }
+
+    /// The largest key in the index, if any.
+    pub fn last_key(&self) -> Option<&K> {
+        let node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { keys, .. } => return keys.last(),
+                Node::Internal { children, .. } => {
+                    // The rightmost subtree may be empty after lazy deletes,
+                    // so fall back to scanning if needed.
+                    let mut idx = children.len();
+                    loop {
+                        if idx == 0 {
+                            return None;
+                        }
+                        idx -= 1;
+                        if let Some(k) = Self::last_key_of(&children[idx]) {
+                            return Some(k);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn last_key_of(node: &Node<K, V>) -> Option<&K> {
+        match node {
+            Node::Leaf { keys, .. } => keys.last(),
+            Node::Internal { children, .. } => {
+                for child in children.iter().rev() {
+                    if let Some(k) = Self::last_key_of(child) {
+                        return Some(k);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Remove every entry.
+    pub fn clear(&mut self) {
+        self.root = Node::new_leaf();
+        self.len = 0;
+    }
+}
+
+struct Frame<'a, K, V> {
+    node: &'a Node<K, V>,
+    idx: usize,
+}
+
+/// Ascending iterator over a key range of a [`BTreeIndex`].
+pub struct Range<'a, K, V> {
+    stack: Vec<Frame<'a, K, V>>,
+    end: Option<K>,
+}
+
+impl<'a, K: Ord + Clone, V> Range<'a, K, V> {
+    fn new(root: &'a Node<K, V>, start: Option<&K>, end: Option<K>) -> Self {
+        let mut stack = Vec::new();
+        let mut node = root;
+        loop {
+            match node {
+                Node::Internal { keys, children } => {
+                    let idx = match start {
+                        Some(s) => keys.partition_point(|sep| sep <= s),
+                        None => 0,
+                    };
+                    stack.push(Frame { node, idx: idx + 1 });
+                    node = &children[idx];
+                }
+                Node::Leaf { keys, .. } => {
+                    let idx = match start {
+                        Some(s) => keys.partition_point(|k| k < s),
+                        None => 0,
+                    };
+                    stack.push(Frame { node, idx });
+                    break;
+                }
+            }
+        }
+        Range { stack, end }
+    }
+}
+
+impl<'a, K: Ord + Clone, V> Iterator for Range<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let (node, idx) = {
+                let frame = self.stack.last()?;
+                (frame.node, frame.idx)
+            };
+            match node {
+                Node::Leaf { keys, vals } => {
+                    if idx < keys.len() {
+                        self.stack.last_mut().expect("frame present").idx += 1;
+                        let key = &keys[idx];
+                        if let Some(end) = &self.end {
+                            if key >= end {
+                                self.stack.clear();
+                                return None;
+                            }
+                        }
+                        return Some((key, &vals[idx]));
+                    }
+                    self.stack.pop();
+                }
+                Node::Internal { children, .. } => {
+                    if idx < children.len() {
+                        self.stack.last_mut().expect("frame present").idx += 1;
+                        self.stack.push(Frame {
+                            node: &children[idx],
+                            idx: 0,
+                        });
+                    } else {
+                        self.stack.pop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_and_replace() {
+        let mut t = BTreeIndex::with_order(4);
+        assert!(t.is_empty());
+        assert_eq!(t.insert(10, "a"), None);
+        assert_eq!(t.insert(20, "b"), None);
+        assert_eq!(t.insert(10, "c"), Some("a"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&10), Some(&"c"));
+        assert_eq!(t.get(&20), Some(&"b"));
+        assert_eq!(t.get(&30), None);
+        assert!(t.contains_key(&20));
+    }
+
+    #[test]
+    fn splits_maintain_order_across_many_inserts() {
+        let mut t = BTreeIndex::with_order(4);
+        let n = 2_000u64;
+        for i in 0..n {
+            // Insert in a scrambled order to exercise splits on both sides.
+            let key = (i * 7919) % n;
+            t.insert(key, key * 2);
+        }
+        assert_eq!(t.len() as u64, n);
+        let collected: Vec<u64> = t.iter().map(|(k, _)| *k).collect();
+        let expected: Vec<u64> = (0..n).collect();
+        assert_eq!(collected, expected);
+        for i in (0..n).step_by(97) {
+            assert_eq!(t.get(&i), Some(&(i * 2)));
+        }
+    }
+
+    #[test]
+    fn remove_returns_values_and_shrinks_len() {
+        let mut t = BTreeIndex::with_order(4);
+        for i in 0..100u64 {
+            t.insert(i, i);
+        }
+        for i in (0..100u64).step_by(2) {
+            assert_eq!(t.remove(&i), Some(i));
+        }
+        assert_eq!(t.remove(&2), None);
+        assert_eq!(t.len(), 50);
+        let remaining: Vec<u64> = t.iter().map(|(k, _)| *k).collect();
+        assert!(remaining.iter().all(|k| k % 2 == 1));
+        assert_eq!(remaining.len(), 50);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut t = BTreeIndex::new();
+        t.insert(5u64, 100u64);
+        *t.get_mut(&5).unwrap() += 1;
+        assert_eq!(t.get(&5), Some(&101));
+        assert!(t.get_mut(&6).is_none());
+    }
+
+    #[test]
+    fn range_from_and_bounded_range() {
+        let mut t = BTreeIndex::with_order(4);
+        for i in 0..50u64 {
+            t.insert(i * 2, i);
+        }
+        let from: Vec<u64> = t.range_from(&31).map(|(k, _)| *k).collect();
+        assert_eq!(from.first(), Some(&32));
+        assert_eq!(from.last(), Some(&98));
+        let bounded: Vec<u64> = t.range(&10, &20).map(|(k, _)| *k).collect();
+        assert_eq!(bounded, vec![10, 12, 14, 16, 18]);
+        let empty: Vec<u64> = t.range(&200, &300).map(|(k, _)| *k).collect();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn first_and_last_key() {
+        let mut t = BTreeIndex::with_order(4);
+        assert_eq!(t.first_key(), None);
+        assert_eq!(t.last_key(), None);
+        for i in [5u64, 1, 9, 3, 200, 42] {
+            t.insert(i, ());
+        }
+        assert_eq!(t.first_key(), Some(&1));
+        assert_eq!(t.last_key(), Some(&200));
+        t.remove(&200);
+        assert_eq!(t.last_key(), Some(&42));
+    }
+
+    #[test]
+    fn clear_empties_the_tree() {
+        let mut t = BTreeIndex::new();
+        for i in 0..500u64 {
+            t.insert(i, i);
+        }
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.iter().count(), 0);
+        t.insert(1, 1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be at least")]
+    fn rejects_tiny_order() {
+        let _ = BTreeIndex::<u64, ()>::with_order(2);
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let mut t: BTreeIndex<String, usize> = BTreeIndex::with_order(4);
+        for (i, name) in ["delta", "alpha", "charlie", "bravo"].iter().enumerate() {
+            t.insert((*name).to_string(), i);
+        }
+        let names: Vec<&str> = t.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "bravo", "charlie", "delta"]);
+    }
+}

@@ -1,0 +1,74 @@
+//! In-memory B-tree index.
+//!
+//! PrismDB keeps an in-memory B-tree per partition that maps every key
+//! currently stored on NVM to its slab address (§4.1 of the paper, "Google's
+//! B-tree implementation" in §6). This crate provides that index as a
+//! from-scratch B+-tree: values live only in the leaves, internal nodes hold
+//! routing separators, and deletion is lazy (keys are removed from leaves
+//! without rebalancing, which keeps bulk removals during compaction cheap
+//! while preserving `O(log n)` lookups).
+//!
+//! # Example
+//!
+//! ```
+//! use prism_index::BTreeIndex;
+//!
+//! let mut index: BTreeIndex<u64, &str> = BTreeIndex::new();
+//! index.insert(3, "c");
+//! index.insert(1, "a");
+//! index.insert(2, "b");
+//! assert_eq!(index.get(&2), Some(&"b"));
+//! let keys: Vec<u64> = index.range_from(&2).map(|(k, _)| *k).collect();
+//! assert_eq!(keys, vec![2, 3]);
+//! ```
+
+mod btree;
+
+pub use btree::{BTreeIndex, Range};
+
+#[cfg(test)]
+mod proptests {
+    use super::BTreeIndex;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    proptest! {
+        /// The B-tree behaves exactly like the standard-library ordered map
+        /// under an arbitrary interleaving of inserts, removals and lookups.
+        #[test]
+        fn matches_std_btreemap(ops in prop::collection::vec((0u8..3, 0u64..200, 0u32..1000), 0..400)) {
+            let mut ours: BTreeIndex<u64, u32> = BTreeIndex::with_order(8);
+            let mut model: BTreeMap<u64, u32> = BTreeMap::new();
+            for (op, key, value) in ops {
+                match op {
+                    0 => {
+                        prop_assert_eq!(ours.insert(key, value), model.insert(key, value));
+                    }
+                    1 => {
+                        prop_assert_eq!(ours.remove(&key), model.remove(&key));
+                    }
+                    _ => {
+                        prop_assert_eq!(ours.get(&key), model.get(&key));
+                    }
+                }
+                prop_assert_eq!(ours.len(), model.len());
+            }
+            let ours_items: Vec<(u64, u32)> = ours.iter().map(|(k, v)| (*k, *v)).collect();
+            let model_items: Vec<(u64, u32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(ours_items, model_items);
+        }
+
+        /// Range iteration from an arbitrary start key returns exactly the
+        /// suffix the standard map would return, in order.
+        #[test]
+        fn range_matches_model(keys in prop::collection::btree_set(0u64..500, 0..200), start in 0u64..500) {
+            let mut ours: BTreeIndex<u64, u64> = BTreeIndex::with_order(6);
+            for &k in &keys {
+                ours.insert(k, k * 10);
+            }
+            let got: Vec<u64> = ours.range_from(&start).map(|(k, _)| *k).collect();
+            let expected: Vec<u64> = keys.iter().copied().filter(|k| *k >= start).collect();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! A byte-bounded LRU cache used for the DRAM block cache and the optional
+//! NVM second-level cache.
+
+use std::collections::{BTreeMap, HashMap};
+
+use prism_types::{Key, Value};
+
+/// Byte-bounded least-recently-used cache of objects, standing in for
+/// RocksDB's block cache at object granularity.
+#[derive(Debug)]
+pub struct BlockCache {
+    capacity_bytes: u64,
+    used_bytes: u64,
+    tick: u64,
+    entries: HashMap<Key, (Value, u64)>,
+    order: BTreeMap<u64, Key>,
+}
+
+impl BlockCache {
+    /// Create a cache bounded to `capacity_bytes`.
+    pub fn new(capacity_bytes: u64) -> Self {
+        BlockCache {
+            capacity_bytes,
+            used_bytes: 0,
+            tick: 0,
+            entries: HashMap::new(),
+            order: BTreeMap::new(),
+        }
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a key, refreshing its recency.
+    pub fn get(&mut self, key: &Key) -> Option<Value> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (value, last) = self.entries.get_mut(key)?;
+        self.order.remove(last);
+        *last = tick;
+        self.order.insert(tick, key.clone());
+        Some(value.clone())
+    }
+
+    /// True if the key is currently cached (without refreshing recency).
+    pub fn contains(&self, key: &Key) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Insert or refresh a key.
+    pub fn insert(&mut self, key: Key, value: Value) {
+        let size = value.len() as u64;
+        if self.capacity_bytes == 0 || size > self.capacity_bytes {
+            return;
+        }
+        self.remove(&key);
+        while self.used_bytes + size > self.capacity_bytes {
+            let Some((&oldest, _)) = self.order.iter().next() else {
+                break;
+            };
+            let victim = self.order.remove(&oldest).expect("tick present");
+            if let Some((old, _)) = self.entries.remove(&victim) {
+                self.used_bytes -= old.len() as u64;
+            }
+        }
+        self.tick += 1;
+        self.used_bytes += size;
+        self.order.insert(self.tick, key.clone());
+        self.entries.insert(key, (value, self.tick));
+    }
+
+    /// Remove a key (called on writes to keep the cache coherent).
+    pub fn remove(&mut self, key: &Key) {
+        if let Some((value, tick)) = self.entries.remove(key) {
+            self.order.remove(&tick);
+            self.used_bytes -= value.len() as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut cache = BlockCache::new(300);
+        cache.insert(Key::from_id(1), Value::filled(100, 1));
+        cache.insert(Key::from_id(2), Value::filled(100, 2));
+        cache.insert(Key::from_id(3), Value::filled(100, 3));
+        cache.get(&Key::from_id(1));
+        cache.insert(Key::from_id(4), Value::filled(100, 4));
+        assert!(!cache.contains(&Key::from_id(2)));
+        assert!(cache.contains(&Key::from_id(1)));
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn remove_and_zero_capacity() {
+        let mut cache = BlockCache::new(1000);
+        cache.insert(Key::from_id(1), Value::filled(10, 0));
+        cache.remove(&Key::from_id(1));
+        assert!(cache.is_empty());
+        let mut off = BlockCache::new(0);
+        off.insert(Key::from_id(1), Value::filled(10, 0));
+        assert!(off.is_empty());
+    }
+}

@@ -1,0 +1,324 @@
+//! LSM engine configuration and the baseline presets.
+
+use prism_storage::DeviceProfile;
+use prism_types::{Nanos, PrismError, Result};
+
+/// Which storage tier a level, file or WAL lives on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// The fast NVM device.
+    Nvm,
+    /// The slow flash device (TLC or QLC).
+    Flash,
+}
+
+/// Configuration of an [`crate::LsmTree`].
+#[derive(Debug, Clone)]
+pub struct LsmConfig {
+    /// Engine name reported in experiment tables.
+    pub name: String,
+    /// Expected number of distinct keys (used only to scale defaults).
+    pub expected_keys: u64,
+    /// Memtable size that triggers a flush.
+    pub memtable_bytes: u64,
+    /// Number of L0 files that triggers an L0→L1 compaction.
+    pub l0_file_limit: usize,
+    /// Size target of L1; level `i` targets `level_base_bytes *
+    /// level_multiplier^(i-1)`.
+    pub level_base_bytes: u64,
+    /// Growth factor between levels.
+    pub level_multiplier: u64,
+    /// Number of levels (including L0).
+    pub num_levels: usize,
+    /// Device placement per level (`placement.len() == num_levels`).
+    pub placement: Vec<Tier>,
+    /// Target size of SST files written by flushes and compactions.
+    pub sst_target_bytes: u64,
+    /// DRAM block-cache capacity in bytes.
+    pub block_cache_bytes: u64,
+    /// NVM second-level cache capacity (0 disables it; used by the
+    /// `rocksdb-l2c` baseline).
+    pub l2_cache_bytes: u64,
+    /// Which tier the write-ahead log lives on.
+    pub wal_tier: Tier,
+    /// Whether every write synchronously flushes the WAL.
+    pub fsync_wal: bool,
+    /// Override for the WAL sync cost (SpanDB's SPDK logging bypasses the
+    /// kernel and costs far less than a regular fsync).
+    pub wal_sync_cost: Option<Nanos>,
+    /// Extra per-operation CPU for engines that busy-poll on I/O (SpanDB).
+    pub polling_overhead: Nanos,
+    /// Retain block-cache-hot objects on the NVM level during compactions
+    /// into flash (the paper's read-aware RocksDB prototype).
+    pub read_aware_pinning: bool,
+    /// Place whole SST files on NVM or flash by access temperature instead
+    /// of by level (Mutant).
+    pub mutant_placement: bool,
+    /// Operations between Mutant placement re-evaluations.
+    pub mutant_interval_ops: u64,
+    /// Number of concurrent client threads the paper's testbed uses (8).
+    pub clients: usize,
+    /// NVM device profile.
+    pub nvm_profile: DeviceProfile,
+    /// Flash device profile.
+    pub flash_profile: DeviceProfile,
+}
+
+impl LsmConfig {
+    fn scaled_base(name: &str, expected_keys: u64) -> Self {
+        let logical = expected_keys.max(1) * 1024;
+        let flash_capacity = logical * 3;
+        let nvm_capacity = (flash_capacity / 5).max(64 * 1024);
+        let memtable = (logical / 64).clamp(64 * 1024, 64 << 20);
+        LsmConfig {
+            name: name.to_string(),
+            expected_keys,
+            memtable_bytes: memtable,
+            l0_file_limit: 4,
+            level_base_bytes: memtable * 4,
+            level_multiplier: 10,
+            num_levels: 5,
+            placement: vec![Tier::Flash; 5],
+            sst_target_bytes: (memtable / 4).max(32 * 1024),
+            // The paper provisions DRAM at 1:10 of storage capacity and
+            // dedicates 20% of DRAM to the block cache.
+            block_cache_bytes: flash_capacity / 10 / 5,
+            l2_cache_bytes: 0,
+            wal_tier: Tier::Flash,
+            fsync_wal: false,
+            wal_sync_cost: None,
+            polling_overhead: Nanos::ZERO,
+            read_aware_pinning: false,
+            mutant_placement: false,
+            mutant_interval_ops: 5_000,
+            clients: 8,
+            nvm_profile: DeviceProfile::optane_nvm(nvm_capacity),
+            flash_profile: DeviceProfile::qlc_flash(flash_capacity),
+        }
+    }
+
+    /// RocksDB on a single storage device: every level (and the WAL) lives
+    /// on `profile`.
+    pub fn single_tier(expected_keys: u64, profile: DeviceProfile) -> Self {
+        let logical = expected_keys.max(1) * 1024;
+        let mut config = Self::scaled_base(
+            &format!("rocksdb-{}", profile.kind.label()),
+            expected_keys,
+        );
+        let tier = match profile.kind {
+            prism_storage::DeviceKind::Nvm | prism_storage::DeviceKind::Dram => Tier::Nvm,
+            _ => Tier::Flash,
+        };
+        config.placement = vec![tier; config.num_levels];
+        config.wal_tier = tier;
+        match tier {
+            Tier::Nvm => {
+                config.nvm_profile = profile;
+                config.nvm_profile.capacity_bytes = logical * 3;
+                config.flash_profile.capacity_bytes = 1;
+            }
+            Tier::Flash => {
+                config.flash_profile = profile;
+                config.flash_profile.capacity_bytes = logical * 3;
+                config.nvm_profile.capacity_bytes = 1;
+            }
+        }
+        config
+    }
+
+    /// Multi-tier RocksDB ("het"): the top levels live on NVM sized to
+    /// `nvm_fraction` of total capacity, the bottom level on QLC flash.
+    /// This mirrors the paper's L0–L3 on NVM, L4 on QLC split.
+    pub fn het(expected_keys: u64, nvm_fraction: f64) -> Self {
+        let mut config = Self::scaled_base("rocksdb-het", expected_keys);
+        let total = config.flash_profile.capacity_bytes + config.nvm_profile.capacity_bytes;
+        let nvm_capacity = ((total as f64 * nvm_fraction) as u64).max(64 * 1024);
+        config.nvm_profile.capacity_bytes = nvm_capacity;
+        config.flash_profile.capacity_bytes = total - nvm_capacity;
+        let mut placement = vec![Tier::Nvm; config.num_levels];
+        placement[config.num_levels - 1] = Tier::Flash;
+        config.placement = placement;
+        config.wal_tier = Tier::Nvm;
+        // Size the NVM-resident levels (L1..Ln-1) so together they fill at
+        // most ~90 % of the NVM device; everything beyond that spills to the
+        // flash-resident bottom level, mirroring the paper's ~89 % on QLC.
+        let nvm_levels = config.num_levels.saturating_sub(2).max(1) as u32;
+        let geometric_sum: u64 = (0..nvm_levels)
+            .map(|i| config.level_multiplier.pow(i))
+            .sum();
+        config.level_base_bytes =
+            ((nvm_capacity as f64 * 0.9) as u64 / geometric_sum.max(1)).max(16 * 1024);
+        config
+    }
+
+    /// RocksDB with NVM as a second-level read cache (`rocksdb-l2c`): all
+    /// levels and the WAL live on flash; the NVM capacity only caches
+    /// blocks for reads.
+    pub fn l2_cache(expected_keys: u64, nvm_fraction: f64) -> Self {
+        let mut config = Self::het(expected_keys, nvm_fraction);
+        config.name = "rocksdb-l2c".to_string();
+        config.placement = vec![Tier::Flash; config.num_levels];
+        config.wal_tier = Tier::Flash;
+        config.l2_cache_bytes = config.nvm_profile.capacity_bytes;
+        config
+    }
+
+    /// The paper's read-aware RocksDB prototype (`rocksdb-RA`): the het
+    /// layout plus pinned compactions that keep hot objects on the NVM
+    /// levels at the cost of extra compaction work.
+    pub fn read_aware(expected_keys: u64, nvm_fraction: f64) -> Self {
+        let mut config = Self::het(expected_keys, nvm_fraction);
+        config.name = "rocksdb-ra".to_string();
+        config.read_aware_pinning = true;
+        config
+    }
+
+    /// Mutant: SST files are placed on NVM or flash according to their
+    /// access temperature, at file granularity.
+    pub fn mutant(expected_keys: u64, nvm_fraction: f64) -> Self {
+        let mut config = Self::het(expected_keys, nvm_fraction);
+        config.name = "mutant".to_string();
+        config.placement = vec![Tier::Flash; config.num_levels];
+        config.mutant_placement = true;
+        config
+    }
+
+    /// SpanDB: het placement plus an NVM WAL written through an SPDK-style
+    /// path (cheap syncs) and CPU spent busy-polling for I/O completions.
+    pub fn spandb(expected_keys: u64, nvm_fraction: f64) -> Self {
+        let mut config = Self::het(expected_keys, nvm_fraction);
+        config.name = "spandb".to_string();
+        config.wal_tier = Tier::Nvm;
+        config.fsync_wal = true;
+        config.wal_sync_cost = Some(Nanos::from_micros(3));
+        config.polling_overhead = Nanos::from_nanos(500);
+        config
+    }
+
+    /// Enable or disable synchronous WAL flushes (Figure 13).
+    pub fn with_fsync(mut self, enabled: bool) -> Self {
+        self.fsync_wal = enabled;
+        self
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::InvalidConfig`] describing the problem.
+    pub fn validate(&self) -> Result<()> {
+        if self.num_levels < 2 {
+            return Err(PrismError::InvalidConfig(
+                "an LSM tree needs at least two levels".into(),
+            ));
+        }
+        if self.placement.len() != self.num_levels {
+            return Err(PrismError::InvalidConfig(format!(
+                "placement has {} entries for {} levels",
+                self.placement.len(),
+                self.num_levels
+            )));
+        }
+        if self.memtable_bytes == 0 || self.sst_target_bytes == 0 {
+            return Err(PrismError::InvalidConfig(
+                "memtable and SST sizes must be non-zero".into(),
+            ));
+        }
+        if self.l0_file_limit == 0 || self.level_multiplier < 2 {
+            return Err(PrismError::InvalidConfig(
+                "l0_file_limit must be >= 1 and level_multiplier >= 2".into(),
+            ));
+        }
+        if self.clients == 0 {
+            return Err(PrismError::InvalidConfig("at least one client is required".into()));
+        }
+        Ok(())
+    }
+
+    /// Blended storage cost per gigabyte of the devices this configuration
+    /// actually uses.
+    pub fn cost_per_gb(&self) -> f64 {
+        let uses_nvm = self.placement.contains(&Tier::Nvm)
+            || self.wal_tier == Tier::Nvm
+            || self.l2_cache_bytes > 0
+            || self.mutant_placement;
+        let uses_flash = self.placement.contains(&Tier::Flash) || self.mutant_placement;
+        let mut devices = Vec::new();
+        if uses_nvm {
+            devices.push((&self.nvm_profile, self.nvm_profile.capacity_bytes));
+        }
+        if uses_flash {
+            devices.push((&self.flash_profile, self.flash_profile.capacity_bytes));
+        }
+        prism_storage::blended_cost_per_gb(&devices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_storage::DeviceKind;
+
+    #[test]
+    fn het_places_top_levels_on_nvm() {
+        let config = LsmConfig::het(10_000, 0.2);
+        config.validate().unwrap();
+        assert_eq!(config.placement[0], Tier::Nvm);
+        assert_eq!(config.placement[config.num_levels - 1], Tier::Flash);
+        assert_eq!(config.wal_tier, Tier::Nvm);
+        assert!(config.nvm_profile.capacity_bytes < config.flash_profile.capacity_bytes);
+    }
+
+    #[test]
+    fn single_tier_uses_one_device() {
+        let nvm = LsmConfig::single_tier(1_000, DeviceProfile::optane_nvm(1));
+        assert!(nvm.placement.iter().all(|t| *t == Tier::Nvm));
+        assert_eq!(nvm.name, "rocksdb-nvm");
+        let qlc = LsmConfig::single_tier(1_000, DeviceProfile::qlc_flash(1));
+        assert!(qlc.placement.iter().all(|t| *t == Tier::Flash));
+        assert!(qlc.cost_per_gb() < nvm.cost_per_gb());
+        let tlc = LsmConfig::single_tier(1_000, DeviceProfile::tlc_flash(1));
+        assert_eq!(tlc.flash_profile.kind, DeviceKind::TlcNand);
+    }
+
+    #[test]
+    fn variant_presets_set_their_distinguishing_features() {
+        let l2c = LsmConfig::l2_cache(1_000, 0.2);
+        assert!(l2c.l2_cache_bytes > 0);
+        assert!(l2c.placement.iter().all(|t| *t == Tier::Flash));
+        let ra = LsmConfig::read_aware(1_000, 0.2);
+        assert!(ra.read_aware_pinning);
+        let mutant = LsmConfig::mutant(1_000, 0.2);
+        assert!(mutant.mutant_placement);
+        let spandb = LsmConfig::spandb(1_000, 0.2);
+        assert!(spandb.fsync_wal);
+        assert_eq!(spandb.wal_tier, Tier::Nvm);
+        assert!(spandb.wal_sync_cost.unwrap() < Nanos::from_micros(10));
+        assert!(spandb.polling_overhead > Nanos::ZERO);
+    }
+
+    #[test]
+    fn het_cost_sits_between_single_tiers() {
+        let qlc = LsmConfig::single_tier(1_000, DeviceProfile::qlc_flash(1)).cost_per_gb();
+        let nvm = LsmConfig::single_tier(1_000, DeviceProfile::optane_nvm(1)).cost_per_gb();
+        let het = LsmConfig::het(1_000, 0.2).cost_per_gb();
+        assert!(het > qlc && het < nvm);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut bad = LsmConfig::het(100, 0.2);
+        bad.placement.pop();
+        assert!(bad.validate().is_err());
+        let mut bad = LsmConfig::het(100, 0.2);
+        bad.memtable_bytes = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = LsmConfig::het(100, 0.2);
+        bad.clients = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = LsmConfig::het(100, 0.2);
+        bad.num_levels = 1;
+        bad.placement = vec![Tier::Nvm];
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,437 @@
+//! The per-partition collection of slab files.
+
+use std::sync::Arc;
+
+use prism_storage::Device;
+use prism_types::{Key, Nanos, PrismError, Result, Value};
+
+use crate::slab::{SlabFile, SlotEntry};
+use crate::NvmAddress;
+
+/// Maximum object size PrismDB supports (one atomically-written 4 KB page,
+/// §6 of the paper).
+pub const MAX_OBJECT_SIZE: usize = 4096;
+
+/// Configuration of a [`SlabStore`].
+#[derive(Debug, Clone)]
+pub struct SlabConfig {
+    /// Slot sizes of the slab files, ascending. An object is placed in the
+    /// smallest slab whose slot size fits it.
+    pub slot_sizes: Vec<u32>,
+    /// NVM capacity (bytes) this store may consume.
+    pub capacity_bytes: u64,
+}
+
+impl SlabConfig {
+    /// The paper's small-object configuration: size classes from 128 B up
+    /// to the 4 KB maximum, roughly doubling (100 B, 200 B, ... 1 KB in the
+    /// paper; powers of two here).
+    pub fn small_objects(capacity_bytes: u64) -> Self {
+        SlabConfig {
+            slot_sizes: vec![128, 256, 512, 1024, 2048, 4096],
+            capacity_bytes,
+        }
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.slot_sizes.is_empty() {
+            return Err(PrismError::InvalidConfig(
+                "slab store needs at least one slot size".into(),
+            ));
+        }
+        if self.slot_sizes.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(PrismError::InvalidConfig(
+                "slab slot sizes must be strictly ascending".into(),
+            ));
+        }
+        if self.slot_sizes.len() > u8::MAX as usize {
+            return Err(PrismError::InvalidConfig(
+                "at most 255 slab size classes are supported".into(),
+            ));
+        }
+        if self.capacity_bytes == 0 {
+            return Err(PrismError::InvalidConfig(
+                "slab store capacity must be non-zero".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A snapshot of slab-store space usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlabUsage {
+    /// Bytes consumed by allocated slots (live + reusable free slots).
+    pub used_bytes: u64,
+    /// Bytes consumed by live slots only (what the watermark logic cares
+    /// about, since freed slots are immediately reusable).
+    pub live_bytes: u64,
+    /// Configured capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Number of live objects.
+    pub live_objects: usize,
+}
+
+impl SlabUsage {
+    /// Live data as a fraction of configured capacity. This is the quantity
+    /// compared against the high/low watermarks (98 %/95 % in the paper).
+    pub fn utilization(&self) -> f64 {
+        self.live_bytes as f64 / self.capacity_bytes.max(1) as f64
+    }
+
+    /// Allocated slots (live + free) as a fraction of configured capacity.
+    pub fn allocated_utilization(&self) -> f64 {
+        self.used_bytes as f64 / self.capacity_bytes.max(1) as f64
+    }
+}
+
+/// The NVM object store of one partition: a set of slab files plus capacity
+/// accounting against the shared NVM device.
+#[derive(Debug)]
+pub struct SlabStore {
+    slabs: Vec<SlabFile>,
+    device: Arc<Device>,
+    capacity_bytes: u64,
+    used_bytes: u64,
+    live_slot_bytes: u64,
+    live_objects: usize,
+}
+
+impl SlabStore {
+    /// Create a slab store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::InvalidConfig`] if the configuration is
+    /// malformed (empty or non-ascending size classes, zero capacity).
+    pub fn new(config: SlabConfig, device: Arc<Device>) -> Result<Self> {
+        config.validate()?;
+        let slabs = config.slot_sizes.iter().map(|&s| SlabFile::new(s)).collect();
+        Ok(SlabStore {
+            slabs,
+            device,
+            capacity_bytes: config.capacity_bytes,
+            used_bytes: 0,
+            live_slot_bytes: 0,
+            live_objects: 0,
+        })
+    }
+
+    fn slab_for(&self, size: usize) -> Result<u8> {
+        if size > MAX_OBJECT_SIZE {
+            return Err(PrismError::ObjectTooLarge {
+                size,
+                max: MAX_OBJECT_SIZE,
+            });
+        }
+        self.slabs
+            .iter()
+            .position(|s| s.slot_size() as usize >= size)
+            .map(|i| i as u8)
+            .ok_or(PrismError::ObjectTooLarge {
+                size,
+                max: self
+                    .slabs
+                    .last()
+                    .map(|s| s.slot_size() as usize)
+                    .unwrap_or(0),
+            })
+    }
+
+    /// Insert a fresh object, returning its address and the simulated NVM
+    /// write cost.
+    ///
+    /// # Errors
+    ///
+    /// * [`PrismError::ObjectTooLarge`] if the value exceeds 4 KB.
+    /// * [`PrismError::CapacityExceeded`] if the store is full; the caller
+    ///   (the engine) is expected to trigger a compaction and retry.
+    pub fn insert(&mut self, key: Key, value: Value, timestamp: u64) -> Result<(NvmAddress, Nanos)> {
+        let slab_idx = self.slab_for(value.len())?;
+        let slot_size = self.slabs[slab_idx as usize].slot_size() as u64;
+        // Capacity is enforced against *live* bytes: freed slots are
+        // immediately reusable, and slots freed in one size class are
+        // treated as reclaimable headroom for another (a real slab
+        // allocator shrinks or repurposes slab files over time).
+        if self.live_slot_bytes + slot_size > self.capacity_bytes {
+            return Err(PrismError::CapacityExceeded {
+                tier: "nvm",
+                needed: slot_size,
+                available: self.capacity_bytes.saturating_sub(self.live_slot_bytes),
+            });
+        }
+        let reused_slot = {
+            let slab = &mut self.slabs[slab_idx as usize];
+            let before = slab.allocated_slots();
+            let slot = slab.insert(SlotEntry {
+                key,
+                value,
+                timestamp,
+            });
+            let grew = slab.allocated_slots() > before;
+            if grew {
+                self.used_bytes += slot_size;
+                self.device.allocate(slot_size);
+            }
+            slot
+        };
+        self.live_objects += 1;
+        self.live_slot_bytes += slot_size;
+        let cost = self.device.write_random(slot_size);
+        Ok((NvmAddress::new(slab_idx, reused_slot), cost))
+    }
+
+    /// Update the object at `addr`. If the new value still fits the slot's
+    /// size class the update happens in place; otherwise the object moves
+    /// to a different slab file and a new address is returned.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SlabStore::insert`], plus [`PrismError::Corruption`] if
+    /// `addr` does not refer to a live slot.
+    pub fn update(
+        &mut self,
+        addr: NvmAddress,
+        key: &Key,
+        value: Value,
+        timestamp: u64,
+    ) -> Result<(NvmAddress, Nanos)> {
+        let new_slab = self.slab_for(value.len())?;
+        if new_slab == addr.slab {
+            let slot_size = self.slabs[addr.slab as usize].slot_size() as u64;
+            let ok = self.slabs[addr.slab as usize].update_in_place(
+                addr.slot,
+                SlotEntry {
+                    key: key.clone(),
+                    value,
+                    timestamp,
+                },
+            );
+            if !ok {
+                return Err(PrismError::Corruption(format!(
+                    "update of empty nvm slot {addr}"
+                )));
+            }
+            let cost = self.device.write_random(slot_size);
+            Ok((addr, cost))
+        } else {
+            // Size class changed: the paper deletes the old slot and inserts
+            // into the new slab file. We insert first so that an
+            // out-of-space failure leaves the previous version intact, then
+            // free the old slot.
+            let inserted = self.insert(key.clone(), value, timestamp)?;
+            self.remove(addr)?;
+            Ok(inserted)
+        }
+    }
+
+    /// Read the object stored at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::Corruption`] if the address does not refer to a
+    /// live slot (a stale index entry).
+    pub fn read(&self, addr: NvmAddress) -> Result<(&SlotEntry, Nanos)> {
+        let slab = self
+            .slabs
+            .get(addr.slab as usize)
+            .ok_or_else(|| PrismError::Corruption(format!("unknown slab in address {addr}")))?;
+        let entry = slab
+            .get(addr.slot)
+            .ok_or_else(|| PrismError::Corruption(format!("read of empty nvm slot {addr}")))?;
+        let cost = self.device.read_random(slab.slot_size() as u64);
+        Ok((entry, cost))
+    }
+
+    /// Look at the object stored at `addr` without charging device time
+    /// (used by compaction planning, which the paper serves from DRAM
+    /// metadata).
+    pub fn peek(&self, addr: NvmAddress) -> Option<&SlotEntry> {
+        self.slabs.get(addr.slab as usize)?.get(addr.slot)
+    }
+
+    /// Free the slot at `addr`, returning the entry that was stored there.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::Corruption`] for a stale address.
+    pub fn remove(&mut self, addr: NvmAddress) -> Result<SlotEntry> {
+        let slab = self
+            .slabs
+            .get_mut(addr.slab as usize)
+            .ok_or_else(|| PrismError::Corruption(format!("unknown slab in address {addr}")))?;
+        let slot_size = slab.slot_size() as u64;
+        let entry = slab
+            .remove(addr.slot)
+            .ok_or_else(|| PrismError::Corruption(format!("remove of empty nvm slot {addr}")))?;
+        self.live_objects -= 1;
+        self.live_slot_bytes -= slot_size;
+        Ok(entry)
+    }
+
+    /// Space usage snapshot.
+    pub fn usage(&self) -> SlabUsage {
+        SlabUsage {
+            used_bytes: self.used_bytes,
+            live_bytes: self.live_slot_bytes,
+            capacity_bytes: self.capacity_bytes,
+            live_objects: self.live_objects,
+        }
+    }
+
+    /// Number of live objects.
+    pub fn object_count(&self) -> usize {
+        self.live_objects
+    }
+
+    /// Bytes of live object payloads (not rounded to slot sizes).
+    pub fn live_bytes(&self) -> u64 {
+        self.scan().map(|(_, e)| e.value.len() as u64).sum()
+    }
+
+    /// Iterate over every live object as `(address, entry)` — the recovery
+    /// scan the paper performs to rebuild the B-tree index after a crash.
+    pub fn scan(&self) -> impl Iterator<Item = (NvmAddress, &SlotEntry)> {
+        self.slabs.iter().enumerate().flat_map(|(slab_idx, slab)| {
+            slab.iter()
+                .map(move |(slot, entry)| (NvmAddress::new(slab_idx as u8, slot), entry))
+        })
+    }
+
+    /// The simulated cost of the recovery scan: one sequential read of all
+    /// allocated slab bytes.
+    pub fn recovery_scan_cost(&self) -> Nanos {
+        self.device.read_sequential(self.used_bytes.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_storage::DeviceProfile;
+
+    fn store(capacity: u64) -> SlabStore {
+        let device = Arc::new(Device::new(DeviceProfile::optane_nvm(capacity * 2)));
+        SlabStore::new(SlabConfig::small_objects(capacity), device).unwrap()
+    }
+
+    #[test]
+    fn insert_read_roundtrip_and_size_classes() {
+        let mut s = store(1 << 20);
+        let (a_small, _) = s.insert(Key::from_id(1), Value::filled(100, 1), 1).unwrap();
+        let (a_big, _) = s.insert(Key::from_id(2), Value::filled(3000, 2), 2).unwrap();
+        assert_eq!(a_small.slab, 0, "100B object goes to the 128B slab");
+        assert_eq!(a_big.slab, 5, "3000B object goes to the 4096B slab");
+        assert_eq!(s.read(a_small).unwrap().0.key.id(), 1);
+        assert_eq!(s.read(a_big).unwrap().0.value.len(), 3000);
+        assert_eq!(s.object_count(), 2);
+        assert_eq!(s.usage().used_bytes, 128 + 4096);
+    }
+
+    #[test]
+    fn oversized_objects_are_rejected() {
+        let mut s = store(1 << 20);
+        let err = s
+            .insert(Key::from_id(1), Value::filled(5000, 0), 1)
+            .unwrap_err();
+        assert!(matches!(err, PrismError::ObjectTooLarge { .. }));
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut s = store(1024);
+        // 1024-byte capacity fits exactly eight 128-byte slots.
+        for i in 0..8 {
+            s.insert(Key::from_id(i), Value::filled(100, 0), i).unwrap();
+        }
+        let err = s
+            .insert(Key::from_id(99), Value::filled(100, 0), 99)
+            .unwrap_err();
+        assert!(matches!(err, PrismError::CapacityExceeded { tier: "nvm", .. }));
+        // Freeing a slot makes room again without growing used bytes.
+        let addr = NvmAddress::new(0, 3);
+        s.remove(addr).unwrap();
+        s.insert(Key::from_id(99), Value::filled(100, 0), 100).unwrap();
+        assert_eq!(s.usage().used_bytes, 1024);
+    }
+
+    #[test]
+    fn in_place_update_vs_reclassified_update() {
+        let mut s = store(1 << 20);
+        let (addr, _) = s.insert(Key::from_id(7), Value::filled(200, 1), 1).unwrap();
+        let (same, _) = s
+            .update(addr, &Key::from_id(7), Value::filled(220, 2), 2)
+            .unwrap();
+        assert_eq!(same, addr, "same size class updates in place");
+        let (moved, _) = s
+            .update(addr, &Key::from_id(7), Value::filled(900, 3), 3)
+            .unwrap();
+        assert_ne!(moved.slab, addr.slab, "larger object moves slabs");
+        assert_eq!(s.object_count(), 1);
+        assert_eq!(s.read(moved).unwrap().0.timestamp, 3);
+        assert!(s.read(addr).is_err(), "old slot was freed");
+    }
+
+    #[test]
+    fn stale_addresses_are_corruption_errors() {
+        let mut s = store(1 << 20);
+        let (addr, _) = s.insert(Key::from_id(1), Value::filled(64, 0), 1).unwrap();
+        s.remove(addr).unwrap();
+        assert!(matches!(s.read(addr), Err(PrismError::Corruption(_))));
+        assert!(matches!(s.remove(addr), Err(PrismError::Corruption(_))));
+        assert!(s.peek(addr).is_none());
+    }
+
+    #[test]
+    fn scan_visits_all_live_objects() {
+        let mut s = store(1 << 20);
+        let mut addrs = Vec::new();
+        for i in 0..20u64 {
+            let size = 100 + (i as usize % 4) * 300;
+            let (addr, _) = s.insert(Key::from_id(i), Value::filled(size, 0), i).unwrap();
+            addrs.push(addr);
+        }
+        for addr in addrs.iter().take(5) {
+            s.remove(*addr).unwrap();
+        }
+        let mut ids: Vec<u64> = s.scan().map(|(_, e)| e.key.id()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (5u64..20).collect::<Vec<_>>());
+        assert!(s.live_bytes() > 0);
+        assert!(s.recovery_scan_cost() > Nanos::ZERO);
+    }
+
+    #[test]
+    fn device_io_is_charged() {
+        let device = Arc::new(Device::new(DeviceProfile::optane_nvm(1 << 20)));
+        let mut s = SlabStore::new(SlabConfig::small_objects(1 << 20), device.clone()).unwrap();
+        let (addr, wcost) = s.insert(Key::from_id(1), Value::filled(1000, 0), 1).unwrap();
+        let (_, rcost) = s.read(addr).unwrap();
+        assert!(wcost >= device.profile().write_latency_4k);
+        assert!(rcost >= device.profile().read_latency_4k);
+        let io = device.counters().as_tier_io();
+        assert_eq!(io.writes, 1);
+        assert_eq!(io.reads, 1);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let device = Arc::new(Device::new(DeviceProfile::optane_nvm(1 << 20)));
+        let bad_empty = SlabConfig {
+            slot_sizes: vec![],
+            capacity_bytes: 1024,
+        };
+        assert!(SlabStore::new(bad_empty, device.clone()).is_err());
+        let bad_order = SlabConfig {
+            slot_sizes: vec![256, 128],
+            capacity_bytes: 1024,
+        };
+        assert!(SlabStore::new(bad_order, device.clone()).is_err());
+        let bad_capacity = SlabConfig {
+            slot_sizes: vec![128],
+            capacity_bytes: 0,
+        };
+        assert!(SlabStore::new(bad_capacity, device).is_err());
+    }
+}

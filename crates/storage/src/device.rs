@@ -1,0 +1,245 @@
+//! The simulated block device.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use prism_types::{Nanos, TierIo};
+
+use crate::profile::DeviceProfile;
+
+/// The standard page size used for random-access charging.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Cumulative I/O counters of a [`Device`].
+#[derive(Debug, Default)]
+pub struct DeviceCounters {
+    /// Bytes read (random + sequential).
+    pub bytes_read: AtomicU64,
+    /// Bytes written (random + sequential).
+    pub bytes_written: AtomicU64,
+    /// Read operations issued.
+    pub reads: AtomicU64,
+    /// Write operations issued.
+    pub writes: AtomicU64,
+    /// Random 4 KB pages read (subset of `reads`).
+    pub random_pages_read: AtomicU64,
+    /// Random 4 KB pages written (subset of `writes`).
+    pub random_pages_written: AtomicU64,
+}
+
+impl DeviceCounters {
+    /// Snapshot the counters into the plain [`TierIo`] struct used in
+    /// engine statistics.
+    pub fn as_tier_io(&self) -> TierIo {
+        TierIo {
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A simulated storage device.
+///
+/// The device charges simulated time for each access based on its
+/// [`DeviceProfile`] and counts I/O. It holds no data: callers own their
+/// contents and use the device purely for timing and accounting, which keeps
+/// experiments fast while preserving the performance model.
+///
+/// All counter updates use relaxed atomics so a device can be shared across
+/// engine partitions with `Arc<Device>`.
+///
+/// # Example
+///
+/// ```
+/// use prism_storage::{Device, DeviceProfile};
+///
+/// let flash = Device::new(DeviceProfile::qlc_flash(1 << 30));
+/// let latency = flash.read_random(4096);
+/// assert_eq!(latency, flash.profile().read_latency_4k);
+/// assert_eq!(flash.counters().as_tier_io().reads, 1);
+/// ```
+#[derive(Debug)]
+pub struct Device {
+    profile: DeviceProfile,
+    counters: DeviceCounters,
+    used_bytes: AtomicU64,
+}
+
+impl Device {
+    /// Create a device with the given profile.
+    pub fn new(profile: DeviceProfile) -> Self {
+        Device {
+            profile,
+            counters: DeviceCounters::default(),
+            used_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// The device's performance/cost profile.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// Cumulative I/O counters.
+    pub fn counters(&self) -> &DeviceCounters {
+        &self.counters
+    }
+
+    fn pages(bytes: u64) -> u64 {
+        bytes.div_ceil(PAGE_SIZE).max(1)
+    }
+
+    fn seq_transfer_time(bytes: u64, mbps: u64) -> Nanos {
+        // bytes / (MB/s) expressed in nanoseconds: bytes * 1000 / mbps gives ns
+        // because 1 MB/s == 1 byte/µs.
+        Nanos::from_nanos((bytes.max(1)) * 1_000 / mbps.max(1))
+    }
+
+    /// Random read of `bytes` bytes. Charged per 4 KB page.
+    pub fn read_random(&self, bytes: u64) -> Nanos {
+        let pages = Self::pages(bytes);
+        self.counters.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.counters.reads.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .random_pages_read
+            .fetch_add(pages, Ordering::Relaxed);
+        self.profile.read_latency_4k * pages
+    }
+
+    /// Random write of `bytes` bytes. Charged per 4 KB page.
+    pub fn write_random(&self, bytes: u64) -> Nanos {
+        let pages = Self::pages(bytes);
+        self.counters
+            .bytes_written
+            .fetch_add(bytes, Ordering::Relaxed);
+        self.counters.writes.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .random_pages_written
+            .fetch_add(pages, Ordering::Relaxed);
+        self.profile.write_latency_4k * pages
+    }
+
+    /// Sequential read of `bytes` bytes: one access latency plus a
+    /// bandwidth-limited transfer.
+    pub fn read_sequential(&self, bytes: u64) -> Nanos {
+        self.counters.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.counters.reads.fetch_add(1, Ordering::Relaxed);
+        self.profile.read_latency_4k + Self::seq_transfer_time(bytes, self.profile.seq_read_mbps)
+    }
+
+    /// Sequential write of `bytes` bytes: one access latency plus a
+    /// bandwidth-limited transfer.
+    pub fn write_sequential(&self, bytes: u64) -> Nanos {
+        self.counters
+            .bytes_written
+            .fetch_add(bytes, Ordering::Relaxed);
+        self.counters.writes.fetch_add(1, Ordering::Relaxed);
+        self.profile.write_latency_4k + Self::seq_transfer_time(bytes, self.profile.seq_write_mbps)
+    }
+
+    /// A synchronous flush / FUA write barrier (used by fsync-enabled WAL
+    /// writes). Modelled as one random 4 KB write's worth of latency.
+    pub fn sync(&self) -> Nanos {
+        self.profile.write_latency_4k
+    }
+
+    /// Record that `bytes` of capacity are now in use.
+    pub fn allocate(&self, bytes: u64) {
+        self.used_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record that `bytes` of capacity have been released.
+    pub fn release(&self, bytes: u64) {
+        let mut current = self.used_bytes.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(bytes);
+            match self.used_bytes.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Bytes currently accounted as in use.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of the device capacity currently in use.
+    pub fn utilization(&self) -> f64 {
+        self.used_bytes() as f64 / self.profile.capacity_bytes.max(1) as f64
+    }
+
+    /// Bytes of free capacity remaining.
+    pub fn free_bytes(&self) -> u64 {
+        self.profile
+            .capacity_bytes
+            .saturating_sub(self.used_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::DeviceProfile;
+
+    #[test]
+    fn random_reads_charge_per_page() {
+        let dev = Device::new(DeviceProfile::optane_nvm(1 << 30));
+        let one_page = dev.read_random(100);
+        let three_pages = dev.read_random(3 * 4096);
+        assert_eq!(one_page, dev.profile().read_latency_4k);
+        assert_eq!(three_pages, dev.profile().read_latency_4k * 3);
+        assert_eq!(dev.counters().random_pages_read.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn sequential_io_is_bandwidth_limited() {
+        let dev = Device::new(DeviceProfile::qlc_flash(1 << 30));
+        let small = dev.write_sequential(4096);
+        let large = dev.write_sequential(64 << 20);
+        assert!(large > small * 100);
+        // Sequential writes of large files are much cheaper per byte than
+        // random page writes.
+        let per_byte_seq = large.as_nanos() as f64 / (64u64 << 20) as f64;
+        let per_byte_rand = dev.write_random(4096).as_nanos() as f64 / 4096.0;
+        assert!(per_byte_rand > 5.0 * per_byte_seq);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let dev = Device::new(DeviceProfile::tlc_flash(1 << 30));
+        dev.read_random(4096);
+        dev.write_random(4096);
+        dev.read_sequential(8192);
+        dev.write_sequential(8192);
+        let io = dev.counters().as_tier_io();
+        assert_eq!(io.reads, 2);
+        assert_eq!(io.writes, 2);
+        assert_eq!(io.bytes_read, 4096 + 8192);
+        assert_eq!(io.bytes_written, 4096 + 8192);
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let dev = Device::new(DeviceProfile::optane_nvm(10_000));
+        dev.allocate(6_000);
+        assert_eq!(dev.used_bytes(), 6_000);
+        assert_eq!(dev.free_bytes(), 4_000);
+        assert!((dev.utilization() - 0.6).abs() < 1e-9);
+        dev.release(8_000);
+        assert_eq!(dev.used_bytes(), 0);
+    }
+
+    #[test]
+    fn sync_costs_a_write() {
+        let dev = Device::new(DeviceProfile::optane_nvm(1 << 30));
+        assert_eq!(dev.sync(), dev.profile().write_latency_4k);
+    }
+}

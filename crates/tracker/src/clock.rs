@@ -1,0 +1,276 @@
+//! The multi-bit clock tracker.
+
+use std::collections::HashMap;
+
+use prism_types::Key;
+
+/// Maximum clock value (two clock bits).
+pub const MAX_CLOCK: u8 = 3;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    clock: u8,
+    on_flash: bool,
+}
+
+/// What happened to the tracker state as a result of one access.
+///
+/// The [`crate::Mapper`] consumes these events to keep its clock-value
+/// histogram in sync without the tracker and the mapper sharing state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessEvent {
+    /// The previous clock value of the accessed key, if it was tracked.
+    pub old_clock: Option<u8>,
+    /// The new clock value of the accessed key.
+    pub new_clock: u8,
+    /// Keys that were evicted, with their clock value at eviction time
+    /// (always 0 with the clock policy) — reported so callers can clear
+    /// per-key popularity bits.
+    pub evicted: Option<(Key, u8)>,
+    /// Clock values decremented during the eviction sweep, as
+    /// `(from, count)` pairs aggregated per starting value.
+    pub decremented: Vec<(u8, u64)>,
+}
+
+/// A capacity-bounded popularity tracker using the multi-bit clock
+/// algorithm.
+///
+/// * New keys enter with clock value 0 (minimum popularity).
+/// * A subsequent access sets the clock value to [`MAX_CLOCK`].
+/// * When the tracker is full, the clock hand sweeps the ring, decrementing
+///   non-zero clock values until it finds a value-0 entry to evict.
+///
+/// The tracker also records one location bit per key (whether the latest
+/// version of the object lives on flash), which read-triggered compaction
+/// uses to detect read-heavy workloads whose hot set sits on flash.
+#[derive(Debug)]
+pub struct ClockTracker {
+    capacity: usize,
+    map: HashMap<Key, Entry>,
+    ring: Vec<Key>,
+    hand: usize,
+}
+
+impl ClockTracker {
+    /// Create a tracker that holds at most `capacity` keys.
+    ///
+    /// The paper sizes the tracker at 10–20 % of the total key count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "tracker capacity must be non-zero");
+        ClockTracker {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            ring: Vec::with_capacity(capacity),
+            hand: 0,
+        }
+    }
+
+    /// Maximum number of tracked keys.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no keys are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The clock value of `key`, if tracked.
+    pub fn clock_of(&self, key: &Key) -> Option<u8> {
+        self.map.get(key).map(|e| e.clock)
+    }
+
+    /// True if the tracked key's latest version is recorded as living on
+    /// flash.
+    pub fn is_on_flash(&self, key: &Key) -> Option<bool> {
+        self.map.get(key).map(|e| e.on_flash)
+    }
+
+    /// Update the location bit of a tracked key (e.g. after a demotion or
+    /// promotion); does nothing if the key is not tracked.
+    pub fn set_location(&mut self, key: &Key, on_flash: bool) {
+        if let Some(entry) = self.map.get_mut(key) {
+            entry.on_flash = on_flash;
+        }
+    }
+
+    /// Fraction of tracked keys whose latest version lives on flash.
+    pub fn flash_fraction(&self) -> f64 {
+        if self.map.is_empty() {
+            return 0.0;
+        }
+        let on_flash = self.map.values().filter(|e| e.on_flash).count();
+        on_flash as f64 / self.map.len() as f64
+    }
+
+    /// Record an access to `key`, inserting it if necessary (possibly
+    /// evicting a cold key) and returning the resulting state changes.
+    pub fn access(&mut self, key: &Key, on_flash: bool) -> AccessEvent {
+        if let Some(entry) = self.map.get_mut(key) {
+            let old = entry.clock;
+            entry.clock = MAX_CLOCK;
+            entry.on_flash = on_flash;
+            return AccessEvent {
+                old_clock: Some(old),
+                new_clock: MAX_CLOCK,
+                evicted: None,
+                decremented: Vec::new(),
+            };
+        }
+
+        let mut evicted = None;
+        let mut decremented: Vec<(u8, u64)> = Vec::new();
+        if self.map.len() >= self.capacity {
+            let (victim, decrements) = self.evict();
+            for d in decrements {
+                match decremented.iter_mut().find(|(from, _)| *from == d) {
+                    Some((_, count)) => *count += 1,
+                    None => decremented.push((d, 1)),
+                }
+            }
+            evicted = Some((victim, 0));
+        }
+
+        if self.ring.len() < self.capacity {
+            self.ring.push(key.clone());
+        } else {
+            // Reuse the slot freed by the eviction (the hand points just
+            // past it after `evict`).
+            let slot = (self.hand + self.capacity - 1) % self.capacity;
+            self.ring[slot] = key.clone();
+        }
+
+        self.map.insert(key.clone(), Entry { clock: 0, on_flash });
+        AccessEvent {
+            old_clock: None,
+            new_clock: 0,
+            evicted,
+            decremented,
+        }
+    }
+
+    /// Run the clock hand until a value-0 victim is found; returns the
+    /// evicted key and the list of clock values that were decremented along
+    /// the way.
+    fn evict(&mut self) -> (Key, Vec<u8>) {
+        let mut decrements = Vec::new();
+        loop {
+            let slot = self.hand;
+            self.hand = (self.hand + 1) % self.ring.len();
+            let candidate = self.ring[slot].clone();
+            let entry = self
+                .map
+                .get_mut(&candidate)
+                .expect("ring keys are always tracked");
+            if entry.clock == 0 {
+                self.map.remove(&candidate);
+                return (candidate, decrements);
+            }
+            decrements.push(entry.clock);
+            entry.clock -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_keys_start_cold_and_reaccess_heats_them() {
+        let mut t = ClockTracker::new(10);
+        let k = Key::from_id(1);
+        let first = t.access(&k, false);
+        assert_eq!(first.old_clock, None);
+        assert_eq!(first.new_clock, 0);
+        assert_eq!(t.clock_of(&k), Some(0));
+        let second = t.access(&k, false);
+        assert_eq!(second.old_clock, Some(0));
+        assert_eq!(second.new_clock, MAX_CLOCK);
+        assert_eq!(t.clock_of(&k), Some(MAX_CLOCK));
+    }
+
+    #[test]
+    fn capacity_is_bounded_and_cold_keys_are_evicted_first() {
+        let mut t = ClockTracker::new(4);
+        // Two hot keys (accessed twice) and two cold keys.
+        for id in 0..4u64 {
+            t.access(&Key::from_id(id), false);
+        }
+        t.access(&Key::from_id(0), false);
+        t.access(&Key::from_id(1), false);
+        // Inserting a new key must evict one of the cold keys (2 or 3), not
+        // a hot one.
+        let event = t.access(&Key::from_id(100), false);
+        let (victim, _) = event.evicted.expect("a key must be evicted");
+        assert!(victim.id() == 2 || victim.id() == 3, "evicted {victim:?}");
+        assert_eq!(t.len(), 4);
+        assert!(t.clock_of(&Key::from_id(0)).is_some());
+        assert!(t.clock_of(&Key::from_id(1)).is_some());
+    }
+
+    #[test]
+    fn eviction_sweep_decrements_hot_keys() {
+        let mut t = ClockTracker::new(2);
+        t.access(&Key::from_id(1), false);
+        t.access(&Key::from_id(1), false); // clock 3
+        t.access(&Key::from_id(2), false);
+        t.access(&Key::from_id(2), false); // clock 3
+        // Now both are hot; inserting a third key forces the hand to sweep,
+        // decrementing until one reaches zero.
+        let event = t.access(&Key::from_id(3), false);
+        assert!(event.evicted.is_some());
+        assert!(!event.decremented.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn location_bits_and_flash_fraction() {
+        let mut t = ClockTracker::new(10);
+        t.access(&Key::from_id(1), true);
+        t.access(&Key::from_id(2), false);
+        t.access(&Key::from_id(3), true);
+        assert_eq!(t.is_on_flash(&Key::from_id(1)), Some(true));
+        assert_eq!(t.is_on_flash(&Key::from_id(2)), Some(false));
+        assert!((t.flash_fraction() - 2.0 / 3.0).abs() < 1e-9);
+        t.set_location(&Key::from_id(1), false);
+        assert!((t.flash_fraction() - 1.0 / 3.0).abs() < 1e-9);
+        t.set_location(&Key::from_id(99), true); // untracked: no effect
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn heavily_skewed_access_keeps_hot_set_resident() {
+        let mut t = ClockTracker::new(50);
+        // 10 hot keys accessed often interleaved with a long scan of cold keys.
+        for round in 0..20u64 {
+            for hot in 0..10u64 {
+                t.access(&Key::from_id(hot), false);
+            }
+            for cold in 0..20u64 {
+                t.access(&Key::from_id(1000 + round * 20 + cold), false);
+            }
+        }
+        for hot in 0..10u64 {
+            assert!(
+                t.clock_of(&Key::from_id(hot)).is_some(),
+                "hot key {hot} was evicted"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_capacity_panics() {
+        let _ = ClockTracker::new(0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Popularity tracking: the clock tracker and the mapper.
+//!
+//! PrismDB estimates object popularity with a multi-bit clock algorithm
+//! (§4.3 of the paper): a capacity-bounded map from recently-accessed keys
+//! to a 2-bit clock value plus a location bit. The *tracker* maintains that
+//! map; the *mapper* maintains the distribution of clock values and turns a
+//! configured *pinning threshold* (the fraction of tracked objects that
+//! should stay on NVM) into per-object pin/demote decisions, sampling the
+//! boundary clock class probabilistically when it straddles the threshold.
+//!
+//! # Example
+//!
+//! ```
+//! use prism_tracker::{ClockTracker, Mapper, PinDecision};
+//! use prism_types::Key;
+//!
+//! let mut tracker = ClockTracker::new(100);
+//! let mut mapper = Mapper::new();
+//! for id in 0..50u64 {
+//!     let event = tracker.access(&Key::from_id(id), false);
+//!     mapper.apply(&event);
+//!     // A second access promotes the key to the maximum clock value.
+//!     let event = tracker.access(&Key::from_id(id), false);
+//!     mapper.apply(&event);
+//! }
+//! // With a 100% pinning threshold every tracked object may be pinned.
+//! assert_eq!(mapper.pin_decision(Some(3), 1.0, tracker.len()), PinDecision::Pin);
+//! // Untracked objects are always demoted.
+//! assert_eq!(mapper.pin_decision(None, 0.5, tracker.len()), PinDecision::Demote);
+//! ```
+
+mod clock;
+mod mapper;
+
+pub use clock::{AccessEvent, ClockTracker, MAX_CLOCK};
+pub use mapper::{Mapper, PinDecision};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use prism_types::Key;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The tracker never exceeds its capacity and the mapper's histogram
+        /// always sums to the tracker's population.
+        #[test]
+        fn capacity_and_histogram_invariants(
+            capacity in 4usize..64,
+            accesses in prop::collection::vec((0u64..200, prop::bool::ANY), 1..800)
+        ) {
+            let mut tracker = ClockTracker::new(capacity);
+            let mut mapper = Mapper::new();
+            for (id, on_flash) in accesses {
+                let event = tracker.access(&Key::from_id(id), on_flash);
+                mapper.apply(&event);
+                prop_assert!(tracker.len() <= capacity);
+                let total: u64 = mapper.histogram().iter().sum();
+                prop_assert_eq!(total as usize, tracker.len());
+            }
+        }
+
+        /// Pin decisions are monotone in the clock value: if a clock class is
+        /// pinned, every hotter class is pinned too.
+        #[test]
+        fn pin_decisions_are_monotone(
+            counts in prop::array::uniform4(0u64..1000),
+            threshold in 0.0f64..1.0
+        ) {
+            let mut mapper = Mapper::new();
+            mapper.set_histogram(counts);
+            let tracked: u64 = counts.iter().sum();
+            let mut seen_non_pin = false;
+            for clock in (0..=MAX_CLOCK).rev() {
+                let decision = mapper.pin_decision(Some(clock), threshold, tracked as usize);
+                match decision {
+                    PinDecision::Pin => {
+                        prop_assert!(!seen_non_pin, "a hotter class was not pinned while a colder one was");
+                    }
+                    _ => seen_non_pin = true,
+                }
+            }
+        }
+    }
+}

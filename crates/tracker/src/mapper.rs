@@ -1,0 +1,212 @@
+//! The mapper: clock-value distribution and the pinning-threshold
+//! algorithm.
+
+use crate::clock::{AccessEvent, MAX_CLOCK};
+
+/// Placement decision for one object during compaction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PinDecision {
+    /// Keep the object on NVM.
+    Pin,
+    /// Keep the object on NVM with the given probability (the object's
+    /// clock class straddles the pinning threshold, §4.3 of the paper).
+    Sample(f64),
+    /// Demote the object to flash.
+    Demote,
+}
+
+impl PinDecision {
+    /// Resolve the decision to a boolean using `draw`, a uniform random
+    /// sample in `[0, 1)` supplied by the caller.
+    pub fn should_pin(self, draw: f64) -> bool {
+        match self {
+            PinDecision::Pin => true,
+            PinDecision::Demote => false,
+            PinDecision::Sample(p) => draw < p,
+        }
+    }
+}
+
+/// Tracks the distribution of clock values over the tracked keys and
+/// enforces the pinning threshold.
+///
+/// The mapper is deliberately tiny — four counters — matching the paper's
+/// implementation as an array of four atomic integers.
+#[derive(Debug, Default, Clone)]
+pub struct Mapper {
+    counts: [u64; (MAX_CLOCK as usize) + 1],
+}
+
+impl Mapper {
+    /// A mapper with an empty histogram.
+    pub fn new() -> Self {
+        Mapper::default()
+    }
+
+    /// Apply the state changes of one tracker access.
+    pub fn apply(&mut self, event: &AccessEvent) {
+        if let Some(old) = event.old_clock {
+            self.counts[old as usize] = self.counts[old as usize].saturating_sub(1);
+        }
+        self.counts[event.new_clock as usize] += 1;
+        if let Some((_, clock)) = &event.evicted {
+            self.counts[*clock as usize] = self.counts[*clock as usize].saturating_sub(1);
+        }
+        for (from, count) in &event.decremented {
+            let from = *from as usize;
+            self.counts[from] = self.counts[from].saturating_sub(*count);
+            self.counts[from - 1] += *count;
+        }
+    }
+
+    /// The raw clock-value histogram, index = clock value.
+    pub fn histogram(&self) -> [u64; (MAX_CLOCK as usize) + 1] {
+        self.counts
+    }
+
+    /// Overwrite the histogram (used by tests and by engines that rebuild
+    /// the mapper after recovery).
+    pub fn set_histogram(&mut self, counts: [u64; (MAX_CLOCK as usize) + 1]) {
+        self.counts = counts;
+    }
+
+    /// The histogram normalised to fractions of the tracked population
+    /// (all zeros when nothing is tracked). Index = clock value.
+    pub fn distribution(&self) -> [f64; (MAX_CLOCK as usize) + 1] {
+        let total: u64 = self.counts.iter().sum();
+        let mut dist = [0.0; (MAX_CLOCK as usize) + 1];
+        if total == 0 {
+            return dist;
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            dist[i] = c as f64 / total as f64;
+        }
+        dist
+    }
+
+    /// Decide whether an object with clock value `clock` (or `None` if the
+    /// object is not tracked at all) should stay pinned on NVM.
+    ///
+    /// `pinning_threshold` is the fraction of *tracked* objects that should
+    /// be retained on NVM; `tracked` is the tracker population used to turn
+    /// the threshold into an object budget. The budget is filled from the
+    /// hottest clock class downward; the class that straddles the budget is
+    /// sampled with the residual probability (§4.3 of the paper).
+    pub fn pin_decision(
+        &self,
+        clock: Option<u8>,
+        pinning_threshold: f64,
+        tracked: usize,
+    ) -> PinDecision {
+        let Some(clock) = clock else {
+            return PinDecision::Demote;
+        };
+        let threshold = pinning_threshold.clamp(0.0, 1.0);
+        if threshold <= 0.0 {
+            return PinDecision::Demote;
+        }
+        let budget = threshold * tracked as f64;
+        if budget <= 0.0 {
+            return PinDecision::Demote;
+        }
+        // Count objects in classes strictly hotter than `clock`.
+        let hotter: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(c, _)| *c > clock as usize)
+            .map(|(_, &n)| n)
+            .sum();
+        let class = self.counts[clock as usize];
+        let hotter = hotter as f64;
+        let class = class as f64;
+        if hotter + class <= budget {
+            PinDecision::Pin
+        } else if hotter >= budget {
+            PinDecision::Demote
+        } else {
+            let p = (budget - hotter) / class.max(1.0);
+            PinDecision::Sample(p.clamp(0.0, 1.0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ClockTracker;
+    use prism_types::Key;
+
+    #[test]
+    fn histogram_tracks_accesses() {
+        let mut tracker = ClockTracker::new(10);
+        let mut mapper = Mapper::new();
+        for id in 0..5u64 {
+            mapper.apply(&tracker.access(&Key::from_id(id), false));
+        }
+        assert_eq!(mapper.histogram(), [5, 0, 0, 0]);
+        for id in 0..2u64 {
+            mapper.apply(&tracker.access(&Key::from_id(id), false));
+        }
+        assert_eq!(mapper.histogram(), [3, 0, 0, 2]);
+        let dist = mapper.distribution();
+        assert!((dist[0] - 0.6).abs() < 1e-9);
+        assert!((dist[3] - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_stays_consistent_under_eviction() {
+        let mut tracker = ClockTracker::new(8);
+        let mut mapper = Mapper::new();
+        for id in 0..100u64 {
+            mapper.apply(&tracker.access(&Key::from_id(id % 20), id % 3 == 0));
+            let total: u64 = mapper.histogram().iter().sum();
+            assert_eq!(total as usize, tracker.len());
+        }
+    }
+
+    #[test]
+    fn paper_example_ycsb_b_distribution() {
+        // §4.3 example: 10% at clock 3, 10% at clock 2, 30% at clock 1,
+        // 50% at clock 0, threshold 15%: clock 3 always pinned, clock 2
+        // sampled at 0.5, clock 1/0 and untracked demoted.
+        let mut mapper = Mapper::new();
+        mapper.set_histogram([500, 300, 100, 100]);
+        let tracked = 1000;
+        assert_eq!(mapper.pin_decision(Some(3), 0.15, tracked), PinDecision::Pin);
+        match mapper.pin_decision(Some(2), 0.15, tracked) {
+            PinDecision::Sample(p) => assert!((p - 0.5).abs() < 1e-9, "p = {p}"),
+            other => panic!("expected sampling, got {other:?}"),
+        }
+        assert_eq!(mapper.pin_decision(Some(1), 0.15, tracked), PinDecision::Demote);
+        assert_eq!(mapper.pin_decision(Some(0), 0.15, tracked), PinDecision::Demote);
+        assert_eq!(mapper.pin_decision(None, 0.15, tracked), PinDecision::Demote);
+    }
+
+    #[test]
+    fn extreme_thresholds() {
+        let mut mapper = Mapper::new();
+        mapper.set_histogram([10, 10, 10, 10]);
+        assert_eq!(mapper.pin_decision(Some(3), 0.0, 40), PinDecision::Demote);
+        assert_eq!(mapper.pin_decision(Some(0), 1.0, 40), PinDecision::Pin);
+        // Threshold above 1.0 is clamped.
+        assert_eq!(mapper.pin_decision(Some(0), 3.0, 40), PinDecision::Pin);
+        // Untracked objects are never pinned regardless of threshold.
+        assert_eq!(mapper.pin_decision(None, 1.0, 40), PinDecision::Demote);
+    }
+
+    #[test]
+    fn sample_decision_resolves_with_draw() {
+        assert!(PinDecision::Pin.should_pin(0.99));
+        assert!(!PinDecision::Demote.should_pin(0.0));
+        assert!(PinDecision::Sample(0.5).should_pin(0.25));
+        assert!(!PinDecision::Sample(0.5).should_pin(0.75));
+    }
+
+    #[test]
+    fn empty_mapper_distribution_is_zero() {
+        let mapper = Mapper::new();
+        assert_eq!(mapper.distribution(), [0.0; 4]);
+        assert_eq!(mapper.pin_decision(Some(3), 0.5, 0), PinDecision::Demote);
+    }
+}

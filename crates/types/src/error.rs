@@ -1,0 +1,103 @@
+//! Error handling shared across the workspace.
+
+use std::fmt;
+
+/// Convenience result alias used by all public PrismDB APIs.
+pub type Result<T> = std::result::Result<T, PrismError>;
+
+/// Errors returned by PrismDB, its substrates, and the baseline engines.
+///
+/// # Example
+///
+/// ```
+/// use prism_types::PrismError;
+///
+/// let err = PrismError::CapacityExceeded { tier: "nvm", needed: 4096, available: 1024 };
+/// assert!(err.to_string().contains("nvm"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PrismError {
+    /// A tier ran out of space and compaction could not reclaim enough.
+    CapacityExceeded {
+        /// Which tier ("nvm", "flash", "dram", "wal") rejected the write.
+        tier: &'static str,
+        /// Bytes the operation needed.
+        needed: u64,
+        /// Bytes actually available.
+        available: u64,
+    },
+    /// Persistent state failed an integrity check (bad header, truncated
+    /// slab slot, manifest referencing a missing file, ...).
+    Corruption(String),
+    /// The caller supplied an invalid configuration value.
+    InvalidConfig(String),
+    /// An object exceeded the maximum supported size (the paper's PrismDB
+    /// supports objects up to 4 KB so they fit in one atomically-written
+    /// page).
+    ObjectTooLarge {
+        /// Size of the offending object in bytes.
+        size: usize,
+        /// Maximum size supported by the engine.
+        max: usize,
+    },
+    /// A simulated I/O failure injected by tests.
+    Io(String),
+}
+
+impl fmt::Display for PrismError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrismError::CapacityExceeded {
+                tier,
+                needed,
+                available,
+            } => write!(
+                f,
+                "capacity exceeded on {tier}: needed {needed} bytes, {available} available"
+            ),
+            PrismError::Corruption(msg) => write!(f, "corruption detected: {msg}"),
+            PrismError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            PrismError::ObjectTooLarge { size, max } => {
+                write!(f, "object of {size} bytes exceeds maximum of {max} bytes")
+            }
+            PrismError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PrismError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(PrismError, &str)> = vec![
+            (
+                PrismError::CapacityExceeded {
+                    tier: "flash",
+                    needed: 10,
+                    available: 2,
+                },
+                "flash",
+            ),
+            (PrismError::Corruption("bad slot".into()), "bad slot"),
+            (PrismError::InvalidConfig("zero partitions".into()), "zero partitions"),
+            (PrismError::ObjectTooLarge { size: 9000, max: 4096 }, "9000"),
+            (PrismError::Io("device offline".into()), "device offline"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg} should contain {needle}");
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_and_std_error() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<PrismError>();
+    }
+}

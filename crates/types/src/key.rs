@@ -1,0 +1,171 @@
+//! Key representation.
+
+use std::borrow::Borrow;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A key in the database.
+///
+/// Keys are arbitrary byte strings ordered lexicographically. Workload
+/// generators produce fixed-width 8-byte big-endian keys (via
+/// [`Key::from_id`]) so lexicographic order coincides with numeric order,
+/// which lets the compaction bucket map ([`prism-compaction`]) place keys
+/// into fixed-width key-id buckets exactly as the paper's implementation
+/// does for its 64 K-key buckets.
+///
+/// # Example
+///
+/// ```
+/// use prism_types::Key;
+///
+/// let a = Key::from_id(10);
+/// let b = Key::from_id(200);
+/// assert!(a < b);
+/// assert_eq!(b.id(), 200);
+/// let named = Key::from_bytes(b"user12345".to_vec());
+/// assert_eq!(named.as_bytes(), b"user12345");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Key(Vec<u8>);
+
+impl Key {
+    /// Build a fixed-width 8-byte key from a numeric key id.
+    ///
+    /// Lexicographic comparison of keys built this way matches numeric
+    /// comparison of the ids.
+    pub fn from_id(id: u64) -> Self {
+        Key(id.to_be_bytes().to_vec())
+    }
+
+    /// Build a key from raw bytes.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        Key(bytes)
+    }
+
+    /// The numeric key id: the first 8 bytes interpreted as a big-endian
+    /// integer (shorter keys are zero-padded on the right).
+    ///
+    /// For keys produced by [`Key::from_id`] this is the exact inverse; for
+    /// arbitrary byte keys it is an order-preserving prefix projection used
+    /// only for bucketing approximations.
+    pub fn id(&self) -> u64 {
+        let mut buf = [0u8; 8];
+        let n = self.0.len().min(8);
+        buf[..n].copy_from_slice(&self.0[..n]);
+        u64::from_be_bytes(buf)
+    }
+
+    /// The raw key bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length of the key in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the key is empty (the minimum possible key).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The smallest possible key.
+    pub fn min() -> Self {
+        Key(Vec::new())
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.len() == 8 {
+            write!(f, "Key({})", self.id())
+        } else {
+            write!(f, "Key({:02x?})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.len() == 8 {
+            write!(f, "{}", self.id())
+        } else {
+            write!(f, "{:02x?}", self.0)
+        }
+    }
+}
+
+impl From<u64> for Key {
+    fn from(id: u64) -> Self {
+        Key::from_id(id)
+    }
+}
+
+impl From<Vec<u8>> for Key {
+    fn from(bytes: Vec<u8>) -> Self {
+        Key::from_bytes(bytes)
+    }
+}
+
+impl AsRef<[u8]> for Key {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Borrow<[u8]> for Key {
+    fn borrow(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_round_trips() {
+        for id in [0u64, 1, 42, u64::MAX, 1 << 40] {
+            assert_eq!(Key::from_id(id).id(), id);
+        }
+    }
+
+    #[test]
+    fn lexicographic_order_matches_numeric_order() {
+        let mut ids = vec![5u64, 0, 100, 99, u64::MAX, 1 << 33];
+        let mut keys: Vec<Key> = ids.iter().copied().map(Key::from_id).collect();
+        ids.sort_unstable();
+        keys.sort();
+        let sorted_ids: Vec<u64> = keys.iter().map(Key::id).collect();
+        assert_eq!(sorted_ids, ids);
+    }
+
+    #[test]
+    fn short_keys_pad_for_id() {
+        let key = Key::from_bytes(vec![0x01]);
+        assert_eq!(key.id(), 0x0100_0000_0000_0000);
+    }
+
+    #[test]
+    fn min_key_sorts_first() {
+        assert!(Key::min() < Key::from_id(0));
+        assert!(Key::min().is_empty());
+    }
+
+    #[test]
+    fn conversions_and_as_ref() {
+        let k: Key = 7u64.into();
+        assert_eq!(k.id(), 7);
+        let k2: Key = vec![1, 2, 3].into();
+        assert_eq!(k2.as_ref(), &[1, 2, 3]);
+        assert_eq!(k2.len(), 3);
+    }
+
+    #[test]
+    fn debug_formats_numeric_keys_compactly() {
+        assert_eq!(format!("{:?}", Key::from_id(9)), "Key(9)");
+        assert_eq!(format!("{}", Key::from_id(9)), "9");
+    }
+}

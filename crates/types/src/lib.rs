@@ -1,0 +1,181 @@
+//! Common types shared by every crate in the PrismDB reproduction.
+//!
+//! This crate defines the vocabulary of the system: [`Key`] and [`Value`]
+//! types, simulated-time units ([`Nanos`]), the [`KvStore`] trait implemented
+//! by PrismDB and by every baseline engine, operation descriptions consumed
+//! by the benchmark harness, and the error type used across the workspace.
+//!
+//! # Example
+//!
+//! ```
+//! use prism_types::{Key, Value, Nanos};
+//!
+//! let key = Key::from_id(42);
+//! assert_eq!(key.id(), 42);
+//! let value = Value::filled(16, 0xAB);
+//! assert_eq!(value.len(), 16);
+//! let t = Nanos::from_micros(6) + Nanos::from_micros(4);
+//! assert_eq!(t.as_micros(), 10);
+//! ```
+
+mod error;
+mod key;
+mod ops;
+mod stats;
+mod time;
+mod value;
+
+pub use error::{PrismError, Result};
+pub use key::Key;
+pub use ops::{Lookup, Op, OpKind, ReadSource, ScanResult};
+pub use stats::{CompactionStats, EngineStats, TierIo};
+pub use time::Nanos;
+pub use value::Value;
+
+/// A storage engine that the benchmark harness can drive.
+///
+/// Both PrismDB (`prism-db`) and the LSM baseline family (`prism-lsm`)
+/// implement this trait, so every experiment in the paper can be expressed
+/// once and run against any engine.
+///
+/// All methods take `&mut self`: engines are driven by a single benchmark
+/// thread and perform their own internal partitioning / background-work
+/// accounting in simulated (virtual) time. Each operation returns how much
+/// simulated time it consumed so the harness can build latency
+/// distributions without real sleeps.
+pub trait KvStore {
+    /// Insert or update `key` with `value`.
+    ///
+    /// Returns the simulated service time of the operation, including any
+    /// write-stall the engine imposed (e.g. while waiting for a compaction
+    /// to free space on the fast tier).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::CapacityExceeded`] if the engine cannot free
+    /// enough space on any tier to absorb the write.
+    fn put(&mut self, key: Key, value: Value) -> Result<Nanos>;
+
+    /// Look up the most recent value of `key`.
+    ///
+    /// The returned [`Lookup`] records where the read was served from
+    /// (DRAM, NVM or flash) in addition to the value and service time.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only on internal corruption; a missing key is
+    /// reported as `Lookup { value: None, .. }`.
+    fn get(&mut self, key: &Key) -> Result<Lookup>;
+
+    /// Delete `key`. Deleting a non-existent key is not an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::CapacityExceeded`] if writing a tombstone to
+    /// the fast tier is impossible.
+    fn delete(&mut self, key: &Key) -> Result<Nanos>;
+
+    /// Return up to `count` key-value pairs with keys `>= start`, in key
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only on internal corruption.
+    fn scan(&mut self, start: &Key, count: usize) -> Result<ScanResult>;
+
+    /// Snapshot of cumulative engine statistics (tier I/O, compaction work,
+    /// read-source histogram).
+    fn stats(&self) -> EngineStats;
+
+    /// Total simulated wall-clock time elapsed so far: the maximum over all
+    /// partitions of foreground and background completion time.
+    fn elapsed(&self) -> Nanos;
+
+    /// Short human-readable engine name used in experiment tables.
+    fn engine_name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// A minimal in-memory engine used to validate that the trait is
+    /// object-safe and ergonomic to implement.
+    #[derive(Default)]
+    struct MemStore {
+        map: HashMap<Key, Value>,
+        clock: Nanos,
+    }
+
+    impl KvStore for MemStore {
+        fn put(&mut self, key: Key, value: Value) -> Result<Nanos> {
+            self.map.insert(key, value);
+            self.clock += Nanos::from_nanos(100);
+            Ok(Nanos::from_nanos(100))
+        }
+
+        fn get(&mut self, key: &Key) -> Result<Lookup> {
+            self.clock += Nanos::from_nanos(50);
+            Ok(Lookup {
+                value: self.map.get(key).cloned(),
+                latency: Nanos::from_nanos(50),
+                source: ReadSource::Dram,
+            })
+        }
+
+        fn delete(&mut self, key: &Key) -> Result<Nanos> {
+            self.map.remove(key);
+            Ok(Nanos::from_nanos(80))
+        }
+
+        fn scan(&mut self, start: &Key, count: usize) -> Result<ScanResult> {
+            let mut entries: Vec<_> = self
+                .map
+                .iter()
+                .filter(|(k, _)| *k >= start)
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            entries.truncate(count);
+            Ok(ScanResult {
+                entries,
+                latency: Nanos::from_nanos(500),
+            })
+        }
+
+        fn stats(&self) -> EngineStats {
+            EngineStats::default()
+        }
+
+        fn elapsed(&self) -> Nanos {
+            self.clock
+        }
+
+        fn engine_name(&self) -> &str {
+            "memstore"
+        }
+    }
+
+    #[test]
+    fn kvstore_trait_is_object_safe() {
+        let mut store: Box<dyn KvStore> = Box::new(MemStore::default());
+        store.put(Key::from_id(1), Value::filled(8, 1)).unwrap();
+        let got = store.get(&Key::from_id(1)).unwrap();
+        assert_eq!(got.value.unwrap().len(), 8);
+        assert!(store.elapsed() > Nanos::ZERO);
+    }
+
+    #[test]
+    fn kvstore_scan_orders_keys() {
+        let mut store = MemStore::default();
+        for id in [5u64, 1, 9, 3] {
+            store
+                .put(Key::from_id(id), Value::filled(4, id as u8))
+                .unwrap();
+        }
+        let res = store.scan(&Key::from_id(2), 10).unwrap();
+        let ids: Vec<u64> = res.entries.iter().map(|(k, _)| k.id()).collect();
+        assert_eq!(ids, vec![3, 5, 9]);
+    }
+}

@@ -1,0 +1,213 @@
+//! Cumulative statistics exposed by storage engines.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Nanos;
+
+/// I/O counters for one storage tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TierIo {
+    /// Bytes read from the tier.
+    pub bytes_read: u64,
+    /// Bytes written to the tier.
+    pub bytes_written: u64,
+    /// Number of read operations issued to the tier.
+    pub reads: u64,
+    /// Number of write operations issued to the tier.
+    pub writes: u64,
+}
+
+impl TierIo {
+    /// Element-wise sum of two counters.
+    pub fn merged(self, other: TierIo) -> TierIo {
+        TierIo {
+            bytes_read: self.bytes_read + other.bytes_read,
+            bytes_written: self.bytes_written + other.bytes_written,
+            reads: self.reads + other.reads,
+            writes: self.writes + other.writes,
+        }
+    }
+
+    /// Element-wise difference (`self - earlier`), saturating at zero.
+    pub fn delta_since(self, earlier: TierIo) -> TierIo {
+        TierIo {
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+        }
+    }
+}
+
+/// Compaction / background-work counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompactionStats {
+    /// Number of compaction (or flush) jobs executed.
+    pub jobs: u64,
+    /// Total simulated time spent in background compaction work.
+    pub total_time: Nanos,
+    /// Simulated time spent compacting data that lives on the fast tier.
+    pub fast_tier_time: Nanos,
+    /// Simulated time spent compacting data that lives on the slow tier.
+    pub slow_tier_time: Nanos,
+    /// Objects demoted from the fast tier to the slow tier.
+    pub demoted_objects: u64,
+    /// Objects promoted from the slow tier to the fast tier.
+    pub promoted_objects: u64,
+    /// Total foreground write-stall time caused by background work.
+    pub stall_time: Nanos,
+}
+
+impl CompactionStats {
+    /// Element-wise difference (`self - earlier`).
+    pub fn delta_since(self, earlier: CompactionStats) -> CompactionStats {
+        CompactionStats {
+            jobs: self.jobs.saturating_sub(earlier.jobs),
+            total_time: self.total_time.saturating_sub(earlier.total_time),
+            fast_tier_time: self.fast_tier_time.saturating_sub(earlier.fast_tier_time),
+            slow_tier_time: self.slow_tier_time.saturating_sub(earlier.slow_tier_time),
+            demoted_objects: self.demoted_objects.saturating_sub(earlier.demoted_objects),
+            promoted_objects: self
+                .promoted_objects
+                .saturating_sub(earlier.promoted_objects),
+            stall_time: self.stall_time.saturating_sub(earlier.stall_time),
+        }
+    }
+}
+
+/// Cumulative statistics reported by an engine via [`crate::KvStore::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Reads served from DRAM (caches / memtables).
+    pub reads_from_dram: u64,
+    /// Reads served from the NVM tier.
+    pub reads_from_nvm: u64,
+    /// Reads served from the flash tier.
+    pub reads_from_flash: u64,
+    /// Lookups that found no value.
+    pub reads_not_found: u64,
+    /// I/O issued to the NVM device (foreground + background).
+    pub nvm_io: TierIo,
+    /// I/O issued to the flash device (foreground + background).
+    pub flash_io: TierIo,
+    /// Background compaction counters.
+    pub compaction: CompactionStats,
+    /// Bytes of logical user data written by clients (used to derive write
+    /// amplification: `flash_io.bytes_written / user_bytes_written`).
+    pub user_bytes_written: u64,
+    /// Per-LSM-level read counters (index 0 = L0). Engines without levels
+    /// leave this empty.
+    pub reads_per_level: [u64; 8],
+}
+
+impl EngineStats {
+    /// Total number of point reads that found a value.
+    pub fn reads_found(&self) -> u64 {
+        self.reads_from_dram + self.reads_from_nvm + self.reads_from_flash
+    }
+
+    /// Fraction of found reads served without touching flash.
+    ///
+    /// Returns 1.0 when no reads have been served yet so that a freshly
+    /// started engine does not look like it is flash-bound.
+    pub fn fast_read_ratio(&self) -> f64 {
+        let total = self.reads_found();
+        if total == 0 {
+            return 1.0;
+        }
+        (self.reads_from_dram + self.reads_from_nvm) as f64 / total as f64
+    }
+
+    /// Write amplification on flash relative to user-written bytes.
+    pub fn flash_write_amplification(&self) -> f64 {
+        if self.user_bytes_written == 0 {
+            return 0.0;
+        }
+        self.flash_io.bytes_written as f64 / self.user_bytes_written as f64
+    }
+
+    /// Element-wise difference (`self - earlier`), used by the harness to
+    /// isolate the measurement window from the load/warm-up phases.
+    pub fn delta_since(&self, earlier: &EngineStats) -> EngineStats {
+        let mut reads_per_level = [0u64; 8];
+        for (i, slot) in reads_per_level.iter_mut().enumerate() {
+            *slot = self.reads_per_level[i].saturating_sub(earlier.reads_per_level[i]);
+        }
+        EngineStats {
+            reads_from_dram: self.reads_from_dram.saturating_sub(earlier.reads_from_dram),
+            reads_from_nvm: self.reads_from_nvm.saturating_sub(earlier.reads_from_nvm),
+            reads_from_flash: self
+                .reads_from_flash
+                .saturating_sub(earlier.reads_from_flash),
+            reads_not_found: self.reads_not_found.saturating_sub(earlier.reads_not_found),
+            nvm_io: self.nvm_io.delta_since(earlier.nvm_io),
+            flash_io: self.flash_io.delta_since(earlier.flash_io),
+            compaction: self.compaction.delta_since(earlier.compaction),
+            user_bytes_written: self
+                .user_bytes_written
+                .saturating_sub(earlier.user_bytes_written),
+            reads_per_level,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_io_merge_and_delta() {
+        let a = TierIo {
+            bytes_read: 10,
+            bytes_written: 20,
+            reads: 1,
+            writes: 2,
+        };
+        let b = TierIo {
+            bytes_read: 5,
+            bytes_written: 7,
+            reads: 3,
+            writes: 4,
+        };
+        let m = a.merged(b);
+        assert_eq!(m.bytes_read, 15);
+        assert_eq!(m.writes, 6);
+        let d = m.delta_since(a);
+        assert_eq!(d, b);
+    }
+
+    #[test]
+    fn fast_read_ratio_handles_zero_and_mixed() {
+        let mut stats = EngineStats::default();
+        assert_eq!(stats.fast_read_ratio(), 1.0);
+        stats.reads_from_nvm = 3;
+        stats.reads_from_flash = 1;
+        assert!((stats.fast_read_ratio() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_amplification() {
+        let mut stats = EngineStats::default();
+        assert_eq!(stats.flash_write_amplification(), 0.0);
+        stats.user_bytes_written = 100;
+        stats.flash_io.bytes_written = 450;
+        assert!((stats.flash_write_amplification() - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_since_isolates_window() {
+        let mut earlier = EngineStats::default();
+        earlier.reads_from_flash = 10;
+        earlier.compaction.jobs = 2;
+        earlier.reads_per_level[1] = 4;
+        let mut later = earlier;
+        later.reads_from_flash = 25;
+        later.compaction.jobs = 5;
+        later.compaction.total_time = Nanos::from_micros(10);
+        later.reads_per_level[1] = 9;
+        let delta = later.delta_since(&earlier);
+        assert_eq!(delta.reads_from_flash, 15);
+        assert_eq!(delta.compaction.jobs, 3);
+        assert_eq!(delta.reads_per_level[1], 5);
+    }
+}

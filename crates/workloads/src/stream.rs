@@ -1,0 +1,160 @@
+//! Turning a workload specification into a stream of operations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use prism_types::{Key, Op, Value};
+
+use crate::dist::KeyChooser;
+use crate::spec::Workload;
+
+/// A deterministic, infinite stream of operations drawn from a
+/// [`Workload`].
+///
+/// The stream also provides [`OpStream::load_ops`], the sequential insert
+/// phase that populates the database before warm-up and measurement.
+#[derive(Debug)]
+pub struct OpStream {
+    workload: Workload,
+    rng: StdRng,
+    read_chooser: KeyChooser,
+    write_chooser: KeyChooser,
+    /// Highest key id inserted so far (grows when the workload inserts).
+    newest_key: u64,
+}
+
+impl OpStream {
+    /// Create a stream with the given RNG seed.
+    pub fn new(workload: Workload, seed: u64) -> Self {
+        let read_chooser = KeyChooser::new(workload.distribution, workload.record_count);
+        let write_chooser = KeyChooser::new(
+            workload.write_distribution.unwrap_or(workload.distribution),
+            workload.record_count,
+        );
+        OpStream {
+            newest_key: workload.record_count.saturating_sub(1),
+            rng: StdRng::seed_from_u64(seed),
+            read_chooser,
+            write_chooser,
+            workload,
+        }
+    }
+
+    /// The workload this stream draws from.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The insert operations that load the initial dataset, in key order.
+    pub fn load_ops(&self) -> impl Iterator<Item = Op> + '_ {
+        let size = self.workload.value_size;
+        (0..self.workload.record_count)
+            .map(move |id| Op::Insert(Key::from_id(id), Value::filled(size, (id % 251) as u8)))
+    }
+
+    fn value(&mut self) -> Value {
+        Value::filled(self.workload.value_size, self.rng.gen())
+    }
+
+    fn next_op(&mut self) -> Op {
+        let mix = self.workload.mix;
+        let draw: f64 = self.rng.gen();
+        let read_key = |s: &mut Self| Key::from_id(s.read_chooser.next(&mut s.rng, s.newest_key));
+        let write_key =
+            |s: &mut Self| Key::from_id(s.write_chooser.next(&mut s.rng, s.newest_key));
+
+        if draw < mix.reads {
+            Op::Read(read_key(self))
+        } else if draw < mix.reads + mix.updates {
+            let key = write_key(self);
+            let value = self.value();
+            Op::Update(key, value)
+        } else if draw < mix.reads + mix.updates + mix.inserts {
+            self.newest_key += 1;
+            let key = Key::from_id(self.newest_key);
+            let value = self.value();
+            Op::Insert(key, value)
+        } else if draw < mix.reads + mix.updates + mix.inserts + mix.read_modify_writes {
+            let key = write_key(self);
+            let value = self.value();
+            Op::ReadModifyWrite(key, value)
+        } else {
+            let key = read_key(self);
+            let len = self.rng.gen_range(1..=self.workload.max_scan_len.max(1));
+            Op::Scan(key, len)
+        }
+    }
+}
+
+impl Iterator for OpStream {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        Some(self.next_op())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_types::OpKind;
+
+    #[test]
+    fn load_ops_cover_every_key_once() {
+        let workload = Workload::ycsb_a(500);
+        let stream = workload.stream(1);
+        let ids: Vec<u64> = stream.load_ops().map(|op| op.key().id()).collect();
+        assert_eq!(ids, (0..500).collect::<Vec<_>>());
+        for op in stream.load_ops().take(5) {
+            assert_eq!(op.kind(), OpKind::Insert);
+        }
+    }
+
+    #[test]
+    fn mix_fractions_are_respected() {
+        let workload = Workload::ycsb_b(10_000);
+        let ops: Vec<Op> = workload.stream(11).take(20_000).collect();
+        let reads = ops.iter().filter(|o| o.kind() == OpKind::Read).count() as f64;
+        let updates = ops.iter().filter(|o| o.kind() == OpKind::Update).count() as f64;
+        assert!((reads / 20_000.0 - 0.95).abs() < 0.02);
+        assert!((updates / 20_000.0 - 0.05).abs() < 0.02);
+    }
+
+    #[test]
+    fn inserts_extend_the_key_space_monotonically() {
+        let workload = Workload::ycsb_d(1_000);
+        let mut seen_inserts = Vec::new();
+        for op in workload.stream(5).take(5_000) {
+            if let Op::Insert(key, _) = op {
+                seen_inserts.push(key.id());
+            }
+        }
+        assert!(!seen_inserts.is_empty());
+        let mut sorted = seen_inserts.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seen_inserts.len(), "insert keys must be unique");
+        assert!(seen_inserts.iter().all(|&id| id >= 1_000));
+    }
+
+    #[test]
+    fn values_have_configured_size() {
+        let workload = Workload::twitter_cluster19(100);
+        for op in workload.stream(2).take(500) {
+            if let Op::Update(_, value) = op {
+                assert_eq!(value.len(), 102);
+            }
+        }
+    }
+
+    #[test]
+    fn rmw_ops_appear_in_ycsb_f() {
+        let workload = Workload::ycsb_f(1_000);
+        let rmw = workload
+            .stream(9)
+            .take(2_000)
+            .filter(|o| o.kind() == OpKind::ReadModifyWrite)
+            .count();
+        assert!(rmw > 800, "expected ~50% RMW ops, got {rmw}/2000");
+    }
+}

@@ -1,0 +1,43 @@
+//! Compare PrismDB's compaction range-selection policies — random,
+//! precise-MSC and approx-MSC — on a write-heavy Zipfian workload, a
+//! miniature of the paper's Figure 6.
+//!
+//! Run with `cargo run --release --example compaction_policies`.
+
+use prismdb::bench::{engines, RunConfig, Runner};
+use prismdb::compaction::CompactionPolicy;
+use prismdb::workloads::Workload;
+
+fn main() {
+    let keys = 10_000;
+    let runner = Runner::new(RunConfig::scaled(keys));
+    let workload = Workload::ycsb_a(keys).with_zipf(0.99);
+
+    println!("policy       tput (Kops/s)  flash WA  demoted  promoted  avg compaction (ms)  stalls (ms)");
+    println!("-----------  -------------  --------  -------  --------  -------------------  -----------");
+    for (label, policy) in [
+        ("random", CompactionPolicy::Random),
+        ("precise-msc", CompactionPolicy::PreciseMsc),
+        ("approx-msc", CompactionPolicy::ApproxMsc),
+    ] {
+        let mut db = engines::prismdb_with_policy(keys, policy);
+        let cost = db.cost_per_gb();
+        let result = runner.run(&mut db, &workload, cost);
+        let compaction = result.stats.compaction;
+        let avg_ms = if compaction.jobs == 0 {
+            0.0
+        } else {
+            compaction.total_time.as_nanos() as f64 / compaction.jobs as f64 / 1e6
+        };
+        println!(
+            "{:<11}  {:>13.1}  {:>8.2}  {:>7}  {:>8}  {:>19.2}  {:>11.2}",
+            label,
+            result.throughput_kops,
+            result.stats.flash_write_amplification(),
+            compaction.demoted_objects,
+            compaction.promoted_objects,
+            avg_ms,
+            compaction.stall_time.as_nanos() as f64 / 1e6
+        );
+    }
+}

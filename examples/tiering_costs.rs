@@ -1,0 +1,40 @@
+//! Explore the cost-performance trade-off of tiered storage: sweep the NVM
+//! fraction of the deployment and report throughput, blended $/GB and the
+//! projected QLC lifetime — a miniature of the paper's Figure 9 and
+//! Figure 12.
+//!
+//! Run with `cargo run --release --example tiering_costs`.
+
+use prismdb::bench::{engines, RunConfig, Runner};
+use prismdb::storage::{lifetime_years, DeviceProfile};
+use prismdb::workloads::Workload;
+
+fn main() {
+    let keys = 10_000;
+    let runner = Runner::new(RunConfig::scaled(keys));
+    let workload = Workload::ycsb_a(keys);
+
+    println!("nvm %   cost ($/GB)  throughput (Kops/s)  fast-read ratio  qlc lifetime (yrs, 600GB)");
+    println!("------  -----------  -------------------  ---------------  -------------------------");
+    for fraction in [0.05, 0.10, 0.20, 0.33, 0.50] {
+        let mut db = engines::prismdb_with_nvm_fraction(keys, fraction);
+        let cost = db.cost_per_gb();
+        let result = runner.run(&mut db, &workload, cost);
+
+        // Project the endurance of a 600 GB QLC drive under this workload's
+        // measured flash-write behaviour, scaled to a 100 Kops/s service.
+        let measured_flash_per_op = result.stats.flash_io.bytes_written as f64
+            / (runner.config().measure_ops as f64).max(1.0);
+        let flash_bytes_per_sec = measured_flash_per_op * 100_000.0;
+        let lifetime = lifetime_years(&DeviceProfile::qlc_flash(600 << 30), flash_bytes_per_sec);
+
+        println!(
+            "{:>5.0}%  {:>11.2}  {:>19.1}  {:>15.2}  {:>25.1}",
+            fraction * 100.0,
+            result.cost_per_gb,
+            result.throughput_kops,
+            result.fast_read_ratio(),
+            lifetime
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Replay synthetic versions of the three Twitter production cache traces
+//! the paper evaluates (write-heavy cluster 39, mixed cluster 19 with tiny
+//! objects, read-heavy cluster 51) against PrismDB and the multi-tier LSM —
+//! a miniature of the paper's Table 5.
+//!
+//! Run with `cargo run --release --example twitter_replay`.
+
+use prismdb::bench::{engines, RunConfig, Runner};
+use prismdb::types::OpKind;
+use prismdb::workloads::Workload;
+
+fn main() {
+    let keys = 10_000;
+    let runner = Runner::new(RunConfig::scaled(keys));
+    let traces = vec![
+        Workload::twitter_cluster39(keys),
+        Workload::twitter_cluster19(keys),
+        Workload::twitter_cluster51(keys),
+    ];
+
+    println!("trace               engine       tput (Kops/s)  avg put (us)  p99 (us)  fast reads");
+    println!("------------------  -----------  -------------  ------------  --------  ----------");
+    for workload in traces {
+        let mut rocks = engines::rocksdb_het(keys);
+        let rocks_cost = rocks.cost_per_gb();
+        let rocks_result = runner.run(&mut rocks, &workload, rocks_cost);
+        let mut prism = engines::prismdb(keys);
+        let prism_cost = prism.cost_per_gb();
+        let prism_result = runner.run(&mut prism, &workload, prism_cost);
+
+        for result in [rocks_result, prism_result] {
+            println!(
+                "{:<18}  {:<11}  {:>13.1}  {:>12.1}  {:>8.1}  {:>9.2}",
+                workload.name,
+                result.engine,
+                result.throughput_kops,
+                result.kind(OpKind::Update).mean_us,
+                result.p99_us,
+                result.fast_read_ratio()
+            );
+        }
+    }
+}

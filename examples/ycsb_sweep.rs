@@ -1,0 +1,34 @@
+//! Run the YCSB point-query workloads against PrismDB and the multi-tier
+//! LSM baseline, printing a miniature version of the paper's Figure 10a.
+//!
+//! Run with `cargo run --release --example ycsb_sweep`.
+
+use prismdb::bench::{engines, RunConfig, Runner};
+use prismdb::workloads::Workload;
+
+fn main() {
+    let keys = 10_000;
+    let runner = Runner::new(RunConfig::scaled(keys));
+
+    println!("workload  rocksdb-het (Kops/s)  prismdb (Kops/s)  speedup");
+    println!("--------  --------------------  ----------------  -------");
+    for letter in ['a', 'b', 'c', 'd', 'f'] {
+        let workload = Workload::ycsb(letter, keys);
+
+        let mut rocks = engines::rocksdb_het(keys);
+        let rocks_cost = rocks.cost_per_gb();
+        let rocks_result = runner.run(&mut rocks, &workload, rocks_cost);
+
+        let mut prism = engines::prismdb(keys);
+        let prism_cost = prism.cost_per_gb();
+        let prism_result = runner.run(&mut prism, &workload, prism_cost);
+
+        println!(
+            "{:<8}  {:>20.1}  {:>16.1}  {:>6.2}x",
+            workload.name,
+            rocks_result.throughput_kops,
+            prism_result.throughput_kops,
+            prism_result.throughput_kops / rocks_result.throughput_kops.max(1e-9)
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! PrismDB reproduction — facade crate.
+//!
+//! This crate re-exports the public API of the whole workspace so examples,
+//! integration tests and downstream users can depend on a single crate:
+//!
+//! * [`db`] — the PrismDB engine itself ([`db::PrismDb`], [`db::Options`]),
+//! * [`lsm`] — the RocksDB-like baseline family used in the paper's
+//!   comparisons,
+//! * [`types`] — keys, values, the [`types::KvStore`] trait and statistics,
+//! * [`storage`] — the tiered-device simulator, cost and endurance models,
+//! * [`workloads`] — YCSB and Twitter-trace workload generators,
+//! * [`bench`] — the experiment harness that regenerates every table and
+//!   figure of the paper,
+//! * the individual substrates ([`nvm`], [`flash`], [`index`], [`tracker`],
+//!   [`compaction`]) for users who want to build their own tiered engines.
+//!
+//! # Quick start
+//!
+//! ```
+//! use prismdb::db::{Options, PrismDb};
+//! use prismdb::types::{Key, KvStore, Value};
+//!
+//! let options = Options::builder(10_000).partitions(2).build()?;
+//! let mut db = PrismDb::open(options)?;
+//! db.put(Key::from_id(1), Value::filled(512, 7))?;
+//! assert!(db.get(&Key::from_id(1))?.value.is_some());
+//! # Ok::<(), prismdb::types::PrismError>(())
+//! ```
+
+/// The PrismDB engine (re-export of `prism-db`).
+pub use prism_db as db;
+/// The LSM baseline family (re-export of `prism-lsm`).
+pub use prism_lsm as lsm;
+/// Common types and the `KvStore` trait (re-export of `prism-types`).
+pub use prism_types as types;
+/// Tiered storage simulator (re-export of `prism-storage`).
+pub use prism_storage as storage;
+/// Workload generators (re-export of `prism-workloads`).
+pub use prism_workloads as workloads;
+/// Experiment harness (re-export of `prism-bench`).
+pub use prism_bench as bench;
+/// NVM slab store substrate (re-export of `prism-nvm`).
+pub use prism_nvm as nvm;
+/// Flash SST log substrate (re-export of `prism-flash`).
+pub use prism_flash as flash;
+/// B-tree index substrate (re-export of `prism-index`).
+pub use prism_index as index;
+/// Popularity tracker substrate (re-export of `prism-tracker`).
+pub use prism_tracker as tracker;
+/// Multi-tiered storage compaction (re-export of `prism-compaction`).
+pub use prism_compaction as compaction;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_resolve() {
+        // Touch one item from every re-exported crate so a missing
+        // re-export fails to compile.
+        let _ = crate::types::Key::from_id(1);
+        let _ = crate::storage::DeviceProfile::qlc_flash(1);
+        let _ = crate::db::Options::scaled_default(10);
+        let _ = crate::lsm::LsmConfig::het(10, 0.2);
+        let _ = crate::workloads::Workload::ycsb_a(10);
+        let _ = crate::bench::Scale::quick();
+        let _ = crate::nvm::NvmAddress::new(0, 0);
+        let _ = crate::flash::BloomFilter::new(1, 10);
+        let _: crate::index::BTreeIndex<u64, u64> = crate::index::BTreeIndex::new();
+        let _ = crate::tracker::Mapper::new();
+        let _ = crate::compaction::CompactionConfig::default();
+    }
+}

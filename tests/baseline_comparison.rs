@@ -1,0 +1,135 @@
+//! Integration tests asserting the headline comparative results of the
+//! paper hold in the reproduction: PrismDB vs the LSM baseline family on
+//! equivalently-priced simulated hardware.
+
+use prismdb::bench::{engines, RunConfig, Runner};
+use prismdb::compaction::CompactionPolicy;
+use prismdb::workloads::Workload;
+
+fn runner(keys: u64) -> Runner {
+    Runner::new(RunConfig {
+        record_count: keys,
+        warmup_ops: keys,
+        measure_ops: keys * 2,
+        seed: 42,
+        windows: 1,
+    })
+}
+
+#[test]
+fn prismdb_outperforms_multitier_lsm_on_write_heavy_zipfian() {
+    let keys = 6_000;
+    let runner = runner(keys);
+    let workload = Workload::ycsb_a(keys);
+
+    let mut prism = engines::prismdb(keys);
+    let prism_cost = prism.cost_per_gb();
+    let prism_result = runner.run(&mut prism, &workload, prism_cost);
+
+    let mut rocks = engines::rocksdb_het(keys);
+    let rocks_cost = rocks.cost_per_gb();
+    let rocks_result = runner.run(&mut rocks, &workload, rocks_cost);
+
+    assert!(
+        prism_result.throughput_kops > rocks_result.throughput_kops,
+        "YCSB-A: prism {:.1} Kops/s vs rocksdb-het {:.1} Kops/s",
+        prism_result.throughput_kops,
+        rocks_result.throughput_kops
+    );
+    // Equivalently-priced hardware: the blended cost must be comparable.
+    assert!((prism_result.cost_per_gb - rocks_result.cost_per_gb).abs() < 0.25);
+}
+
+#[test]
+fn prismdb_keeps_more_reads_off_flash_than_the_lsm() {
+    let keys = 6_000;
+    let runner = runner(keys);
+    let workload = Workload::ycsb_b(keys);
+
+    let mut prism = engines::prismdb(keys);
+    let prism_cost = prism.cost_per_gb();
+    let prism_result = runner.run(&mut prism, &workload, prism_cost);
+
+    let mut rocks = engines::rocksdb_het(keys);
+    let rocks_cost = rocks.cost_per_gb();
+    let rocks_result = runner.run(&mut rocks, &workload, rocks_cost);
+
+    assert!(
+        prism_result.fast_read_ratio() >= rocks_result.fast_read_ratio(),
+        "prism fast-read ratio {:.2} vs rocksdb {:.2}",
+        prism_result.fast_read_ratio(),
+        rocks_result.fast_read_ratio()
+    );
+}
+
+#[test]
+fn msc_compaction_writes_no_more_flash_than_random_selection() {
+    let keys = 6_000;
+    let runner = runner(keys);
+    let workload = Workload::ycsb_a(keys).with_zipf(0.99);
+
+    let mut approx = engines::prismdb_with_policy(keys, CompactionPolicy::ApproxMsc);
+    let approx_cost = approx.cost_per_gb();
+    let approx_result = runner.run(&mut approx, &workload, approx_cost);
+
+    let mut random = engines::prismdb_with_policy(keys, CompactionPolicy::Random);
+    let random_cost = random.cost_per_gb();
+    let random_result = runner.run(&mut random, &workload, random_cost);
+
+    let approx_wa = approx_result.stats.flash_write_amplification();
+    let random_wa = random_result.stats.flash_write_amplification();
+    assert!(
+        approx_wa <= random_wa * 1.25,
+        "approx-MSC flash WA {approx_wa:.2} should not exceed random {random_wa:.2}"
+    );
+}
+
+#[test]
+fn single_tier_nvm_is_fastest_and_most_expensive() {
+    let keys = 4_000;
+    let runner = runner(keys);
+    let workload = Workload::ycsb_a(keys).with_zipf(0.8);
+
+    let mut nvm = engines::rocksdb_nvm(keys);
+    let nvm_cost = nvm.cost_per_gb();
+    let nvm_result = runner.run(&mut nvm, &workload, nvm_cost);
+
+    let mut qlc = engines::rocksdb_qlc(keys);
+    let qlc_cost = qlc.cost_per_gb();
+    let qlc_result = runner.run(&mut qlc, &workload, qlc_cost);
+
+    assert!(nvm_result.throughput_kops > qlc_result.throughput_kops);
+    assert!(nvm_result.cost_per_gb > 20.0 * qlc_result.cost_per_gb);
+}
+
+#[test]
+fn spandb_beats_stock_rocksdb_when_fsync_is_required() {
+    let keys = 4_000;
+    let runner = runner(keys);
+    let workload = Workload::ycsb_a(keys);
+
+    let mut rocks = engines::rocksdb_het_fsync(keys);
+    let rocks_cost = rocks.cost_per_gb();
+    let rocks_result = runner.run(&mut rocks, &workload, rocks_cost);
+
+    let mut span = engines::spandb(keys);
+    let span_cost = span.cost_per_gb();
+    let span_result = runner.run(&mut span, &workload, span_cost);
+
+    let mut prism = engines::prismdb(keys);
+    let prism_cost = prism.cost_per_gb();
+    let prism_result = runner.run(&mut prism, &workload, prism_cost);
+
+    assert!(
+        span_result.throughput_kops > rocks_result.throughput_kops,
+        "spandb {:.1} vs rocksdb-fsync {:.1}",
+        span_result.throughput_kops,
+        rocks_result.throughput_kops
+    );
+    assert!(
+        prism_result.throughput_kops > span_result.throughput_kops,
+        "prism {:.1} vs spandb {:.1}",
+        prism_result.throughput_kops,
+        span_result.throughput_kops
+    );
+}
