@@ -8,7 +8,6 @@
 //! colder ranges; narrower buckets approximate the precise metric better at
 //! higher memory/maintenance cost.
 
-use prism_types::KvStore;
 use prism_workloads::Workload;
 
 use crate::engines;
@@ -23,7 +22,12 @@ pub fn run(scale: &Scale) -> Vec<Table> {
 
     let mut by_k = Table::new(
         "Ablation: power-of-k candidate sampling (YCSB-A, Zipf 0.99)",
-        &["k", "throughput (Kops/s)", "flash write amplification", "avg compaction (ms)"],
+        &[
+            "k",
+            "throughput (Kops/s)",
+            "flash write amplification",
+            "avg compaction (ms)",
+        ],
     );
     for k in [1usize, 2, 4, 8, 16] {
         let mut options = engines::prism_options(keys);
@@ -48,7 +52,11 @@ pub fn run(scale: &Scale) -> Vec<Table> {
 
     let mut by_bucket = Table::new(
         "Ablation: approx-MSC bucket width (YCSB-A, Zipf 0.99)",
-        &["bucket (keys)", "throughput (Kops/s)", "flash write amplification"],
+        &[
+            "bucket (keys)",
+            "throughput (Kops/s)",
+            "flash write amplification",
+        ],
     );
     for bucket in [256u64, 1_024, 4_096, 16_384] {
         let mut options = engines::prism_options(keys);

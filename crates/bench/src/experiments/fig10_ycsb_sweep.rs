@@ -9,7 +9,10 @@ use crate::{RunResult, Runner, Scale};
 
 fn engines_for(keys: u64) -> Vec<(&'static str, Box<dyn KvStore>)> {
     vec![
-        ("rocksdb-het", Box::new(engines::rocksdb_het(keys)) as Box<dyn KvStore>),
+        (
+            "rocksdb-het",
+            Box::new(engines::rocksdb_het(keys)) as Box<dyn KvStore>,
+        ),
         ("rocksdb-l2c", Box::new(engines::rocksdb_l2c(keys))),
         ("rocksdb-ra", Box::new(engines::rocksdb_read_aware(keys))),
         ("mutant", Box::new(engines::mutant(keys))),

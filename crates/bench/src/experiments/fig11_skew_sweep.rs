@@ -67,9 +67,20 @@ mod tests {
         scale.measure_ops = 1_500;
         let tables = run(&scale);
         let t = &tables[0];
-        let rocks: f64 = t.cell("0.99", "rocksdb tput (Kops/s)").unwrap().parse().unwrap();
-        let prism: f64 = t.cell("0.99", "prismdb tput (Kops/s)").unwrap().parse().unwrap();
-        assert!(prism > rocks, "prism {prism} should beat rocksdb {rocks} at zipf 0.99");
+        let rocks: f64 = t
+            .cell("0.99", "rocksdb tput (Kops/s)")
+            .unwrap()
+            .parse()
+            .unwrap();
+        let prism: f64 = t
+            .cell("0.99", "prismdb tput (Kops/s)")
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(
+            prism > rocks,
+            "prism {prism} should beat rocksdb {rocks} at zipf 0.99"
+        );
         assert_eq!(t.row_count(), 7);
     }
 }

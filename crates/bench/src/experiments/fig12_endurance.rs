@@ -31,7 +31,12 @@ pub fn run(scale: &Scale) -> Vec<Table> {
             "Figure 12: projected QLC lifetime (600 GB DB, measured flash WA = {:.2})",
             write_amp
         ),
-        &["workload", "request rate (Kops/s)", "write %", "lifetime (years)"],
+        &[
+            "workload",
+            "request rate (Kops/s)",
+            "write %",
+            "lifetime (years)",
+        ],
     );
 
     let mut add = |name: &str, rate_kops: f64, write_fraction: f64| {
@@ -57,7 +62,11 @@ pub fn run(scale: &Scale) -> Vec<Table> {
     };
 
     for write_pct in [1.0, 5.0, 10.0, 25.0, 50.0] {
-        add(&format!("{write_pct:.0}% writes @10K"), 10.0, write_pct / 100.0);
+        add(
+            &format!("{write_pct:.0}% writes @10K"),
+            10.0,
+            write_pct / 100.0,
+        );
     }
     // Production workload points (per-server rates) from the RocksDB
     // characterization the paper cites: UP2X is update-heavy, ZippyDB and
@@ -88,6 +97,9 @@ mod tests {
         };
         assert!(lifetime("ZippyDB") > lifetime("UP2X"));
         assert!(lifetime("1% writes @10K") > lifetime("50% writes @10K"));
-        assert!(lifetime("ZippyDB") > 3.0, "read-heavy production workloads meet 3-5y");
+        assert!(
+            lifetime("ZippyDB") > 3.0,
+            "read-heavy production workloads meet 3-5y"
+        );
     }
 }

@@ -93,7 +93,11 @@ pub fn promotions(scale: &Scale) -> Table {
 pub fn pinning_threshold(scale: &Scale) -> Table {
     let runner = Runner::new(super::run_config(scale));
     let keys = scale.record_count;
-    let mixes = [("ycsb 5/95", 0.05), ("ycsb 50/50", 0.5), ("ycsb 95/5", 0.95)];
+    let mixes = [
+        ("ycsb 5/95", 0.05),
+        ("ycsb 50/50", 0.5),
+        ("ycsb 95/5", 0.95),
+    ];
     let thresholds = [0.0, 0.25, 0.5, 0.75, 1.0];
 
     let mut table = Table::new(
@@ -128,7 +132,10 @@ pub fn scalability(scale: &Scale) -> Table {
         let mut db = engines::prismdb_with_partitions(keys, partitions);
         let cost = db.cost_per_gb();
         let result = runner.run(&mut db, &workload, cost);
-        table.add_row(vec![partitions.to_string(), fmt_f64(result.throughput_kops)]);
+        table.add_row(vec![
+            partitions.to_string(),
+            fmt_f64(result.throughput_kops),
+        ]);
     }
     table.print();
     table
@@ -151,7 +158,13 @@ mod tests {
     #[test]
     fn fig14d_more_partitions_do_not_hurt_throughput() {
         let table = scalability(&Scale::quick());
-        let get = |p: &str| -> f64 { table.cell(p, "throughput (Kops/s)").unwrap().parse().unwrap() };
+        let get = |p: &str| -> f64 {
+            table
+                .cell(p, "throughput (Kops/s)")
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
         assert!(get("8") > get("1"), "8 partitions should outrun 1");
     }
 

@@ -64,7 +64,11 @@ mod tests {
     fn fig2_reports_both_tiers_and_flash_reads() {
         let tables = run(&Scale::quick());
         assert_eq!(tables.len(), 2);
-        let share: f64 = tables[0].cell("nvm", "compaction time share (%)").unwrap().parse().unwrap();
+        let share: f64 = tables[0]
+            .cell("nvm", "compaction time share (%)")
+            .unwrap()
+            .parse()
+            .unwrap();
         assert!((0.0..=100.0).contains(&share));
         assert_eq!(tables[1].row_count(), 6);
     }

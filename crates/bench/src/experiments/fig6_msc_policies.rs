@@ -57,7 +57,10 @@ mod tests {
         let tables = run(&Scale::quick());
         let t = &tables[0];
         let wa = |row: &str| -> f64 {
-            t.cell(row, "flash write amplification").unwrap().parse().unwrap()
+            t.cell(row, "flash write amplification")
+                .unwrap()
+                .parse()
+                .unwrap()
         };
         // The MSC metric (approximate or precise) must not write
         // meaningfully more flash per user byte than random range

@@ -40,7 +40,10 @@ pub fn run(scale: &Scale) -> Vec<Table> {
     for (label, fraction) in [("het10", 0.10), ("het20", 0.20), ("het33", 0.33)] {
         let mut het = engines::rocksdb_het_fraction(keys, fraction);
         let c = het.cost_per_gb();
-        add(&format!("rocksdb-{label}"), runner.run(&mut het, &workload, c));
+        add(
+            &format!("rocksdb-{label}"),
+            runner.run(&mut het, &workload, c),
+        );
     }
 
     let mut l2c = engines::rocksdb_l2c(keys);
@@ -56,7 +59,10 @@ pub fn run(scale: &Scale) -> Vec<Table> {
     for (label, fraction) in [("het10", 0.10), ("het20", 0.20), ("het33", 0.33)] {
         let mut prism = engines::prismdb_with_nvm_fraction(keys, fraction);
         let c = prism.cost_per_gb();
-        add(&format!("prismdb-{label}"), runner.run(&mut prism, &workload, c));
+        add(
+            &format!("prismdb-{label}"),
+            runner.run(&mut prism, &workload, c),
+        );
     }
 
     table.print();
@@ -71,7 +77,8 @@ mod tests {
     fn fig9_prism_dominates_het_lsm_at_same_cost_point() {
         let tables = run(&Scale::quick());
         let t = &tables[0];
-        let tput = |row: &str| -> f64 { t.cell(row, "throughput (Kops/s)").unwrap().parse().unwrap() };
+        let tput =
+            |row: &str| -> f64 { t.cell(row, "throughput (Kops/s)").unwrap().parse().unwrap() };
         let cost = |row: &str| -> f64 { t.cell(row, "cost ($/GB)").unwrap().parse().unwrap() };
         assert!(tput("prismdb-het20") > tput("rocksdb-het20"));
         assert!((cost("prismdb-het20") - cost("rocksdb-het20")).abs() < 0.2);

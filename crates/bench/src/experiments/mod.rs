@@ -7,6 +7,7 @@
 //! functions.
 
 pub mod ablation_msc_parameters;
+pub mod fig10_ycsb_sweep;
 pub mod fig11_skew_sweep;
 pub mod fig12_endurance;
 pub mod fig13_fsync;
@@ -15,7 +16,6 @@ pub mod fig2_lsm_breakdown;
 pub mod fig5_clock_distributions;
 pub mod fig6_msc_policies;
 pub mod fig9_cost_throughput;
-pub mod fig10_ycsb_sweep;
 pub mod table1_devices;
 pub mod table2_single_vs_multi;
 pub mod table5_twitter;

@@ -45,8 +45,16 @@ mod tests {
         let tables = run(&Scale::quick());
         let table = &tables[0];
         assert_eq!(table.row_count(), 3);
-        let nvm_read: f64 = table.cell("nvm", "4KB rand read (us)").unwrap().parse().unwrap();
-        let qlc_read: f64 = table.cell("qlc", "4KB rand read (us)").unwrap().parse().unwrap();
+        let nvm_read: f64 = table
+            .cell("nvm", "4KB rand read (us)")
+            .unwrap()
+            .parse()
+            .unwrap();
+        let qlc_read: f64 = table
+            .cell("qlc", "4KB rand read (us)")
+            .unwrap()
+            .parse()
+            .unwrap();
         assert!(qlc_read / nvm_read > 50.0, "read gap must stay ~65x");
     }
 }

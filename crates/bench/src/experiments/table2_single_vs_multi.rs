@@ -65,7 +65,8 @@ mod tests {
     fn table2_shape_matches_paper() {
         let tables = run(&Scale::quick());
         let t = &tables[0];
-        let tput = |row: &str| -> f64 { t.cell(row, "throughput (Kops/s)").unwrap().parse().unwrap() };
+        let tput =
+            |row: &str| -> f64 { t.cell(row, "throughput (Kops/s)").unwrap().parse().unwrap() };
         // NVM single-tier beats QLC single-tier; PrismDB beats multi-tier
         // RocksDB on equivalent hardware.
         assert!(tput("rocksdb-nvm") > tput("rocksdb-qlc"));

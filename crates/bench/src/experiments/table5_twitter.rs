@@ -79,7 +79,10 @@ mod tests {
             .unwrap()
             .parse()
             .unwrap();
-        assert!(prism > rocks, "prism {prism} vs rocksdb {rocks} on cluster51");
+        assert!(
+            prism > rocks,
+            "prism {prism} vs rocksdb {rocks} on cluster51"
+        );
         assert_eq!(t.row_count(), 3);
     }
 }

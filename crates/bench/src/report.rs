@@ -83,7 +83,12 @@ impl fmt::Display for Table {
             let line: Vec<String> = row
                 .iter()
                 .enumerate()
-                .map(|(i, c)| format!("{c:<width$}", width = widths.get(i).copied().unwrap_or(c.len())))
+                .map(|(i, c)| {
+                    format!(
+                        "{c:<width$}",
+                        width = widths.get(i).copied().unwrap_or(c.len())
+                    )
+                })
                 .collect();
             writeln!(f, "{}", line.join("  "))?;
         }

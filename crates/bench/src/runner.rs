@@ -188,8 +188,7 @@ impl Runner {
         for w in 0..self.config.windows {
             for _ in 0..ops_per_window {
                 let op = stream.next().expect("stream is infinite");
-                let (latency, kind) =
-                    Self::apply(engine, &op).expect("measured ops must not fail");
+                let (latency, kind) = Self::apply(engine, &op).expect("measured ops must not fail");
                 latencies.push(latency.as_nanos());
                 by_kind.entry(kind).or_default().push(latency.as_nanos());
             }
@@ -237,8 +236,7 @@ impl Runner {
             })
             .collect();
 
-        let read_latencies_us: Vec<f64> =
-            latencies.iter().map(|ns| *ns as f64 / 1_000.0).collect();
+        let read_latencies_us: Vec<f64> = latencies.iter().map(|ns| *ns as f64 / 1_000.0).collect();
 
         RunResult {
             engine: engine.engine_name().to_string(),

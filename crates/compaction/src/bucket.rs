@@ -187,8 +187,7 @@ impl BucketMap {
             let bucket_end = bucket_start + self.bucket_size - 1;
             let overlap_start = start_id.max(bucket_start);
             let overlap_end = end_id.min(bucket_end);
-            let weight =
-                (overlap_end - overlap_start + 1) as f64 / self.bucket_size as f64;
+            let weight = (overlap_end - overlap_start + 1) as f64 / self.bucket_size as f64;
 
             let nvm_keys = Bucket::count(&bucket.nvm) as f64;
             let flash_keys = Bucket::count(&bucket.flash) as f64;

@@ -155,8 +155,8 @@ impl ReadTriggeredController {
                 if self.window.ops >= self.config.detection_window_ops {
                     let read_heavy =
                         self.window.read_fraction() >= self.config.read_fraction_trigger;
-                    let flash_bound =
-                        self.window.flash_read_fraction() >= self.config.flash_read_fraction_trigger;
+                    let flash_bound = self.window.flash_read_fraction()
+                        >= self.config.flash_read_fraction_trigger;
                     if read_heavy && flash_bound {
                         self.previous_ratio = self.window.nvm_read_ratio();
                         self.phase = ReadTriggerPhase::Invocation;

@@ -107,7 +107,10 @@ impl PrismDb {
 
     /// Total live objects currently resident on NVM across partitions.
     pub fn nvm_object_count(&self) -> usize {
-        self.partitions.iter().map(Partition::nvm_object_count).sum()
+        self.partitions
+            .iter()
+            .map(Partition::nvm_object_count)
+            .sum()
     }
 
     /// Total objects currently resident on flash across partitions
@@ -284,9 +287,7 @@ mod tests {
     #[test]
     fn oversized_values_are_rejected_at_the_engine_boundary() {
         let mut db = small_db(1_000, 2);
-        let err = db
-            .put(Key::from_id(1), Value::filled(8192, 0))
-            .unwrap_err();
+        let err = db.put(Key::from_id(1), Value::filled(8192, 0)).unwrap_err();
         assert!(matches!(err, PrismError::ObjectTooLarge { .. }));
     }
 

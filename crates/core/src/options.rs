@@ -144,27 +144,42 @@ impl Options {
     /// field found.
     pub fn validate(&self) -> Result<()> {
         if self.num_partitions == 0 {
-            return Err(PrismError::InvalidConfig("at least one partition is required".into()));
+            return Err(PrismError::InvalidConfig(
+                "at least one partition is required".into(),
+            ));
         }
         if self.expected_keys == 0 {
-            return Err(PrismError::InvalidConfig("expected_keys must be non-zero".into()));
+            return Err(PrismError::InvalidConfig(
+                "expected_keys must be non-zero".into(),
+            ));
         }
         if self.nvm_capacity_bytes == 0 || self.flash_capacity_bytes == 0 {
-            return Err(PrismError::InvalidConfig("tier capacities must be non-zero".into()));
+            return Err(PrismError::InvalidConfig(
+                "tier capacities must be non-zero".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.pinning_threshold) {
-            return Err(PrismError::InvalidConfig("pinning threshold must be in [0, 1]".into()));
+            return Err(PrismError::InvalidConfig(
+                "pinning threshold must be in [0, 1]".into(),
+            ));
         }
-        if !(0.0 < self.low_watermark && self.low_watermark < self.high_watermark && self.high_watermark <= 1.0) {
+        if !(0.0 < self.low_watermark
+            && self.low_watermark < self.high_watermark
+            && self.high_watermark <= 1.0)
+        {
             return Err(PrismError::InvalidConfig(
                 "watermarks must satisfy 0 < low < high <= 1".into(),
             ));
         }
         if !(0.0..=1.0).contains(&self.tracker_fraction) || self.tracker_fraction == 0.0 {
-            return Err(PrismError::InvalidConfig("tracker fraction must be in (0, 1]".into()));
+            return Err(PrismError::InvalidConfig(
+                "tracker fraction must be in (0, 1]".into(),
+            ));
         }
         if self.sst_target_bytes == 0 {
-            return Err(PrismError::InvalidConfig("sst_target_bytes must be non-zero".into()));
+            return Err(PrismError::InvalidConfig(
+                "sst_target_bytes must be non-zero".into(),
+            ));
         }
         self.compaction.validate()?;
         Ok(())
@@ -308,7 +323,10 @@ mod tests {
     fn invalid_options_are_rejected() {
         assert!(Options::builder(0).build().is_err());
         assert!(Options::builder(100).partitions(0).build().is_err());
-        assert!(Options::builder(100).pinning_threshold(1.5).build().is_err());
+        assert!(Options::builder(100)
+            .pinning_threshold(1.5)
+            .build()
+            .is_err());
         let mut bad = Options::scaled_default(100);
         bad.low_watermark = 0.99;
         assert!(bad.validate().is_err());
@@ -325,6 +343,9 @@ mod tests {
         let tlc = DeviceProfile::tlc_flash(10 << 20);
         let options = Options::builder(1000).flash_profile(tlc).build().unwrap();
         assert_eq!(options.flash_capacity_bytes, 10 << 20);
-        assert_eq!(options.flash_profile.kind, prism_storage::DeviceKind::TlcNand);
+        assert_eq!(
+            options.flash_profile.kind,
+            prism_storage::DeviceKind::TlcNand
+        );
     }
 }

@@ -484,9 +484,7 @@ impl Partition {
         for _ in 0..8 {
             let outcome = self.run_demotion_compaction(true)?;
             background += outcome.duration;
-            if outcome.demoted > 0
-                && self.slab.usage().utilization() < self.options.low_watermark
-            {
+            if outcome.demoted > 0 && self.slab.usage().utilization() < self.options.low_watermark {
                 return Ok(background);
             }
             if outcome.demoted == 0 {
@@ -496,8 +494,7 @@ impl Partition {
         // Safety valve: sampled candidates may all have been empty of NVM
         // objects. Compact the whole key space once, ignoring popularity,
         // so the write can proceed.
-        let outcome =
-            self.compact_range(&Key::min(), &Key::from_id(u64::MAX), true, false)?;
+        let outcome = self.compact_range(&Key::min(), &Key::from_id(u64::MAX), true, false)?;
         self.record_compaction(&outcome);
         background += outcome.duration;
         Ok(background)
@@ -549,11 +546,7 @@ impl Partition {
             CompactionPolicy::PreciseMsc => {
                 let mut builder = RangeStatsBuilder::new();
                 let tracked = self.tracker.len();
-                for (key, _entry) in self
-                    .index
-                    .range_from(start)
-                    .take_while(|(k, _)| *k <= end)
-                {
+                for (key, _entry) in self.index.range_from(start).take_while(|(k, _)| *k <= end) {
                     let clock = self.tracker.clock_of(key);
                     let pinned = matches!(
                         self.mapper
@@ -593,7 +586,8 @@ impl Partition {
             return Ok(CompactionOutcome::default());
         };
         let (start, end) = candidates[best].clone();
-        let mut outcome = self.compact_range(&start, &end, force, self.options.promotions_enabled)?;
+        let mut outcome =
+            self.compact_range(&start, &end, force, self.options.promotions_enabled)?;
         outcome.duration += planning_cost;
         self.record_compaction(&outcome);
         Ok(outcome)
@@ -639,8 +633,7 @@ impl Partition {
         self.stats.compaction.jobs += 1;
         self.stats.compaction.total_time += outcome.duration;
         self.stats.compaction.slow_tier_time += outcome.flash_time;
-        self.stats.compaction.fast_tier_time +=
-            outcome.duration.saturating_sub(outcome.flash_time);
+        self.stats.compaction.fast_tier_time += outcome.duration.saturating_sub(outcome.flash_time);
         self.stats.compaction.demoted_objects += outcome.demoted;
         self.stats.compaction.promoted_objects += outcome.promoted;
     }
@@ -701,8 +694,7 @@ impl Partition {
         }
 
         // 3. Merge-sort the two sorted streams.
-        duration +=
-            self.cpu.merge_per_object * (demote.len() as u64 + flash_entries.len() as u64);
+        duration += self.cpu.merge_per_object * (demote.len() as u64 + flash_entries.len() as u64);
         let mut merged: Vec<(Key, SstEntry)> = Vec::new();
         let mut promoted = 0u64;
         let mut demoted = 0u64;
@@ -761,7 +753,11 @@ impl Partition {
                     );
                 if promote {
                     let ts = self.next_ts();
-                    match self.slab.insert(key.clone(), entry.value.clone().expect("not a tombstone"), ts) {
+                    match self.slab.insert(
+                        key.clone(),
+                        entry.value.clone().expect("not a tombstone"),
+                        ts,
+                    ) {
                         Ok((addr, cost)) => {
                             duration += cost;
                             self.index.insert(
@@ -999,7 +995,8 @@ mod tests {
             }
             // Interleave cold inserts to force more compactions.
             for id in 0..200u64 {
-                p.put(Key::from_id(keys + id), Value::filled(1000, 3)).unwrap();
+                p.put(Key::from_id(keys + id), Value::filled(1000, 3))
+                    .unwrap();
             }
         }
         let mut hot_from_fast = 0;
@@ -1048,7 +1045,8 @@ mod tests {
         let keys = 3_000u64;
         let mut p = partition(keys);
         for id in 0..keys {
-            p.put(Key::from_id(id), Value::filled(500, (id % 251) as u8)).unwrap();
+            p.put(Key::from_id(id), Value::filled(500, (id % 251) as u8))
+                .unwrap();
         }
         let (entries, cost) = p.scan_collect(&Key::from_id(100), 50).unwrap();
         assert_eq!(entries.len(), 50);
@@ -1087,7 +1085,8 @@ mod tests {
         let mut p = partition(keys);
         for round in 0..3u64 {
             for id in 0..keys {
-                p.put(Key::from_id(id), Value::filled(1000, round as u8)).unwrap();
+                p.put(Key::from_id(id), Value::filled(1000, round as u8))
+                    .unwrap();
             }
         }
         let stats = p.stats();

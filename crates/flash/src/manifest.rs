@@ -143,7 +143,10 @@ mod tests {
     fn make_file(device: &Arc<Device>, id: FileId, n: u64) -> Arc<SstFile> {
         let mut b = SstBuilder::new(id);
         for i in 0..n {
-            b.add(Key::from_id(id * 1000 + i), SstEntry::value(Value::filled(100, 0), i));
+            b.add(
+                Key::from_id(id * 1000 + i),
+                SstEntry::value(Value::filled(100, 0), i),
+            );
         }
         Arc::new(b.finish(device).0)
     }

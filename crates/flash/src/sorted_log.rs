@@ -121,7 +121,10 @@ mod tests {
     #[test]
     fn lookup_routes_to_covering_file() {
         let mut log = SortedLog::new();
-        log.install(&[], vec![file(1, 0..100), file(2, 100..200), file(3, 200..300)]);
+        log.install(
+            &[],
+            vec![file(1, 0..100), file(2, 100..200), file(3, 200..300)],
+        );
         assert_eq!(log.file_count(), 3);
         assert_eq!(log.lookup(&Key::from_id(50)).unwrap().id(), 1);
         assert_eq!(log.lookup(&Key::from_id(150)).unwrap().id(), 2);
@@ -132,7 +135,10 @@ mod tests {
     #[test]
     fn overlapping_selects_correct_files() {
         let mut log = SortedLog::new();
-        log.install(&[], vec![file(1, 0..100), file(2, 100..200), file(3, 200..300)]);
+        log.install(
+            &[],
+            vec![file(1, 0..100), file(2, 100..200), file(3, 200..300)],
+        );
         let overlap = log.overlapping(&Key::from_id(150), &Key::from_id(250));
         let ids: Vec<FileId> = overlap.iter().map(|f| f.id()).collect();
         assert_eq!(ids, vec![2, 3]);

@@ -301,7 +301,10 @@ mod tests {
         let dev = flash();
         let mut b = SstBuilder::new(1);
         for &id in ids {
-            b.add(Key::from_id(id), SstEntry::value(Value::filled(100, id as u8), id));
+            b.add(
+                Key::from_id(id),
+                SstEntry::value(Value::filled(100, id as u8), id),
+            );
         }
         b.finish(&dev).0
     }
@@ -357,7 +360,10 @@ mod tests {
             .range(&Key::from_id(95), &Key::from_id(250))
             .map(|(k, _)| k.id())
             .collect();
-        assert_eq!(in_range, vec![100, 110, 120, 130, 140, 150, 160, 170, 180, 190, 200, 210, 220, 230, 240, 250]);
+        assert_eq!(
+            in_range,
+            vec![100, 110, 120, 130, 140, 150, 160, 170, 180, 190, 200, 210, 220, 230, 240, 250]
+        );
         assert_eq!(
             sst.count_in_range(&Key::from_id(95), &Key::from_id(250)),
             in_range.len()
@@ -384,7 +390,10 @@ mod tests {
         let dev = flash();
         let mut b = SstBuilder::new(9);
         for id in 0..100u64 {
-            b.add(Key::from_id(id), SstEntry::value(Value::filled(1000, 0), id));
+            b.add(
+                Key::from_id(id),
+                SstEntry::value(Value::filled(1000, 0), id),
+            );
         }
         let expected_bytes = b.size_bytes();
         let (sst, cost) = b.finish(&dev);

@@ -65,7 +65,10 @@ impl<K: Ord + Clone, V> BTreeIndex<K, V> {
     ///
     /// Panics if `order < 4`; smaller orders cannot split meaningfully.
     pub fn with_order(order: usize) -> Self {
-        assert!(order >= MIN_ORDER, "B-tree order must be at least {MIN_ORDER}");
+        assert!(
+            order >= MIN_ORDER,
+            "B-tree order must be at least {MIN_ORDER}"
+        );
         BTreeIndex {
             root: Node::new_leaf(),
             len: 0,
@@ -261,27 +264,11 @@ impl<K: Ord + Clone, V> BTreeIndex<K, V> {
     }
 
     /// The largest key in the index, if any.
+    ///
+    /// The rightmost subtrees may be empty after lazy deletes, so this scans
+    /// children right-to-left rather than only descending the last child.
     pub fn last_key(&self) -> Option<&K> {
-        let node = &self.root;
-        loop {
-            match node {
-                Node::Leaf { keys, .. } => return keys.last(),
-                Node::Internal { children, .. } => {
-                    // The rightmost subtree may be empty after lazy deletes,
-                    // so fall back to scanning if needed.
-                    let mut idx = children.len();
-                    loop {
-                        if idx == 0 {
-                            return None;
-                        }
-                        idx -= 1;
-                        if let Some(k) = Self::last_key_of(&children[idx]) {
-                            return Some(k);
-                        }
-                    }
-                }
-            }
-        }
+        Self::last_key_of(&self.root)
     }
 
     fn last_key_of(node: &Node<K, V>) -> Option<&K> {

@@ -101,10 +101,8 @@ impl LsmConfig {
     /// on `profile`.
     pub fn single_tier(expected_keys: u64, profile: DeviceProfile) -> Self {
         let logical = expected_keys.max(1) * 1024;
-        let mut config = Self::scaled_base(
-            &format!("rocksdb-{}", profile.kind.label()),
-            expected_keys,
-        );
+        let mut config =
+            Self::scaled_base(&format!("rocksdb-{}", profile.kind.label()), expected_keys);
         let tier = match profile.kind {
             prism_storage::DeviceKind::Nvm | prism_storage::DeviceKind::Dram => Tier::Nvm,
             _ => Tier::Flash,
@@ -230,7 +228,9 @@ impl LsmConfig {
             ));
         }
         if self.clients == 0 {
-            return Err(PrismError::InvalidConfig("at least one client is required".into()));
+            return Err(PrismError::InvalidConfig(
+                "at least one client is required".into(),
+            ));
         }
         Ok(())
     }

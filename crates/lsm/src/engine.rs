@@ -57,7 +57,7 @@ impl LsmTree {
     ///
     /// # Errors
     ///
-    /// Returns [`PrismError::InvalidConfig`] if the configuration fails
+    /// Returns [`prism_types::PrismError::InvalidConfig`] if the configuration fails
     /// validation.
     pub fn open(config: LsmConfig) -> Result<Self> {
         config.validate()?;
@@ -165,8 +165,8 @@ impl LsmTree {
         // Serialized section: WAL append (+ optional fsync) and memtable
         // insert protected by the writer lock.
         let wal_dev = self.device_for(self.config.wal_tier).clone();
-        let mut serial = self.cpu.index_op
-            + wal_dev.write_sequential(key.len() as u64 + value_bytes + 16);
+        let mut serial =
+            self.cpu.index_op + wal_dev.write_sequential(key.len() as u64 + value_bytes + 16);
         if self.config.fsync_wal {
             serial += self.config.wal_sync_cost.unwrap_or_else(|| wal_dev.sync());
         }
@@ -408,7 +408,7 @@ impl LsmTree {
                 )
             })
             .collect();
-        ranked.sort_by(|a, b| b.1.cmp(&a.1));
+        ranked.sort_by_key(|&(_, temperature, _)| std::cmp::Reverse(temperature));
         let mut nvm_budget = self.config.nvm_profile.capacity_bytes;
         let mut migration_cost = Nanos::ZERO;
         for (file_id, _, size) in ranked {
@@ -446,7 +446,11 @@ impl LsmTree {
     // Reads
     // ------------------------------------------------------------------
 
-    fn search_levels(&mut self, key: &Key, cost: &mut Nanos) -> (Option<SstEntry>, ReadSource, usize) {
+    fn search_levels(
+        &mut self,
+        key: &Key,
+        cost: &mut Nanos,
+    ) -> (Option<SstEntry>, ReadSource, usize) {
         for level in 0..self.config.num_levels {
             let candidates: Vec<Arc<SstFile>> = if level == 0 {
                 self.levels[0].iter().rev().cloned().collect()
@@ -495,8 +499,7 @@ impl KvStore for LsmTree {
 
     fn get(&mut self, key: &Key) -> Result<Lookup> {
         let client = self.pick_client();
-        let mut cost =
-            self.cpu.request_overhead + self.config.polling_overhead + self.cpu.index_op;
+        let mut cost = self.cpu.request_overhead + self.config.polling_overhead + self.cpu.index_op;
         let mut source = ReadSource::NotFound;
         let mut value: Option<Value> = None;
 
@@ -511,11 +514,7 @@ impl KvStore for LsmTree {
             cost += self.cpu.dram_hit;
             source = ReadSource::Dram;
             value = Some(cached);
-        } else if let Some(cached) = self
-            .l2_cache
-            .as_mut()
-            .and_then(|cache| cache.get(key))
-        {
+        } else if let Some(cached) = self.l2_cache.as_mut().and_then(|cache| cache.get(key)) {
             cost += self.storage.nvm.read_random(cached.len().max(1) as u64);
             source = ReadSource::Nvm;
             self.block_cache.insert(key.clone(), cached.clone());
@@ -554,8 +553,7 @@ impl KvStore for LsmTree {
 
     fn scan(&mut self, start: &Key, count: usize) -> Result<ScanResult> {
         let client = self.pick_client();
-        let mut cost =
-            self.cpu.request_overhead + self.config.polling_overhead + self.cpu.index_op;
+        let mut cost = self.cpu.request_overhead + self.config.polling_overhead + self.cpu.index_op;
         let budget = count.saturating_mul(3).max(count);
         let max_key = Key::from_id(u64::MAX);
 
@@ -644,7 +642,8 @@ mod tests {
     fn put_get_roundtrip_through_memtable_and_levels() {
         let mut db = small_het(2_000);
         for id in 0..2_000u64 {
-            db.put(Key::from_id(id), Value::filled(500, (id % 200) as u8)).unwrap();
+            db.put(Key::from_id(id), Value::filled(500, (id % 200) as u8))
+                .unwrap();
         }
         // Data must have been flushed into SST files.
         assert!(db.files_per_level().iter().sum::<usize>() > 0);
@@ -667,7 +666,10 @@ mod tests {
         for id in 1_000..2_000u64 {
             db.put(Key::from_id(id), Value::filled(400, 1)).unwrap();
         }
-        assert_eq!(db.get(&Key::from_id(5)).unwrap().value.unwrap().as_bytes()[0], 99);
+        assert_eq!(
+            db.get(&Key::from_id(5)).unwrap().value.unwrap().as_bytes()[0],
+            99
+        );
         assert!(db.get(&Key::from_id(6)).unwrap().value.is_none());
     }
 
@@ -726,8 +728,12 @@ mod tests {
         let mut with_fsync = mk(true);
         let mut without = mk(false);
         for id in 0..500u64 {
-            with_fsync.put(Key::from_id(id), Value::filled(300, 1)).unwrap();
-            without.put(Key::from_id(id), Value::filled(300, 1)).unwrap();
+            with_fsync
+                .put(Key::from_id(id), Value::filled(300, 1))
+                .unwrap();
+            without
+                .put(Key::from_id(id), Value::filled(300, 1))
+                .unwrap();
         }
         assert!(with_fsync.elapsed() > without.elapsed());
     }
@@ -761,7 +767,10 @@ mod tests {
                 db.get(&Key::from_id(id)).unwrap();
             }
         }
-        assert!(db.stats().reads_from_nvm > 0, "L2 cache never served a read");
+        assert!(
+            db.stats().reads_from_nvm > 0,
+            "L2 cache never served a read"
+        );
     }
 
     #[test]
@@ -780,11 +789,7 @@ mod tests {
                 db.get(&Key::from_id(id)).unwrap();
             }
         }
-        let nvm_files = db
-            .file_tiers
-            .values()
-            .filter(|t| **t == Tier::Nvm)
-            .count();
+        let nvm_files = db.file_tiers.values().filter(|t| **t == Tier::Nvm).count();
         assert!(nvm_files > 0, "mutant never promoted a file to NVM");
     }
 
@@ -799,11 +804,7 @@ mod tests {
         assert_eq!(result.entries.len(), 100);
         let ids: Vec<u64> = result.entries.iter().map(|(k, _)| k.id()).collect();
         assert_eq!(ids, (100..200).collect::<Vec<_>>());
-        let updated = result
-            .entries
-            .iter()
-            .find(|(k, _)| k.id() == 150)
-            .unwrap();
+        let updated = result.entries.iter().find(|(k, _)| k.id() == 150).unwrap();
         assert_eq!(updated.1.as_bytes()[0], 77);
     }
 
@@ -827,7 +828,8 @@ mod tests {
                     db.get(&Key::from_id(id)).unwrap();
                 }
                 for id in 0..1_500u64 {
-                    db.put(Key::from_id(id), Value::filled(700, round as u8)).unwrap();
+                    db.put(Key::from_id(id), Value::filled(700, round as u8))
+                        .unwrap();
                 }
             }
             db.stats().compaction.total_time

@@ -123,7 +123,10 @@ mod tests {
         for id in 0..10u64 {
             m.insert(Key::from_id(id), Some(Value::filled(4, 0)), id);
         }
-        let ids: Vec<u64> = m.range_from(&Key::from_id(7)).map(|(k, _)| k.id()).collect();
+        let ids: Vec<u64> = m
+            .range_from(&Key::from_id(7))
+            .map(|(k, _)| k.id())
+            .collect();
         assert_eq!(ids, vec![7, 8, 9]);
     }
 }

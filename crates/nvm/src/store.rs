@@ -107,7 +107,11 @@ impl SlabStore {
     /// malformed (empty or non-ascending size classes, zero capacity).
     pub fn new(config: SlabConfig, device: Arc<Device>) -> Result<Self> {
         config.validate()?;
-        let slabs = config.slot_sizes.iter().map(|&s| SlabFile::new(s)).collect();
+        let slabs = config
+            .slot_sizes
+            .iter()
+            .map(|&s| SlabFile::new(s))
+            .collect();
         Ok(SlabStore {
             slabs,
             device,
@@ -147,7 +151,12 @@ impl SlabStore {
     /// * [`PrismError::ObjectTooLarge`] if the value exceeds 4 KB.
     /// * [`PrismError::CapacityExceeded`] if the store is full; the caller
     ///   (the engine) is expected to trigger a compaction and retry.
-    pub fn insert(&mut self, key: Key, value: Value, timestamp: u64) -> Result<(NvmAddress, Nanos)> {
+    pub fn insert(
+        &mut self,
+        key: Key,
+        value: Value,
+        timestamp: u64,
+    ) -> Result<(NvmAddress, Nanos)> {
         let slab_idx = self.slab_for(value.len())?;
         let slot_size = self.slabs[slab_idx as usize].slot_size() as u64;
         // Capacity is enforced against *live* bytes: freed slots are
@@ -320,7 +329,9 @@ mod tests {
     fn insert_read_roundtrip_and_size_classes() {
         let mut s = store(1 << 20);
         let (a_small, _) = s.insert(Key::from_id(1), Value::filled(100, 1), 1).unwrap();
-        let (a_big, _) = s.insert(Key::from_id(2), Value::filled(3000, 2), 2).unwrap();
+        let (a_big, _) = s
+            .insert(Key::from_id(2), Value::filled(3000, 2), 2)
+            .unwrap();
         assert_eq!(a_small.slab, 0, "100B object goes to the 128B slab");
         assert_eq!(a_big.slab, 5, "3000B object goes to the 4096B slab");
         assert_eq!(s.read(a_small).unwrap().0.key.id(), 1);
@@ -348,11 +359,15 @@ mod tests {
         let err = s
             .insert(Key::from_id(99), Value::filled(100, 0), 99)
             .unwrap_err();
-        assert!(matches!(err, PrismError::CapacityExceeded { tier: "nvm", .. }));
+        assert!(matches!(
+            err,
+            PrismError::CapacityExceeded { tier: "nvm", .. }
+        ));
         // Freeing a slot makes room again without growing used bytes.
         let addr = NvmAddress::new(0, 3);
         s.remove(addr).unwrap();
-        s.insert(Key::from_id(99), Value::filled(100, 0), 100).unwrap();
+        s.insert(Key::from_id(99), Value::filled(100, 0), 100)
+            .unwrap();
         assert_eq!(s.usage().used_bytes, 1024);
     }
 
@@ -389,7 +404,9 @@ mod tests {
         let mut addrs = Vec::new();
         for i in 0..20u64 {
             let size = 100 + (i as usize % 4) * 300;
-            let (addr, _) = s.insert(Key::from_id(i), Value::filled(size, 0), i).unwrap();
+            let (addr, _) = s
+                .insert(Key::from_id(i), Value::filled(size, 0), i)
+                .unwrap();
             addrs.push(addr);
         }
         for addr in addrs.iter().take(5) {
@@ -406,7 +423,9 @@ mod tests {
     fn device_io_is_charged() {
         let device = Arc::new(Device::new(DeviceProfile::optane_nvm(1 << 20)));
         let mut s = SlabStore::new(SlabConfig::small_objects(1 << 20), device.clone()).unwrap();
-        let (addr, wcost) = s.insert(Key::from_id(1), Value::filled(1000, 0), 1).unwrap();
+        let (addr, wcost) = s
+            .insert(Key::from_id(1), Value::filled(1000, 0), 1)
+            .unwrap();
         let (_, rcost) = s.read(addr).unwrap();
         assert!(wcost >= device.profile().write_latency_4k);
         assert!(rcost >= device.profile().read_latency_4k);

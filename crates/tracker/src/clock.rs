@@ -225,6 +225,7 @@ mod tests {
         t.access(&Key::from_id(1), false); // clock 3
         t.access(&Key::from_id(2), false);
         t.access(&Key::from_id(2), false); // clock 3
+
         // Now both are hot; inserting a third key forces the hand to sweep,
         // decrementing until one reaches zero.
         let event = t.access(&Key::from_id(3), false);

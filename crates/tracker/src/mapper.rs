@@ -173,14 +173,26 @@ mod tests {
         let mut mapper = Mapper::new();
         mapper.set_histogram([500, 300, 100, 100]);
         let tracked = 1000;
-        assert_eq!(mapper.pin_decision(Some(3), 0.15, tracked), PinDecision::Pin);
+        assert_eq!(
+            mapper.pin_decision(Some(3), 0.15, tracked),
+            PinDecision::Pin
+        );
         match mapper.pin_decision(Some(2), 0.15, tracked) {
             PinDecision::Sample(p) => assert!((p - 0.5).abs() < 1e-9, "p = {p}"),
             other => panic!("expected sampling, got {other:?}"),
         }
-        assert_eq!(mapper.pin_decision(Some(1), 0.15, tracked), PinDecision::Demote);
-        assert_eq!(mapper.pin_decision(Some(0), 0.15, tracked), PinDecision::Demote);
-        assert_eq!(mapper.pin_decision(None, 0.15, tracked), PinDecision::Demote);
+        assert_eq!(
+            mapper.pin_decision(Some(1), 0.15, tracked),
+            PinDecision::Demote
+        );
+        assert_eq!(
+            mapper.pin_decision(Some(0), 0.15, tracked),
+            PinDecision::Demote
+        );
+        assert_eq!(
+            mapper.pin_decision(None, 0.15, tracked),
+            PinDecision::Demote
+        );
     }
 
     #[test]

@@ -84,8 +84,17 @@ mod tests {
                 "flash",
             ),
             (PrismError::Corruption("bad slot".into()), "bad slot"),
-            (PrismError::InvalidConfig("zero partitions".into()), "zero partitions"),
-            (PrismError::ObjectTooLarge { size: 9000, max: 4096 }, "9000"),
+            (
+                PrismError::InvalidConfig("zero partitions".into()),
+                "zero partitions",
+            ),
+            (
+                PrismError::ObjectTooLarge {
+                    size: 9000,
+                    max: 4096,
+                },
+                "9000",
+            ),
             (PrismError::Io("device offline".into()), "device offline"),
         ];
         for (err, needle) in cases {

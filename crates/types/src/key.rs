@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// Keys are arbitrary byte strings ordered lexicographically. Workload
 /// generators produce fixed-width 8-byte big-endian keys (via
 /// [`Key::from_id`]) so lexicographic order coincides with numeric order,
-/// which lets the compaction bucket map ([`prism-compaction`]) place keys
+/// which lets the compaction bucket map (the `prism-compaction` crate) place keys
 /// into fixed-width key-id buckets exactly as the paper's implementation
 /// does for its 64 K-key buckets.
 ///

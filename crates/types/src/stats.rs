@@ -196,8 +196,10 @@ mod tests {
 
     #[test]
     fn delta_since_isolates_window() {
-        let mut earlier = EngineStats::default();
-        earlier.reads_from_flash = 10;
+        let mut earlier = EngineStats {
+            reads_from_flash: 10,
+            ..EngineStats::default()
+        };
         earlier.compaction.jobs = 2;
         earlier.reads_per_level[1] = 4;
         let mut later = earlier;

@@ -25,8 +25,7 @@ impl OpMix {
     }
 
     fn normalized(mut self) -> Self {
-        let sum =
-            self.reads + self.updates + self.inserts + self.read_modify_writes + self.scans;
+        let sum = self.reads + self.updates + self.inserts + self.read_modify_writes + self.scans;
         if sum > 0.0 {
             self.reads /= sum;
             self.updates /= sum;

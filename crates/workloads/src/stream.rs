@@ -60,8 +60,7 @@ impl OpStream {
         let mix = self.workload.mix;
         let draw: f64 = self.rng.gen();
         let read_key = |s: &mut Self| Key::from_id(s.read_chooser.next(&mut s.rng, s.newest_key));
-        let write_key =
-            |s: &mut Self| Key::from_id(s.write_chooser.next(&mut s.rng, s.newest_key));
+        let write_key = |s: &mut Self| Key::from_id(s.write_chooser.next(&mut s.rng, s.newest_key));
 
         if draw < mix.reads {
             Op::Read(read_key(self))
@@ -133,7 +132,11 @@ mod tests {
         let mut sorted = seen_inserts.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), seen_inserts.len(), "insert keys must be unique");
+        assert_eq!(
+            sorted.len(),
+            seen_inserts.len(),
+            "insert keys must be unique"
+        );
         assert!(seen_inserts.iter().all(|&id| id >= 1_000));
     }
 

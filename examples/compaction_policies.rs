@@ -13,8 +13,12 @@ fn main() {
     let runner = Runner::new(RunConfig::scaled(keys));
     let workload = Workload::ycsb_a(keys).with_zipf(0.99);
 
-    println!("policy       tput (Kops/s)  flash WA  demoted  promoted  avg compaction (ms)  stalls (ms)");
-    println!("-----------  -------------  --------  -------  --------  -------------------  -----------");
+    println!(
+        "policy       tput (Kops/s)  flash WA  demoted  promoted  avg compaction (ms)  stalls (ms)"
+    );
+    println!(
+        "-----------  -------------  --------  -------  --------  -------------------  -----------"
+    );
     for (label, policy) in [
         ("random", CompactionPolicy::Random),
         ("precise-msc", CompactionPolicy::PreciseMsc),

@@ -14,8 +14,12 @@ fn main() {
     let runner = Runner::new(RunConfig::scaled(keys));
     let workload = Workload::ycsb_a(keys);
 
-    println!("nvm %   cost ($/GB)  throughput (Kops/s)  fast-read ratio  qlc lifetime (yrs, 600GB)");
-    println!("------  -----------  -------------------  ---------------  -------------------------");
+    println!(
+        "nvm %   cost ($/GB)  throughput (Kops/s)  fast-read ratio  qlc lifetime (yrs, 600GB)"
+    );
+    println!(
+        "------  -----------  -------------------  ---------------  -------------------------"
+    );
     for fraction in [0.05, 0.10, 0.20, 0.33, 0.50] {
         let mut db = engines::prismdb_with_nvm_fraction(keys, fraction);
         let cost = db.cost_per_gb();

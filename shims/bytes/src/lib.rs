@@ -1,0 +1,96 @@
+//! Offline shim for `bytes`.
+//!
+//! Implements the subset of `bytes::Bytes` the workspace uses: an immutable,
+//! reference-counted byte buffer whose clones share the underlying allocation.
+//! The API mirrors the real crate so swapping the dependency back requires no
+//! source changes.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable chunk of contiguous memory.
+///
+/// ```
+/// use bytes::Bytes;
+///
+/// let a = Bytes::from(vec![1, 2, 3]);
+/// let b = a.clone();
+/// assert_eq!(&a[..], &b[..]);
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// Creates a new empty `Bytes`.
+    pub fn new() -> Self {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    /// Creates `Bytes` by copying the given slice.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Arc::from(data))
+    }
+
+    /// Number of bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes(Arc::from(data))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes::copy_from_slice(data)
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(data: &str) -> Self {
+        Bytes::copy_from_slice(data.as_bytes())
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &byte in self.0.iter() {
+            if byte.is_ascii_graphic() || byte == b' ' {
+                write!(f, "{}", byte as char)?;
+            } else {
+                write!(f, "\\x{byte:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}

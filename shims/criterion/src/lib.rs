@@ -1,0 +1,104 @@
+//! Offline shim for `criterion`.
+//!
+//! Implements the subset used by `crates/bench/benches/microbench.rs`:
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`criterion_group!`] and
+//! [`criterion_main!`]. Instead of criterion's statistical machinery it runs
+//! a short warm-up, then a fixed measurement window, and prints the mean
+//! time per iteration — enough to compare hot paths release-to-release
+//! without a registry dependency.
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to each benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `routine` under `name`, printing the mean iteration time.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        routine(&mut bencher);
+        match bencher.report() {
+            Some((iters, per_iter)) => {
+                println!("{name:<40} {per_iter:>12.1} ns/iter ({iters} iters)");
+            }
+            None => println!("{name:<40} (no measurement)"),
+        }
+        self
+    }
+}
+
+/// Timer passed to the benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: let caches and branch predictors settle.
+        let warmup_end = Instant::now() + Duration::from_millis(50);
+        while Instant::now() < warmup_end {
+            std::hint::black_box(routine());
+        }
+
+        // Measurement window, batched to amortise clock reads.
+        let mut iters = 0u64;
+        let start = Instant::now();
+        let deadline = start + Duration::from_millis(300);
+        while Instant::now() < deadline {
+            for _ in 0..1_000 {
+                std::hint::black_box(routine());
+            }
+            iters += 1_000;
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+
+    fn report(&self) -> Option<(u64, f64)> {
+        if self.iters == 0 {
+            return None;
+        }
+        Some((
+            self.iters,
+            self.elapsed.as_nanos() as f64 / self.iters as f64,
+        ))
+    }
+}
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Collects benchmark functions into a single group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($function(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,404 @@
+//! Offline shim for `proptest`.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(...)]`), range / tuple /
+//! boolean strategies, `prop::collection::{vec, hash_set, btree_set}`,
+//! `prop::array::uniform4` and the `prop_assert*` macros.
+//!
+//! Differences from the real crate, deliberate for an offline build:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs in
+//!   the assertion message instead of a minimised counterexample.
+//! * **Deterministic seeding.** Cases derive from a seed hashed from the
+//!   test's name, so failures reproduce exactly across runs and machines.
+
+use std::collections::{BTreeSet, HashSet};
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Runs each property `cases` times.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic per-test generator.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds the generator from a test identifier (typically the test name).
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a keeps seeds stable across runs, platforms and rustc versions.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(hash))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of value generated.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+}
+
+/// Strategy modules, re-exported from the prelude as `prop`.
+pub mod strategies {
+    use super::{Strategy, TestRng};
+
+    /// Boolean strategies.
+    pub mod bool {
+        use super::{Strategy, TestRng};
+
+        /// Uniformly random booleans.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// Generates `true` or `false` with equal probability.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+
+            fn new_value(&self, rng: &mut TestRng) -> bool {
+                rand::Rng::gen(rng)
+            }
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use std::collections::{BTreeSet, HashSet};
+        use std::hash::Hash;
+        use std::ops::Range;
+
+        use super::{Strategy, TestRng};
+
+        fn draw_len(size: &Range<usize>, rng: &mut TestRng) -> usize {
+            rand::Rng::gen_range(rng, size.clone())
+        }
+
+        /// Vectors of `element` values with a length drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        /// See [`vec()`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = draw_len(&self.size, rng);
+                (0..len).map(|_| self.element.new_value(rng)).collect()
+            }
+        }
+
+        /// Hash sets of `element` values with a target size drawn from `size`.
+        pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Hash + Eq,
+        {
+            HashSetStrategy { element, size }
+        }
+
+        /// See [`hash_set`].
+        #[derive(Debug, Clone)]
+        pub struct HashSetStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S> Strategy for HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Hash + Eq,
+        {
+            type Value = HashSet<S::Value>;
+
+            fn new_value(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+                let target = draw_len(&self.size, rng);
+                let mut set = HashSet::new();
+                // Duplicates only shrink the set; bound the retries so tiny
+                // element domains still terminate.
+                let mut attempts = 0usize;
+                while set.len() < target && attempts < target.saturating_mul(16) + 64 {
+                    set.insert(self.element.new_value(rng));
+                    attempts += 1;
+                }
+                set
+            }
+        }
+
+        /// B-tree sets of `element` values with a target size drawn from `size`.
+        pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            BTreeSetStrategy { element, size }
+        }
+
+        /// See [`btree_set`].
+        #[derive(Debug, Clone)]
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S> Strategy for BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+
+            fn new_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+                let target = draw_len(&self.size, rng);
+                let mut set = BTreeSet::new();
+                let mut attempts = 0usize;
+                while set.len() < target && attempts < target.saturating_mul(16) + 64 {
+                    set.insert(self.element.new_value(rng));
+                    attempts += 1;
+                }
+                set
+            }
+        }
+    }
+
+    /// Fixed-size array strategies.
+    pub mod array {
+        use super::{Strategy, TestRng};
+
+        /// Arrays of four values drawn from the same strategy.
+        pub fn uniform4<S: Strategy>(element: S) -> Uniform4<S> {
+            Uniform4 { element }
+        }
+
+        /// See [`uniform4`].
+        #[derive(Debug, Clone)]
+        pub struct Uniform4<S> {
+            element: S,
+        }
+
+        impl<S: Strategy> Strategy for Uniform4<S> {
+            type Value = [S::Value; 4];
+
+            fn new_value(&self, rng: &mut TestRng) -> [S::Value; 4] {
+                [
+                    self.element.new_value(rng),
+                    self.element.new_value(rng),
+                    self.element.new_value(rng),
+                    self.element.new_value(rng),
+                ]
+            }
+        }
+    }
+}
+
+/// Everything a property-test module needs in scope.
+pub mod prelude {
+    pub use crate::strategies as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestRng};
+}
+
+// Silence "unused import" style issues in downstream macro expansions by
+// referencing the traits the macros rely on.
+#[doc(hidden)]
+pub mod __private {
+    pub use rand::{Rng, RngCore, SampleRange, SeedableRng, Standard};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::Strategy::new_value(&($strategy), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure, no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+// Keep the (otherwise macro-only) imports referenced.
+const _: fn() = || {
+    fn assert_strategy<S: Strategy>(_: &S) {}
+    let _ = |rng: &mut TestRng| {
+        assert_strategy(&(0u64..10));
+        assert_strategy(&(0.0f64..1.0));
+        let _: Vec<(bool, u64)> =
+            strategies::collection::vec((strategies::bool::ANY, 0u64..10), 1..4).new_value(rng);
+        let _: HashSet<u64> = strategies::collection::hash_set(0u64..100, 1..4).new_value(rng);
+        let _: BTreeSet<u64> = strategies::collection::btree_set(0u64..100, 1..4).new_value(rng);
+        let _: [u64; 4] = strategies::array::uniform4(0u64..10).new_value(rng);
+    };
+};
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Generated values stay inside their strategy's domain.
+        #[test]
+        fn ranges_and_collections_respect_domains(
+            xs in prop::collection::vec((0u8..3, 10u64..20), 1..50),
+            flag in prop::bool::ANY,
+            theta in 0.25f64..0.75,
+            quad in prop::array::uniform4(0u32..7),
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 50);
+            for (a, b) in xs {
+                prop_assert!(a < 3);
+                prop_assert!((10..20).contains(&b));
+            }
+            prop_assert!((0.25..0.75).contains(&theta));
+            prop_assert!(quad.iter().all(|&q| q < 7));
+            let _ = flag;
+        }
+
+        /// Set strategies hit their requested sizes for large domains.
+        #[test]
+        fn sets_reach_target_sizes(keys in prop::collection::hash_set(0u64..1_000_000, 5..10)) {
+            prop_assert!((5..10).contains(&keys.len()));
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let strategy = crate::strategies::collection::vec(0u64..1_000, 10..20);
+        let a = crate::Strategy::new_value(&strategy, &mut TestRng::for_test("x"));
+        let b = crate::Strategy::new_value(&strategy, &mut TestRng::for_test("x"));
+        assert_eq!(a, b);
+    }
+}

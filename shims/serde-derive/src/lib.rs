@@ -1,0 +1,21 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The real derive macros generate `Serialize`/`Deserialize` impls; nothing
+//! in this workspace actually serializes through serde yet (the derives mark
+//! types as wire-ready for future PRs), so the shim accepts the same derive
+//! syntax — including `#[serde(...)]` helper attributes — and expands to
+//! nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

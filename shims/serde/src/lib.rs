@@ -1,0 +1,18 @@
+//! Offline shim for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names (trait + derive-macro
+//! namespaces) so `use serde::{Deserialize, Serialize}` and
+//! `#[derive(Serialize, Deserialize)]` compile without the real crate.
+//! The derives expand to nothing — no code in the workspace serializes
+//! through serde yet. Swap this for the real crate by editing
+//! `[workspace.dependencies]` once a registry is reachable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (never implemented by the shim
+/// derives; present so trait-position references resolve).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (never implemented by the shim
+/// derives; present so trait-position references resolve).
+pub trait Deserialize<'de>: Sized {}

@@ -9,7 +9,7 @@
 //! * [`types`] — keys, values, the [`types::KvStore`] trait and statistics,
 //! * [`storage`] — the tiered-device simulator, cost and endurance models,
 //! * [`workloads`] — YCSB and Twitter-trace workload generators,
-//! * [`bench`] — the experiment harness that regenerates every table and
+//! * [`bench`](mod@bench) — the experiment harness that regenerates every table and
 //!   figure of the paper,
 //! * the individual substrates ([`nvm`], [`flash`], [`index`], [`tracker`],
 //!   [`compaction`]) for users who want to build their own tiered engines.
@@ -27,28 +27,28 @@
 //! # Ok::<(), prismdb::types::PrismError>(())
 //! ```
 
-/// The PrismDB engine (re-export of `prism-db`).
-pub use prism_db as db;
-/// The LSM baseline family (re-export of `prism-lsm`).
-pub use prism_lsm as lsm;
-/// Common types and the `KvStore` trait (re-export of `prism-types`).
-pub use prism_types as types;
-/// Tiered storage simulator (re-export of `prism-storage`).
-pub use prism_storage as storage;
-/// Workload generators (re-export of `prism-workloads`).
-pub use prism_workloads as workloads;
 /// Experiment harness (re-export of `prism-bench`).
 pub use prism_bench as bench;
-/// NVM slab store substrate (re-export of `prism-nvm`).
-pub use prism_nvm as nvm;
+/// Multi-tiered storage compaction (re-export of `prism-compaction`).
+pub use prism_compaction as compaction;
+/// The PrismDB engine (re-export of `prism-db`).
+pub use prism_db as db;
 /// Flash SST log substrate (re-export of `prism-flash`).
 pub use prism_flash as flash;
 /// B-tree index substrate (re-export of `prism-index`).
 pub use prism_index as index;
+/// The LSM baseline family (re-export of `prism-lsm`).
+pub use prism_lsm as lsm;
+/// NVM slab store substrate (re-export of `prism-nvm`).
+pub use prism_nvm as nvm;
+/// Tiered storage simulator (re-export of `prism-storage`).
+pub use prism_storage as storage;
 /// Popularity tracker substrate (re-export of `prism-tracker`).
 pub use prism_tracker as tracker;
-/// Multi-tiered storage compaction (re-export of `prism-compaction`).
-pub use prism_compaction as compaction;
+/// Common types and the `KvStore` trait (re-export of `prism-types`).
+pub use prism_types as types;
+/// Workload generators (re-export of `prism-workloads`).
+pub use prism_workloads as workloads;
 
 #[cfg(test)]
 mod tests {

@@ -127,9 +127,7 @@ fn hot_objects_end_up_on_fast_tiers_under_skew() {
         // by re-reading a sample and checking the source.
         let key = Key::from_id(rank * (keys / probe));
         let got = db.get(&key).unwrap();
-        if got.value.is_some()
-            && matches!(got.source, ReadSource::Dram | ReadSource::Nvm)
-        {
+        if got.value.is_some() && matches!(got.source, ReadSource::Dram | ReadSource::Nvm) {
             fast += 1;
         }
     }

@@ -1,0 +1,66 @@
+//! Facade smoke test: open a [`prismdb::db::PrismDb`] through the facade
+//! crate's re-exports alone, drive it via the [`prismdb::types::KvStore`]
+//! trait, and check that the per-tier statistics observe the traffic.
+
+use prismdb::db::{Options, PrismDb};
+use prismdb::types::{Key, KvStore, Value};
+
+#[test]
+fn facade_opens_writes_reads_and_reports_tier_stats() {
+    let keys = 2_000u64;
+    let options = Options::builder(keys)
+        .partitions(2)
+        .build()
+        .expect("builder accepts the default small configuration");
+    let mut db = PrismDb::open(options).expect("engine opens");
+    assert_eq!(db.engine_name(), "prismdb");
+
+    // Write every key, then update a hot subset so DRAM/NVM see repeat
+    // traffic, and overflow NVM enough to force some demotions to flash.
+    for id in 0..keys {
+        db.put(Key::from_id(id), Value::filled(1024, id as u8))
+            .expect("put succeeds");
+    }
+    for round in 0..3u8 {
+        for id in 0..64 {
+            db.put(Key::from_id(id), Value::filled(1024, round))
+                .expect("update succeeds");
+        }
+    }
+
+    // Reads through the KvStore trait: hot keys resolve with their latest
+    // value, a never-written key is a clean miss.
+    for id in 0..64 {
+        let lookup = db.get(&Key::from_id(id)).expect("get succeeds");
+        let value = lookup.value.expect("hot key is present");
+        assert_eq!(value.len(), 1024);
+        assert_eq!(value.as_bytes()[0], 2, "latest update wins");
+    }
+    let miss = db.get(&Key::from_id(keys + 1)).expect("get succeeds");
+    assert!(miss.value.is_none(), "unwritten key must miss");
+
+    // Tier statistics are populated: both tiers absorbed writes, reads were
+    // attributed to a tier, and the object counts cover the whole key space.
+    let stats = db.stats();
+    assert_eq!(stats.user_bytes_written, (keys + 3 * 64) * 1024);
+    assert!(stats.nvm_io.bytes_written > 0, "NVM absorbed the puts");
+    assert!(
+        stats.flash_io.bytes_written > 0,
+        "demotions reached the flash tier"
+    );
+    assert_eq!(stats.reads_found(), 64);
+    assert_eq!(stats.reads_not_found, 1);
+    assert!(
+        stats.reads_from_dram + stats.reads_from_nvm + stats.reads_from_flash >= 64,
+        "every found read is attributed to a tier"
+    );
+    // Updated keys can briefly have a live NVM version plus a stale flash
+    // version, so the union covers the key space with possible overlap.
+    assert!(db.nvm_object_count() > 0, "hot keys live on NVM");
+    assert!(
+        db.flash_object_count() > 0,
+        "cold keys were demoted to flash"
+    );
+    assert!(db.nvm_object_count() + db.flash_object_count() >= keys as usize);
+    assert!(db.cost_per_gb() > 0.0);
+}
