@@ -1,0 +1,8 @@
+//! Bench target regenerating the thread-sweep scalability tables; see
+//! `prism_bench::experiments::scalability`.
+
+fn main() {
+    let scale = prism_bench::Scale::from_env();
+    let tables = prism_bench::experiments::scalability::run(&scale);
+    assert!(tables.iter().all(|t| t.row_count() > 0));
+}

@@ -58,6 +58,20 @@ pub fn prismdb_with_partitions(record_count: u64, partitions: usize) -> PrismDb 
     PrismDb::open(options).expect("valid options")
 }
 
+/// PrismDB behind a shared handle, for multi-threaded clients. The engine
+/// is the same as [`prismdb`]; only the ownership changes.
+pub fn prismdb_shared(record_count: u64) -> std::sync::Arc<PrismDb> {
+    std::sync::Arc::new(prismdb(record_count))
+}
+
+/// The multi-tier RocksDB baseline behind one global lock, for
+/// multi-threaded clients (see `prism_lsm::LockedLsmTree`): the
+/// coarse-locked foil the thread-sweep experiment compares PrismDB's
+/// per-partition locking against.
+pub fn rocksdb_het_locked(record_count: u64) -> std::sync::Arc<prism_lsm::LockedLsmTree> {
+    std::sync::Arc::new(rocksdb_het(record_count).into_concurrent())
+}
+
 /// RocksDB-like LSM on a single NVM (Optane-class) device.
 pub fn rocksdb_nvm(record_count: u64) -> LsmTree {
     LsmTree::open(LsmConfig::single_tier(

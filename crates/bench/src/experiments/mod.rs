@@ -16,6 +16,7 @@ pub mod fig2_lsm_breakdown;
 pub mod fig5_clock_distributions;
 pub mod fig6_msc_policies;
 pub mod fig9_cost_throughput;
+pub mod scalability;
 pub mod table1_devices;
 pub mod table2_single_vs_multi;
 pub mod table5_twitter;
@@ -49,5 +50,6 @@ pub fn run_all(scale: &Scale) -> Vec<crate::Table> {
     tables.extend(fig13_fsync::run(scale));
     tables.extend(fig14_components::run(scale));
     tables.extend(table5_twitter::run(scale));
+    tables.extend(scalability::run(scale));
     tables
 }

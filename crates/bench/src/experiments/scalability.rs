@@ -1,0 +1,170 @@
+//! Thread-sweep scalability: aggregate throughput as client threads grow.
+//!
+//! The paper's Figure 3 motivates range-partitioned shared-nothing
+//! partitions with exactly this experiment in mind: partitions serve
+//! client operations independently, so added client threads should convert
+//! into added throughput until they outnumber partitions. The sweep drives
+//! the same PrismDB configuration from 1/2/4/8 OS threads (one op stream
+//! per thread, closed-loop virtual-time accounting — see
+//! [`crate::Runner::run_threaded`]) on a read-heavy YCSB-C style workload,
+//! next to the multi-tier RocksDB baseline behind one global lock, whose
+//! single shard cannot scale by construction.
+
+use std::sync::atomic::Ordering;
+
+use prism_types::ConcurrentKvStore;
+use prism_workloads::Workload;
+
+use crate::engines;
+use crate::report::{fmt_f64, Table};
+use crate::{Runner, Scale};
+
+/// Aggregate YCSB-C throughput for 1/2/4/8 client threads, PrismDB
+/// (8 partition locks) vs the coarse-locked multi-tier LSM (1 lock).
+pub fn thread_sweep(scale: &Scale) -> Table {
+    let runner = Runner::new(super::run_config(scale));
+    let keys = scale.record_count;
+    let workload = Workload::ycsb_c(keys);
+
+    let mut table = Table::new(
+        "Scalability: aggregate YCSB-C throughput vs client threads",
+        &[
+            "threads",
+            "prismdb (Kops/s)",
+            "prismdb speedup",
+            "rocksdb-het+lock (Kops/s)",
+            "locked speedup",
+        ],
+    );
+    let mut prism_base = 0.0;
+    let mut locked_base = 0.0;
+    for &threads in scale.thread_sweep() {
+        // Fresh engines per point: every sweep point starts from the same
+        // freshly-loaded state, so points differ only in thread count.
+        let prism = engines::prismdb_shared(keys);
+        let prism_result = runner.run_threaded(&prism, &workload, threads);
+        let locked = engines::rocksdb_het_locked(keys);
+        let locked_result = runner.run_threaded(&locked, &workload, threads);
+        if threads == 1 {
+            prism_base = prism_result.throughput_kops;
+            locked_base = locked_result.throughput_kops;
+        }
+        table.add_row(vec![
+            threads.to_string(),
+            fmt_f64(prism_result.throughput_kops),
+            fmt_f64(prism_result.throughput_kops / prism_base.max(f64::MIN_POSITIVE)),
+            fmt_f64(locked_result.throughput_kops),
+            fmt_f64(locked_result.throughput_kops / locked_base.max(f64::MIN_POSITIVE)),
+        ]);
+    }
+    table.print();
+    table
+}
+
+/// Sanity check that concurrent clients really run concurrently: while
+/// scanner threads hold cross-partition scans, writer threads keep
+/// mutating, and everything terminates (no deadlock).
+pub fn scan_liveness(scale: &Scale) -> Table {
+    let keys = scale.record_count.min(4_000);
+    let db = engines::prismdb_shared(keys);
+    for id in 0..keys {
+        db.put(
+            prism_types::Key::from_id(id),
+            prism_types::Value::filled(256, 1),
+        )
+        .expect("load");
+    }
+    let scans = std::sync::atomic::AtomicU64::new(0);
+    let writes = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for s in 0..2u64 {
+            let db = &db;
+            let scans = &scans;
+            scope.spawn(move || {
+                for round in 0..40u64 {
+                    let start = (s * 1_733 + round * 97) % keys;
+                    db.scan(&prism_types::Key::from_id(start), 100)
+                        .expect("scan");
+                    scans.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        for t in 0..2u64 {
+            let db = &db;
+            let writes = &writes;
+            scope.spawn(move || {
+                for i in 0..400u64 {
+                    let id = (t * 2_311 + i * 13) % keys;
+                    db.put(
+                        prism_types::Key::from_id(id),
+                        prism_types::Value::filled(256, 2),
+                    )
+                    .expect("put");
+                    writes.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let mut table = Table::new(
+        "Scalability: scan/write liveness under concurrency",
+        &["metric", "count"],
+    );
+    table.add_row(vec![
+        "cross-partition scans".into(),
+        scans.load(Ordering::Relaxed).to_string(),
+    ]);
+    table.add_row(vec![
+        "concurrent writes".into(),
+        writes.load(Ordering::Relaxed).to_string(),
+    ]);
+    table.print();
+    table
+}
+
+/// Run the thread sweep and the liveness check.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    vec![thread_sweep(scale), scan_liveness(scale)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_scales_with_threads_for_prismdb_but_not_the_locked_lsm() {
+        let table = thread_sweep(&Scale::quick());
+        let get = |threads: &str, col: &str| -> f64 {
+            table.cell(threads, col).unwrap().parse().unwrap()
+        };
+        let p1 = get("1", "prismdb (Kops/s)");
+        let p2 = get("2", "prismdb (Kops/s)");
+        let p4 = get("4", "prismdb (Kops/s)");
+        assert!(
+            p2 > p1 && p4 > p2,
+            "prism throughput must increase 1→2→4 threads: {p1:.1} / {p2:.1} / {p4:.1}"
+        );
+        let l1 = get("1", "rocksdb-het+lock (Kops/s)");
+        let l4 = get("4", "rocksdb-het+lock (Kops/s)");
+        assert!(
+            l4 < l1 * 1.25,
+            "a single global lock cannot scale: {l1:.1} → {l4:.1}"
+        );
+    }
+
+    #[test]
+    fn liveness_check_completes_all_scans_and_writes() {
+        let table = scan_liveness(&Scale::quick());
+        let scans: u64 = table
+            .cell("cross-partition scans", "count")
+            .unwrap()
+            .parse()
+            .unwrap();
+        let writes: u64 = table
+            .cell("concurrent writes", "count")
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(scans, 80);
+        assert_eq!(writes, 800);
+    }
+}

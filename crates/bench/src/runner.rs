@@ -1,8 +1,9 @@
 //! Driving an engine with a workload and collecting results.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-use prism_types::{EngineStats, KvStore, Nanos, Op, OpKind, Result};
+use prism_types::{ConcurrentKvStore, EngineStats, KvStore, Nanos, Op, OpKind, Result};
 use prism_workloads::{OpStream, Workload};
 
 /// Sizing of one experiment run.
@@ -259,6 +260,204 @@ impl Runner {
     }
 }
 
+/// The outcome of driving one engine from several client threads.
+///
+/// Produced by [`Runner::run_threaded`]. Throughput is computed in the
+/// same simulated-time domain as the single-threaded results, but under a
+/// closed-loop multi-client model (see `run_threaded`), so it reflects how
+/// the engine's internal sharding converts added client threads into
+/// parallelism — independent of how many physical cores the host happens
+/// to have (individual latencies still vary slightly run-to-run because
+/// thread interleaving affects shared engine state such as cache contents
+/// and compaction timing).
+#[derive(Debug, Clone)]
+pub struct ThreadedRunResult {
+    /// Engine name.
+    pub engine: String,
+    /// Workload name.
+    pub workload: String,
+    /// Number of client threads.
+    pub threads: usize,
+    /// Total operations measured across all threads.
+    pub measured_ops: u64,
+    /// Aggregate throughput in thousands of operations per simulated
+    /// second (total ops divided by [`ThreadedRunResult::elapsed`]).
+    pub throughput_kops: f64,
+    /// Simulated makespan of the measured phase:
+    /// `max(busiest client clock, busiest shard's total work)`.
+    pub elapsed: Nanos,
+    /// Real wall-clock time of the measured phase (informational; on a
+    /// single-core host this mostly reflects lock overhead, not scaling).
+    pub wall: std::time::Duration,
+    /// Engine statistics accumulated during the measured phase.
+    pub stats: EngineStats,
+}
+
+impl Runner {
+    fn apply_shared<E: ConcurrentKvStore + ?Sized>(engine: &E, op: &Op) -> Result<Nanos> {
+        Ok(match op {
+            Op::Read(key) => engine.get(key)?.latency,
+            Op::Update(key, value) | Op::Insert(key, value) => {
+                engine.put(key.clone(), value.clone())?
+            }
+            Op::ReadModifyWrite(key, value) => {
+                let read = engine.get(key)?.latency;
+                let write = engine.put(key.clone(), value.clone())?;
+                read + write
+            }
+            Op::Scan(key, count) => engine.scan(key, *count)?.latency,
+            Op::Delete(key) => engine.delete(key)?,
+        })
+    }
+
+    /// A per-thread RNG seed: deterministic, well-spread, and disjoint from
+    /// the single-threaded stream seeded with `seed` itself.
+    fn thread_seed(seed: u64, thread: usize, phase: u64) -> u64 {
+        seed ^ (0x517c_c1b7_2722_0a95u64
+            .wrapping_mul(thread as u64 + 1)
+            .wrapping_add(phase.wrapping_mul(0x2545_f491_4f6c_dd1d)))
+    }
+
+    /// Drive `engine` from `threads` OS threads, each with its own
+    /// operation stream, and measure aggregate throughput.
+    ///
+    /// The engine really is driven concurrently — every thread calls
+    /// [`ConcurrentKvStore`] methods on the shared reference, so lock
+    /// contention, routing and cross-partition scans are all exercised for
+    /// real. Throughput, however, is accounted in *simulated* time with a
+    /// closed-loop client model, mirroring how the rest of the harness
+    /// works (and keeping results independent of host core count):
+    ///
+    /// * each client thread sums the simulated latency of its own
+    ///   operations (a closed-loop client issues the next operation when
+    ///   the previous one completes);
+    /// * each engine shard (see [`ConcurrentKvStore::shard_of`]) sums the
+    ///   simulated latency of every operation routed to it — operations on
+    ///   one shard serialise on its lock, so a shard's total work is time
+    ///   that cannot be overlapped no matter how many clients there are.
+    ///   Scans are charged to every shard in
+    ///   [`ConcurrentKvStore::shards_for_scan`] — the shards whose locks a
+    ///   cross-partition scan may hold simultaneously (a conservative
+    ///   superset).
+    ///
+    /// The simulated makespan is the classic schedule lower bound
+    /// `max(busiest client, busiest shard)`, and aggregate throughput is
+    /// `total ops / makespan`. Adding client threads divides per-client
+    /// work but leaves per-shard work unchanged, so throughput grows until
+    /// the busiest shard dominates: a well-sharded engine scales to about
+    /// its shard count, while a coarse-locked engine (one shard, whose
+    /// work equals the whole run) cannot scale at all — exactly like its
+    /// real counterpart on sufficient cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine returns an error or `threads` is zero
+    /// (experiments are expected to be configured within capacity limits).
+    pub fn run_threaded<E: ConcurrentKvStore>(
+        &self,
+        engine: &E,
+        workload: &Workload,
+        threads: usize,
+    ) -> ThreadedRunResult {
+        assert!(threads > 0, "at least one client thread is required");
+        let spec = Workload {
+            record_count: self.config.record_count,
+            ..workload.clone()
+        };
+
+        // Load phase: sequential inserts, one thread.
+        let load_stream = spec.stream(self.config.seed);
+        for op in load_stream.load_ops() {
+            Self::apply_shared(engine, &op).expect("load phase must not fail");
+        }
+
+        // Warm-up phase: all threads, no accounting.
+        let warmup_per_thread = self.config.warmup_ops / threads as u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let spec = &spec;
+                let seed = Self::thread_seed(self.config.seed, t, 1);
+                scope.spawn(move || {
+                    let mut stream = spec.stream(seed);
+                    for _ in 0..warmup_per_thread {
+                        let op = stream.next().expect("stream is infinite");
+                        Self::apply_shared(engine, &op).expect("warm-up must not fail");
+                    }
+                });
+            }
+        });
+
+        // Measured phase.
+        let ops_per_thread = (self.config.measure_ops / threads as u64).max(1);
+        let shard_work: Vec<AtomicU64> = (0..engine.shard_count().max(1))
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        let start_stats = engine.stats();
+        let started = std::time::Instant::now();
+        let mut client_clocks: Vec<Nanos> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let spec = &spec;
+                let shard_work = &shard_work;
+                let seed = Self::thread_seed(self.config.seed, t, 2);
+                handles.push(scope.spawn(move || {
+                    let mut stream = spec.stream(seed);
+                    let mut clock = 0u64;
+                    for _ in 0..ops_per_thread {
+                        let op = stream.next().expect("stream is infinite");
+                        let shard = engine.shard_of(op.key());
+                        let is_scan = matches!(op, Op::Scan(_, _));
+                        let latency = Self::apply_shared(engine, &op)
+                            .expect("measured ops must not fail")
+                            .as_nanos();
+                        clock += latency;
+                        if is_scan {
+                            // A cross-partition scan holds several shard
+                            // locks at once; its time cannot be overlapped
+                            // with work on any shard it may lock.
+                            for s in engine.shards_for_scan(op.key()) {
+                                shard_work[s].fetch_add(latency, Ordering::Relaxed);
+                            }
+                        } else {
+                            shard_work[shard].fetch_add(latency, Ordering::Relaxed);
+                        }
+                    }
+                    Nanos::from_nanos(clock)
+                }));
+            }
+            for handle in handles {
+                client_clocks.push(handle.join().expect("client thread panicked"));
+            }
+        });
+        let wall = started.elapsed();
+
+        // Makespan lower bound: no schedule can finish before the busiest
+        // closed-loop client, nor before the busiest (serial) shard.
+        let busiest_client = client_clocks.iter().copied().fold(Nanos::ZERO, Nanos::max);
+        let busiest_shard = shard_work
+            .iter()
+            .map(|w| Nanos::from_nanos(w.load(Ordering::Relaxed)))
+            .fold(Nanos::ZERO, Nanos::max);
+        let elapsed = busiest_client.max(busiest_shard);
+        let measured_ops = ops_per_thread * threads as u64;
+        ThreadedRunResult {
+            engine: engine.engine_name().to_string(),
+            workload: spec.name.clone(),
+            threads,
+            measured_ops,
+            throughput_kops: if elapsed.is_zero() {
+                0.0
+            } else {
+                measured_ops as f64 / elapsed.as_secs_f64() / 1_000.0
+            },
+            elapsed,
+            wall,
+            stats: engine.stats().delta_since(&start_stats),
+        }
+    }
+}
+
 impl RunResult {
     /// Latency summary for one operation kind (zeroes if that kind never
     /// ran).
@@ -293,6 +492,19 @@ mod tests {
         let sorted = vec![100, 200, 300, 400, 1_000_000];
         assert!(percentile(&sorted, 0.5) <= percentile(&sorted, 0.99));
         assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn threaded_run_measures_aggregate_throughput() {
+        let runner = Runner::new(RunConfig::quick(1_000));
+        let db = engines::prismdb(1_000);
+        let result = runner.run_threaded(&db, &Workload::ycsb_c(1_000), 2);
+        assert_eq!(result.threads, 2);
+        assert!(result.measured_ops >= 1_000);
+        assert!(result.throughput_kops > 0.0);
+        assert!(result.elapsed > prism_types::Nanos::ZERO);
+        assert!(result.stats.reads_found() > 0);
+        assert_eq!(result.engine, "prismdb");
     }
 
     #[test]

@@ -48,6 +48,14 @@ impl Scale {
         }
     }
 
+    /// Client thread counts exercised by the thread-sweep scalability
+    /// experiment. Doubling stops at 8: the default engine configuration
+    /// has 8 partitions, so extra client threads past that can only queue
+    /// on partition locks.
+    pub fn thread_sweep(&self) -> &'static [usize] {
+        &[1, 2, 4, 8]
+    }
+
     /// Pick the scale from the `PRISM_BENCH_SCALE` environment variable:
     /// `quick`, `default` (default) or `paperish`.
     pub fn from_env() -> Self {

@@ -1,10 +1,12 @@
-//! The PrismDB engine: partition routing and the [`KvStore`] implementation.
+//! The PrismDB engine: partition routing, per-partition locking and the
+//! [`KvStore`] / [`ConcurrentKvStore`] implementations.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use prism_storage::TieredStorage;
 use prism_types::{
-    EngineStats, Key, KvStore, Lookup, Nanos, PrismError, Result, ScanResult, Value,
+    ConcurrentKvStore, EngineStats, Key, KvStore, Lookup, Nanos, PrismError, Result, ScanResult,
+    Value,
 };
 
 use crate::options::{Options, Partitioning};
@@ -26,6 +28,19 @@ fn splitmix64(mut x: u64) -> u64 {
 /// All client operations are routed by key; scans walk partitions in key
 /// order because partitioning is range-based.
 ///
+/// # Concurrency
+///
+/// Every partition sits behind its own [`Mutex`], so an `Arc<PrismDb>` can
+/// be driven from many OS threads through the [`ConcurrentKvStore`] trait:
+/// operations on different partitions proceed in parallel, operations on
+/// the same partition serialise. Single-key operations take exactly one
+/// partition lock. Cross-partition scans are the only multi-lock path; they
+/// acquire partition locks in ascending partition order and hold them until
+/// the scan completes, which makes scans atomic snapshots and rules out
+/// lock-order deadlocks. The legacy [`KvStore`] (`&mut self`) impl is a
+/// thin adapter over the shared-reference path, so existing single-threaded
+/// callers are unaffected.
+///
 /// # Example
 ///
 /// ```
@@ -38,13 +53,42 @@ fn splitmix64(mut x: u64) -> u64 {
 /// let found = db.get(&Key::from_id(7)).unwrap();
 /// assert_eq!(found.value.unwrap().len(), 256);
 /// ```
+///
+/// Driving the same engine from multiple threads:
+///
+/// ```
+/// use std::sync::Arc;
+/// use prism_db::{Options, PrismDb};
+/// use prism_types::{ConcurrentKvStore, Key, Value};
+///
+/// let db = Arc::new(PrismDb::open(Options::scaled_default(1_000)).unwrap());
+/// std::thread::scope(|scope| {
+///     for t in 0..2u64 {
+///         let db = Arc::clone(&db);
+///         scope.spawn(move || {
+///             for i in 0..20 {
+///                 db.put(Key::from_id(t * 100 + i), Value::filled(64, t as u8)).unwrap();
+///             }
+///         });
+///     }
+/// });
+/// assert_eq!(db.scan(&Key::min(), 100).unwrap().entries.len(), 40);
+/// ```
 pub struct PrismDb {
     options: Arc<Options>,
     storage: TieredStorage,
-    partitions: Vec<Partition>,
+    partitions: Vec<Mutex<Partition>>,
     /// Key-id span covered by each partition.
     partition_span: u64,
 }
+
+// `Arc<PrismDb>` handles are shared across client threads; fail the build
+// rather than a downstream user if a non-Send type ever sneaks into a
+// partition.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PrismDb>();
+};
 
 impl PrismDb {
     /// Open a database with the given options, creating the simulated
@@ -71,7 +115,7 @@ impl PrismDb {
         let options = Arc::new(options);
         let mut partitions = Vec::with_capacity(options.num_partitions);
         for id in 0..options.num_partitions {
-            partitions.push(Partition::new(id, options.clone(), &storage)?);
+            partitions.push(Mutex::new(Partition::new(id, options.clone(), &storage)?));
         }
         // Leave headroom above the expected key count so freshly inserted
         // keys (YCSB-D style) still route to the last partition's range
@@ -105,20 +149,28 @@ impl PrismDb {
         self.partitions.len()
     }
 
+    /// Lock one partition. A poisoned lock (a client thread panicked while
+    /// holding it) is entered anyway: partition state is append/replace
+    /// structured, and [`PrismDb::crash_and_recover`] exists precisely to
+    /// rebuild DRAM state from the persistent layers.
+    fn lock_partition(&self, idx: usize) -> MutexGuard<'_, Partition> {
+        self.partitions[idx]
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
     /// Total live objects currently resident on NVM across partitions.
     pub fn nvm_object_count(&self) -> usize {
-        self.partitions
-            .iter()
-            .map(Partition::nvm_object_count)
+        (0..self.partitions.len())
+            .map(|i| self.lock_partition(i).nvm_object_count())
             .sum()
     }
 
     /// Total objects currently resident on flash across partitions
     /// (including stale versions not yet compacted away).
     pub fn flash_object_count(&self) -> usize {
-        self.partitions
-            .iter()
-            .map(Partition::flash_object_count)
+        (0..self.partitions.len())
+            .map(|i| self.lock_partition(i).flash_object_count())
             .sum()
     }
 
@@ -126,8 +178,8 @@ impl PrismDb {
     /// value), as plotted in Figure 5 of the paper.
     pub fn clock_histogram(&self) -> [u64; 4] {
         let mut total = [0u64; 4];
-        for partition in &self.partitions {
-            let h = partition.clock_histogram();
+        for i in 0..self.partitions.len() {
+            let h = self.lock_partition(i).clock_histogram();
             for (slot, value) in total.iter_mut().zip(h.iter()) {
                 *slot += value;
             }
@@ -137,7 +189,9 @@ impl PrismDb {
 
     /// Mean NVM utilisation across partitions.
     pub fn nvm_utilization(&self) -> f64 {
-        let sum: f64 = self.partitions.iter().map(Partition::nvm_utilization).sum();
+        let sum: f64 = (0..self.partitions.len())
+            .map(|i| self.lock_partition(i).nvm_utilization())
+            .sum();
         sum / self.partitions.len() as f64
     }
 
@@ -145,10 +199,14 @@ impl PrismDb {
     /// partition in parallel (recovery time is the maximum over partitions,
     /// since partitions recover independently, §6 of the paper). Returns
     /// that recovery time.
-    pub fn crash_and_recover(&mut self) -> Nanos {
-        self.partitions
-            .iter_mut()
-            .map(Partition::crash_and_recover)
+    ///
+    /// Takes `&self` so recovery can be exercised on a shared
+    /// `Arc<PrismDb>`; each partition is locked for the duration of its own
+    /// recovery, so concurrent operations observe either pre-crash or
+    /// post-recovery state of a partition, never a half-rebuilt one.
+    pub fn crash_and_recover(&self) -> Nanos {
+        (0..self.partitions.len())
+            .map(|i| self.lock_partition(i).crash_and_recover())
             .fold(Nanos::ZERO, Nanos::max)
     }
 
@@ -163,8 +221,8 @@ impl PrismDb {
     }
 }
 
-impl KvStore for PrismDb {
-    fn put(&mut self, key: Key, value: Value) -> Result<Nanos> {
+impl ConcurrentKvStore for PrismDb {
+    fn put(&self, key: Key, value: Value) -> Result<Nanos> {
         if value.len() > prism_nvm::MAX_OBJECT_SIZE {
             return Err(PrismError::ObjectTooLarge {
                 size: value.len(),
@@ -172,35 +230,42 @@ impl KvStore for PrismDb {
             });
         }
         let idx = self.partition_for(&key);
-        self.partitions[idx].put(key, value)
+        self.lock_partition(idx).put(key, value)
     }
 
-    fn get(&mut self, key: &Key) -> Result<Lookup> {
+    fn get(&self, key: &Key) -> Result<Lookup> {
         let idx = self.partition_for(key);
-        self.partitions[idx].get(key)
+        self.lock_partition(idx).get(key)
     }
 
-    fn delete(&mut self, key: &Key) -> Result<Nanos> {
+    fn delete(&self, key: &Key) -> Result<Nanos> {
         let idx = self.partition_for(key);
-        self.partitions[idx].delete(key)
+        self.lock_partition(idx).delete(key)
     }
 
-    fn scan(&mut self, start: &Key, count: usize) -> Result<ScanResult> {
+    fn scan(&self, start: &Key, count: usize) -> Result<ScanResult> {
+        // Both branches acquire partition locks in ascending partition
+        // order and hold every acquired lock until the scan finishes. This
+        // is the engine's only multi-lock path; the global ascending order
+        // makes deadlock impossible and the hold-until-done discipline
+        // makes the scan an atomic snapshot of the partitions it covers.
         match self.options.partitioning {
             Partitioning::Range => {
                 // Partitions hold contiguous key ranges: walk them in order
                 // until enough entries are collected.
                 let mut entries = Vec::with_capacity(count);
                 let mut latency = Nanos::ZERO;
-                let mut idx = self.partition_for(start);
                 let mut cursor = start.clone();
-                while entries.len() < count && idx < self.partitions.len() {
-                    let remaining = count - entries.len();
-                    let (mut chunk, cost) =
-                        self.partitions[idx].scan_collect(&cursor, remaining)?;
+                let mut guards: Vec<MutexGuard<'_, Partition>> = Vec::new();
+                for idx in self.partition_for(start)..self.partitions.len() {
+                    if entries.len() >= count {
+                        break;
+                    }
+                    guards.push(self.lock_partition(idx));
+                    let guard = guards.last_mut().expect("just pushed");
+                    let (mut chunk, cost) = guard.scan_collect(&cursor, count - entries.len())?;
                     latency += cost;
                     entries.append(&mut chunk);
-                    idx += 1;
                     cursor = Key::min();
                 }
                 Ok(ScanResult { entries, latency })
@@ -208,10 +273,13 @@ impl KvStore for PrismDb {
             Partitioning::Hash => {
                 // Keys are scattered: every partition may hold part of the
                 // range, so collect `count` candidates from each and merge.
+                let mut guards: Vec<MutexGuard<'_, Partition>> = (0..self.partitions.len())
+                    .map(|idx| self.lock_partition(idx))
+                    .collect();
                 let mut entries: Vec<(Key, Value)> = Vec::with_capacity(count * 2);
                 let mut latency = Nanos::ZERO;
-                for partition in &mut self.partitions {
-                    let (mut chunk, cost) = partition.scan_collect(start, count)?;
+                for guard in guards.iter_mut() {
+                    let (mut chunk, cost) = guard.scan_collect(start, count)?;
                     latency += cost;
                     entries.append(&mut chunk);
                 }
@@ -228,8 +296,8 @@ impl KvStore for PrismDb {
             flash_io: self.storage.flash_io(),
             ..EngineStats::default()
         };
-        for partition in &self.partitions {
-            let p = partition.stats();
+        for i in 0..self.partitions.len() {
+            let p = self.lock_partition(i).stats();
             stats.reads_from_dram += p.reads_from_dram;
             stats.reads_from_nvm += p.reads_from_nvm;
             stats.reads_from_flash += p.reads_from_flash;
@@ -247,14 +315,65 @@ impl KvStore for PrismDb {
     }
 
     fn elapsed(&self) -> Nanos {
-        self.partitions
-            .iter()
-            .map(Partition::elapsed)
+        (0..self.partitions.len())
+            .map(|i| self.lock_partition(i).elapsed())
             .fold(Nanos::ZERO, Nanos::max)
     }
 
     fn engine_name(&self) -> &str {
         "prismdb"
+    }
+
+    fn shard_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    fn shard_of(&self, key: &Key) -> usize {
+        self.partition_for(key)
+    }
+
+    fn shards_for_scan(&self, start: &Key) -> std::ops::Range<usize> {
+        match self.options.partitioning {
+            // A hash-partitioned scan locks every partition.
+            Partitioning::Hash => 0..self.partitions.len(),
+            // A range-partitioned scan walks ascending partitions from the
+            // start key's partition; it may stop early once `count`
+            // entries are found, so this is a conservative superset.
+            Partitioning::Range => self.partition_for(start)..self.partitions.len(),
+        }
+    }
+}
+
+/// The single-threaded API, kept as a thin adapter over the
+/// [`ConcurrentKvStore`] impl so every existing caller (tests, benches,
+/// experiments) works unchanged.
+impl KvStore for PrismDb {
+    fn put(&mut self, key: Key, value: Value) -> Result<Nanos> {
+        ConcurrentKvStore::put(self, key, value)
+    }
+
+    fn get(&mut self, key: &Key) -> Result<Lookup> {
+        ConcurrentKvStore::get(self, key)
+    }
+
+    fn delete(&mut self, key: &Key) -> Result<Nanos> {
+        ConcurrentKvStore::delete(self, key)
+    }
+
+    fn scan(&mut self, start: &Key, count: usize) -> Result<ScanResult> {
+        ConcurrentKvStore::scan(self, start, count)
+    }
+
+    fn stats(&self) -> EngineStats {
+        ConcurrentKvStore::stats(self)
+    }
+
+    fn elapsed(&self) -> Nanos {
+        ConcurrentKvStore::elapsed(self)
+    }
+
+    fn engine_name(&self) -> &str {
+        ConcurrentKvStore::engine_name(self)
     }
 }
 
@@ -273,7 +392,7 @@ mod tests {
 
     #[test]
     fn routing_covers_all_partitions() {
-        let mut db = small_db(10_000, 4);
+        let db = small_db(10_000, 4);
         for id in (0..10_000u64).step_by(101) {
             db.put(Key::from_id(id), Value::filled(200, 1)).unwrap();
         }
@@ -286,14 +405,14 @@ mod tests {
 
     #[test]
     fn oversized_values_are_rejected_at_the_engine_boundary() {
-        let mut db = small_db(1_000, 2);
+        let db = small_db(1_000, 2);
         let err = db.put(Key::from_id(1), Value::filled(8192, 0)).unwrap_err();
         assert!(matches!(err, PrismError::ObjectTooLarge { .. }));
     }
 
     #[test]
     fn cross_partition_scan_returns_keys_in_order() {
-        let mut db = small_db(4_000, 4);
+        let db = small_db(4_000, 4);
         for id in 0..4_000u64 {
             db.put(Key::from_id(id), Value::filled(300, 1)).unwrap();
         }
@@ -309,25 +428,25 @@ mod tests {
 
     #[test]
     fn stats_aggregate_partitions_and_devices() {
-        let mut db = small_db(5_000, 2);
+        let db = small_db(5_000, 2);
         for id in 0..5_000u64 {
             db.put(Key::from_id(id), Value::filled(1000, 1)).unwrap();
         }
         for id in (0..5_000u64).step_by(7) {
             db.get(&Key::from_id(id)).unwrap();
         }
-        let stats = db.stats();
+        let stats = KvStore::stats(&db);
         assert!(stats.user_bytes_written >= 5_000 * 1000);
         assert!(stats.nvm_io.bytes_written > 0);
         assert!(stats.reads_found() > 0);
-        assert!(db.elapsed() > Nanos::ZERO);
+        assert!(KvStore::elapsed(&db) > Nanos::ZERO);
         assert!(db.cost_per_gb() > 0.0);
-        assert_eq!(db.engine_name(), "prismdb");
+        assert_eq!(KvStore::engine_name(&db), "prismdb");
     }
 
     #[test]
     fn engine_crash_recovery_preserves_data() {
-        let mut db = small_db(3_000, 2);
+        let db = small_db(3_000, 2);
         for id in 0..3_000u64 {
             db.put(Key::from_id(id), Value::filled(900, 1)).unwrap();
         }
@@ -350,7 +469,7 @@ mod tests {
 
     #[test]
     fn read_heavy_workload_keeps_hot_reads_fast() {
-        let mut db = small_db(4_000, 2);
+        let db = small_db(4_000, 2);
         for id in 0..4_000u64 {
             db.put(Key::from_id(id), Value::filled(1000, 1)).unwrap();
         }
@@ -368,5 +487,81 @@ mod tests {
             }
         }
         assert!(fast >= 90, "hot reads should avoid flash, {fast}/100 fast");
+    }
+
+    #[test]
+    fn shared_handles_drive_the_engine_from_many_threads() {
+        let db = Arc::new(small_db(6_000, 4));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let db = Arc::clone(&db);
+                scope.spawn(move || {
+                    for i in 0..300u64 {
+                        let id = t * 1_500 + i;
+                        db.put(Key::from_id(id), Value::filled(256, t as u8))
+                            .unwrap();
+                        if i % 3 == 0 {
+                            let got = db.get(&Key::from_id(id)).unwrap();
+                            assert_eq!(got.value.unwrap().as_bytes()[0], t as u8);
+                        }
+                    }
+                });
+            }
+        });
+        let db = Arc::into_inner(db).expect("all worker handles dropped");
+        for t in 0..4u64 {
+            let got = ConcurrentKvStore::get(&db, &Key::from_id(t * 1_500)).unwrap();
+            assert_eq!(got.value.unwrap().as_bytes()[0], t as u8);
+        }
+        assert_eq!(ConcurrentKvStore::engine_name(&db), "prismdb");
+        assert_eq!(db.shard_count(), 4);
+    }
+
+    #[test]
+    fn concurrent_scans_and_writes_do_not_deadlock() {
+        let mut options = Options::scaled_default(4_000);
+        options.num_partitions = 4;
+        options.partitioning = Partitioning::Range;
+        let db = Arc::new(PrismDb::open(options).unwrap());
+        for id in 0..4_000u64 {
+            ConcurrentKvStore::put(&db, Key::from_id(id), Value::filled(128, 1)).unwrap();
+        }
+        std::thread::scope(|scope| {
+            // Scanners repeatedly cross partition boundaries while writers
+            // mutate every partition.
+            for s in 0..2u64 {
+                let db = Arc::clone(&db);
+                scope.spawn(move || {
+                    for round in 0..60u64 {
+                        let start = (s * 900 + round * 37) % 3_500;
+                        let result =
+                            ConcurrentKvStore::scan(&db, &Key::from_id(start), 200).unwrap();
+                        let ids: Vec<u64> = result.entries.iter().map(|(k, _)| k.id()).collect();
+                        assert!(ids.windows(2).all(|w| w[0] < w[1]), "scan out of order");
+                    }
+                });
+            }
+            for t in 0..2u64 {
+                let db = Arc::clone(&db);
+                scope.spawn(move || {
+                    for i in 0..600u64 {
+                        let id = (t * 2_000 + i * 7) % 4_000;
+                        ConcurrentKvStore::put(&db, Key::from_id(id), Value::filled(128, 2))
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        assert!(db.nvm_utilization() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_in_range() {
+        let db = small_db(2_000, 4);
+        for id in 0..2_000u64 {
+            let shard = db.shard_of(&Key::from_id(id));
+            assert!(shard < db.shard_count());
+            assert_eq!(shard, db.shard_of(&Key::from_id(id)));
+        }
     }
 }

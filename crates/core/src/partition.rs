@@ -321,11 +321,15 @@ impl Partition {
             .unwrap_or(false);
 
         if let Some(entry) = existing {
-            if !entry.tombstone {
-                self.slab.remove(entry.addr)?;
-                self.buckets.on_nvm_remove(key_id);
-                self.index.remove(key);
-            }
+            // Reclaim the key's current NVM slot whether it holds a value
+            // or an old tombstone: deleting an already-tombstoned key must
+            // not orphan the previous tombstone slot, or a recovery slab
+            // scan could later resurrect it and shadow a newer flash
+            // version (a fresh tombstone is re-written below if a flash
+            // version still needs shadowing).
+            self.slab.remove(entry.addr)?;
+            self.buckets.on_nvm_remove(key_id);
+            self.index.remove(key);
         }
 
         if on_flash {
@@ -875,16 +879,30 @@ impl Partition {
         let cost = self.slab.recovery_scan_cost();
         let mut newest: std::collections::HashMap<Key, (NvmAddress, u64, bool)> =
             std::collections::HashMap::new();
+        let mut stale: Vec<NvmAddress> = Vec::new();
         let mut max_ts = 0u64;
         for (addr, slot) in self.slab.scan() {
             max_ts = max_ts.max(slot.timestamp);
             let tombstone = slot.value.is_empty();
             match newest.get(&slot.key) {
-                Some((_, ts, _)) if *ts >= slot.timestamp => {}
+                Some((_, ts, _)) if *ts >= slot.timestamp => stale.push(addr),
                 _ => {
-                    newest.insert(slot.key.clone(), (addr, slot.timestamp, tombstone));
+                    if let Some((old, _, _)) =
+                        newest.insert(slot.key.clone(), (addr, slot.timestamp, tombstone))
+                    {
+                        stale.push(old);
+                    }
                 }
             }
+        }
+        // Garbage-collect superseded duplicate slots (e.g. slots orphaned
+        // by a bug or torn multi-slot sequence): recovery must leave
+        // exactly one slot per key, or the next recovery could pick a
+        // different winner.
+        for addr in stale {
+            self.slab
+                .remove(addr)
+                .expect("recovery GC: a slot just seen by the slab scan must be removable");
         }
         for (key, (addr, timestamp, tombstone)) in newest {
             self.buckets.on_nvm_insert(key.id());

@@ -33,11 +33,13 @@
 mod cache;
 mod config;
 mod engine;
+mod locked;
 mod memtable;
 
 pub use cache::BlockCache;
 pub use config::{LsmConfig, Tier};
 pub use engine::LsmTree;
+pub use locked::LockedLsmTree;
 
 #[cfg(test)]
 mod proptests {

@@ -1,0 +1,62 @@
+//! Thread-safe adapter for the LSM baseline family.
+//!
+//! The LSM engines model RocksDB's architecture, where client operations
+//! funnel through shared structures (memtable, WAL group-commit, version
+//! set); the honest way to expose them to concurrent clients is one global
+//! lock. [`LockedLsmTree`] does exactly that, so scalability experiments
+//! can compare PrismDB's per-partition locking against a coarse-locked
+//! baseline over the *same* engines, apples-to-apples.
+
+use prism_types::MutexKv;
+
+use crate::LsmTree;
+
+/// An [`LsmTree`] behind one global mutex, implementing
+/// [`prism_types::ConcurrentKvStore`] with a single shard (all concurrent
+/// clients serialise).
+pub type LockedLsmTree = MutexKv<LsmTree>;
+
+impl LsmTree {
+    /// Wrap this engine in a global lock so it can be driven from many
+    /// threads through [`prism_types::ConcurrentKvStore`].
+    pub fn into_concurrent(self) -> LockedLsmTree {
+        MutexKv::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use prism_types::{ConcurrentKvStore, Key, Value};
+
+    use crate::LsmConfig;
+
+    #[test]
+    fn locked_lsm_is_driveable_from_many_threads() {
+        let engine = Arc::new(
+            crate::LsmTree::open(LsmConfig::het(2_000, 1.0 / 6.0))
+                .unwrap()
+                .into_concurrent(),
+        );
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let engine = Arc::clone(&engine);
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        let id = t * 500 + i;
+                        engine
+                            .put(Key::from_id(id), Value::filled(128, t as u8))
+                            .unwrap();
+                        let got = engine.get(&Key::from_id(id)).unwrap();
+                        assert_eq!(got.value.unwrap().as_bytes()[0], t as u8);
+                    }
+                });
+            }
+        });
+        assert_eq!(engine.shard_count(), 1, "a global lock is a single shard");
+        let scanned = engine.scan(&Key::min(), 1_000).unwrap();
+        assert_eq!(scanned.entries.len(), 400);
+        assert!(scanned.entries.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}

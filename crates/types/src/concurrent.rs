@@ -1,0 +1,335 @@
+//! Shared-reference (thread-safe) engine API and adapters.
+//!
+//! [`crate::KvStore`] takes `&mut self`: it models a single benchmark thread
+//! driving an engine. Scaling past one thread needs an API that can be
+//! called through a shared reference, so `Arc<Engine>` handles can be
+//! cloned into many OS threads. [`ConcurrentKvStore`] is that API; engines
+//! provide their own internal synchronisation (PrismDB locks each
+//! partition separately, so operations on different partitions proceed in
+//! parallel).
+//!
+//! Two adapters bridge the traits in both directions:
+//!
+//! * [`SharedKv`] wraps an `Arc<impl ConcurrentKvStore>` and implements
+//!   [`crate::KvStore`], so existing single-threaded drivers (the benchmark
+//!   runner, tests) can drive a shared engine unchanged — one `SharedKv`
+//!   handle per thread.
+//! * [`MutexKv`] wraps any `impl KvStore` in one global mutex and
+//!   implements [`ConcurrentKvStore`]. It is the baseline adapter: safe
+//!   everywhere, parallel nowhere (a single shard), which is exactly the
+//!   foil the scalability experiments compare sharded engines against.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::{EngineStats, Key, KvStore, Lookup, Nanos, Result, ScanResult, Value};
+
+/// A storage engine safe to drive from many threads through `&self`.
+///
+/// The operation contract (semantics, error cases, returned simulated
+/// latencies) is identical to [`crate::KvStore`]; only the receiver
+/// changes. Implementations must be internally synchronised: any number of
+/// threads may call any mix of methods concurrently.
+///
+/// The two `shard_*` methods expose the engine's parallelism structure so
+/// harnesses can model queueing per shard: operations on the same shard
+/// serialise, operations on different shards proceed in parallel. A
+/// coarse-grained engine (one global lock) reports a single shard.
+pub trait ConcurrentKvStore: Send + Sync {
+    /// Insert or update `key` with `value`. See [`crate::KvStore::put`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PrismError::CapacityExceeded`] if no tier can
+    /// absorb the write.
+    fn put(&self, key: Key, value: Value) -> Result<Nanos>;
+
+    /// Look up the most recent value of `key`. See [`crate::KvStore::get`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only on internal corruption.
+    fn get(&self, key: &Key) -> Result<Lookup>;
+
+    /// Delete `key`. See [`crate::KvStore::delete`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PrismError::CapacityExceeded`] if writing a
+    /// tombstone is impossible.
+    fn delete(&self, key: &Key) -> Result<Nanos>;
+
+    /// Return up to `count` pairs with keys `>= start`, in key order. See
+    /// [`crate::KvStore::scan`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only on internal corruption.
+    fn scan(&self, start: &Key, count: usize) -> Result<ScanResult>;
+
+    /// Snapshot of cumulative engine statistics.
+    fn stats(&self) -> EngineStats;
+
+    /// Total simulated time elapsed so far.
+    fn elapsed(&self) -> Nanos;
+
+    /// Short human-readable engine name.
+    fn engine_name(&self) -> &str;
+
+    /// Number of independent shards (lock domains) inside the engine.
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    /// The shard that serialises operations on `key` (in `0..shard_count()`).
+    fn shard_of(&self, _key: &Key) -> usize {
+        0
+    }
+
+    /// A conservative superset of the shards a scan starting at `start`
+    /// may lock simultaneously. Harness queueing models charge a scan's
+    /// latency to every shard in this range, since time spent holding
+    /// several shard locks cannot be overlapped with work on any of them.
+    /// The default assumes a scan may touch every shard; range-partitioned
+    /// engines can narrow it to the tail starting at the routed shard.
+    fn shards_for_scan(&self, _start: &Key) -> std::ops::Range<usize> {
+        0..self.shard_count()
+    }
+}
+
+/// `Arc<E>` is itself a concurrent engine: every clone addresses the same
+/// underlying store. This lets harness code accept `impl ConcurrentKvStore`
+/// without caring whether the caller passed the engine or a shared handle.
+impl<E: ConcurrentKvStore + ?Sized> ConcurrentKvStore for Arc<E> {
+    fn put(&self, key: Key, value: Value) -> Result<Nanos> {
+        (**self).put(key, value)
+    }
+
+    fn get(&self, key: &Key) -> Result<Lookup> {
+        (**self).get(key)
+    }
+
+    fn delete(&self, key: &Key) -> Result<Nanos> {
+        (**self).delete(key)
+    }
+
+    fn scan(&self, start: &Key, count: usize) -> Result<ScanResult> {
+        (**self).scan(start, count)
+    }
+
+    fn stats(&self) -> EngineStats {
+        (**self).stats()
+    }
+
+    fn elapsed(&self) -> Nanos {
+        (**self).elapsed()
+    }
+
+    fn engine_name(&self) -> &str {
+        (**self).engine_name()
+    }
+
+    fn shard_count(&self) -> usize {
+        (**self).shard_count()
+    }
+
+    fn shard_of(&self, key: &Key) -> usize {
+        (**self).shard_of(key)
+    }
+
+    fn shards_for_scan(&self, start: &Key) -> std::ops::Range<usize> {
+        (**self).shards_for_scan(start)
+    }
+}
+
+/// A cloneable [`crate::KvStore`] handle over a shared concurrent engine.
+///
+/// Each thread gets its own `SharedKv` (cheap `Arc` clone); every handle
+/// drives the same underlying engine.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use prism_types::{ConcurrentKvStore, Key, KvStore, MemStore, MutexKv, SharedKv, Value};
+///
+/// let engine = Arc::new(MutexKv::new(MemStore::default()));
+/// let mut handle = SharedKv::new(engine.clone());
+/// handle.put(Key::from_id(1), Value::filled(8, 7)).unwrap();
+/// assert!(engine.get(&Key::from_id(1)).unwrap().value.is_some());
+/// ```
+#[derive(Debug)]
+pub struct SharedKv<E: ConcurrentKvStore> {
+    inner: Arc<E>,
+}
+
+impl<E: ConcurrentKvStore> SharedKv<E> {
+    /// Wrap a shared engine.
+    pub fn new(inner: Arc<E>) -> Self {
+        SharedKv { inner }
+    }
+
+    /// The shared engine behind this handle.
+    pub fn engine(&self) -> &Arc<E> {
+        &self.inner
+    }
+}
+
+impl<E: ConcurrentKvStore> Clone for SharedKv<E> {
+    fn clone(&self) -> Self {
+        SharedKv {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<E: ConcurrentKvStore> KvStore for SharedKv<E> {
+    fn put(&mut self, key: Key, value: Value) -> Result<Nanos> {
+        self.inner.put(key, value)
+    }
+
+    fn get(&mut self, key: &Key) -> Result<Lookup> {
+        self.inner.get(key)
+    }
+
+    fn delete(&mut self, key: &Key) -> Result<Nanos> {
+        self.inner.delete(key)
+    }
+
+    fn scan(&mut self, start: &Key, count: usize) -> Result<ScanResult> {
+        self.inner.scan(start, count)
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.inner.stats()
+    }
+
+    fn elapsed(&self) -> Nanos {
+        self.inner.elapsed()
+    }
+
+    fn engine_name(&self) -> &str {
+        self.inner.engine_name()
+    }
+}
+
+/// A single-threaded engine made thread-safe by one global mutex.
+///
+/// This is the honest adapter for engines without internal sharding (the
+/// RocksDB-style LSM baselines): every operation takes the same lock, so
+/// concurrent clients serialise completely and [`ConcurrentKvStore`]'s
+/// shard model reports a single shard.
+#[derive(Debug)]
+pub struct MutexKv<E> {
+    /// Engine name captured at construction (the lock guard cannot outlive
+    /// a borrowed `&str` from `engine_name`).
+    name: String,
+    inner: Mutex<E>,
+}
+
+impl<E: KvStore> MutexKv<E> {
+    /// Wrap an engine in a global lock.
+    pub fn new(engine: E) -> Self {
+        MutexKv {
+            name: engine.engine_name().to_string(),
+            inner: Mutex::new(engine),
+        }
+    }
+
+    /// Unwrap, returning the inner engine.
+    pub fn into_inner(self) -> E {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Lock the inner engine directly (e.g. to read engine-specific state
+    /// that is not part of the trait).
+    pub fn lock(&self) -> MutexGuard<'_, E> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+}
+
+impl<E: KvStore + Send> ConcurrentKvStore for MutexKv<E> {
+    fn put(&self, key: Key, value: Value) -> Result<Nanos> {
+        self.lock().put(key, value)
+    }
+
+    fn get(&self, key: &Key) -> Result<Lookup> {
+        self.lock().get(key)
+    }
+
+    fn delete(&self, key: &Key) -> Result<Nanos> {
+        self.lock().delete(key)
+    }
+
+    fn scan(&self, start: &Key, count: usize) -> Result<ScanResult> {
+        self.lock().scan(start, count)
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.lock().stats()
+    }
+
+    fn elapsed(&self) -> Nanos {
+        self.lock().elapsed()
+    }
+
+    fn engine_name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemStore;
+
+    #[test]
+    fn concurrent_trait_is_object_safe() {
+        let store: Box<dyn ConcurrentKvStore> = Box::new(MutexKv::new(MemStore::default()));
+        store.put(Key::from_id(1), Value::filled(8, 1)).unwrap();
+        assert!(store.get(&Key::from_id(1)).unwrap().value.is_some());
+        assert_eq!(store.shard_count(), 1);
+        assert_eq!(store.shard_of(&Key::from_id(99)), 0);
+    }
+
+    #[test]
+    fn mutex_adapter_is_driveable_from_many_threads() {
+        let store = Arc::new(MutexKv::new(MemStore::default()));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let store = &store;
+                scope.spawn(move || {
+                    for i in 0..50u64 {
+                        let id = t * 1_000 + i;
+                        store
+                            .put(Key::from_id(id), Value::filled(16, t as u8))
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let scanned = store.scan(&Key::min(), 1_000).unwrap();
+        assert_eq!(scanned.entries.len(), 200);
+        assert_eq!(store.engine_name(), "memstore");
+    }
+
+    #[test]
+    fn shared_handle_implements_kvstore_over_one_engine() {
+        let engine = Arc::new(MutexKv::new(MemStore::default()));
+        let mut a = SharedKv::new(engine.clone());
+        let mut b = a.clone();
+        a.put(Key::from_id(1), Value::filled(4, 1)).unwrap();
+        b.put(Key::from_id(2), Value::filled(4, 2)).unwrap();
+        assert!(a.get(&Key::from_id(2)).unwrap().value.is_some());
+        assert_eq!(b.scan(&Key::min(), 10).unwrap().entries.len(), 2);
+        assert_eq!(a.engine_name(), "memstore");
+        assert_eq!(Arc::strong_count(a.engine()), 3);
+        let _ = b.delete(&Key::from_id(1)).unwrap();
+        assert!(a.get(&Key::from_id(1)).unwrap().value.is_none());
+        assert!(b.elapsed() > Nanos::ZERO);
+        assert!(b.stats().reads_found() > 0);
+    }
+}

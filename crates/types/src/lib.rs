@@ -2,8 +2,10 @@
 //!
 //! This crate defines the vocabulary of the system: [`Key`] and [`Value`]
 //! types, simulated-time units ([`Nanos`]), the [`KvStore`] trait implemented
-//! by PrismDB and by every baseline engine, operation descriptions consumed
-//! by the benchmark harness, and the error type used across the workspace.
+//! by PrismDB and by every baseline engine, its thread-safe counterpart
+//! [`ConcurrentKvStore`] (plus the [`SharedKv`] / [`MutexKv`] adapters and
+//! the [`MemStore`] reference oracle), operation descriptions consumed by
+//! the benchmark harness, and the error type used across the workspace.
 //!
 //! # Example
 //!
@@ -18,15 +20,19 @@
 //! assert_eq!(t.as_micros(), 10);
 //! ```
 
+mod concurrent;
 mod error;
 mod key;
+mod mem;
 mod ops;
 mod stats;
 mod time;
 mod value;
 
+pub use concurrent::{ConcurrentKvStore, MutexKv, SharedKv};
 pub use error::{PrismError, Result};
 pub use key::Key;
+pub use mem::MemStore;
 pub use ops::{Lookup, Op, OpKind, ReadSource, ScanResult};
 pub use stats::{CompactionStats, EngineStats, TierIo};
 pub use time::Nanos;
@@ -43,6 +49,11 @@ pub use value::Value;
 /// accounting in simulated (virtual) time. Each operation returns how much
 /// simulated time it consumed so the harness can build latency
 /// distributions without real sleeps.
+///
+/// Engines that support multi-threaded clients additionally implement
+/// [`ConcurrentKvStore`], the `&self` counterpart of this trait; the
+/// [`SharedKv`] adapter turns any such engine back into a per-thread
+/// `KvStore` handle so single-threaded drivers keep working.
 pub trait KvStore {
     /// Insert or update `key` with `value`.
     ///
@@ -98,64 +109,6 @@ pub trait KvStore {
 #[cfg(test)]
 mod trait_tests {
     use super::*;
-    use std::collections::HashMap;
-
-    /// A minimal in-memory engine used to validate that the trait is
-    /// object-safe and ergonomic to implement.
-    #[derive(Default)]
-    struct MemStore {
-        map: HashMap<Key, Value>,
-        clock: Nanos,
-    }
-
-    impl KvStore for MemStore {
-        fn put(&mut self, key: Key, value: Value) -> Result<Nanos> {
-            self.map.insert(key, value);
-            self.clock += Nanos::from_nanos(100);
-            Ok(Nanos::from_nanos(100))
-        }
-
-        fn get(&mut self, key: &Key) -> Result<Lookup> {
-            self.clock += Nanos::from_nanos(50);
-            Ok(Lookup {
-                value: self.map.get(key).cloned(),
-                latency: Nanos::from_nanos(50),
-                source: ReadSource::Dram,
-            })
-        }
-
-        fn delete(&mut self, key: &Key) -> Result<Nanos> {
-            self.map.remove(key);
-            Ok(Nanos::from_nanos(80))
-        }
-
-        fn scan(&mut self, start: &Key, count: usize) -> Result<ScanResult> {
-            let mut entries: Vec<_> = self
-                .map
-                .iter()
-                .filter(|(k, _)| *k >= start)
-                .map(|(k, v)| (k.clone(), v.clone()))
-                .collect();
-            entries.sort_by(|a, b| a.0.cmp(&b.0));
-            entries.truncate(count);
-            Ok(ScanResult {
-                entries,
-                latency: Nanos::from_nanos(500),
-            })
-        }
-
-        fn stats(&self) -> EngineStats {
-            EngineStats::default()
-        }
-
-        fn elapsed(&self) -> Nanos {
-            self.clock
-        }
-
-        fn engine_name(&self) -> &str {
-            "memstore"
-        }
-    }
 
     #[test]
     fn kvstore_trait_is_object_safe() {

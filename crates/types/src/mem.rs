@@ -1,0 +1,172 @@
+//! A trivially correct in-memory engine, used as a reference oracle.
+//!
+//! `MemStore` keeps the whole database in one `BTreeMap` and charges flat
+//! latencies. It exists so differential tests can drive a real engine and
+//! the oracle with the same operation stream and compare visible state: any
+//! divergence is a bug in the real engine (tombstone handling, stale flash
+//! versions, cross-partition scan merges, ...), never in the oracle.
+
+use std::collections::BTreeMap;
+
+use crate::{EngineStats, Key, KvStore, Lookup, Nanos, ReadSource, Result, ScanResult, Value};
+
+/// An in-memory [`KvStore`] backed by a `BTreeMap`.
+///
+/// # Example
+///
+/// ```
+/// use prism_types::{Key, KvStore, MemStore, Value};
+///
+/// let mut oracle = MemStore::default();
+/// oracle.put(Key::from_id(1), Value::filled(8, 7)).unwrap();
+/// assert_eq!(oracle.len(), 1);
+/// assert!(oracle.get(&Key::from_id(1)).unwrap().value.is_some());
+/// ```
+#[derive(Debug, Default)]
+pub struct MemStore {
+    map: BTreeMap<Key, Value>,
+    clock: Nanos,
+    reads_found: u64,
+    reads_not_found: u64,
+    user_bytes_written: u64,
+}
+
+impl MemStore {
+    /// Latency charged per write.
+    const PUT_COST: Nanos = Nanos::from_nanos(100);
+    /// Latency charged per read.
+    const GET_COST: Nanos = Nanos::from_nanos(50);
+    /// Latency charged per delete.
+    const DELETE_COST: Nanos = Nanos::from_nanos(80);
+    /// Latency charged per scan.
+    const SCAN_COST: Nanos = Nanos::from_nanos(500);
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// True if `key` is live.
+    pub fn contains_key(&self, key: &Key) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// The live entries in key order (the oracle's whole visible state).
+    pub fn entries(&self) -> impl Iterator<Item = (&Key, &Value)> {
+        self.map.iter()
+    }
+}
+
+impl KvStore for MemStore {
+    fn put(&mut self, key: Key, value: Value) -> Result<Nanos> {
+        self.user_bytes_written += value.len() as u64;
+        self.map.insert(key, value);
+        self.clock += Self::PUT_COST;
+        Ok(Self::PUT_COST)
+    }
+
+    fn get(&mut self, key: &Key) -> Result<Lookup> {
+        self.clock += Self::GET_COST;
+        let value = self.map.get(key).cloned();
+        let source = if value.is_some() {
+            self.reads_found += 1;
+            ReadSource::Dram
+        } else {
+            self.reads_not_found += 1;
+            ReadSource::NotFound
+        };
+        Ok(Lookup {
+            value,
+            latency: Self::GET_COST,
+            source,
+        })
+    }
+
+    fn delete(&mut self, key: &Key) -> Result<Nanos> {
+        self.map.remove(key);
+        self.clock += Self::DELETE_COST;
+        Ok(Self::DELETE_COST)
+    }
+
+    fn scan(&mut self, start: &Key, count: usize) -> Result<ScanResult> {
+        self.clock += Self::SCAN_COST;
+        let entries: Vec<(Key, Value)> = self
+            .map
+            .range(start.clone()..)
+            .take(count)
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        Ok(ScanResult {
+            entries,
+            latency: Self::SCAN_COST,
+        })
+    }
+
+    fn stats(&self) -> EngineStats {
+        EngineStats {
+            reads_from_dram: self.reads_found,
+            reads_not_found: self.reads_not_found,
+            user_bytes_written: self.user_bytes_written,
+            ..EngineStats::default()
+        }
+    }
+
+    fn elapsed(&self) -> Nanos {
+        self.clock
+    }
+
+    fn engine_name(&self) -> &str {
+        "memstore"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete_round_trip() {
+        let mut store = MemStore::default();
+        store.put(Key::from_id(3), Value::filled(16, 9)).unwrap();
+        let got = store.get(&Key::from_id(3)).unwrap();
+        assert_eq!(got.value.unwrap().as_bytes()[0], 9);
+        assert_eq!(got.source, ReadSource::Dram);
+        store.delete(&Key::from_id(3)).unwrap();
+        assert!(store.get(&Key::from_id(3)).unwrap().value.is_none());
+        assert!(store.is_empty());
+        assert!(!store.contains_key(&Key::from_id(3)));
+    }
+
+    #[test]
+    fn scan_is_ordered_and_bounded() {
+        let mut store = MemStore::default();
+        for id in [9u64, 2, 7, 4] {
+            store
+                .put(Key::from_id(id), Value::filled(4, id as u8))
+                .unwrap();
+        }
+        let res = store.scan(&Key::from_id(3), 2).unwrap();
+        let ids: Vec<u64> = res.entries.iter().map(|(k, _)| k.id()).collect();
+        assert_eq!(ids, vec![4, 7]);
+        assert_eq!(store.entries().count(), 4);
+    }
+
+    #[test]
+    fn stats_track_reads_and_writes() {
+        let mut store = MemStore::default();
+        store.put(Key::from_id(1), Value::filled(32, 0)).unwrap();
+        store.get(&Key::from_id(1)).unwrap();
+        store.get(&Key::from_id(2)).unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.reads_found(), 1);
+        assert_eq!(stats.reads_not_found, 1);
+        assert_eq!(stats.user_bytes_written, 32);
+        assert!(store.elapsed() > Nanos::ZERO);
+        assert_eq!(store.engine_name(), "memstore");
+    }
+}

@@ -26,6 +26,32 @@
 //! assert!(db.get(&Key::from_id(1))?.value.is_some());
 //! # Ok::<(), prismdb::types::PrismError>(())
 //! ```
+//!
+//! # Concurrency
+//!
+//! `PrismDb` is a concurrent sharded engine: wrap it in an [`std::sync::Arc`]
+//! and drive it from many threads through
+//! [`types::ConcurrentKvStore`] — each partition has its own lock, so
+//! operations on different partitions run in parallel (see the README's
+//! "Concurrency model" section).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use prismdb::db::{Options, PrismDb};
+//! use prismdb::types::{ConcurrentKvStore, Key, Value};
+//!
+//! let db = Arc::new(PrismDb::open(Options::scaled_default(1_000))?);
+//! std::thread::scope(|scope| {
+//!     for t in 0..4u64 {
+//!         let db = Arc::clone(&db);
+//!         scope.spawn(move || {
+//!             db.put(Key::from_id(t), Value::filled(256, t as u8)).unwrap();
+//!         });
+//!     }
+//! });
+//! assert_eq!(db.scan(&Key::min(), 10)?.entries.len(), 4);
+//! # Ok::<(), prismdb::types::PrismError>(())
+//! ```
 
 /// Experiment harness (re-export of `prism-bench`).
 pub use prism_bench as bench;

@@ -1,0 +1,275 @@
+//! Concurrent stress testing of `Arc<PrismDb>`.
+//!
+//! N OS threads hammer one shared engine with overlapping key ranges and a
+//! mixed workload (put/get/delete/scan/RMW) while other threads run
+//! cross-partition scans. Afterwards the tests check linearizability-lite
+//! invariants — the surviving value of every key must be the final write
+//! of *some* thread that touched it — plus engine invariants (object
+//! counts vs a full scan, NVM utilisation, scan ordering), and that a
+//! crash + recovery after the concurrent workload reproduces exactly the
+//! pre-crash visible state. The tests finishing at all is itself the
+//! no-deadlock check for concurrent cross-partition scans.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use prismdb::db::{Options, Partitioning, PrismDb};
+use prismdb::types::{ConcurrentKvStore, Key, Value};
+
+const THREADS: usize = 4;
+const OPS_PER_THREAD: usize = 4_000;
+const KEY_SPACE: u64 = 1_200;
+
+/// A value is tagged with the writing thread and a per-thread sequence
+/// number so the final state can be matched against per-thread write logs:
+/// length encodes the thread, fill byte the sequence.
+fn tagged_value(thread: usize, seq: usize) -> Value {
+    Value::filled(64 + thread, (seq % 251) as u8)
+}
+
+/// What one thread last did to one key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LastWrite {
+    Put { len: usize, fill: u8 },
+    Delete,
+}
+
+fn stress_db() -> Arc<PrismDb> {
+    let mut options = Options::scaled_default(KEY_SPACE);
+    options.num_partitions = 4;
+    // Range partitioning so scans genuinely cross partition lock
+    // boundaries while writers hold individual partition locks.
+    options.partitioning = Partitioning::Range;
+    options.compaction.bucket_size_keys = 128;
+    options.sst_target_bytes = 16 * 1024;
+    // NVM far smaller than the dataset: compactions run under concurrency.
+    options.nvm_capacity_bytes = 192 * 1024;
+    options.nvm_profile.capacity_bytes = 192 * 1024;
+    Arc::new(PrismDb::open(options).expect("valid options"))
+}
+
+/// Run the mixed workload from `THREADS` threads over overlapping keys;
+/// returns each thread's log of final writes per key.
+fn run_stress(db: &Arc<PrismDb>) -> Vec<HashMap<u64, LastWrite>> {
+    let mut logs: Vec<HashMap<u64, LastWrite>> = Vec::with_capacity(THREADS);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(THREADS);
+        for t in 0..THREADS {
+            let db = Arc::clone(db);
+            handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xC0DE + t as u64);
+                let mut last: HashMap<u64, LastWrite> = HashMap::new();
+                for seq in 0..OPS_PER_THREAD {
+                    let id = rng.gen_range(0u64..KEY_SPACE);
+                    let key = Key::from_id(id);
+                    match rng.gen_range(0u32..100) {
+                        // Writes dominate so every key sees many writers.
+                        0..=44 => {
+                            let value = tagged_value(t, seq);
+                            let (len, fill) = (value.len(), value.as_bytes()[0]);
+                            db.put(key, value).expect("put");
+                            last.insert(id, LastWrite::Put { len, fill });
+                        }
+                        45..=59 => {
+                            db.delete(&key).expect("delete");
+                            last.insert(id, LastWrite::Delete);
+                        }
+                        60..=74 => {
+                            // Reads must always see a well-formed tagged
+                            // value (or nothing) — never a torn one.
+                            if let Some(value) = db.get(&key).expect("get").value {
+                                let thread = value.len().checked_sub(64).expect("tag");
+                                assert!(thread < THREADS, "untagged value length");
+                                assert!(
+                                    value.as_bytes().iter().all(|b| *b == value.as_bytes()[0]),
+                                    "torn value observed"
+                                );
+                            }
+                        }
+                        75..=89 => {
+                            // Cross-partition scans concurrent with writes:
+                            // results must stay strictly ordered.
+                            let start = rng.gen_range(0u64..KEY_SPACE);
+                            let scanned = db.scan(&Key::from_id(start), 64).expect("scan").entries;
+                            assert!(
+                                scanned.windows(2).all(|w| w[0].0 < w[1].0),
+                                "scan returned unordered or duplicate keys"
+                            );
+                            assert!(scanned.iter().all(|(k, _)| k.id() >= start));
+                        }
+                        _ => {
+                            // Read-modify-write.
+                            let _ = db.get(&key).expect("rmw read");
+                            let value = tagged_value(t, seq);
+                            let (len, fill) = (value.len(), value.as_bytes()[0]);
+                            db.put(key, value).expect("rmw write");
+                            last.insert(id, LastWrite::Put { len, fill });
+                        }
+                    }
+                }
+                last
+            }));
+        }
+        for handle in handles {
+            logs.push(handle.join().expect("stress thread panicked"));
+        }
+    });
+    logs
+}
+
+/// The surviving state of `key` must equal the final write of one of the
+/// threads that wrote it (or, if no thread wrote it, be absent).
+fn assert_explained_by_logs(
+    observed: &Option<(usize, u8)>,
+    id: u64,
+    logs: &[HashMap<u64, LastWrite>],
+    context: &str,
+) {
+    let candidates: Vec<LastWrite> = logs
+        .iter()
+        .filter_map(|log| log.get(&id).copied())
+        .collect();
+    match observed {
+        None => {
+            let explained = candidates.is_empty() || candidates.contains(&LastWrite::Delete);
+            assert!(
+                explained,
+                "{context}: key {id} is absent but no thread's last op was a delete \
+                 (candidates {candidates:?})"
+            );
+        }
+        Some((len, fill)) => {
+            let explained = candidates.iter().any(|c| {
+                *c == LastWrite::Put {
+                    len: *len,
+                    fill: *fill,
+                }
+            });
+            assert!(
+                explained,
+                "{context}: key {id} holds (len {len}, fill {fill}) which no thread's \
+                 final write produced (candidates {candidates:?})"
+            );
+        }
+    }
+}
+
+fn visible_state(db: &Arc<PrismDb>) -> Vec<Option<(usize, u8)>> {
+    (0..KEY_SPACE)
+        .map(|id| {
+            db.get(&Key::from_id(id))
+                .expect("get")
+                .value
+                .map(|v| (v.len(), v.as_bytes()[0]))
+        })
+        .collect()
+}
+
+#[test]
+fn overlapping_writers_leave_explainable_state_and_sane_invariants() {
+    let db = stress_db();
+    let logs = run_stress(&db);
+
+    // Every key's survivor must be some thread's final write.
+    let state = visible_state(&db);
+    let mut live = 0usize;
+    for (id, observed) in state.iter().enumerate() {
+        if observed.is_some() {
+            live += 1;
+        }
+        assert_explained_by_logs(observed, id as u64, &logs, "after stress");
+    }
+    assert!(live > 0, "the write-heavy mix must leave live keys");
+
+    // A full scan agrees with point reads: same live key count, strictly
+    // ordered, and every scanned value is also log-explainable.
+    let scanned = db
+        .scan(&Key::min(), KEY_SPACE as usize + 10)
+        .expect("scan")
+        .entries;
+    assert_eq!(
+        scanned.len(),
+        live,
+        "scan and point reads disagree on live keys"
+    );
+    assert!(scanned.windows(2).all(|w| w[0].0 < w[1].0));
+    for (key, value) in &scanned {
+        assert_explained_by_logs(
+            &Some((value.len(), value.as_bytes()[0])),
+            key.id(),
+            &logs,
+            "scan after stress",
+        );
+    }
+
+    // Engine invariants: the object count across tiers covers at least
+    // every live key (flash may additionally hold not-yet-compacted stale
+    // versions), and NVM never overfills.
+    let objects = db.nvm_object_count() + db.flash_object_count();
+    assert!(
+        objects >= live,
+        "{objects} objects across tiers cannot cover {live} live keys"
+    );
+    assert!(db.nvm_utilization() <= 1.0 + 1e-9);
+    assert!(db.nvm_utilization() >= 0.0);
+}
+
+#[test]
+fn crash_recovery_after_concurrent_workload_restores_visible_state() {
+    let db = stress_db();
+    let logs = run_stress(&db);
+
+    let before = visible_state(&db);
+    let recovery_time = db.crash_and_recover();
+    assert!(recovery_time > prismdb::types::Nanos::ZERO);
+    let after = visible_state(&db);
+
+    for (id, (b, a)) in before.iter().zip(after.iter()).enumerate() {
+        assert_eq!(
+            b, a,
+            "key {id} changed across crash_and_recover (before {b:?}, after {a:?})"
+        );
+        assert_explained_by_logs(a, id as u64, &logs, "after recovery");
+    }
+
+    // Recovery rebuilds per-key NVM state exactly: one slot per live NVM
+    // object, so a second crash/recovery is idempotent.
+    let first = db.nvm_object_count();
+    db.crash_and_recover();
+    assert_eq!(first, db.nvm_object_count());
+    let again = visible_state(&db);
+    assert_eq!(after, again, "second recovery changed visible state");
+}
+
+#[test]
+fn sharedkv_lets_the_single_threaded_runner_drive_a_shared_engine() {
+    use prismdb::bench::{RunConfig, Runner};
+    use prismdb::types::SharedKv;
+    use prismdb::workloads::Workload;
+
+    // The classic `&mut self` runner drives a shared engine through a
+    // `SharedKv` handle while another handle (on another thread) reads
+    // concurrently — the bridge existing single-threaded drivers use.
+    let db = stress_db();
+    let mut handle = SharedKv::new(Arc::clone(&db));
+    let reader = SharedKv::new(Arc::clone(&db));
+    let result = std::thread::scope(|scope| {
+        scope.spawn(move || {
+            let mut reader = reader;
+            for id in 0..KEY_SPACE {
+                use prismdb::types::KvStore;
+                let _ = reader.get(&Key::from_id(id)).expect("concurrent get");
+            }
+        });
+        let runner = Runner::new(RunConfig::quick(KEY_SPACE));
+        runner.run(&mut handle, &Workload::ycsb_b(KEY_SPACE), db.cost_per_gb())
+    });
+    assert!(result.throughput_kops > 0.0);
+    assert_eq!(result.engine, "prismdb");
+    // The writes went to the shared engine, not a copy.
+    assert!(db.nvm_object_count() + db.flash_object_count() > 0);
+    assert!(db.scan(&Key::min(), 10).expect("scan").entries.len() == 10);
+}
