@@ -1,0 +1,9 @@
+//! Inline vs background compaction sweep (stall time off the foreground
+//! path), emitting `BENCH_background_compaction.json`.
+
+use prism_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    experiments::background_compaction::run(&scale);
+}

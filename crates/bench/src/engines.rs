@@ -64,6 +64,37 @@ pub fn prismdb_shared(record_count: u64) -> std::sync::Arc<PrismDb> {
     std::sync::Arc::new(prismdb(record_count))
 }
 
+/// PrismDB with `workers` background compaction worker threads (demotions
+/// and promotions run off the foreground path; writes only stall at the
+/// back-pressure ceiling), behind a shared handle.
+pub fn prismdb_background(record_count: u64, workers: usize) -> std::sync::Arc<PrismDb> {
+    let mut options = prism_options(record_count);
+    options.compaction_workers = workers;
+    std::sync::Arc::new(PrismDb::open(options).expect("valid options"))
+}
+
+/// PrismDB sized so sustained writes keep demotion compactions running in
+/// steady state: NVM holds roughly a third of the logical dataset instead
+/// of the default 60 %. This is the configuration the background-
+/// compaction sweep uses for *all* its engines (`workers == 0` is inline
+/// compaction), because its signal is how compaction work interacts with
+/// the foreground — with the default sizing the measured window sees too
+/// few compactions to compare anything.
+pub fn prismdb_write_pressured(record_count: u64, workers: usize) -> std::sync::Arc<PrismDb> {
+    let mut options = prism_options(record_count);
+    let nvm = (record_count * 1024 / 3).max(64 * 1024);
+    options.nvm_capacity_bytes = nvm;
+    options.nvm_profile = DeviceProfile::optane_nvm(nvm);
+    options.compaction_workers = workers;
+    // A wider watermark band than the paper default (98 %/95 %): at these
+    // scaled-down capacities the default band is only a couple of objects
+    // per partition, so a background worker has no runway before the
+    // foreground climbs from the high watermark to the ceiling.
+    options.high_watermark = 0.95;
+    options.low_watermark = 0.88;
+    std::sync::Arc::new(PrismDb::open(options).expect("valid options"))
+}
+
 /// The multi-tier RocksDB baseline behind one global lock, for
 /// multi-threaded clients (see `prism_lsm::LockedLsmTree`): the
 /// coarse-locked foil the thread-sweep experiment compares PrismDB's

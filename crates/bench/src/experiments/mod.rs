@@ -7,6 +7,7 @@
 //! functions.
 
 pub mod ablation_msc_parameters;
+pub mod background_compaction;
 pub mod fig10_ycsb_sweep;
 pub mod fig11_skew_sweep;
 pub mod fig12_endurance;
@@ -51,5 +52,6 @@ pub fn run_all(scale: &Scale) -> Vec<crate::Table> {
     tables.extend(fig14_components::run(scale));
     tables.extend(table5_twitter::run(scale));
     tables.extend(scalability::run(scale));
+    tables.extend(background_compaction::run(scale));
     tables
 }

@@ -16,7 +16,7 @@ use prism_types::ConcurrentKvStore;
 use prism_workloads::Workload;
 
 use crate::engines;
-use crate::report::{fmt_f64, Table};
+use crate::report::{fmt_f64, write_bench_json, Table};
 use crate::{Runner, Scale};
 
 /// Aggregate YCSB-C throughput for 1/2/4/8 client threads, PrismDB
@@ -55,6 +55,48 @@ pub fn thread_sweep(scale: &Scale) -> Table {
             fmt_f64(prism_result.throughput_kops / prism_base.max(f64::MIN_POSITIVE)),
             fmt_f64(locked_result.throughput_kops),
             fmt_f64(locked_result.throughput_kops / locked_base.max(f64::MIN_POSITIVE)),
+        ]);
+    }
+    table.print();
+    table
+}
+
+/// Read-path lock sharpening (RwLock partitions): on the read-only
+/// YCSB-C mix, reads on the same partition overlap with each other, so
+/// the makespan is bounded by the busiest *client* rather than the
+/// busiest partition. The table compares the measured makespan against
+/// what the serialise-everything shard model would have charged
+/// ([`crate::ThreadedRunResult::elapsed_serial_reads`]): the gap is the
+/// win from taking tracker/clock updates out of the partition critical
+/// section.
+pub fn read_path_sweep(scale: &Scale) -> Table {
+    let runner = Runner::new(super::run_config(scale));
+    let keys = scale.record_count;
+    let workload = Workload::ycsb_c(keys);
+
+    let mut table = Table::new(
+        "Read path: YCSB-C throughput, RwLock read overlap vs mutex-serialised reads",
+        &[
+            "threads",
+            "rwlock (Kops/s)",
+            "mutex model (Kops/s)",
+            "speedup",
+        ],
+    );
+    for &threads in scale.thread_sweep() {
+        let db = engines::prismdb_shared(keys);
+        let result = runner.run_threaded(&db, &workload, threads);
+        let rwlock_kops = result.throughput_kops;
+        let serial_kops = if result.elapsed_serial_reads.is_zero() {
+            0.0
+        } else {
+            result.measured_ops as f64 / result.elapsed_serial_reads.as_secs_f64() / 1_000.0
+        };
+        table.add_row(vec![
+            threads.to_string(),
+            fmt_f64(rwlock_kops),
+            fmt_f64(serial_kops),
+            fmt_f64(rwlock_kops / serial_kops.max(f64::MIN_POSITIVE)),
         ]);
     }
     table.print();
@@ -121,9 +163,16 @@ pub fn scan_liveness(scale: &Scale) -> Table {
     table
 }
 
-/// Run the thread sweep and the liveness check.
+/// Run the thread sweep, the read-path sweep and the liveness check, and
+/// emit `BENCH_scalability.json`.
 pub fn run(scale: &Scale) -> Vec<Table> {
-    vec![thread_sweep(scale), scan_liveness(scale)]
+    let tables = vec![
+        thread_sweep(scale),
+        read_path_sweep(scale),
+        scan_liveness(scale),
+    ];
+    write_bench_json("scalability", &tables[..2]);
+    tables
 }
 
 #[cfg(test)]
@@ -148,6 +197,27 @@ mod tests {
         assert!(
             l4 < l1 * 1.25,
             "a single global lock cannot scale: {l1:.1} → {l4:.1}"
+        );
+    }
+
+    #[test]
+    fn rwlock_read_path_beats_the_serialised_shard_model() {
+        let table = read_path_sweep(&Scale::quick());
+        let get = |threads: &str, col: &str| -> f64 {
+            table.cell(threads, col).unwrap().parse().unwrap()
+        };
+        for threads in ["1", "2", "4", "8"] {
+            assert!(
+                get(threads, "rwlock (Kops/s)") >= get(threads, "mutex model (Kops/s)") - 1e-9,
+                "read overlap can never lose to serialised reads (threads {threads})"
+            );
+        }
+        // With 8 zipfian clients on 8 partitions the hottest partition
+        // holds well over 1/8 of the reads, so the serialised model is
+        // shard-bound while the RwLock model stays client-bound.
+        assert!(
+            get("8", "rwlock (Kops/s)") > get("8", "mutex model (Kops/s)"),
+            "at 8 threads the RwLock read path must win outright"
         );
     }
 

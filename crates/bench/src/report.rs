@@ -1,6 +1,9 @@
-//! Plain-text tables printed by the experiments.
+//! Plain-text tables printed by the experiments, plus a machine-readable
+//! JSON emitter so the performance trajectory can be tracked across PRs.
 
 use std::fmt;
+use std::io::Write;
+use std::path::PathBuf;
 
 /// A simple fixed-width table with a title, matching one table or one data
 /// series of a paper figure.
@@ -93,6 +96,85 @@ impl fmt::Display for Table {
             writeln!(f, "{}", line.join("  "))?;
         }
         Ok(())
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Table {
+    /// Serialise the table as a JSON object (`title`, `headers`, `rows`).
+    pub fn to_json(&self) -> String {
+        let headers: Vec<String> = self
+            .headers
+            .iter()
+            .map(|h| format!("\"{}\"", json_escape(h)))
+            .collect();
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let cells: Vec<String> = row
+                    .iter()
+                    .map(|c| format!("\"{}\"", json_escape(c)))
+                    .collect();
+                format!("[{}]", cells.join(","))
+            })
+            .collect();
+        format!(
+            "{{\"title\":\"{}\",\"headers\":[{}],\"rows\":[{}]}}",
+            json_escape(&self.title),
+            headers.join(","),
+            rows.join(",")
+        )
+    }
+}
+
+/// Directory benchmark JSON files are written to: `$PRISM_BENCH_OUT` if
+/// set, otherwise the workspace root (so results land next to the code
+/// they measure regardless of the invoking working directory).
+pub fn bench_output_dir() -> PathBuf {
+    match std::env::var("PRISM_BENCH_OUT") {
+        Ok(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    }
+}
+
+/// Write `tables` as `BENCH_<name>.json` (machine-readable: ops/s and
+/// stall columns stay exactly as printed) into [`bench_output_dir`].
+/// Returns the path written, or `None` if the write failed (benchmarks
+/// must not abort because the output directory is read-only).
+pub fn write_bench_json(name: &str, tables: &[Table]) -> Option<PathBuf> {
+    let path = bench_output_dir().join(format!("BENCH_{name}.json"));
+    let body: Vec<String> = tables.iter().map(Table::to_json).collect();
+    let doc = format!(
+        "{{\"benchmark\":\"{}\",\"tables\":[{}]}}\n",
+        json_escape(name),
+        body.join(",")
+    );
+    let result = std::fs::File::create(&path).and_then(|mut f| f.write_all(doc.as_bytes()));
+    match result {
+        Ok(()) => {
+            println!("wrote {}", path.display());
+            Some(path)
+        }
+        Err(err) => {
+            eprintln!("could not write {}: {err}", path.display());
+            None
+        }
     }
 }
 

@@ -284,8 +284,21 @@ pub struct ThreadedRunResult {
     /// second (total ops divided by [`ThreadedRunResult::elapsed`]).
     pub throughput_kops: f64,
     /// Simulated makespan of the measured phase:
-    /// `max(busiest client clock, busiest shard's total work)`.
+    /// `max(busiest client clock, busiest shard's serial work, busiest
+    /// background compaction worker)`. For engines whose reads overlap on
+    /// a shard ([`ConcurrentKvStore::concurrent_reads`]), only write-class
+    /// operations count towards a shard's serial work.
     pub elapsed: Nanos,
+    /// The makespan under the old serialise-everything shard model (every
+    /// operation, reads included, charged to its shard). Comparing this to
+    /// [`ThreadedRunResult::elapsed`] isolates the win from reader-writer
+    /// partition locks on read-heavy mixes; for engines without concurrent
+    /// reads the two are identical.
+    pub elapsed_serial_reads: Nanos,
+    /// Simulated time consumed by the busiest virtual background
+    /// compaction worker during the measured phase (zero for inline
+    /// engines).
+    pub background_time: Nanos,
     /// Real wall-clock time of the measured phase (informational; on a
     /// single-core host this mostly reflects lock overhead, not scaling).
     pub wall: std::time::Duration,
@@ -332,22 +345,31 @@ impl Runner {
     ///   operations (a closed-loop client issues the next operation when
     ///   the previous one completes);
     /// * each engine shard (see [`ConcurrentKvStore::shard_of`]) sums the
-    ///   simulated latency of every operation routed to it — operations on
-    ///   one shard serialise on its lock, so a shard's total work is time
-    ///   that cannot be overlapped no matter how many clients there are.
-    ///   Scans are charged to every shard in
-    ///   [`ConcurrentKvStore::shards_for_scan`] — the shards whose locks a
-    ///   cross-partition scan may hold simultaneously (a conservative
-    ///   superset).
+    ///   simulated latency of every operation routed to it that needs
+    ///   exclusive access — operations serialising on a shard's lock are
+    ///   time that cannot be overlapped no matter how many clients there
+    ///   are. For engines whose reads overlap on a shard
+    ///   ([`ConcurrentKvStore::concurrent_reads`]), point reads and scans
+    ///   are excluded from this serial tally (the serialise-everything
+    ///   tally is still reported as
+    ///   [`ThreadedRunResult::elapsed_serial_reads`]). Scans are charged
+    ///   to every shard in [`ConcurrentKvStore::shards_for_scan`] — the
+    ///   shards whose locks a cross-partition scan may hold simultaneously
+    ///   (a conservative superset);
+    /// * each virtual background compaction worker
+    ///   ([`ConcurrentKvStore::background_worker_times`]) accumulates the
+    ///   compaction work assigned to it, so with `W` workers the busiest
+    ///   worker bounds the makespan by roughly `total compaction / W`.
     ///
     /// The simulated makespan is the classic schedule lower bound
-    /// `max(busiest client, busiest shard)`, and aggregate throughput is
-    /// `total ops / makespan`. Adding client threads divides per-client
-    /// work but leaves per-shard work unchanged, so throughput grows until
-    /// the busiest shard dominates: a well-sharded engine scales to about
-    /// its shard count, while a coarse-locked engine (one shard, whose
-    /// work equals the whole run) cannot scale at all — exactly like its
-    /// real counterpart on sufficient cores.
+    /// `max(busiest client, busiest shard, busiest background worker)`,
+    /// and aggregate throughput is `total ops / makespan`. Adding client
+    /// threads divides per-client work but leaves per-shard work
+    /// unchanged, so throughput grows until the busiest shard dominates: a
+    /// well-sharded engine scales to about its shard count, while a
+    /// coarse-locked engine (one shard, whose work equals the whole run)
+    /// cannot scale at all — exactly like its real counterpart on
+    /// sufficient cores.
     ///
     /// # Panics
     ///
@@ -387,11 +409,17 @@ impl Runner {
             }
         });
 
-        // Measured phase.
+        // Measured phase. Two shard-work tallies are kept: `shard_all`
+        // charges every operation to its shard (the serialise-everything
+        // model), `shard_excl` charges only operations that need exclusive
+        // access. Engines with reader-writer shard locks are bounded by
+        // the latter; mutex-per-shard engines by the former.
         let ops_per_thread = (self.config.measure_ops / threads as u64).max(1);
-        let shard_work: Vec<AtomicU64> = (0..engine.shard_count().max(1))
-            .map(|_| AtomicU64::new(0))
-            .collect();
+        let shard_count = engine.shard_count().max(1);
+        let shard_all: Vec<AtomicU64> = (0..shard_count).map(|_| AtomicU64::new(0)).collect();
+        let shard_excl: Vec<AtomicU64> = (0..shard_count).map(|_| AtomicU64::new(0)).collect();
+        let concurrent_reads = engine.concurrent_reads();
+        let bg_start = engine.background_worker_times();
         let start_stats = engine.stats();
         let started = std::time::Instant::now();
         let mut client_clocks: Vec<Nanos> = Vec::with_capacity(threads);
@@ -399,7 +427,8 @@ impl Runner {
             let mut handles = Vec::with_capacity(threads);
             for t in 0..threads {
                 let spec = &spec;
-                let shard_work = &shard_work;
+                let shard_all = &shard_all;
+                let shard_excl = &shard_excl;
                 let seed = Self::thread_seed(self.config.seed, t, 2);
                 handles.push(scope.spawn(move || {
                     let mut stream = spec.stream(seed);
@@ -408,19 +437,30 @@ impl Runner {
                         let op = stream.next().expect("stream is infinite");
                         let shard = engine.shard_of(op.key());
                         let is_scan = matches!(op, Op::Scan(_, _));
+                        let is_read = matches!(op, Op::Read(_));
                         let latency = Self::apply_shared(engine, &op)
                             .expect("measured ops must not fail")
                             .as_nanos();
                         clock += latency;
+                        // Reads and scans only hold shard read locks on a
+                        // concurrent-reads engine: they overlap with each
+                        // other, so they do not add to serial shard work.
+                        let exclusive = !(concurrent_reads && (is_read || is_scan));
                         if is_scan {
                             // A cross-partition scan holds several shard
                             // locks at once; its time cannot be overlapped
                             // with work on any shard it may lock.
                             for s in engine.shards_for_scan(op.key()) {
-                                shard_work[s].fetch_add(latency, Ordering::Relaxed);
+                                shard_all[s].fetch_add(latency, Ordering::Relaxed);
+                                if exclusive {
+                                    shard_excl[s].fetch_add(latency, Ordering::Relaxed);
+                                }
                             }
                         } else {
-                            shard_work[shard].fetch_add(latency, Ordering::Relaxed);
+                            shard_all[shard].fetch_add(latency, Ordering::Relaxed);
+                            if exclusive {
+                                shard_excl[shard].fetch_add(latency, Ordering::Relaxed);
+                            }
                         }
                     }
                     Nanos::from_nanos(clock)
@@ -433,13 +473,23 @@ impl Runner {
         let wall = started.elapsed();
 
         // Makespan lower bound: no schedule can finish before the busiest
-        // closed-loop client, nor before the busiest (serial) shard.
+        // closed-loop client, the busiest (serial) shard, or the busiest
+        // virtual background compaction worker.
+        let busiest = |work: &[AtomicU64]| {
+            work.iter()
+                .map(|w| Nanos::from_nanos(w.load(Ordering::Relaxed)))
+                .fold(Nanos::ZERO, Nanos::max)
+        };
         let busiest_client = client_clocks.iter().copied().fold(Nanos::ZERO, Nanos::max);
-        let busiest_shard = shard_work
+        let bg_end = engine.background_worker_times();
+        let background_time = bg_end
             .iter()
-            .map(|w| Nanos::from_nanos(w.load(Ordering::Relaxed)))
+            .enumerate()
+            .map(|(i, end)| end.saturating_sub(bg_start.get(i).copied().unwrap_or(Nanos::ZERO)))
             .fold(Nanos::ZERO, Nanos::max);
-        let elapsed = busiest_client.max(busiest_shard);
+        let floor = busiest_client.max(background_time);
+        let elapsed = floor.max(busiest(&shard_excl));
+        let elapsed_serial_reads = floor.max(busiest(&shard_all));
         let measured_ops = ops_per_thread * threads as u64;
         ThreadedRunResult {
             engine: engine.engine_name().to_string(),
@@ -452,6 +502,8 @@ impl Runner {
                 measured_ops as f64 / elapsed.as_secs_f64() / 1_000.0
             },
             elapsed,
+            elapsed_serial_reads,
+            background_time,
             wall,
             stats: engine.stats().delta_since(&start_stats),
         }

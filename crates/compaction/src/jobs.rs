@@ -1,0 +1,335 @@
+//! Compaction jobs as plain `Send` values.
+//!
+//! Splitting a compaction into *plan → execute → install* lets the
+//! expensive middle phase (reading the victim SST files and merge-sorting
+//! them against the demoted NVM objects) run without holding the
+//! partition's lock — on a dedicated background worker thread, or inline
+//! for engines configured without workers. The phases are:
+//!
+//! 1. **Plan** (under the partition lock): pick the victim key range, clone
+//!    out the NVM objects to demote (keys, timestamps *and values*),
+//!    snapshot the overlapping SST files (`Arc` clones) and pre-compute
+//!    promotion hints. The resulting [`CompactionJob`] owns everything it
+//!    needs and is `Send`.
+//! 2. **Execute** (no lock): [`execute_job`] merges the two sorted streams
+//!    into a [`MergedEntry`] list, tagging each output entry with its
+//!    origin so the installer can re-validate it, and charges the flash
+//!    read plus merge CPU to the job's duration.
+//! 3. **Install** (under the partition lock again): the engine re-checks
+//!    each NVM-origin entry against the live index (a foreground write
+//!    between plan and install invalidates that entry only), applies
+//!    promotions, writes the output files and swaps them into the log.
+//!    A partition-epoch mismatch (crash recovery, or an emergency inline
+//!    compaction) discards the whole job, so a job's effects are all-or-
+//!    nothing with respect to the partition's visible state.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use prism_flash::{FileId, SstEntry, SstFile};
+use prism_storage::{CpuCosts, Device};
+use prism_types::{Key, Nanos};
+
+/// What a compaction job is trying to achieve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// Free NVM space by moving cold objects down to flash. `force`
+    /// ignores popularity pins (emergency space reclamation).
+    Demotion {
+        /// Demote everything in range, ignoring pins.
+        force: bool,
+    },
+    /// Pull popular flash-only objects up to NVM (read-triggered).
+    Promotion,
+}
+
+/// One NVM object selected for demotion, cloned out under the partition
+/// lock so the merge can run without it.
+#[derive(Debug, Clone)]
+pub struct DemoteEntry {
+    /// The object's key.
+    pub key: Key,
+    /// Logical timestamp of the NVM version at plan time. The installer
+    /// only removes the NVM object if the live index still carries exactly
+    /// this timestamp.
+    pub timestamp: u64,
+    /// True if the NVM version is a delete tombstone.
+    pub tombstone: bool,
+    /// The value (cloned at plan time); `None` for tombstones.
+    pub value: Option<Value>,
+}
+
+use prism_types::Value;
+
+/// A planned compaction, self-contained and `Send`.
+#[derive(Debug, Clone)]
+pub struct CompactionJob {
+    /// Partition the job belongs to.
+    pub partition: usize,
+    /// Partition compaction epoch at plan time; install discards the job
+    /// if the epoch moved (crash recovery or an emergency inline
+    /// compaction rewrote state underneath it).
+    pub epoch: u64,
+    /// What the job does.
+    pub kind: JobKind,
+    /// Foreground virtual time at which the job was triggered; background
+    /// schedulers use it as the earliest virtual start time.
+    pub trigger_fg: Nanos,
+    /// NVM objects to demote (cloned under the lock), in key order.
+    pub demote: Vec<DemoteEntry>,
+    /// The overlapping SST files being rewritten.
+    pub files: Vec<Arc<SstFile>>,
+    /// Key ids of flash-only objects the planner decided to promote to
+    /// NVM (popularity pin at plan time; capacity is re-checked at
+    /// install).
+    pub promote_hints: HashSet<u64>,
+    /// CPU time spent scoring candidate ranges for this job.
+    pub planning_cost: Nanos,
+}
+
+/// Where a merged output entry came from — the installer re-validates
+/// NVM-origin entries against the live index before writing them out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergedOrigin {
+    /// Demoted from NVM; valid only while the index still holds this
+    /// timestamp for the key.
+    Nvm {
+        /// Timestamp of the demoted version.
+        timestamp: u64,
+    },
+    /// Carried over (or promoted) from the victim flash files.
+    Flash {
+        /// The planner flagged this object for promotion to NVM.
+        promote: bool,
+    },
+}
+
+/// One entry of the merged output stream.
+#[derive(Debug, Clone)]
+pub struct MergedEntry {
+    /// The key.
+    pub key: Key,
+    /// The surviving version.
+    pub entry: SstEntry,
+    /// Provenance, for install-time revalidation.
+    pub origin: MergedOrigin,
+}
+
+/// The result of executing a [`CompactionJob`] outside the partition lock.
+#[derive(Debug, Clone)]
+pub struct ExecutedJob {
+    /// Partition the job belongs to.
+    pub partition: usize,
+    /// Epoch copied from the job (checked at install).
+    pub epoch: u64,
+    /// What the job did.
+    pub kind: JobKind,
+    /// Earliest virtual start time (from the job).
+    pub trigger_fg: Nanos,
+    /// Ids of the victim files to retire at install.
+    pub old_file_ids: Vec<FileId>,
+    /// Planned demotions (metadata only; values live in `merged`). The
+    /// installer removes each from NVM only if its timestamp still
+    /// matches the live index.
+    pub demote: Vec<(Key, u64, bool)>,
+    /// Merged output in key order.
+    pub merged: Vec<MergedEntry>,
+    /// Key ids whose flash version was dropped by the merge (tombstones
+    /// merged away, stale versions superseded).
+    pub removed_from_flash: Vec<u64>,
+    /// Simulated time consumed so far (planning + flash read + merge CPU);
+    /// the installer adds promotion writes and output-file writes.
+    pub duration: Nanos,
+    /// Portion of `duration` spent on the flash device.
+    pub flash_time: Nanos,
+}
+
+/// Merge the job's demotion stream against its flash files. Pure with
+/// respect to the owning partition: only the simulated flash device's
+/// read counters are touched, so a discarded job leaves partition state
+/// untouched.
+pub fn execute_job(job: CompactionJob, cpu: &CpuCosts, flash_dev: &Arc<Device>) -> ExecutedJob {
+    let mut duration = job.planning_cost;
+    let mut flash_time = Nanos::ZERO;
+
+    let flash_bytes: u64 = job.files.iter().map(|f| f.size_bytes()).sum();
+    if flash_bytes > 0 {
+        let t = flash_dev.read_sequential(flash_bytes);
+        duration += t;
+        flash_time += t;
+    }
+    let flash_entries: Vec<(Key, SstEntry)> = job
+        .files
+        .iter()
+        .flat_map(|f| f.iter().map(|(k, e)| (k.clone(), e.clone())))
+        .collect();
+
+    duration += cpu.merge_per_object * (job.demote.len() as u64 + flash_entries.len() as u64);
+
+    let mut merged: Vec<MergedEntry> = Vec::new();
+    let mut removed_from_flash: Vec<u64> = Vec::new();
+    let mut di = 0usize;
+    let mut fi = 0usize;
+    while di < job.demote.len() || fi < flash_entries.len() {
+        let take_nvm = match (job.demote.get(di), flash_entries.get(fi)) {
+            (Some(d), Some((fk, _))) => d.key <= *fk,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        if take_nvm {
+            let d = &job.demote[di];
+            di += 1;
+            if flash_entries.get(fi).map(|(fk, _)| fk == &d.key) == Some(true) {
+                // The flash version is stale: drop it by advancing past it.
+                fi += 1;
+            }
+            if d.tombstone {
+                // Key is deleted everywhere once the merge completes.
+                removed_from_flash.push(d.key.id());
+            } else if let Some(value) = &d.value {
+                merged.push(MergedEntry {
+                    key: d.key.clone(),
+                    entry: SstEntry::value(value.clone(), d.timestamp),
+                    origin: MergedOrigin::Nvm {
+                        timestamp: d.timestamp,
+                    },
+                });
+            }
+        } else {
+            let (key, entry) = &flash_entries[fi];
+            fi += 1;
+            if entry.is_tombstone() {
+                // Single-level log: a tombstone with no newer version can
+                // be dropped entirely.
+                removed_from_flash.push(key.id());
+                continue;
+            }
+            merged.push(MergedEntry {
+                key: key.clone(),
+                entry: entry.clone(),
+                origin: MergedOrigin::Flash {
+                    promote: job.promote_hints.contains(&key.id()),
+                },
+            });
+        }
+    }
+
+    ExecutedJob {
+        partition: job.partition,
+        epoch: job.epoch,
+        kind: job.kind,
+        trigger_fg: job.trigger_fg,
+        old_file_ids: job.files.iter().map(|f| f.id()).collect(),
+        demote: job
+            .demote
+            .iter()
+            .map(|d| (d.key.clone(), d.timestamp, d.tombstone))
+            .collect(),
+        merged,
+        removed_from_flash,
+        duration,
+        flash_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_flash::SstBuilder;
+    use prism_storage::DeviceProfile;
+
+    fn flash() -> Arc<Device> {
+        Arc::new(Device::new(DeviceProfile::qlc_flash(1 << 30)))
+    }
+
+    fn file(entries: &[(u64, Option<u8>)], id: FileId, dev: &Arc<Device>) -> Arc<SstFile> {
+        let mut builder = SstBuilder::new(id);
+        for (kid, fill) in entries {
+            let entry = match fill {
+                Some(f) => SstEntry::value(Value::filled(64, *f), 1),
+                None => SstEntry::tombstone(1),
+            };
+            builder.add(Key::from_id(*kid), entry);
+        }
+        let (sst, _) = builder.finish(dev);
+        Arc::new(sst)
+    }
+
+    fn demote(kid: u64, ts: u64, fill: Option<u8>) -> DemoteEntry {
+        DemoteEntry {
+            key: Key::from_id(kid),
+            timestamp: ts,
+            tombstone: fill.is_none(),
+            value: fill.map(|f| Value::filled(64, f)),
+        }
+    }
+
+    fn job(demote: Vec<DemoteEntry>, files: Vec<Arc<SstFile>>) -> CompactionJob {
+        CompactionJob {
+            partition: 0,
+            epoch: 0,
+            kind: JobKind::Demotion { force: false },
+            trigger_fg: Nanos::ZERO,
+            demote,
+            files,
+            promote_hints: HashSet::new(),
+            planning_cost: Nanos::ZERO,
+        }
+    }
+
+    #[test]
+    fn merge_prefers_nvm_versions_and_drops_tombstones() {
+        let dev = flash();
+        // Flash: 1 (stale value), 2 (tombstone), 4 (live value).
+        let f = file(&[(1, Some(9)), (2, None), (4, Some(4))], 1, &dev);
+        // NVM: newer 1, tombstone for 4, fresh 3.
+        let d = vec![
+            demote(1, 7, Some(1)),
+            demote(3, 8, Some(3)),
+            demote(4, 9, None),
+        ];
+        let exec = execute_job(job(d, vec![f]), &CpuCosts::default(), &dev);
+
+        let keys: Vec<u64> = exec.merged.iter().map(|m| m.key.id()).collect();
+        assert_eq!(keys, vec![1, 3], "stale flash 1 dropped, 4 deleted, 2 gc'd");
+        assert!(matches!(
+            exec.merged[0].origin,
+            MergedOrigin::Nvm { timestamp: 7 }
+        ));
+        assert_eq!(
+            exec.merged[0].entry.value.as_ref().unwrap().as_bytes()[0],
+            1
+        );
+        // Tombstone-only flash key 2 and tombstoned key 4 leave the flash
+        // population.
+        let mut removed = exec.removed_from_flash.clone();
+        removed.sort_unstable();
+        assert_eq!(removed, vec![2, 4]);
+        assert!(exec.duration > Nanos::ZERO);
+        assert!(exec.flash_time > Nanos::ZERO);
+        assert_eq!(exec.old_file_ids, vec![1]);
+    }
+
+    #[test]
+    fn promote_hints_are_tagged_on_flash_survivors() {
+        let dev = flash();
+        let f = file(&[(10, Some(1)), (11, Some(2))], 2, &dev);
+        let mut j = job(Vec::new(), vec![f]);
+        j.promote_hints.insert(11);
+        let exec = execute_job(j, &CpuCosts::default(), &dev);
+        assert_eq!(exec.merged.len(), 2);
+        assert_eq!(
+            exec.merged[0].origin,
+            MergedOrigin::Flash { promote: false }
+        );
+        assert_eq!(exec.merged[1].origin, MergedOrigin::Flash { promote: true });
+    }
+
+    #[test]
+    fn jobs_are_send_values() {
+        fn assert_send<T: Send + 'static>() {}
+        assert_send::<CompactionJob>();
+        assert_send::<ExecutedJob>();
+    }
+}

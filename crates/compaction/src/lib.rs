@@ -42,11 +42,15 @@
 //! ```
 
 mod bucket;
+mod jobs;
 mod msc;
 mod planner;
 mod read_triggered;
 
 pub use bucket::BucketMap;
+pub use jobs::{
+    execute_job, CompactionJob, DemoteEntry, ExecutedJob, JobKind, MergedEntry, MergedOrigin,
+};
 pub use msc::{msc_score, RangeStats, RangeStatsBuilder};
 pub use planner::{CompactionConfig, CompactionPlanner, CompactionPolicy};
 pub use read_triggered::{ReadTriggerConfig, ReadTriggerPhase, ReadTriggeredController};

@@ -45,6 +45,7 @@ mod cache;
 mod engine;
 mod options;
 mod partition;
+mod workers;
 
 pub use cache::LruCache;
 pub use engine::PrismDb;

@@ -69,6 +69,17 @@ pub struct Options {
     pub high_watermark: f64,
     /// NVM utilisation at which compaction stops freeing space (0.95).
     pub low_watermark: f64,
+    /// Number of background compaction worker threads shared by all
+    /// partitions. `0` (the default) compacts inline on the client thread
+    /// that trips the high watermark, charging the paper's write stalls;
+    /// with workers, watermark trips enqueue a job and the foreground only
+    /// stalls at [`Options::backpressure_ceiling`].
+    pub compaction_workers: usize,
+    /// Hard NVM utilisation ceiling in background-compaction mode: a
+    /// foreground write that leaves utilisation at or above this value
+    /// blocks until a background worker frees space (and the wait is
+    /// charged as stall time). Must lie in `(high_watermark, 1.0]`.
+    pub backpressure_ceiling: f64,
     /// Target size of one SST file written by compaction.
     pub sst_target_bytes: u64,
     /// Compaction policy and candidate-selection configuration.
@@ -119,6 +130,8 @@ impl Options {
             pinning_threshold: 0.7,
             high_watermark: 0.98,
             low_watermark: 0.95,
+            compaction_workers: 0,
+            backpressure_ceiling: 0.995,
             sst_target_bytes: 256 * 1024,
             compaction: CompactionConfig {
                 bucket_size_keys: (expected_keys / 64).clamp(256, 65_536),
@@ -169,6 +182,22 @@ impl Options {
         {
             return Err(PrismError::InvalidConfig(
                 "watermarks must satisfy 0 < low < high <= 1".into(),
+            ));
+        }
+        // The ceiling is only consulted in background-compaction mode, so
+        // inline-only configs (e.g. a high watermark above the default
+        // ceiling) stay valid as before.
+        if self.compaction_workers > 0
+            && !(self.high_watermark < self.backpressure_ceiling
+                && self.backpressure_ceiling <= 1.0)
+        {
+            return Err(PrismError::InvalidConfig(
+                "backpressure ceiling must satisfy high_watermark < ceiling <= 1".into(),
+            ));
+        }
+        if self.compaction_workers > 64 {
+            return Err(PrismError::InvalidConfig(
+                "more than 64 compaction workers is not supported".into(),
             ));
         }
         if !(0.0..=1.0).contains(&self.tracker_fraction) || self.tracker_fraction == 0.0 {
@@ -265,6 +294,19 @@ impl OptionsBuilder {
         self
     }
 
+    /// Set the number of background compaction worker threads (`0` keeps
+    /// the inline, stall-on-watermark behaviour).
+    pub fn compaction_workers(mut self, workers: usize) -> Self {
+        self.options.compaction_workers = workers;
+        self
+    }
+
+    /// Set the back-pressure ceiling used in background-compaction mode.
+    pub fn backpressure_ceiling(mut self, ceiling: f64) -> Self {
+        self.options.backpressure_ceiling = ceiling;
+        self
+    }
+
     /// Set synchronous-durability mode.
     pub fn fsync(mut self, enabled: bool) -> Self {
         self.options.fsync = enabled;
@@ -335,6 +377,33 @@ mod tests {
         assert!(bad.validate().is_err());
         let mut bad = Options::scaled_default(100);
         bad.tracker_fraction = 0.0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn background_compaction_knobs_validate() {
+        let options = Options::builder(1000)
+            .compaction_workers(2)
+            .backpressure_ceiling(0.999)
+            .build()
+            .unwrap();
+        assert_eq!(options.compaction_workers, 2);
+        assert!((options.backpressure_ceiling - 0.999).abs() < 1e-9);
+        // Defaults: inline compaction, ceiling above the high watermark.
+        let defaults = Options::scaled_default(1000);
+        assert_eq!(defaults.compaction_workers, 0);
+        assert!(defaults.backpressure_ceiling > defaults.high_watermark);
+        // The ceiling must sit strictly above the high watermark — but
+        // only in background mode; inline-only configs never consult it.
+        let mut bad = Options::scaled_default(100);
+        bad.compaction_workers = 2;
+        bad.backpressure_ceiling = bad.high_watermark;
+        assert!(bad.validate().is_err());
+        bad.compaction_workers = 0;
+        assert!(bad.validate().is_ok());
+        // ...and the worker count is sanity-bounded.
+        let mut bad = Options::scaled_default(100);
+        bad.compaction_workers = 1000;
         assert!(bad.validate().is_err());
     }
 

@@ -8,12 +8,39 @@
 //! client operations and a background completion time advanced by
 //! compaction work, which together produce write-stall behaviour when
 //! compactions cannot keep up.
+//!
+//! # Read path vs write path
+//!
+//! Point reads and scans take `&self`: the engine keeps each partition
+//! behind an `RwLock`, so reads on the same partition overlap with each
+//! other and only serialise against writers. Whatever a read must mutate
+//! is split out of the critical section — the DRAM cache sits behind its
+//! own small mutex, read counters are atomics, and tracker/clock/
+//! read-trigger updates are buffered in a [`ReadSideState`] that the next
+//! write (or an explicit engine-driven drain) applies under the write
+//! lock. The CPU cost of the tracker update is still charged to the read
+//! that caused it; only the application is deferred.
+//!
+//! # Compaction pipeline
+//!
+//! Compactions run as a *plan → execute → install* pipeline
+//! (see [`prism_compaction::CompactionJob`]): planning clones the victim
+//! state out under the lock, execution merges without the lock, and
+//! installation re-validates against the live index (timestamp checks per
+//! demoted object, an epoch check per job) before swapping files in. With
+//! `Options::compaction_workers == 0` the three phases run back-to-back on
+//! the client thread that tripped the watermark (inline mode, the paper's
+//! stall behaviour); with workers they are driven by the engine's
+//! background worker pool and the foreground only stalls at the
+//! back-pressure ceiling.
 
-use std::sync::Arc;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use prism_compaction::{
-    msc_score, BucketMap, CompactionPlanner, CompactionPolicy, RangeStatsBuilder,
-    ReadTriggeredController,
+    execute_job, msc_score, BucketMap, CompactionJob, CompactionPlanner, CompactionPolicy,
+    DemoteEntry, ExecutedJob, JobKind, MergedOrigin, RangeStatsBuilder, ReadTriggeredController,
 };
 use prism_flash::{Manifest, SortedLog, SstBuilder, SstEntry, SstFile};
 use prism_index::BTreeIndex;
@@ -24,6 +51,10 @@ use prism_types::{CompactionStats, Key, Lookup, Nanos, PrismError, ReadSource, R
 
 use crate::cache::LruCache;
 use crate::options::Options;
+
+/// Buffered read-side updates applied at the next drain (threshold for the
+/// engine to force a drain with a write lock).
+pub(crate) const READ_SIDE_DRAIN: usize = 64;
 
 /// Entry in the partition's B-tree index describing the NVM-resident
 /// version of a key.
@@ -45,6 +76,32 @@ pub(crate) struct PartitionStats {
     pub compaction: CompactionStats,
 }
 
+/// Read counters updated without the write lock.
+#[derive(Debug, Default)]
+struct ReadStats {
+    dram: AtomicU64,
+    nvm: AtomicU64,
+    flash: AtomicU64,
+    not_found: AtomicU64,
+}
+
+/// Tracker/clock/read-trigger updates buffered by `&self` reads and
+/// applied by the next writer (or an engine-forced drain).
+#[derive(Debug, Default)]
+struct ReadSideState {
+    /// `(key, served_from_flash)` per found read, in arrival order.
+    accesses: Vec<(Key, bool)>,
+    /// Total reads observed since the last drain.
+    reads: u64,
+    /// Reads served from NVM since the last drain.
+    nvm_hits: u64,
+    /// Reads served from flash since the last drain.
+    flash_hits: u64,
+    /// Flash-served reads since the last promotion compaction (persists
+    /// across drains; reset when a promotion is scheduled).
+    flash_reads_since_promotion: u64,
+}
+
 /// Result of one compaction job.
 #[derive(Debug, Default, Clone, Copy)]
 pub(crate) struct CompactionOutcome {
@@ -55,6 +112,7 @@ pub(crate) struct CompactionOutcome {
 }
 
 pub(crate) struct Partition {
+    id: usize,
     options: Arc<Options>,
     cpu: CpuCosts,
     nvm_dev: Arc<Device>,
@@ -68,11 +126,21 @@ pub(crate) struct Partition {
     buckets: BucketMap,
     planner: CompactionPlanner,
     read_trigger: Option<ReadTriggeredController>,
-    cache: LruCache,
+    cache: Mutex<LruCache>,
+    read_side: Mutex<ReadSideState>,
+    read_stats: ReadStats,
     next_timestamp: u64,
-    fg: Nanos,
+    /// Foreground virtual clock in nanoseconds (atomic so `&self` reads
+    /// can advance it).
+    fg: AtomicU64,
+    /// Virtual time at which all installed compaction work completes.
     busy_until: Nanos,
-    flash_reads_since_promotion: u64,
+    /// Compaction epoch: bumped by crash recovery and emergency inline
+    /// compactions so in-flight background jobs planned against the old
+    /// state are discarded at install.
+    epoch: u64,
+    /// A read-triggered promotion compaction is due (set by a drain).
+    promote_pending: bool,
     stats: PartitionStats,
 }
 
@@ -90,6 +158,7 @@ impl Partition {
         compaction_config.seed = compaction_config.seed.wrapping_add(id as u64);
         let planner = CompactionPlanner::new(compaction_config)?;
         Ok(Partition {
+            id,
             cpu: storage.cpu,
             nvm_dev: storage.nvm.clone(),
             flash_dev: storage.flash.clone(),
@@ -102,22 +171,65 @@ impl Partition {
             buckets: BucketMap::new(options.compaction.bucket_size_keys),
             planner,
             read_trigger: options.read_trigger.map(ReadTriggeredController::new),
-            cache: LruCache::new(options.dram_cache_bytes / partitions),
+            cache: Mutex::new(LruCache::new(options.dram_cache_bytes / partitions)),
+            read_side: Mutex::new(ReadSideState::default()),
+            read_stats: ReadStats::default(),
             next_timestamp: 1,
-            fg: Nanos::ZERO,
+            fg: AtomicU64::new(0),
             busy_until: Nanos::ZERO,
-            flash_reads_since_promotion: 0,
+            epoch: 0,
+            promote_pending: false,
             stats: PartitionStats::default(),
             options,
         })
     }
 
+    fn lock_cache(&self) -> MutexGuard<'_, LruCache> {
+        self.cache
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    fn lock_read_side(&self) -> MutexGuard<'_, ReadSideState> {
+        self.read_side
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Current foreground virtual time.
+    pub(crate) fn fg(&self) -> Nanos {
+        Nanos::from_nanos(self.fg.load(Ordering::Relaxed))
+    }
+
+    fn advance_fg(&self, cost: Nanos) {
+        self.fg.fetch_add(cost.as_nanos(), Ordering::Relaxed);
+    }
+
+    /// Virtual time at which all installed compaction work completes.
+    pub(crate) fn busy_until(&self) -> Nanos {
+        self.busy_until
+    }
+
+    pub(crate) fn set_busy_until(&mut self, t: Nanos) {
+        self.busy_until = t;
+    }
+
+    /// Record compaction time that overlapped foreground service.
+    pub(crate) fn note_overlap(&mut self, duration: Nanos) {
+        self.stats.compaction.overlap_time += duration;
+    }
+
     pub(crate) fn elapsed(&self) -> Nanos {
-        self.fg.max(self.busy_until)
+        self.fg().max(self.busy_until)
     }
 
     pub(crate) fn stats(&self) -> PartitionStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.reads_from_dram = self.read_stats.dram.load(Ordering::Relaxed);
+        stats.reads_from_nvm = self.read_stats.nvm.load(Ordering::Relaxed);
+        stats.reads_from_flash = self.read_stats.flash.load(Ordering::Relaxed);
+        stats.reads_not_found = self.read_stats.not_found.load(Ordering::Relaxed);
+        stats
     }
 
     pub(crate) fn nvm_object_count(&self) -> usize {
@@ -136,46 +248,124 @@ impl Partition {
         self.mapper.histogram()
     }
 
+    /// True when compactions are executed by the engine's background
+    /// worker pool rather than inline on the triggering client thread.
+    pub(crate) fn background_mode(&self) -> bool {
+        self.options.compaction_workers > 0
+    }
+
     fn next_ts(&mut self) -> u64 {
         let ts = self.next_timestamp;
         self.next_timestamp += 1;
         ts
     }
 
-    /// Track an access and update the popularity structures; returns the
-    /// CPU cost charged for it.
-    fn observe_access(&mut self, key: &Key, on_flash: bool) -> Nanos {
-        let event = self.tracker.access(key, on_flash);
-        self.mapper.apply(&event);
-        self.buckets.on_access(key.id());
-        if let Some((evicted, _)) = &event.evicted {
-            self.buckets.on_tracker_evict(evicted.id());
-        }
-        self.cpu.tracker_op
+    // ------------------------------------------------------------------
+    // Read-side drain
+    // ------------------------------------------------------------------
+
+    /// Drain/promotion pressure given the current buffer state; the
+    /// caller must hold the read-side lock (the borrow proves it).
+    fn pressure_of(&self, rs: &ReadSideState) -> bool {
+        let trigger_enabled = self.options.promotions_enabled
+            && self
+                .read_trigger
+                .as_ref()
+                .is_some_and(|ctrl| ctrl.promotions_enabled());
+        rs.accesses.len() >= READ_SIDE_DRAIN
+            || (trigger_enabled
+                && rs.flash_reads_since_promotion >= self.options.promotion_batch_flash_reads)
     }
 
-    fn observe_for_read_trigger(&mut self, is_read: bool, source: ReadSource) {
-        let promote_now = if let Some(ctrl) = &mut self.read_trigger {
-            ctrl.observe_op(
-                is_read,
-                source == ReadSource::Nvm,
-                source == ReadSource::Flash,
-            );
-            if source == ReadSource::Flash {
-                self.flash_reads_since_promotion += 1;
-            }
-            ctrl.promotions_enabled()
-                && self.options.promotions_enabled
-                && self.flash_reads_since_promotion >= self.options.promotion_batch_flash_reads
-        } else {
-            false
+    /// Apply buffered read-side updates to the tracker, mapper, bucket map
+    /// and read-trigger controller. Requires the write lock (`&mut self`).
+    pub(crate) fn apply_read_side(&mut self) {
+        let (accesses, reads, nvm_hits, flash_hits) = {
+            let mut rs = self.lock_read_side();
+            (
+                std::mem::take(&mut rs.accesses),
+                std::mem::take(&mut rs.reads),
+                std::mem::take(&mut rs.nvm_hits),
+                std::mem::take(&mut rs.flash_hits),
+            )
         };
-        if promote_now {
-            self.flash_reads_since_promotion = 0;
-            if let Ok(outcome) = self.run_promotion_compaction() {
-                self.busy_until = self.busy_until.max(self.fg) + outcome.duration;
+        for (key, on_flash) in &accesses {
+            // Cost already charged to the read that buffered the access.
+            let _ = self.observe_access_now(key, *on_flash);
+        }
+        if let Some(ctrl) = &mut self.read_trigger {
+            for _ in 0..flash_hits {
+                ctrl.observe_op(true, false, true);
+            }
+            for _ in 0..nvm_hits {
+                ctrl.observe_op(true, true, false);
+            }
+            for _ in 0..reads.saturating_sub(nvm_hits + flash_hits) {
+                ctrl.observe_op(true, false, false);
             }
         }
+        self.refresh_promote_due();
+    }
+
+    /// If the read-trigger controller allows promotions and enough flash
+    /// reads accumulated, mark a promotion as pending and reset the batch
+    /// counter.
+    fn refresh_promote_due(&mut self) {
+        let enabled = self.options.promotions_enabled
+            && self
+                .read_trigger
+                .as_ref()
+                .is_some_and(|ctrl| ctrl.promotions_enabled());
+        if !enabled {
+            return;
+        }
+        let due = {
+            let mut rs = self.lock_read_side();
+            if rs.flash_reads_since_promotion >= self.options.promotion_batch_flash_reads {
+                rs.flash_reads_since_promotion = 0;
+                true
+            } else {
+                false
+            }
+        };
+        if due {
+            self.promote_pending = true;
+        }
+    }
+
+    /// Peek at the pending-promotion flag without consuming it.
+    pub(crate) fn promote_pending(&self) -> bool {
+        self.promote_pending
+    }
+
+    /// Consume the pending-promotion flag (background mode: the engine
+    /// turns it into a queued promotion job).
+    pub(crate) fn take_promote_pending(&mut self) -> bool {
+        std::mem::take(&mut self.promote_pending)
+    }
+
+    /// Drain read-side state and, in inline mode, run any due promotion
+    /// compaction immediately (background mode defers it to the worker
+    /// pool via [`Partition::take_promote_pending`]).
+    pub(crate) fn absorb_reads(&mut self) -> Result<()> {
+        self.apply_read_side();
+        if self.promote_pending && !self.background_mode() {
+            self.promote_pending = false;
+            let outcome = self.run_promotion_compaction()?;
+            if !outcome.duration.is_zero() {
+                self.busy_until = self.busy_until.max(self.fg()) + outcome.duration;
+            }
+        }
+        Ok(())
+    }
+
+    /// Record a write for the read-trigger controller's read-ratio
+    /// tracking.
+    fn observe_write_op(&mut self) {
+        if let Some(ctrl) = &mut self.read_trigger {
+            ctrl.observe_op(false, false, false);
+        }
+        self.refresh_promote_due();
     }
 
     // ------------------------------------------------------------------
@@ -183,6 +373,7 @@ impl Partition {
     // ------------------------------------------------------------------
 
     pub(crate) fn put(&mut self, key: Key, value: Value) -> Result<Nanos> {
+        self.absorb_reads()?;
         let mut cost = self.cpu.request_overhead + self.cpu.index_op;
         let ts = self.next_ts();
         let key_id = key.id();
@@ -192,13 +383,18 @@ impl Partition {
         let write_result = self.write_to_slab(existing, &key, value.clone(), ts);
         let (addr, write_cost) = match write_result {
             Ok(ok) => ok,
-            Err(PrismError::CapacityExceeded { .. }) => {
-                // Free space with forced compactions, then retry once.
-                let freed = self.free_space_forcibly()?;
-                self.busy_until = self.busy_until.max(self.fg) + freed;
+            Err(PrismError::CapacityExceeded { .. }) if !self.background_mode() => {
+                // Free space with forced compactions, then retry once. The
+                // op cannot proceed until space exists, so the entire wait
+                // is charged as a foreground stall here — and only here
+                // (the later watermark check sees `busy_until` caught up).
+                cost += self.force_free_and_stall(cost)?;
                 let existing = self.index.get(&key).copied();
                 self.write_to_slab(existing, &key, value.clone(), ts)?
             }
+            // Background mode: surface the full condition to the engine,
+            // which queues an urgent job and retries without holding the
+            // partition lock while it waits.
             Err(err) => return Err(err),
         };
         cost += write_cost;
@@ -215,17 +411,33 @@ impl Partition {
         if was_new {
             self.buckets.on_nvm_insert(key_id);
         }
-        cost += self.observe_access(&key, false);
-        self.cache.remove(&key);
+        cost += self.observe_access_now(&key, false);
+        self.lock_cache().remove(&key);
         self.stats.user_bytes_written += value_len;
 
-        // Watermark check: demote cold data if NVM is (nearly) full.
-        let stall = self.maybe_demote()?;
-        cost += stall;
+        // Watermark check: in inline mode demote cold data on this thread
+        // if NVM is (nearly) full. In background mode the engine enqueues
+        // a job instead (and stalls only at the back-pressure ceiling).
+        if !self.background_mode() {
+            let stall = self.maybe_demote(cost)?;
+            cost += stall;
+        }
 
-        self.observe_for_read_trigger(false, ReadSource::NotFound);
-        self.fg += cost;
+        self.observe_write_op();
+        self.advance_fg(cost);
         Ok(cost)
+    }
+
+    /// Track an access with the write lock held; returns the CPU cost
+    /// charged for it.
+    fn observe_access_now(&mut self, key: &Key, on_flash: bool) -> Nanos {
+        let event = self.tracker.access(key, on_flash);
+        self.mapper.apply(&event);
+        self.buckets.on_access(key.id());
+        if let Some((evicted, _)) = &event.evicted {
+            self.buckets.on_tracker_evict(evicted.id());
+        }
+        self.cpu.tracker_op
     }
 
     fn write_to_slab(
@@ -249,12 +461,25 @@ impl Partition {
         }
     }
 
-    pub(crate) fn get(&mut self, key: &Key) -> Result<Lookup> {
+    /// Point lookup without the drain-pressure signal (the engine always
+    /// wants both; unit tests usually just want the lookup).
+    #[cfg(test)]
+    pub(crate) fn get(&self, key: &Key) -> Result<Lookup> {
+        Ok(self.get_with_pressure(key)?.0)
+    }
+
+    /// Point lookup, also reporting whether enough read-side state has
+    /// accumulated that the engine should take the write lock and drain it
+    /// (tracker updates, or a due promotion compaction). The pressure bool
+    /// is computed inside the critical section the read already pays for,
+    /// so the hot read path locks the read-side buffer exactly once.
+    pub(crate) fn get_with_pressure(&self, key: &Key) -> Result<(Lookup, bool)> {
         let mut cost = self.cpu.request_overhead + self.cpu.index_op;
         let mut source = ReadSource::NotFound;
         let mut value: Option<Value> = None;
 
-        if let Some(cached) = self.cache.get(key) {
+        let cached = self.lock_cache().get(key);
+        if let Some(cached) = cached {
             cost += self.cpu.dram_hit;
             source = ReadSource::Dram;
             value = Some(cached);
@@ -264,7 +489,7 @@ impl Partition {
                 let found = slot.value.clone();
                 cost += read_cost;
                 source = ReadSource::Nvm;
-                self.cache.insert(key.clone(), found.clone());
+                self.lock_cache().insert(key.clone(), found.clone());
                 value = Some(found);
             }
         } else {
@@ -281,7 +506,7 @@ impl Partition {
                 if let Some(entry) = probe.entry {
                     if let Some(found) = entry.value {
                         source = ReadSource::Flash;
-                        self.cache.insert(key.clone(), found.clone());
+                        self.lock_cache().insert(key.clone(), found.clone());
                         value = Some(found);
                     }
                 }
@@ -289,24 +514,45 @@ impl Partition {
         }
 
         match source {
-            ReadSource::Dram => self.stats.reads_from_dram += 1,
-            ReadSource::Nvm => self.stats.reads_from_nvm += 1,
-            ReadSource::Flash => self.stats.reads_from_flash += 1,
-            ReadSource::NotFound => self.stats.reads_not_found += 1,
-        }
+            ReadSource::Dram => self.read_stats.dram.fetch_add(1, Ordering::Relaxed),
+            ReadSource::Nvm => self.read_stats.nvm.fetch_add(1, Ordering::Relaxed),
+            ReadSource::Flash => self.read_stats.flash.fetch_add(1, Ordering::Relaxed),
+            ReadSource::NotFound => self.read_stats.not_found.fetch_add(1, Ordering::Relaxed),
+        };
         if value.is_some() {
-            cost += self.observe_access(key, source == ReadSource::Flash);
+            // The tracker update itself is deferred to the next drain, but
+            // its CPU cost belongs to this read.
+            cost += self.cpu.tracker_op;
         }
-        self.observe_for_read_trigger(true, source);
-        self.fg += cost;
-        Ok(Lookup {
-            value,
-            latency: cost,
-            source,
-        })
+        let pressure = {
+            let mut rs = self.lock_read_side();
+            if value.is_some() {
+                rs.accesses.push((key.clone(), source == ReadSource::Flash));
+            }
+            rs.reads += 1;
+            match source {
+                ReadSource::Nvm => rs.nvm_hits += 1,
+                ReadSource::Flash => {
+                    rs.flash_hits += 1;
+                    rs.flash_reads_since_promotion += 1;
+                }
+                _ => {}
+            }
+            self.pressure_of(&rs)
+        };
+        self.advance_fg(cost);
+        Ok((
+            Lookup {
+                value,
+                latency: cost,
+                source,
+            },
+            pressure,
+        ))
     }
 
     pub(crate) fn delete(&mut self, key: &Key) -> Result<Nanos> {
+        self.absorb_reads()?;
         let mut cost = self.cpu.request_overhead + self.cpu.index_op;
         let ts = self.next_ts();
         let key_id = key.id();
@@ -337,9 +583,8 @@ impl Partition {
             // a compaction merges and drops both.
             let (addr, write_cost) = match self.slab.insert(key.clone(), Value::empty(), ts) {
                 Ok(ok) => ok,
-                Err(PrismError::CapacityExceeded { .. }) => {
-                    let freed = self.free_space_forcibly()?;
-                    self.busy_until = self.busy_until.max(self.fg) + freed;
+                Err(PrismError::CapacityExceeded { .. }) if !self.background_mode() => {
+                    cost += self.force_free_and_stall(cost)?;
                     self.slab.insert(key.clone(), Value::empty(), ts)?
                 }
                 Err(err) => return Err(err),
@@ -356,24 +601,29 @@ impl Partition {
             self.buckets.on_nvm_insert(key_id);
         }
 
-        self.cache.remove(key);
-        let stall = self.maybe_demote()?;
-        cost += stall;
-        self.fg += cost;
+        self.lock_cache().remove(key);
+        if !self.background_mode() {
+            let stall = self.maybe_demote(cost)?;
+            cost += stall;
+        }
+        self.observe_write_op();
+        self.advance_fg(cost);
         Ok(cost)
     }
 
     /// Collect up to `limit` live key-value pairs with keys `>= start` from
     /// this partition, in key order, merging the NVM and flash views.
+    /// Takes `&self`: scans only read the index, slab and log, so they run
+    /// under the engine's partition read lock.
     pub(crate) fn scan_collect(
-        &mut self,
+        &self,
         start: &Key,
         limit: usize,
     ) -> Result<(Vec<(Key, Value)>, Nanos)> {
         let mut cost = self.cpu.request_overhead + self.cpu.index_op;
         let mut out: Vec<(Key, Value)> = Vec::with_capacity(limit);
         if limit == 0 {
-            self.fg += cost;
+            self.advance_fg(cost);
             return Ok((out, cost));
         }
 
@@ -440,32 +690,41 @@ impl Partition {
             cost += self.flash_dev.read_sequential(flash_bytes_consumed);
         }
         cost += self.cpu.merge_per_object * out.len() as u64;
-        self.fg += cost;
+        self.advance_fg(cost);
         Ok((out, cost))
     }
 
     // ------------------------------------------------------------------
-    // Compaction
+    // Compaction: stalls and inline driving
     // ------------------------------------------------------------------
 
-    /// If NVM is above the high watermark, run demotion compactions until it
-    /// drops below the low watermark. Returns the foreground stall charged
-    /// to the triggering operation.
-    fn maybe_demote(&mut self) -> Result<Nanos> {
+    /// If NVM is above the high watermark, run demotion compactions until
+    /// it drops below the low watermark (inline mode only). Returns the
+    /// foreground stall charged to the triggering operation.
+    ///
+    /// `accrued` is the cost the triggering operation has accumulated so
+    /// far: the operation's position on the virtual timeline is
+    /// `fg + accrued`, and the stall is the gap from there to the end of
+    /// any still-running compaction work. Measuring from `fg` alone would
+    /// double-charge waits already accounted earlier in the same
+    /// operation (e.g. a forced space reclamation), breaking the
+    /// `stall_time <= elapsed` invariant.
+    fn maybe_demote(&mut self, accrued: Nanos) -> Result<Nanos> {
         if self.slab.usage().utilization() < self.options.high_watermark {
             return Ok(Nanos::ZERO);
         }
-        // If a previous compaction is still "running" in the background, the
-        // write has to wait for it before space can be freed.
-        let stall = self.busy_until.saturating_sub(self.fg);
-        let mut background = Nanos::ZERO;
+        let now = self.fg() + accrued;
+        // If a previous compaction (e.g. a read-triggered promotion) is
+        // still "running" in virtual time, the write waits for it first.
+        let wait_prev = self.busy_until.saturating_sub(now);
+        let mut compacting = Nanos::ZERO;
         let mut rounds = 0;
         while self.slab.usage().utilization() > self.options.low_watermark {
             let outcome = self.run_demotion_compaction(false)?;
-            background += outcome.duration;
+            compacting += outcome.duration;
             if outcome.demoted == 0 {
                 let forced = self.run_demotion_compaction(true)?;
-                background += forced.duration;
+                compacting += forced.duration;
                 if forced.demoted == 0 {
                     break;
                 }
@@ -475,14 +734,58 @@ impl Partition {
                 break;
             }
         }
+        // Inline compactions execute synchronously on the client thread
+        // that tripped the watermark (they run right here, holding the
+        // partition's write lock), so the triggering operation is charged
+        // the full duration as a foreground stall — the behaviour
+        // background workers exist to avoid.
+        let stall = wait_prev + compacting;
         self.stats.compaction.stall_time += stall;
-        self.busy_until = self.busy_until.max(self.fg) + background;
+        self.busy_until = self.busy_until.max(now) + compacting;
         Ok(stall)
     }
 
-    /// Forced space reclamation used when a write hits a full slab store
-    /// before the watermark machinery had a chance to run. Returns the
-    /// background time spent.
+    /// Forced space reclamation for an operation that cannot proceed until
+    /// space exists. Frees space, advances `busy_until`, and charges the
+    /// operation's wait (for prior pending work plus the forced
+    /// compactions) as stall time exactly once. Returns the stall.
+    fn force_free_and_stall(&mut self, accrued: Nanos) -> Result<Nanos> {
+        let freed = self.free_space_forcibly()?;
+        let now = self.fg() + accrued;
+        self.busy_until = self.busy_until.max(now) + freed;
+        let wait = self.busy_until.saturating_sub(now);
+        self.stats.compaction.stall_time += wait;
+        Ok(wait)
+    }
+
+    /// Emergency inline space reclamation in background mode, used when
+    /// the worker pool could not free space in time. Bumps the compaction
+    /// epoch so any in-flight background job planned against the old state
+    /// is discarded at install, then compacts on the calling thread and
+    /// charges the wait as a back-pressure stall. Returns the stall.
+    pub(crate) fn force_free_inline(&mut self) -> Result<Nanos> {
+        self.epoch += 1;
+        let wait = self.force_free_and_stall(Nanos::ZERO)?;
+        if !wait.is_zero() {
+            self.stats.compaction.backpressure_stalls += 1;
+            self.advance_fg(wait);
+        }
+        Ok(wait)
+    }
+
+    /// Charge the foreground for waiting on background compaction at the
+    /// back-pressure ceiling: the stall is the remaining gap to the
+    /// background completion time. Returns the stall charged.
+    pub(crate) fn charge_backpressure_stall(&mut self) -> Nanos {
+        let stall = self.busy_until.saturating_sub(self.fg());
+        if !stall.is_zero() {
+            self.advance_fg(stall);
+            self.stats.compaction.stall_time += stall;
+            self.stats.compaction.backpressure_stalls += 1;
+        }
+        stall
+    }
+
     fn free_space_forcibly(&mut self) -> Result<Nanos> {
         let mut background = Nanos::ZERO;
         for _ in 0..8 {
@@ -498,11 +801,45 @@ impl Partition {
         // Safety valve: sampled candidates may all have been empty of NVM
         // objects. Compact the whole key space once, ignoring popularity,
         // so the write can proceed.
-        let outcome = self.compact_range(&Key::min(), &Key::from_id(u64::MAX), true, false)?;
-        self.record_compaction(&outcome);
-        background += outcome.duration;
+        let job = self.plan_range(
+            Key::min(),
+            Key::from_id(u64::MAX),
+            JobKind::Demotion { force: true },
+            false,
+            Nanos::ZERO,
+            self.fg(),
+        );
+        if let Some(job) = job {
+            let exec = execute_job(job, &self.cpu, &self.flash_dev);
+            if let Some(outcome) = self.install_compaction(exec)? {
+                background += outcome.duration;
+            }
+        }
         Ok(background)
     }
+
+    fn run_demotion_compaction(&mut self, force: bool) -> Result<CompactionOutcome> {
+        let Some(job) = self.plan_demotion(force, self.fg()) else {
+            return Ok(CompactionOutcome::default());
+        };
+        let exec = execute_job(job, &self.cpu, &self.flash_dev);
+        Ok(self.install_compaction(exec)?.unwrap_or_default())
+    }
+
+    /// A promotion-oriented compaction: pick the range with the most
+    /// popular flash-only objects and rewrite it, pulling those objects up
+    /// to NVM.
+    pub(crate) fn run_promotion_compaction(&mut self) -> Result<CompactionOutcome> {
+        let Some(job) = self.plan_promotion(self.fg()) else {
+            return Ok(CompactionOutcome::default());
+        };
+        let exec = execute_job(job, &self.cpu, &self.flash_dev);
+        Ok(self.install_compaction(exec)?.unwrap_or_default())
+    }
+
+    // ------------------------------------------------------------------
+    // Compaction: planning
+    // ------------------------------------------------------------------
 
     /// Candidate compaction key ranges: the key ranges of consecutive SST
     /// file windows, extended at both ends to cover NVM keys outside any
@@ -570,10 +907,17 @@ impl Partition {
         }
     }
 
-    fn run_demotion_compaction(&mut self, force: bool) -> Result<CompactionOutcome> {
+    /// Plan a demotion compaction: pick the best-scoring candidate range
+    /// and clone its victim state into a `Send` job. Requires the write
+    /// lock; returns `None` when there is nothing to compact.
+    pub(crate) fn plan_demotion(
+        &mut self,
+        force: bool,
+        trigger_fg: Nanos,
+    ) -> Option<CompactionJob> {
         let candidates = self.candidate_ranges();
         if candidates.is_empty() {
-            return Ok(CompactionOutcome::default());
+            return None;
         }
         let picked = self.planner.pick_candidate_indices(candidates.len());
         let mut planning_cost = Nanos::ZERO;
@@ -586,22 +930,24 @@ impl Partition {
                 )
             })
             .collect();
-        let Some(best) = self.planner.select_best(&scored) else {
-            return Ok(CompactionOutcome::default());
-        };
+        let best = self.planner.select_best(&scored)?;
         let (start, end) = candidates[best].clone();
-        let mut outcome =
-            self.compact_range(&start, &end, force, self.options.promotions_enabled)?;
-        outcome.duration += planning_cost;
-        self.record_compaction(&outcome);
-        Ok(outcome)
+        self.plan_range(
+            start,
+            end,
+            JobKind::Demotion { force },
+            self.options.promotions_enabled,
+            planning_cost,
+            trigger_fg,
+        )
     }
 
-    /// A promotion-oriented compaction: pick the range with the most popular
-    /// flash-only objects and rewrite it, pulling those objects up to NVM.
-    fn run_promotion_compaction(&mut self) -> Result<CompactionOutcome> {
+    /// Plan a promotion compaction over the range with the most popular
+    /// flash-only objects. Requires the write lock; returns `None` when no
+    /// range would promote anything.
+    pub(crate) fn plan_promotion(&mut self, trigger_fg: Nanos) -> Option<CompactionJob> {
         if self.log.is_empty() {
-            return Ok(CompactionOutcome::default());
+            return None;
         }
         let candidates = self.candidate_ranges();
         let picked = self.planner.pick_candidate_indices(candidates.len());
@@ -616,18 +962,251 @@ impl Partition {
                 )
             })
             .collect();
-        let Some(best) = scored
+        let best = scored
             .iter()
             .filter(|(_, s)| *s > 0.0)
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
-            .map(|(i, _)| *i)
-        else {
-            return Ok(CompactionOutcome::default());
-        };
+            .map(|(i, _)| *i)?;
         let (start, end) = candidates[best].clone();
-        let outcome = self.compact_range(&start, &end, false, true)?;
+        self.plan_range(
+            start,
+            end,
+            JobKind::Promotion,
+            true,
+            Nanos::ZERO,
+            trigger_fg,
+        )
+    }
+
+    /// Clone the victim state of `[start, end]` into a self-contained
+    /// [`CompactionJob`]: the NVM objects to demote (with values), the
+    /// overlapping SST files, and promotion hints for popular flash-only
+    /// objects.
+    fn plan_range(
+        &mut self,
+        start: Key,
+        end: Key,
+        kind: JobKind,
+        allow_promote: bool,
+        planning_cost: Nanos,
+        trigger_fg: Nanos,
+    ) -> Option<CompactionJob> {
+        let force = matches!(kind, JobKind::Demotion { force: true });
+        let tracked = self.tracker.len();
+        let pin_threshold = self.options.pinning_threshold;
+
+        // Select the NVM objects to demote (unpopular ones, or everything
+        // in forced mode). Tombstones always participate so they can be
+        // merged away.
+        let in_range: Vec<(Key, IndexEntry)> = self
+            .index
+            .range_from(&start)
+            .take_while(|(k, _)| *k <= &end)
+            .map(|(k, e)| (k.clone(), *e))
+            .collect();
+        let mut demote: Vec<DemoteEntry> = Vec::new();
+        for (key, entry) in in_range {
+            let pinned = if force || entry.tombstone {
+                false
+            } else {
+                let clock = self.tracker.clock_of(&key);
+                let decision = self.mapper.pin_decision(clock, pin_threshold, tracked);
+                decision.should_pin(self.planner.draw())
+            };
+            if !pinned {
+                let value = if entry.tombstone {
+                    None
+                } else {
+                    match self.slab.peek(entry.addr) {
+                        Some(slot) => Some(slot.value.clone()),
+                        // The index points at a missing slot; skip rather
+                        // than demote a value we cannot read.
+                        None => continue,
+                    }
+                };
+                demote.push(DemoteEntry {
+                    key,
+                    timestamp: entry.timestamp,
+                    tombstone: entry.tombstone,
+                    value,
+                });
+            }
+        }
+
+        let files = self.log.overlapping(&start, &end);
+        if demote.is_empty() && files.is_empty() {
+            return None;
+        }
+
+        let mut promote_hints: HashSet<u64> = HashSet::new();
+        if allow_promote {
+            for file in &files {
+                for (key, entry) in file.iter() {
+                    if entry.is_tombstone() || self.index.contains_key(key) {
+                        continue;
+                    }
+                    let pin = matches!(
+                        self.mapper.pin_decision(
+                            self.tracker.clock_of(key),
+                            pin_threshold,
+                            tracked
+                        ),
+                        PinDecision::Pin
+                    );
+                    if pin {
+                        promote_hints.insert(key.id());
+                    }
+                }
+            }
+        }
+
+        Some(CompactionJob {
+            partition: self.id,
+            epoch: self.epoch,
+            kind,
+            trigger_fg,
+            demote,
+            files,
+            promote_hints,
+            planning_cost,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Compaction: installation
+    // ------------------------------------------------------------------
+
+    /// True if the live index still carries exactly the planned version of
+    /// `key` (foreground writes between plan and install bump the
+    /// timestamp or remove the entry).
+    fn entry_current(&self, key: &Key, timestamp: u64) -> bool {
+        self.index
+            .get(key)
+            .map(|e| e.timestamp == timestamp)
+            .unwrap_or(false)
+    }
+
+    /// Install an executed compaction: re-validate every NVM-origin output
+    /// against the live index, apply promotions, write the output files
+    /// and swap them into the log atomically (with respect to the
+    /// partition lock).
+    ///
+    /// Returns `Ok(None)` when the job is discarded: its epoch is stale
+    /// (crash recovery or an emergency inline compaction rewrote the
+    /// partition underneath it) or one of its victim files is no longer
+    /// live. Discarding is always safe — execution never mutated partition
+    /// state, so the partition simply remains in its pre-job state.
+    pub(crate) fn install_compaction(
+        &mut self,
+        exec: ExecutedJob,
+    ) -> Result<Option<CompactionOutcome>> {
+        if exec.epoch != self.epoch {
+            return Ok(None);
+        }
+        if !exec
+            .old_file_ids
+            .iter()
+            .all(|id| self.manifest.is_live(*id))
+        {
+            return Ok(None);
+        }
+
+        let mut duration = exec.duration;
+        let mut flash_time = exec.flash_time;
+        let mut promoted = 0u64;
+        let mut removed_from_flash = exec.removed_from_flash;
+        let nvm_headroom = self.options.low_watermark;
+        let mut out: Vec<(Key, SstEntry)> = Vec::with_capacity(exec.merged.len());
+
+        for m in exec.merged {
+            match m.origin {
+                MergedOrigin::Nvm { timestamp } => {
+                    // A foreground write (update or delete) between plan
+                    // and install supersedes the demoted version: drop it
+                    // so a stale value can never resurface from flash.
+                    if self.entry_current(&m.key, timestamp) {
+                        out.push((m.key, m.entry));
+                    }
+                }
+                MergedOrigin::Flash { promote } => {
+                    let promotable = promote
+                        && !self.index.contains_key(&m.key)
+                        && self.slab.usage().utilization() < nvm_headroom;
+                    if promotable {
+                        let ts = self.next_ts();
+                        let value = m.entry.value.clone().expect("hints never mark tombstones");
+                        match self.slab.insert(m.key.clone(), value, ts) {
+                            Ok((addr, cost)) => {
+                                duration += cost;
+                                self.index.insert(
+                                    m.key.clone(),
+                                    IndexEntry {
+                                        addr,
+                                        timestamp: ts,
+                                        tombstone: false,
+                                    },
+                                );
+                                self.buckets.on_nvm_insert(m.key.id());
+                                self.tracker.set_location(&m.key, false);
+                                removed_from_flash.push(m.key.id());
+                                promoted += 1;
+                            }
+                            Err(PrismError::CapacityExceeded { .. }) => {
+                                out.push((m.key, m.entry));
+                            }
+                            Err(err) => return Err(err),
+                        }
+                    } else {
+                        out.push((m.key, m.entry));
+                    }
+                }
+            }
+        }
+
+        // Write the merged output as new SST files.
+        let (new_files, write_cost) = self.write_sst_files(&out)?;
+        duration += write_cost;
+        flash_time += write_cost;
+
+        // Demoted keys leave NVM — but only the exact planned version; a
+        // key rewritten by the foreground since planning stays put.
+        let mut demoted = 0u64;
+        for (key, timestamp, tombstone) in &exec.demote {
+            if !self.entry_current(key, *timestamp) {
+                continue;
+            }
+            let entry = *self.index.get(key).expect("entry_current checked");
+            self.slab.remove(entry.addr)?;
+            self.index.remove(key);
+            self.buckets.on_nvm_remove(key.id());
+            if !tombstone {
+                self.tracker.set_location(key, true);
+                demoted += 1;
+            }
+        }
+        for (key, _) in &out {
+            self.buckets.on_flash_insert(key.id());
+        }
+        for key_id in removed_from_flash {
+            self.buckets.on_flash_remove(key_id);
+        }
+        for id in &exec.old_file_ids {
+            self.manifest.remove_file(*id)?;
+        }
+        let _retired = self.log.install(&exec.old_file_ids, new_files.clone());
+        for file in &new_files {
+            self.manifest.add_file(file.clone())?;
+        }
+        self.manifest.collect_garbage(&self.flash_dev);
+
+        let outcome = CompactionOutcome {
+            duration,
+            flash_time,
+            demoted,
+            promoted,
+        };
         self.record_compaction(&outcome);
-        Ok(outcome)
+        Ok(Some(outcome))
     }
 
     fn record_compaction(&mut self, outcome: &CompactionOutcome) {
@@ -640,194 +1219,6 @@ impl Partition {
         self.stats.compaction.fast_tier_time += outcome.duration.saturating_sub(outcome.flash_time);
         self.stats.compaction.demoted_objects += outcome.demoted;
         self.stats.compaction.promoted_objects += outcome.promoted;
-    }
-
-    /// Merge the NVM objects in `[start, end]` with the overlapping SST
-    /// files: demote unpopular NVM objects, drop stale flash versions and
-    /// tombstoned keys, and optionally promote hot flash objects to NVM.
-    fn compact_range(
-        &mut self,
-        start: &Key,
-        end: &Key,
-        force: bool,
-        allow_promote: bool,
-    ) -> Result<CompactionOutcome> {
-        let mut duration = Nanos::ZERO;
-        let mut flash_time = Nanos::ZERO;
-        let tracked = self.tracker.len();
-        let pin_threshold = self.options.pinning_threshold;
-
-        // 1. Select the NVM objects to demote (unpopular ones, or everything
-        //    in forced mode). Tombstones always participate so they can be
-        //    merged away.
-        let in_range: Vec<(Key, IndexEntry)> = self
-            .index
-            .range_from(start)
-            .take_while(|(k, _)| *k <= end)
-            .map(|(k, e)| (k.clone(), *e))
-            .collect();
-        let mut demote: Vec<(Key, IndexEntry)> = Vec::new();
-        for (key, entry) in in_range {
-            let pinned = if force || entry.tombstone {
-                false
-            } else {
-                let clock = self.tracker.clock_of(&key);
-                let decision = self.mapper.pin_decision(clock, pin_threshold, tracked);
-                decision.should_pin(self.planner.draw())
-            };
-            if !pinned {
-                demote.push((key, entry));
-            }
-        }
-
-        // 2. Read the overlapping SST files from flash.
-        let files = self.log.overlapping(start, end);
-        let flash_bytes: u64 = files.iter().map(|f| f.size_bytes()).sum();
-        if flash_bytes > 0 {
-            let t = self.flash_dev.read_sequential(flash_bytes);
-            duration += t;
-            flash_time += t;
-        }
-        let flash_entries: Vec<(Key, SstEntry)> = files
-            .iter()
-            .flat_map(|f| f.iter().map(|(k, e)| (k.clone(), e.clone())))
-            .collect();
-
-        if demote.is_empty() && flash_entries.is_empty() {
-            return Ok(CompactionOutcome::default());
-        }
-
-        // 3. Merge-sort the two sorted streams.
-        duration += self.cpu.merge_per_object * (demote.len() as u64 + flash_entries.len() as u64);
-        let mut merged: Vec<(Key, SstEntry)> = Vec::new();
-        let mut promoted = 0u64;
-        let mut demoted = 0u64;
-        let mut removed_from_flash: Vec<u64> = Vec::new();
-        let mut di = 0usize;
-        let mut fi = 0usize;
-        let nvm_headroom = self.options.low_watermark;
-
-        while di < demote.len() || fi < flash_entries.len() {
-            let take_nvm = match (demote.get(di), flash_entries.get(fi)) {
-                (Some((nk, _)), Some((fk, _))) => nk <= fk,
-                (Some(_), None) => true,
-                (None, Some(_)) => false,
-                (None, None) => break,
-            };
-            if take_nvm {
-                let (key, entry) = &demote[di];
-                let same_key_on_flash = flash_entries
-                    .get(fi)
-                    .map(|(fk, _)| fk == key)
-                    .unwrap_or(false);
-                if same_key_on_flash {
-                    // The flash version is stale: it is dropped by simply
-                    // advancing past it.
-                    fi += 1;
-                }
-                if entry.tombstone {
-                    // Key is deleted everywhere once the merge completes.
-                    removed_from_flash.push(key.id());
-                } else if let Some(slot) = self.slab.peek(entry.addr) {
-                    merged.push((
-                        key.clone(),
-                        SstEntry::value(slot.value.clone(), entry.timestamp),
-                    ));
-                }
-                di += 1;
-            } else {
-                let (key, entry) = &flash_entries[fi];
-                fi += 1;
-                if entry.is_tombstone() {
-                    // Single-level log: a tombstone with no newer version can
-                    // be dropped entirely.
-                    removed_from_flash.push(key.id());
-                    continue;
-                }
-                let promote = allow_promote
-                    && !self.index.contains_key(key)
-                    && self.slab.usage().utilization() < nvm_headroom
-                    && matches!(
-                        self.mapper.pin_decision(
-                            self.tracker.clock_of(key),
-                            pin_threshold,
-                            tracked
-                        ),
-                        PinDecision::Pin
-                    );
-                if promote {
-                    let ts = self.next_ts();
-                    match self.slab.insert(
-                        key.clone(),
-                        entry.value.clone().expect("not a tombstone"),
-                        ts,
-                    ) {
-                        Ok((addr, cost)) => {
-                            duration += cost;
-                            self.index.insert(
-                                key.clone(),
-                                IndexEntry {
-                                    addr,
-                                    timestamp: ts,
-                                    tombstone: false,
-                                },
-                            );
-                            self.buckets.on_nvm_insert(key.id());
-                            self.buckets.on_flash_remove(key.id());
-                            self.tracker.set_location(key, false);
-                            removed_from_flash.push(key.id());
-                            promoted += 1;
-                        }
-                        Err(PrismError::CapacityExceeded { .. }) => {
-                            merged.push((key.clone(), entry.clone()));
-                        }
-                        Err(err) => return Err(err),
-                    }
-                } else {
-                    merged.push((key.clone(), entry.clone()));
-                }
-            }
-        }
-
-        // 4. Write the merged output as new SST files.
-        let (new_files, write_cost) = self.write_sst_files(&merged)?;
-        duration += write_cost;
-        flash_time += write_cost;
-
-        // 5. Apply metadata updates: demoted keys leave NVM, new flash keys
-        //    are recorded, old files are retired.
-        for (key, entry) in &demote {
-            self.slab.remove(entry.addr)?;
-            self.index.remove(key);
-            self.buckets.on_nvm_remove(key.id());
-            if !entry.tombstone {
-                self.tracker.set_location(key, true);
-                demoted += 1;
-            }
-        }
-        for (key, _) in &merged {
-            self.buckets.on_flash_insert(key.id());
-        }
-        for key_id in removed_from_flash {
-            self.buckets.on_flash_remove(key_id);
-        }
-        let old_ids: Vec<u64> = files.iter().map(|f| f.id()).collect();
-        for id in &old_ids {
-            self.manifest.remove_file(*id)?;
-        }
-        let _retired = self.log.install(&old_ids, new_files.clone());
-        for file in &new_files {
-            self.manifest.add_file(file.clone())?;
-        }
-        drop(files);
-        self.manifest.collect_garbage(&self.flash_dev);
-
-        Ok(CompactionOutcome {
-            duration,
-            flash_time,
-            demoted,
-            promoted,
-        })
     }
 
     fn write_sst_files(
@@ -865,10 +1256,19 @@ impl Partition {
     /// Simulate a crash (losing all DRAM state) followed by recovery: the
     /// B-tree index is rebuilt from a scan of the NVM slabs, keeping only
     /// the newest timestamp per key, and the bucket map is reconstructed
-    /// from the slab scan plus the flash manifest. Returns the simulated
-    /// recovery time.
+    /// from the slab scan plus the flash manifest. Any in-flight
+    /// background compaction job is implicitly aborted: the epoch bump
+    /// makes its install a no-op, and since execution never mutates
+    /// partition state the partition recovers to exactly its last
+    /// installed state. Returns the simulated recovery time.
     pub(crate) fn crash_and_recover(&mut self) -> Nanos {
-        self.cache.clear();
+        self.epoch += 1;
+        self.promote_pending = false;
+        self.lock_cache().clear();
+        {
+            let mut rs = self.lock_read_side();
+            *rs = ReadSideState::default();
+        }
         self.index.clear();
         let tracker_capacity =
             (self.options.tracker_capacity() / self.options.num_partitions).max(8);
@@ -919,7 +1319,7 @@ impl Partition {
             self.buckets.on_flash_insert(key.id());
         }
         self.next_timestamp = max_ts + 1;
-        self.fg += cost;
+        self.advance_fg(cost);
         cost
     }
 }
@@ -1111,6 +1511,105 @@ mod tests {
         assert!(stats.compaction.jobs > 0);
         assert!(stats.compaction.total_time > Nanos::ZERO);
         assert!(stats.user_bytes_written >= keys * 1000);
-        assert!(p.elapsed() >= p.fg);
+        assert!(p.elapsed() >= p.fg());
+    }
+
+    #[test]
+    fn stall_accounting_identities_hold_under_pressure() {
+        // The satellite invariants: compaction time splits exactly into
+        // fast- and slow-tier time, and total foreground stalls can never
+        // exceed the partition's elapsed virtual time (the fix: stalls are
+        // measured from the op's position `fg + accrued`, not from `fg`,
+        // so a forced reclamation and the watermark check in the same op
+        // cannot double-charge the same wait).
+        let keys = 3_000u64;
+        let mut p = partition(keys);
+        for round in 0..4u64 {
+            for id in 0..keys {
+                p.put(
+                    Key::from_id(id % (keys * 2)),
+                    Value::filled(1000, round as u8),
+                )
+                .unwrap();
+            }
+        }
+        let stats = p.stats().compaction;
+        assert!(stats.stall_time > Nanos::ZERO, "pressure must cause stalls");
+        assert_eq!(
+            stats.total_time,
+            stats.fast_tier_time + stats.slow_tier_time,
+            "compaction time must split exactly into tier times"
+        );
+        assert!(
+            stats.stall_time <= p.elapsed(),
+            "stalls ({:?}) cannot exceed elapsed virtual time ({:?})",
+            stats.stall_time,
+            p.elapsed()
+        );
+    }
+
+    #[test]
+    fn install_skips_entries_rewritten_by_the_foreground() {
+        let keys = 3_000u64;
+        let mut p = partition(keys);
+        for id in 0..keys {
+            p.put(Key::from_id(id), Value::filled(900, 1)).unwrap();
+        }
+        // Plan a forced demotion covering everything, then update one of
+        // the planned victims and delete another before installing.
+        let job = p
+            .plan_demotion(true, p.fg())
+            .expect("loaded partition must yield a job");
+        let updated = job.demote[0].key.clone();
+        let deleted = job
+            .demote
+            .iter()
+            .map(|d| d.key.clone())
+            .find(|k| *k != updated)
+            .expect("job demotes more than one key");
+        let cpu = p.cpu;
+        let dev = p.flash_dev.clone();
+        p.put(updated.clone(), Value::filled(900, 77)).unwrap();
+        p.delete(&deleted).unwrap();
+
+        let exec = execute_job(job, &cpu, &dev);
+        let outcome = p
+            .install_compaction(exec)
+            .unwrap()
+            .expect("same epoch: job installs");
+        assert!(outcome.duration > Nanos::ZERO);
+        // The interleaved update wins and the deleted key stays dead: the
+        // stale planned versions must neither clobber NVM nor resurface
+        // from the rewritten flash files.
+        let got = p.get(&updated).unwrap();
+        assert_eq!(got.value.expect("updated key lives").as_bytes()[0], 77);
+        assert!(p.get(&deleted).unwrap().value.is_none());
+        // Still true after dropping all DRAM state.
+        p.crash_and_recover();
+        assert_eq!(
+            p.get(&updated).unwrap().value.expect("survives").as_bytes()[0],
+            77
+        );
+        assert!(p.get(&deleted).unwrap().value.is_none());
+    }
+
+    #[test]
+    fn stale_epoch_jobs_are_discarded() {
+        let keys = 2_000u64;
+        let mut p = partition(keys);
+        for id in 0..keys {
+            p.put(Key::from_id(id), Value::filled(900, 1)).unwrap();
+        }
+        let job = p.plan_demotion(true, p.fg()).expect("job");
+        let cpu = p.cpu;
+        let dev = p.flash_dev.clone();
+        let exec = execute_job(job, &cpu, &dev);
+        // A crash between execute and install aborts the job.
+        p.crash_and_recover();
+        let nvm_before = p.nvm_object_count();
+        let flash_before = p.flash_object_count();
+        assert!(p.install_compaction(exec).unwrap().is_none());
+        assert_eq!(p.nvm_object_count(), nvm_before);
+        assert_eq!(p.flash_object_count(), flash_before);
     }
 }

@@ -1,0 +1,349 @@
+//! Background compaction worker pool.
+//!
+//! When `Options::compaction_workers > 0`, the engine spawns that many OS
+//! worker threads sharing one [`Scheduler`]. Foreground operations that
+//! trip the NVM high watermark enqueue a [`JobRequest`] and return
+//! immediately; a worker picks the request up, drives the partition's
+//! *plan → execute → install* pipeline (holding the partition's write lock
+//! only for the plan and install phases), and repeats until the partition
+//! drops below its low watermark. At most one worker operates on a given
+//! partition at a time, so jobs for a partition are serialised and a job's
+//! victim files can never be retired underneath it (the install-time epoch
+//! and file-liveness checks make even that race safe by construction).
+//!
+//! Virtual-time accounting mirrors the real thread structure: the
+//! scheduler keeps one virtual clock per worker, and each installed job is
+//! assigned to the least-loaded virtual worker starting no earlier than
+//! the foreground time that triggered it and the partition's previous
+//! background completion. The busiest virtual worker becomes the third
+//! term of the benchmark harness's makespan lower bound.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use prism_compaction::execute_job;
+use prism_types::Nanos;
+
+use crate::engine::EngineShared;
+use crate::partition::CompactionOutcome;
+
+/// A request for background work on one partition.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct JobRequest {
+    /// Partition to work on.
+    pub partition: usize,
+    /// What to do.
+    pub kind: RequestKind,
+    /// Foreground virtual time when the request was raised.
+    pub trigger_fg: Nanos,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RequestKind {
+    /// Free NVM space (watermark tripped).
+    Demote,
+    /// Read-triggered promotion compaction.
+    Promote,
+}
+
+/// Queued/in-flight flags per partition (dedup: at most one queued request
+/// per kind, at most one worker per partition).
+#[derive(Debug, Default, Clone, Copy)]
+struct Pending {
+    demote_queued: bool,
+    promote_queued: bool,
+    inflight: bool,
+}
+
+struct SchedState {
+    queue: VecDeque<JobRequest>,
+    pending: Vec<Pending>,
+    shutdown: bool,
+}
+
+pub(crate) struct Scheduler {
+    state: Mutex<SchedState>,
+    work_cv: Condvar,
+    /// Progress generation: bumped after every install attempt so
+    /// foreground waiters (back-pressure, capacity retries) can sleep
+    /// until "some background progress happened".
+    generation: Mutex<u64>,
+    generation_cv: Condvar,
+    /// One virtual clock per worker; compaction durations are packed onto
+    /// the least-loaded clock at install time.
+    virtual_clocks: Mutex<Vec<Nanos>>,
+    queue_depth: AtomicU64,
+    max_queue_depth: AtomicU64,
+}
+
+impl Scheduler {
+    pub(crate) fn new(partitions: usize, workers: usize) -> Self {
+        Scheduler {
+            state: Mutex::new(SchedState {
+                queue: VecDeque::new(),
+                pending: vec![Pending::default(); partitions],
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            generation: Mutex::new(0),
+            generation_cv: Condvar::new(),
+            virtual_clocks: Mutex::new(vec![Nanos::ZERO; workers.max(1)]),
+            queue_depth: AtomicU64::new(0),
+            max_queue_depth: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueue a request unless an identical one is already queued.
+    pub(crate) fn enqueue(&self, req: JobRequest) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if state.shutdown {
+            return;
+        }
+        let pending = &mut state.pending[req.partition];
+        let already = match req.kind {
+            RequestKind::Demote => pending.demote_queued,
+            RequestKind::Promote => pending.promote_queued,
+        };
+        if already {
+            return;
+        }
+        match req.kind {
+            RequestKind::Demote => pending.demote_queued = true,
+            RequestKind::Promote => pending.promote_queued = true,
+        }
+        state.queue.push_back(req);
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+        self.work_cv.notify_one();
+    }
+
+    /// Block until a request for a partition nobody else is working on is
+    /// available; `None` on shutdown.
+    fn next_request(&self) -> Option<JobRequest> {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if state.shutdown {
+                return None;
+            }
+            let pos = state
+                .queue
+                .iter()
+                .position(|r| !state.pending[r.partition].inflight);
+            if let Some(pos) = pos {
+                let req = state.queue.remove(pos).expect("position just found");
+                let pending = &mut state.pending[req.partition];
+                match req.kind {
+                    RequestKind::Demote => pending.demote_queued = false,
+                    RequestKind::Promote => pending.promote_queued = false,
+                }
+                pending.inflight = true;
+                self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                return Some(req);
+            }
+            state = self.work_cv.wait(state).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Mark a partition's in-flight work finished and wake a worker in
+    /// case requests for that partition were skipped while it ran.
+    fn finish(&self, partition: usize) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        state.pending[partition].inflight = false;
+        if state.queue.iter().any(|r| r.partition == partition) {
+            self.work_cv.notify_one();
+        }
+    }
+
+    pub(crate) fn shutdown(&self) {
+        {
+            let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+            state.shutdown = true;
+        }
+        self.work_cv.notify_all();
+        self.bump_generation();
+    }
+
+    pub(crate) fn generation(&self) -> u64 {
+        *self.generation.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn bump_generation(&self) {
+        let mut gen = self.generation.lock().unwrap_or_else(|p| p.into_inner());
+        *gen += 1;
+        self.generation_cv.notify_all();
+    }
+
+    /// Wait (bounded) until the progress generation moves past `seen`.
+    pub(crate) fn wait_past(&self, seen: u64, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        let mut gen = self.generation.lock().unwrap_or_else(|p| p.into_inner());
+        while *gen <= seen {
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            let (guard, _) = self
+                .generation_cv
+                .wait_timeout(gen, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            gen = guard;
+        }
+    }
+
+    /// Charge `duration` of compaction work to the least-loaded virtual
+    /// worker. The clocks are pure load tallies: with `W` workers the
+    /// busiest clock approaches `total compaction work / W`, which is the
+    /// schedule lower bound the benchmark harness folds into its makespan.
+    /// Partition-local ordering (jobs of one partition serialise) is
+    /// expressed on the partition's own `busy_until` timeline instead —
+    /// mixing per-partition virtual instants onto shared clocks would
+    /// compare unsynchronised timelines.
+    fn tally_virtual(&self, duration: Nanos) {
+        let mut clocks = self
+            .virtual_clocks
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        let idx = clocks
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| **c)
+            .map(|(i, _)| i)
+            .expect("at least one virtual worker");
+        clocks[idx] += duration;
+    }
+
+    /// Cumulative virtual time per background worker.
+    pub(crate) fn worker_times(&self) -> Vec<Nanos> {
+        self.virtual_clocks
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    pub(crate) fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn max_queue_depth(&self) -> u64 {
+        self.max_queue_depth.load(Ordering::Relaxed)
+    }
+}
+
+/// Execute and install one planned job; returns the outcome, or `None` if
+/// the partition discarded it (stale epoch / retired files).
+fn execute_and_install(
+    shared: &EngineShared,
+    partition: usize,
+    job: prism_compaction::CompactionJob,
+) -> Option<CompactionOutcome> {
+    let trigger_fg = job.trigger_fg;
+    let exec = execute_job(job, &shared.storage.cpu, &shared.storage.flash);
+    let mut guard = shared.write_partition(partition);
+    let installed = guard
+        .install_compaction(exec)
+        .expect("background install must not corrupt partition state");
+    installed.map(|outcome| {
+        // The partition's background completion time chains on its own
+        // virtual timeline, exactly like inline mode: a job starts no
+        // earlier than the foreground instant that triggered it and the
+        // partition's previous job.
+        let end = trigger_fg.max(guard.busy_until()) + outcome.duration;
+        guard.set_busy_until(end);
+        guard.note_overlap(outcome.duration);
+        shared.scheduler().tally_virtual(outcome.duration);
+        outcome
+    })
+}
+
+/// Demote until the partition drops below its low watermark (with the same
+/// natural→forced escalation as inline mode).
+fn run_demotions(shared: &EngineShared, req: JobRequest) {
+    let sched = shared.scheduler();
+    let p = req.partition;
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        if rounds > 128 {
+            break;
+        }
+        let job = shared
+            .write_partition(p)
+            .plan_demotion(false, req.trigger_fg);
+        let Some(job) = job else { break };
+        let outcome = execute_and_install(shared, p, job);
+        sched.bump_generation();
+        let Some(outcome) = outcome else { break };
+        if outcome.demoted == 0 {
+            let job = shared
+                .write_partition(p)
+                .plan_demotion(true, req.trigger_fg);
+            let Some(job) = job else { break };
+            let forced = execute_and_install(shared, p, job);
+            sched.bump_generation();
+            match forced {
+                Some(f) if f.demoted > 0 => {}
+                _ => break,
+            }
+        }
+        if shared.read_partition(p).nvm_utilization() <= shared.options.low_watermark {
+            break;
+        }
+    }
+}
+
+fn run_promotion(shared: &EngineShared, req: JobRequest) {
+    let sched = shared.scheduler();
+    let job = shared
+        .write_partition(req.partition)
+        .plan_promotion(req.trigger_fg);
+    if let Some(job) = job {
+        execute_and_install(shared, req.partition, job);
+    }
+    sched.bump_generation();
+}
+
+/// Clears a partition's in-flight flag (and wakes waiters) when dropped,
+/// so even a panicking job cannot leave the partition permanently marked
+/// busy — which would silently disable background compaction for it.
+struct FinishGuard<'a> {
+    sched: &'a Scheduler,
+    partition: usize,
+}
+
+impl Drop for FinishGuard<'_> {
+    fn drop(&mut self) {
+        self.sched.finish(self.partition);
+        self.sched.bump_generation();
+    }
+}
+
+/// Main loop of one background worker thread.
+pub(crate) fn worker_loop(shared: Arc<EngineShared>) {
+    let sched = shared.scheduler();
+    while let Some(req) = sched.next_request() {
+        let finish = FinishGuard {
+            sched,
+            partition: req.partition,
+        };
+        match req.kind {
+            RequestKind::Demote => run_demotions(&shared, req),
+            RequestKind::Promote => run_promotion(&shared, req),
+        }
+        drop(finish);
+        // Requests raised while this partition was in flight were deduped
+        // away; re-check the watermark so pressure is never dropped.
+        let (util, fg) = {
+            let p = shared.read_partition(req.partition);
+            (p.nvm_utilization(), p.fg())
+        };
+        if util >= shared.options.high_watermark {
+            sched.enqueue(JobRequest {
+                partition: req.partition,
+                kind: RequestKind::Demote,
+                trigger_fg: fg,
+            });
+        }
+    }
+}

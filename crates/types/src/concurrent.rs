@@ -94,6 +94,26 @@ pub trait ConcurrentKvStore: Send + Sync {
     fn shards_for_scan(&self, _start: &Key) -> std::ops::Range<usize> {
         0..self.shard_count()
     }
+
+    /// Whether point reads (and scans) on the *same* shard can proceed in
+    /// parallel with each other. Engines that protect each shard with a
+    /// reader-writer lock return `true`; engines that serialise every
+    /// operation on a shard (a plain mutex per shard, or one global lock)
+    /// keep the default `false`. Harness queueing models use this to decide
+    /// whether read latencies count towards a shard's serial work.
+    fn concurrent_reads(&self) -> bool {
+        false
+    }
+
+    /// Cumulative simulated time consumed by each virtual background
+    /// compaction worker, indexed by worker. Engines that compact inline on
+    /// the triggering client thread (charging stalls instead) return an
+    /// empty vector. Harnesses extend the makespan lower bound with the
+    /// busiest worker's delta over the measured window:
+    /// `max(busiest client, busiest shard, busiest background worker)`.
+    fn background_worker_times(&self) -> Vec<Nanos> {
+        Vec::new()
+    }
 }
 
 /// `Arc<E>` is itself a concurrent engine: every clone addresses the same
@@ -138,6 +158,14 @@ impl<E: ConcurrentKvStore + ?Sized> ConcurrentKvStore for Arc<E> {
 
     fn shards_for_scan(&self, start: &Key) -> std::ops::Range<usize> {
         (**self).shards_for_scan(start)
+    }
+
+    fn concurrent_reads(&self) -> bool {
+        (**self).concurrent_reads()
+    }
+
+    fn background_worker_times(&self) -> Vec<Nanos> {
+        (**self).background_worker_times()
     }
 }
 

@@ -56,6 +56,19 @@ pub struct CompactionStats {
     pub promoted_objects: u64,
     /// Total foreground write-stall time caused by background work.
     pub stall_time: Nanos,
+    /// Simulated compaction time that was executed on background workers
+    /// and therefore overlapped with foreground service instead of
+    /// stalling it. Zero for engines that compact inline.
+    pub overlap_time: Nanos,
+    /// Number of foreground operations that hit the back-pressure ceiling
+    /// and had to wait for a background worker to free space.
+    pub backpressure_stalls: u64,
+    /// Instantaneous number of compaction jobs waiting for a background
+    /// worker (a gauge: `delta_since` keeps the later snapshot's value).
+    pub queue_depth: u64,
+    /// Highest queue depth observed so far (a cumulative high-water mark;
+    /// `delta_since` keeps the later snapshot's value).
+    pub max_queue_depth: u64,
 }
 
 impl CompactionStats {
@@ -71,6 +84,13 @@ impl CompactionStats {
                 .promoted_objects
                 .saturating_sub(earlier.promoted_objects),
             stall_time: self.stall_time.saturating_sub(earlier.stall_time),
+            overlap_time: self.overlap_time.saturating_sub(earlier.overlap_time),
+            backpressure_stalls: self
+                .backpressure_stalls
+                .saturating_sub(earlier.backpressure_stalls),
+            // Gauges, not counters: report the state at the later snapshot.
+            queue_depth: self.queue_depth,
+            max_queue_depth: self.max_queue_depth,
         }
     }
 }
@@ -207,9 +227,18 @@ mod tests {
         later.compaction.jobs = 5;
         later.compaction.total_time = Nanos::from_micros(10);
         later.reads_per_level[1] = 9;
+        later.compaction.overlap_time = Nanos::from_micros(4);
+        later.compaction.backpressure_stalls = 2;
+        later.compaction.queue_depth = 3;
+        later.compaction.max_queue_depth = 7;
         let delta = later.delta_since(&earlier);
         assert_eq!(delta.reads_from_flash, 15);
         assert_eq!(delta.compaction.jobs, 3);
         assert_eq!(delta.reads_per_level[1], 5);
+        assert_eq!(delta.compaction.overlap_time, Nanos::from_micros(4));
+        assert_eq!(delta.compaction.backpressure_stalls, 2);
+        // Gauges report the later snapshot, not a difference.
+        assert_eq!(delta.compaction.queue_depth, 3);
+        assert_eq!(delta.compaction.max_queue_depth, 7);
     }
 }

@@ -1,10 +1,18 @@
 //! Differential (model-based) testing: PrismDB (hash- and range-
-//! partitioned), the multi-tier LSM baseline and the `MemStore` oracle are
-//! driven with the same seeded random mixed operation stream, and their
-//! visible state (point lookups and range scans) must be identical after
-//! every batch. Any divergence — tombstones resurfacing, stale flash
-//! versions winning a merge, cross-partition scans dropping or duplicating
-//! keys — fails deterministically with the seed printed in the assertion.
+//! partitioned, with inline and background compaction), the multi-tier
+//! LSM baseline and the `MemStore` oracle are driven with the same seeded
+//! random mixed operation stream, and their visible state (point lookups
+//! and range scans) must be identical after every batch. Any divergence —
+//! tombstones resurfacing, stale flash versions winning a merge,
+//! cross-partition scans dropping or duplicating keys, a background
+//! compaction job clobbering a foreground write it raced with — fails
+//! deterministically with the seed printed in the assertion.
+//!
+//! The background-compaction engine is crashed *mid-run* (while its job
+//! queue and workers are busy): recovery must land on exactly the
+//! oracle's state, proving an interrupted plan/execute/install pipeline
+//! recovers to either the old or the new state, never a half-compacted
+//! one.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -23,6 +31,10 @@ const OPS_PER_SEED: usize = 10_000;
 const BATCH: usize = 1_000;
 
 fn prism_engine(partitioning: Partitioning) -> PrismDb {
+    prism_engine_with_workers(partitioning, 0)
+}
+
+fn prism_engine_with_workers(partitioning: Partitioning, workers: usize) -> PrismDb {
     let mut options = Options::scaled_default(KEY_SPACE);
     options.num_partitions = 3;
     options.partitioning = partitioning;
@@ -32,6 +44,7 @@ fn prism_engine(partitioning: Partitioning) -> PrismDb {
     // on read-heavy phases, promotions) run constantly mid-test.
     options.nvm_capacity_bytes = 256 * 1024;
     options.nvm_profile.capacity_bytes = 256 * 1024;
+    options.compaction_workers = workers;
     PrismDb::open(options).expect("valid options")
 }
 
@@ -145,15 +158,20 @@ fn run_seed(seed: u64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut prism_hash = prism_engine(Partitioning::Hash);
     let mut prism_range = prism_engine(Partitioning::Range);
+    // The background-compaction engine sees the *identical* op stream:
+    // demotions/promotions race the foreground on real worker threads, yet
+    // visible state must stay equal to the inline engines and the oracle.
+    let mut prism_bg = prism_engine_with_workers(Partitioning::Hash, 2);
     let mut lsm = lsm_engine();
     let mut oracle = MemStore::default();
 
     for ops_done in 0..OPS_PER_SEED {
         let op = random_op(&mut rng);
         let (oracle_read, oracle_scan) = apply(&mut oracle, &op);
-        let mut engines: [(&str, &mut dyn KvStore); 3] = [
+        let mut engines: [(&str, &mut dyn KvStore); 4] = [
             ("prismdb-hash", &mut prism_hash),
             ("prismdb-range", &mut prism_range),
+            ("prismdb-bg", &mut prism_bg),
             ("rocksdb-het", &mut lsm),
         ];
         for (name, engine) in engines.iter_mut() {
@@ -170,15 +188,24 @@ fn run_seed(seed: u64) {
         if (ops_done + 1) % BATCH == 0 {
             assert_state_matches(&mut engines, &mut oracle, seed, ops_done + 1);
         }
+        if (ops_done + 1) == OPS_PER_SEED / 2 {
+            // Crash the background engine mid-run: with constant pressure
+            // the job queue / workers are likely mid-job, so this
+            // exercises recovery with compactions in flight (stale-epoch
+            // jobs must be discarded, not half-applied).
+            prism_bg.crash_and_recover();
+        }
     }
 
-    // Final sweep, including after a crash of both PrismDB instances:
+    // Final sweep, including after a crash of every PrismDB instance:
     // recovery must reproduce exactly the oracle's state.
     prism_hash.crash_and_recover();
     prism_range.crash_and_recover();
-    let mut engines: [(&str, &mut dyn KvStore); 3] = [
+    prism_bg.crash_and_recover();
+    let mut engines: [(&str, &mut dyn KvStore); 4] = [
         ("prismdb-hash (recovered)", &mut prism_hash),
         ("prismdb-range (recovered)", &mut prism_range),
+        ("prismdb-bg (recovered)", &mut prism_bg),
         ("rocksdb-het", &mut lsm),
     ];
     assert_state_matches(&mut engines, &mut oracle, seed, OPS_PER_SEED);
