@@ -1,0 +1,9 @@
+//! Write batching / group commit sweep (client batch size × workload ×
+//! threads), emitting `BENCH_write_batching.json`.
+
+use prism_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    experiments::write_batching::run(&scale);
+}

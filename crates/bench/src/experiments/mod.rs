@@ -21,6 +21,7 @@ pub mod scalability;
 pub mod table1_devices;
 pub mod table2_single_vs_multi;
 pub mod table5_twitter;
+pub mod write_batching;
 
 use crate::{RunConfig, Scale};
 
@@ -53,5 +54,6 @@ pub fn run_all(scale: &Scale) -> Vec<crate::Table> {
     tables.extend(table5_twitter::run(scale));
     tables.extend(scalability::run(scale));
     tables.extend(background_compaction::run(scale));
+    tables.extend(write_batching::run(scale));
     tables
 }

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use prism_types::{ConcurrentKvStore, EngineStats, KvStore, Nanos, Op, OpKind, Result};
+use prism_types::{ConcurrentKvStore, EngineStats, KvStore, Nanos, Op, OpKind, Result, WriteBatch};
 use prism_workloads::{OpStream, Workload};
 
 /// Sizing of one experiment run.
@@ -278,6 +278,8 @@ pub struct ThreadedRunResult {
     pub workload: String,
     /// Number of client threads.
     pub threads: usize,
+    /// Client write-batch size (1 = per-op submission).
+    pub batch_size: usize,
     /// Total operations measured across all threads.
     pub measured_ops: u64,
     /// Aggregate throughput in thousands of operations per simulated
@@ -381,7 +383,43 @@ impl Runner {
         workload: &Workload,
         threads: usize,
     ) -> ThreadedRunResult {
+        self.run_threaded_batched(engine, workload, threads, 1)
+    }
+
+    /// [`Runner::run_threaded`] with client-side write batching: each
+    /// client buffers write-class operations (updates, inserts, deletes,
+    /// the write half of RMWs) into a [`WriteBatch`] and submits it via
+    /// [`ConcurrentKvStore::apply_batch`] once `batch_size` entries have
+    /// accumulated (reads and scans are issued immediately). With
+    /// `batch_size <= 1` this is exactly the per-op model.
+    ///
+    /// Semantics: batched writes are *write-behind* — a read issued while
+    /// writes are still buffered does not see them. YCSB's write-class
+    /// operations are blind, so the measured mixes are unaffected, but
+    /// recency-skewed reads (YCSB-D) may miss freshly inserted keys; the
+    /// correctness of `apply_batch` itself is pinned by the differential
+    /// and property-test suites, which chunk op streams with
+    /// read-your-writes flushes.
+    ///
+    /// Accounting: a batch's simulated latency is charged once to the
+    /// submitting client's closed-loop clock, and to the shards it
+    /// touched proportionally to each shard's share of the batch entries
+    /// (the engine applies one serial group per shard; the proportional
+    /// split attributes the group-commit amortisation to the shards that
+    /// earned it). Batched writes always count as exclusive shard work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine returns an error or `threads` is zero.
+    pub fn run_threaded_batched<E: ConcurrentKvStore>(
+        &self,
+        engine: &E,
+        workload: &Workload,
+        threads: usize,
+        batch_size: usize,
+    ) -> ThreadedRunResult {
         assert!(threads > 0, "at least one client thread is required");
+        let batch_size = batch_size.max(1);
         let spec = Workload {
             record_count: self.config.record_count,
             ..workload.clone()
@@ -433,9 +471,74 @@ impl Runner {
                 handles.push(scope.spawn(move || {
                     let mut stream = spec.stream(seed);
                     let mut clock = 0u64;
+                    // Pending client-side write batch and the shard of
+                    // each buffered entry (parallel to the batch).
+                    let mut batch = WriteBatch::with_capacity(batch_size);
+                    let mut batch_shard_ops: Vec<u64> = vec![0; shard_count];
+                    let flush = |batch: &mut WriteBatch,
+                                 batch_shard_ops: &mut Vec<u64>,
+                                 clock: &mut u64| {
+                        if batch.is_empty() {
+                            return;
+                        }
+                        let entries = batch.len() as u64;
+                        let latency = engine
+                            .apply_batch(std::mem::take(batch))
+                            .expect("batched writes must not fail")
+                            .as_nanos();
+                        *clock += latency;
+                        // Charge each shard its proportional share of
+                        // the batch's serial work; writes are always
+                        // exclusive.
+                        for (s, count) in batch_shard_ops.iter_mut().enumerate() {
+                            if *count == 0 {
+                                continue;
+                            }
+                            let share = latency * *count / entries;
+                            shard_all[s].fetch_add(share, Ordering::Relaxed);
+                            shard_excl[s].fetch_add(share, Ordering::Relaxed);
+                            *count = 0;
+                        }
+                    };
                     for _ in 0..ops_per_thread {
                         let op = stream.next().expect("stream is infinite");
                         let shard = engine.shard_of(op.key());
+                        if batch_size > 1 {
+                            // Buffer write-class work; RMW reads fall
+                            // through to the immediate path below.
+                            let buffered = match &op {
+                                Op::Update(key, value) | Op::Insert(key, value) => {
+                                    batch.put(key.clone(), value.clone());
+                                    true
+                                }
+                                Op::Delete(key) => {
+                                    batch.delete(key.clone());
+                                    true
+                                }
+                                Op::ReadModifyWrite(key, value) => {
+                                    let read = engine
+                                        .get(key)
+                                        .expect("rmw read must not fail")
+                                        .latency
+                                        .as_nanos();
+                                    clock += read;
+                                    shard_all[shard].fetch_add(read, Ordering::Relaxed);
+                                    if !concurrent_reads {
+                                        shard_excl[shard].fetch_add(read, Ordering::Relaxed);
+                                    }
+                                    batch.put(key.clone(), value.clone());
+                                    true
+                                }
+                                Op::Read(_) | Op::Scan(_, _) => false,
+                            };
+                            if buffered {
+                                batch_shard_ops[shard] += 1;
+                                if batch.len() >= batch_size {
+                                    flush(&mut batch, &mut batch_shard_ops, &mut clock);
+                                }
+                                continue;
+                            }
+                        }
                         let is_scan = matches!(op, Op::Scan(_, _));
                         let is_read = matches!(op, Op::Read(_));
                         let latency = Self::apply_shared(engine, &op)
@@ -463,6 +566,7 @@ impl Runner {
                             }
                         }
                     }
+                    flush(&mut batch, &mut batch_shard_ops, &mut clock);
                     Nanos::from_nanos(clock)
                 }));
             }
@@ -495,6 +599,7 @@ impl Runner {
             engine: engine.engine_name().to_string(),
             workload: spec.name.clone(),
             threads,
+            batch_size,
             measured_ops,
             throughput_kops: if elapsed.is_zero() {
                 0.0

@@ -7,8 +7,8 @@ use std::time::Duration;
 
 use prism_storage::TieredStorage;
 use prism_types::{
-    ConcurrentKvStore, EngineStats, Key, KvStore, Lookup, Nanos, PrismError, Result, ScanResult,
-    Value,
+    BatchOp, ConcurrentKvStore, EngineStats, Key, KvStore, Lookup, Nanos, PrismError, Result,
+    ScanResult, Value, WriteBatch,
 };
 
 use crate::options::{Options, Partitioning};
@@ -389,6 +389,28 @@ impl PrismDb {
         Ok(self.shared.write_partition(idx).charge_backpressure_stall())
     }
 
+    /// Apply one partition's sub-batch and run the engine-level
+    /// after-write bookkeeping once for the whole group (watermark
+    /// enqueue / back-pressure in background mode). Returns the group's
+    /// charged latency.
+    fn apply_partition_group(&self, idx: usize, entries: Vec<BatchOp>) -> Result<Nanos> {
+        let merge = self.shared.options.merge_batch_duplicates;
+        // The sub-batch applies under one continuous write-lock hold;
+        // capacity shortfalls mid-group are reclaimed inline by the
+        // partition (never by unlocking and waiting), which preserves the
+        // all-or-nothing contract per partition.
+        let mut cost = self
+            .shared
+            .write_partition(idx)
+            .apply_group(entries, merge)?;
+        if self.shared.background() {
+            // One watermark check per partition per batch → at most one
+            // demotion enqueue per touched partition.
+            cost += self.after_background_write(idx)?;
+        }
+        Ok(cost)
+    }
+
     /// Drain read-side pressure on a partition after a read: apply the
     /// buffered tracker updates and run (inline) or enqueue (background)
     /// any due promotion compaction.
@@ -457,6 +479,66 @@ impl ConcurrentKvStore for PrismDb {
         self.background_write(idx, move |p| p.delete(&key))
     }
 
+    /// Apply a [`WriteBatch`] with per-partition group commit.
+    ///
+    /// Entries are grouped by partition (preserving their relative order,
+    /// so a later entry for the same key wins) and each group installs
+    /// under a single continuous write-lock hold: one read-side
+    /// tracker/CLOCK drain, one request overhead, merged slab writes for
+    /// duplicate keys, and one watermark check — hence at most one
+    /// compaction run (inline) or demotion enqueue (background) per
+    /// touched partition per batch.
+    ///
+    /// # Atomicity
+    ///
+    /// Each partition's sub-batch is all-or-nothing with respect to
+    /// concurrent readers and to [`PrismDb::crash_and_recover`] (recovery
+    /// takes the same write lock, so it observes the group either fully
+    /// applied — and durable, writes persist to NVM synchronously — or
+    /// not at all). The batch is **not** atomic across partitions:
+    /// partition locks are taken one at a time in ascending order and
+    /// released between groups.
+    fn apply_batch(&self, batch: WriteBatch) -> Result<Nanos> {
+        if batch.is_empty() {
+            return Ok(Nanos::ZERO);
+        }
+        // Validate every entry before applying anything, so an oversized
+        // value cannot leave a batch half-applied. The bound is the
+        // engine's *configured* largest slot class, which may be tighter
+        // than the global object cap.
+        let max_slot = self
+            .shared
+            .options
+            .slab_slot_sizes
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0) as usize;
+        let max_value = max_slot.min(prism_nvm::MAX_OBJECT_SIZE);
+        for op in batch.entries() {
+            if let BatchOp::Put(_, value) = op {
+                if value.len() > max_value {
+                    return Err(PrismError::ObjectTooLarge {
+                        size: value.len(),
+                        max: max_value,
+                    });
+                }
+            }
+        }
+        let mut groups: Vec<Vec<BatchOp>> = vec![Vec::new(); self.partition_count()];
+        for op in batch {
+            groups[self.partition_for(op.key())].push(op);
+        }
+        let mut total = Nanos::ZERO;
+        for (idx, entries) in groups.into_iter().enumerate() {
+            if entries.is_empty() {
+                continue;
+            }
+            total += self.apply_partition_group(idx, entries)?;
+        }
+        Ok(total)
+    }
+
     fn scan(&self, start: &Key, count: usize) -> Result<ScanResult> {
         // Both branches acquire partition read locks in ascending
         // partition order and hold every acquired lock until the scan
@@ -519,6 +601,9 @@ impl ConcurrentKvStore for PrismDb {
             stats.reads_from_flash += p.reads_from_flash;
             stats.reads_not_found += p.reads_not_found;
             stats.user_bytes_written += p.user_bytes_written;
+            stats.batch_groups += p.batch_groups;
+            stats.batch_entries += p.batch_entries;
+            stats.batch_merged_writes += p.batch_merged_writes;
             stats.compaction.jobs += p.compaction.jobs;
             stats.compaction.total_time += p.compaction.total_time;
             stats.compaction.fast_tier_time += p.compaction.fast_tier_time;
@@ -532,6 +617,7 @@ impl ConcurrentKvStore for PrismDb {
         if let Some(sched) = &self.shared.sched {
             stats.compaction.queue_depth = sched.queue_depth();
             stats.compaction.max_queue_depth = sched.max_queue_depth();
+            stats.compaction.enqueued_jobs = sched.enqueued_total();
         }
         stats
     }
@@ -597,6 +683,10 @@ impl KvStore for PrismDb {
 
     fn scan(&mut self, start: &Key, count: usize) -> Result<ScanResult> {
         ConcurrentKvStore::scan(self, start, count)
+    }
+
+    fn apply_batch(&mut self, batch: WriteBatch) -> Result<Nanos> {
+        ConcurrentKvStore::apply_batch(self, batch)
     }
 
     fn stats(&self) -> EngineStats {
@@ -881,6 +971,137 @@ mod tests {
                 8
             );
         }
+    }
+
+    #[test]
+    fn apply_batch_groups_by_partition_and_matches_per_op_semantics() {
+        let db = small_db(2_000, 4);
+        let mut batch = WriteBatch::new();
+        for id in 0..200u64 {
+            batch.put(Key::from_id(id * 7 % 2_000), Value::filled(256, id as u8));
+        }
+        batch.delete(Key::from_id(7));
+        let cost = ConcurrentKvStore::apply_batch(&db, batch).unwrap();
+        assert!(cost > Nanos::ZERO);
+        assert!(db.get(&Key::from_id(7)).unwrap().value.is_none());
+        assert!(db.get(&Key::from_id(14)).unwrap().value.is_some());
+        let stats = KvStore::stats(&db);
+        assert!(stats.batch_groups >= 1 && stats.batch_groups <= 4);
+        assert_eq!(stats.batch_entries, 201);
+        // An empty batch is free; an oversized value rejects the whole
+        // batch before anything applies.
+        assert_eq!(
+            ConcurrentKvStore::apply_batch(&db, WriteBatch::new()).unwrap(),
+            Nanos::ZERO
+        );
+        let mut bad = WriteBatch::new();
+        bad.put(Key::from_id(1_999), Value::filled(100, 1));
+        bad.put(Key::from_id(1_998), Value::filled(8192, 1));
+        let err = ConcurrentKvStore::apply_batch(&db, bad).unwrap_err();
+        assert!(matches!(err, PrismError::ObjectTooLarge { .. }));
+        assert!(
+            db.get(&Key::from_id(1_999)).unwrap().value.is_none(),
+            "a rejected batch must not be half-applied"
+        );
+        // The pre-validation bound is the engine's *configured* largest
+        // slot class, not just the global object cap: a value that fits
+        // the cap but no configured slot must reject the whole batch up
+        // front rather than fail mid-group.
+        let mut options = small_options(500, 2);
+        options.slab_slot_sizes = vec![128, 256];
+        let narrow = PrismDb::open(options).unwrap();
+        let mut bad = WriteBatch::new();
+        bad.put(Key::from_id(1), Value::filled(100, 1));
+        bad.put(Key::from_id(2), Value::filled(1_000, 1));
+        let err = ConcurrentKvStore::apply_batch(&narrow, bad).unwrap_err();
+        assert!(matches!(err, PrismError::ObjectTooLarge { max: 256, .. }));
+        assert!(
+            narrow.get(&Key::from_id(1)).unwrap().value.is_none(),
+            "config-oversized batches must reject before applying anything"
+        );
+    }
+
+    /// The batched-path stall-accounting identities: even when batches
+    /// trip the back-pressure ceiling (or exhaust NVM mid-group and
+    /// reclaim inline), compaction time still splits exactly into tier
+    /// times and foreground stalls never exceed elapsed virtual time.
+    #[test]
+    fn batched_backpressure_keeps_stall_accounting_identities() {
+        let mut options = small_options(2_000, 1);
+        options.compaction_workers = 1;
+        options.nvm_capacity_bytes = 128 * 1024;
+        options.nvm_profile.capacity_bytes = 128 * 1024;
+        options.high_watermark = 0.6;
+        options.low_watermark = 0.5;
+        options.backpressure_ceiling = 0.8;
+        let db = PrismDb::open(options).unwrap();
+        for round in 0..8u64 {
+            let mut batch = WriteBatch::new();
+            for i in 0..50u64 {
+                batch.put(
+                    Key::from_id(round * 50 + i),
+                    Value::filled(1000, round as u8),
+                );
+            }
+            ConcurrentKvStore::apply_batch(&db, batch).unwrap();
+        }
+        let stats = KvStore::stats(&db);
+        assert!(
+            stats.compaction.backpressure_stalls > 0,
+            "the batches must have hit the ceiling or reclaimed inline"
+        );
+        assert!(stats.compaction.stall_time > Nanos::ZERO);
+        assert_eq!(
+            stats.compaction.total_time,
+            stats.compaction.fast_tier_time + stats.compaction.slow_tier_time,
+            "compaction time must split exactly into tier times"
+        );
+        // One partition: the engine's elapsed is that partition's elapsed.
+        assert!(
+            stats.compaction.stall_time <= KvStore::elapsed(&db),
+            "stalls ({:?}) cannot exceed elapsed ({:?})",
+            stats.compaction.stall_time,
+            KvStore::elapsed(&db)
+        );
+        // All 400 keys must still be readable after the pressure.
+        for id in (0..400u64).step_by(23) {
+            assert!(db.get(&Key::from_id(id)).unwrap().value.is_some());
+        }
+    }
+
+    /// Regression: one batch runs one watermark check per touched
+    /// partition, so it accepts at most one demotion enqueue per touched
+    /// partition — never one per entry.
+    #[test]
+    fn a_batch_enqueues_at_most_one_compaction_job_per_touched_partition() {
+        let mut options = small_options(400, 2);
+        options.partitioning = Partitioning::Range;
+        options.compaction_workers = 1;
+        options.nvm_capacity_bytes = 512 * 1024; // 256 KB per partition
+        options.nvm_profile.capacity_bytes = 512 * 1024;
+        options.high_watermark = 0.9;
+        options.low_watermark = 0.7;
+        let db = PrismDb::open(options).unwrap();
+        // Load partition 0 (ids 0..400 under range partitioning) to ~78 %
+        // utilisation: below the high watermark, so nothing enqueues.
+        for id in 0..200u64 {
+            db.put(Key::from_id(id), Value::filled(1000, 1)).unwrap();
+        }
+        assert_eq!(KvStore::stats(&db).compaction.enqueued_jobs, 0);
+        // One 40-entry batch into the same partition pushes it past the
+        // high watermark (~94 %) but below the ceiling.
+        let mut batch = WriteBatch::new();
+        for id in 200..240u64 {
+            batch.put(Key::from_id(id), Value::filled(1000, 2));
+        }
+        ConcurrentKvStore::apply_batch(&db, batch).unwrap();
+        let enqueued = KvStore::stats(&db).compaction.enqueued_jobs;
+        assert!(
+            enqueued <= 1,
+            "a single-partition batch must accept at most one demotion \
+             enqueue, got {enqueued}"
+        );
+        assert_eq!(enqueued, 1, "crossing the watermark must enqueue the job");
     }
 
     #[test]

@@ -92,6 +92,13 @@ pub struct Options {
     /// How many flash-served reads accumulate before a promotion compaction
     /// runs (while read-triggered compactions are active).
     pub promotion_batch_flash_reads: u64,
+    /// Whether [`crate::PrismDb`]'s batched write path merges duplicate
+    /// keys inside one partition sub-batch (the last entry wins, exactly
+    /// as sequential application would end up, but superseded entries
+    /// never touch the slab). Disabling this is an ablation knob: it keeps
+    /// group commit's lock/overhead amortisation while paying one slab
+    /// write per entry.
+    pub merge_batch_duplicates: bool,
     /// Synchronous-durability mode. PrismDB always persists writes to NVM
     /// synchronously (it has no WAL), so this only affects reporting parity
     /// with baselines that add an fsync per write.
@@ -140,6 +147,7 @@ impl Options {
             promotions_enabled: true,
             read_trigger: Some(ReadTriggerConfig::scaled_down(scale_factor)),
             promotion_batch_flash_reads: 200,
+            merge_batch_duplicates: true,
             fsync: false,
         }
     }
@@ -304,6 +312,13 @@ impl OptionsBuilder {
     /// Set the back-pressure ceiling used in background-compaction mode.
     pub fn backpressure_ceiling(mut self, ceiling: f64) -> Self {
         self.options.backpressure_ceiling = ceiling;
+        self
+    }
+
+    /// Enable or disable duplicate-key merging inside one partition
+    /// sub-batch of the batched write path (enabled by default).
+    pub fn merge_batch_duplicates(mut self, enabled: bool) -> Self {
+        self.options.merge_batch_duplicates = enabled;
         self
     }
 

@@ -47,7 +47,9 @@ use prism_index::BTreeIndex;
 use prism_nvm::{NvmAddress, SlabConfig, SlabStore};
 use prism_storage::{CpuCosts, Device, TieredStorage};
 use prism_tracker::{ClockTracker, Mapper, PinDecision};
-use prism_types::{CompactionStats, Key, Lookup, Nanos, PrismError, ReadSource, Result, Value};
+use prism_types::{
+    BatchOp, CompactionStats, Key, Lookup, Nanos, PrismError, ReadSource, Result, Value,
+};
 
 use crate::cache::LruCache;
 use crate::options::Options;
@@ -73,6 +75,9 @@ pub(crate) struct PartitionStats {
     pub reads_from_flash: u64,
     pub reads_not_found: u64,
     pub user_bytes_written: u64,
+    pub batch_groups: u64,
+    pub batch_entries: u64,
+    pub batch_merged_writes: u64,
     pub compaction: CompactionStats,
 }
 
@@ -100,6 +105,17 @@ struct ReadSideState {
     /// Flash-served reads since the last promotion compaction (persists
     /// across drains; reset when a promotion is scheduled).
     flash_reads_since_promotion: u64,
+}
+
+/// Slab device writes accumulated by one batched partition group. The
+/// group's slot writes are submitted together, so instead of charging one
+/// random-write latency per slot, the group pays one access latency plus a
+/// bandwidth-limited transfer of the total bytes (the device I/O counters
+/// are still recorded per slot by the slab store).
+#[derive(Debug, Default, Clone, Copy)]
+struct SlabWriteTally {
+    writes: u64,
+    bytes: u64,
 }
 
 /// Result of one compaction job.
@@ -374,7 +390,47 @@ impl Partition {
 
     pub(crate) fn put(&mut self, key: Key, value: Value) -> Result<Nanos> {
         self.absorb_reads()?;
-        let mut cost = self.cpu.request_overhead + self.cpu.index_op;
+        let mut cost = self.cpu.request_overhead;
+        // Inline mode reclaims space on this thread; background mode
+        // surfaces `CapacityExceeded` to the engine, which queues an
+        // urgent job and retries without holding the partition lock.
+        cost += self.put_entry(key, value, cost, !self.background_mode(), None)?;
+
+        // Watermark check: in inline mode demote cold data on this thread
+        // if NVM is (nearly) full. In background mode the engine enqueues
+        // a job instead (and stalls only at the back-pressure ceiling).
+        if !self.background_mode() {
+            let stall = self.maybe_demote(cost)?;
+            cost += stall;
+        }
+
+        self.observe_write_op();
+        self.advance_fg(cost);
+        Ok(cost)
+    }
+
+    /// The state mutation of one put: slab write, index update, tracker
+    /// access and cache invalidation, *without* the per-operation wrapper
+    /// (request overhead, read-side drain, watermark check, foreground
+    /// clock advance) — shared by the single-op path and the batched
+    /// group path, which pays the wrapper once per group.
+    ///
+    /// `accrued` is the cost the enclosing operation accumulated before
+    /// this entry (it positions any forced-reclamation stall on the
+    /// virtual timeline). With `inline_reclaim`, `CapacityExceeded` is
+    /// resolved by forced compactions on this thread while the write lock
+    /// stays held; otherwise the error is surfaced to the caller. With a
+    /// `group` tally, the slab device write is tallied for one coalesced
+    /// end-of-group charge instead of being added to the returned cost.
+    fn put_entry(
+        &mut self,
+        key: Key,
+        value: Value,
+        accrued: Nanos,
+        inline_reclaim: bool,
+        group: Option<&mut SlabWriteTally>,
+    ) -> Result<Nanos> {
+        let mut cost = self.cpu.index_op;
         let ts = self.next_ts();
         let key_id = key.id();
         let value_len = value.len() as u64;
@@ -383,21 +439,25 @@ impl Partition {
         let write_result = self.write_to_slab(existing, &key, value.clone(), ts);
         let (addr, write_cost) = match write_result {
             Ok(ok) => ok,
-            Err(PrismError::CapacityExceeded { .. }) if !self.background_mode() => {
+            Err(PrismError::CapacityExceeded { .. }) if inline_reclaim => {
                 // Free space with forced compactions, then retry once. The
-                // op cannot proceed until space exists, so the entire wait
-                // is charged as a foreground stall here — and only here
-                // (the later watermark check sees `busy_until` caught up).
-                cost += self.force_free_and_stall(cost)?;
+                // entry cannot proceed until space exists, so the entire
+                // wait is charged as a foreground stall here — and only
+                // here (the later watermark check sees `busy_until` caught
+                // up).
+                cost += self.reclaim_inline_for_entry(accrued + cost)?;
                 let existing = self.index.get(&key).copied();
                 self.write_to_slab(existing, &key, value.clone(), ts)?
             }
-            // Background mode: surface the full condition to the engine,
-            // which queues an urgent job and retries without holding the
-            // partition lock while it waits.
             Err(err) => return Err(err),
         };
-        cost += write_cost;
+        match group {
+            Some(tally) => {
+                tally.writes += 1;
+                tally.bytes += self.slab.slot_bytes_for(value.len())?;
+            }
+            None => cost += write_cost,
+        }
 
         let was_new = existing.is_none();
         self.index.insert(
@@ -414,16 +474,100 @@ impl Partition {
         cost += self.observe_access_now(&key, false);
         self.lock_cache().remove(&key);
         self.stats.user_bytes_written += value_len;
+        Ok(cost)
+    }
 
-        // Watermark check: in inline mode demote cold data on this thread
-        // if NVM is (nearly) full. In background mode the engine enqueues
-        // a job instead (and stalls only at the back-pressure ceiling).
+    /// Forced space reclamation for a batch entry that cannot proceed. In
+    /// background mode the epoch bump discards any in-flight job planned
+    /// against the pre-reclaim state (the group keeps the write lock, so
+    /// waiting for the worker pool mid-group would sacrifice the
+    /// per-partition atomicity contract for no progress).
+    fn reclaim_inline_for_entry(&mut self, accrued: Nanos) -> Result<Nanos> {
+        if self.background_mode() {
+            self.epoch += 1;
+            self.stats.compaction.backpressure_stalls += 1;
+        }
+        self.force_free_and_stall(accrued)
+    }
+
+    /// Apply one partition's sub-batch of a [`prism_types::WriteBatch`]
+    /// under a single write-lock hold: one read-side drain, one request
+    /// overhead, one watermark check (→ at most one compaction run /
+    /// enqueue per group), and — with `merge_duplicates` — one slab write
+    /// per distinct key (earlier entries superseded by a later entry for
+    /// the same key are merged away; the last entry wins, exactly as
+    /// sequential application would end up). The group's surviving slab
+    /// writes are priced as one coalesced device submission (one access
+    /// latency plus a bandwidth-limited transfer of the total slot bytes)
+    /// instead of one random-write latency each — the storage-level half
+    /// of the group-commit win.
+    ///
+    /// Because the lock is held for the whole group and
+    /// `crash_and_recover` serialises on the same lock, the sub-batch is
+    /// atomic with respect to readers and crash recovery: afterwards
+    /// either every entry or no entry of the group is visible, never a
+    /// prefix.
+    pub(crate) fn apply_group(
+        &mut self,
+        entries: Vec<BatchOp>,
+        merge_duplicates: bool,
+    ) -> Result<Nanos> {
+        if entries.is_empty() {
+            return Ok(Nanos::ZERO);
+        }
+        self.absorb_reads()?;
+        let mut cost = self.cpu.request_overhead;
+        let entry_count = entries.len() as u64;
+
+        // A later entry for the same key supersedes an earlier one: mark
+        // everything but the last occurrence per key as merged.
+        let mut superseded = vec![false; entries.len()];
+        if merge_duplicates && entries.len() > 1 {
+            let mut seen: HashSet<u64> = HashSet::with_capacity(entries.len());
+            for (i, entry) in entries.iter().enumerate().rev() {
+                if !seen.insert(entry.key().id()) {
+                    superseded[i] = true;
+                }
+            }
+        }
+
+        let mut merged = 0u64;
+        let mut tally = SlabWriteTally::default();
+        for (i, entry) in entries.into_iter().enumerate() {
+            if superseded[i] {
+                merged += 1;
+                // The client still logically wrote these bytes; only the
+                // physical slab write is saved.
+                if let BatchOp::Put(_, value) = entry {
+                    self.stats.user_bytes_written += value.len() as u64;
+                }
+            } else {
+                cost += match entry {
+                    BatchOp::Put(key, value) => {
+                        self.put_entry(key, value, cost, true, Some(&mut tally))?
+                    }
+                    BatchOp::Delete(key) => {
+                        self.delete_entry(&key, cost, true, Some(&mut tally))?
+                    }
+                };
+            }
+            // Every logical entry counts towards the read-trigger
+            // controller's read/write ratio, merged or not.
+            self.observe_write_op();
+        }
+        if tally.writes > 0 {
+            // One submission for the whole group's slot writes.
+            cost += self.nvm_dev.write_sequential_cost(tally.bytes);
+        }
+
+        self.stats.batch_groups += 1;
+        self.stats.batch_entries += entry_count;
+        self.stats.batch_merged_writes += merged;
+
         if !self.background_mode() {
             let stall = self.maybe_demote(cost)?;
             cost += stall;
         }
-
-        self.observe_write_op();
         self.advance_fg(cost);
         Ok(cost)
     }
@@ -553,7 +697,28 @@ impl Partition {
 
     pub(crate) fn delete(&mut self, key: &Key) -> Result<Nanos> {
         self.absorb_reads()?;
-        let mut cost = self.cpu.request_overhead + self.cpu.index_op;
+        let mut cost = self.cpu.request_overhead;
+        cost += self.delete_entry(key, cost, !self.background_mode(), None)?;
+        if !self.background_mode() {
+            let stall = self.maybe_demote(cost)?;
+            cost += stall;
+        }
+        self.observe_write_op();
+        self.advance_fg(cost);
+        Ok(cost)
+    }
+
+    /// The state mutation of one delete (see [`Partition::put_entry`] for
+    /// the wrapper/entry split and the `accrued` / `inline_reclaim` /
+    /// `group` contract).
+    fn delete_entry(
+        &mut self,
+        key: &Key,
+        accrued: Nanos,
+        inline_reclaim: bool,
+        group: Option<&mut SlabWriteTally>,
+    ) -> Result<Nanos> {
+        let mut cost = self.cpu.index_op;
         let ts = self.next_ts();
         let key_id = key.id();
 
@@ -583,13 +748,19 @@ impl Partition {
             // a compaction merges and drops both.
             let (addr, write_cost) = match self.slab.insert(key.clone(), Value::empty(), ts) {
                 Ok(ok) => ok,
-                Err(PrismError::CapacityExceeded { .. }) if !self.background_mode() => {
-                    cost += self.force_free_and_stall(cost)?;
+                Err(PrismError::CapacityExceeded { .. }) if inline_reclaim => {
+                    cost += self.reclaim_inline_for_entry(accrued + cost)?;
                     self.slab.insert(key.clone(), Value::empty(), ts)?
                 }
                 Err(err) => return Err(err),
             };
-            cost += write_cost;
+            match group {
+                Some(tally) => {
+                    tally.writes += 1;
+                    tally.bytes += self.slab.slot_bytes_for(0)?;
+                }
+                None => cost += write_cost,
+            }
             self.index.insert(
                 key.clone(),
                 IndexEntry {
@@ -602,12 +773,6 @@ impl Partition {
         }
 
         self.lock_cache().remove(key);
-        if !self.background_mode() {
-            let stall = self.maybe_demote(cost)?;
-            cost += stall;
-        }
-        self.observe_write_op();
-        self.advance_fg(cost);
         Ok(cost)
     }
 

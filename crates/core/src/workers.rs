@@ -76,6 +76,10 @@ pub(crate) struct Scheduler {
     virtual_clocks: Mutex<Vec<Nanos>>,
     queue_depth: AtomicU64,
     max_queue_depth: AtomicU64,
+    /// Requests accepted onto the queue (after dedup), cumulatively. The
+    /// batched write path's regression tests pin "at most one demotion
+    /// enqueue per touched partition per batch" against this counter.
+    enqueued_total: AtomicU64,
 }
 
 impl Scheduler {
@@ -92,6 +96,7 @@ impl Scheduler {
             virtual_clocks: Mutex::new(vec![Nanos::ZERO; workers.max(1)]),
             queue_depth: AtomicU64::new(0),
             max_queue_depth: AtomicU64::new(0),
+            enqueued_total: AtomicU64::new(0),
         }
     }
 
@@ -116,6 +121,7 @@ impl Scheduler {
         state.queue.push_back(req);
         let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
         self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+        self.enqueued_total.fetch_add(1, Ordering::Relaxed);
         self.work_cv.notify_one();
     }
 
@@ -228,6 +234,10 @@ impl Scheduler {
 
     pub(crate) fn max_queue_depth(&self) -> u64 {
         self.max_queue_depth.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn enqueued_total(&self) -> u64 {
+        self.enqueued_total.load(Ordering::Relaxed)
     }
 }
 

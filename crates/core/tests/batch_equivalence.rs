@@ -1,0 +1,183 @@
+//! Property tests for the batched write path.
+//!
+//! The contract under test: `apply_batch` is observationally equivalent to
+//! applying the same entries front to back with per-op `put`/`delete` —
+//! for arbitrary put/delete interleavings, duplicate keys inside one
+//! batch (the last entry must win), batches straddling partition seams,
+//! and with duplicate-key merging disabled. Only *visible state* must
+//! match (point reads over the whole key universe plus scans); simulated
+//! costs legitimately differ, that being the point of batching.
+
+use proptest::prelude::*;
+
+use prism_db::{Options, Partitioning, PrismDb};
+use prism_types::{ConcurrentKvStore, Key, KvStore, Value, WriteBatch};
+
+const KEY_SPACE: u64 = 400;
+const PARTITIONS: usize = 3;
+/// Key-id span per partition under range partitioning (mirrors the
+/// engine's routing arithmetic).
+const SPAN: u64 = KEY_SPACE * 2 / PARTITIONS as u64;
+
+fn small_db(partitioning: Partitioning, merge_duplicates: bool) -> PrismDb {
+    let mut options = Options::scaled_default(KEY_SPACE);
+    options.num_partitions = PARTITIONS;
+    options.partitioning = partitioning;
+    options.merge_batch_duplicates = merge_duplicates;
+    options.compaction.bucket_size_keys = 128;
+    options.sst_target_bytes = 16 * 1024;
+    // NVM far smaller than the dataset so batches regularly trip
+    // watermark compactions and forced reclamation mid-group.
+    options.nvm_capacity_bytes = 96 * 1024;
+    options.nvm_profile.capacity_bytes = 96 * 1024;
+    PrismDb::open(options).expect("valid options")
+}
+
+/// `(op, id, size)`: op 0 = put, 1 = delete; ids deliberately clustered
+/// around partition seams (the modulo folds the upper range onto seam
+/// neighbourhoods) so batches straddle partitions often.
+fn op_strategy() -> impl Strategy<Value = (u8, u64, usize)> {
+    (0u8..2, 0u64..KEY_SPACE, 1usize..900)
+}
+
+fn apply_sequential(db: &mut PrismDb, ops: &[(u8, u64, usize)]) {
+    for (op, id, size) in ops {
+        let key = Key::from_id(*id);
+        match op {
+            0 => {
+                db.put(key, Value::filled(*size, *id as u8)).unwrap();
+            }
+            _ => {
+                db.delete(&key).unwrap();
+            }
+        }
+    }
+}
+
+fn apply_batched(db: &PrismDb, ops: &[(u8, u64, usize)], chunk: usize) {
+    for window in ops.chunks(chunk.max(1)) {
+        let mut batch = WriteBatch::with_capacity(window.len());
+        for (op, id, size) in window {
+            let key = Key::from_id(*id);
+            match op {
+                0 => batch.put(key, Value::filled(*size, *id as u8)),
+                _ => batch.delete(key),
+            }
+        }
+        db.apply_batch(batch).unwrap();
+    }
+}
+
+/// Compare full visible state: every key in the universe point-reads
+/// identically and a full scan returns identical entries.
+fn assert_same_state(batched: &PrismDb, sequential: &mut PrismDb, context: &str) {
+    for id in 0..KEY_SPACE {
+        let key = Key::from_id(id);
+        let got = ConcurrentKvStore::get(batched, &key).unwrap().value;
+        let expected = sequential.get(&key).unwrap().value;
+        assert_eq!(got, expected, "{context}: key {id} diverged");
+    }
+    let got = ConcurrentKvStore::scan(batched, &Key::min(), KEY_SPACE as usize + 10)
+        .unwrap()
+        .entries;
+    let expected = sequential
+        .scan(&Key::min(), KEY_SPACE as usize + 10)
+        .unwrap()
+        .entries;
+    assert_eq!(got, expected, "{context}: scan diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `apply_batch` ≡ sequential per-op application for arbitrary
+    /// put/delete interleavings and chunk sizes, on the hash-partitioned
+    /// engine (batches almost always span partitions).
+    #[test]
+    fn batched_application_matches_sequential_hash(
+        ops in prop::collection::vec(op_strategy(), 1..250),
+        chunk in 1usize..40,
+    ) {
+        let batched = small_db(Partitioning::Hash, true);
+        let mut sequential = small_db(Partitioning::Hash, true);
+        apply_batched(&batched, &ops, chunk);
+        apply_sequential(&mut sequential, &ops);
+        assert_same_state(&batched, &mut sequential, "hash");
+    }
+
+    /// Same equivalence on the range-partitioned engine with duplicate
+    /// merging disabled (the ablation configuration must not change
+    /// semantics either).
+    #[test]
+    fn batched_application_matches_sequential_range_unmerged(
+        ops in prop::collection::vec(op_strategy(), 1..250),
+        chunk in 1usize..40,
+    ) {
+        let batched = small_db(Partitioning::Range, false);
+        let mut sequential = small_db(Partitioning::Range, true);
+        apply_batched(&batched, &ops, chunk);
+        apply_sequential(&mut sequential, &ops);
+        assert_same_state(&batched, &mut sequential, "range-unmerged");
+    }
+
+    /// Duplicate keys inside one batch: the last entry must win, exactly
+    /// as sequential application ends up. Keys are drawn from a tiny
+    /// universe so nearly every batch has duplicates.
+    #[test]
+    fn duplicate_keys_in_one_batch_last_entry_wins(
+        ops in prop::collection::vec((0u8..2, 0u64..12, 1usize..600), 2..120),
+    ) {
+        let batched = small_db(Partitioning::Hash, true);
+        let mut sequential = small_db(Partitioning::Hash, true);
+        // The whole op vector as ONE batch.
+        apply_batched(&batched, &ops, ops.len());
+        apply_sequential(&mut sequential, &ops);
+        assert_same_state(&batched, &mut sequential, "duplicates");
+        // The merge must actually have happened (duplicates guaranteed by
+        // the pigeonhole when more than 12 entries).
+        if ops.len() > 12 {
+            prop_assert!(
+                ConcurrentKvStore::stats(&batched).batch_merged_writes > 0,
+                "a batch with duplicate keys must merge slab writes"
+            );
+        }
+    }
+}
+
+/// Deterministic partition-seam case: one batch writing both sides of
+/// every range seam, with in-batch overwrites and deletes of seam keys.
+#[test]
+fn batch_straddling_partition_seams_matches_sequential() {
+    let batched = small_db(Partitioning::Range, true);
+    let mut sequential = small_db(Partitioning::Range, true);
+    let mut ops: Vec<(u8, u64, usize)> = Vec::new();
+    for seam in [SPAN, 2 * SPAN] {
+        for id in [seam - 2, seam - 1, seam, seam + 1] {
+            ops.push((0, id, 300));
+        }
+        // Overwrite one side of the seam and delete the other inside the
+        // same batch.
+        ops.push((0, seam - 1, 500));
+        ops.push((1, seam, 0));
+    }
+    apply_batched(&batched, &ops, ops.len());
+    apply_sequential(&mut sequential, &ops);
+    assert_same_state(&batched, &mut sequential, "seams");
+    // Spot-check the seam semantics directly.
+    let survivor = ConcurrentKvStore::get(&batched, &Key::from_id(SPAN - 1)).unwrap();
+    assert_eq!(survivor.value.expect("overwritten key lives").len(), 500);
+    assert!(ConcurrentKvStore::get(&batched, &Key::from_id(SPAN))
+        .unwrap()
+        .value
+        .is_none());
+    let stats = ConcurrentKvStore::stats(&batched);
+    assert_eq!(
+        stats.batch_groups, 3,
+        "both seams touch all three partitions"
+    );
+    assert_eq!(stats.batch_entries, 12);
+    assert_eq!(
+        stats.batch_merged_writes, 4,
+        "per seam, the overwrite and the put-then-delete each merge one entry"
+    );
+}

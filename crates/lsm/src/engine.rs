@@ -6,8 +6,8 @@ use std::sync::Arc;
 use prism_flash::{FileId, SstBuilder, SstEntry, SstFile};
 use prism_storage::{CpuCosts, Device, TieredStorage};
 use prism_types::{
-    CompactionStats, EngineStats, Key, KvStore, Lookup, Nanos, ReadSource, Result, ScanResult,
-    Value,
+    BatchOp, CompactionStats, EngineStats, Key, KvStore, Lookup, Nanos, ReadSource, Result,
+    ScanResult, Value, WriteBatch,
 };
 
 use crate::cache::BlockCache;
@@ -48,6 +48,8 @@ pub struct LsmTree {
     reads_not_found: u64,
     reads_per_level: [u64; 8],
     user_bytes_written: u64,
+    batch_groups: u64,
+    batch_entries: u64,
     compaction: CompactionStats,
     ops_since_placement: u64,
 }
@@ -87,6 +89,8 @@ impl LsmTree {
             reads_not_found: 0,
             reads_per_level: [0; 8],
             user_bytes_written: 0,
+            batch_groups: 0,
+            batch_entries: 0,
             compaction: CompactionStats::default(),
             ops_since_placement: 0,
             storage,
@@ -183,6 +187,70 @@ impl LsmTree {
         self.block_cache.remove(&key);
         if let Some(l2) = &mut self.l2_cache {
             l2.remove(&key);
+        }
+
+        if self.memtable.size_bytes() >= self.config.memtable_bytes {
+            let now = arrive + latency;
+            let stall = self.bg_busy_until.saturating_sub(now);
+            latency += stall;
+            self.compaction.stall_time += stall;
+            let mut background = self.flush()?;
+            background += self.run_compactions()?;
+            self.bg_busy_until = self.bg_busy_until.max(now + stall) + background;
+        }
+
+        self.client_clocks[client] = arrive + latency;
+        self.maybe_run_mutant_placement();
+        Ok(latency)
+    }
+
+    /// Group commit: all entries of a batch share one WAL append (and, in
+    /// fsync mode, one sync), one serialised-section reservation and one
+    /// request overhead — modelling RocksDB's write-group leader paying
+    /// the WAL cost for its followers. Memtable semantics are identical to
+    /// applying the entries front to back.
+    fn write_group(&mut self, entries: Vec<BatchOp>) -> Result<Nanos> {
+        if entries.is_empty() {
+            return Ok(Nanos::ZERO);
+        }
+        let client = self.pick_client();
+        let wal_dev = self.device_for(self.config.wal_tier).clone();
+        let mut wal_bytes = 0u64;
+        let mut serial = Nanos::ZERO;
+        for entry in &entries {
+            serial += self.cpu.index_op;
+            let value_bytes = match entry {
+                BatchOp::Put(_, value) => value.len() as u64,
+                BatchOp::Delete(_) => 0,
+            };
+            wal_bytes += entry.key().len() as u64 + value_bytes + 16;
+        }
+        serial += wal_dev.write_sequential(wal_bytes);
+        if self.config.fsync_wal {
+            serial += self.config.wal_sync_cost.unwrap_or_else(|| wal_dev.sync());
+        }
+        let arrive = self.client_clocks[client];
+        let start = arrive.max(self.serial_clock);
+        self.serial_clock = start + serial;
+        let mut latency = (start.saturating_sub(arrive))
+            + serial
+            + self.cpu.request_overhead
+            + self.config.polling_overhead;
+
+        self.batch_groups += 1;
+        self.batch_entries += entries.len() as u64;
+        for entry in entries {
+            let ts = self.next_ts();
+            let (key, value) = match entry {
+                BatchOp::Put(key, value) => (key, Some(value)),
+                BatchOp::Delete(key) => (key, None),
+            };
+            self.user_bytes_written += value.as_ref().map(|v| v.len() as u64).unwrap_or(0);
+            self.block_cache.remove(&key);
+            if let Some(l2) = &mut self.l2_cache {
+                l2.remove(&key);
+            }
+            self.memtable.insert(key, value, ts);
         }
 
         if self.memtable.size_bytes() >= self.config.memtable_bytes {
@@ -497,6 +565,10 @@ impl KvStore for LsmTree {
         self.write_entry(key.clone(), None)
     }
 
+    fn apply_batch(&mut self, batch: WriteBatch) -> Result<Nanos> {
+        self.write_group(batch.into_entries())
+    }
+
     fn get(&mut self, key: &Key) -> Result<Lookup> {
         let client = self.pick_client();
         let mut cost = self.cpu.request_overhead + self.config.polling_overhead + self.cpu.index_op;
@@ -608,6 +680,9 @@ impl KvStore for LsmTree {
             flash_io: self.storage.flash_io(),
             compaction: self.compaction,
             user_bytes_written: self.user_bytes_written,
+            batch_groups: self.batch_groups,
+            batch_entries: self.batch_entries,
+            batch_merged_writes: 0,
             reads_per_level: self.reads_per_level,
         }
     }

@@ -143,6 +143,18 @@ impl SlabStore {
             })
     }
 
+    /// The slot size in bytes an object with a `value_len`-byte value
+    /// occupies (its size class). Group-commit accounting uses this to
+    /// tally the bytes a batch of slot writes transfers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::ObjectTooLarge`] if no size class fits.
+    pub fn slot_bytes_for(&self, value_len: usize) -> Result<u64> {
+        let idx = self.slab_for(value_len)?;
+        Ok(self.slabs[idx as usize].slot_size() as u64)
+    }
+
     /// Insert a fresh object, returning its address and the simulated NVM
     /// write cost.
     ///

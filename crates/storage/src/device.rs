@@ -135,6 +135,16 @@ impl Device {
             .bytes_written
             .fetch_add(bytes, Ordering::Relaxed);
         self.counters.writes.fetch_add(1, Ordering::Relaxed);
+        self.write_sequential_cost(bytes)
+    }
+
+    /// The simulated latency of writing `bytes` as one sequential
+    /// submission, *without* recording any I/O against the device
+    /// counters. Group-commit paths use this to re-price a set of slot
+    /// writes that were already counted individually: the batch pays one
+    /// access latency plus a bandwidth-limited transfer instead of one
+    /// random-write latency per slot.
+    pub fn write_sequential_cost(&self, bytes: u64) -> Nanos {
         self.profile.write_latency_4k + Self::seq_transfer_time(bytes, self.profile.seq_write_mbps)
     }
 

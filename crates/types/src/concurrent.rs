@@ -21,7 +21,9 @@
 
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use crate::{EngineStats, Key, KvStore, Lookup, Nanos, Result, ScanResult, Value};
+use crate::{
+    BatchOp, EngineStats, Key, KvStore, Lookup, Nanos, Result, ScanResult, Value, WriteBatch,
+};
 
 /// A storage engine safe to drive from many threads through `&self`.
 ///
@@ -65,6 +67,28 @@ pub trait ConcurrentKvStore: Send + Sync {
     ///
     /// Returns an error only on internal corruption.
     fn scan(&self, start: &Key, count: usize) -> Result<ScanResult>;
+
+    /// Apply a [`WriteBatch`] as a group. See [`crate::KvStore::apply_batch`]
+    /// for the semantics (front-to-back equivalence, last entry per key
+    /// wins). The default implementation loops over the entries per-op and
+    /// makes no atomicity promise; engines with a real batched path
+    /// (PrismDB) override it to take each shard's write lock once and
+    /// install the shard's sub-batch atomically.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-entry error; with the default fallback,
+    /// entries already applied stay applied.
+    fn apply_batch(&self, batch: WriteBatch) -> Result<Nanos> {
+        let mut total = Nanos::ZERO;
+        for op in batch {
+            total += match op {
+                BatchOp::Put(key, value) => self.put(key, value)?,
+                BatchOp::Delete(key) => self.delete(&key)?,
+            };
+        }
+        Ok(total)
+    }
 
     /// Snapshot of cumulative engine statistics.
     fn stats(&self) -> EngineStats;
@@ -134,6 +158,10 @@ impl<E: ConcurrentKvStore + ?Sized> ConcurrentKvStore for Arc<E> {
 
     fn scan(&self, start: &Key, count: usize) -> Result<ScanResult> {
         (**self).scan(start, count)
+    }
+
+    fn apply_batch(&self, batch: WriteBatch) -> Result<Nanos> {
+        (**self).apply_batch(batch)
     }
 
     fn stats(&self) -> EngineStats {
@@ -227,6 +255,10 @@ impl<E: ConcurrentKvStore> KvStore for SharedKv<E> {
         self.inner.scan(start, count)
     }
 
+    fn apply_batch(&mut self, batch: WriteBatch) -> Result<Nanos> {
+        self.inner.apply_batch(batch)
+    }
+
     fn stats(&self) -> EngineStats {
         self.inner.stats()
     }
@@ -294,6 +326,15 @@ impl<E: KvStore + Send> ConcurrentKvStore for MutexKv<E> {
 
     fn scan(&self, start: &Key, count: usize) -> Result<ScanResult> {
         self.lock().scan(start, count)
+    }
+
+    /// Group commit under the global lock: the lock is taken once for the
+    /// whole batch, so concurrent clients pay one acquisition per group
+    /// instead of one per entry (and the inner engine may further amortise
+    /// via its own [`KvStore::apply_batch`], e.g. one WAL fsync per
+    /// batch).
+    fn apply_batch(&self, batch: WriteBatch) -> Result<Nanos> {
+        self.lock().apply_batch(batch)
     }
 
     fn stats(&self) -> EngineStats {

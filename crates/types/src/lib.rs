@@ -20,6 +20,7 @@
 //! assert_eq!(t.as_micros(), 10);
 //! ```
 
+mod batch;
 mod concurrent;
 mod error;
 mod key;
@@ -29,6 +30,7 @@ mod stats;
 mod time;
 mod value;
 
+pub use batch::{BatchOp, WriteBatch};
 pub use concurrent::{ConcurrentKvStore, MutexKv, SharedKv};
 pub use error::{PrismError, Result};
 pub use key::Key;
@@ -93,6 +95,33 @@ pub trait KvStore {
     ///
     /// Returns an error only on internal corruption.
     fn scan(&mut self, start: &Key, count: usize) -> Result<ScanResult>;
+
+    /// Apply a [`WriteBatch`] — equivalent to applying its entries front
+    /// to back (when one key appears several times the last entry wins),
+    /// but engines with a real batched path amortise per-operation
+    /// overhead across the group. Returns the total simulated service
+    /// time of the batch.
+    ///
+    /// The default implementation simply loops over the entries, so every
+    /// engine supports the API; it makes no atomicity promise. Engines
+    /// that override it document their own atomicity contract (PrismDB:
+    /// atomic per partition, not across partitions).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-entry error ([`PrismError::CapacityExceeded`]
+    /// etc.); entries already applied by the default fallback stay
+    /// applied.
+    fn apply_batch(&mut self, batch: WriteBatch) -> Result<Nanos> {
+        let mut total = Nanos::ZERO;
+        for op in batch {
+            total += match op {
+                BatchOp::Put(key, value) => self.put(key, value)?,
+                BatchOp::Delete(key) => self.delete(&key)?,
+            };
+        }
+        Ok(total)
+    }
 
     /// Snapshot of cumulative engine statistics (tier I/O, compaction work,
     /// read-source histogram).

@@ -8,7 +8,10 @@
 
 use std::collections::BTreeMap;
 
-use crate::{EngineStats, Key, KvStore, Lookup, Nanos, ReadSource, Result, ScanResult, Value};
+use crate::{
+    BatchOp, EngineStats, Key, KvStore, Lookup, Nanos, ReadSource, Result, ScanResult, Value,
+    WriteBatch,
+};
 
 /// An in-memory [`KvStore`] backed by a `BTreeMap`.
 ///
@@ -29,6 +32,8 @@ pub struct MemStore {
     reads_found: u64,
     reads_not_found: u64,
     user_bytes_written: u64,
+    batch_groups: u64,
+    batch_entries: u64,
 }
 
 impl MemStore {
@@ -40,6 +45,12 @@ impl MemStore {
     const DELETE_COST: Nanos = Nanos::from_nanos(80);
     /// Latency charged per scan.
     const SCAN_COST: Nanos = Nanos::from_nanos(500);
+    /// Flat latency charged per batch (group commit), plus this much per
+    /// entry — deliberately cheaper than per-op application so the oracle
+    /// mirrors the amortisation real engines get from batching.
+    const BATCH_BASE_COST: Nanos = Nanos::from_nanos(100);
+    /// Per-entry increment of a batched write.
+    const BATCH_ENTRY_COST: Nanos = Nanos::from_nanos(20);
 
     /// Number of live keys.
     pub fn len(&self) -> usize {
@@ -107,11 +118,36 @@ impl KvStore for MemStore {
         })
     }
 
+    fn apply_batch(&mut self, batch: WriteBatch) -> Result<Nanos> {
+        if batch.is_empty() {
+            return Ok(Nanos::ZERO);
+        }
+        let entries = batch.into_entries();
+        let cost = Self::BATCH_BASE_COST + Self::BATCH_ENTRY_COST * entries.len() as u64;
+        self.batch_groups += 1;
+        self.batch_entries += entries.len() as u64;
+        for op in entries {
+            match op {
+                BatchOp::Put(key, value) => {
+                    self.user_bytes_written += value.len() as u64;
+                    self.map.insert(key, value);
+                }
+                BatchOp::Delete(key) => {
+                    self.map.remove(&key);
+                }
+            }
+        }
+        self.clock += cost;
+        Ok(cost)
+    }
+
     fn stats(&self) -> EngineStats {
         EngineStats {
             reads_from_dram: self.reads_found,
             reads_not_found: self.reads_not_found,
             user_bytes_written: self.user_bytes_written,
+            batch_groups: self.batch_groups,
+            batch_entries: self.batch_entries,
             ..EngineStats::default()
         }
     }
@@ -154,6 +190,33 @@ mod tests {
         let ids: Vec<u64> = res.entries.iter().map(|(k, _)| k.id()).collect();
         assert_eq!(ids, vec![4, 7]);
         assert_eq!(store.entries().count(), 4);
+    }
+
+    #[test]
+    fn batched_application_matches_sequential_and_is_cheaper() {
+        let mut batched = MemStore::default();
+        let mut sequential = MemStore::default();
+        let mut batch = WriteBatch::new();
+        for id in 0..10u64 {
+            let value = Value::filled(8, id as u8);
+            batch.put(Key::from_id(id), value.clone());
+            sequential.put(Key::from_id(id), value).unwrap();
+        }
+        batch.delete(Key::from_id(3));
+        sequential.delete(&Key::from_id(3)).unwrap();
+        // Duplicate key inside the batch: the last entry wins.
+        batch.put(Key::from_id(4), Value::filled(8, 99));
+        sequential
+            .put(Key::from_id(4), Value::filled(8, 99))
+            .unwrap();
+        let cost = batched.apply_batch(batch).unwrap();
+        assert!(cost < sequential.elapsed(), "batching must amortise cost");
+        let a: Vec<_> = batched.entries().collect();
+        let b: Vec<_> = sequential.entries().collect();
+        assert_eq!(a, b);
+        assert_eq!(batched.stats().batch_groups, 1);
+        assert_eq!(batched.stats().batch_entries, 12);
+        assert_eq!(batched.apply_batch(WriteBatch::new()).unwrap(), Nanos::ZERO);
     }
 
     #[test]

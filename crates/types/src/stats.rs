@@ -63,6 +63,11 @@ pub struct CompactionStats {
     /// Number of foreground operations that hit the back-pressure ceiling
     /// and had to wait for a background worker to free space.
     pub backpressure_stalls: u64,
+    /// Compaction job requests accepted onto the background queue (after
+    /// the scheduler's per-partition dedup). The batched write path checks
+    /// the watermark once per partition sub-batch, so one batch accepts at
+    /// most one demotion enqueue per touched partition.
+    pub enqueued_jobs: u64,
     /// Instantaneous number of compaction jobs waiting for a background
     /// worker (a gauge: `delta_since` keeps the later snapshot's value).
     pub queue_depth: u64,
@@ -88,6 +93,7 @@ impl CompactionStats {
             backpressure_stalls: self
                 .backpressure_stalls
                 .saturating_sub(earlier.backpressure_stalls),
+            enqueued_jobs: self.enqueued_jobs.saturating_sub(earlier.enqueued_jobs),
             // Gauges, not counters: report the state at the later snapshot.
             queue_depth: self.queue_depth,
             max_queue_depth: self.max_queue_depth,
@@ -115,6 +121,16 @@ pub struct EngineStats {
     /// Bytes of logical user data written by clients (used to derive write
     /// amplification: `flash_io.bytes_written / user_bytes_written`).
     pub user_bytes_written: u64,
+    /// Write-batch groups installed (for PrismDB: per-partition sub-batch
+    /// installs; for single-shard engines: one per batch).
+    pub batch_groups: u64,
+    /// Write-batch entries applied through the batched path (including
+    /// entries merged away as duplicates).
+    pub batch_entries: u64,
+    /// Batched entries that were superseded by a later entry for the same
+    /// key in the same partition sub-batch and therefore never touched the
+    /// storage tiers (the "merge adjacent slab writes" win).
+    pub batch_merged_writes: u64,
     /// Per-LSM-level read counters (index 0 = L0). Engines without levels
     /// leave this empty.
     pub reads_per_level: [u64; 8],
@@ -166,6 +182,11 @@ impl EngineStats {
             user_bytes_written: self
                 .user_bytes_written
                 .saturating_sub(earlier.user_bytes_written),
+            batch_groups: self.batch_groups.saturating_sub(earlier.batch_groups),
+            batch_entries: self.batch_entries.saturating_sub(earlier.batch_entries),
+            batch_merged_writes: self
+                .batch_merged_writes
+                .saturating_sub(earlier.batch_merged_writes),
             reads_per_level,
         }
     }

@@ -17,7 +17,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use prismdb::db::{Options, Partitioning, PrismDb};
-use prismdb::types::{ConcurrentKvStore, Key, Value};
+use prismdb::types::{ConcurrentKvStore, Key, Value, WriteBatch};
 
 const THREADS: usize = 4;
 const OPS_PER_THREAD: usize = 4_000;
@@ -293,6 +293,176 @@ fn background_compaction_workers_survive_concurrent_stress() {
     for (id, (b, a)) in before.iter().zip(after.iter()).enumerate() {
         assert_eq!(b, a, "key {id} changed across crash_and_recover");
         assert_explained_by_logs(a, id as u64, &logs, "after background recovery");
+    }
+}
+
+/// Two adjacent key ids per partition that routes any traffic, used as
+/// torn-batch sentinels: every batch that touches a partition writes both
+/// members of its pair with the same tag, inside that partition's
+/// sub-batch. Since a sub-batch installs under one continuous write-lock
+/// hold, any reader snapshot must see the pair equal — seeing them differ
+/// (or only one present) means a torn batch.
+fn sentinel_pairs(db: &PrismDb) -> Vec<(usize, u64)> {
+    let mut pairs: Vec<(usize, u64)> = Vec::new();
+    for id in 0..KEY_SPACE - 1 {
+        let shard = db.shard_of(&Key::from_id(id));
+        if pairs.iter().any(|(p, _)| *p == shard) {
+            continue;
+        }
+        if db.shard_of(&Key::from_id(id + 1)) == shard {
+            pairs.push((shard, id));
+        }
+    }
+    pairs
+}
+
+#[test]
+fn concurrent_multi_partition_batches_are_atomic_per_partition() {
+    const BATCHES_PER_THREAD: usize = 250;
+    let db = stress_db_with_workers(2);
+    let pairs = sentinel_pairs(&db);
+    assert!(
+        pairs.len() >= 2,
+        "the key space must span several partitions"
+    );
+    let sentinel_ids: Vec<u64> = pairs.iter().flat_map(|(_, a)| [*a, *a + 1]).collect();
+
+    let mut logs: Vec<HashMap<u64, LastWrite>> = Vec::with_capacity(THREADS);
+    std::thread::scope(|scope| {
+        // Writers: overlapping multi-partition batches. Each batch draws
+        // 6..12 random entries (sentinel ids excluded), then appends both
+        // sentinels of every partition the batch touches, tagged with the
+        // batch's (thread, seq) value.
+        let mut handles = Vec::with_capacity(THREADS);
+        for t in 0..THREADS {
+            let db = Arc::clone(&db);
+            let pairs = pairs.clone();
+            let sentinel_ids = sentinel_ids.clone();
+            handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xBA7C + t as u64);
+                let mut last: HashMap<u64, LastWrite> = HashMap::new();
+                for seq in 0..BATCHES_PER_THREAD {
+                    let mut batch = WriteBatch::new();
+                    let mut touched: Vec<usize> = Vec::new();
+                    let entries = rng.gen_range(6usize..12);
+                    for _ in 0..entries {
+                        let id = rng.gen_range(0u64..KEY_SPACE);
+                        if sentinel_ids.contains(&id) {
+                            continue;
+                        }
+                        let key = Key::from_id(id);
+                        let shard = db.shard_of(&key);
+                        if !touched.contains(&shard) {
+                            touched.push(shard);
+                        }
+                        if rng.gen_range(0u32..100) < 75 {
+                            let value = tagged_value(t, seq);
+                            last.insert(
+                                id,
+                                LastWrite::Put {
+                                    len: value.len(),
+                                    fill: value.as_bytes()[0],
+                                },
+                            );
+                            batch.put(key, value);
+                        } else {
+                            last.insert(id, LastWrite::Delete);
+                            batch.delete(key);
+                        }
+                    }
+                    let tag = tagged_value(t, seq);
+                    for (shard, a) in &pairs {
+                        if touched.contains(shard) {
+                            for id in [*a, *a + 1] {
+                                last.insert(
+                                    id,
+                                    LastWrite::Put {
+                                        len: tag.len(),
+                                        fill: tag.as_bytes()[0],
+                                    },
+                                );
+                                batch.put(Key::from_id(id), tag.clone());
+                            }
+                        }
+                    }
+                    db.apply_batch(batch).expect("apply_batch");
+                }
+                last
+            }));
+        }
+        // Readers: snapshot sentinel pairs while batches race. A scan of
+        // 2 keys starting at the pair's first id stays within one
+        // partition read-lock hold, so it is atomic with respect to that
+        // partition's sub-batch installs.
+        for r in 0..2usize {
+            let db = Arc::clone(&db);
+            let pairs = pairs.clone();
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0x5EED + r as u64);
+                for _ in 0..400 {
+                    let (_, a) = pairs[rng.gen_range(0usize..pairs.len())];
+                    let entries = db.scan(&Key::from_id(a), 2).expect("scan").entries;
+                    let first = entries.iter().find(|(k, _)| k.id() == a);
+                    let second = entries.iter().find(|(k, _)| k.id() == a + 1);
+                    match (first, second) {
+                        (None, None) => {} // no batch has touched the partition yet
+                        (Some((_, va)), Some((_, vb))) => {
+                            assert_eq!(
+                                (va.len(), va.as_bytes()[0]),
+                                (vb.len(), vb.as_bytes()[0]),
+                                "torn batch: sentinel pair at {a} observed with \
+                                 different tags"
+                            );
+                        }
+                        _ => panic!(
+                            "torn batch: only one sentinel of the pair at {a} is \
+                             visible"
+                        ),
+                    }
+                }
+            });
+        }
+        for handle in handles {
+            logs.push(handle.join().expect("batch writer panicked"));
+        }
+    });
+
+    // Last-writer-wins per key: every survivor must be some thread's
+    // final write, exactly as in the per-op stress tests.
+    let state = visible_state(&db);
+    let mut live = 0usize;
+    for (id, observed) in state.iter().enumerate() {
+        if observed.is_some() {
+            live += 1;
+        }
+        assert_explained_by_logs(observed, id as u64, &logs, "after batch stress");
+    }
+    assert!(live > 0, "the write-heavy mix must leave live keys");
+
+    // The usual engine invariants, plus batch counters proving the
+    // batched path ran and merged duplicates.
+    let scanned = db
+        .scan(&Key::min(), KEY_SPACE as usize + 10)
+        .expect("scan")
+        .entries;
+    assert_eq!(scanned.len(), live, "scan and point reads disagree");
+    assert!(scanned.windows(2).all(|w| w[0].0 < w[1].0));
+    let objects = db.nvm_object_count() + db.flash_object_count();
+    assert!(objects >= live, "tier objects cannot cover live keys");
+    assert!(db.nvm_utilization() <= 1.0 + 1e-9);
+    let stats = db.stats();
+    assert!(stats.batch_groups > 0, "batches must have installed groups");
+    assert!(stats.batch_entries > stats.batch_groups);
+    assert!(stats.compaction.jobs > 0, "the stress must compact");
+
+    // Crash with the queue likely non-empty: recovery must reproduce the
+    // visible state exactly (whole sub-batches, never a prefix).
+    let before = visible_state(&db);
+    db.crash_and_recover();
+    let after = visible_state(&db);
+    for (id, (b, a)) in before.iter().zip(after.iter()).enumerate() {
+        assert_eq!(b, a, "key {id} changed across crash_and_recover");
+        assert_explained_by_logs(a, id as u64, &logs, "after batch recovery");
     }
 }
 

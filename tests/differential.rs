@@ -13,13 +13,27 @@
 //! oracle's state, proving an interrupted plan/execute/install pipeline
 //! recovers to either the old or the new state, never a half-compacted
 //! one.
+//!
+//! A fifth column drives the *batched* write path: the identical op
+//! stream with its writes chunked into [`WriteBatch`]es (flushed before
+//! every read/scan so read-your-writes holds for the comparisons). Its
+//! engine is crash-recovered mid-run with entries still buffered
+//! client-side, and once more *while a multi-partition batch is in
+//! flight* on another thread — per-partition sub-batches must be
+//! all-or-nothing after recovery, so the final state must still equal
+//! the oracle's exactly.
+
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use prismdb::db::{Options, Partitioning, PrismDb};
 use prismdb::lsm::{LsmConfig, LsmTree};
-use prismdb::types::{Key, KvStore, MemStore, Op, Value};
+use prismdb::types::{
+    ConcurrentKvStore, EngineStats, Key, KvStore, Lookup, MemStore, Nanos, Op, Result, ScanResult,
+    Value, WriteBatch,
+};
 
 /// Key-id universe. Small enough that keys are updated/deleted/re-inserted
 /// many times per run, which is what shakes out version/tombstone bugs.
@@ -50,6 +64,87 @@ fn prism_engine_with_workers(partitioning: Partitioning, workers: usize) -> Pris
 
 fn lsm_engine() -> LsmTree {
     LsmTree::open(LsmConfig::het(KEY_SPACE, 1.0 / 6.0)).expect("valid config")
+}
+
+/// How many write entries the batched column buffers before submitting
+/// one [`WriteBatch`].
+const BATCH_CHUNK: usize = 16;
+
+/// A client-side batching adapter over a shared PrismDB: writes buffer
+/// into a [`WriteBatch`] submitted every [`BATCH_CHUNK`] entries, and any
+/// read or scan flushes first so read-your-writes holds and every
+/// comparison against the oracle is exact.
+struct BatchingKv {
+    db: Arc<PrismDb>,
+    pending: WriteBatch,
+}
+
+impl BatchingKv {
+    fn new(db: PrismDb) -> Self {
+        BatchingKv {
+            db: Arc::new(db),
+            pending: WriteBatch::with_capacity(BATCH_CHUNK),
+        }
+    }
+
+    fn flush(&mut self) -> Result<Nanos> {
+        if self.pending.is_empty() {
+            return Ok(Nanos::ZERO);
+        }
+        self.db.apply_batch(std::mem::take(&mut self.pending))
+    }
+
+    /// Crash the underlying engine. Deliberately does NOT flush: entries
+    /// still buffered client-side are not yet submitted, survive the
+    /// crash in the client, and reach the engine with a later flush —
+    /// mirroring a client whose group commit had not been issued yet.
+    fn crash_and_recover(&self) -> Nanos {
+        self.db.crash_and_recover()
+    }
+
+    fn engine(&self) -> Arc<PrismDb> {
+        Arc::clone(&self.db)
+    }
+}
+
+impl KvStore for BatchingKv {
+    fn put(&mut self, key: Key, value: Value) -> Result<Nanos> {
+        self.pending.put(key, value);
+        if self.pending.len() >= BATCH_CHUNK {
+            return self.flush();
+        }
+        Ok(Nanos::ZERO)
+    }
+
+    fn delete(&mut self, key: &Key) -> Result<Nanos> {
+        self.pending.delete(key.clone());
+        if self.pending.len() >= BATCH_CHUNK {
+            return self.flush();
+        }
+        Ok(Nanos::ZERO)
+    }
+
+    fn get(&mut self, key: &Key) -> Result<Lookup> {
+        self.flush()?;
+        ConcurrentKvStore::get(&self.db, key)
+    }
+
+    fn scan(&mut self, start: &Key, count: usize) -> Result<ScanResult> {
+        self.flush()?;
+        ConcurrentKvStore::scan(&self.db, start, count)
+    }
+
+    fn stats(&self) -> EngineStats {
+        ConcurrentKvStore::stats(&self.db)
+    }
+
+    fn elapsed(&self) -> Nanos {
+        ConcurrentKvStore::elapsed(&self.db)
+    }
+
+    fn engine_name(&self) -> &str {
+        "prismdb-batched"
+    }
 }
 
 /// One random operation over the bounded key space. Weights favour writes
@@ -154,6 +249,29 @@ fn assert_state_matches(
     }
 }
 
+/// Generate a burst of 64 writes for the racing mid-batch crash: applied
+/// per-op to the oracle and to every non-batched engine, and returned as
+/// one multi-partition [`WriteBatch`] for the batched engine.
+fn crash_burst(rng: &mut StdRng, engines: &mut [(&str, &mut dyn KvStore)]) -> WriteBatch {
+    let mut batch = WriteBatch::with_capacity(64);
+    for _ in 0..64 {
+        let key = Key::from_id(rng.gen_range(0u64..KEY_SPACE));
+        if rng.gen_range(0u32..100) < 80 {
+            let value = Value::filled(rng_len(rng), rng.gen::<u8>());
+            for (_, engine) in engines.iter_mut() {
+                engine.put(key.clone(), value.clone()).expect("burst put");
+            }
+            batch.put(key, value);
+        } else {
+            for (_, engine) in engines.iter_mut() {
+                engine.delete(&key).expect("burst delete");
+            }
+            batch.delete(key);
+        }
+    }
+    batch
+}
+
 fn run_seed(seed: u64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut prism_hash = prism_engine(Partitioning::Hash);
@@ -162,16 +280,19 @@ fn run_seed(seed: u64) {
     // demotions/promotions race the foreground on real worker threads, yet
     // visible state must stay equal to the inline engines and the oracle.
     let mut prism_bg = prism_engine_with_workers(Partitioning::Hash, 2);
+    // The batched column: same op stream, writes chunked into batches.
+    let mut prism_batched = BatchingKv::new(prism_engine(Partitioning::Hash));
     let mut lsm = lsm_engine();
     let mut oracle = MemStore::default();
 
     for ops_done in 0..OPS_PER_SEED {
         let op = random_op(&mut rng);
         let (oracle_read, oracle_scan) = apply(&mut oracle, &op);
-        let mut engines: [(&str, &mut dyn KvStore); 4] = [
+        let mut engines: [(&str, &mut dyn KvStore); 5] = [
             ("prismdb-hash", &mut prism_hash),
             ("prismdb-range", &mut prism_range),
             ("prismdb-bg", &mut prism_bg),
+            ("prismdb-batched", &mut prism_batched),
             ("rocksdb-het", &mut lsm),
         ];
         for (name, engine) in engines.iter_mut() {
@@ -194,6 +315,42 @@ fn run_seed(seed: u64) {
             // exercises recovery with compactions in flight (stale-epoch
             // jobs must be discarded, not half-applied).
             prism_bg.crash_and_recover();
+            // The fault injection proper: crash the batched engine *while
+            // a 64-entry multi-partition batch is applying* on this
+            // thread. The client buffer is flushed first — the preceding
+            // state check's reads just emptied it anyway, and a pending
+            // entry flushed *after* the burst would replay a stale value
+            // over a burst key. Each partition's sub-batch applies under
+            // a continuous write-lock hold that recovery serialises with,
+            // so whatever interleaving the race produces, recovery lands
+            // on whole sub-batches — and since `apply_batch` finishes
+            // after the crash, the final state must equal the oracle's
+            // (the state checks above and below prove it).
+            prism_batched.flush().expect("pre-burst flush");
+            let mut burst_targets: [(&str, &mut dyn KvStore); 5] = [
+                ("oracle", &mut oracle),
+                ("prismdb-hash", &mut prism_hash),
+                ("prismdb-range", &mut prism_range),
+                ("prismdb-bg", &mut prism_bg),
+                ("rocksdb-het", &mut lsm),
+            ];
+            let burst = crash_burst(&mut rng, &mut burst_targets);
+            let db = prism_batched.engine();
+            std::thread::scope(|scope| {
+                let crasher = Arc::clone(&db);
+                scope.spawn(move || {
+                    crasher.crash_and_recover();
+                });
+                db.apply_batch(burst).expect("mid-crash batch");
+            });
+        }
+        if (ops_done + 1) == OPS_PER_SEED / 2 + 37 {
+            // Off the state-check boundary, so the client buffer most
+            // likely holds un-submitted entries: crash the batched engine
+            // with writes still buffered client-side. The buffer survives
+            // in the client and flushes later, so the column must
+            // reconverge to the oracle.
+            prism_batched.crash_and_recover();
         }
     }
 
@@ -202,13 +359,23 @@ fn run_seed(seed: u64) {
     prism_hash.crash_and_recover();
     prism_range.crash_and_recover();
     prism_bg.crash_and_recover();
-    let mut engines: [(&str, &mut dyn KvStore); 4] = [
+    prism_batched.crash_and_recover();
+    let mut engines: [(&str, &mut dyn KvStore); 5] = [
         ("prismdb-hash (recovered)", &mut prism_hash),
         ("prismdb-range (recovered)", &mut prism_range),
         ("prismdb-bg (recovered)", &mut prism_bg),
+        ("prismdb-batched (recovered)", &mut prism_batched),
         ("rocksdb-het", &mut lsm),
     ];
     assert_state_matches(&mut engines, &mut oracle, seed, OPS_PER_SEED);
+
+    // The batched column must really have exercised the batched path.
+    let batched_stats = KvStore::stats(&prism_batched);
+    assert!(
+        batched_stats.batch_groups > 0,
+        "the batched column never installed a group (seed {seed})"
+    );
+    assert!(batched_stats.batch_entries >= batched_stats.batch_groups);
 }
 
 #[test]
