@@ -1,0 +1,10 @@
+//! Async submission front-end sweep (logical clients × executors ×
+//! workload, plus raw OS-thread baselines), emitting
+//! `BENCH_async_frontend.json`.
+
+use prism_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    experiments::async_frontend::run(&scale);
+}

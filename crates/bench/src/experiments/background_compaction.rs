@@ -101,10 +101,19 @@ pub fn sweep(scale: &Scale) -> Table {
     )
 }
 
-/// Run the sweep and emit `BENCH_background_compaction.json`.
+/// Run the sweep and emit `BENCH_background_compaction.json` plus the
+/// sweep's `BENCH_summary.json` entry.
 pub fn run(scale: &Scale) -> Vec<Table> {
     let table = sweep(scale);
     write_bench_json("background_compaction", std::slice::from_ref(&table));
+    if let Some(entry) = crate::report::SummaryEntry::best_of(
+        "background_compaction",
+        &table,
+        "Kops/s",
+        scale.record_count,
+    ) {
+        crate::report::update_bench_summary(&entry);
+    }
     vec![table]
 }
 

@@ -7,6 +7,7 @@
 //! functions.
 
 pub mod ablation_msc_parameters;
+pub mod async_frontend;
 pub mod background_compaction;
 pub mod fig10_ycsb_sweep;
 pub mod fig11_skew_sweep;
@@ -55,5 +56,6 @@ pub fn run_all(scale: &Scale) -> Vec<crate::Table> {
     tables.extend(scalability::run(scale));
     tables.extend(background_compaction::run(scale));
     tables.extend(write_batching::run(scale));
+    tables.extend(async_frontend::run(scale));
     tables
 }

@@ -164,7 +164,8 @@ pub fn scan_liveness(scale: &Scale) -> Table {
 }
 
 /// Run the thread sweep, the read-path sweep and the liveness check, and
-/// emit `BENCH_scalability.json`.
+/// emit `BENCH_scalability.json` plus the sweep's `BENCH_summary.json`
+/// entry.
 pub fn run(scale: &Scale) -> Vec<Table> {
     let tables = vec![
         thread_sweep(scale),
@@ -172,6 +173,14 @@ pub fn run(scale: &Scale) -> Vec<Table> {
         scan_liveness(scale),
     ];
     write_bench_json("scalability", &tables[..2]);
+    if let Some(entry) = crate::report::SummaryEntry::best_of(
+        "scalability",
+        &tables[0],
+        "prismdb (Kops/s)",
+        scale.record_count,
+    ) {
+        crate::report::update_bench_summary(&entry);
+    }
     tables
 }
 

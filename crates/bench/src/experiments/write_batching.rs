@@ -77,10 +77,16 @@ pub fn sweep(scale: &Scale) -> Table {
     )
 }
 
-/// Run the sweep and emit `BENCH_write_batching.json`.
+/// Run the sweep and emit `BENCH_write_batching.json` plus the sweep's
+/// `BENCH_summary.json` entry.
 pub fn run(scale: &Scale) -> Vec<Table> {
     let table = sweep(scale);
     write_bench_json("write_batching", std::slice::from_ref(&table));
+    if let Some(entry) =
+        crate::report::SummaryEntry::best_of("write_batching", &table, "Kops/s", scale.record_count)
+    {
+        crate::report::update_bench_summary(&entry);
+    }
     vec![table]
 }
 

@@ -38,7 +38,7 @@ mod runner;
 mod scale;
 
 pub use report::Table;
-pub use runner::{RunConfig, RunResult, Runner, ThreadedRunResult};
+pub use runner::{AsyncRunResult, RunConfig, RunResult, Runner, ThreadedRunResult};
 pub use scale::Scale;
 
 #[cfg(test)]

@@ -2,8 +2,13 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use prism_types::{ConcurrentKvStore, EngineStats, KvStore, Nanos, Op, OpKind, Result, WriteBatch};
+use prism_frontend::{Frontend, FrontendOptions, ReadTicket, ScanTicket, WriteTicket};
+use prism_types::{
+    ConcurrentKvStore, EngineStats, FrontendStats, Key, KvStore, Nanos, Op, OpKind, PrismError,
+    Result, Value, WriteBatch,
+};
 use prism_workloads::{OpStream, Workload};
 
 /// Sizing of one experiment run.
@@ -611,6 +616,332 @@ impl Runner {
             background_time,
             wall,
             stats: engine.stats().delta_since(&start_stats),
+        }
+    }
+}
+
+/// The outcome of driving one engine through the async submission
+/// front-end with many multiplexed logical clients.
+///
+/// Produced by [`Runner::run_async_frontend`]. Unlike the
+/// thread-per-client model there is no per-client clock: logical clients
+/// spend most of their life waiting in queues by design, so the makespan
+/// is bounded by whoever actually does the work — the busiest executor
+/// thread, the busiest engine shard, or the busiest background
+/// compaction worker.
+#[derive(Debug, Clone)]
+pub struct AsyncRunResult {
+    /// Engine name.
+    pub engine: String,
+    /// Workload name.
+    pub workload: String,
+    /// Number of multiplexed logical clients (each keeps one op in
+    /// flight).
+    pub logical_clients: usize,
+    /// Number of front-end executor threads.
+    pub executors: usize,
+    /// Total operations measured across all logical clients.
+    pub measured_ops: u64,
+    /// Aggregate throughput in thousands of operations per simulated
+    /// second (total ops divided by [`AsyncRunResult::elapsed`]).
+    pub throughput_kops: f64,
+    /// Simulated makespan of the measured phase:
+    /// `max(busiest executor, busiest shard's serial work, busiest
+    /// background compaction worker)`.
+    pub elapsed: Nanos,
+    /// Simulated time consumed by the busiest executor thread.
+    pub busiest_executor: Nanos,
+    /// Serial work of the busiest engine shard (front-end-charged).
+    pub busiest_shard: Nanos,
+    /// Simulated time of the busiest virtual background compaction
+    /// worker during the measured phase (zero for inline engines).
+    pub background_time: Nanos,
+    /// Real wall-clock time of the measured phase (informational).
+    pub wall: std::time::Duration,
+    /// Engine statistics accumulated during the measured phase.
+    pub stats: EngineStats,
+    /// Front-end statistics accumulated during the measured phase
+    /// (coalesce width, queue depths, back-pressure rejections).
+    pub frontend: FrontendStats,
+}
+
+/// One logical client's in-flight request, polled by the driver thread.
+enum InFlight {
+    Idle,
+    /// Rejected with back-pressure: retry this op on the next pass.
+    Retry(Op),
+    Write(WriteTicket),
+    Read(ReadTicket),
+    Scan(ScanTicket),
+    /// The read half of an RMW finished next submits the write half.
+    RmwRead(ReadTicket, Key, Value),
+    RmwWrite(WriteTicket),
+}
+
+impl Runner {
+    /// Drive `engine` through a [`Frontend`] with `logical_clients`
+    /// closed-loop clients multiplexed on **one** submitter OS thread,
+    /// serviced by `executors` executor threads.
+    ///
+    /// Each logical client keeps exactly one operation in flight: the
+    /// driver round-robins over the clients, submitting via the
+    /// non-blocking `try_submit` path (a back-pressure rejection parks
+    /// the op until the next pass — exactly how an async server sheds
+    /// load) and polling tickets without blocking. Because hundreds of
+    /// clients share a few executors, writes pile up in the partition
+    /// queues between drains and the front-end coalesces them into
+    /// group commits — the client-visible effect this experiment
+    /// measures.
+    ///
+    /// The simulated makespan is `max(busiest executor, busiest shard,
+    /// busiest background worker)`: executor clocks accumulate the
+    /// simulated time of the groups they install and the reads they
+    /// answer, shard clocks accumulate each shard's serial (write) work,
+    /// and background workers are unchanged from
+    /// [`Runner::run_threaded`]. There is no busiest-client term — the
+    /// whole point of the front-end is that client scheduling stops
+    /// being the bottleneck.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine returns an operation error, or if
+    /// `logical_clients` or `executors` is zero.
+    pub fn run_async_frontend<E: ConcurrentKvStore + 'static>(
+        &self,
+        engine: Arc<E>,
+        workload: &Workload,
+        logical_clients: usize,
+        executors: usize,
+    ) -> AsyncRunResult {
+        assert!(logical_clients > 0, "at least one logical client");
+        assert!(executors > 0, "at least one executor");
+        let spec = Workload {
+            record_count: self.config.record_count,
+            ..workload.clone()
+        };
+
+        // Load phase: sequential inserts directly on the engine.
+        for op in spec.stream(self.config.seed).load_ops() {
+            Self::apply_shared(&engine, &op).expect("load phase must not fail");
+        }
+
+        let frontend = Frontend::start(
+            Arc::clone(&engine),
+            FrontendOptions {
+                executors,
+                // Queues must be able to hold the whole client population
+                // of a partition, or closed-loop clients would serialise
+                // on back-pressure instead of multiplexing.
+                queue_capacity: logical_clients.max(64),
+                ..FrontendOptions::default()
+            },
+        )
+        .expect("valid frontend options");
+
+        // Warm-up phase: same multiplexed model, not measured.
+        let warmup_per_client = (self.config.warmup_ops / logical_clients as u64).max(1);
+        Self::drive_clients(
+            &frontend,
+            &spec,
+            self.config.seed,
+            1,
+            logical_clients,
+            warmup_per_client,
+        );
+
+        // Phase boundary: the high-water gauge is cumulative, and the
+        // measured row must not inherit warm-up queue spikes.
+        frontend.reset_max_queue_depth();
+        let frontend_start = frontend.stats();
+        let exec_start = frontend.executor_times();
+        let shard_start = frontend.shard_serial_times();
+        let bg_start = engine.background_worker_times();
+        let start_stats = engine.stats();
+        let started = std::time::Instant::now();
+
+        let ops_per_client = (self.config.measure_ops / logical_clients as u64).max(1);
+        Self::drive_clients(
+            &frontend,
+            &spec,
+            self.config.seed,
+            2,
+            logical_clients,
+            ops_per_client,
+        );
+        let wall = started.elapsed();
+
+        let busiest_delta = |now: &[Nanos], then: &[Nanos]| {
+            now.iter()
+                .enumerate()
+                .map(|(i, t)| t.saturating_sub(then.get(i).copied().unwrap_or(Nanos::ZERO)))
+                .fold(Nanos::ZERO, Nanos::max)
+        };
+        let busiest_executor = busiest_delta(&frontend.executor_times(), &exec_start);
+        let busiest_shard = busiest_delta(&frontend.shard_serial_times(), &shard_start);
+        let background_time = busiest_delta(&engine.background_worker_times(), &bg_start);
+        let elapsed = busiest_executor.max(busiest_shard).max(background_time);
+        let measured_ops = ops_per_client * logical_clients as u64;
+        AsyncRunResult {
+            engine: engine.engine_name().to_string(),
+            workload: spec.name.clone(),
+            logical_clients,
+            executors,
+            measured_ops,
+            throughput_kops: if elapsed.is_zero() {
+                0.0
+            } else {
+                measured_ops as f64 / elapsed.as_secs_f64() / 1_000.0
+            },
+            elapsed,
+            busiest_executor,
+            busiest_shard,
+            background_time,
+            wall,
+            stats: engine.stats().delta_since(&start_stats),
+            frontend: frontend.stats().delta_since(frontend_start),
+        }
+    }
+
+    /// Submit one op for a logical client, preferring the non-blocking
+    /// `try_submit` path; a back-pressure rejection parks the op as
+    /// [`InFlight::Retry`]. Scans and the (rare) op kinds without a `try`
+    /// variant use the blocking path — with queues sized to the client
+    /// population they do not actually block.
+    fn submit_async<E: ConcurrentKvStore + 'static>(frontend: &Frontend<E>, op: Op) -> InFlight {
+        let backpressured = |err: &PrismError| matches!(err, PrismError::Backpressure { .. });
+        match op {
+            Op::Read(ref key) => match frontend.try_submit_get(key) {
+                Ok(ticket) => InFlight::Read(ticket),
+                Err(ref err) if backpressured(err) => InFlight::Retry(op),
+                Err(err) => panic!("async submit must not fail: {err}"),
+            },
+            Op::Update(ref key, ref value) | Op::Insert(ref key, ref value) => {
+                match frontend.try_submit_put(key, value) {
+                    Ok(ticket) => InFlight::Write(ticket),
+                    Err(ref err) if backpressured(err) => InFlight::Retry(op),
+                    Err(err) => panic!("async submit must not fail: {err}"),
+                }
+            }
+            Op::Delete(ref key) => match frontend.try_submit_delete(key) {
+                Ok(ticket) => InFlight::Write(ticket),
+                Err(ref err) if backpressured(err) => InFlight::Retry(op),
+                Err(err) => panic!("async submit must not fail: {err}"),
+            },
+            Op::ReadModifyWrite(ref key, ref value) => match frontend.try_submit_get(key) {
+                Ok(ticket) => InFlight::RmwRead(ticket, key.clone(), value.clone()),
+                Err(ref err) if backpressured(err) => InFlight::Retry(op),
+                Err(err) => panic!("async submit must not fail: {err}"),
+            },
+            Op::Scan(ref key, count) => InFlight::Scan(
+                frontend
+                    .submit_scan(key, count)
+                    .expect("async scan submit must not fail"),
+            ),
+        }
+    }
+
+    /// Round-robin `clients` logical clients to completion on the calling
+    /// OS thread: submit via `try_submit` (back-pressured ops retry on the
+    /// next pass), poll tickets non-blocking, issue `ops_per_client`
+    /// operations each.
+    fn drive_clients<E: ConcurrentKvStore + 'static>(
+        frontend: &Frontend<E>,
+        spec: &Workload,
+        seed: u64,
+        phase: u64,
+        clients: usize,
+        ops_per_client: u64,
+    ) {
+        let mut streams: Vec<OpStream> = (0..clients)
+            .map(|c| spec.stream(Self::thread_seed(seed, c, phase)))
+            .collect();
+        let mut in_flight: Vec<InFlight> = (0..clients).map(|_| InFlight::Idle).collect();
+        // Ops still to *complete* per client (an op counts when its final
+        // ticket resolves, so the RMW write half belongs to the same op).
+        let mut remaining: Vec<u64> = vec![ops_per_client; clients];
+        let mut open = clients;
+        while open > 0 {
+            let mut progressed = false;
+            for c in 0..clients {
+                if remaining[c] == 0 {
+                    continue;
+                }
+                // One op of this client just completed: count it and, if
+                // the client still has budget, issue its next op.
+                let completed_one =
+                    |remaining: &mut Vec<u64>, open: &mut usize, streams: &mut Vec<OpStream>| {
+                        remaining[c] -= 1;
+                        if remaining[c] == 0 {
+                            *open -= 1;
+                            return InFlight::Idle;
+                        }
+                        let op = streams[c].next().expect("stream is infinite");
+                        Self::submit_async(frontend, op)
+                    };
+                let (next, did) = match std::mem::replace(&mut in_flight[c], InFlight::Idle) {
+                    InFlight::Idle => {
+                        let op = streams[c].next().expect("stream is infinite");
+                        let next = Self::submit_async(frontend, op);
+                        let accepted = !matches!(next, InFlight::Retry(_));
+                        (next, accepted)
+                    }
+                    InFlight::Retry(op) => {
+                        let next = Self::submit_async(frontend, op);
+                        let accepted = !matches!(next, InFlight::Retry(_));
+                        (next, accepted)
+                    }
+                    InFlight::Write(mut ticket) => match ticket.poll() {
+                        Some(result) => {
+                            result.expect("async write must not fail");
+                            (completed_one(&mut remaining, &mut open, &mut streams), true)
+                        }
+                        None => (InFlight::Write(ticket), false),
+                    },
+                    InFlight::RmwWrite(mut ticket) => match ticket.poll() {
+                        Some(result) => {
+                            result.expect("async rmw write must not fail");
+                            (completed_one(&mut remaining, &mut open, &mut streams), true)
+                        }
+                        None => (InFlight::RmwWrite(ticket), false),
+                    },
+                    InFlight::Read(mut ticket) => match ticket.poll() {
+                        Some(result) => {
+                            result.expect("async read must not fail");
+                            (completed_one(&mut remaining, &mut open, &mut streams), true)
+                        }
+                        None => (InFlight::Read(ticket), false),
+                    },
+                    InFlight::Scan(mut ticket) => match ticket.poll() {
+                        Some(result) => {
+                            result.expect("async scan must not fail");
+                            (completed_one(&mut remaining, &mut open, &mut streams), true)
+                        }
+                        None => (InFlight::Scan(ticket), false),
+                    },
+                    InFlight::RmwRead(mut ticket, key, value) => match ticket.poll() {
+                        Some(result) => {
+                            result.expect("async rmw read must not fail");
+                            // The write half; back-pressure re-parks it as
+                            // a plain update (the read half already ran).
+                            match frontend.try_submit_put(&key, &value) {
+                                Ok(write) => (InFlight::RmwWrite(write), true),
+                                Err(PrismError::Backpressure { .. }) => {
+                                    (InFlight::Retry(Op::Update(key, value)), true)
+                                }
+                                Err(err) => panic!("async submit must not fail: {err}"),
+                            }
+                        }
+                        None => (InFlight::RmwRead(ticket, key, value), false),
+                    },
+                };
+                in_flight[c] = next;
+                progressed |= did;
+            }
+            if !progressed {
+                // Every client is waiting on an executor: give the
+                // executor threads the core.
+                std::thread::yield_now();
+            }
         }
     }
 }

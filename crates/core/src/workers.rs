@@ -60,12 +60,30 @@ struct Pending {
 struct SchedState {
     queue: VecDeque<JobRequest>,
     pending: Vec<Pending>,
+    /// Number of partitions currently being worked on.
+    inflight: usize,
     shutdown: bool,
 }
 
+impl SchedState {
+    /// The adaptive worker-pool target: enough workers for the demand the
+    /// scheduler can see (queued requests plus in-flight jobs), clamped to
+    /// `1..=workers`. Worker `w` only dequeues while `w < effective`, so a
+    /// drained queue keeps surplus workers parked and a deepening queue
+    /// grows the effective pool one wakeup at a time.
+    fn effective_pool(&self, workers: usize) -> usize {
+        (self.queue.len() + self.inflight).clamp(1, workers.max(1))
+    }
+}
+
 pub(crate) struct Scheduler {
+    /// Size of the configured worker pool (the adaptive ceiling).
+    workers: usize,
     state: Mutex<SchedState>,
     work_cv: Condvar,
+    /// Number of worker threads currently parked waiting for work (either
+    /// no eligible request, or the adaptive pool target excludes them).
+    parked: AtomicU64,
     /// Progress generation: bumped after every install attempt so
     /// foreground waiters (back-pressure, capacity retries) can sleep
     /// until "some background progress happened".
@@ -85,12 +103,15 @@ pub(crate) struct Scheduler {
 impl Scheduler {
     pub(crate) fn new(partitions: usize, workers: usize) -> Self {
         Scheduler {
+            workers,
             state: Mutex::new(SchedState {
                 queue: VecDeque::new(),
                 pending: vec![Pending::default(); partitions],
+                inflight: 0,
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
+            parked: AtomicU64::new(0),
             generation: Mutex::new(0),
             generation_cv: Condvar::new(),
             virtual_clocks: Mutex::new(vec![Nanos::ZERO; workers.max(1)]),
@@ -122,44 +143,68 @@ impl Scheduler {
         let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
         self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
         self.enqueued_total.fetch_add(1, Ordering::Relaxed);
-        self.work_cv.notify_one();
+        // A deeper queue may have grown the effective pool, making workers
+        // that were adaptively parked eligible again — wake them all and
+        // let `next_request`'s eligibility check sort it out.
+        self.work_cv.notify_all();
     }
 
     /// Block until a request for a partition nobody else is working on is
-    /// available; `None` on shutdown.
-    fn next_request(&self) -> Option<JobRequest> {
+    /// available *and* the adaptive pool target admits this worker;
+    /// `None` on shutdown.
+    fn next_request(&self, worker_id: usize) -> Option<JobRequest> {
         let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
         loop {
             if state.shutdown {
                 return None;
             }
-            let pos = state
-                .queue
-                .iter()
-                .position(|r| !state.pending[r.partition].inflight);
-            if let Some(pos) = pos {
-                let req = state.queue.remove(pos).expect("position just found");
-                let pending = &mut state.pending[req.partition];
-                match req.kind {
-                    RequestKind::Demote => pending.demote_queued = false,
-                    RequestKind::Promote => pending.promote_queued = false,
+            if worker_id < state.effective_pool(self.workers) {
+                let pos = state
+                    .queue
+                    .iter()
+                    .position(|r| !state.pending[r.partition].inflight);
+                if let Some(pos) = pos {
+                    let req = state.queue.remove(pos).expect("position just found");
+                    let pending = &mut state.pending[req.partition];
+                    match req.kind {
+                        RequestKind::Demote => pending.demote_queued = false,
+                        RequestKind::Promote => pending.promote_queued = false,
+                    }
+                    pending.inflight = true;
+                    state.inflight += 1;
+                    self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    return Some(req);
                 }
-                pending.inflight = true;
-                self.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                return Some(req);
             }
+            self.parked.fetch_add(1, Ordering::Relaxed);
             state = self.work_cv.wait(state).unwrap_or_else(|p| p.into_inner());
+            self.parked.fetch_sub(1, Ordering::Relaxed);
         }
     }
 
-    /// Mark a partition's in-flight work finished and wake a worker in
+    /// Mark a partition's in-flight work finished and wake workers in
     /// case requests for that partition were skipped while it ran.
     fn finish(&self, partition: usize) {
         let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
         state.pending[partition].inflight = false;
+        state.inflight = state.inflight.saturating_sub(1);
         if state.queue.iter().any(|r| r.partition == partition) {
-            self.work_cv.notify_one();
+            self.work_cv.notify_all();
         }
+    }
+
+    /// The adaptive worker-pool target right now (see
+    /// [`SchedState::effective_pool`]).
+    pub(crate) fn effective_pool(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .effective_pool(self.workers)
+    }
+
+    /// Number of worker threads currently parked in [`Scheduler::next_request`].
+    pub(crate) fn parked_workers(&self) -> u64 {
+        self.parked.load(Ordering::Relaxed)
     }
 
     pub(crate) fn shutdown(&self) {
@@ -199,19 +244,24 @@ impl Scheduler {
     }
 
     /// Charge `duration` of compaction work to the least-loaded virtual
-    /// worker. The clocks are pure load tallies: with `W` workers the
-    /// busiest clock approaches `total compaction work / W`, which is the
-    /// schedule lower bound the benchmark harness folds into its makespan.
+    /// worker *within the adaptive pool target at install time*. The
+    /// clocks are pure load tallies: with an effective pool of `k` the
+    /// busiest clock approaches `total compaction work / k`, which is the
+    /// schedule lower bound the benchmark harness folds into its makespan
+    /// — and matches what the adaptive scaling really allows (surplus
+    /// workers the demand never woke must not absorb virtual work).
     /// Partition-local ordering (jobs of one partition serialise) is
     /// expressed on the partition's own `busy_until` timeline instead —
     /// mixing per-partition virtual instants onto shared clocks would
     /// compare unsynchronised timelines.
     fn tally_virtual(&self, duration: Nanos) {
+        let effective = self.effective_pool();
         let mut clocks = self
             .virtual_clocks
             .lock()
             .unwrap_or_else(|p| p.into_inner());
-        let idx = clocks
+        let pool = effective.min(clocks.len()).max(1);
+        let idx = clocks[..pool]
             .iter()
             .enumerate()
             .min_by_key(|(_, c)| **c)
@@ -329,10 +379,12 @@ impl Drop for FinishGuard<'_> {
     }
 }
 
-/// Main loop of one background worker thread.
-pub(crate) fn worker_loop(shared: Arc<EngineShared>) {
+/// Main loop of one background worker thread. `worker_id` feeds the
+/// adaptive pool gate: low-id workers serve steady light load alone while
+/// high-id workers stay parked until queue depth demands them.
+pub(crate) fn worker_loop(shared: Arc<EngineShared>, worker_id: usize) {
     let sched = shared.scheduler();
-    while let Some(req) = sched.next_request() {
+    while let Some(req) = sched.next_request(worker_id) {
         let finish = FinishGuard {
             sched,
             partition: req.partition,
@@ -355,5 +407,124 @@ pub(crate) fn worker_loop(shared: Arc<EngineShared>) {
                 trigger_fg: fg,
             });
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demote(partition: usize) -> JobRequest {
+        JobRequest {
+            partition,
+            kind: RequestKind::Demote,
+            trigger_fg: Nanos::ZERO,
+        }
+    }
+
+    /// The adaptive pool target follows queue depth + in-flight jobs,
+    /// clamped to `1..=workers`.
+    #[test]
+    fn effective_pool_tracks_demand() {
+        let sched = Scheduler::new(8, 4);
+        assert_eq!(sched.effective_pool(), 1, "idle pool shrinks to one");
+        sched.enqueue(demote(0));
+        assert_eq!(sched.effective_pool(), 1);
+        sched.enqueue(demote(1));
+        sched.enqueue(demote(2));
+        assert_eq!(sched.effective_pool(), 3);
+        for p in 3..8 {
+            sched.enqueue(demote(p));
+        }
+        assert_eq!(sched.effective_pool(), 4, "target is clamped to workers");
+        // Dequeuing keeps the in-flight jobs in the demand signal.
+        let req = sched.next_request(0).expect("request available");
+        assert_eq!(sched.effective_pool(), 4);
+        sched.finish(req.partition);
+        // Draining everything shrinks the target back to one.
+        for id in 0..4 {
+            while let Some(req) = {
+                let drained = sched.queue_depth() == 0;
+                (!drained).then(|| sched.next_request(id)).flatten()
+            } {
+                sched.finish(req.partition);
+            }
+        }
+        assert_eq!(sched.queue_depth(), 0);
+        assert_eq!(sched.effective_pool(), 1);
+    }
+
+    /// With demand for a single worker, a surplus (high-id) worker parks
+    /// even though the queue is non-empty, while worker 0 gets the job; a
+    /// deepening queue then wakes the surplus worker.
+    #[test]
+    fn surplus_workers_park_until_queue_depth_demands_them() {
+        let sched = Arc::new(Scheduler::new(4, 2));
+        sched.enqueue(demote(0));
+        assert_eq!(sched.effective_pool(), 1);
+
+        let surplus = {
+            let sched = Arc::clone(&sched);
+            std::thread::spawn(move || sched.next_request(1))
+        };
+        // The surplus worker must park, not grab the only request. The
+        // spin reaching a parked count is itself the assertion: `parked`
+        // transiently dips on (possibly spurious) condvar wakeups, so an
+        // equality re-read after the loop would be racy.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while sched.parked_workers() == 0 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert!(
+            Instant::now() < deadline,
+            "worker 1 must park on light load"
+        );
+        let req = sched.next_request(0).expect("worker 0 takes the job");
+        assert_eq!(req.partition, 0);
+
+        // Two more queued requests push the target past 1: worker 1 wakes
+        // and dequeues.
+        sched.enqueue(demote(1));
+        sched.enqueue(demote(2));
+        let woken = surplus.join().expect("surplus worker");
+        assert!(woken.is_some(), "deep queue must wake the surplus worker");
+        sched.finish(req.partition);
+        sched.finish(woken.expect("request").partition);
+
+        // Shutdown releases any parked worker with `None`.
+        let parked = {
+            let sched = Arc::clone(&sched);
+            std::thread::spawn(move || sched.next_request(1))
+        };
+        // (worker 1 is over the drained queue's target again, so it parks
+        // until shutdown — exactly the "drained queue parks surplus
+        // workers" contract.)
+        while sched.parked_workers() == 0 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        sched.shutdown();
+        assert!(parked.join().expect("parked worker").is_none());
+    }
+
+    /// Virtual compaction time only spreads across the clocks the
+    /// adaptive pool target admits: serial light load lands on one clock.
+    #[test]
+    fn virtual_time_packs_onto_the_effective_pool() {
+        let sched = Scheduler::new(4, 4);
+        // Idle scheduler: target 1, so repeated tallies pile onto clock 0.
+        sched.tally_virtual(Nanos::from_micros(5));
+        sched.tally_virtual(Nanos::from_micros(5));
+        let clocks = sched.worker_times();
+        assert_eq!(clocks[0], Nanos::from_micros(10));
+        assert!(clocks[1..].iter().all(|c| c.is_zero()));
+        // Deep queue: target grows, the next tally takes the least-loaded
+        // clock inside the wider pool.
+        sched.enqueue(demote(0));
+        sched.enqueue(demote(1));
+        sched.enqueue(demote(2));
+        sched.tally_virtual(Nanos::from_micros(5));
+        let clocks = sched.worker_times();
+        assert_eq!(clocks[0], Nanos::from_micros(10));
+        assert_eq!(clocks[1], Nanos::from_micros(5));
     }
 }

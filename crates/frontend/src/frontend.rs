@@ -1,0 +1,741 @@
+//! The submission subsystem: bounded per-partition queues, the executor
+//! pool, and the coalescing drain loop.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use prism_types::{
+    completion_pair, BatchOp, Completion, ConcurrentKvStore, FrontendStats, Key, Lookup, Nanos,
+    PrismError, Result, ScanResult, Ticket, Value, WriteBatch,
+};
+
+use crate::options::FrontendOptions;
+
+/// Ticket for a submitted write (put, delete or batch): resolves to the
+/// simulated latency of the group(s) that installed it.
+pub type WriteTicket = Ticket<Result<Nanos>>;
+/// Ticket for a submitted point read.
+pub type ReadTicket = Ticket<Result<Lookup>>;
+/// Ticket for a submitted scan.
+pub type ScanTicket = Ticket<Result<ScanResult>>;
+
+/// Aggregates the per-partition parts of one write submission: a single
+/// put/delete has one part, a cross-partition batch one part per touched
+/// partition. The last part to finish completes the client's ticket with
+/// the slowest part's latency (parts install on different partitions in
+/// parallel) or the first error observed.
+struct WriteAgg {
+    remaining: AtomicUsize,
+    latency: Mutex<Nanos>,
+    error: Mutex<Option<PrismError>>,
+    completion: Mutex<Option<Completion<Result<Nanos>>>>,
+}
+
+impl WriteAgg {
+    fn new(parts: usize) -> (Arc<Self>, WriteTicket) {
+        let (completion, ticket) = completion_pair();
+        (
+            Arc::new(WriteAgg {
+                remaining: AtomicUsize::new(parts),
+                latency: Mutex::new(Nanos::ZERO),
+                error: Mutex::new(None),
+                completion: Mutex::new(Some(completion)),
+            }),
+            ticket,
+        )
+    }
+
+    fn finish(&self, result: Result<Nanos>) {
+        match result {
+            Ok(latency) => {
+                let mut slowest = lock(&self.latency);
+                *slowest = (*slowest).max(latency);
+            }
+            Err(err) => {
+                lock(&self.error).get_or_insert(err);
+            }
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let completion = lock(&self.completion)
+                .take()
+                .expect("a write aggregate completes exactly once");
+            let result = match lock(&self.error).take() {
+                Some(err) => Err(err),
+                None => Ok(*lock(&self.latency)),
+            };
+            completion.complete(result);
+        }
+    }
+}
+
+/// One queued request.
+enum Request {
+    /// Coalescable write work: the ops of one part, in submission order.
+    Write(Vec<BatchOp>, Arc<WriteAgg>),
+    Get(Key, Completion<Result<Lookup>>),
+    Scan(Key, usize, Completion<Result<ScanResult>>),
+}
+
+struct PartitionQueue {
+    items: Mutex<VecDeque<Request>>,
+    /// Signalled after a drain frees queue space, for blocked submitters.
+    not_full: Condvar,
+}
+
+/// Wake-up channel of one executor thread.
+struct ExecSignal {
+    pending: Mutex<bool>,
+    cv: Condvar,
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+struct Shared<E> {
+    engine: Arc<E>,
+    queue_capacity: usize,
+    max_coalesce: usize,
+    queues: Vec<PartitionQueue>,
+    signals: Vec<ExecSignal>,
+    shutdown: AtomicBool,
+    concurrent_reads: bool,
+    /// Cached per-partition watermark hint, refreshed by the executor at
+    /// the end of each drain (writes only enter the engine through
+    /// drains, so that is exactly when pressure rises; a background
+    /// compaction lowering it is picked up one drain later). Submitters
+    /// read this flag instead of querying the engine, keeping
+    /// `try_submit` free of engine-lock traffic.
+    pressured: Vec<AtomicBool>,
+    // Statistics (see `prism_types::FrontendStats`).
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    coalesced_groups: AtomicU64,
+    coalesced_entries: AtomicU64,
+    wakeups: AtomicU64,
+    depth: AtomicU64,
+    max_queue_depth: AtomicU64,
+    /// Virtual-time accounting for the benchmark harness: simulated time
+    /// each executor spent servicing requests, and the serial (write)
+    /// work charged to each engine shard.
+    exec_clocks: Vec<AtomicU64>,
+    shard_serial: Vec<AtomicU64>,
+}
+
+impl<E: ConcurrentKvStore> Shared<E> {
+    fn executor_of(&self, partition: usize) -> usize {
+        partition % self.signals.len()
+    }
+
+    fn signal(&self, partition: usize) {
+        let signal = &self.signals[self.executor_of(partition)];
+        *lock(&signal.pending) = true;
+        signal.cv.notify_one();
+    }
+
+    fn signal_all(&self) {
+        for signal in &self.signals {
+            *lock(&signal.pending) = true;
+            signal.cv.notify_all();
+        }
+        for queue in &self.queues {
+            queue.not_full.notify_all();
+        }
+    }
+
+    /// Enqueue onto a partition queue, blocking while it is full.
+    fn enqueue(&self, partition: usize, request: Request) -> Result<()> {
+        let queue = &self.queues[partition];
+        {
+            let mut items = lock(&queue.items);
+            loop {
+                if self.shutdown.load(Ordering::Acquire) {
+                    return Err(PrismError::ShuttingDown);
+                }
+                if items.len() < self.queue_capacity {
+                    break;
+                }
+                items = queue
+                    .not_full
+                    .wait(items)
+                    .unwrap_or_else(|poison| poison.into_inner());
+            }
+            items.push_back(request);
+            // Count while still holding the queue lock: a drain that can
+            // already see the item must never decrement `depth` (or
+            // complete the request) before these increments land.
+            self.note_enqueued(items.len());
+        }
+        self.signal(partition);
+        Ok(())
+    }
+
+    /// Enqueue without blocking; reports back-pressure when the queue is
+    /// at `effective_capacity` (shrunk by the engine's watermark hint for
+    /// writes).
+    fn try_enqueue(
+        &self,
+        partition: usize,
+        effective_capacity: usize,
+        request: Request,
+    ) -> Result<()> {
+        let queue = &self.queues[partition];
+        {
+            let mut items = lock(&queue.items);
+            if self.shutdown.load(Ordering::Acquire) {
+                return Err(PrismError::ShuttingDown);
+            }
+            if items.len() >= effective_capacity {
+                let depth = items.len();
+                drop(items);
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(PrismError::Backpressure { partition, depth });
+            }
+            items.push_back(request);
+            // See `enqueue`: counters move under the queue lock.
+            self.note_enqueued(items.len());
+        }
+        self.signal(partition);
+        Ok(())
+    }
+
+    /// Caller holds the partition's queue lock with the request pushed.
+    fn note_enqueued(&self, partition_depth: usize) {
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        self.max_queue_depth
+            .fetch_max(partition_depth as u64, Ordering::Relaxed);
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The queue bound `try_submit` enforces for writes: halved while the
+    /// partition's cached watermark hint reports it at or past its
+    /// compaction high watermark, so admission slows down *before* writes
+    /// start stalling inside the engine. Reads the per-drain cache, never
+    /// the engine, so the submit path stays non-blocking.
+    fn effective_write_capacity(&self, partition: usize) -> usize {
+        if self.pressured[partition].load(Ordering::Relaxed) {
+            (self.queue_capacity / 2).max(1)
+        } else {
+            self.queue_capacity
+        }
+    }
+
+    /// Install pending write parts as coalesced groups of at most
+    /// `max_coalesce` entries (whole parts are never split). On a group
+    /// error the group is retried part by part so only the failing
+    /// requests observe the error. Returns the summed simulated latency
+    /// of the installed groups (the executor's serial work).
+    fn flush_writes(
+        &self,
+        partition: usize,
+        parts: &mut Vec<(Vec<BatchOp>, Arc<WriteAgg>)>,
+    ) -> Nanos {
+        let mut total = Nanos::ZERO;
+        while !parts.is_empty() {
+            let mut take = 0;
+            let mut entries = 0;
+            for (ops, _) in parts.iter() {
+                if take > 0 && entries + ops.len() > self.max_coalesce {
+                    break;
+                }
+                take += 1;
+                entries += ops.len();
+            }
+            let mut group: Vec<(Vec<BatchOp>, Arc<WriteAgg>)> = parts.drain(..take).collect();
+            self.coalesced_groups.fetch_add(1, Ordering::Relaxed);
+            self.coalesced_entries
+                .fetch_add(entries as u64, Ordering::Relaxed);
+            // Count before completing: a client that just saw its ticket
+            // resolve must never observe `completed < submitted` for it.
+            self.completed
+                .fetch_add(group.len() as u64, Ordering::Relaxed);
+            if group.len() == 1 {
+                // The common light-pressure case: a per-part retry cannot
+                // differ from the group, so move the payload instead of
+                // cloning it.
+                let (ops, agg) = group.pop().expect("one part");
+                let mut batch = WriteBatch::with_capacity(ops.len());
+                batch.extend(ops);
+                let result = self.engine.apply_batch(batch);
+                if let Ok(latency) = result {
+                    self.charge_write(partition, latency);
+                    total += latency;
+                }
+                agg.finish(result);
+                continue;
+            }
+            let mut batch = WriteBatch::with_capacity(entries);
+            for (ops, _) in &group {
+                batch.extend(ops.iter().cloned());
+            }
+            match self.engine.apply_batch(batch) {
+                Ok(latency) => {
+                    self.charge_write(partition, latency);
+                    total += latency;
+                    for (_, agg) in &group {
+                        agg.finish(Ok(latency));
+                    }
+                }
+                Err(_) => {
+                    // Shared fate would fail innocent bystanders (e.g. one
+                    // client's oversized value rejecting the whole group):
+                    // retry each part alone.
+                    for (ops, agg) in group {
+                        let mut batch = WriteBatch::with_capacity(ops.len());
+                        batch.extend(ops);
+                        let result = self.engine.apply_batch(batch);
+                        if let Ok(latency) = result {
+                            self.charge_write(partition, latency);
+                            total += latency;
+                        }
+                        agg.finish(result);
+                    }
+                }
+            }
+        }
+        total
+    }
+
+    fn charge_write(&self, partition: usize, latency: Nanos) {
+        self.shard_serial[partition].fetch_add(latency.as_nanos(), Ordering::Relaxed);
+    }
+
+    /// Drain and service one partition queue. Writes install first (all
+    /// coalesced), then the drained reads run against the resulting state
+    /// — see the crate-level ordering contract.
+    fn drain_partition(&self, exec_id: usize, partition: usize) -> bool {
+        let drained = {
+            let mut items = lock(&self.queues[partition].items);
+            if items.is_empty() {
+                return false;
+            }
+            std::mem::take(&mut *items)
+        };
+        self.queues[partition].not_full.notify_all();
+        self.depth
+            .fetch_sub(drained.len() as u64, Ordering::Relaxed);
+        let mut exec_time = Nanos::ZERO;
+        let mut writes: Vec<(Vec<BatchOp>, Arc<WriteAgg>)> = Vec::new();
+        let mut reads: Vec<Request> = Vec::new();
+        for request in drained {
+            match request {
+                Request::Write(ops, agg) => writes.push((ops, agg)),
+                read => reads.push(read),
+            }
+        }
+        exec_time += self.flush_writes(partition, &mut writes);
+        for request in reads {
+            match request {
+                Request::Write(..) => unreachable!("writes were split off above"),
+                Request::Get(key, completion) => {
+                    let result = self.engine.get(&key);
+                    if let Ok(lookup) = &result {
+                        exec_time += lookup.latency;
+                        if !self.concurrent_reads {
+                            self.charge_write(partition, lookup.latency);
+                        }
+                    }
+                    self.completed.fetch_add(1, Ordering::Relaxed);
+                    completion.complete(result);
+                }
+                Request::Scan(start, count, completion) => {
+                    let result = self.engine.scan(&start, count);
+                    if let Ok(scan) = &result {
+                        exec_time += scan.latency;
+                        if !self.concurrent_reads {
+                            // A scan may hold several shard locks at once.
+                            for shard in self.engine.shards_for_scan(&start) {
+                                self.shard_serial[shard]
+                                    .fetch_add(scan.latency.as_nanos(), Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    self.completed.fetch_add(1, Ordering::Relaxed);
+                    completion.complete(result);
+                }
+            }
+        }
+        self.exec_clocks[exec_id].fetch_add(exec_time.as_nanos(), Ordering::Relaxed);
+        // Refresh the partition's watermark hint now that this drain's
+        // writes are installed (the executor may briefly take the
+        // engine's read lock here — the submitters never do).
+        self.pressured[partition].store(
+            self.engine.shard_write_pressure(partition) >= 1.0,
+            Ordering::Relaxed,
+        );
+        true
+    }
+
+    /// Main loop of one executor thread: sweep the owned partitions, park
+    /// on the wake-up signal when a full sweep found nothing.
+    fn executor_loop(&self, exec_id: usize) {
+        let executors = self.signals.len();
+        loop {
+            let mut busy = false;
+            let mut partition = exec_id;
+            while partition < self.queues.len() {
+                busy |= self.drain_partition(exec_id, partition);
+                partition += executors;
+            }
+            if busy {
+                continue;
+            }
+            let signal = &self.signals[exec_id];
+            let mut pending = lock(&signal.pending);
+            if !*pending {
+                if self.shutdown.load(Ordering::Acquire) {
+                    // Queues were empty on the last sweep and no new
+                    // signal arrived: drained.
+                    return;
+                }
+                pending = signal
+                    .cv
+                    .wait(pending)
+                    .unwrap_or_else(|poison| poison.into_inner());
+                self.wakeups.fetch_add(1, Ordering::Relaxed);
+            }
+            *pending = false;
+        }
+    }
+
+    /// Fail every request still queued (used after the executors exited:
+    /// requests that raced shutdown must not strand their clients).
+    fn fail_stragglers(&self) {
+        for queue in &self.queues {
+            let stragglers = std::mem::take(&mut *lock(&queue.items));
+            self.depth
+                .fetch_sub(stragglers.len() as u64, Ordering::Relaxed);
+            for request in stragglers {
+                self.completed.fetch_add(1, Ordering::Relaxed);
+                match request {
+                    Request::Write(_, agg) => agg.finish(Err(PrismError::ShuttingDown)),
+                    Request::Get(_, completion) => {
+                        completion.complete(Err(PrismError::ShuttingDown));
+                    }
+                    Request::Scan(_, _, completion) => {
+                        completion.complete(Err(PrismError::ShuttingDown));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The async submission front-end over a shared engine. See the crate
+/// docs for the full contract; construct with [`Frontend::start`].
+pub struct Frontend<E: ConcurrentKvStore + 'static> {
+    shared: Arc<Shared<E>>,
+    executors: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<E: ConcurrentKvStore + 'static> Frontend<E> {
+    /// Spawn the executor pool over `engine`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::InvalidConfig`] if `options` fail validation.
+    pub fn start(engine: Arc<E>, options: FrontendOptions) -> Result<Self> {
+        options.validate()?;
+        let partitions = engine.shard_count().max(1);
+        let executors = options.resolved_executors(partitions);
+        let concurrent_reads = engine.concurrent_reads();
+        let shared = Arc::new(Shared {
+            engine,
+            queue_capacity: options.queue_capacity,
+            max_coalesce: options.max_coalesce,
+            queues: (0..partitions)
+                .map(|_| PartitionQueue {
+                    items: Mutex::new(VecDeque::new()),
+                    not_full: Condvar::new(),
+                })
+                .collect(),
+            signals: (0..executors)
+                .map(|_| ExecSignal {
+                    pending: Mutex::new(false),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            shutdown: AtomicBool::new(false),
+            concurrent_reads,
+            pressured: (0..partitions).map(|_| AtomicBool::new(false)).collect(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            coalesced_groups: AtomicU64::new(0),
+            coalesced_entries: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
+            depth: AtomicU64::new(0),
+            max_queue_depth: AtomicU64::new(0),
+            exec_clocks: (0..executors).map(|_| AtomicU64::new(0)).collect(),
+            shard_serial: (0..partitions).map(|_| AtomicU64::new(0)).collect(),
+        });
+        let handles = (0..executors)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("prism-frontend-{id}"))
+                    .spawn(move || shared.executor_loop(id))
+                    .expect("spawning a frontend executor thread")
+            })
+            .collect();
+        Ok(Frontend {
+            shared,
+            executors: handles,
+        })
+    }
+
+    /// The engine behind this front-end.
+    pub fn engine(&self) -> &Arc<E> {
+        &self.shared.engine
+    }
+
+    /// Number of executor threads.
+    pub fn executor_count(&self) -> usize {
+        self.shared.signals.len()
+    }
+
+    fn partition_of(&self, key: &Key) -> usize {
+        self.shared.engine.shard_of(key)
+    }
+
+    /// Submit an insert/update; blocks only while the partition's queue
+    /// is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::ShuttingDown`] after [`Frontend::shutdown`].
+    pub fn submit_put(&self, key: Key, value: Value) -> Result<WriteTicket> {
+        let partition = self.partition_of(&key);
+        let (agg, ticket) = WriteAgg::new(1);
+        self.shared.enqueue(
+            partition,
+            Request::Write(vec![BatchOp::Put(key, value)], agg),
+        )?;
+        Ok(ticket)
+    }
+
+    /// Submit a delete; blocks only while the partition's queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::ShuttingDown`] after [`Frontend::shutdown`].
+    pub fn submit_delete(&self, key: &Key) -> Result<WriteTicket> {
+        let partition = self.partition_of(key);
+        let (agg, ticket) = WriteAgg::new(1);
+        self.shared.enqueue(
+            partition,
+            Request::Write(vec![BatchOp::Delete(key.clone())], agg),
+        )?;
+        Ok(ticket)
+    }
+
+    /// Submit a pre-built [`WriteBatch`]: entries are split by partition
+    /// (preserving order) and enqueued as one part per touched partition;
+    /// the ticket resolves once every part has installed, with the
+    /// slowest part's latency. The engine's per-partition atomicity
+    /// contract applies to each part.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::ShuttingDown`] after [`Frontend::shutdown`].
+    pub fn submit_batch(&self, batch: WriteBatch) -> Result<WriteTicket> {
+        let partitions = self.shared.queues.len();
+        let mut parts: Vec<Vec<BatchOp>> = vec![Vec::new(); partitions];
+        for op in batch {
+            parts[self.shared.engine.shard_of(op.key())].push(op);
+        }
+        let touched = parts.iter().filter(|ops| !ops.is_empty()).count();
+        let (agg, ticket) = WriteAgg::new(touched.max(1));
+        if touched == 0 {
+            agg.finish(Ok(Nanos::ZERO));
+            return Ok(ticket);
+        }
+        let mut enqueued = 0;
+        for (partition, ops) in parts.into_iter().enumerate() {
+            if ops.is_empty() {
+                continue;
+            }
+            if let Err(err) = self
+                .shared
+                .enqueue(partition, Request::Write(ops, Arc::clone(&agg)))
+            {
+                // Parts already enqueued still install; the parts that
+                // never made it (this one included) must resolve the
+                // aggregate anyway or the ticket would hang forever.
+                for _ in enqueued..touched {
+                    agg.finish(Err(err.clone()));
+                }
+                return Err(err);
+            }
+            enqueued += 1;
+        }
+        Ok(ticket)
+    }
+
+    /// Submit a point read; blocks only while the partition's queue is
+    /// full. The read observes at least every write acked before this
+    /// call (see the crate-level ordering contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::ShuttingDown`] after [`Frontend::shutdown`].
+    pub fn submit_get(&self, key: &Key) -> Result<ReadTicket> {
+        let partition = self.partition_of(key);
+        let (completion, ticket) = completion_pair();
+        self.shared
+            .enqueue(partition, Request::Get(key.clone(), completion))?;
+        Ok(ticket)
+    }
+
+    /// Submit a range scan (routed to the start key's partition queue).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::ShuttingDown`] after [`Frontend::shutdown`].
+    pub fn submit_scan(&self, start: &Key, count: usize) -> Result<ScanTicket> {
+        let partition = self.partition_of(start);
+        let (completion, ticket) = completion_pair();
+        self.shared
+            .enqueue(partition, Request::Scan(start.clone(), count, completion))?;
+        Ok(ticket)
+    }
+
+    /// Non-blocking [`Frontend::submit_put`]: never waits for queue
+    /// space. The caller keeps ownership of its data (arguments are
+    /// borrowed and only cloned on acceptance), so a rejected submission
+    /// can simply be retried.
+    ///
+    /// # Errors
+    ///
+    /// [`PrismError::Backpressure`] if the partition's queue is at its
+    /// effective capacity — the configured bound, *halved* while the
+    /// engine's [`ConcurrentKvStore::shard_write_pressure`] reported the
+    /// partition at or past its compaction high watermark (the hint is
+    /// sampled at the end of each drain, so it may lag the engine by one
+    /// drain); [`PrismError::ShuttingDown`] after [`Frontend::shutdown`].
+    pub fn try_submit_put(&self, key: &Key, value: &Value) -> Result<WriteTicket> {
+        let partition = self.partition_of(key);
+        let capacity = self.shared.effective_write_capacity(partition);
+        let (agg, ticket) = WriteAgg::new(1);
+        self.shared.try_enqueue(
+            partition,
+            capacity,
+            Request::Write(vec![BatchOp::Put(key.clone(), value.clone())], agg),
+        )?;
+        Ok(ticket)
+    }
+
+    /// Non-blocking [`Frontend::submit_delete`] (same back-pressure
+    /// contract as [`Frontend::try_submit_put`]).
+    ///
+    /// # Errors
+    ///
+    /// [`PrismError::Backpressure`] or [`PrismError::ShuttingDown`].
+    pub fn try_submit_delete(&self, key: &Key) -> Result<WriteTicket> {
+        let partition = self.partition_of(key);
+        let capacity = self.shared.effective_write_capacity(partition);
+        let (agg, ticket) = WriteAgg::new(1);
+        self.shared.try_enqueue(
+            partition,
+            capacity,
+            Request::Write(vec![BatchOp::Delete(key.clone())], agg),
+        )?;
+        Ok(ticket)
+    }
+
+    /// Non-blocking [`Frontend::submit_get`]. Reads are not subject to
+    /// the watermark hint: only the queue bound itself rejects.
+    ///
+    /// # Errors
+    ///
+    /// [`PrismError::Backpressure`] or [`PrismError::ShuttingDown`].
+    pub fn try_submit_get(&self, key: &Key) -> Result<ReadTicket> {
+        let partition = self.partition_of(key);
+        let (completion, ticket) = completion_pair();
+        self.shared.try_enqueue(
+            partition,
+            self.shared.queue_capacity,
+            Request::Get(key.clone(), completion),
+        )?;
+        Ok(ticket)
+    }
+
+    /// Reset the per-partition queue-depth high-water mark to the current
+    /// total depth. `FrontendStats::max_queue_depth` is a cumulative
+    /// `fetch_max` gauge, so a measurement harness that wants a
+    /// *phase-scoped* high-water (e.g. excluding warm-up pressure) calls
+    /// this at the phase boundary.
+    pub fn reset_max_queue_depth(&self) {
+        // The gauge tracks the highest *single-partition* depth, so the
+        // reset floor is the deepest queue right now, not the global sum.
+        let deepest = self
+            .shared
+            .queues
+            .iter()
+            .map(|queue| lock(&queue.items).len() as u64)
+            .max()
+            .unwrap_or(0);
+        self.shared
+            .max_queue_depth
+            .store(deepest, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the front-end's cumulative statistics.
+    pub fn stats(&self) -> FrontendStats {
+        let shared = &self.shared;
+        FrontendStats {
+            submitted: shared.submitted.load(Ordering::Relaxed),
+            completed: shared.completed.load(Ordering::Relaxed),
+            rejected: shared.rejected.load(Ordering::Relaxed),
+            coalesced_groups: shared.coalesced_groups.load(Ordering::Relaxed),
+            coalesced_entries: shared.coalesced_entries.load(Ordering::Relaxed),
+            wakeups: shared.wakeups.load(Ordering::Relaxed),
+            queue_depth: shared.depth.load(Ordering::Relaxed),
+            max_queue_depth: shared.max_queue_depth.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Cumulative simulated time each executor thread spent servicing
+    /// requests (group installs and reads). The busiest executor bounds
+    /// the front-end's makespan exactly like a busiest client does in the
+    /// thread-per-client model.
+    pub fn executor_times(&self) -> Vec<Nanos> {
+        self.shared
+            .exec_clocks
+            .iter()
+            .map(|clock| Nanos::from_nanos(clock.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Cumulative serial work charged to each engine shard by this
+    /// front-end: installed write groups always, plus reads/scans for
+    /// engines without concurrent reads.
+    pub fn shard_serial_times(&self) -> Vec<Nanos> {
+        self.shared
+            .shard_serial
+            .iter()
+            .map(|shard| Nanos::from_nanos(shard.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Graceful shutdown: new submissions fail with
+    /// [`PrismError::ShuttingDown`], executors drain what is already
+    /// queued, and any request that raced past them is failed (never
+    /// stranded). Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.signal_all();
+        for handle in self.executors.drain(..) {
+            let _ = handle.join();
+        }
+        self.shared.fail_stragglers();
+    }
+}
+
+impl<E: ConcurrentKvStore + 'static> Drop for Frontend<E> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,69 @@
+//! Async submission front-end: per-partition request queues with
+//! group-commit coalescing.
+//!
+//! PrismDB's tiering machinery (pinning, demotion, promotion) assumes a
+//! server front-end that keeps many client requests in flight, so the
+//! storage engine — not client scheduling — is the bottleneck. Driving
+//! [`prism_types::ConcurrentKvStore`] directly burns one OS thread per
+//! in-flight client; this crate multiplexes hundreds of *logical* clients
+//! onto a small pool of executor threads instead:
+//!
+//! * Clients enqueue requests onto **bounded per-partition MPSC queues**
+//!   ([`Frontend::submit_put`] and friends) and receive a
+//!   [`prism_types::Ticket`] they can [`poll`](prism_types::Ticket::poll)
+//!   (non-blocking, multiplexed) or [`wait`](prism_types::Ticket::wait)
+//!   (park until done) on. [`Frontend::try_submit_put`] is the
+//!   non-blocking variant that reports back-pressure
+//!   ([`prism_types::PrismError::Backpressure`]) instead of waiting for
+//!   queue space — with the queue capacity shrunk while the engine's
+//!   per-shard watermark pressure hint
+//!   ([`prism_types::ConcurrentKvStore::shard_write_pressure`]) is high.
+//! * A pool of **executor threads** ([`FrontendOptions::executors`],
+//!   default = the engine's shard count clamped to 4) drains the queues.
+//!   Each drain coalesces *every pending write of that partition* into
+//!   one [`prism_types::WriteBatch`] installed via the engine's
+//!   group-commit [`apply_batch`](prism_types::ConcurrentKvStore::apply_batch)
+//!   path, then answers the drained reads under the engine's read locks.
+//!   Write coalescing therefore **emerges from queue pressure**: the more
+//!   logical clients are in flight, the wider the groups — no client-side
+//!   buffering required.
+//!
+//! # Ordering and durability contract
+//!
+//! Requests on one partition are serviced in submission order *within
+//! each class*: writes apply in submission order, and a drained read
+//! executes after the writes drained with it. A read is guaranteed to
+//! observe every write that was **acked** (ticket completed) before the
+//! read was submitted; it may additionally observe writes submitted
+//! concurrently (reads are never stale, only fresh). Ops that were
+//! submitted but not yet acked live only in the queue: a crash may lose
+//! them, while **acked ops are durable** — they were installed through
+//! `apply_batch`, which PrismDB persists to NVM synchronously, so they
+//! survive `crash_and_recover`.
+//!
+//! Write errors are *group-scoped only on retry*: a failing coalesced
+//! group is re-applied part by part, so only the requests that actually
+//! fail see the error.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use prism_frontend::{Frontend, FrontendOptions};
+//! use prism_types::{Key, MemStore, MutexKv, Value};
+//!
+//! let engine = Arc::new(MutexKv::new(MemStore::default()));
+//! let mut frontend = Frontend::start(engine, FrontendOptions::default())?;
+//! let write = frontend.submit_put(Key::from_id(1), Value::filled(64, 7))?;
+//! write.wait()?; // acked: durable and visible from here on
+//! let read = frontend.submit_get(&Key::from_id(1))?;
+//! assert!(read.wait()?.value.is_some());
+//! frontend.shutdown();
+//! # Ok::<(), prism_types::PrismError>(())
+//! ```
+
+mod frontend;
+mod options;
+
+pub use frontend::{Frontend, ReadTicket, ScanTicket, WriteTicket};
+pub use options::FrontendOptions;

@@ -1,0 +1,271 @@
+//! A minimal futures-free completion primitive.
+//!
+//! An async submission front-end hands the client a [`Ticket`] when a
+//! request is enqueued and keeps the matching [`Completion`]; whichever
+//! executor thread eventually services the request calls
+//! [`Completion::complete`], which wakes the ticket holder if it is
+//! blocked in [`Ticket::wait`]. There is no runtime and no `Future`:
+//! waiting is plain [`std::thread::park`], waking is
+//! [`std::thread::Thread::unpark`], and non-blocking consumers use
+//! [`Ticket::poll`] to multiplex many outstanding requests on one OS
+//! thread.
+//!
+//! # Example
+//!
+//! ```
+//! use prism_types::completion_pair;
+//!
+//! let (completion, mut ticket) = completion_pair::<u32>();
+//! assert!(ticket.poll().is_none());
+//! std::thread::spawn(move || completion.complete(7));
+//! assert_eq!(ticket.wait(), 7);
+//! ```
+
+use std::sync::{Arc, Mutex};
+use std::thread::Thread;
+
+struct State<T> {
+    value: Option<T>,
+    /// The producer side was dropped without completing; waiting any
+    /// longer would hang forever.
+    abandoned: bool,
+    /// The thread currently parked in [`Ticket::wait`], if any.
+    waiter: Option<Thread>,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+}
+
+impl<T> Inner<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+}
+
+/// The producer half: completes the request exactly once.
+///
+/// Dropping a `Completion` without calling [`Completion::complete`] marks
+/// the request abandoned, so a parked [`Ticket::wait`] panics instead of
+/// hanging forever (an executor that panics mid-request must not strand
+/// its clients silently).
+pub struct Completion<T> {
+    inner: Arc<Inner<T>>,
+    completed: bool,
+}
+
+/// The consumer half: observe the result by polling or by blocking.
+pub struct Ticket<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Create a connected [`Completion`] / [`Ticket`] pair.
+pub fn completion_pair<T>() -> (Completion<T>, Ticket<T>) {
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            value: None,
+            abandoned: false,
+            waiter: None,
+        }),
+    });
+    (
+        Completion {
+            inner: Arc::clone(&inner),
+            completed: false,
+        },
+        Ticket { inner },
+    )
+}
+
+impl<T> Completion<T> {
+    /// Deliver the result and wake the ticket holder if it is parked.
+    pub fn complete(mut self, value: T) {
+        let waiter = {
+            let mut state = self.inner.lock();
+            state.value = Some(value);
+            state.waiter.take()
+        };
+        self.completed = true;
+        if let Some(thread) = waiter {
+            thread.unpark();
+        }
+    }
+}
+
+impl<T> Drop for Completion<T> {
+    fn drop(&mut self) {
+        if self.completed {
+            return;
+        }
+        let waiter = {
+            let mut state = self.inner.lock();
+            state.abandoned = true;
+            state.waiter.take()
+        };
+        if let Some(thread) = waiter {
+            thread.unpark();
+        }
+    }
+}
+
+impl<T> Ticket<T> {
+    /// True once a result is available (and not yet taken by
+    /// [`Ticket::poll`]).
+    pub fn is_done(&self) -> bool {
+        self.inner.lock().value.is_some()
+    }
+
+    /// Take the result if it is available; `None` if the request is still
+    /// in flight. Never blocks, so one OS thread can poll hundreds of
+    /// outstanding tickets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the producer dropped its [`Completion`] without
+    /// completing: to a polling multiplexer an abandoned request would
+    /// otherwise look in-flight forever, turning the producer's crash
+    /// into a silent hang of the consumer loop.
+    pub fn poll(&mut self) -> Option<T> {
+        let mut state = self.inner.lock();
+        let value = state.value.take();
+        assert!(
+            value.is_some() || !state.abandoned,
+            "completion abandoned: the executor dropped the request \
+             without completing it"
+        );
+        value
+    }
+
+    /// Block (park) until the result is available and return it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the producer dropped its [`Completion`] without
+    /// completing — waiting would otherwise hang forever.
+    pub fn wait(self) -> T {
+        loop {
+            {
+                let mut state = self.inner.lock();
+                if let Some(value) = state.value.take() {
+                    return value;
+                }
+                assert!(
+                    !state.abandoned,
+                    "completion abandoned: the executor dropped the request \
+                     without completing it"
+                );
+                state.waiter = Some(std::thread::current());
+            }
+            // A stale unpark from an earlier ticket on this thread can wake
+            // us spuriously; the loop re-checks the state either way.
+            std::thread::park();
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Ticket<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("done", &self.is_done())
+            .finish()
+    }
+}
+
+impl<T> std::fmt::Debug for Completion<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Completion")
+            .field("completed", &self.completed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_before_wait_returns_immediately() {
+        let (completion, ticket) = completion_pair();
+        completion.complete(41);
+        assert!(ticket.is_done());
+        assert_eq!(ticket.wait(), 41);
+    }
+
+    #[test]
+    fn poll_is_non_blocking_and_takes_the_value_once() {
+        let (completion, mut ticket) = completion_pair();
+        assert!(ticket.poll().is_none());
+        assert!(!ticket.is_done());
+        completion.complete("done");
+        assert_eq!(ticket.poll(), Some("done"));
+        // The value is consumed; the ticket reports not-done afterwards.
+        assert!(ticket.poll().is_none());
+        assert!(!ticket.is_done());
+    }
+
+    #[test]
+    fn wait_parks_until_a_racing_thread_completes() {
+        let (completion, ticket) = completion_pair();
+        let waiter = std::thread::spawn(move || ticket.wait());
+        // Give the waiter a chance to park before completing.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        completion.complete(1234u64);
+        assert_eq!(waiter.join().expect("waiter"), 1234);
+    }
+
+    #[test]
+    fn many_tickets_multiplex_on_one_polling_thread() {
+        let mut tickets = Vec::new();
+        let mut completions = Vec::new();
+        for i in 0..64u32 {
+            let (completion, ticket) = completion_pair();
+            completions.push((i, completion));
+            tickets.push(ticket);
+        }
+        std::thread::spawn(move || {
+            for (i, completion) in completions {
+                completion.complete(i * 2);
+            }
+        });
+        let mut got = vec![None; tickets.len()];
+        while got.iter().any(Option::is_none) {
+            for (i, ticket) in tickets.iter_mut().enumerate() {
+                if got[i].is_none() {
+                    got[i] = ticket.poll();
+                }
+            }
+            std::thread::yield_now();
+        }
+        for (i, value) in got.into_iter().enumerate() {
+            assert_eq!(value, Some(i as u32 * 2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "completion abandoned")]
+    fn dropping_the_completion_panics_a_parked_waiter() {
+        let (completion, ticket) = completion_pair::<u8>();
+        drop(completion);
+        ticket.wait();
+    }
+
+    #[test]
+    #[should_panic(expected = "completion abandoned")]
+    fn dropping_the_completion_panics_a_polling_consumer() {
+        let (completion, mut ticket) = completion_pair::<u8>();
+        drop(completion);
+        ticket.poll();
+    }
+
+    #[test]
+    fn poll_after_completion_never_reports_abandonment() {
+        // Completing consumes the producer; its later drop must not mark
+        // the (already served) request abandoned.
+        let (completion, mut ticket) = completion_pair::<u8>();
+        completion.complete(9);
+        assert_eq!(ticket.poll(), Some(9));
+        assert!(ticket.poll().is_none());
+    }
+}

@@ -138,6 +138,16 @@ pub trait ConcurrentKvStore: Send + Sync {
     fn background_worker_times(&self) -> Vec<Nanos> {
         Vec::new()
     }
+
+    /// Write-pressure hint for one shard, used by submission front-ends
+    /// to apply back-pressure *before* a write stalls inside the engine.
+    /// Values at or above `1.0` mean the shard's fast tier has reached its
+    /// compaction high watermark (new writes are about to trigger or queue
+    /// behind demotions); the default `0.0` means "no pressure signal".
+    /// Engines without per-shard capacity tracking keep the default.
+    fn shard_write_pressure(&self, _shard: usize) -> f64 {
+        0.0
+    }
 }
 
 /// `Arc<E>` is itself a concurrent engine: every clone addresses the same
@@ -194,6 +204,10 @@ impl<E: ConcurrentKvStore + ?Sized> ConcurrentKvStore for Arc<E> {
 
     fn background_worker_times(&self) -> Vec<Nanos> {
         (**self).background_worker_times()
+    }
+
+    fn shard_write_pressure(&self, shard: usize) -> f64 {
+        (**self).shard_write_pressure(shard)
     }
 }
 

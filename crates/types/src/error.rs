@@ -43,6 +43,18 @@ pub enum PrismError {
     },
     /// A simulated I/O failure injected by tests.
     Io(String),
+    /// A bounded submission queue rejected the request (`try_submit`
+    /// back-pressure): the partition's queue is full, or the engine's
+    /// watermark pressure hint shrank its effective capacity.
+    Backpressure {
+        /// Partition whose queue rejected the request.
+        partition: usize,
+        /// Queue depth observed at rejection time.
+        depth: usize,
+    },
+    /// The submission front-end is shutting down; the request was not
+    /// enqueued (pending requests are drained, stragglers get this).
+    ShuttingDown,
 }
 
 impl fmt::Display for PrismError {
@@ -62,6 +74,11 @@ impl fmt::Display for PrismError {
                 write!(f, "object of {size} bytes exceeds maximum of {max} bytes")
             }
             PrismError::Io(msg) => write!(f, "io error: {msg}"),
+            PrismError::Backpressure { partition, depth } => write!(
+                f,
+                "back-pressure: partition {partition} queue is full ({depth} requests pending)"
+            ),
+            PrismError::ShuttingDown => write!(f, "submission front-end is shutting down"),
         }
     }
 }
@@ -96,6 +113,14 @@ mod tests {
                 "9000",
             ),
             (PrismError::Io("device offline".into()), "device offline"),
+            (
+                PrismError::Backpressure {
+                    partition: 3,
+                    depth: 64,
+                },
+                "partition 3",
+            ),
+            (PrismError::ShuttingDown, "shutting down"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

@@ -5,7 +5,9 @@
 //! by PrismDB and by every baseline engine, its thread-safe counterpart
 //! [`ConcurrentKvStore`] (plus the [`SharedKv`] / [`MutexKv`] adapters and
 //! the [`MemStore`] reference oracle), operation descriptions consumed by
-//! the benchmark harness, and the error type used across the workspace.
+//! the benchmark harness, the futures-free [`Completion`] / [`Ticket`]
+//! primitive used by the async submission front-end (with its
+//! [`FrontendStats`]), and the error type used across the workspace.
 //!
 //! # Example
 //!
@@ -21,6 +23,7 @@
 //! ```
 
 mod batch;
+mod completion;
 mod concurrent;
 mod error;
 mod key;
@@ -31,12 +34,13 @@ mod time;
 mod value;
 
 pub use batch::{BatchOp, WriteBatch};
+pub use completion::{completion_pair, Completion, Ticket};
 pub use concurrent::{ConcurrentKvStore, MutexKv, SharedKv};
 pub use error::{PrismError, Result};
 pub use key::Key;
 pub use mem::MemStore;
 pub use ops::{Lookup, Op, OpKind, ReadSource, ScanResult};
-pub use stats::{CompactionStats, EngineStats, TierIo};
+pub use stats::{CompactionStats, EngineStats, FrontendStats, TierIo};
 pub use time::Nanos;
 pub use value::Value;
 

@@ -101,6 +101,69 @@ impl CompactionStats {
     }
 }
 
+/// Cumulative statistics reported by an async submission front-end.
+///
+/// The front-end multiplexes many logical clients onto a few executor
+/// threads via bounded per-partition request queues; these counters
+/// expose how much coalescing and back-pressure that produced. They are
+/// deliberately separate from [`EngineStats`]: the front-end is a layer
+/// *above* any engine, and one engine may serve several front-ends.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrontendStats {
+    /// Requests accepted onto a partition queue.
+    pub submitted: u64,
+    /// Requests fully serviced (their ticket completed).
+    pub completed: u64,
+    /// `try_submit` attempts rejected with back-pressure (bounded queue
+    /// full, or shrunk by the engine's watermark pressure hint).
+    pub rejected: u64,
+    /// Write groups installed by executors via `apply_batch` (one per
+    /// partition-queue drain chunk).
+    pub coalesced_groups: u64,
+    /// Write entries carried by those groups. `coalesced_entries /
+    /// coalesced_groups` is the mean coalesce width — the group-commit
+    /// amortisation that emerges from queue pressure.
+    pub coalesced_entries: u64,
+    /// Times an executor thread was woken from its idle wait.
+    pub wakeups: u64,
+    /// Instantaneous number of requests waiting in partition queues (a
+    /// gauge: `delta_since` keeps the later snapshot's value).
+    pub queue_depth: u64,
+    /// Highest single-partition queue depth observed (a cumulative
+    /// high-water mark; `delta_since` keeps the later snapshot's value).
+    pub max_queue_depth: u64,
+}
+
+impl FrontendStats {
+    /// Mean number of write entries coalesced into one installed group
+    /// (0.0 before any group was installed).
+    pub fn mean_coalesce_width(&self) -> f64 {
+        if self.coalesced_groups == 0 {
+            return 0.0;
+        }
+        self.coalesced_entries as f64 / self.coalesced_groups as f64
+    }
+
+    /// Element-wise difference (`self - earlier`); gauges keep the later
+    /// snapshot's value.
+    pub fn delta_since(self, earlier: FrontendStats) -> FrontendStats {
+        FrontendStats {
+            submitted: self.submitted.saturating_sub(earlier.submitted),
+            completed: self.completed.saturating_sub(earlier.completed),
+            rejected: self.rejected.saturating_sub(earlier.rejected),
+            coalesced_groups: self
+                .coalesced_groups
+                .saturating_sub(earlier.coalesced_groups),
+            coalesced_entries: self
+                .coalesced_entries
+                .saturating_sub(earlier.coalesced_entries),
+            wakeups: self.wakeups.saturating_sub(earlier.wakeups),
+            queue_depth: self.queue_depth,
+            max_queue_depth: self.max_queue_depth,
+        }
+    }
+}
+
 /// Cumulative statistics reported by an engine via [`crate::KvStore::stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineStats {
@@ -195,6 +258,28 @@ impl EngineStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn frontend_stats_width_and_delta() {
+        let mut stats = FrontendStats::default();
+        assert_eq!(stats.mean_coalesce_width(), 0.0);
+        stats.coalesced_groups = 4;
+        stats.coalesced_entries = 10;
+        assert!((stats.mean_coalesce_width() - 2.5).abs() < 1e-9);
+        let mut later = stats;
+        later.submitted = 30;
+        later.completed = 28;
+        later.rejected = 2;
+        later.wakeups = 5;
+        later.queue_depth = 3;
+        later.max_queue_depth = 9;
+        let delta = later.delta_since(stats);
+        assert_eq!(delta.submitted, 30);
+        assert_eq!(delta.coalesced_groups, 0);
+        // Gauges report the later snapshot, not a difference.
+        assert_eq!(delta.queue_depth, 3);
+        assert_eq!(delta.max_queue_depth, 9);
+    }
 
     #[test]
     fn tier_io_merge_and_delta() {

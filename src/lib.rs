@@ -9,6 +9,9 @@
 //! * [`types`] — keys, values, the [`types::KvStore`] trait and statistics,
 //! * [`storage`] — the tiered-device simulator, cost and endurance models,
 //! * [`workloads`] — YCSB and Twitter-trace workload generators,
+//! * [`frontend`] — the async submission front-end (per-partition request
+//!   queues, executor pool, group-commit coalescing) that multiplexes many
+//!   logical clients onto a few OS threads,
 //! * [`bench`](mod@bench) — the experiment harness that regenerates every table and
 //!   figure of the paper,
 //! * the individual substrates ([`nvm`], [`flash`], [`index`], [`tracker`],
@@ -61,6 +64,8 @@ pub use prism_compaction as compaction;
 pub use prism_db as db;
 /// Flash SST log substrate (re-export of `prism-flash`).
 pub use prism_flash as flash;
+/// Async submission front-end (re-export of `prism-frontend`).
+pub use prism_frontend as frontend;
 /// B-tree index substrate (re-export of `prism-index`).
 pub use prism_index as index;
 /// The LSM baseline family (re-export of `prism-lsm`).
@@ -88,6 +93,7 @@ mod tests {
         let _ = crate::lsm::LsmConfig::het(10, 0.2);
         let _ = crate::workloads::Workload::ycsb_a(10);
         let _ = crate::bench::Scale::quick();
+        let _ = crate::frontend::FrontendOptions::default();
         let _ = crate::nvm::NvmAddress::new(0, 0);
         let _ = crate::flash::BloomFilter::new(1, 10);
         let _: crate::index::BTreeIndex<u64, u64> = crate::index::BTreeIndex::new();

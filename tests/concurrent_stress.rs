@@ -466,6 +466,197 @@ fn concurrent_multi_partition_batches_are_atomic_per_partition() {
     }
 }
 
+/// 256 logical clients multiplexed on 2 submitter OS threads, serviced
+/// by a 2-executor async front-end over an engine with 2 background
+/// compaction workers: write coalescing, executor scheduling, demotions
+/// and the foreground all race. Afterwards the usual invariants hold —
+/// every surviving value is some logical client's final write (a logical
+/// client keeps one op in flight, so its writes are ordered; the
+/// globally-last write to a key is necessarily its client's last),
+/// reads are never torn, scans stay ordered, and crash recovery
+/// reproduces the visible state.
+#[test]
+fn async_frontend_multiplexes_256_logical_clients_under_stress() {
+    use prismdb::frontend::{Frontend, FrontendOptions, WriteTicket};
+
+    const SUBMITTERS: usize = 2;
+    const CLIENTS_PER_SUBMITTER: usize = 128;
+    const OPS_PER_CLIENT: usize = 60;
+
+    let db = stress_db_with_workers(2);
+    let frontend = Frontend::start(
+        Arc::clone(&db),
+        FrontendOptions {
+            executors: 2,
+            queue_capacity: 256,
+            ..FrontendOptions::default()
+        },
+    )
+    .expect("valid frontend options");
+    let frontend = &frontend;
+
+    // One log per *logical* client (the last-writer argument needs the
+    // per-client write order, not the per-OS-thread one).
+    let mut logs: Vec<HashMap<u64, LastWrite>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(SUBMITTERS);
+        for s in 0..SUBMITTERS {
+            handles.push(scope.spawn(move || {
+                struct Client {
+                    rng: StdRng,
+                    issued: usize,
+                    in_flight: Option<WriteTicket>,
+                    log: HashMap<u64, LastWrite>,
+                    tag: usize,
+                }
+                let mut clients: Vec<Client> = (0..CLIENTS_PER_SUBMITTER)
+                    .map(|c| Client {
+                        rng: StdRng::seed_from_u64(0xA57C + (s * CLIENTS_PER_SUBMITTER + c) as u64),
+                        issued: 0,
+                        in_flight: None,
+                        log: HashMap::new(),
+                        tag: s * CLIENTS_PER_SUBMITTER + c,
+                    })
+                    .collect();
+                let mut open = clients.len();
+                while open > 0 {
+                    let mut progressed = false;
+                    for client in clients.iter_mut() {
+                        if let Some(ticket) = client.in_flight.as_mut() {
+                            match ticket.poll() {
+                                Some(result) => {
+                                    result.expect("async write must ack");
+                                    client.in_flight = None;
+                                    progressed = true;
+                                    if client.issued == OPS_PER_CLIENT {
+                                        open -= 1;
+                                        continue;
+                                    }
+                                }
+                                None => continue,
+                            }
+                        } else if client.issued == OPS_PER_CLIENT {
+                            continue;
+                        }
+                        // Issue the client's next op. Writes dominate and
+                        // go through the queue; reads/scans are checked
+                        // inline for tearing and ordering.
+                        let id = client.rng.gen_range(0u64..KEY_SPACE);
+                        let key = Key::from_id(id);
+                        match client.rng.gen_range(0u32..100) {
+                            0..=54 => {
+                                // Unique per logical client: length encodes
+                                // the client id, fill the sequence number.
+                                let value =
+                                    Value::filled(64 + client.tag, (client.issued % 251) as u8);
+                                client.log.insert(
+                                    id,
+                                    LastWrite::Put {
+                                        len: value.len(),
+                                        fill: value.as_bytes()[0],
+                                    },
+                                );
+                                client.in_flight =
+                                    Some(frontend.submit_put(key, value).expect("submit"));
+                            }
+                            55..=69 => {
+                                client.log.insert(id, LastWrite::Delete);
+                                client.in_flight =
+                                    Some(frontend.submit_delete(&key).expect("submit"));
+                            }
+                            70..=84 => {
+                                let got = frontend
+                                    .submit_get(&key)
+                                    .expect("submit")
+                                    .wait()
+                                    .expect("read");
+                                if let Some(value) = got.value {
+                                    assert!(
+                                        value.as_bytes().iter().all(|b| *b == value.as_bytes()[0]),
+                                        "torn value observed through the frontend"
+                                    );
+                                }
+                            }
+                            _ => {
+                                let start = client.rng.gen_range(0u64..KEY_SPACE);
+                                let scanned = frontend
+                                    .submit_scan(&Key::from_id(start), 32)
+                                    .expect("submit")
+                                    .wait()
+                                    .expect("scan")
+                                    .entries;
+                                assert!(
+                                    scanned.windows(2).all(|w| w[0].0 < w[1].0),
+                                    "frontend scan returned unordered keys"
+                                );
+                            }
+                        }
+                        client.issued += 1;
+                        progressed = true;
+                        if client.in_flight.is_none() && client.issued == OPS_PER_CLIENT {
+                            open -= 1;
+                        }
+                    }
+                    if !progressed {
+                        std::thread::yield_now();
+                    }
+                }
+                clients.into_iter().map(|c| c.log).collect::<Vec<_>>()
+            }));
+        }
+        for handle in handles {
+            logs.extend(handle.join().expect("submitter thread panicked"));
+        }
+    });
+
+    // Every submission acked, queues empty, and pressure really produced
+    // coalesced group commits.
+    let frontend_stats = frontend.stats();
+    assert_eq!(frontend_stats.submitted, frontend_stats.completed);
+    assert_eq!(frontend_stats.queue_depth, 0);
+    assert!(frontend_stats.coalesced_groups > 0);
+    assert!(
+        frontend_stats.mean_coalesce_width() > 1.0,
+        "256 clients on 2 executors must coalesce writes (width {})",
+        frontend_stats.mean_coalesce_width()
+    );
+
+    // Last-writer-wins per key, scan/point-read agreement, engine
+    // invariants, and compaction overlap — as in the raw stress tests.
+    let state = visible_state(&db);
+    let mut live = 0usize;
+    for (id, observed) in state.iter().enumerate() {
+        if observed.is_some() {
+            live += 1;
+        }
+        assert_explained_by_logs(observed, id as u64, &logs, "after async stress");
+    }
+    assert!(live > 0, "the write-heavy mix must leave live keys");
+    let scanned = db
+        .scan(&Key::min(), KEY_SPACE as usize + 10)
+        .expect("scan")
+        .entries;
+    assert_eq!(scanned.len(), live, "scan and point reads disagree");
+    assert!(db.nvm_utilization() <= 1.0 + 1e-9);
+    use prismdb::types::ConcurrentKvStore as _;
+    let stats = db.stats();
+    assert!(stats.compaction.jobs > 0, "the stress must compact");
+    assert!(
+        stats.batch_groups > 0,
+        "coalesced groups must have installed"
+    );
+
+    // Crash with the compaction queue likely non-empty: recovery must
+    // reproduce the visible state exactly.
+    let before = visible_state(&db);
+    db.crash_and_recover();
+    let after = visible_state(&db);
+    for (id, (b, a)) in before.iter().zip(after.iter()).enumerate() {
+        assert_eq!(b, a, "key {id} changed across crash_and_recover");
+        assert_explained_by_logs(a, id as u64, &logs, "after async recovery");
+    }
+}
+
 #[test]
 fn sharedkv_lets_the_single_threaded_runner_drive_a_shared_engine() {
     use prismdb::bench::{RunConfig, Runner};

@@ -22,6 +22,15 @@
 //! flight* on another thread — per-partition sub-batches must be
 //! all-or-nothing after recovery, so the final state must still equal
 //! the oracle's exactly.
+//!
+//! A sixth column drives the *async submission front-end*: writes are
+//! submitted onto the per-partition queues without waiting (tickets
+//! accumulate client-side) and every read/scan first waits all pending
+//! acks, so read-your-writes holds and executor-coalesced group commits
+//! are compared against the oracle exactly. Its engine is crash-recovered
+//! mid-run *while submissions are still in flight* in the queues (acked
+//! ops must survive; queued ops drain through the executors and
+//! reconverge), and once more with unacked tickets outstanding.
 
 use std::sync::Arc;
 
@@ -29,6 +38,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use prismdb::db::{Options, Partitioning, PrismDb};
+use prismdb::frontend::{Frontend, FrontendOptions, WriteTicket};
 use prismdb::lsm::{LsmConfig, LsmTree};
 use prismdb::types::{
     ConcurrentKvStore, EngineStats, Key, KvStore, Lookup, MemStore, Nanos, Op, Result, ScanResult,
@@ -144,6 +154,88 @@ impl KvStore for BatchingKv {
 
     fn engine_name(&self) -> &str {
         "prismdb-batched"
+    }
+}
+
+/// The async column: a client of the submission front-end that fires
+/// writes without waiting (the tickets pile up client-side, so the
+/// engine-side queues really hold in-flight work) and waits all pending
+/// acks before any read or scan, so every comparison against the oracle
+/// is exact.
+struct FrontendKv {
+    frontend: Frontend<PrismDb>,
+    pending: Vec<WriteTicket>,
+}
+
+impl FrontendKv {
+    fn new(db: PrismDb) -> Self {
+        FrontendKv {
+            frontend: Frontend::start(
+                Arc::new(db),
+                FrontendOptions {
+                    executors: 2,
+                    ..FrontendOptions::default()
+                },
+            )
+            .expect("valid frontend options"),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Wait every outstanding write ack.
+    fn flush(&mut self) {
+        for ticket in self.pending.drain(..) {
+            ticket.wait().expect("async write must ack");
+        }
+    }
+
+    /// Crash the engine underneath the (still running) front-end.
+    /// Deliberately does NOT flush: submissions still queued are in
+    /// flight across the crash and drain through the executors afterwards.
+    fn crash_and_recover(&self) -> Nanos {
+        self.frontend.engine().crash_and_recover()
+    }
+
+    fn engine(&self) -> Arc<PrismDb> {
+        Arc::clone(self.frontend.engine())
+    }
+
+    fn frontend_stats(&self) -> prismdb::types::FrontendStats {
+        self.frontend.stats()
+    }
+}
+
+impl KvStore for FrontendKv {
+    fn put(&mut self, key: Key, value: Value) -> Result<Nanos> {
+        self.pending.push(self.frontend.submit_put(key, value)?);
+        Ok(Nanos::ZERO)
+    }
+
+    fn delete(&mut self, key: &Key) -> Result<Nanos> {
+        self.pending.push(self.frontend.submit_delete(key)?);
+        Ok(Nanos::ZERO)
+    }
+
+    fn get(&mut self, key: &Key) -> Result<Lookup> {
+        self.flush();
+        self.frontend.submit_get(key)?.wait()
+    }
+
+    fn scan(&mut self, start: &Key, count: usize) -> Result<ScanResult> {
+        self.flush();
+        self.frontend.submit_scan(start, count)?.wait()
+    }
+
+    fn stats(&self) -> EngineStats {
+        ConcurrentKvStore::stats(&**self.frontend.engine())
+    }
+
+    fn elapsed(&self) -> Nanos {
+        ConcurrentKvStore::elapsed(&**self.frontend.engine())
+    }
+
+    fn engine_name(&self) -> &str {
+        "prismdb-async"
     }
 }
 
@@ -282,17 +374,21 @@ fn run_seed(seed: u64) {
     let mut prism_bg = prism_engine_with_workers(Partitioning::Hash, 2);
     // The batched column: same op stream, writes chunked into batches.
     let mut prism_batched = BatchingKv::new(prism_engine(Partitioning::Hash));
+    // The async column: same op stream submitted through the front-end's
+    // per-partition queues, acks awaited before every read.
+    let mut prism_async = FrontendKv::new(prism_engine(Partitioning::Hash));
     let mut lsm = lsm_engine();
     let mut oracle = MemStore::default();
 
     for ops_done in 0..OPS_PER_SEED {
         let op = random_op(&mut rng);
         let (oracle_read, oracle_scan) = apply(&mut oracle, &op);
-        let mut engines: [(&str, &mut dyn KvStore); 5] = [
+        let mut engines: [(&str, &mut dyn KvStore); 6] = [
             ("prismdb-hash", &mut prism_hash),
             ("prismdb-range", &mut prism_range),
             ("prismdb-bg", &mut prism_bg),
             ("prismdb-batched", &mut prism_batched),
+            ("prismdb-async", &mut prism_async),
             ("rocksdb-het", &mut lsm),
         ];
         for (name, engine) in engines.iter_mut() {
@@ -327,19 +423,31 @@ fn run_seed(seed: u64) {
             // after the crash, the final state must equal the oracle's
             // (the state checks above and below prove it).
             prism_batched.flush().expect("pre-burst flush");
-            let mut burst_targets: [(&str, &mut dyn KvStore); 5] = [
+            // The async column takes the burst *through its queues*: the
+            // submissions below are in flight (unacked) while the crash
+            // races the executors on other threads.
+            let mut burst_targets: [(&str, &mut dyn KvStore); 6] = [
                 ("oracle", &mut oracle),
                 ("prismdb-hash", &mut prism_hash),
                 ("prismdb-range", &mut prism_range),
                 ("prismdb-bg", &mut prism_bg),
+                ("prismdb-async", &mut prism_async),
                 ("rocksdb-het", &mut lsm),
             ];
             let burst = crash_burst(&mut rng, &mut burst_targets);
             let db = prism_batched.engine();
+            let async_db = prism_async.engine();
             std::thread::scope(|scope| {
                 let crasher = Arc::clone(&db);
                 scope.spawn(move || {
                     crasher.crash_and_recover();
+                });
+                // Crash the async engine while its executors are still
+                // draining the burst submissions: acked ops must survive,
+                // queued ops drain afterwards, so the column reconverges.
+                let async_crasher = Arc::clone(&async_db);
+                scope.spawn(move || {
+                    async_crasher.crash_and_recover();
                 });
                 db.apply_batch(burst).expect("mid-crash batch");
             });
@@ -349,8 +457,10 @@ fn run_seed(seed: u64) {
             // likely holds un-submitted entries: crash the batched engine
             // with writes still buffered client-side. The buffer survives
             // in the client and flushes later, so the column must
-            // reconverge to the oracle.
+            // reconverge to the oracle. The async engine crashes with
+            // unacked tickets outstanding for the same reason.
             prism_batched.crash_and_recover();
+            prism_async.crash_and_recover();
         }
     }
 
@@ -360,11 +470,14 @@ fn run_seed(seed: u64) {
     prism_range.crash_and_recover();
     prism_bg.crash_and_recover();
     prism_batched.crash_and_recover();
-    let mut engines: [(&str, &mut dyn KvStore); 5] = [
+    prism_async.flush();
+    prism_async.crash_and_recover();
+    let mut engines: [(&str, &mut dyn KvStore); 6] = [
         ("prismdb-hash (recovered)", &mut prism_hash),
         ("prismdb-range (recovered)", &mut prism_range),
         ("prismdb-bg (recovered)", &mut prism_bg),
         ("prismdb-batched (recovered)", &mut prism_batched),
+        ("prismdb-async (recovered)", &mut prism_async),
         ("rocksdb-het", &mut lsm),
     ];
     assert_state_matches(&mut engines, &mut oracle, seed, OPS_PER_SEED);
@@ -376,6 +489,19 @@ fn run_seed(seed: u64) {
         "the batched column never installed a group (seed {seed})"
     );
     assert!(batched_stats.batch_entries >= batched_stats.batch_groups);
+
+    // The async column must really have gone through the queues: every
+    // submission acked, groups installed, no stranded requests.
+    let frontend_stats = prism_async.frontend_stats();
+    assert!(
+        frontend_stats.coalesced_groups > 0,
+        "the async column never installed a coalesced group (seed {seed})"
+    );
+    assert_eq!(
+        frontend_stats.submitted, frontend_stats.completed,
+        "async submissions were stranded (seed {seed})"
+    );
+    assert_eq!(frontend_stats.queue_depth, 0);
 }
 
 #[test]

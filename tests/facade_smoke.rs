@@ -64,3 +64,46 @@ fn facade_opens_writes_reads_and_reports_tier_stats() {
     assert!(db.nvm_object_count() + db.flash_object_count() >= keys as usize);
     assert!(db.cost_per_gb() > 0.0);
 }
+
+/// The async submission front-end works end to end through the facade's
+/// re-exports alone: submit writes and reads over a shared engine, wait
+/// the tickets, and observe the coalescing statistics.
+#[test]
+fn facade_drives_the_async_frontend() {
+    use prismdb::frontend::{Frontend, FrontendOptions};
+    use prismdb::types::Nanos;
+    use std::sync::Arc;
+
+    let engine = Arc::new(
+        PrismDb::open(
+            Options::builder(1_000)
+                .partitions(2)
+                .build()
+                .expect("valid"),
+        )
+        .expect("engine opens"),
+    );
+    let frontend =
+        Frontend::start(Arc::clone(&engine), FrontendOptions::default()).expect("frontend starts");
+    assert_eq!(frontend.executor_count(), 2);
+    let tickets: Vec<_> = (0..100u64)
+        .map(|id| {
+            frontend
+                .submit_put(Key::from_id(id), Value::filled(128, id as u8))
+                .expect("submit")
+        })
+        .collect();
+    for ticket in tickets {
+        assert!(ticket.wait().expect("write acked") >= Nanos::ZERO);
+    }
+    let lookup = frontend
+        .submit_get(&Key::from_id(42))
+        .expect("submit")
+        .wait()
+        .expect("read");
+    assert_eq!(lookup.value.expect("key present").as_bytes()[0], 42);
+    let stats = frontend.stats();
+    assert_eq!(stats.submitted, 101);
+    assert_eq!(stats.completed, 101);
+    assert_eq!(stats.coalesced_entries, 100);
+}
