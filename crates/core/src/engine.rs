@@ -2,17 +2,20 @@
 //! background compaction worker pool and the [`KvStore`] /
 //! [`ConcurrentKvStore`] implementations.
 
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Duration;
 
-use prism_storage::TieredStorage;
+use prism_storage::{group_digest, CommitLog, CommitPart, TieredStorage};
 use prism_types::{
     BatchOp, ConcurrentKvStore, EngineStats, Key, KvStore, Lookup, Nanos, PrismError, Result,
-    ScanResult, Value, WriteBatch,
+    ScanResult, SnapshotId, TxnStats, Value, WriteBatch,
 };
 
 use crate::options::{Options, Partitioning};
 use crate::partition::Partition;
+use crate::sequence::CommitSequencer;
 use crate::workers::{worker_loop, JobRequest, RequestKind, Scheduler};
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -33,6 +36,15 @@ const BACKPRESSURE_WAITS: usize = 64;
 /// foreground (the waiter re-checks and eventually compacts inline).
 const WAIT_SLICE: Duration = Duration::from_millis(100);
 
+/// Monotone transaction-layer counters (engine-lifetime, like device
+/// counters; they survive `crash_and_recover`).
+#[derive(Debug, Default)]
+struct TxnCounters {
+    snapshots: AtomicU64,
+    commits: AtomicU64,
+    conflicts: AtomicU64,
+}
+
 /// Engine state shared between client handles and background worker
 /// threads.
 pub(crate) struct EngineShared {
@@ -42,6 +54,12 @@ pub(crate) struct EngineShared {
     /// Key-id span covered by each partition.
     partition_span: u64,
     sched: Option<Scheduler>,
+    /// Global commit sequencer: allocates version timestamps and tracks
+    /// pinned snapshots (shared with every partition).
+    seq: Arc<CommitSequencer>,
+    /// NVM-resident intent log making multi-partition batches atomic.
+    commit_log: CommitLog,
+    txn: TxnCounters,
 }
 
 impl EngineShared {
@@ -90,12 +108,26 @@ impl EngineShared {
 /// same partition serialise, and *reads on the same partition overlap with
 /// each other* — the read path defers its tracker/clock updates into a
 /// buffer that the next writer drains. Single-key operations take exactly
-/// one partition lock. Cross-partition scans are the only multi-lock path;
-/// they acquire partition read locks in ascending partition order and hold
-/// them until the scan completes, which makes scans atomic snapshots and
-/// rules out lock-order deadlocks. The legacy [`KvStore`] (`&mut self`)
-/// impl is a thin adapter over the shared-reference path, so existing
-/// single-threaded callers are unaffected.
+/// one partition lock. Scans read through a pinned snapshot sequence and
+/// visit partitions one short read lock at a time, so a long scan never
+/// serialises writers; the only multi-lock paths are the cross-partition
+/// commit protocols (`apply_batch` over several partitions and
+/// `txn_commit`), which acquire write locks in ascending partition order —
+/// a single global order, so lock-order deadlocks are ruled out. The
+/// legacy [`KvStore`] (`&mut self`) impl is a thin adapter over the
+/// shared-reference path, so existing single-threaded callers are
+/// unaffected.
+///
+/// # Snapshots and transactions
+///
+/// [`ConcurrentKvStore::snapshot`] pins the engine's global commit
+/// sequence; `snapshot_get`/`snapshot_scan` then see exactly the versions
+/// committed at pin time, regardless of concurrent writes or compactions
+/// (writers preserve superseded versions in a per-partition history buffer
+/// while pins are live). [`ConcurrentKvStore::txn_commit`] adds optimistic
+/// multi-key transactions on top: reads are validated against the snapshot
+/// sequence at commit, and cross-partition write sets run the commit-log
+/// protocol so they are atomic even across a crash.
 ///
 /// # Background compaction
 ///
@@ -178,9 +210,15 @@ impl PrismDb {
     pub fn open_with_storage(options: Options, storage: TieredStorage) -> Result<Self> {
         options.validate()?;
         let options = Arc::new(options);
+        let seq = Arc::new(CommitSequencer::new());
         let mut partitions = Vec::with_capacity(options.num_partitions);
         for id in 0..options.num_partitions {
-            partitions.push(RwLock::new(Partition::new(id, options.clone(), &storage)?));
+            partitions.push(RwLock::new(Partition::new(
+                id,
+                options.clone(),
+                &storage,
+                seq.clone(),
+            )?));
         }
         // Leave headroom above the expected key count so freshly inserted
         // keys (YCSB-D style) still route to the last partition's range
@@ -188,11 +226,15 @@ impl PrismDb {
         let span = (options.expected_keys * 2 / options.num_partitions as u64).max(1);
         let sched = (options.compaction_workers > 0)
             .then(|| Scheduler::new(options.num_partitions, options.compaction_workers));
+        let commit_log = CommitLog::new(storage.nvm.clone());
         let shared = Arc::new(EngineShared {
             storage,
             partitions,
             partition_span: span,
             sched,
+            seq,
+            commit_log,
+            txn: TxnCounters::default(),
             options: options.clone(),
         });
         let workers = (0..options.compaction_workers)
@@ -299,8 +341,11 @@ impl PrismDb {
 
     /// Simulate a crash that loses all DRAM state, then recover every
     /// partition in parallel (recovery time is the maximum over partitions,
-    /// since partitions recover independently, §6 of the paper). Returns
-    /// that recovery time.
+    /// since partitions recover independently, §6 of the paper), and
+    /// finally replay the NVM-resident commit log: sealed records are
+    /// acknowledged (their batches are durable), while an unsealed record
+    /// marks a batch torn mid-install — its pre-images are restored so
+    /// the batch disappears atomically. Returns the total recovery time.
     ///
     /// Takes `&self` so recovery can be exercised on a shared
     /// `Arc<PrismDb>`; each partition is locked for the duration of its own
@@ -310,10 +355,116 @@ impl PrismDb {
     /// flight against it: the job's install becomes a no-op, exactly as if
     /// the crash had interrupted it, so recovery always lands on the last
     /// installed (old or new) state — never a half-compacted one.
+    ///
+    /// Rollback restores pre-images unconditionally, so an independent
+    /// write racing a torn commit to the same key can be rolled back with
+    /// it; writes concurrent with a crash have no ordering guarantee
+    /// anyway.
     pub fn crash_and_recover(&self) -> Nanos {
-        (0..self.partition_count())
+        let per_partition = (0..self.partition_count())
             .map(|i| self.shared.write_partition(i).crash_and_recover())
-            .fold(Nanos::ZERO, Nanos::max)
+            .fold(Nanos::ZERO, Nanos::max);
+        per_partition + self.replay_commit_log()
+    }
+
+    /// Drain the commit log after per-partition recovery: roll torn
+    /// records back newest-first by restoring their pre-images. Restoring
+    /// a group that never installed re-writes identical state (a no-op
+    /// for readers), so rollback needs no knowledge of how far the torn
+    /// batch got.
+    fn replay_commit_log(&self) -> Nanos {
+        let (_sealed, torn) = self.shared.commit_log.drain_for_recovery();
+        let mut cost = Nanos::ZERO;
+        for record in torn {
+            for part in &record.parts {
+                let ops: Vec<BatchOp> = part
+                    .pre_images
+                    .iter()
+                    .map(|(key, image)| match image {
+                        Some(value) => BatchOp::Put(key.clone(), value.clone()),
+                        None => BatchOp::Delete(key.clone()),
+                    })
+                    .collect();
+                if ops.is_empty() {
+                    continue;
+                }
+                cost += self
+                    .shared
+                    .write_partition(part.partition)
+                    .apply_group(ops, false)
+                    .expect(
+                        "rollback restores values that fit before; \
+                         the group path reclaims space inline",
+                    );
+            }
+        }
+        cost
+    }
+
+    /// Fault-injection hook for crash testing: run the cross-partition
+    /// commit protocol for `batch` but "lose power" mid-install — the
+    /// commit intent is persisted, only the first `install_groups`
+    /// partition groups are installed, and the record is left unsealed.
+    /// The engine is deliberately left in the torn state; the next
+    /// [`PrismDb::crash_and_recover`] must make the batch disappear
+    /// atomically by restoring the record's pre-images. (The real commit
+    /// path cannot be observed torn — every touched write lock is held
+    /// from intent to seal — so recovery's rollback is only reachable
+    /// through a simulated power cut like this one.)
+    ///
+    /// Returns the commit-log batch id.
+    ///
+    /// # Errors
+    ///
+    /// Forwards partition write errors; nothing is rolled back (that is
+    /// the point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch touches fewer than two partitions — a
+    /// single-partition group installs under one lock hold and cannot be
+    /// torn.
+    pub fn apply_batch_leaving_torn(
+        &self,
+        batch: WriteBatch,
+        install_groups: usize,
+    ) -> Result<u64> {
+        let mut groups: Vec<Vec<BatchOp>> = vec![Vec::new(); self.partition_count()];
+        for op in batch {
+            groups[self.partition_for(op.key())].push(op);
+        }
+        let touched: Vec<usize> = groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !g.is_empty())
+            .map(|(idx, _)| idx)
+            .collect();
+        assert!(
+            touched.len() >= 2,
+            "a torn commit needs at least two partition groups"
+        );
+        let mut guards: Vec<(usize, RwLockWriteGuard<'_, Partition>)> = touched
+            .iter()
+            .map(|&idx| (idx, self.shared.write_partition(idx)))
+            .collect();
+        let (batch_id, _cost) =
+            self.install_groups_with_intent(&mut groups, &mut guards, false, install_groups)?;
+        Ok(batch_id)
+    }
+
+    /// Number of unsealed (in-flight or torn) commit-log records.
+    pub fn torn_commit_records(&self) -> usize {
+        self.shared.commit_log.unsealed()
+    }
+
+    /// Number of currently pinned snapshots.
+    pub fn active_snapshots(&self) -> u64 {
+        self.shared.seq.active_pins()
+    }
+
+    /// The most recently allocated commit sequence (0 before any write).
+    pub fn commit_sequence(&self) -> u64 {
+        self.shared.seq.current()
     }
 
     fn partition_for(&self, key: &Key) -> usize {
@@ -445,6 +596,167 @@ impl PrismDb {
         Ok(cost)
     }
 
+    /// The cross-partition commit protocol, run under an already-held set
+    /// of ascending partition write `guards` covering every non-empty
+    /// group of `groups` (read-only guards with empty groups are allowed
+    /// and ignored):
+    ///
+    /// 1. capture pre-images and persist a [`CommitLog`] intent record,
+    /// 2. allocate **one** commit sequence for the whole batch,
+    /// 3. install every group on the held guards (stopping after
+    ///    `install_limit` groups — the fault-injection hook's lever),
+    /// 4. seal the record (skipped when `seal` is false).
+    ///
+    /// Because every touched lock stays held from intent to seal, no
+    /// reader or snapshot can observe a partially installed batch. A
+    /// runtime error mid-install rolls the already-installed groups back
+    /// to their pre-images (locks still held) and seals the record as
+    /// resolved, so the failed batch is all-or-nothing too.
+    ///
+    /// Returns the commit-log batch id and the total charged latency.
+    fn install_groups_with_intent(
+        &self,
+        groups: &mut [Vec<BatchOp>],
+        guards: &mut [(usize, RwLockWriteGuard<'_, Partition>)],
+        seal: bool,
+        install_limit: usize,
+    ) -> Result<(u64, Nanos)> {
+        let active: Vec<usize> = guards
+            .iter()
+            .enumerate()
+            .filter(|(_, (idx, _))| !groups[*idx].is_empty())
+            .map(|(pos, _)| pos)
+            .collect();
+
+        let mut parts = Vec::with_capacity(active.len());
+        let mut rollback: Vec<Vec<(Key, Option<Value>)>> = Vec::with_capacity(active.len());
+        for &pos in &active {
+            let (idx, guard) = &guards[pos];
+            let entries = &groups[*idx];
+            let mut seen: HashSet<u64> = HashSet::with_capacity(entries.len());
+            let mut pre_images = Vec::new();
+            for op in entries {
+                if seen.insert(op.key().id()) {
+                    pre_images.push((op.key().clone(), guard.current_visible(op.key())));
+                }
+            }
+            let digest = group_digest(entries.iter().map(|op| match op {
+                BatchOp::Put(key, value) => (key, Some(value.len() as u64)),
+                BatchOp::Delete(key) => (key, None),
+            }));
+            rollback.push(pre_images.clone());
+            parts.push(CommitPart {
+                partition: *idx,
+                entries: entries.len() as u64,
+                digest,
+                pre_images,
+            });
+        }
+        let (batch_id, mut total) = self.shared.commit_log.begin(parts);
+
+        // One sequence for the whole batch: a pinned snapshot sees every
+        // group or none (it cannot observe mid-install state either way,
+        // since all touched write locks are held until the seal).
+        let seq = self.shared.seq.allocate();
+        let merge = self.shared.options.merge_batch_duplicates;
+        let mut installed = 0usize;
+        let mut failure: Option<PrismError> = None;
+        for (step, &pos) in active.iter().enumerate() {
+            if step >= install_limit {
+                break;
+            }
+            let (idx, guard) = &mut guards[pos];
+            let entries = std::mem::take(&mut groups[*idx]);
+            match guard.apply_group_with_seq(entries, merge, seq) {
+                Ok(cost) => {
+                    total += cost;
+                    installed = step + 1;
+                }
+                Err(err) => {
+                    failure = Some(err);
+                    break;
+                }
+            }
+        }
+
+        if let Some(err) = failure {
+            // Restore the pre-images of every installed group newest-
+            // first while all locks are still held, then seal the record
+            // as resolved: recovery must not roll it back again.
+            for step in (0..installed).rev() {
+                let ops: Vec<BatchOp> = rollback[step]
+                    .iter()
+                    .map(|(key, image)| match image {
+                        Some(value) => BatchOp::Put(key.clone(), value.clone()),
+                        None => BatchOp::Delete(key.clone()),
+                    })
+                    .collect();
+                if !ops.is_empty() {
+                    let (_, guard) = &mut guards[active[step]];
+                    guard.apply_group(ops, false)?;
+                }
+            }
+            self.shared.commit_log.seal(batch_id);
+            return Err(err);
+        }
+
+        if seal {
+            total += self.shared.commit_log.seal(batch_id);
+        }
+        Ok((batch_id, total))
+    }
+
+    /// Collect a scan as of a pinned sequence, visiting partitions one at
+    /// a time (one short read lock each — never a multi-lock hold).
+    fn snapshot_scan_parts(
+        &self,
+        pinned: u64,
+        start: &Key,
+        count: usize,
+    ) -> Result<(Vec<(Key, Value)>, Nanos)> {
+        match self.shared.options.partitioning {
+            Partitioning::Range => {
+                // Partitions hold contiguous key ranges: walk them in
+                // order until enough entries are collected.
+                let mut entries = Vec::with_capacity(count);
+                let mut latency = Nanos::ZERO;
+                let mut cursor = start.clone();
+                for idx in self.partition_for(start)..self.partition_count() {
+                    if entries.len() >= count {
+                        break;
+                    }
+                    let (mut chunk, cost) = self.shared.read_partition(idx).snapshot_scan_collect(
+                        &cursor,
+                        count - entries.len(),
+                        pinned,
+                    )?;
+                    latency += cost;
+                    entries.append(&mut chunk);
+                    cursor = Key::min();
+                }
+                Ok((entries, latency))
+            }
+            Partitioning::Hash => {
+                // Keys are scattered: every partition may hold part of
+                // the range, so collect `count` candidates from each and
+                // merge.
+                let mut entries: Vec<(Key, Value)> = Vec::with_capacity(count * 2);
+                let mut latency = Nanos::ZERO;
+                for idx in 0..self.partition_count() {
+                    let (mut chunk, cost) = self
+                        .shared
+                        .read_partition(idx)
+                        .snapshot_scan_collect(start, count, pinned)?;
+                    latency += cost;
+                    entries.append(&mut chunk);
+                }
+                entries.sort_by(|a, b| a.0.cmp(&b.0));
+                entries.truncate(count);
+                Ok((entries, latency))
+            }
+        }
+    }
+
     /// Drain read-side pressure on a partition after a read: apply the
     /// buffered tracker updates and run (inline) or enqueue (background)
     /// any due promotion compaction.
@@ -525,13 +837,17 @@ impl ConcurrentKvStore for PrismDb {
     ///
     /// # Atomicity
     ///
-    /// Each partition's sub-batch is all-or-nothing with respect to
-    /// concurrent readers and to [`PrismDb::crash_and_recover`] (recovery
-    /// takes the same write lock, so it observes the group either fully
-    /// applied — and durable, writes persist to NVM synchronously — or
-    /// not at all). The batch is **not** atomic across partitions:
-    /// partition locks are taken one at a time in ascending order and
-    /// released between groups.
+    /// The whole batch is all-or-nothing, across partitions. A
+    /// single-partition batch installs under one continuous write-lock
+    /// hold (recovery takes the same lock, so it observes the group
+    /// either fully applied — and durable, writes persist to NVM
+    /// synchronously — or not at all). A multi-partition batch runs the
+    /// commit-log protocol: every touched partition's write lock is
+    /// acquired in ascending order and held from the persisted commit
+    /// intent through group installation to the seal, and all groups
+    /// share one commit sequence — so concurrent readers, pinned
+    /// snapshots and [`PrismDb::crash_and_recover`] (which rolls unsealed
+    /// records back to their pre-images) never observe a torn batch.
     fn apply_batch(&self, batch: WriteBatch) -> Result<Nanos> {
         if batch.is_empty() {
             return Ok(Nanos::ZERO);
@@ -563,63 +879,52 @@ impl ConcurrentKvStore for PrismDb {
         for op in batch {
             groups[self.partition_for(op.key())].push(op);
         }
-        let mut total = Nanos::ZERO;
-        for (idx, entries) in groups.into_iter().enumerate() {
-            if entries.is_empty() {
-                continue;
+        let touched: Vec<usize> = groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !g.is_empty())
+            .map(|(idx, _)| idx)
+            .collect();
+        // A single-partition batch is already atomic under its one
+        // write-lock hold; skip the commit-log round trip.
+        if touched.len() <= 1 {
+            let mut total = Nanos::ZERO;
+            for idx in touched {
+                total += self.apply_partition_group(idx, std::mem::take(&mut groups[idx]))?;
             }
-            total += self.apply_partition_group(idx, entries)?;
+            return Ok(total);
+        }
+        let mut guards: Vec<(usize, RwLockWriteGuard<'_, Partition>)> = touched
+            .iter()
+            .map(|&idx| (idx, self.shared.write_partition(idx)))
+            .collect();
+        let result = self.install_groups_with_intent(&mut groups, &mut guards, true, usize::MAX);
+        drop(guards);
+        let (_batch_id, mut total) = result?;
+        if self.shared.background() {
+            // Watermark/back-pressure bookkeeping re-locks partitions, so
+            // it must run after the multi-lock hold is released.
+            for idx in touched {
+                total += self.after_background_write(idx)?;
+            }
         }
         Ok(total)
     }
 
     fn scan(&self, start: &Key, count: usize) -> Result<ScanResult> {
-        // Both branches acquire partition read locks in ascending
-        // partition order and hold every acquired lock until the scan
-        // finishes. This is the engine's only multi-lock path; the global
-        // ascending order makes deadlock impossible and the
-        // hold-until-done discipline makes the scan an atomic snapshot of
-        // the partitions it covers. Read locks suffice: scans defer
-        // nothing that needs the write lock.
-        match self.shared.options.partitioning {
-            Partitioning::Range => {
-                // Partitions hold contiguous key ranges: walk them in order
-                // until enough entries are collected.
-                let mut entries = Vec::with_capacity(count);
-                let mut latency = Nanos::ZERO;
-                let mut cursor = start.clone();
-                let mut guards: Vec<RwLockReadGuard<'_, Partition>> = Vec::new();
-                for idx in self.partition_for(start)..self.partition_count() {
-                    if entries.len() >= count {
-                        break;
-                    }
-                    guards.push(self.shared.read_partition(idx));
-                    let guard = guards.last().expect("just pushed");
-                    let (mut chunk, cost) = guard.scan_collect(&cursor, count - entries.len())?;
-                    latency += cost;
-                    entries.append(&mut chunk);
-                    cursor = Key::min();
-                }
-                Ok(ScanResult { entries, latency })
-            }
-            Partitioning::Hash => {
-                // Keys are scattered: every partition may hold part of the
-                // range, so collect `count` candidates from each and merge.
-                let guards: Vec<RwLockReadGuard<'_, Partition>> = (0..self.partition_count())
-                    .map(|idx| self.shared.read_partition(idx))
-                    .collect();
-                let mut entries: Vec<(Key, Value)> = Vec::with_capacity(count * 2);
-                let mut latency = Nanos::ZERO;
-                for guard in guards.iter() {
-                    let (mut chunk, cost) = guard.scan_collect(start, count)?;
-                    latency += cost;
-                    entries.append(&mut chunk);
-                }
-                entries.sort_by(|a, b| a.0.cmp(&b.0));
-                entries.truncate(count);
-                Ok(ScanResult { entries, latency })
-            }
-        }
+        // Scans read through a pinned snapshot sequence instead of
+        // holding partition locks for their whole duration: the pin
+        // freezes which versions are visible, each partition is then
+        // visited with a short per-partition read lock, and writers on
+        // partitions the scan is not currently touching proceed
+        // unimpeded (they preserve superseded versions for the pin).
+        // This removes the engine's former ordered-lock scan hold — a
+        // long scan no longer serialises the write path.
+        let pinned = self.shared.seq.pin();
+        let result = self.snapshot_scan_parts(pinned, start, count);
+        self.shared.seq.release(pinned);
+        let (entries, latency) = result?;
+        Ok(ScanResult { entries, latency })
     }
 
     fn stats(&self) -> EngineStats {
@@ -653,6 +958,16 @@ impl ConcurrentKvStore for PrismDb {
             stats.compaction.max_queue_depth = sched.max_queue_depth();
             stats.compaction.enqueued_jobs = sched.enqueued_total();
         }
+        let log = self.shared.commit_log.counters();
+        stats.txn = TxnStats {
+            snapshots: self.shared.txn.snapshots.load(Ordering::Relaxed),
+            txn_commits: self.shared.txn.commits.load(Ordering::Relaxed),
+            txn_conflicts: self.shared.txn.conflicts.load(Ordering::Relaxed),
+            commit_intents: log.intents,
+            commit_seals: log.seals,
+            commit_replayed: log.replayed,
+            commit_rolled_back: log.rolled_back,
+        };
         stats
     }
 
@@ -676,7 +991,7 @@ impl ConcurrentKvStore for PrismDb {
 
     fn shards_for_scan(&self, start: &Key) -> std::ops::Range<usize> {
         match self.shared.options.partitioning {
-            // A hash-partitioned scan locks every partition.
+            // A hash-partitioned scan visits every partition.
             Partitioning::Hash => 0..self.partition_count(),
             // A range-partitioned scan walks ascending partitions from the
             // start key's partition; it may stop early once `count`
@@ -700,6 +1015,131 @@ impl ConcurrentKvStore for PrismDb {
 
     fn shard_write_pressure(&self, shard: usize) -> f64 {
         self.partition_write_pressure(shard)
+    }
+
+    /// Pin a read snapshot at the current commit sequence. Until the
+    /// snapshot is released, writers preserve any version they supersede
+    /// so snapshot reads stay frozen at pin time.
+    fn snapshot(&self) -> Result<SnapshotId> {
+        self.shared.txn.snapshots.fetch_add(1, Ordering::Relaxed);
+        Ok(SnapshotId(self.shared.seq.pin()))
+    }
+
+    fn release_snapshot(&self, snapshot: SnapshotId) {
+        self.shared.seq.release(snapshot.0);
+    }
+
+    fn snapshot_get(&self, snapshot: SnapshotId, key: &Key) -> Result<Option<Value>> {
+        let idx = self.partition_for(key);
+        let (value, _cost) = self
+            .shared
+            .read_partition(idx)
+            .snapshot_get(key, snapshot.sequence())?;
+        Ok(value)
+    }
+
+    fn snapshot_scan(
+        &self,
+        snapshot: SnapshotId,
+        start: &Key,
+        count: usize,
+    ) -> Result<Vec<(Key, Value)>> {
+        let (entries, _cost) = self.snapshot_scan_parts(snapshot.sequence(), start, count)?;
+        Ok(entries)
+    }
+
+    /// Optimistic multi-key commit: lock the union of read and write
+    /// partitions in ascending order, validate that no key in the read
+    /// set changed after the snapshot was pinned, then install the write
+    /// set — through the commit-log protocol when it spans partitions,
+    /// so the transaction is atomic even across a crash.
+    fn txn_commit(&self, snapshot: SnapshotId, reads: &[Key], writes: WriteBatch) -> Result<Nanos> {
+        // Validate value sizes up front so an oversized value cannot
+        // leave the transaction half-applied (mirrors `apply_batch`).
+        let max_slot = self
+            .shared
+            .options
+            .slab_slot_sizes
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0) as usize;
+        let max_value = max_slot.min(prism_nvm::MAX_OBJECT_SIZE);
+        for op in writes.entries() {
+            if let BatchOp::Put(_, value) = op {
+                if value.len() > max_value {
+                    return Err(PrismError::ObjectTooLarge {
+                        size: value.len(),
+                        max: max_value,
+                    });
+                }
+            }
+        }
+        let mut groups: Vec<Vec<BatchOp>> = vec![Vec::new(); self.partition_count()];
+        for op in writes {
+            groups[self.partition_for(op.key())].push(op);
+        }
+        let write_parts: Vec<usize> = groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !g.is_empty())
+            .map(|(idx, _)| idx)
+            .collect();
+        let mut touched: Vec<usize> = write_parts.clone();
+        touched.extend(reads.iter().map(|key| self.partition_for(key)));
+        touched.sort_unstable();
+        touched.dedup();
+        if touched.is_empty() {
+            // Nothing read, nothing written: a trivially successful commit.
+            self.shared.txn.commits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Nanos::ZERO);
+        }
+        let mut guards: Vec<(usize, RwLockWriteGuard<'_, Partition>)> = touched
+            .iter()
+            .map(|&idx| (idx, self.shared.write_partition(idx)))
+            .collect();
+        // First-committer-wins validation: any read key whose newest
+        // version (live or preserved-for-snapshots) postdates the pinned
+        // sequence means a concurrent commit overlapped — abort.
+        for key in reads {
+            let idx = self.partition_for(key);
+            let pos = touched
+                .binary_search(&idx)
+                .expect("read partitions are in the touched set");
+            let newest = guards[pos].1.newest_seq(key);
+            if newest.is_some_and(|seq| seq > snapshot.sequence()) {
+                self.shared.txn.conflicts.fetch_add(1, Ordering::Relaxed);
+                return Err(PrismError::TxnConflict { key: key.id() });
+            }
+        }
+        let result = if write_parts.is_empty() {
+            // Read-only transaction: validation alone commits it.
+            Ok(Nanos::ZERO)
+        } else if write_parts.len() == 1 {
+            // One write partition: its single write-lock hold is already
+            // atomic, skip the commit-log round trip.
+            let idx = write_parts[0];
+            let pos = touched
+                .binary_search(&idx)
+                .expect("write partitions are in the touched set");
+            guards[pos]
+                .1
+                .apply_group(std::mem::take(&mut groups[idx]), true)
+        } else {
+            self.install_groups_with_intent(&mut groups, &mut guards, true, usize::MAX)
+                .map(|(_, cost)| cost)
+        };
+        drop(guards);
+        let mut total = result?;
+        if self.shared.background() {
+            // Watermark/back-pressure bookkeeping re-locks partitions, so
+            // it must run after the multi-lock hold is released.
+            for idx in write_parts {
+                total += self.after_background_write(idx)?;
+            }
+        }
+        self.shared.txn.commits.fetch_add(1, Ordering::Relaxed);
+        Ok(total)
     }
 }
 
@@ -1178,5 +1618,123 @@ mod tests {
             db.put(Key::from_id(id), Value::filled(800, 1)).unwrap();
         }
         drop(db); // must not hang joining the worker threads
+    }
+
+    #[test]
+    fn torn_multi_partition_batch_rolls_back_on_recovery() {
+        let db = small_db(4_000, 4);
+        // One baseline key per partition quadrant; the batch overwrites
+        // two of them, deletes one and inserts one fresh key.
+        let span = 1_000u64;
+        for q in 0..4u64 {
+            db.put(Key::from_id(q * span), Value::filled(300, q as u8 + 1))
+                .unwrap();
+        }
+        let mut batch = WriteBatch::new();
+        batch.put(Key::from_id(0), Value::filled(400, 101));
+        batch.put(Key::from_id(span), Value::filled(400, 102));
+        batch.delete(Key::from_id(2 * span));
+        batch.put(Key::from_id(3 * span + 7), Value::filled(400, 103));
+        // Crash after installing only the first of four groups.
+        db.apply_batch_leaving_torn(batch, 1).unwrap();
+        assert_eq!(db.torn_commit_records(), 1);
+        db.crash_and_recover();
+        assert_eq!(db.torn_commit_records(), 0);
+        // Every key is back to its pre-batch state: the batch vanished
+        // atomically.
+        for q in 0..4u64 {
+            let got = db.get(&Key::from_id(q * span)).unwrap();
+            let value = got.value.expect("baseline keys survive rollback");
+            assert_eq!(value.len(), 300);
+            assert_eq!(value.as_bytes()[0], q as u8 + 1);
+        }
+        assert!(db.get(&Key::from_id(3 * span + 7)).unwrap().value.is_none());
+        let stats = ConcurrentKvStore::stats(&db);
+        assert_eq!(stats.txn.commit_intents, 1);
+        assert_eq!(stats.txn.commit_rolled_back, 1);
+        assert_eq!(stats.txn.commit_seals, 0);
+    }
+
+    #[test]
+    fn sealed_multi_partition_batch_survives_recovery() {
+        let db = small_db(4_000, 4);
+        let mut batch = WriteBatch::new();
+        for q in 0..4u64 {
+            batch.put(Key::from_id(q * 1_000), Value::filled(256, 7));
+        }
+        ConcurrentKvStore::apply_batch(&db, batch).unwrap();
+        assert_eq!(db.torn_commit_records(), 0);
+        db.crash_and_recover();
+        for q in 0..4u64 {
+            let got = db.get(&Key::from_id(q * 1_000)).unwrap();
+            assert_eq!(got.value.expect("sealed batch is durable").len(), 256);
+        }
+        let stats = ConcurrentKvStore::stats(&db);
+        assert_eq!(stats.txn.commit_seals, 1);
+        assert_eq!(stats.txn.commit_replayed, 1);
+        assert_eq!(stats.txn.commit_rolled_back, 0);
+    }
+
+    #[test]
+    fn snapshot_reads_are_frozen_at_pin_time() {
+        let db = small_db(2_000, 2);
+        db.put(Key::from_id(5), Value::filled(100, 1)).unwrap();
+        db.put(Key::from_id(1_500), Value::filled(100, 2)).unwrap();
+        let snap = db.snapshot().unwrap();
+        assert_eq!(db.active_snapshots(), 1);
+        // Overwrite, delete and insert behind the snapshot's back.
+        db.put(Key::from_id(5), Value::filled(200, 9)).unwrap();
+        db.delete(&Key::from_id(1_500)).unwrap();
+        db.put(Key::from_id(42), Value::filled(100, 3)).unwrap();
+        // The snapshot still sees exactly the pin-time state.
+        let v5 = db.snapshot_get(snap, &Key::from_id(5)).unwrap();
+        assert_eq!(v5.expect("key 5 existed at pin time").len(), 100);
+        let v1500 = db.snapshot_get(snap, &Key::from_id(1_500)).unwrap();
+        assert_eq!(v1500.expect("key 1500 existed at pin time").len(), 100);
+        assert!(db.snapshot_get(snap, &Key::from_id(42)).unwrap().is_none());
+        let scan = db.snapshot_scan(snap, &Key::min(), 10).unwrap();
+        let ids: Vec<u64> = scan.iter().map(|(k, _)| k.id()).collect();
+        assert_eq!(ids, vec![5, 1_500]);
+        // Live reads see the new state all along.
+        assert_eq!(db.get(&Key::from_id(5)).unwrap().value.unwrap().len(), 200);
+        assert!(db.get(&Key::from_id(1_500)).unwrap().value.is_none());
+        db.release_snapshot(snap);
+        assert_eq!(db.active_snapshots(), 0);
+        let stats = ConcurrentKvStore::stats(&db);
+        assert_eq!(stats.txn.snapshots, 1);
+    }
+
+    #[test]
+    fn txn_commit_validates_reads_and_installs_writes() {
+        let db = small_db(4_000, 4);
+        db.put(Key::from_id(10), Value::filled(100, 1)).unwrap();
+        db.put(Key::from_id(2_010), Value::filled(100, 2)).unwrap();
+
+        // A clean transaction: read both keys, write across partitions.
+        let snap = db.snapshot().unwrap();
+        let mut writes = WriteBatch::new();
+        writes.put(Key::from_id(10), Value::filled(150, 3));
+        writes.put(Key::from_id(3_010), Value::filled(150, 4));
+        let reads = [Key::from_id(10), Key::from_id(2_010)];
+        db.txn_commit(snap, &reads, writes).unwrap();
+        db.release_snapshot(snap);
+        assert_eq!(db.get(&Key::from_id(10)).unwrap().value.unwrap().len(), 150);
+
+        // A conflicted transaction: the read key changes after the pin.
+        let snap = db.snapshot().unwrap();
+        db.put(Key::from_id(2_010), Value::filled(120, 5)).unwrap();
+        let mut writes = WriteBatch::new();
+        writes.put(Key::from_id(10), Value::filled(175, 6));
+        let err = db
+            .txn_commit(snap, &[Key::from_id(2_010)], writes)
+            .unwrap_err();
+        assert!(matches!(err, PrismError::TxnConflict { key: 2_010 }));
+        db.release_snapshot(snap);
+        // The conflicted write set must not have installed.
+        assert_eq!(db.get(&Key::from_id(10)).unwrap().value.unwrap().len(), 150);
+
+        let stats = ConcurrentKvStore::stats(&db);
+        assert_eq!(stats.txn.txn_commits, 1);
+        assert_eq!(stats.txn.txn_conflicts, 1);
     }
 }

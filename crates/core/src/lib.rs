@@ -45,6 +45,7 @@ mod cache;
 mod engine;
 mod options;
 mod partition;
+mod sequence;
 mod workers;
 
 pub use cache::LruCache;

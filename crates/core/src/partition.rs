@@ -34,7 +34,7 @@
 //! background worker pool and the foreground only stalls at the
 //! back-pressure ceiling.
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -53,6 +53,7 @@ use prism_types::{
 
 use crate::cache::LruCache;
 use crate::options::Options;
+use crate::sequence::CommitSequencer;
 
 /// Buffered read-side updates applied at the next drain (threshold for the
 /// engine to force a drain with a write lock).
@@ -145,7 +146,15 @@ pub(crate) struct Partition {
     cache: Mutex<LruCache>,
     read_side: Mutex<ReadSideState>,
     read_stats: ReadStats,
-    next_timestamp: u64,
+    /// Global commit sequencer shared by every partition of the engine:
+    /// allocates the per-version timestamps (which double as commit
+    /// sequences) and tracks pinned snapshots.
+    seq: Arc<CommitSequencer>,
+    /// Superseded versions preserved for pinned snapshots: per key, the
+    /// `(sequence, value)` pairs (a `None` value is a delete) in
+    /// ascending sequence order. Only populated while snapshots are
+    /// pinned; cleared wholesale once none remain.
+    history: BTreeMap<Key, Vec<(u64, Option<Value>)>>,
     /// Foreground virtual clock in nanoseconds (atomic so `&self` reads
     /// can advance it).
     fg: AtomicU64,
@@ -161,7 +170,12 @@ pub(crate) struct Partition {
 }
 
 impl Partition {
-    pub(crate) fn new(id: usize, options: Arc<Options>, storage: &TieredStorage) -> Result<Self> {
+    pub(crate) fn new(
+        id: usize,
+        options: Arc<Options>,
+        storage: &TieredStorage,
+        seq: Arc<CommitSequencer>,
+    ) -> Result<Self> {
         let partitions = options.num_partitions as u64;
         let slab_config = SlabConfig {
             slot_sizes: options.slab_slot_sizes.clone(),
@@ -190,7 +204,8 @@ impl Partition {
             cache: Mutex::new(LruCache::new(options.dram_cache_bytes / partitions)),
             read_side: Mutex::new(ReadSideState::default()),
             read_stats: ReadStats::default(),
-            next_timestamp: 1,
+            seq,
+            history: BTreeMap::new(),
             fg: AtomicU64::new(0),
             busy_until: Nanos::ZERO,
             epoch: 0,
@@ -270,10 +285,88 @@ impl Partition {
         self.options.compaction_workers > 0
     }
 
-    fn next_ts(&mut self) -> u64 {
-        let ts = self.next_timestamp;
-        self.next_timestamp += 1;
-        ts
+    // ------------------------------------------------------------------
+    // Version history for pinned snapshots
+    // ------------------------------------------------------------------
+
+    /// The key's current visible version across both tiers: the sequence
+    /// it committed at and its value (`None` = the version is a delete).
+    /// Returns `None` when the key has no version anywhere.
+    pub(crate) fn current_version(&self, key: &Key) -> Option<(u64, Option<Value>)> {
+        if let Some(entry) = self.index.get(key).copied() {
+            if entry.tombstone {
+                return Some((entry.timestamp, None));
+            }
+            let value = self.slab.peek(entry.addr).map(|slot| slot.value.clone());
+            return Some((entry.timestamp, value));
+        }
+        let file = self.log.lookup(key)?;
+        let entry = file.probe(key).entry?;
+        Some((entry.timestamp, entry.value))
+    }
+
+    /// The key's current visible value (the engine's pre-image capture
+    /// for commit-log records).
+    pub(crate) fn current_visible(&self, key: &Key) -> Option<Value> {
+        self.current_version(key).and_then(|(_, value)| value)
+    }
+
+    /// Newest sequence at which the key changed, counting full removals
+    /// that only the history buffer still remembers. Used by transaction
+    /// read-set validation: a value `> snapshot` means the key changed
+    /// after the snapshot was pinned.
+    pub(crate) fn newest_seq(&self, key: &Key) -> Option<u64> {
+        let live = self.current_version(key).map(|(seq, _)| seq);
+        let hist = self
+            .history
+            .get(key)
+            .and_then(|list| list.last())
+            .map(|(seq, _)| *seq);
+        live.into_iter().chain(hist).max()
+    }
+
+    fn push_history(&mut self, key: &Key, version: (u64, Option<Value>)) {
+        let list = self.history.entry(key.clone()).or_default();
+        if list.last().map(|(seq, _)| *seq) != Some(version.0) {
+            list.push(version);
+        }
+    }
+
+    /// Called by every write *before* it mutates the key: while snapshots
+    /// are pinned, preserve the version about to be superseded so pinned
+    /// readers keep seeing it. Deletes additionally record a
+    /// `(delete_seq, None)` marker — the live tombstone they may write is
+    /// droppable by a later compaction, and without the marker an older
+    /// preserved value could wrongly resurface for snapshots pinned
+    /// after the delete. With no pins the whole buffer is garbage.
+    ///
+    /// The pin check runs after the write's sequence was allocated, and
+    /// [`CommitSequencer::pin`] reads the counter inside the same mutex
+    /// the check takes, so a racing snapshot either registers first (and
+    /// the version is preserved) or pins a sequence that already covers
+    /// the new version (see `crate::sequence`).
+    fn note_supersession(&mut self, key: &Key, delete_seq: Option<u64>) {
+        if !self.seq.has_pins() {
+            if !self.history.is_empty() {
+                self.history.clear();
+            }
+            return;
+        }
+        if let Some(version) = self.current_version(key) {
+            self.push_history(key, version);
+        }
+        if let Some(seq) = delete_seq {
+            self.push_history(key, (seq, None));
+        }
+    }
+
+    /// Newest preserved version of `key` with sequence `<= pinned`
+    /// (flattened: `None` for "deleted or never existed at that point").
+    fn history_version_at(&self, key: &Key, pinned: u64) -> Option<Value> {
+        self.history
+            .get(key)
+            .and_then(|list| list.iter().rev().find(|(seq, _)| *seq <= pinned))
+            .and_then(|(_, value)| value.clone())
     }
 
     // ------------------------------------------------------------------
@@ -391,10 +484,11 @@ impl Partition {
     pub(crate) fn put(&mut self, key: Key, value: Value) -> Result<Nanos> {
         self.absorb_reads()?;
         let mut cost = self.cpu.request_overhead;
+        let ts = self.seq.allocate();
         // Inline mode reclaims space on this thread; background mode
         // surfaces `CapacityExceeded` to the engine, which queues an
         // urgent job and retries without holding the partition lock.
-        cost += self.put_entry(key, value, cost, !self.background_mode(), None)?;
+        cost += self.put_entry(key, value, ts, cost, !self.background_mode(), None)?;
 
         // Watermark check: in inline mode demote cold data on this thread
         // if NVM is (nearly) full. In background mode the engine enqueues
@@ -426,15 +520,16 @@ impl Partition {
         &mut self,
         key: Key,
         value: Value,
+        ts: u64,
         accrued: Nanos,
         inline_reclaim: bool,
         group: Option<&mut SlabWriteTally>,
     ) -> Result<Nanos> {
         let mut cost = self.cpu.index_op;
-        let ts = self.next_ts();
         let key_id = key.id();
         let value_len = value.len() as u64;
 
+        self.note_supersession(&key, None);
         let existing = self.index.get(&key).copied();
         let write_result = self.write_to_slab(existing, &key, value.clone(), ts);
         let (addr, write_cost) = match write_result {
@@ -512,6 +607,20 @@ impl Partition {
         entries: Vec<BatchOp>,
         merge_duplicates: bool,
     ) -> Result<Nanos> {
+        let seq = self.seq.allocate();
+        self.apply_group_with_seq(entries, merge_duplicates, seq)
+    }
+
+    /// [`Partition::apply_group`] with a caller-allocated commit sequence:
+    /// the engine's cross-partition atomic commit stamps every group of
+    /// one batch with the *same* sequence, so a pinned snapshot sees the
+    /// whole batch or none of it.
+    pub(crate) fn apply_group_with_seq(
+        &mut self,
+        entries: Vec<BatchOp>,
+        merge_duplicates: bool,
+        seq: u64,
+    ) -> Result<Nanos> {
         if entries.is_empty() {
             return Ok(Nanos::ZERO);
         }
@@ -544,10 +653,10 @@ impl Partition {
             } else {
                 cost += match entry {
                     BatchOp::Put(key, value) => {
-                        self.put_entry(key, value, cost, true, Some(&mut tally))?
+                        self.put_entry(key, value, seq, cost, true, Some(&mut tally))?
                     }
                     BatchOp::Delete(key) => {
-                        self.delete_entry(&key, cost, true, Some(&mut tally))?
+                        self.delete_entry(&key, seq, cost, true, Some(&mut tally))?
                     }
                 };
             }
@@ -698,7 +807,8 @@ impl Partition {
     pub(crate) fn delete(&mut self, key: &Key) -> Result<Nanos> {
         self.absorb_reads()?;
         let mut cost = self.cpu.request_overhead;
-        cost += self.delete_entry(key, cost, !self.background_mode(), None)?;
+        let ts = self.seq.allocate();
+        cost += self.delete_entry(key, ts, cost, !self.background_mode(), None)?;
         if !self.background_mode() {
             let stall = self.maybe_demote(cost)?;
             cost += stall;
@@ -714,14 +824,15 @@ impl Partition {
     fn delete_entry(
         &mut self,
         key: &Key,
+        ts: u64,
         accrued: Nanos,
         inline_reclaim: bool,
         group: Option<&mut SlabWriteTally>,
     ) -> Result<Nanos> {
         let mut cost = self.cpu.index_op;
-        let ts = self.next_ts();
         let key_id = key.id();
 
+        self.note_supersession(key, Some(ts));
         let existing = self.index.get(key).copied();
         // Does any version of this key exist on flash?
         cost += self.cpu.bloom_probe;
@@ -776,14 +887,56 @@ impl Partition {
         Ok(cost)
     }
 
-    /// Collect up to `limit` live key-value pairs with keys `>= start` from
-    /// this partition, in key order, merging the NVM and flash views.
-    /// Takes `&self`: scans only read the index, slab and log, so they run
-    /// under the engine's partition read lock.
-    pub(crate) fn scan_collect(
+    /// Point lookup as of a pinned snapshot sequence: the live version if
+    /// it committed at or before `pinned`, otherwise the newest preserved
+    /// version at `pinned`. Bypasses the DRAM cache (which only tracks
+    /// the latest version) and buffers no read-side state — snapshot
+    /// reads must not perturb popularity tracking.
+    pub(crate) fn snapshot_get(&self, key: &Key, pinned: u64) -> Result<(Option<Value>, Nanos)> {
+        let mut cost = self.cpu.request_overhead + self.cpu.index_op;
+        let mut live: Option<(u64, Option<Value>)> = None;
+        if let Some(entry) = self.index.get(key).copied() {
+            if entry.tombstone {
+                live = Some((entry.timestamp, None));
+            } else {
+                let (slot, read_cost) = self.slab.read(entry.addr)?;
+                cost += read_cost;
+                live = Some((entry.timestamp, Some(slot.value.clone())));
+            }
+        } else {
+            cost += self.cpu.bloom_probe;
+            if let Some(file) = self.log.lookup(key) {
+                let probe = file.probe(key);
+                if probe.may_contain {
+                    cost += self.nvm_dev.read_random(512);
+                    if probe.data_block_bytes > 0 {
+                        cost += self.flash_dev.read_random(probe.data_block_bytes);
+                    }
+                }
+                if let Some(entry) = probe.entry {
+                    live = Some((entry.timestamp, entry.value));
+                }
+            }
+        }
+        let value = match live {
+            Some((seq, value)) if seq <= pinned => value,
+            _ => self.history_version_at(key, pinned),
+        };
+        self.advance_fg(cost);
+        Ok((value, cost))
+    }
+
+    /// Range scan as of a pinned snapshot sequence: a
+    /// three-way merge of the NVM index, the flash log and the history
+    /// buffer (keys whose only `<= pinned` version was superseded may
+    /// live nowhere else), filtering every key to its version at
+    /// `pinned`. Takes `&self` and a single partition read lock, so long
+    /// snapshot scans never serialise writers on other partitions.
+    pub(crate) fn snapshot_scan_collect(
         &self,
         start: &Key,
         limit: usize,
+        pinned: u64,
     ) -> Result<(Vec<(Key, Value)>, Nanos)> {
         let mut cost = self.cpu.request_overhead + self.cpu.index_op;
         let mut out: Vec<(Key, Value)> = Vec::with_capacity(limit);
@@ -793,15 +946,12 @@ impl Partition {
         }
 
         let mut nvm_iter = self.index.range_from(start).peekable();
-        // Flash iterator: walk files in key order starting from the first
-        // file that can contain `start`.
         let files = self.log.files();
         let mut file_idx = files.partition_point(|f| f.max_key() < start);
         let mut flash_buf: Vec<(Key, SstEntry)> = Vec::new();
         let mut flash_pos = 0usize;
         let mut flash_bytes_consumed = 0u64;
         let max_key = Key::from_id(u64::MAX);
-
         let refill = |idx: &mut usize, buf: &mut Vec<(Key, SstEntry)>, pos: &mut usize| {
             while *pos >= buf.len() && *idx < files.len() {
                 *buf = files[*idx]
@@ -812,38 +962,58 @@ impl Partition {
                 *idx += 1;
             }
         };
+        let mut hist_iter = self.history.range(start.clone()..).peekable();
 
         let mut nvm_reads = 0u64;
         while out.len() < limit {
             refill(&mut file_idx, &mut flash_buf, &mut flash_pos);
             let nvm_next = nvm_iter.peek().map(|(k, _)| (*k).clone());
             let flash_next = flash_buf.get(flash_pos).map(|(k, _)| k.clone());
-            let take_nvm = match (&nvm_next, &flash_next) {
-                (None, None) => break,
-                (Some(_), None) => true,
-                (None, Some(_)) => false,
-                (Some(nk), Some(fk)) => nk <= fk,
+            let hist_next = hist_iter.peek().map(|(k, _)| (*k).clone());
+            let Some(key) = [nvm_next.clone(), flash_next.clone(), hist_next.clone()]
+                .into_iter()
+                .flatten()
+                .min()
+            else {
+                break;
             };
-            if take_nvm {
-                let nk = nvm_next.expect("take_nvm implies an NVM key");
+
+            // Live version at this key: NVM wins over flash.
+            let mut live: Option<(u64, Option<Value>)> = None;
+            let mut nvm_holds_key = false;
+            if nvm_next.as_ref() == Some(&key) {
+                nvm_holds_key = true;
                 let (_, entry) = nvm_iter.next().expect("peeked");
-                if flash_next.as_ref() == Some(&nk) {
-                    // The flash version of this key is stale: skip it.
-                    flash_pos += 1;
+                if entry.tombstone {
+                    live = Some((entry.timestamp, None));
+                } else if let Some(slot) = self.slab.peek(entry.addr) {
+                    live = Some((entry.timestamp, Some(slot.value.clone())));
+                    nvm_reads += 1;
                 }
-                if !entry.tombstone {
-                    if let Some(slot) = self.slab.peek(entry.addr) {
-                        out.push((nk, slot.value.clone()));
-                        nvm_reads += 1;
+            }
+            if flash_next.as_ref() == Some(&key) {
+                if !nvm_holds_key {
+                    let (fk, entry) = &flash_buf[flash_pos];
+                    match &entry.value {
+                        Some(v) => {
+                            flash_bytes_consumed += v.len() as u64 + fk.len() as u64;
+                            live = Some((entry.timestamp, Some(v.clone())));
+                        }
+                        None => live = Some((entry.timestamp, None)),
                     }
                 }
-            } else {
-                let (fk, entry) = &flash_buf[flash_pos];
                 flash_pos += 1;
-                if let Some(v) = &entry.value {
-                    flash_bytes_consumed += v.len() as u64 + fk.len() as u64;
-                    out.push((fk.clone(), v.clone()));
-                }
+            }
+            if hist_next.as_ref() == Some(&key) {
+                hist_iter.next();
+            }
+
+            let visible = match live {
+                Some((seq, value)) if seq <= pinned => value,
+                _ => self.history_version_at(&key, pinned),
+            };
+            if let Some(value) = visible {
+                out.push((key, value));
             }
         }
         drop(nvm_iter);
@@ -1298,7 +1468,14 @@ impl Partition {
                         && !self.index.contains_key(&m.key)
                         && self.slab.usage().utilization() < nvm_headroom;
                     if promotable {
-                        let ts = self.next_ts();
+                        // A promotion moves the *same logical version*
+                        // between tiers, so it keeps the flash entry's
+                        // commit sequence: a fresh sequence would hide
+                        // the key from snapshots pinned before the
+                        // promotion. Safe to reuse — the key has no NVM
+                        // entry (checked above) and later foreground
+                        // writes allocate strictly larger sequences.
+                        let ts = m.entry.timestamp;
                         let value = m.entry.value.clone().expect("hints never mark tombstones");
                         match self.slab.insert(m.key.clone(), value, ts) {
                             Ok((addr, cost)) => {
@@ -1483,7 +1660,15 @@ impl Partition {
         for (key, _) in self.log.iter() {
             self.buckets.on_flash_insert(key.id());
         }
-        self.next_timestamp = max_ts + 1;
+        // The history buffer is DRAM state: snapshots pinned across a
+        // crash lose their preserved versions (a snapshot read may then
+        // see a key as absent, never a stale value — live versions with
+        // `seq <= pinned` are by definition the pinned-time state).
+        self.history.clear();
+        // The commit clock is rebuilt from the largest persisted
+        // sequence; it never moves backwards, so sequences are not
+        // reused even when flash holds later versions than the slabs.
+        self.seq.advance_past(max_ts);
         self.advance_fg(cost);
         cost
     }
@@ -1512,7 +1697,7 @@ mod tests {
     fn partition(keys: u64) -> Partition {
         let options = small_options(keys);
         let storage = storage_for(&options);
-        Partition::new(0, options, &storage).unwrap()
+        Partition::new(0, options, &storage, Arc::new(CommitSequencer::new())).unwrap()
     }
 
     #[test]
@@ -1631,7 +1816,10 @@ mod tests {
             p.put(Key::from_id(id), Value::filled(500, (id % 251) as u8))
                 .unwrap();
         }
-        let (entries, cost) = p.scan_collect(&Key::from_id(100), 50).unwrap();
+        // An unbounded pin sees every live version: the plain merge path.
+        let (entries, cost) = p
+            .snapshot_scan_collect(&Key::from_id(100), 50, u64::MAX)
+            .unwrap();
         assert_eq!(entries.len(), 50);
         let ids: Vec<u64> = entries.iter().map(|(k, _)| k.id()).collect();
         let expected: Vec<u64> = (100..150).collect();

@@ -531,46 +531,31 @@ impl<E: ConcurrentKvStore + 'static> Frontend<E> {
         Ok(ticket)
     }
 
-    /// Submit a pre-built [`WriteBatch`]: entries are split by partition
-    /// (preserving order) and enqueued as one part per touched partition;
-    /// the ticket resolves once every part has installed, with the
-    /// slowest part's latency. The engine's per-partition atomicity
-    /// contract applies to each part.
+    /// Submit a pre-built [`WriteBatch`].
+    ///
+    /// A batch confined to one partition is enqueued on that partition's
+    /// queue. A batch that spans partitions is enqueued *whole* on the
+    /// first touched partition's queue: the engine's cross-partition
+    /// commit protocol makes the installation all-or-nothing, so splitting
+    /// it into independently-installed per-partition parts (the old
+    /// behaviour) would forfeit exactly the atomicity the engine now
+    /// guarantees. The ticket resolves once the batch has installed.
     ///
     /// # Errors
     ///
     /// Returns [`PrismError::ShuttingDown`] after [`Frontend::shutdown`].
     pub fn submit_batch(&self, batch: WriteBatch) -> Result<WriteTicket> {
-        let partitions = self.shared.queues.len();
-        let mut parts: Vec<Vec<BatchOp>> = vec![Vec::new(); partitions];
-        for op in batch {
-            parts[self.shared.engine.shard_of(op.key())].push(op);
-        }
-        let touched = parts.iter().filter(|ops| !ops.is_empty()).count();
-        let (agg, ticket) = WriteAgg::new(touched.max(1));
-        if touched == 0 {
+        let home = batch
+            .entries()
+            .first()
+            .map(|op| self.shared.engine.shard_of(op.key()));
+        let (agg, ticket) = WriteAgg::new(1);
+        let Some(home) = home else {
             agg.finish(Ok(Nanos::ZERO));
             return Ok(ticket);
-        }
-        let mut enqueued = 0;
-        for (partition, ops) in parts.into_iter().enumerate() {
-            if ops.is_empty() {
-                continue;
-            }
-            if let Err(err) = self
-                .shared
-                .enqueue(partition, Request::Write(ops, Arc::clone(&agg)))
-            {
-                // Parts already enqueued still install; the parts that
-                // never made it (this one included) must resolve the
-                // aggregate anyway or the ticket would hang forever.
-                for _ in enqueued..touched {
-                    agg.finish(Err(err.clone()));
-                }
-                return Err(err);
-            }
-            enqueued += 1;
-        }
+        };
+        self.shared
+            .enqueue(home, Request::Write(batch.into_entries(), agg))?;
         Ok(ticket)
     }
 

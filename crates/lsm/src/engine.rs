@@ -684,6 +684,7 @@ impl KvStore for LsmTree {
             batch_entries: self.batch_entries,
             batch_merged_writes: 0,
             reads_per_level: self.reads_per_level,
+            ..EngineStats::default()
         }
     }
 

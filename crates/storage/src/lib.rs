@@ -28,11 +28,13 @@
 //! assert!(slow.as_nanos() > 50 * fast.as_nanos());
 //! ```
 
+mod commitlog;
 mod cost;
 mod device;
 mod endurance;
 mod profile;
 
+pub use commitlog::{group_digest, CommitLog, CommitLogCounters, CommitPart, CommitRecord};
 pub use cost::{blended_cost_per_gb, CostBreakdown};
 pub use device::{Device, DeviceCounters};
 pub use endurance::{lifetime_years, EnduranceModel, WARRANTY_YEARS};

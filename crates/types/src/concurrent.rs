@@ -22,7 +22,8 @@
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::{
-    BatchOp, EngineStats, Key, KvStore, Lookup, Nanos, Result, ScanResult, Value, WriteBatch,
+    BatchOp, EngineStats, Key, KvStore, Lookup, Nanos, PrismError, Result, ScanResult, SnapshotId,
+    Value, WriteBatch,
 };
 
 /// A storage engine safe to drive from many threads through `&self`.
@@ -72,8 +73,10 @@ pub trait ConcurrentKvStore: Send + Sync {
     /// for the semantics (front-to-back equivalence, last entry per key
     /// wins). The default implementation loops over the entries per-op and
     /// makes no atomicity promise; engines with a real batched path
-    /// (PrismDB) override it to take each shard's write lock once and
-    /// install the shard's sub-batch atomically.
+    /// (PrismDB) override it to install the batch atomically — each
+    /// shard's write lock is taken once, and a multi-shard batch is
+    /// protected by a commit-log record so crash recovery never exposes a
+    /// torn batch.
     ///
     /// # Errors
     ///
@@ -148,6 +151,69 @@ pub trait ConcurrentKvStore: Send + Sync {
     fn shard_write_pressure(&self, _shard: usize) -> f64 {
         0.0
     }
+
+    /// Pin a consistent read snapshot: subsequent [`Self::snapshot_get`] /
+    /// [`Self::snapshot_scan`] calls with the returned id observe every
+    /// write committed before the pin and none committed after, while
+    /// writers keep making progress. Pair with
+    /// [`Self::release_snapshot`] so the engine can garbage collect
+    /// superseded versions.
+    ///
+    /// # Errors
+    ///
+    /// The default returns [`PrismError::Unsupported`]; engines with
+    /// sequence-stamped versions (PrismDB) override it.
+    fn snapshot(&self) -> Result<SnapshotId> {
+        Err(PrismError::Unsupported("snapshots"))
+    }
+
+    /// Release a snapshot pinned by [`Self::snapshot`]. Releasing an
+    /// already-released snapshot is a no-op. The default does nothing.
+    fn release_snapshot(&self, _snapshot: SnapshotId) {}
+
+    /// Point read as of `snapshot` (`None` if the key was absent at the
+    /// snapshot). Does not observe writes committed after the pin.
+    ///
+    /// # Errors
+    ///
+    /// The default returns [`PrismError::Unsupported`].
+    fn snapshot_get(&self, _snapshot: SnapshotId, _key: &Key) -> Result<Option<Value>> {
+        Err(PrismError::Unsupported("snapshots"))
+    }
+
+    /// Range scan as of `snapshot`: up to `count` pairs with keys
+    /// `>= start` in key order, reflecting exactly the state at the pin.
+    ///
+    /// # Errors
+    ///
+    /// The default returns [`PrismError::Unsupported`].
+    fn snapshot_scan(
+        &self,
+        _snapshot: SnapshotId,
+        _start: &Key,
+        _count: usize,
+    ) -> Result<Vec<(Key, Value)>> {
+        Err(PrismError::Unsupported("snapshots"))
+    }
+
+    /// Commit an optimistic transaction: verify that no key in `reads`
+    /// changed after `snapshot` was pinned, then apply `writes`
+    /// atomically across every partition they touch. Used by
+    /// [`crate::Transaction::commit`]; the caller still owns (and must
+    /// release) the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`PrismError::TxnConflict`] if validation fails (nothing applied);
+    /// the default returns [`PrismError::Unsupported`].
+    fn txn_commit(
+        &self,
+        _snapshot: SnapshotId,
+        _reads: &[Key],
+        _writes: WriteBatch,
+    ) -> Result<Nanos> {
+        Err(PrismError::Unsupported("transactions"))
+    }
 }
 
 /// `Arc<E>` is itself a concurrent engine: every clone addresses the same
@@ -208,6 +274,31 @@ impl<E: ConcurrentKvStore + ?Sized> ConcurrentKvStore for Arc<E> {
 
     fn shard_write_pressure(&self, shard: usize) -> f64 {
         (**self).shard_write_pressure(shard)
+    }
+
+    fn snapshot(&self) -> Result<SnapshotId> {
+        (**self).snapshot()
+    }
+
+    fn release_snapshot(&self, snapshot: SnapshotId) {
+        (**self).release_snapshot(snapshot)
+    }
+
+    fn snapshot_get(&self, snapshot: SnapshotId, key: &Key) -> Result<Option<Value>> {
+        (**self).snapshot_get(snapshot, key)
+    }
+
+    fn snapshot_scan(
+        &self,
+        snapshot: SnapshotId,
+        start: &Key,
+        count: usize,
+    ) -> Result<Vec<(Key, Value)>> {
+        (**self).snapshot_scan(snapshot, start, count)
+    }
+
+    fn txn_commit(&self, snapshot: SnapshotId, reads: &[Key], writes: WriteBatch) -> Result<Nanos> {
+        (**self).txn_commit(snapshot, reads, writes)
     }
 }
 

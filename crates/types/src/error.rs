@@ -55,6 +55,17 @@ pub enum PrismError {
     /// The submission front-end is shutting down; the request was not
     /// enqueued (pending requests are drained, stragglers get this).
     ShuttingDown,
+    /// Optimistic transaction validation failed at commit: a key in the
+    /// transaction's read set was written (or deleted) after the
+    /// transaction's snapshot was pinned. The transaction was not applied;
+    /// the caller should retry against a fresh snapshot.
+    TxnConflict {
+        /// Id of the first read-set key that failed validation.
+        key: u64,
+    },
+    /// The engine does not implement an optional capability (snapshots,
+    /// transactions, ...) that the caller requested.
+    Unsupported(&'static str),
 }
 
 impl fmt::Display for PrismError {
@@ -79,6 +90,11 @@ impl fmt::Display for PrismError {
                 "back-pressure: partition {partition} queue is full ({depth} requests pending)"
             ),
             PrismError::ShuttingDown => write!(f, "submission front-end is shutting down"),
+            PrismError::TxnConflict { key } => write!(
+                f,
+                "transaction conflict: key {key} changed after the snapshot was pinned"
+            ),
+            PrismError::Unsupported(what) => write!(f, "unsupported capability: {what}"),
         }
     }
 }
@@ -121,6 +137,8 @@ mod tests {
                 "partition 3",
             ),
             (PrismError::ShuttingDown, "shutting down"),
+            (PrismError::TxnConflict { key: 17 }, "key 17"),
+            (PrismError::Unsupported("snapshots"), "snapshots"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

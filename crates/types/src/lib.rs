@@ -4,10 +4,12 @@
 //! types, simulated-time units ([`Nanos`]), the [`KvStore`] trait implemented
 //! by PrismDB and by every baseline engine, its thread-safe counterpart
 //! [`ConcurrentKvStore`] (plus the [`SharedKv`] / [`MutexKv`] adapters and
-//! the [`MemStore`] reference oracle), operation descriptions consumed by
-//! the benchmark harness, the futures-free [`Completion`] / [`Ticket`]
-//! primitive used by the async submission front-end (with its
-//! [`FrontendStats`]), and the error type used across the workspace.
+//! the [`MemStore`] reference oracle), the snapshot / optimistic
+//! transaction layer ([`SnapshotId`], [`Transaction`]), operation
+//! descriptions consumed by the benchmark harness, the futures-free
+//! [`Completion`] / [`Ticket`] primitive used by the async submission
+//! front-end (with its [`FrontendStats`]), and the error type used across
+//! the workspace.
 //!
 //! # Example
 //!
@@ -31,6 +33,7 @@ mod mem;
 mod ops;
 mod stats;
 mod time;
+mod txn;
 mod value;
 
 pub use batch::{BatchOp, WriteBatch};
@@ -40,8 +43,9 @@ pub use error::{PrismError, Result};
 pub use key::Key;
 pub use mem::MemStore;
 pub use ops::{Lookup, Op, OpKind, ReadSource, ScanResult};
-pub use stats::{CompactionStats, EngineStats, FrontendStats, TierIo};
+pub use stats::{CompactionStats, EngineStats, FrontendStats, TierIo, TxnStats};
 pub use time::Nanos;
+pub use txn::{run_transaction, SnapshotId, Transaction};
 pub use value::Value;
 
 /// A storage engine that the benchmark harness can drive.
@@ -109,7 +113,7 @@ pub trait KvStore {
     /// The default implementation simply loops over the entries, so every
     /// engine supports the API; it makes no atomicity promise. Engines
     /// that override it document their own atomicity contract (PrismDB:
-    /// atomic per partition, not across partitions).
+    /// atomic across all touched partitions, via its commit log).
     ///
     /// # Errors
     ///

@@ -25,7 +25,7 @@ use crate::{
 /// assert_eq!(oracle.len(), 1);
 /// assert!(oracle.get(&Key::from_id(1)).unwrap().value.is_some());
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct MemStore {
     map: BTreeMap<Key, Value>,
     clock: Nanos,

@@ -164,6 +164,46 @@ impl FrontendStats {
     }
 }
 
+/// Snapshot, transaction and cross-partition commit-log counters.
+///
+/// All fields are monotone counters; engines without snapshot/transaction
+/// support report all-zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxnStats {
+    /// Read snapshots pinned via `ConcurrentKvStore::snapshot` (including
+    /// the snapshot every transaction and every scan pins internally).
+    pub snapshots: u64,
+    /// Transactions that validated their read set and committed.
+    pub txn_commits: u64,
+    /// Transactions rejected at commit with `TxnConflict`.
+    pub txn_conflicts: u64,
+    /// Cross-partition commit intents persisted to the commit log.
+    pub commit_intents: u64,
+    /// Commit records sealed after every partition group installed.
+    pub commit_seals: u64,
+    /// Sealed commit records acknowledged (replayed) during recovery.
+    pub commit_replayed: u64,
+    /// Unsealed (torn) commit records rolled back during recovery.
+    pub commit_rolled_back: u64,
+}
+
+impl TxnStats {
+    /// Element-wise difference (`self - earlier`).
+    pub fn delta_since(self, earlier: TxnStats) -> TxnStats {
+        TxnStats {
+            snapshots: self.snapshots.saturating_sub(earlier.snapshots),
+            txn_commits: self.txn_commits.saturating_sub(earlier.txn_commits),
+            txn_conflicts: self.txn_conflicts.saturating_sub(earlier.txn_conflicts),
+            commit_intents: self.commit_intents.saturating_sub(earlier.commit_intents),
+            commit_seals: self.commit_seals.saturating_sub(earlier.commit_seals),
+            commit_replayed: self.commit_replayed.saturating_sub(earlier.commit_replayed),
+            commit_rolled_back: self
+                .commit_rolled_back
+                .saturating_sub(earlier.commit_rolled_back),
+        }
+    }
+}
+
 /// Cumulative statistics reported by an engine via [`crate::KvStore::stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineStats {
@@ -197,6 +237,9 @@ pub struct EngineStats {
     /// Per-LSM-level read counters (index 0 = L0). Engines without levels
     /// leave this empty.
     pub reads_per_level: [u64; 8],
+    /// Snapshot / transaction / commit-log counters (all-zero for engines
+    /// without snapshot support).
+    pub txn: TxnStats,
 }
 
 impl EngineStats {
@@ -251,6 +294,7 @@ impl EngineStats {
                 .batch_merged_writes
                 .saturating_sub(earlier.batch_merged_writes),
             reads_per_level,
+            txn: self.txn.delta_since(earlier.txn),
         }
     }
 }

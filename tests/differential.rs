@@ -31,6 +31,15 @@
 //! mid-run *while submissions are still in flight* in the queues (acked
 //! ops must survive; queued ops drain through the executors and
 //! reconverge), and once more with unacked tickets outstanding.
+//!
+//! A seventh column drives the *transaction API*: writes commit through
+//! optimistic multi-key transactions (each buffered key is read inside
+//! the transaction first, so commits validate real read sets). Mid-run a
+//! multi-partition commit is deliberately left *torn* — intent persisted,
+//! one partition group installed, never sealed — and the engine is
+//! crash-recovered: the commit-log rollback must make the torn commit
+//! vanish atomically while every sealed transaction survives, so the
+//! column must still equal the oracle exactly.
 
 use std::sync::Arc;
 
@@ -41,8 +50,8 @@ use prismdb::db::{Options, Partitioning, PrismDb};
 use prismdb::frontend::{Frontend, FrontendOptions, WriteTicket};
 use prismdb::lsm::{LsmConfig, LsmTree};
 use prismdb::types::{
-    ConcurrentKvStore, EngineStats, Key, KvStore, Lookup, MemStore, Nanos, Op, Result, ScanResult,
-    Value, WriteBatch,
+    run_transaction, BatchOp, ConcurrentKvStore, EngineStats, Key, KvStore, Lookup, MemStore,
+    Nanos, Op, Result, ScanResult, Value, WriteBatch,
 };
 
 /// Key-id universe. Small enough that keys are updated/deleted/re-inserted
@@ -154,6 +163,104 @@ impl KvStore for BatchingKv {
 
     fn engine_name(&self) -> &str {
         "prismdb-batched"
+    }
+}
+
+/// How many write entries the transactional column buffers before
+/// committing one optimistic transaction. Smaller than [`BATCH_CHUNK`] so
+/// commits span partitions often without every commit being huge.
+const TXN_CHUNK: usize = 8;
+
+/// The transactional column: writes buffer client-side and commit through
+/// an optimistic [`Transaction`](prismdb::types::Transaction) — every
+/// buffered key is first *read* inside the transaction (so the commit
+/// validates a real read set) and then written, making each flush a
+/// multi-key, usually multi-partition, atomic commit. Reads and scans
+/// flush first so read-your-writes holds for the oracle comparisons.
+struct TxnKv {
+    db: Arc<PrismDb>,
+    pending: WriteBatch,
+}
+
+impl TxnKv {
+    fn new(db: PrismDb) -> Self {
+        TxnKv {
+            db: Arc::new(db),
+            pending: WriteBatch::with_capacity(TXN_CHUNK),
+        }
+    }
+
+    fn flush(&mut self) -> Result<Nanos> {
+        if self.pending.is_empty() {
+            return Ok(Nanos::ZERO);
+        }
+        let ops = std::mem::take(&mut self.pending).into_entries();
+        run_transaction(&*self.db, 3, |txn| {
+            // Read every key first: the commit then validates that none
+            // of them changed after the snapshot (trivially true in this
+            // single-threaded column, but it drives the whole OCC path).
+            for op in &ops {
+                txn.get(op.key())?;
+            }
+            for op in ops.iter().cloned() {
+                match op {
+                    BatchOp::Put(key, value) => txn.put(key, value),
+                    BatchOp::Delete(key) => txn.delete(key),
+                }
+            }
+            Ok(())
+        })?;
+        Ok(Nanos::ZERO)
+    }
+
+    /// Crash the underlying engine (client-buffered entries survive in
+    /// the client and commit with a later flush).
+    fn crash_and_recover(&self) -> Nanos {
+        self.db.crash_and_recover()
+    }
+
+    fn engine(&self) -> Arc<PrismDb> {
+        Arc::clone(&self.db)
+    }
+}
+
+impl KvStore for TxnKv {
+    fn put(&mut self, key: Key, value: Value) -> Result<Nanos> {
+        self.pending.put(key, value);
+        if self.pending.len() >= TXN_CHUNK {
+            return self.flush();
+        }
+        Ok(Nanos::ZERO)
+    }
+
+    fn delete(&mut self, key: &Key) -> Result<Nanos> {
+        self.pending.delete(key.clone());
+        if self.pending.len() >= TXN_CHUNK {
+            return self.flush();
+        }
+        Ok(Nanos::ZERO)
+    }
+
+    fn get(&mut self, key: &Key) -> Result<Lookup> {
+        self.flush()?;
+        ConcurrentKvStore::get(&*self.db, key)
+    }
+
+    fn scan(&mut self, start: &Key, count: usize) -> Result<ScanResult> {
+        self.flush()?;
+        ConcurrentKvStore::scan(&*self.db, start, count)
+    }
+
+    fn stats(&self) -> EngineStats {
+        ConcurrentKvStore::stats(&*self.db)
+    }
+
+    fn elapsed(&self) -> Nanos {
+        ConcurrentKvStore::elapsed(&*self.db)
+    }
+
+    fn engine_name(&self) -> &str {
+        "prismdb-txn"
     }
 }
 
@@ -377,18 +484,22 @@ fn run_seed(seed: u64) {
     // The async column: same op stream submitted through the front-end's
     // per-partition queues, acks awaited before every read.
     let mut prism_async = FrontendKv::new(prism_engine(Partitioning::Hash));
+    // The transactional column: same op stream committed through
+    // optimistic multi-key transactions.
+    let mut prism_txn = TxnKv::new(prism_engine(Partitioning::Hash));
     let mut lsm = lsm_engine();
     let mut oracle = MemStore::default();
 
     for ops_done in 0..OPS_PER_SEED {
         let op = random_op(&mut rng);
         let (oracle_read, oracle_scan) = apply(&mut oracle, &op);
-        let mut engines: [(&str, &mut dyn KvStore); 6] = [
+        let mut engines: [(&str, &mut dyn KvStore); 7] = [
             ("prismdb-hash", &mut prism_hash),
             ("prismdb-range", &mut prism_range),
             ("prismdb-bg", &mut prism_bg),
             ("prismdb-batched", &mut prism_batched),
             ("prismdb-async", &mut prism_async),
+            ("prismdb-txn", &mut prism_txn),
             ("rocksdb-het", &mut lsm),
         ];
         for (name, engine) in engines.iter_mut() {
@@ -426,12 +537,13 @@ fn run_seed(seed: u64) {
             // The async column takes the burst *through its queues*: the
             // submissions below are in flight (unacked) while the crash
             // races the executors on other threads.
-            let mut burst_targets: [(&str, &mut dyn KvStore); 6] = [
+            let mut burst_targets: [(&str, &mut dyn KvStore); 7] = [
                 ("oracle", &mut oracle),
                 ("prismdb-hash", &mut prism_hash),
                 ("prismdb-range", &mut prism_range),
                 ("prismdb-bg", &mut prism_bg),
                 ("prismdb-async", &mut prism_async),
+                ("prismdb-txn", &mut prism_txn),
                 ("rocksdb-het", &mut lsm),
             ];
             let burst = crash_burst(&mut rng, &mut burst_targets);
@@ -462,6 +574,43 @@ fn run_seed(seed: u64) {
             prism_batched.crash_and_recover();
             prism_async.crash_and_recover();
         }
+        if (ops_done + 1) == OPS_PER_SEED / 2 + 101 {
+            // The transactional column's fault injection: a
+            // multi-partition commit is left *torn* — intent persisted,
+            // only the first partition group installed, never sealed —
+            // exactly the window a crash between install steps leaves
+            // behind. The oracle never sees this batch, so recovery must
+            // make it vanish atomically; every transaction committed
+            // before it must survive. The state checks after this point
+            // prove both.
+            prism_txn.flush().expect("pre-torn flush");
+            let db = prism_txn.engine();
+            let mut torn = WriteBatch::new();
+            let mut shards_seen = vec![false; ConcurrentKvStore::shard_count(&*db)];
+            let mut distinct = 0;
+            while distinct < 2 || torn.len() < 6 {
+                let id = rng.gen_range(0u64..KEY_SPACE);
+                let shard = ConcurrentKvStore::shard_of(&*db, &Key::from_id(id));
+                if !shards_seen[shard] {
+                    shards_seen[shard] = true;
+                    distinct += 1;
+                }
+                torn.put(Key::from_id(id), Value::filled(rng_len(&mut rng), 0xAA));
+            }
+            db.apply_batch_leaving_torn(torn, 1)
+                .expect("torn batch install");
+            assert_eq!(
+                db.torn_commit_records(),
+                1,
+                "the torn commit must be visible in the log (seed {seed})"
+            );
+            db.crash_and_recover();
+            assert_eq!(
+                db.torn_commit_records(),
+                0,
+                "recovery must resolve the torn commit (seed {seed})"
+            );
+        }
     }
 
     // Final sweep, including after a crash of every PrismDB instance:
@@ -472,12 +621,15 @@ fn run_seed(seed: u64) {
     prism_batched.crash_and_recover();
     prism_async.flush();
     prism_async.crash_and_recover();
-    let mut engines: [(&str, &mut dyn KvStore); 6] = [
+    prism_txn.flush().expect("final txn flush");
+    prism_txn.crash_and_recover();
+    let mut engines: [(&str, &mut dyn KvStore); 7] = [
         ("prismdb-hash (recovered)", &mut prism_hash),
         ("prismdb-range (recovered)", &mut prism_range),
         ("prismdb-bg (recovered)", &mut prism_bg),
         ("prismdb-batched (recovered)", &mut prism_batched),
         ("prismdb-async (recovered)", &mut prism_async),
+        ("prismdb-txn (recovered)", &mut prism_txn),
         ("rocksdb-het", &mut lsm),
     ];
     assert_state_matches(&mut engines, &mut oracle, seed, OPS_PER_SEED);
@@ -502,6 +654,22 @@ fn run_seed(seed: u64) {
         "async submissions were stranded (seed {seed})"
     );
     assert_eq!(frontend_stats.queue_depth, 0);
+
+    // The transactional column must really have committed transactions,
+    // pinned snapshots and rolled back its torn commit.
+    let txn_stats = KvStore::stats(&prism_txn).txn;
+    assert!(
+        txn_stats.txn_commits > 0,
+        "the txn column never committed a transaction (seed {seed})"
+    );
+    assert!(
+        txn_stats.snapshots > 0,
+        "the txn column never pinned a snapshot (seed {seed})"
+    );
+    assert!(
+        txn_stats.commit_rolled_back >= 1,
+        "the torn commit was never rolled back (seed {seed})"
+    );
 }
 
 #[test]
