@@ -1,0 +1,10 @@
+//! Network serving layer stress driver (connections × pipeline windows
+//! over the duplex transport, plus a real-TCP loopback row where the
+//! environment allows binding), emitting `BENCH_net.json`.
+
+use prism_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    experiments::net_stress::run(&scale);
+}

@@ -18,6 +18,7 @@ pub mod fig2_lsm_breakdown;
 pub mod fig5_clock_distributions;
 pub mod fig6_msc_policies;
 pub mod fig9_cost_throughput;
+pub mod net_stress;
 pub mod scalability;
 pub mod table1_devices;
 pub mod table2_single_vs_multi;
@@ -57,5 +58,6 @@ pub fn run_all(scale: &Scale) -> Vec<crate::Table> {
     tables.extend(background_compaction::run(scale));
     tables.extend(write_batching::run(scale));
     tables.extend(async_frontend::run(scale));
+    tables.extend(net_stress::run(scale));
     tables
 }

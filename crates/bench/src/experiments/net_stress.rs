@@ -1,0 +1,336 @@
+//! Network serving layer stress driver: C concurrent connections, each
+//! pipelining a window of W unacknowledged frames of a mixed
+//! put/get/scan/delete stream through [`prism_net::NetServer`], with
+//! per-request wall-clock round-trip latencies collected into a CDF
+//! (p50/p99/p999) next to throughput and the server's wire counters.
+//!
+//! The sweep runs over the deterministic in-process duplex transport —
+//! the same bytes, framing, server threads and front-end queues as TCP
+//! without the kernel in the way — and adds one real-TCP loopback row
+//! when the environment allows binding (skipped silently where it
+//! doesn't, e.g. sandboxed CI runners).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+use prism_db::PrismDb;
+use prism_frontend::FrontendOptions;
+use prism_net::client::NetClient;
+use prism_net::protocol::{Request, Status};
+use prism_net::server::{NetServer, ServerOptions};
+use prism_net::transport::{duplex_listener, tcp_connect, Conn, TcpServerListener};
+use prism_types::{ConcurrentKvStore, Key, NetStats, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::engines;
+use crate::report::{fmt_f64, write_bench_json, SummaryEntry, Table};
+use crate::runner::percentile;
+use crate::Scale;
+
+/// Connection-count sweep.
+pub const CONNECTION_SWEEP: [usize; 3] = [1, 4, 8];
+/// Pipeline-window sweep (1 = strict request/response ping-pong).
+pub const WINDOW_SWEEP: [usize; 2] = [1, 32];
+/// Value payload size for stress writes.
+const VALUE_BYTES: usize = 128;
+
+/// What one stress run measured.
+struct StressResult {
+    throughput_kops: f64,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+    net: NetStats,
+}
+
+/// One mixed op drawn per loop iteration: half writes so group commit
+/// sees pressure, scans kept rare because each returns many entries.
+fn random_request(rng: &mut StdRng, keys: u64) -> Request {
+    let key = Key::from_id(rng.gen_range(0u64..keys));
+    match rng.gen_range(0u32..100) {
+        0..=49 => Request::Put {
+            key,
+            value: Value::filled(VALUE_BYTES, 0x5A),
+        },
+        50..=89 => Request::Get { key },
+        90..=94 => Request::Scan {
+            start: key,
+            count: 16,
+        },
+        _ => Request::Delete { key },
+    }
+}
+
+/// Drive `ops` requests through one client with a `window`-deep pipeline,
+/// recording the wall-clock round trip of each measured request.
+fn drive_client(
+    mut client: NetClient,
+    keys: u64,
+    seed: u64,
+    warmup_ops: u64,
+    ops: u64,
+    window: usize,
+    latencies: &mut Vec<u64>,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut in_flight: VecDeque<(u64, Instant, bool)> = VecDeque::new();
+    let reap = |client: &mut NetClient,
+                in_flight: &mut VecDeque<(u64, Instant, bool)>,
+                latencies: &mut Vec<u64>| {
+        let (id, sent_at, measured) = in_flight.pop_front().expect("non-empty window");
+        let response = client.wait(id).expect("stress response");
+        assert_eq!(
+            response.status,
+            Status::Ok,
+            "stress op refused: {}",
+            response.message
+        );
+        if measured {
+            latencies.push(sent_at.elapsed().as_nanos() as u64);
+        }
+    };
+    for op in 0..warmup_ops + ops {
+        let request = random_request(&mut rng, keys);
+        let id = client.send(&request).expect("stress send");
+        in_flight.push_back((id, Instant::now(), op >= warmup_ops));
+        if in_flight.len() >= window {
+            reap(&mut client, &mut in_flight, latencies);
+        }
+    }
+    while !in_flight.is_empty() {
+        reap(&mut client, &mut in_flight, latencies);
+    }
+}
+
+/// A server plus a way for client threads to dial it.
+type Serving = (NetServer<PrismDb>, Box<dyn Fn() -> Conn + Send + Sync>);
+
+/// Load the key space, start a server via `serve`, run the stress
+/// clients, and aggregate latencies and wire stats.
+fn stress<S>(scale: &Scale, serve: S, connections: usize, window: usize) -> StressResult
+where
+    S: FnOnce(Arc<PrismDb>) -> Serving,
+{
+    let keys = scale.record_count;
+    let db = engines::prismdb_shared(keys);
+    for id in 0..keys {
+        db.put(Key::from_id(id), Value::filled(VALUE_BYTES, id as u8))
+            .expect("load put");
+    }
+    let (mut server, dial) = serve(Arc::clone(&db));
+
+    let warmup_per_conn = scale.warmup_ops / connections as u64;
+    let ops_per_conn = scale.measure_ops / connections as u64;
+    let started = Instant::now();
+    let mut all_latencies: Vec<u64> = std::thread::scope(|scope| {
+        let dial = &dial;
+        let handles: Vec<_> = (0..connections)
+            .map(|conn_id| {
+                scope.spawn(move || {
+                    let client = NetClient::new(dial());
+                    let mut latencies = Vec::with_capacity(ops_per_conn as usize);
+                    drive_client(
+                        client,
+                        keys,
+                        42 + conn_id as u64,
+                        warmup_per_conn,
+                        ops_per_conn,
+                        window,
+                        &mut latencies,
+                    );
+                    latencies
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("stress client thread"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+    let net = server.stats();
+    server.shutdown();
+
+    all_latencies.sort_unstable();
+    let measured_ops = ops_per_conn * connections as u64;
+    StressResult {
+        // Wall time includes the warm-up phase; scale it out by the op
+        // ratio rather than timing mid-scope (all clients run both).
+        throughput_kops: measured_ops as f64
+            / (elapsed.as_secs_f64() * measured_ops as f64
+                / (measured_ops + warmup_per_conn * connections as u64) as f64)
+            / 1_000.0,
+        p50_us: percentile(&all_latencies, 0.50),
+        p99_us: percentile(&all_latencies, 0.99),
+        p999_us: percentile(&all_latencies, 0.999),
+        net,
+    }
+}
+
+fn server_options() -> ServerOptions {
+    ServerOptions {
+        frontend: FrontendOptions {
+            executors: 2,
+            ..FrontendOptions::default()
+        },
+        // Above every window in WINDOW_SWEEP, so the wire (not the
+        // server's flow control) sets the pipeline depth under test.
+        max_in_flight_per_conn: 64,
+    }
+}
+
+fn add_result_row(table: &mut Table, label: String, result: &StressResult) {
+    table.add_row(vec![
+        label,
+        fmt_f64(result.throughput_kops),
+        fmt_f64(result.p50_us),
+        fmt_f64(result.p99_us),
+        fmt_f64(result.p999_us),
+        result.net.frames_received.to_string(),
+        result.net.backpressure_rejections.to_string(),
+        result.net.max_in_flight.to_string(),
+    ]);
+}
+
+/// Run the duplex-transport sweep over `connections` × `windows`. Row
+/// labels are `"duplex/c<connections>/w<window>"`.
+pub fn sweep_with(scale: &Scale, connections: &[usize], windows: &[usize]) -> Table {
+    let mut table = Table::new(
+        "Network stress: C connections x W-deep pipelines, round-trip CDF",
+        &[
+            "config",
+            "Kops/s",
+            "p50 us",
+            "p99 us",
+            "p999 us",
+            "frames",
+            "backpressure",
+            "max in-flight",
+        ],
+    );
+    for &c in connections {
+        for &w in windows {
+            let result = stress(
+                scale,
+                |db| {
+                    let (listener, connector) = duplex_listener();
+                    let server = NetServer::start(db, Arc::new(listener), server_options())
+                        .expect("valid server options");
+                    (
+                        server,
+                        Box::new(move || connector.connect().expect("duplex dial")) as _,
+                    )
+                },
+                c,
+                w,
+            );
+            add_result_row(&mut table, format!("duplex/c{c}/w{w}"), &result);
+        }
+    }
+    table.print();
+    table
+}
+
+/// One real-TCP loopback row at the largest duplex configuration, if the
+/// environment lets us bind; returns `None` (and prints why) otherwise.
+pub fn tcp_row(scale: &Scale, connections: usize, window: usize) -> Option<StressRow> {
+    let probe = match TcpServerListener::bind("127.0.0.1:0") {
+        Ok(listener) => listener,
+        Err(err) => {
+            eprintln!("net_stress: skipping TCP row (cannot bind loopback: {err})");
+            return None;
+        }
+    };
+    drop(probe);
+    let result = stress(
+        scale,
+        |db| {
+            let listener = TcpServerListener::bind("127.0.0.1:0").expect("probe succeeded");
+            let server = NetServer::start(db, Arc::new(listener), server_options())
+                .expect("valid server options");
+            let addr = server.local_addr();
+            (
+                server,
+                Box::new(move || tcp_connect(&addr).expect("tcp dial")) as _,
+            )
+        },
+        connections,
+        window,
+    );
+    Some(StressRow {
+        label: format!("tcp/c{connections}/w{window}"),
+        result,
+    })
+}
+
+/// A labelled stress result, for appending TCP rows onto the table.
+pub struct StressRow {
+    label: String,
+    result: StressResult,
+}
+
+/// Run the full sweep and emit `BENCH_net.json` plus the sweep's
+/// `BENCH_summary.json` entry.
+pub fn run(scale: &Scale) -> Vec<Table> {
+    let mut table = sweep_with(scale, &CONNECTION_SWEEP, &WINDOW_SWEEP);
+    if let Some(row) = tcp_row(scale, 4, 32) {
+        add_result_row(&mut table, row.label, &row.result);
+        table.print();
+    }
+    write_bench_json("net", std::slice::from_ref(&table));
+    if let Some(entry) = SummaryEntry::best_of("net", &table, "Kops/s", scale.record_count) {
+        crate::report::update_bench_summary(&entry);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell_f64(table: &Table, row: &str, col: &str) -> f64 {
+        table
+            .cell(row, col)
+            .unwrap_or_else(|| panic!("missing cell {row}/{col}"))
+            .parse()
+            .unwrap()
+    }
+
+    /// The CI gate: a pipelined 4-connection duplex run must complete
+    /// with positive throughput, a monotone latency CDF, and a p99 under
+    /// a deliberately generous bound — it catches a serving layer that
+    /// stalls (lock convoy, lost wakeup, responder livelock), not normal
+    /// machine-to-machine variance.
+    #[test]
+    fn stress_over_duplex_meets_latency_gate() {
+        let scale = Scale::quick();
+        let table = sweep_with(&scale, &[4], &[32]);
+        let kops = cell_f64(&table, "duplex/c4/w32", "Kops/s");
+        let p50 = cell_f64(&table, "duplex/c4/w32", "p50 us");
+        let p99 = cell_f64(&table, "duplex/c4/w32", "p99 us");
+        let p999 = cell_f64(&table, "duplex/c4/w32", "p999 us");
+        assert!(kops > 0.0, "stress run must make progress");
+        assert!(p50 <= p99 && p99 <= p999, "CDF must be monotone");
+        assert!(
+            p99 < 50_000.0,
+            "p99 {p99}us blew the 50ms stall gate (p50 {p50}us, p999 {p999}us)"
+        );
+        let frames = cell_f64(&table, "duplex/c4/w32", "frames");
+        assert!(
+            frames >= scale.measure_ops as f64,
+            "every op must travel the wire (saw {frames} frames)"
+        );
+    }
+
+    /// Ping-pong (window 1) must also hold the gate — it exercises the
+    /// responder's idle/wake path on every single request.
+    #[test]
+    fn ping_pong_window_holds_the_gate() {
+        let scale = Scale::quick();
+        let table = sweep_with(&scale, &[1], &[1]);
+        assert!(cell_f64(&table, "duplex/c1/w1", "Kops/s") > 0.0);
+        assert!(cell_f64(&table, "duplex/c1/w1", "p99 us") < 50_000.0);
+    }
+}

@@ -110,7 +110,7 @@ pub struct KindLatency {
     pub p99_us: f64,
 }
 
-fn percentile(sorted: &[u64], p: f64) -> f64 {
+pub(crate) fn percentile(sorted: &[u64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }

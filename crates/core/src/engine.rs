@@ -348,31 +348,42 @@ impl PrismDb {
     /// the batch disappears atomically. Returns the total recovery time.
     ///
     /// Takes `&self` so recovery can be exercised on a shared
-    /// `Arc<PrismDb>`; each partition is locked for the duration of its own
-    /// recovery, so concurrent operations observe either pre-crash or
-    /// post-recovery state of a partition, never a half-rebuilt one. Each
-    /// partition's epoch bump aborts any background compaction job in
-    /// flight against it: the job's install becomes a no-op, exactly as if
-    /// the crash had interrupted it, so recovery always lands on the last
-    /// installed (old or new) state — never a half-compacted one.
-    ///
-    /// Rollback restores pre-images unconditionally, so an independent
-    /// write racing a torn commit to the same key can be rolled back with
-    /// it; writes concurrent with a crash have no ordering guarantee
-    /// anyway.
+    /// `Arc<PrismDb>`. Every partition's write lock is acquired (in
+    /// ascending order, like the cross-partition commit protocol) and
+    /// held from before the first partition's recovery through the
+    /// commit-log replay: concurrent operations observe either pre-crash
+    /// or post-recovery state, never a half-rebuilt one, and a
+    /// multi-partition commit can never be caught mid-protocol — it
+    /// holds its touched locks from persisted intent to seal, so by the
+    /// time recovery drains the log every record is either sealed
+    /// (durable, kept) or genuinely torn by the simulated power cut
+    /// (rolled back). Without the continuous hold, recovery could drain
+    /// an in-flight record as "torn", then block on the committer's
+    /// locks and roll back a batch that sealed — and was acknowledged —
+    /// in the meantime. Each partition's epoch bump aborts any
+    /// background compaction job in flight against it: the job's install
+    /// becomes a no-op, exactly as if the crash had interrupted it, so
+    /// recovery always lands on the last installed (old or new) state —
+    /// never a half-compacted one.
     pub fn crash_and_recover(&self) -> Nanos {
-        let per_partition = (0..self.partition_count())
-            .map(|i| self.shared.write_partition(i).crash_and_recover())
+        let mut guards: Vec<RwLockWriteGuard<'_, Partition>> = (0..self.partition_count())
+            .map(|i| self.shared.write_partition(i))
+            .collect();
+        // Recovery time is still max-over-partitions: the serial loop is
+        // an artefact of the simulation, not of the modelled hardware.
+        let per_partition = guards
+            .iter_mut()
+            .map(|p| p.crash_and_recover())
             .fold(Nanos::ZERO, Nanos::max);
-        per_partition + self.replay_commit_log()
+        per_partition + self.replay_commit_log(&mut guards)
     }
 
     /// Drain the commit log after per-partition recovery: roll torn
-    /// records back newest-first by restoring their pre-images. Restoring
-    /// a group that never installed re-writes identical state (a no-op
-    /// for readers), so rollback needs no knowledge of how far the torn
-    /// batch got.
-    fn replay_commit_log(&self) -> Nanos {
+    /// records back newest-first by restoring their pre-images into the
+    /// still-locked partitions. Restoring a group that never installed
+    /// re-writes identical state (a no-op for readers), so rollback needs
+    /// no knowledge of how far the torn batch got.
+    fn replay_commit_log(&self, guards: &mut [RwLockWriteGuard<'_, Partition>]) -> Nanos {
         let (_sealed, torn) = self.shared.commit_log.drain_for_recovery();
         let mut cost = Nanos::ZERO;
         for record in torn {
@@ -388,14 +399,10 @@ impl PrismDb {
                 if ops.is_empty() {
                     continue;
                 }
-                cost += self
-                    .shared
-                    .write_partition(part.partition)
-                    .apply_group(ops, false)
-                    .expect(
-                        "rollback restores values that fit before; \
-                         the group path reclaims space inline",
-                    );
+                cost += guards[part.partition].apply_group(ops, false).expect(
+                    "rollback restores values that fit before; \
+                     the group path reclaims space inline",
+                );
             }
         }
         cost

@@ -6,8 +6,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use prism_types::{
-    completion_pair, BatchOp, Completion, ConcurrentKvStore, FrontendStats, Key, Lookup, Nanos,
-    PrismError, Result, ScanResult, Ticket, Value, WriteBatch,
+    completion_pair_gauged, BatchOp, Completion, ConcurrentKvStore, FrontendStats, Key, Lookup,
+    Nanos, PrismError, Result, ScanResult, Ticket, TicketGauge, Value, WriteBatch,
 };
 
 use crate::options::FrontendOptions;
@@ -33,8 +33,8 @@ struct WriteAgg {
 }
 
 impl WriteAgg {
-    fn new(parts: usize) -> (Arc<Self>, WriteTicket) {
-        let (completion, ticket) = completion_pair();
+    fn new(parts: usize, gauge: &TicketGauge) -> (Arc<Self>, WriteTicket) {
+        let (completion, ticket) = completion_pair_gauged(gauge);
         (
             Arc::new(WriteAgg {
                 remaining: AtomicUsize::new(parts),
@@ -101,6 +101,10 @@ struct Shared<E> {
     signals: Vec<ExecSignal>,
     shutdown: AtomicBool,
     concurrent_reads: bool,
+    /// Counts tickets handed out but not yet completed/abandoned; every
+    /// completion pair this front-end creates is gauged on it, so a zero
+    /// reading after a drain proves no client request was stranded.
+    gauge: TicketGauge,
     /// Cached per-partition watermark hint, refreshed by the executor at
     /// the end of each drain (writes only enter the engine through
     /// drains, so that is exactly when pressure rises; a background
@@ -459,6 +463,7 @@ impl<E: ConcurrentKvStore + 'static> Frontend<E> {
                 .collect(),
             shutdown: AtomicBool::new(false),
             concurrent_reads,
+            gauge: TicketGauge::new(),
             pressured: (0..partitions).map(|_| AtomicBool::new(false)).collect(),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -508,7 +513,7 @@ impl<E: ConcurrentKvStore + 'static> Frontend<E> {
     /// Returns [`PrismError::ShuttingDown`] after [`Frontend::shutdown`].
     pub fn submit_put(&self, key: Key, value: Value) -> Result<WriteTicket> {
         let partition = self.partition_of(&key);
-        let (agg, ticket) = WriteAgg::new(1);
+        let (agg, ticket) = WriteAgg::new(1, &self.shared.gauge);
         self.shared.enqueue(
             partition,
             Request::Write(vec![BatchOp::Put(key, value)], agg),
@@ -523,7 +528,7 @@ impl<E: ConcurrentKvStore + 'static> Frontend<E> {
     /// Returns [`PrismError::ShuttingDown`] after [`Frontend::shutdown`].
     pub fn submit_delete(&self, key: &Key) -> Result<WriteTicket> {
         let partition = self.partition_of(key);
-        let (agg, ticket) = WriteAgg::new(1);
+        let (agg, ticket) = WriteAgg::new(1, &self.shared.gauge);
         self.shared.enqueue(
             partition,
             Request::Write(vec![BatchOp::Delete(key.clone())], agg),
@@ -549,7 +554,7 @@ impl<E: ConcurrentKvStore + 'static> Frontend<E> {
             .entries()
             .first()
             .map(|op| self.shared.engine.shard_of(op.key()));
-        let (agg, ticket) = WriteAgg::new(1);
+        let (agg, ticket) = WriteAgg::new(1, &self.shared.gauge);
         let Some(home) = home else {
             agg.finish(Ok(Nanos::ZERO));
             return Ok(ticket);
@@ -568,7 +573,7 @@ impl<E: ConcurrentKvStore + 'static> Frontend<E> {
     /// Returns [`PrismError::ShuttingDown`] after [`Frontend::shutdown`].
     pub fn submit_get(&self, key: &Key) -> Result<ReadTicket> {
         let partition = self.partition_of(key);
-        let (completion, ticket) = completion_pair();
+        let (completion, ticket) = completion_pair_gauged(&self.shared.gauge);
         self.shared
             .enqueue(partition, Request::Get(key.clone(), completion))?;
         Ok(ticket)
@@ -581,7 +586,7 @@ impl<E: ConcurrentKvStore + 'static> Frontend<E> {
     /// Returns [`PrismError::ShuttingDown`] after [`Frontend::shutdown`].
     pub fn submit_scan(&self, start: &Key, count: usize) -> Result<ScanTicket> {
         let partition = self.partition_of(start);
-        let (completion, ticket) = completion_pair();
+        let (completion, ticket) = completion_pair_gauged(&self.shared.gauge);
         self.shared
             .enqueue(partition, Request::Scan(start.clone(), count, completion))?;
         Ok(ticket)
@@ -603,7 +608,7 @@ impl<E: ConcurrentKvStore + 'static> Frontend<E> {
     pub fn try_submit_put(&self, key: &Key, value: &Value) -> Result<WriteTicket> {
         let partition = self.partition_of(key);
         let capacity = self.shared.effective_write_capacity(partition);
-        let (agg, ticket) = WriteAgg::new(1);
+        let (agg, ticket) = WriteAgg::new(1, &self.shared.gauge);
         self.shared.try_enqueue(
             partition,
             capacity,
@@ -621,7 +626,7 @@ impl<E: ConcurrentKvStore + 'static> Frontend<E> {
     pub fn try_submit_delete(&self, key: &Key) -> Result<WriteTicket> {
         let partition = self.partition_of(key);
         let capacity = self.shared.effective_write_capacity(partition);
-        let (agg, ticket) = WriteAgg::new(1);
+        let (agg, ticket) = WriteAgg::new(1, &self.shared.gauge);
         self.shared.try_enqueue(
             partition,
             capacity,
@@ -638,11 +643,55 @@ impl<E: ConcurrentKvStore + 'static> Frontend<E> {
     /// [`PrismError::Backpressure`] or [`PrismError::ShuttingDown`].
     pub fn try_submit_get(&self, key: &Key) -> Result<ReadTicket> {
         let partition = self.partition_of(key);
-        let (completion, ticket) = completion_pair();
+        let (completion, ticket) = completion_pair_gauged(&self.shared.gauge);
         self.shared.try_enqueue(
             partition,
             self.shared.queue_capacity,
             Request::Get(key.clone(), completion),
+        )?;
+        Ok(ticket)
+    }
+
+    /// Non-blocking [`Frontend::submit_scan`]. Like reads, scans are not
+    /// subject to the watermark hint.
+    ///
+    /// # Errors
+    ///
+    /// [`PrismError::Backpressure`] or [`PrismError::ShuttingDown`].
+    pub fn try_submit_scan(&self, start: &Key, count: usize) -> Result<ScanTicket> {
+        let partition = self.partition_of(start);
+        let (completion, ticket) = completion_pair_gauged(&self.shared.gauge);
+        self.shared.try_enqueue(
+            partition,
+            self.shared.queue_capacity,
+            Request::Scan(start.clone(), count, completion),
+        )?;
+        Ok(ticket)
+    }
+
+    /// Non-blocking [`Frontend::submit_batch`]: the batch is routed whole
+    /// to its home (first touched) partition with the same back-pressure
+    /// contract as [`Frontend::try_submit_put`]. The batch is borrowed and
+    /// only cloned on acceptance so a rejected submission can be retried.
+    ///
+    /// # Errors
+    ///
+    /// [`PrismError::Backpressure`] or [`PrismError::ShuttingDown`].
+    pub fn try_submit_batch(&self, batch: &WriteBatch) -> Result<WriteTicket> {
+        let home = batch
+            .entries()
+            .first()
+            .map(|op| self.shared.engine.shard_of(op.key()));
+        let (agg, ticket) = WriteAgg::new(1, &self.shared.gauge);
+        let Some(home) = home else {
+            agg.finish(Ok(Nanos::ZERO));
+            return Ok(ticket);
+        };
+        let capacity = self.shared.effective_write_capacity(home);
+        self.shared.try_enqueue(
+            home,
+            capacity,
+            Request::Write(batch.entries().to_vec(), agg),
         )?;
         Ok(ticket)
     }
@@ -679,6 +728,39 @@ impl<E: ConcurrentKvStore + 'static> Frontend<E> {
             wakeups: shared.wakeups.load(Ordering::Relaxed),
             queue_depth: shared.depth.load(Ordering::Relaxed),
             max_queue_depth: shared.max_queue_depth.load(Ordering::Relaxed),
+            outstanding_tickets: shared.gauge.outstanding(),
+        }
+    }
+
+    /// Number of tickets handed out by this front-end that are neither
+    /// completed nor abandoned yet. Zero once every client request has
+    /// been answered (or its ticket dropped) — the disconnect tests use
+    /// this to prove a vanished client strands nothing.
+    pub fn outstanding_tickets(&self) -> u64 {
+        self.shared.gauge.outstanding()
+    }
+
+    /// The gauge behind [`Frontend::outstanding_tickets`], for callers
+    /// (e.g. a network server) that want to count their own wrappers on
+    /// the same meter.
+    pub fn ticket_gauge(&self) -> &TicketGauge {
+        &self.shared.gauge
+    }
+
+    /// Block until every queued request has been serviced and every
+    /// handed-out ticket completed (or abandoned by its holder). Unlike
+    /// [`Frontend::shutdown`] this keeps the front-end open for new
+    /// submissions — it is a quiesce point, not a teardown: a server
+    /// calls it between "stop reading new frames" and "ack what is in
+    /// flight, then exit".
+    pub fn drain(&self) {
+        loop {
+            let idle = self.shared.depth.load(Ordering::Relaxed) == 0
+                && self.shared.gauge.outstanding() == 0;
+            if idle {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(50));
         }
     }
 

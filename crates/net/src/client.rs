@@ -1,0 +1,250 @@
+//! A pipelining wire client.
+//!
+//! [`NetClient`] assigns request ids, keeps every unanswered request
+//! encoded for retransmission, and matches responses back by id in
+//! whatever order the server delivers them. Retryable refusals
+//! ([`Status::Backpressure`]) are resent transparently with a small
+//! backoff, so a caller using the blocking conveniences only ever sees
+//! requests that landed or failed for real.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::time::Duration;
+
+use prism_types::{Key, Nanos, PrismError, Result, Value, WriteBatch};
+
+use crate::protocol::{
+    decode_response, encode_request, FrameDecoder, Request, Response, ResponseBody, Status,
+};
+use crate::transport::Conn;
+
+struct Pending {
+    /// The encoded frame, kept for back-pressure retransmission.
+    frame: Vec<u8>,
+    retries: u32,
+}
+
+/// A client connection speaking the wire protocol. Single-threaded by
+/// design: one client pipelines many requests on one connection; drive
+/// several clients from several threads for connection-level parallelism.
+pub struct NetClient {
+    reader: Box<dyn Read + Send>,
+    writer: Box<dyn Write + Send>,
+    decoder: FrameDecoder,
+    next_id: u64,
+    pending: HashMap<u64, Pending>,
+    /// Responses received while waiting for a different id.
+    received: HashMap<u64, Response>,
+    /// Most transparent resends of one request before its back-pressure
+    /// refusal is surfaced to the caller.
+    pub max_retries: u32,
+    /// Nap between a back-pressure refusal and the resend.
+    pub retry_backoff: Duration,
+    /// Back-pressure refusals observed (including retried ones).
+    pub backpressure_seen: u64,
+}
+
+impl NetClient {
+    /// Wrap an established connection.
+    pub fn new(conn: Conn) -> NetClient {
+        NetClient {
+            reader: conn.reader,
+            writer: conn.writer,
+            decoder: FrameDecoder::new(),
+            next_id: 1,
+            pending: HashMap::new(),
+            received: HashMap::new(),
+            max_retries: 10_000,
+            retry_backoff: Duration::from_micros(100),
+            backpressure_seen: 0,
+        }
+    }
+
+    /// Number of sent requests not yet answered.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Send a request without waiting; returns its id for [`Self::wait`].
+    ///
+    /// # Errors
+    ///
+    /// [`PrismError::Protocol`] if the request cannot be encoded,
+    /// [`PrismError::Disconnected`] if the transport rejects the write.
+    pub fn send(&mut self, request: &Request) -> Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = encode_request(id, request)?;
+        self.writer
+            .write_all(&frame)
+            .map_err(|_| PrismError::Disconnected)?;
+        self.pending.insert(id, Pending { frame, retries: 0 });
+        Ok(id)
+    }
+
+    /// Block until the response for `id` arrives, transparently resending
+    /// on retryable back-pressure refusals.
+    ///
+    /// # Errors
+    ///
+    /// [`PrismError::Disconnected`] if the server hangs up first,
+    /// [`PrismError::Protocol`] on an undecodable response.
+    pub fn wait(&mut self, id: u64) -> Result<Response> {
+        loop {
+            if let Some(response) = self.received.remove(&id) {
+                return Ok(response);
+            }
+            let response = self.read_response()?;
+            let for_id = response.id;
+            if response.status.is_retryable() {
+                self.backpressure_seen += 1;
+                if let Some(pending) = self.pending.get_mut(&for_id) {
+                    if pending.retries < self.max_retries {
+                        pending.retries += 1;
+                        let frame = pending.frame.clone();
+                        std::thread::sleep(self.retry_backoff);
+                        self.writer
+                            .write_all(&frame)
+                            .map_err(|_| PrismError::Disconnected)?;
+                        continue;
+                    }
+                }
+                // Retries exhausted (or an id we never sent): surface it.
+            }
+            self.pending.remove(&for_id);
+            if for_id == id {
+                return Ok(response);
+            }
+            self.received.insert(for_id, response);
+        }
+    }
+
+    /// Wait for every pending request, discarding the responses (errors
+    /// and refusals included) — a cheap pipeline barrier.
+    ///
+    /// # Errors
+    ///
+    /// [`PrismError::Disconnected`] if the server hangs up first.
+    pub fn drain(&mut self) -> Result<()> {
+        let ids: Vec<u64> = self.pending.keys().copied().collect();
+        for id in ids {
+            let _ = self.wait(id)?;
+        }
+        Ok(())
+    }
+
+    fn read_response(&mut self) -> Result<Response> {
+        loop {
+            if let Some(payload) = self.decoder.next_frame()? {
+                return decode_response(&payload);
+            }
+            let mut buf = [0u8; 8192];
+            let n = self
+                .reader
+                .read(&mut buf)
+                .map_err(|_| PrismError::Disconnected)?;
+            if n == 0 {
+                return Err(PrismError::Disconnected);
+            }
+            self.decoder.push(&buf[..n]);
+        }
+    }
+
+    fn expect_ok(response: Response) -> Result<Response> {
+        match response.status {
+            Status::Ok => Ok(response),
+            Status::ShuttingDown => Err(PrismError::ShuttingDown),
+            Status::Backpressure => Err(PrismError::Backpressure {
+                partition: 0,
+                depth: 0,
+            }),
+            Status::ServerError => Err(PrismError::Io(response.message)),
+            Status::ProtocolError => Err(PrismError::Protocol(response.message)),
+        }
+    }
+
+    /// Blocking put.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors and non-ok statuses, mapped to [`PrismError`].
+    pub fn put(&mut self, key: Key, value: Value) -> Result<Nanos> {
+        let id = self.send(&Request::Put { key, value })?;
+        let response = Self::expect_ok(self.wait(id)?)?;
+        Ok(response.latency)
+    }
+
+    /// Blocking delete.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors and non-ok statuses, mapped to [`PrismError`].
+    pub fn delete(&mut self, key: Key) -> Result<Nanos> {
+        let id = self.send(&Request::Delete { key })?;
+        let response = Self::expect_ok(self.wait(id)?)?;
+        Ok(response.latency)
+    }
+
+    /// Blocking point lookup.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors and non-ok statuses, mapped to [`PrismError`].
+    pub fn get(&mut self, key: Key) -> Result<Option<Value>> {
+        let id = self.send(&Request::Get { key })?;
+        let response = Self::expect_ok(self.wait(id)?)?;
+        match response.body {
+            ResponseBody::Value(value) => Ok(value),
+            other => Err(PrismError::Protocol(format!(
+                "get answered with a non-value body {other:?}"
+            ))),
+        }
+    }
+
+    /// Blocking range scan.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors and non-ok statuses, mapped to [`PrismError`].
+    pub fn scan(&mut self, start: Key, count: u32) -> Result<Vec<(Key, Value)>> {
+        let id = self.send(&Request::Scan { start, count })?;
+        let response = Self::expect_ok(self.wait(id)?)?;
+        match response.body {
+            ResponseBody::Entries(entries) => Ok(entries),
+            other => Err(PrismError::Protocol(format!(
+                "scan answered with a non-entries body {other:?}"
+            ))),
+        }
+    }
+
+    /// Blocking atomic batch.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors and non-ok statuses, mapped to [`PrismError`].
+    pub fn batch(&mut self, batch: WriteBatch) -> Result<Nanos> {
+        let id = self.send(&Request::Batch { batch })?;
+        let response = Self::expect_ok(self.wait(id)?)?;
+        Ok(response.latency)
+    }
+
+    /// Blocking liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors and non-ok statuses, mapped to [`PrismError`].
+    pub fn ping(&mut self) -> Result<()> {
+        let id = self.send(&Request::Ping)?;
+        Self::expect_ok(self.wait(id)?)?;
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for NetClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetClient")
+            .field("in_flight", &self.pending.len())
+            .field("backpressure_seen", &self.backpressure_seen)
+            .finish()
+    }
+}

@@ -1,0 +1,820 @@
+//! The wire protocol: length-prefixed binary frames.
+//!
+//! Every frame is a little-endian `u32` payload length followed by the
+//! payload itself. Requests and responses share the framing but have
+//! distinct payload layouts (see [`Request`] and [`Response`]); both
+//! start with the client-assigned request id, so responses may be
+//! delivered out of order and matched back by id.
+//!
+//! Decoding never panics on hostile input: a malformed payload inside a
+//! sound frame yields [`PrismError::Protocol`] and framing recovers at
+//! the next length-prefix boundary; only an unsound length prefix itself
+//! (oversized) is fatal to the connection, because the byte stream can no
+//! longer be re-synchronised.
+
+use prism_types::{BatchOp, Key, Nanos, PrismError, Result, Value, WriteBatch};
+
+/// Maximum payload bytes in one frame. Large enough for a full batch of
+/// the engine's 4 KB objects, small enough that a corrupt length prefix
+/// cannot make the decoder buffer gigabytes.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Bytes of the frame length prefix.
+pub const LEN_PREFIX: usize = 4;
+
+/// Maximum key bytes on the wire (`u16` length field).
+pub const MAX_KEY_LEN: usize = u16::MAX as usize;
+
+/// One decoded client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Insert or update one key.
+    Put {
+        /// Key to write.
+        key: Key,
+        /// Value to store.
+        value: Value,
+    },
+    /// Delete one key (idempotent).
+    Delete {
+        /// Key to delete.
+        key: Key,
+    },
+    /// Point lookup.
+    Get {
+        /// Key to read.
+        key: Key,
+    },
+    /// Ordered range scan.
+    Scan {
+        /// First key of the range (inclusive).
+        start: Key,
+        /// Maximum entries to return.
+        count: u32,
+    },
+    /// Atomic multi-op write batch.
+    Batch {
+        /// The operations, applied front to back.
+        batch: WriteBatch,
+    },
+    /// Liveness probe; the server answers immediately without touching
+    /// the engine.
+    Ping,
+}
+
+impl Request {
+    /// The request's wire opcode.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Request::Put { .. } => opcode::PUT,
+            Request::Delete { .. } => opcode::DELETE,
+            Request::Get { .. } => opcode::GET,
+            Request::Scan { .. } => opcode::SCAN,
+            Request::Batch { .. } => opcode::BATCH,
+            Request::Ping => opcode::PING,
+        }
+    }
+}
+
+/// Wire opcodes (the `u8` after the request id).
+pub mod opcode {
+    /// Insert or update one key.
+    pub const PUT: u8 = 1;
+    /// Delete one key.
+    pub const DELETE: u8 = 2;
+    /// Point lookup.
+    pub const GET: u8 = 3;
+    /// Ordered range scan.
+    pub const SCAN: u8 = 4;
+    /// Atomic multi-op write batch.
+    pub const BATCH: u8 = 5;
+    /// Liveness probe.
+    pub const PING: u8 = 6;
+}
+
+/// Response status codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// The request was executed; the response carries its result.
+    Ok = 0,
+    /// The submission queue was full. Retryable: the same request may be
+    /// resent and will eventually land once the queue drains.
+    Backpressure = 1,
+    /// The server is draining for shutdown; the request was refused and
+    /// will not execute. Not retryable on this connection.
+    ShuttingDown = 2,
+    /// The engine rejected the request (capacity, corruption, ...); the
+    /// response message carries the error text.
+    ServerError = 3,
+    /// The request frame was malformed. The offending frame was
+    /// discarded; subsequent frames on the connection still execute.
+    ProtocolError = 4,
+}
+
+impl Status {
+    fn from_wire(raw: u8) -> Result<Status> {
+        Ok(match raw {
+            0 => Status::Ok,
+            1 => Status::Backpressure,
+            2 => Status::ShuttingDown,
+            3 => Status::ServerError,
+            4 => Status::ProtocolError,
+            other => return Err(PrismError::Protocol(format!("unknown status byte {other}"))),
+        })
+    }
+
+    /// True for statuses a client may transparently retry.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, Status::Backpressure)
+    }
+}
+
+/// Latency classes carried in every response so clients can histogram
+/// service quality without trusting their own clocks: the class buckets
+/// the server-side (simulated) service latency by decade.
+pub fn latency_class(latency: Nanos) -> u8 {
+    let us = latency.as_nanos() / 1_000;
+    match us {
+        0..=9 => 0,
+        10..=99 => 1,
+        100..=999 => 2,
+        1_000..=9_999 => 3,
+        _ => 4,
+    }
+}
+
+/// The op-specific payload of an [`Status::Ok`] response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResponseBody {
+    /// Ack of a put/delete/batch/ping.
+    Ack,
+    /// Result of a get; `None` when the key does not exist.
+    Value(Option<Value>),
+    /// Result of a scan, in key order.
+    Entries(Vec<(Key, Value)>),
+}
+
+/// One decoded server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Echo of the request id this answers.
+    pub id: u64,
+    /// Echo of the request opcode.
+    pub opcode: u8,
+    /// Outcome of the request.
+    pub status: Status,
+    /// Error text for non-[`Status::Ok`] statuses (empty otherwise).
+    pub message: String,
+    /// Server-side simulated service latency (zero for refusals).
+    pub latency: Nanos,
+    /// Result payload; [`ResponseBody::Ack`] for non-ok statuses.
+    pub body: ResponseBody,
+}
+
+impl Response {
+    /// A refusal or error response (no body, zero latency).
+    pub fn refusal(id: u64, opcode: u8, status: Status, message: impl Into<String>) -> Response {
+        Response {
+            id,
+            opcode,
+            status,
+            message: message.into(),
+            latency: Nanos::ZERO,
+            body: ResponseBody::Ack,
+        }
+    }
+
+    /// The latency class bucket of this response's latency.
+    pub fn latency_class(&self) -> u8 {
+        latency_class(self.latency)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+
+struct FrameBuilder {
+    buf: Vec<u8>,
+}
+
+impl FrameBuilder {
+    fn new() -> FrameBuilder {
+        // Reserve the length prefix; patched in `finish`.
+        FrameBuilder {
+            buf: vec![0u8; LEN_PREFIX],
+        }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn key(&mut self, key: &Key) -> Result<()> {
+        let bytes = key.as_bytes();
+        if bytes.len() > MAX_KEY_LEN {
+            return Err(PrismError::Protocol(format!(
+                "key of {} bytes exceeds the wire maximum of {MAX_KEY_LEN}",
+                bytes.len()
+            )));
+        }
+        self.u16(bytes.len() as u16);
+        self.buf.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn value(&mut self, value: &Value) {
+        self.u32(value.len() as u32);
+        self.buf.extend_from_slice(value.as_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        let bytes = s.as_bytes();
+        let take = bytes.len().min(MAX_KEY_LEN);
+        self.u16(take as u16);
+        self.buf.extend_from_slice(&bytes[..take]);
+    }
+
+    fn finish(mut self) -> Result<Vec<u8>> {
+        let payload = self.buf.len() - LEN_PREFIX;
+        if payload > MAX_FRAME {
+            return Err(PrismError::Protocol(format!(
+                "frame payload of {payload} bytes exceeds the maximum of {MAX_FRAME}"
+            )));
+        }
+        self.buf[..LEN_PREFIX].copy_from_slice(&(payload as u32).to_le_bytes());
+        Ok(self.buf)
+    }
+}
+
+/// Encode a request into a complete frame (length prefix included).
+///
+/// # Errors
+///
+/// [`PrismError::Protocol`] if a key exceeds [`MAX_KEY_LEN`] or the
+/// payload exceeds [`MAX_FRAME`].
+pub fn encode_request(id: u64, request: &Request) -> Result<Vec<u8>> {
+    let mut frame = FrameBuilder::new();
+    frame.u64(id);
+    frame.u8(request.opcode());
+    match request {
+        Request::Put { key, value } => {
+            frame.key(key)?;
+            frame.value(value);
+        }
+        Request::Delete { key } | Request::Get { key } => frame.key(key)?,
+        Request::Scan { start, count } => {
+            frame.key(start)?;
+            frame.u32(*count);
+        }
+        Request::Batch { batch } => {
+            frame.u32(batch.len() as u32);
+            for op in batch.entries() {
+                match op {
+                    BatchOp::Put(key, value) => {
+                        frame.u8(1);
+                        frame.key(key)?;
+                        frame.value(value);
+                    }
+                    BatchOp::Delete(key) => {
+                        frame.u8(2);
+                        frame.key(key)?;
+                    }
+                }
+            }
+        }
+        Request::Ping => {}
+    }
+    frame.finish()
+}
+
+/// Encode a response into a complete frame (length prefix included).
+///
+/// # Errors
+///
+/// [`PrismError::Protocol`] on a key or frame size violation (a scan
+/// result too large to frame).
+pub fn encode_response(response: &Response) -> Result<Vec<u8>> {
+    let mut frame = FrameBuilder::new();
+    frame.u64(response.id);
+    frame.u8(response.opcode);
+    frame.u8(response.status as u8);
+    frame.u8(response.latency_class());
+    frame.u64(response.latency.as_nanos());
+    if response.status as u8 != Status::Ok as u8 {
+        frame.str(&response.message);
+        return frame.finish();
+    }
+    match &response.body {
+        ResponseBody::Ack => {}
+        ResponseBody::Value(value) => match value {
+            Some(value) => {
+                frame.u8(1);
+                frame.value(value);
+            }
+            None => frame.u8(0),
+        },
+        ResponseBody::Entries(entries) => {
+            frame.u32(entries.len() as u32);
+            for (key, value) in entries {
+                frame.key(key)?;
+                frame.value(value);
+            }
+        }
+    }
+    frame.finish()
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|end| *end <= self.buf.len());
+        let Some(end) = end else {
+            return Err(PrismError::Protocol(format!(
+                "payload truncated: wanted {n} bytes at offset {} of a {}-byte payload",
+                self.pos,
+                self.buf.len()
+            )));
+        };
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn key(&mut self) -> Result<Key> {
+        let len = self.u16()? as usize;
+        Ok(Key::from_bytes(self.take(len)?.to_vec()))
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        let len = self.u32()? as usize;
+        if len > MAX_FRAME {
+            return Err(PrismError::Protocol(format!(
+                "value length field {len} exceeds the frame maximum"
+            )));
+        }
+        Ok(Value::from_vec(self.take(len)?.to_vec()))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| PrismError::Protocol("message field is not valid utf-8".into()))
+    }
+
+    fn finish(self) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(PrismError::Protocol(format!(
+                "{} trailing bytes after a complete payload",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The request id of a payload too malformed to decode, so a protocol
+/// error can still be routed back to the requester. `u64::MAX` if the
+/// payload is too short to carry an id.
+pub fn peek_request_id(payload: &[u8]) -> u64 {
+    payload
+        .get(..8)
+        .map(|bytes| u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+        .unwrap_or(u64::MAX)
+}
+
+/// Decode a request payload (the bytes after the length prefix).
+///
+/// # Errors
+///
+/// [`PrismError::Protocol`] on truncation, an unknown opcode, a length
+/// field pointing past the payload, or trailing bytes.
+pub fn decode_request(payload: &[u8]) -> Result<(u64, Request)> {
+    let mut cursor = Cursor::new(payload);
+    let id = cursor.u64()?;
+    let opcode = cursor.u8()?;
+    let request = match opcode {
+        opcode::PUT => Request::Put {
+            key: cursor.key()?,
+            value: cursor.value()?,
+        },
+        opcode::DELETE => Request::Delete { key: cursor.key()? },
+        opcode::GET => Request::Get { key: cursor.key()? },
+        opcode::SCAN => Request::Scan {
+            start: cursor.key()?,
+            count: cursor.u32()?,
+        },
+        opcode::BATCH => {
+            let n = cursor.u32()? as usize;
+            // Bound by what could physically fit in the payload (a
+            // put is ≥ 7 bytes) before allocating.
+            if n > payload.len() {
+                return Err(PrismError::Protocol(format!(
+                    "batch count field {n} exceeds what a {}-byte payload can hold",
+                    payload.len()
+                )));
+            }
+            let mut batch = WriteBatch::with_capacity(n);
+            for _ in 0..n {
+                match cursor.u8()? {
+                    1 => {
+                        let key = cursor.key()?;
+                        let value = cursor.value()?;
+                        batch.put(key, value);
+                    }
+                    2 => batch.delete(cursor.key()?),
+                    tag => return Err(PrismError::Protocol(format!("unknown batch op tag {tag}"))),
+                }
+            }
+            Request::Batch { batch }
+        }
+        opcode::PING => Request::Ping,
+        other => return Err(PrismError::Protocol(format!("unknown opcode {other}"))),
+    };
+    cursor.finish()?;
+    Ok((id, request))
+}
+
+/// Decode a response payload (the bytes after the length prefix).
+///
+/// # Errors
+///
+/// [`PrismError::Protocol`] on any malformed field.
+pub fn decode_response(payload: &[u8]) -> Result<Response> {
+    let mut cursor = Cursor::new(payload);
+    let id = cursor.u64()?;
+    let opcode = cursor.u8()?;
+    let status = Status::from_wire(cursor.u8()?)?;
+    let wire_class = cursor.u8()?;
+    let latency = Nanos::from_nanos(cursor.u64()?);
+    if wire_class != latency_class(latency) {
+        return Err(PrismError::Protocol(format!(
+            "latency class {wire_class} does not match latency {}ns",
+            latency.as_nanos()
+        )));
+    }
+    if status as u8 != Status::Ok as u8 {
+        let message = cursor.str()?;
+        cursor.finish()?;
+        return Ok(Response {
+            id,
+            opcode,
+            status,
+            message,
+            latency,
+            body: ResponseBody::Ack,
+        });
+    }
+    let body = match opcode {
+        opcode::PUT | opcode::DELETE | opcode::BATCH | opcode::PING => ResponseBody::Ack,
+        opcode::GET => match cursor.u8()? {
+            0 => ResponseBody::Value(None),
+            1 => ResponseBody::Value(Some(cursor.value()?)),
+            tag => {
+                return Err(PrismError::Protocol(format!(
+                    "unknown value-presence tag {tag}"
+                )))
+            }
+        },
+        opcode::SCAN => {
+            let n = cursor.u32()? as usize;
+            if n > payload.len() {
+                return Err(PrismError::Protocol(format!(
+                    "scan entry count field {n} exceeds what a {}-byte payload can hold",
+                    payload.len()
+                )));
+            }
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let key = cursor.key()?;
+                let value = cursor.value()?;
+                entries.push((key, value));
+            }
+            ResponseBody::Entries(entries)
+        }
+        other => return Err(PrismError::Protocol(format!("unknown opcode {other}"))),
+    };
+    cursor.finish()?;
+    Ok(Response {
+        id,
+        opcode,
+        status,
+        message: String::new(),
+        latency,
+        body,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Incremental framing
+
+/// Incremental frame splitter: feed it raw bytes as they arrive, pull
+/// complete payloads out. A frame whose payload later fails to decode
+/// costs only that frame — the splitter has already consumed exactly its
+/// bytes, so the next frame starts clean. Only an oversized length
+/// prefix is unrecoverable (the stream cannot be re-synchronised) and
+/// poisons the decoder.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed (compacted opportunistically).
+    consumed: usize,
+    poisoned: bool,
+}
+
+impl FrameDecoder {
+    /// A fresh decoder with an empty buffer.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Append raw bytes received from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Drop the consumed prefix before growing, keeping the buffer
+        // proportional to the unparsed remainder.
+        if self.consumed > 0 {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as a frame.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    /// Extract the next complete frame payload, if one is buffered.
+    ///
+    /// # Errors
+    ///
+    /// [`PrismError::Protocol`] if a length prefix exceeds [`MAX_FRAME`];
+    /// the decoder is then poisoned and every later call fails too — the
+    /// connection must be torn down.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>> {
+        if self.poisoned {
+            return Err(PrismError::Protocol(
+                "stream poisoned by an earlier unrecoverable framing error".into(),
+            ));
+        }
+        let pending = &self.buf[self.consumed..];
+        if pending.len() < LEN_PREFIX {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(pending[..LEN_PREFIX].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME {
+            self.poisoned = true;
+            return Err(PrismError::Protocol(format!(
+                "length prefix {len} exceeds the frame maximum of {MAX_FRAME}"
+            )));
+        }
+        if pending.len() < LEN_PREFIX + len {
+            return Ok(None);
+        }
+        let payload = pending[LEN_PREFIX..LEN_PREFIX + len].to_vec();
+        self.consumed += LEN_PREFIX + len;
+        Ok(Some(payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        let mut batch = WriteBatch::new();
+        batch.put(Key::from_id(1), Value::filled(8, 0xAA));
+        batch.delete(Key::from_id(2));
+        batch.put(Key::from_bytes(vec![]), Value::empty());
+        vec![
+            Request::Put {
+                key: Key::from_id(7),
+                value: Value::filled(100, 0x55),
+            },
+            Request::Delete {
+                key: Key::from_bytes(b"hello".to_vec()),
+            },
+            Request::Get {
+                key: Key::from_bytes(vec![0u8; 300]),
+            },
+            Request::Scan {
+                start: Key::min(),
+                count: 1000,
+            },
+            Request::Batch { batch },
+            Request::Ping,
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for (i, request) in sample_requests().into_iter().enumerate() {
+            let id = 1000 + i as u64;
+            let frame = encode_request(id, &request).expect("encode");
+            let (got_id, got) = decode_request(&frame[LEN_PREFIX..]).expect("decode");
+            assert_eq!(got_id, id);
+            assert_eq!(got, request);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = vec![
+            Response {
+                id: 1,
+                opcode: opcode::PUT,
+                status: Status::Ok,
+                message: String::new(),
+                latency: Nanos::from_micros(12),
+                body: ResponseBody::Ack,
+            },
+            Response {
+                id: 2,
+                opcode: opcode::GET,
+                status: Status::Ok,
+                message: String::new(),
+                latency: Nanos::from_nanos(999),
+                body: ResponseBody::Value(Some(Value::filled(64, 3))),
+            },
+            Response {
+                id: 3,
+                opcode: opcode::GET,
+                status: Status::Ok,
+                message: String::new(),
+                latency: Nanos::ZERO,
+                body: ResponseBody::Value(None),
+            },
+            Response {
+                id: 4,
+                opcode: opcode::SCAN,
+                status: Status::Ok,
+                message: String::new(),
+                latency: Nanos::from_micros(40_000),
+                body: ResponseBody::Entries(vec![
+                    (Key::from_id(1), Value::filled(4, 1)),
+                    (Key::from_id(2), Value::empty()),
+                ]),
+            },
+            Response::refusal(5, opcode::PUT, Status::Backpressure, "queue full"),
+            Response::refusal(6, opcode::BATCH, Status::ShuttingDown, "draining"),
+            Response::refusal(7, opcode::GET, Status::ServerError, "capacity exceeded"),
+            Response::refusal(8, opcode::PING, Status::ProtocolError, "bad frame"),
+        ];
+        for response in cases {
+            let frame = encode_response(&response).expect("encode");
+            let got = decode_response(&frame[LEN_PREFIX..]).expect("decode");
+            assert_eq!(got, response);
+        }
+    }
+
+    #[test]
+    fn latency_classes_bucket_by_decade() {
+        assert_eq!(latency_class(Nanos::ZERO), 0);
+        assert_eq!(latency_class(Nanos::from_micros(9)), 0);
+        assert_eq!(latency_class(Nanos::from_micros(10)), 1);
+        assert_eq!(latency_class(Nanos::from_micros(100)), 2);
+        assert_eq!(latency_class(Nanos::from_micros(1_000)), 3);
+        assert_eq!(latency_class(Nanos::from_micros(50_000)), 4);
+    }
+
+    #[test]
+    fn truncated_payloads_error_cleanly() {
+        let frame = encode_request(
+            9,
+            &Request::Put {
+                key: Key::from_id(3),
+                value: Value::filled(32, 1),
+            },
+        )
+        .expect("encode");
+        let payload = &frame[LEN_PREFIX..];
+        for cut in 0..payload.len() {
+            let err = decode_request(&payload[..cut]).expect_err("truncation must error");
+            assert!(matches!(err, PrismError::Protocol(_)), "got {err:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut frame = encode_request(1, &Request::Ping).expect("encode");
+        frame.push(0xFF);
+        let err = decode_request(&frame[LEN_PREFIX..]).expect_err("trailing byte");
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn unknown_opcode_and_bad_tags_error() {
+        // id(8) + bogus opcode.
+        let mut payload = 77u64.to_le_bytes().to_vec();
+        payload.push(99);
+        assert!(decode_request(&payload).is_err());
+        assert_eq!(peek_request_id(&payload), 77);
+        assert_eq!(peek_request_id(&payload[..4]), u64::MAX);
+    }
+
+    #[test]
+    fn absurd_length_fields_do_not_allocate() {
+        // A batch whose count field claims 4 billion entries in a tiny
+        // payload must be rejected before any allocation.
+        let mut payload = 5u64.to_le_bytes().to_vec();
+        payload.push(opcode::BATCH);
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode_request(&payload).expect_err("absurd count");
+        assert!(err.to_string().contains("batch count"));
+    }
+
+    #[test]
+    fn frame_decoder_reassembles_byte_by_byte() {
+        let mut stream = Vec::new();
+        let requests = sample_requests();
+        for (i, request) in requests.iter().enumerate() {
+            stream.extend(encode_request(i as u64, request).expect("encode"));
+        }
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        for byte in stream {
+            decoder.push(&[byte]);
+            while let Some(payload) = decoder.next_frame().expect("sound stream") {
+                decoded.push(decode_request(&payload).expect("decode"));
+            }
+        }
+        assert_eq!(decoded.len(), requests.len());
+        for (i, (id, request)) in decoded.into_iter().enumerate() {
+            assert_eq!(id, i as u64);
+            assert_eq!(request, requests[i]);
+        }
+        assert_eq!(decoder.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_length_prefix_poisons_the_decoder() {
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        assert!(decoder.next_frame().is_err());
+        // Poisoned: even pushing sound bytes afterwards keeps failing.
+        decoder.push(&encode_request(1, &Request::Ping).expect("encode"));
+        assert!(decoder.next_frame().is_err());
+    }
+
+    #[test]
+    fn corrupt_frame_does_not_desync_the_next_one() {
+        let mut garbage_payload = 3u64.to_le_bytes().to_vec();
+        garbage_payload.push(250); // unknown opcode
+        let mut stream = (garbage_payload.len() as u32).to_le_bytes().to_vec();
+        stream.extend(&garbage_payload);
+        stream.extend(encode_request(4, &Request::Ping).expect("encode"));
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&stream);
+        let bad = decoder.next_frame().expect("framing sound").expect("frame");
+        assert!(decode_request(&bad).is_err());
+        // The next frame decodes cleanly: no desync.
+        let good = decoder.next_frame().expect("framing sound").expect("frame");
+        assert_eq!(decode_request(&good).expect("decode").0, 4);
+    }
+}

@@ -1,0 +1,620 @@
+//! The serving loop: accept connections, decode frames, map requests
+//! onto the [`prism_frontend`] submission queues, and multiplex
+//! completions back out of order.
+//!
+//! Each connection gets two threads: a *reader* that decodes frames and
+//! submits them (holding at most [`ServerOptions::max_in_flight_per_conn`]
+//! unanswered requests — the per-connection window that stops one greedy
+//! client from monopolising the queues), and a *responder* that polls the
+//! in-flight tickets non-blockingly and writes each response as soon as
+//! its completion fires, in whatever order the executors finish.
+//!
+//! Back-pressure and refusals are part of the wire contract, not
+//! connection failures: a full submission queue surfaces as a retryable
+//! [`Status::Backpressure`] response, and requests arriving during a
+//! graceful shutdown are refused with [`Status::ShuttingDown`] while
+//! everything already submitted is still acked.
+
+use std::collections::HashMap;
+use std::io::Read;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use prism_frontend::{Frontend, FrontendOptions, ReadTicket, ScanTicket, WriteTicket};
+use prism_types::{ConcurrentKvStore, NetStats, PrismError, Result};
+
+use crate::protocol::{
+    decode_request, encode_response, peek_request_id, FrameDecoder, Request, Response,
+    ResponseBody, Status,
+};
+use crate::transport::{Conn, Listener, ReadCloser};
+
+/// Configuration of a [`NetServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerOptions {
+    /// Options of the embedded submission front-end.
+    pub frontend: FrontendOptions,
+    /// Most unanswered requests one connection may have outstanding;
+    /// beyond it the reader stops consuming frames until responses drain
+    /// (natural flow control, no refusals).
+    pub max_in_flight_per_conn: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            frontend: FrontendOptions::default(),
+            max_in_flight_per_conn: 64,
+        }
+    }
+}
+
+impl ServerOptions {
+    fn validate(&self) -> Result<()> {
+        if self.max_in_flight_per_conn == 0 {
+            return Err(PrismError::InvalidConfig(
+                "max_in_flight_per_conn must be non-zero".into(),
+            ));
+        }
+        self.frontend.validate()
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// The ticket of one submitted request, tagged by result shape.
+enum TicketKind {
+    Write(WriteTicket),
+    Read(ReadTicket),
+    Scan(ScanTicket),
+}
+
+/// One accepted request whose completion is pending.
+struct InFlight {
+    id: u64,
+    opcode: u8,
+    ticket: TicketKind,
+}
+
+impl InFlight {
+    /// Non-blocking poll; a completed ticket becomes a wire response.
+    fn poll(&mut self) -> Option<Response> {
+        let (status_result, latency, body) = match &mut self.ticket {
+            TicketKind::Write(ticket) => match ticket.poll()? {
+                Ok(latency) => (Ok(()), latency, ResponseBody::Ack),
+                Err(err) => (Err(err), prism_types::Nanos::ZERO, ResponseBody::Ack),
+            },
+            TicketKind::Read(ticket) => match ticket.poll()? {
+                Ok(lookup) => (Ok(()), lookup.latency, ResponseBody::Value(lookup.value)),
+                Err(err) => (Err(err), prism_types::Nanos::ZERO, ResponseBody::Ack),
+            },
+            TicketKind::Scan(ticket) => match ticket.poll()? {
+                Ok(scan) => (Ok(()), scan.latency, ResponseBody::Entries(scan.entries)),
+                Err(err) => (Err(err), prism_types::Nanos::ZERO, ResponseBody::Ack),
+            },
+        };
+        Some(match status_result {
+            Ok(()) => Response {
+                id: self.id,
+                opcode: self.opcode,
+                status: Status::Ok,
+                message: String::new(),
+                latency,
+                body,
+            },
+            Err(PrismError::ShuttingDown) => {
+                Response::refusal(self.id, self.opcode, Status::ShuttingDown, "draining")
+            }
+            Err(err) => {
+                Response::refusal(self.id, self.opcode, Status::ServerError, err.to_string())
+            }
+        })
+    }
+}
+
+/// Per-connection state shared by the reader and responder threads.
+#[derive(Default)]
+struct ConnInner {
+    inflight: Vec<InFlight>,
+    /// Responses ready without a ticket (refusals, pings, protocol
+    /// errors), in arrival order.
+    ready: Vec<Response>,
+    reading_done: bool,
+    write_failed: bool,
+}
+
+struct ConnShared {
+    inner: Mutex<ConnInner>,
+    cv: Condvar,
+}
+
+impl ConnShared {
+    fn pending(inner: &ConnInner) -> usize {
+        inner.inflight.len() + inner.ready.len()
+    }
+}
+
+struct Counters {
+    connections_accepted: AtomicU64,
+    connections_closed: AtomicU64,
+    frames_received: AtomicU64,
+    frames_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    bytes_sent: AtomicU64,
+    protocol_errors: AtomicU64,
+    backpressure_rejections: AtomicU64,
+    shutdown_refusals: AtomicU64,
+    in_flight: AtomicU64,
+    max_in_flight: AtomicU64,
+}
+
+impl Counters {
+    fn new() -> Counters {
+        Counters {
+            connections_accepted: AtomicU64::new(0),
+            connections_closed: AtomicU64::new(0),
+            frames_received: AtomicU64::new(0),
+            frames_sent: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            backpressure_rejections: AtomicU64::new(0),
+            shutdown_refusals: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            max_in_flight: AtomicU64::new(0),
+        }
+    }
+
+    fn note_in_flight(&self) {
+        let now = self.in_flight.fetch_add(1, Ordering::AcqRel) + 1;
+        self.max_in_flight.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> NetStats {
+        NetStats {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_closed: self.connections_closed.load(Ordering::Relaxed),
+            frames_received: self.frames_received.load(Ordering::Relaxed),
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            backpressure_rejections: self.backpressure_rejections.load(Ordering::Relaxed),
+            shutdown_refusals: self.shutdown_refusals.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Acquire),
+            max_in_flight: self.max_in_flight.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct NetShared<E: ConcurrentKvStore + 'static> {
+    frontend: Frontend<E>,
+    shutdown: AtomicBool,
+    counters: Counters,
+    max_in_flight_per_conn: usize,
+    /// Read-closers of live connections, for interrupting their reader
+    /// threads at shutdown.
+    closers: Mutex<HashMap<u64, ReadCloser>>,
+    /// Join handles of live connection threads.
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<E: ConcurrentKvStore + 'static> NetShared<E> {
+    /// Queue one response for the responder and account the in-flight
+    /// gauge (the responder decrements when it writes or drops it).
+    fn push_ready(&self, conn: &ConnShared, response: Response) {
+        self.counters.note_in_flight();
+        lock(&conn.inner).ready.push(response);
+        conn.cv.notify_all();
+    }
+
+    /// Decode and act on one complete frame payload.
+    fn handle_frame(&self, conn: &ConnShared, payload: &[u8]) {
+        self.counters
+            .bytes_received
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        let (id, request) = match decode_request(payload) {
+            Ok(decoded) => decoded,
+            Err(err) => {
+                self.counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                self.push_ready(
+                    conn,
+                    Response::refusal(
+                        peek_request_id(payload),
+                        0,
+                        Status::ProtocolError,
+                        err.to_string(),
+                    ),
+                );
+                return;
+            }
+        };
+        self.counters
+            .frames_received
+            .fetch_add(1, Ordering::Relaxed);
+        let opcode = request.opcode();
+        if self.shutdown.load(Ordering::Acquire) {
+            self.counters
+                .shutdown_refusals
+                .fetch_add(1, Ordering::Relaxed);
+            self.push_ready(
+                conn,
+                Response::refusal(id, opcode, Status::ShuttingDown, "server draining"),
+            );
+            return;
+        }
+        let submitted: Result<TicketKind> = match &request {
+            Request::Put { key, value } => self
+                .frontend
+                .try_submit_put(key, value)
+                .map(TicketKind::Write),
+            Request::Delete { key } => self.frontend.try_submit_delete(key).map(TicketKind::Write),
+            Request::Get { key } => self.frontend.try_submit_get(key).map(TicketKind::Read),
+            Request::Scan { start, count } => self
+                .frontend
+                .try_submit_scan(start, *count as usize)
+                .map(TicketKind::Scan),
+            Request::Batch { batch } => {
+                self.frontend.try_submit_batch(batch).map(TicketKind::Write)
+            }
+            Request::Ping => {
+                self.push_ready(
+                    conn,
+                    Response {
+                        id,
+                        opcode,
+                        status: Status::Ok,
+                        message: String::new(),
+                        latency: prism_types::Nanos::ZERO,
+                        body: ResponseBody::Ack,
+                    },
+                );
+                return;
+            }
+        };
+        match submitted {
+            Ok(ticket) => {
+                self.counters.note_in_flight();
+                lock(&conn.inner)
+                    .inflight
+                    .push(InFlight { id, opcode, ticket });
+                conn.cv.notify_all();
+            }
+            Err(PrismError::Backpressure { partition, depth }) => {
+                self.counters
+                    .backpressure_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                self.push_ready(
+                    conn,
+                    Response::refusal(
+                        id,
+                        opcode,
+                        Status::Backpressure,
+                        format!("partition {partition} queue full ({depth} pending)"),
+                    ),
+                );
+            }
+            Err(PrismError::ShuttingDown) => {
+                self.counters
+                    .shutdown_refusals
+                    .fetch_add(1, Ordering::Relaxed);
+                self.push_ready(
+                    conn,
+                    Response::refusal(id, opcode, Status::ShuttingDown, "server draining"),
+                );
+            }
+            Err(err) => self.push_ready(
+                conn,
+                Response::refusal(id, opcode, Status::ServerError, err.to_string()),
+            ),
+        }
+    }
+
+    /// Block until the connection's in-flight window has room (or the
+    /// connection is failing / draining, in which case reading on is
+    /// harmless — later frames get refusals).
+    fn wait_for_window(&self, conn: &ConnShared) {
+        let mut inner = lock(&conn.inner);
+        while ConnShared::pending(&inner) >= self.max_in_flight_per_conn && !inner.write_failed {
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            // Timed so a missed notify or shutdown race never wedges the
+            // reader.
+            let (guard, _) = conn
+                .cv
+                .wait_timeout(inner, Duration::from_micros(200))
+                .unwrap_or_else(|poison| poison.into_inner());
+            inner = guard;
+        }
+    }
+
+    /// Reader loop: pump bytes into the frame decoder, dispatch frames.
+    fn read_loop(&self, conn: &ConnShared, reader: &mut dyn Read, closer: &ReadCloser) {
+        let mut decoder = FrameDecoder::new();
+        let mut buf = [0u8; 8192];
+        'read: loop {
+            let n = match reader.read(&mut buf) {
+                Ok(0) | Err(_) => break 'read,
+                Ok(n) => n,
+            };
+            decoder.push(&buf[..n]);
+            loop {
+                match decoder.next_frame() {
+                    Ok(Some(payload)) => {
+                        self.wait_for_window(conn);
+                        self.handle_frame(conn, &payload);
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        // Unrecoverable framing corruption: the stream
+                        // cannot be re-synchronised. Stop reading; the
+                        // responder still flushes everything in flight.
+                        self.counters
+                            .protocol_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                        closer();
+                        break 'read;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Responder loop: poll in-flight tickets, write completions out of
+    /// order, stop once the reader is done and nothing is pending.
+    fn respond_loop(
+        &self,
+        conn: &ConnShared,
+        writer: &mut dyn std::io::Write,
+        closer: &ReadCloser,
+    ) {
+        let mut write_failed = false;
+        loop {
+            let mut to_write: Vec<Response> = Vec::new();
+            let done = {
+                let mut inner = lock(&conn.inner);
+                to_write.append(&mut inner.ready);
+                let mut i = 0;
+                while i < inner.inflight.len() {
+                    if let Some(response) = inner.inflight[i].poll() {
+                        to_write.push(response);
+                        inner.inflight.swap_remove(i);
+                    } else {
+                        i += 1;
+                    }
+                }
+                inner.reading_done && inner.inflight.is_empty() && inner.ready.is_empty()
+            };
+            if !to_write.is_empty() {
+                // Window space freed: wake a reader blocked on it.
+                conn.cv.notify_all();
+            }
+            for response in &to_write {
+                self.counters.in_flight.fetch_sub(1, Ordering::AcqRel);
+                if write_failed {
+                    continue; // keep draining tickets, discard the acks
+                }
+                let frame = match encode_response(response) {
+                    Ok(frame) => frame,
+                    Err(_) => {
+                        // A response too large to frame (pathological
+                        // scan): refuse it instead of killing the
+                        // connection.
+                        self.counters
+                            .protocol_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                        let refusal = Response::refusal(
+                            response.id,
+                            response.opcode,
+                            Status::ServerError,
+                            "response exceeded the frame size limit",
+                        );
+                        encode_response(&refusal).expect("refusals are small")
+                    }
+                };
+                if writer.write_all(&frame).is_err() {
+                    // Peer is gone. Stop writing, EOF the reader, and
+                    // keep polling so no ticket is left unobserved.
+                    write_failed = true;
+                    lock(&conn.inner).write_failed = true;
+                    conn.cv.notify_all();
+                    closer();
+                } else {
+                    self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+                    self.counters
+                        .bytes_sent
+                        .fetch_add(frame.len() as u64, Ordering::Relaxed);
+                }
+            }
+            if done {
+                let _ = writer.flush();
+                return;
+            }
+            if to_write.is_empty() {
+                // Completions fire on executor threads that cannot signal
+                // this condvar, so poll with a short nap instead of a
+                // wakeup protocol; 50µs keeps added latency well under
+                // the engine's simulated service times.
+                let inner = lock(&conn.inner);
+                let _ = conn
+                    .cv
+                    .wait_timeout(inner, Duration::from_micros(50))
+                    .unwrap_or_else(|poison| poison.into_inner());
+            }
+        }
+    }
+
+    /// Serve one connection to completion (both halves).
+    fn serve_conn(self: &Arc<Self>, conn_id: u64, conn: Conn) {
+        let closer = conn.read_closer();
+        let Conn {
+            mut reader,
+            mut writer,
+            ..
+        } = conn;
+        let state = Arc::new(ConnShared {
+            inner: Mutex::new(ConnInner::default()),
+            cv: Condvar::new(),
+        });
+        let responder = {
+            let shared = Arc::clone(self);
+            let state = Arc::clone(&state);
+            let closer = closer.clone();
+            std::thread::Builder::new()
+                .name(format!("prism-net-resp-{conn_id}"))
+                .spawn(move || shared.respond_loop(&state, writer.as_mut(), &closer))
+                .expect("spawning a responder thread")
+        };
+        self.read_loop(&state, reader.as_mut(), &closer);
+        {
+            let mut inner = lock(&state.inner);
+            inner.reading_done = true;
+        }
+        state.cv.notify_all();
+        let _ = responder.join();
+        lock(&self.closers).remove(&conn_id);
+        self.counters
+            .connections_closed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A running network server over an engine: accepts connections from a
+/// [`Listener`] and serves the wire protocol on each. See the module docs
+/// for the threading model and the back-pressure / shutdown contract.
+pub struct NetServer<E: ConcurrentKvStore + 'static> {
+    shared: Arc<NetShared<E>>,
+    listener: Arc<dyn Listener>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl<E: ConcurrentKvStore + 'static> NetServer<E> {
+    /// Start serving `engine` on `listener`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::InvalidConfig`] for invalid `options`.
+    pub fn start(
+        engine: Arc<E>,
+        listener: Arc<dyn Listener>,
+        options: ServerOptions,
+    ) -> Result<Self> {
+        options.validate()?;
+        let frontend = Frontend::start(engine, options.frontend)?;
+        let shared = Arc::new(NetShared {
+            frontend,
+            shutdown: AtomicBool::new(false),
+            counters: Counters::new(),
+            max_in_flight_per_conn: options.max_in_flight_per_conn,
+            closers: Mutex::new(HashMap::new()),
+            conn_threads: Mutex::new(Vec::new()),
+        });
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            let listener = Arc::clone(&listener);
+            std::thread::Builder::new()
+                .name("prism-net-accept".into())
+                .spawn(move || {
+                    let mut next_conn_id = 0u64;
+                    loop {
+                        let conn = match listener.accept() {
+                            Ok(conn) => conn,
+                            Err(_) => {
+                                if shared.shutdown.load(Ordering::Acquire) {
+                                    return;
+                                }
+                                std::thread::sleep(Duration::from_millis(1));
+                                continue;
+                            }
+                        };
+                        next_conn_id += 1;
+                        let conn_id = next_conn_id;
+                        shared
+                            .counters
+                            .connections_accepted
+                            .fetch_add(1, Ordering::Relaxed);
+                        lock(&shared.closers).insert(conn_id, conn.read_closer());
+                        let serving = Arc::clone(&shared);
+                        let handle = std::thread::Builder::new()
+                            .name(format!("prism-net-conn-{conn_id}"))
+                            .spawn(move || serving.serve_conn(conn_id, conn))
+                            .expect("spawning a connection thread");
+                        lock(&shared.conn_threads).push(handle);
+                    }
+                })
+                .expect("spawning the accept thread")
+        };
+        Ok(NetServer {
+            shared,
+            listener,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address clients dial.
+    pub fn local_addr(&self) -> String {
+        self.listener.local_addr()
+    }
+
+    /// Snapshot of the server's cumulative wire statistics.
+    pub fn stats(&self) -> NetStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Statistics of the embedded submission front-end.
+    pub fn frontend_stats(&self) -> prism_types::FrontendStats {
+        self.shared.frontend.stats()
+    }
+
+    /// Tickets handed out by the embedded front-end that are still
+    /// unanswered. Zero once the server is idle — disconnect tests use
+    /// this to prove a vanished client strands nothing.
+    pub fn outstanding_tickets(&self) -> u64 {
+        self.shared.frontend.outstanding_tickets()
+    }
+
+    /// The engine being served.
+    pub fn engine(&self) -> Arc<E> {
+        Arc::clone(self.shared.frontend.engine())
+    }
+
+    /// Graceful drain: stop accepting, refuse frames not yet decoded
+    /// with [`Status::ShuttingDown`], ack everything already submitted,
+    /// then tear down every connection and the front-end's queues.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        let Some(accept_thread) = self.accept_thread.take() else {
+            return;
+        };
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.listener.shutdown();
+        let _ = accept_thread.join();
+        // EOF every connection's reader; responders keep flushing what is
+        // already in flight before exiting.
+        let closers: Vec<ReadCloser> = lock(&self.shared.closers).values().cloned().collect();
+        for closer in closers {
+            closer();
+        }
+        let conn_threads: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *lock(&self.shared.conn_threads));
+        for handle in conn_threads {
+            let _ = handle.join();
+        }
+        // Tickets dropped by disconnected connections may still be
+        // completing inside the front-end; wait until nothing dangles.
+        self.shared.frontend.drain();
+    }
+}
+
+impl<E: ConcurrentKvStore + 'static> Drop for NetServer<E> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

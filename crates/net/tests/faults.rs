@@ -1,0 +1,351 @@
+//! Connection fault-injection battery: vanished clients, corrupt
+//! frames, back-pressure storms and graceful shutdown, all driven over
+//! the deterministic in-process duplex transport against a real PrismDB
+//! engine.
+//!
+//! The invariant under attack is always the same: whatever a client
+//! does, the server strands nothing — no outstanding tickets, no leaked
+//! snapshot pins — and keeps serving everyone else.
+
+use std::io::Write;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use prism_db::{Options, PrismDb};
+use prism_frontend::FrontendOptions;
+use prism_net::client::NetClient;
+use prism_net::protocol::{Request, Status};
+use prism_net::server::{NetServer, ServerOptions};
+use prism_net::transport::{duplex_listener, DuplexConnector};
+use prism_types::{Key, PrismError, Value, WriteBatch};
+
+fn test_server(keys: u64, options: ServerOptions) -> (NetServer<PrismDb>, DuplexConnector) {
+    let mut engine_options = Options::scaled_default(keys);
+    engine_options.num_partitions = 4;
+    let engine = Arc::new(PrismDb::open(engine_options).expect("valid options"));
+    let (listener, connector) = duplex_listener();
+    let server =
+        NetServer::start(engine, Arc::new(listener), options).expect("valid server options");
+    (server, connector)
+}
+
+fn client(connector: &DuplexConnector) -> NetClient {
+    NetClient::new(connector.connect().expect("dial"))
+}
+
+/// Spin until `cond` holds (the server's drains are asynchronous), with
+/// a hard timeout so a regression fails instead of hanging CI.
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn disconnect_mid_frame_strands_nothing_and_serving_continues() {
+    let (server, connector) = test_server(4_000, ServerOptions::default());
+
+    // Client A dies mid-frame: a length prefix promising 64 payload bytes
+    // followed by only 10 of them.
+    let mut half_open = connector.connect().expect("dial");
+    half_open
+        .writer
+        .write_all(&64u32.to_le_bytes())
+        .expect("prefix");
+    half_open
+        .writer
+        .write_all(&[0xAB; 10])
+        .expect("partial payload");
+    drop(half_open);
+
+    // The half-frame never becomes a request, so nothing dangles.
+    wait_until("the half-open connection to close", || {
+        server.stats().connections_closed == 1
+    });
+    assert_eq!(server.outstanding_tickets(), 0);
+    assert_eq!(server.stats().in_flight, 0);
+    assert_eq!(server.stats().frames_received, 0);
+
+    // Client B is unaffected.
+    let mut healthy = client(&connector);
+    healthy
+        .put(Key::from_id(1), Value::filled(64, 7))
+        .expect("put");
+    assert_eq!(
+        healthy
+            .get(Key::from_id(1))
+            .expect("get")
+            .expect("present")
+            .as_bytes()[0],
+        7
+    );
+    assert_eq!(server.stats().connections_accepted, 2);
+}
+
+#[test]
+fn disconnect_with_requests_in_flight_leaks_no_tickets_or_pins() {
+    let (server, connector) = test_server(8_000, ServerOptions::default());
+
+    // Seed data so scans have something to pin a snapshot over.
+    let mut seeder = client(&connector);
+    for id in 0..300u64 {
+        seeder
+            .put(Key::from_id(id), Value::filled(48, id as u8))
+            .expect("seed put");
+    }
+
+    // The victim pipelines a burst of writes, scans (which pin engine
+    // snapshots while executing) and a batch — then vanishes without
+    // reading a single response.
+    let mut victim = client(&connector);
+    for id in 0..64u64 {
+        victim
+            .send(&Request::Put {
+                key: Key::from_id(1_000 + id),
+                value: Value::filled(32, id as u8),
+            })
+            .expect("send put");
+        if id % 4 == 0 {
+            victim
+                .send(&Request::Scan {
+                    start: Key::from_id(id),
+                    count: 100,
+                })
+                .expect("send scan");
+        }
+    }
+    let mut batch = WriteBatch::new();
+    for id in 0..32u64 {
+        batch.put(Key::from_id(2_000 + id), Value::filled(16, id as u8));
+    }
+    victim.send(&Request::Batch { batch }).expect("send batch");
+    drop(victim); // mid-batch, mid-everything: both pipes tear down
+
+    wait_until("the victim's requests to finish server-side", || {
+        server.outstanding_tickets() == 0 && server.stats().in_flight == 0
+    });
+    // Scans release their snapshot pins even though nobody read the
+    // results.
+    assert_eq!(server.engine().active_snapshots(), 0);
+
+    // Accepted writes were not torn down with the connection: once
+    // submitted they execute — and a fresh connection sees them.
+    let mut survivor = client(&connector);
+    let frontend = server.frontend_stats();
+    assert_eq!(frontend.submitted, frontend.completed);
+    assert!(
+        survivor.get(Key::from_id(1_000)).expect("get").is_some(),
+        "a submitted-before-disconnect write must still execute"
+    );
+}
+
+#[test]
+fn corrupt_frames_get_protocol_errors_without_killing_the_connection() {
+    let (server, connector) = test_server(2_000, ServerOptions::default());
+    let mut conn = connector.connect().expect("dial");
+
+    // A sound frame whose payload is garbage: id 9999, bogus opcode 200.
+    let mut garbage_payload = 9_999u64.to_le_bytes().to_vec();
+    garbage_payload.push(200);
+    garbage_payload.extend_from_slice(&[1, 2, 3]);
+    let mut frame = (garbage_payload.len() as u32).to_le_bytes().to_vec();
+    frame.extend(&garbage_payload);
+    conn.writer.write_all(&frame).expect("garbage frame");
+
+    let mut client = NetClient::new(conn);
+    // The protocol error comes back routed by the peeked id...
+    let response = client.wait(9_999).expect("protocol error response");
+    assert_eq!(response.status, Status::ProtocolError);
+    // ...and the connection still works for well-formed requests.
+    client
+        .put(Key::from_id(5), Value::filled(8, 1))
+        .expect("put after garbage");
+    assert_eq!(server.stats().protocol_errors, 1);
+    assert_eq!(server.stats().connections_closed, 0);
+}
+
+#[test]
+fn backpressure_storm_returns_retryable_rejections_that_eventually_land() {
+    // A queue depth of 1 makes rejections near-certain under a pipelined
+    // burst; the client's transparent retry must still land every write.
+    let options = ServerOptions {
+        frontend: FrontendOptions {
+            executors: 1,
+            queue_capacity: 1,
+            ..FrontendOptions::default()
+        },
+        max_in_flight_per_conn: 256,
+    };
+    let (server, connector) = test_server(4_000, options);
+    let mut storm = client(&connector);
+
+    const OPS: u64 = 400;
+    let mut ids = Vec::new();
+    for id in 0..OPS {
+        ids.push(
+            storm
+                .send(&Request::Put {
+                    key: Key::from_id(id),
+                    value: Value::filled(24, id as u8),
+                })
+                .expect("send"),
+        );
+    }
+    for id in ids {
+        let response = storm.wait(id).expect("response");
+        assert_eq!(
+            response.status,
+            Status::Ok,
+            "retries must eventually land every write: {}",
+            response.message
+        );
+    }
+    assert!(
+        storm.backpressure_seen > 0,
+        "a depth-1 queue under a 400-op burst must reject at least once"
+    );
+    assert_eq!(
+        server.stats().backpressure_rejections,
+        storm.backpressure_seen
+    );
+    // Every op landed exactly once despite the rejections.
+    for id in (0..OPS).step_by(37) {
+        assert_eq!(
+            storm
+                .get(Key::from_id(id))
+                .expect("get")
+                .expect("landed")
+                .as_bytes()[0],
+            id as u8
+        );
+    }
+}
+
+#[test]
+fn tiny_in_flight_window_throttles_without_losing_requests() {
+    let options = ServerOptions {
+        max_in_flight_per_conn: 2,
+        ..ServerOptions::default()
+    };
+    let (server, connector) = test_server(4_000, options);
+    let mut pipeliner = client(&connector);
+    let ids: Vec<u64> = (0..200u64)
+        .map(|id| {
+            pipeliner
+                .send(&Request::Put {
+                    key: Key::from_id(id),
+                    value: Value::filled(16, id as u8),
+                })
+                .expect("send")
+        })
+        .collect();
+    for id in ids {
+        assert_eq!(pipeliner.wait(id).expect("response").status, Status::Ok);
+    }
+    // The counters are bumped after the response bytes hit the wire, so
+    // the last increment can trail the client's read by an instant.
+    wait_until("the sent-frames counter to catch up", || {
+        server.stats().frames_sent == 200
+    });
+    let stats = server.stats();
+    assert_eq!(stats.frames_received, 200);
+    assert!(stats.max_in_flight >= 1);
+    // The reader admits a request only while fewer than two are pending;
+    // transiently the gauge can exceed the window by the batch being
+    // written out, but never by much.
+    assert!(
+        stats.max_in_flight <= 8,
+        "window 2 must bound in-flight, saw {}",
+        stats.max_in_flight
+    );
+}
+
+#[test]
+fn graceful_shutdown_acks_in_flight_and_refuses_stragglers() {
+    let (mut server, connector) = test_server(4_000, ServerOptions::default());
+    let mut submitter = client(&connector);
+    let ids: Vec<u64> = (0..80u64)
+        .map(|id| {
+            submitter
+                .send(&Request::Put {
+                    key: Key::from_id(id),
+                    value: Value::filled(32, id as u8),
+                })
+                .expect("send")
+        })
+        .collect();
+    // Let the server ingest the whole pipeline before draining, so every
+    // request is genuinely in flight when shutdown begins.
+    wait_until("the server to ingest all frames", || {
+        server.stats().frames_received == 80
+    });
+    server.shutdown();
+
+    // Everything submitted before the drain is answered: acked, or — if
+    // it raced the queue teardown — refused with ShuttingDown. Nothing
+    // hangs, nothing is dropped silently.
+    let mut acked = 0;
+    let mut refused = 0;
+    for id in ids {
+        match submitter.wait(id) {
+            Ok(response) if response.status == Status::Ok => acked += 1,
+            Ok(response) if response.status == Status::ShuttingDown => refused += 1,
+            Ok(response) => panic!("unexpected status {:?}", response.status),
+            // The connection may EOF after the last queued response.
+            Err(PrismError::Disconnected) => break,
+            Err(err) => panic!("unexpected error {err}"),
+        }
+    }
+    assert!(acked > 0, "a graceful drain must ack in-flight requests");
+    assert_eq!(server.outstanding_tickets(), 0);
+    assert_eq!(server.stats().in_flight, 0);
+    let frontend = server.frontend_stats();
+    assert_eq!(frontend.submitted, frontend.completed);
+    assert_eq!(frontend.outstanding_tickets, 0);
+
+    // New traffic after shutdown cannot land.
+    match submitter.put(Key::from_id(999), Value::filled(8, 1)) {
+        Err(PrismError::Disconnected) | Err(PrismError::ShuttingDown) => {}
+        other => panic!("writes after shutdown must fail, got {other:?}"),
+    }
+    let _ = (acked, refused);
+}
+
+#[test]
+fn many_connections_interleave_and_drain_clean() {
+    let (mut server, connector) = test_server(16_000, ServerOptions::default());
+    let mut handles = Vec::new();
+    for conn_id in 0..6u64 {
+        let connector = connector.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut client = NetClient::new(connector.connect().expect("dial"));
+            let base = conn_id * 1_000;
+            for id in 0..150u64 {
+                client
+                    .put(Key::from_id(base + id), Value::filled(40, conn_id as u8))
+                    .expect("put");
+            }
+            for id in (0..150u64).step_by(11) {
+                let value = client.get(Key::from_id(base + id)).expect("get");
+                assert_eq!(value.expect("present").as_bytes()[0], conn_id as u8);
+            }
+            let entries = client.scan(Key::from_id(base), 50).expect("scan");
+            assert!(!entries.is_empty());
+            client.ping().expect("ping");
+        }));
+    }
+    for handle in handles {
+        handle.join().expect("client thread");
+    }
+    let stats = server.stats();
+    assert_eq!(stats.connections_accepted, 6);
+    assert_eq!(stats.protocol_errors, 0);
+    server.shutdown();
+    assert_eq!(server.outstanding_tickets(), 0);
+    assert_eq!(server.engine().active_snapshots(), 0);
+    let stats = server.stats();
+    assert_eq!(stats.connections_closed, 6);
+    assert_eq!(stats.frames_received, stats.frames_sent);
+}

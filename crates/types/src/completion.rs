@@ -21,8 +21,54 @@
 //! assert_eq!(ticket.wait(), 7);
 //! ```
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::Thread;
+
+/// A shared gauge of outstanding (created but not yet completed or
+/// abandoned) completions, for asserting that a producer never strands a
+/// request. Pass it to [`completion_pair_gauged`]; the count rises when a
+/// pair is created and falls when its [`Completion`] completes *or* is
+/// dropped uncompleted, so after a producer has fully drained — even via
+/// error paths — the gauge must read zero.
+///
+/// Cloning shares the underlying counter.
+///
+/// # Example
+///
+/// ```
+/// use prism_types::{completion_pair_gauged, TicketGauge};
+///
+/// let gauge = TicketGauge::new();
+/// let (completion, ticket) = completion_pair_gauged::<u8>(&gauge);
+/// assert_eq!(gauge.outstanding(), 1);
+/// completion.complete(3);
+/// assert_eq!(gauge.outstanding(), 0);
+/// assert_eq!(ticket.wait(), 3);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TicketGauge(Arc<AtomicU64>);
+
+impl TicketGauge {
+    /// A fresh gauge reading zero.
+    pub fn new() -> Self {
+        TicketGauge::default()
+    }
+
+    /// Number of gauged completions created but not yet completed or
+    /// abandoned.
+    pub fn outstanding(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
+
+    fn incr(&self) {
+        self.0.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn decr(&self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
 
 struct State<T> {
     value: Option<T>,
@@ -54,6 +100,7 @@ impl<T> Inner<T> {
 pub struct Completion<T> {
     inner: Arc<Inner<T>>,
     completed: bool,
+    gauge: Option<TicketGauge>,
 }
 
 /// The consumer half: observe the result by polling or by blocking.
@@ -63,6 +110,21 @@ pub struct Ticket<T> {
 
 /// Create a connected [`Completion`] / [`Ticket`] pair.
 pub fn completion_pair<T>() -> (Completion<T>, Ticket<T>) {
+    pair_with_gauge(None)
+}
+
+/// [`completion_pair`] counted on `gauge`: the gauge rises now and falls
+/// when the [`Completion`] completes or is dropped uncompleted, so a
+/// producer (a submission front-end, a network server) can prove it never
+/// stranded a request by asserting the gauge reads zero after a drain.
+pub fn completion_pair_gauged<T>(gauge: &TicketGauge) -> (Completion<T>, Ticket<T>) {
+    pair_with_gauge(Some(gauge.clone()))
+}
+
+fn pair_with_gauge<T>(gauge: Option<TicketGauge>) -> (Completion<T>, Ticket<T>) {
+    if let Some(gauge) = &gauge {
+        gauge.incr();
+    }
     let inner = Arc::new(Inner {
         state: Mutex::new(State {
             value: None,
@@ -74,6 +136,7 @@ pub fn completion_pair<T>() -> (Completion<T>, Ticket<T>) {
         Completion {
             inner: Arc::clone(&inner),
             completed: false,
+            gauge,
         },
         Ticket { inner },
     )
@@ -82,12 +145,19 @@ pub fn completion_pair<T>() -> (Completion<T>, Ticket<T>) {
 impl<T> Completion<T> {
     /// Deliver the result and wake the ticket holder if it is parked.
     pub fn complete(mut self, value: T) {
+        self.completed = true;
+        // Decrement before publishing the value: anything downstream of
+        // the result (a polled ticket, a wire response built from it)
+        // must observe the gauge already dropped, so a drain check can
+        // read zero the instant the last response is visible.
+        if let Some(gauge) = self.gauge.take() {
+            gauge.decr();
+        }
         let waiter = {
             let mut state = self.inner.lock();
             state.value = Some(value);
             state.waiter.take()
         };
-        self.completed = true;
         if let Some(thread) = waiter {
             thread.unpark();
         }
@@ -98,6 +168,12 @@ impl<T> Drop for Completion<T> {
     fn drop(&mut self) {
         if self.completed {
             return;
+        }
+        // An abandoned request is no longer outstanding either — the
+        // gauge tracks "could still complete", not "completed cleanly".
+        // As in `complete`, decrement before publishing the abandonment.
+        if let Some(gauge) = self.gauge.take() {
+            gauge.decr();
         }
         let waiter = {
             let mut state = self.inner.lock();

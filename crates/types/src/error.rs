@@ -66,6 +66,15 @@ pub enum PrismError {
     /// The engine does not implement an optional capability (snapshots,
     /// transactions, ...) that the caller requested.
     Unsupported(&'static str),
+    /// A wire-protocol violation: an oversized or malformed frame, an
+    /// unknown opcode, or a payload that does not match its opcode. The
+    /// offending frame is discarded; framing recovers at the next
+    /// length-prefix boundary when the prefix itself was sound.
+    Protocol(String),
+    /// The network peer went away (connection reset, EOF mid-frame, or a
+    /// response written into a closed transport). Requests already
+    /// submitted keep executing server-side; their acks are discarded.
+    Disconnected,
 }
 
 impl fmt::Display for PrismError {
@@ -95,6 +104,8 @@ impl fmt::Display for PrismError {
                 "transaction conflict: key {key} changed after the snapshot was pinned"
             ),
             PrismError::Unsupported(what) => write!(f, "unsupported capability: {what}"),
+            PrismError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            PrismError::Disconnected => write!(f, "peer disconnected"),
         }
     }
 }
@@ -139,6 +150,11 @@ mod tests {
             (PrismError::ShuttingDown, "shutting down"),
             (PrismError::TxnConflict { key: 17 }, "key 17"),
             (PrismError::Unsupported("snapshots"), "snapshots"),
+            (
+                PrismError::Protocol("frame of 99 bytes truncated".into()),
+                "frame of 99 bytes",
+            ),
+            (PrismError::Disconnected, "disconnected"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

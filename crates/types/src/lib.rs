@@ -37,13 +37,13 @@ mod txn;
 mod value;
 
 pub use batch::{BatchOp, WriteBatch};
-pub use completion::{completion_pair, Completion, Ticket};
+pub use completion::{completion_pair, completion_pair_gauged, Completion, Ticket, TicketGauge};
 pub use concurrent::{ConcurrentKvStore, MutexKv, SharedKv};
 pub use error::{PrismError, Result};
 pub use key::Key;
 pub use mem::MemStore;
 pub use ops::{Lookup, Op, OpKind, ReadSource, ScanResult};
-pub use stats::{CompactionStats, EngineStats, FrontendStats, TierIo, TxnStats};
+pub use stats::{CompactionStats, EngineStats, FrontendStats, NetStats, TierIo, TxnStats};
 pub use time::Nanos;
 pub use txn::{run_transaction, SnapshotId, Transaction};
 pub use value::Value;

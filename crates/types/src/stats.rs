@@ -132,6 +132,11 @@ pub struct FrontendStats {
     /// Highest single-partition queue depth observed (a cumulative
     /// high-water mark; `delta_since` keeps the later snapshot's value).
     pub max_queue_depth: u64,
+    /// Instantaneous number of tickets handed out but neither completed
+    /// nor abandoned (a gauge: `delta_since` keeps the later snapshot's
+    /// value). After a graceful drain this must read zero — a non-zero
+    /// value means a client request was stranded.
+    pub outstanding_tickets: u64,
 }
 
 impl FrontendStats {
@@ -160,6 +165,69 @@ impl FrontendStats {
             wakeups: self.wakeups.saturating_sub(earlier.wakeups),
             queue_depth: self.queue_depth,
             max_queue_depth: self.max_queue_depth,
+            outstanding_tickets: self.outstanding_tickets,
+        }
+    }
+}
+
+/// Cumulative statistics reported by a network server ([`delta_since`]
+/// isolates a measurement window; gauges keep the later snapshot's value).
+///
+/// [`delta_since`]: NetStats::delta_since
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Connections accepted by the listener.
+    pub connections_accepted: u64,
+    /// Connections fully torn down (reader and responder both finished).
+    pub connections_closed: u64,
+    /// Request frames decoded successfully.
+    pub frames_received: u64,
+    /// Response frames written to a transport.
+    pub frames_sent: u64,
+    /// Payload bytes received in decoded request frames.
+    pub bytes_received: u64,
+    /// Payload bytes written in response frames.
+    pub bytes_sent: u64,
+    /// Malformed frames that produced a `ProtocolError` response (or, when
+    /// the length prefix itself was unsound, tore down the connection).
+    pub protocol_errors: u64,
+    /// Requests refused with the retryable `Backpressure` wire status
+    /// because the submission queue was full.
+    pub backpressure_rejections: u64,
+    /// Requests refused with `ShuttingDown` while the server drained.
+    pub shutdown_refusals: u64,
+    /// Instantaneous number of requests accepted from the wire but not yet
+    /// answered (a gauge: `delta_since` keeps the later snapshot's value).
+    pub in_flight: u64,
+    /// Highest per-server in-flight count observed (a cumulative
+    /// high-water mark; `delta_since` keeps the later snapshot's value).
+    pub max_in_flight: u64,
+}
+
+impl NetStats {
+    /// Element-wise difference (`self - earlier`); gauges keep the later
+    /// snapshot's value.
+    pub fn delta_since(self, earlier: NetStats) -> NetStats {
+        NetStats {
+            connections_accepted: self
+                .connections_accepted
+                .saturating_sub(earlier.connections_accepted),
+            connections_closed: self
+                .connections_closed
+                .saturating_sub(earlier.connections_closed),
+            frames_received: self.frames_received.saturating_sub(earlier.frames_received),
+            frames_sent: self.frames_sent.saturating_sub(earlier.frames_sent),
+            bytes_received: self.bytes_received.saturating_sub(earlier.bytes_received),
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            protocol_errors: self.protocol_errors.saturating_sub(earlier.protocol_errors),
+            backpressure_rejections: self
+                .backpressure_rejections
+                .saturating_sub(earlier.backpressure_rejections),
+            shutdown_refusals: self
+                .shutdown_refusals
+                .saturating_sub(earlier.shutdown_refusals),
+            in_flight: self.in_flight,
+            max_in_flight: self.max_in_flight,
         }
     }
 }
@@ -317,12 +385,48 @@ mod tests {
         later.wakeups = 5;
         later.queue_depth = 3;
         later.max_queue_depth = 9;
+        later.outstanding_tickets = 4;
         let delta = later.delta_since(stats);
         assert_eq!(delta.submitted, 30);
         assert_eq!(delta.coalesced_groups, 0);
         // Gauges report the later snapshot, not a difference.
         assert_eq!(delta.queue_depth, 3);
         assert_eq!(delta.max_queue_depth, 9);
+        assert_eq!(delta.outstanding_tickets, 4);
+    }
+
+    #[test]
+    fn net_stats_delta_keeps_gauges() {
+        let earlier = NetStats {
+            connections_accepted: 2,
+            frames_received: 100,
+            frames_sent: 90,
+            bytes_received: 4000,
+            in_flight: 10,
+            max_in_flight: 12,
+            ..NetStats::default()
+        };
+        let later = NetStats {
+            connections_accepted: 3,
+            connections_closed: 1,
+            frames_received: 250,
+            frames_sent: 240,
+            bytes_received: 9000,
+            bytes_sent: 5000,
+            protocol_errors: 1,
+            backpressure_rejections: 7,
+            shutdown_refusals: 2,
+            in_flight: 4,
+            max_in_flight: 12,
+        };
+        let delta = later.delta_since(earlier);
+        assert_eq!(delta.connections_accepted, 1);
+        assert_eq!(delta.frames_received, 150);
+        assert_eq!(delta.bytes_received, 5000);
+        assert_eq!(delta.backpressure_rejections, 7);
+        // Gauges report the later snapshot, not a difference.
+        assert_eq!(delta.in_flight, 4);
+        assert_eq!(delta.max_in_flight, 12);
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! * [`frontend`] — the async submission front-end (per-partition request
 //!   queues, executor pool, group-commit coalescing) that multiplexes many
 //!   logical clients onto a few OS threads,
+//! * [`net`] — the network serving layer (length-prefixed wire protocol,
+//!   TCP and in-process duplex transports, multiplexing server, pipelining
+//!   client) that puts a wire in front of the front-end,
 //! * [`bench`](mod@bench) — the experiment harness that regenerates every table and
 //!   figure of the paper,
 //! * the individual substrates ([`nvm`], [`flash`], [`index`], [`tracker`],
@@ -70,6 +73,8 @@ pub use prism_frontend as frontend;
 pub use prism_index as index;
 /// The LSM baseline family (re-export of `prism-lsm`).
 pub use prism_lsm as lsm;
+/// Network serving layer (re-export of `prism-net`).
+pub use prism_net as net;
 /// NVM slab store substrate (re-export of `prism-nvm`).
 pub use prism_nvm as nvm;
 /// Tiered storage simulator (re-export of `prism-storage`).
@@ -94,6 +99,7 @@ mod tests {
         let _ = crate::workloads::Workload::ycsb_a(10);
         let _ = crate::bench::Scale::quick();
         let _ = crate::frontend::FrontendOptions::default();
+        let _ = crate::net::ServerOptions::default();
         let _ = crate::nvm::NvmAddress::new(0, 0);
         let _ = crate::flash::BloomFilter::new(1, 10);
         let _: crate::index::BTreeIndex<u64, u64> = crate::index::BTreeIndex::new();

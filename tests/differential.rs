@@ -40,6 +40,20 @@
 //! crash-recovered: the commit-log rollback must make the torn commit
 //! vanish atomically while every sealed transaction survives, so the
 //! column must still equal the oracle exactly.
+//!
+//! An eighth column drives the *network serving layer* end to end: every
+//! operation is encoded onto the wire, carried over the in-process
+//! duplex-pipe transport, decoded by the multiplexing server, executed
+//! through the submission front-end, and the response decoded back —
+//! writes pipeline (a bounded window of unacknowledged frames), reads
+//! wait the window first so read-your-writes holds. Mid-run the engine
+//! is crashed underneath the live server while frames are in flight, and
+//! later the *whole server* is torn down mid-pipeline: the shutdown
+//! drain acks everything submitted, the client resolves every in-flight
+//! frame against the old connection (landed / refused / lost), the
+//! engine is crash-recovered, a fresh server is started, and the client
+//! reconnects and replays exactly the unlanded frames in order — so the
+//! column must still equal the oracle exactly.
 
 use std::sync::Arc;
 
@@ -49,9 +63,12 @@ use rand::{Rng, SeedableRng};
 use prismdb::db::{Options, Partitioning, PrismDb};
 use prismdb::frontend::{Frontend, FrontendOptions, WriteTicket};
 use prismdb::lsm::{LsmConfig, LsmTree};
+use prismdb::net::protocol::{Request, Status};
+use prismdb::net::transport::duplex_listener;
+use prismdb::net::{NetClient, NetServer, ServerOptions};
 use prismdb::types::{
     run_transaction, BatchOp, ConcurrentKvStore, EngineStats, Key, KvStore, Lookup, MemStore,
-    Nanos, Op, Result, ScanResult, Value, WriteBatch,
+    Nanos, Op, PrismError, Result, ScanResult, Value, WriteBatch,
 };
 
 /// Key-id universe. Small enough that keys are updated/deleted/re-inserted
@@ -346,6 +363,207 @@ impl KvStore for FrontendKv {
     }
 }
 
+/// How many unacknowledged frames the wire column pipelines before
+/// waiting. Kept below the front-end's per-partition queue capacity so a
+/// back-pressure refusal (which would reorder a retried write behind a
+/// later same-key write) can never occur in this single-client column —
+/// the client is configured to fail loudly if one does.
+const NET_WINDOW: usize = 16;
+
+/// The wire column: every operation travels the full network path —
+/// encoded, framed, carried over the in-process duplex transport, decoded
+/// by the server, executed through the submission front-end, and the
+/// response decoded back. Writes pipeline up to [`NET_WINDOW`] frames;
+/// reads and scans wait the window first so read-your-writes holds.
+struct NetKv {
+    db: Arc<PrismDb>,
+    server: Option<NetServer<PrismDb>>,
+    client: NetClient,
+    /// Sent but not yet acknowledged frames, in send order, kept so a
+    /// server teardown can replay exactly the ones that never landed.
+    in_flight: Vec<(u64, Request)>,
+    /// Wire frames received across all server incarnations.
+    total_frames: u64,
+    /// Server restarts performed (the mid-run teardown plus the final one).
+    restarts: u64,
+}
+
+impl NetKv {
+    fn server_options() -> ServerOptions {
+        ServerOptions {
+            frontend: FrontendOptions {
+                executors: 2,
+                ..FrontendOptions::default()
+            },
+            ..ServerOptions::default()
+        }
+    }
+
+    fn new(db: PrismDb) -> Self {
+        let db = Arc::new(db);
+        let (listener, connector) = duplex_listener();
+        let server = NetServer::start(Arc::clone(&db), Arc::new(listener), Self::server_options())
+            .expect("valid server options");
+        let mut client = NetClient::new(connector.connect().expect("dial"));
+        // A back-pressure refusal retried out of order would let a later
+        // same-key write lose to the retry; the window makes refusals
+        // impossible, and this makes any bug there a loud failure.
+        client.max_retries = 0;
+        NetKv {
+            db,
+            server: Some(server),
+            client,
+            in_flight: Vec::new(),
+            total_frames: 0,
+            restarts: 0,
+        }
+    }
+
+    /// Wait every pipelined frame; all must have landed.
+    fn flush(&mut self) {
+        for (id, request) in self.in_flight.drain(..) {
+            let response = self.client.wait(id).expect("wire response");
+            assert_eq!(
+                response.status,
+                Status::Ok,
+                "pipelined {request:?} refused outside a teardown: {}",
+                response.message
+            );
+        }
+    }
+
+    fn send(&mut self, request: Request) {
+        let id = self.client.send(&request).expect("wire send");
+        self.in_flight.push((id, request));
+        if self.in_flight.len() >= NET_WINDOW {
+            self.flush();
+        }
+    }
+
+    fn engine(&self) -> Arc<PrismDb> {
+        Arc::clone(&self.db)
+    }
+
+    /// Tear the whole server down mid-pipeline, crash-recover the engine,
+    /// start a fresh server, reconnect, and replay exactly the in-flight
+    /// frames that never landed.
+    ///
+    /// The shutdown drain guarantees every *submitted* request's response
+    /// is already buffered in the old connection, so each in-flight frame
+    /// resolves deterministically: answered `Ok` means it landed and must
+    /// not be replayed; answered with a refusal, or never answered (the
+    /// reader EOF'd before the frame was decoded), means it did not land
+    /// and must be. Replays preserve the original send order, which
+    /// preserves same-key write order.
+    fn crash_and_restart(&mut self) {
+        let mut server = self.server.take().expect("server running");
+        server.shutdown();
+        self.total_frames += server.stats().frames_received;
+        assert_eq!(server.stats().protocol_errors, 0);
+        assert_eq!(server.outstanding_tickets(), 0);
+        let mut unlanded: Vec<Request> = Vec::new();
+        for (id, request) in self.in_flight.drain(..) {
+            match self.client.wait(id) {
+                Ok(response) if response.status == Status::Ok => {}
+                Ok(_refused) => unlanded.push(request),
+                Err(PrismError::Disconnected) => unlanded.push(request),
+                Err(err) => panic!("teardown resolution failed: {err}"),
+            }
+        }
+        drop(server);
+        self.db.crash_and_recover();
+        let (listener, connector) = duplex_listener();
+        self.server = Some(
+            NetServer::start(
+                Arc::clone(&self.db),
+                Arc::new(listener),
+                Self::server_options(),
+            )
+            .expect("valid server options"),
+        );
+        self.client = NetClient::new(connector.connect().expect("re-dial"));
+        self.client.max_retries = 0;
+        self.restarts += 1;
+        for request in unlanded {
+            self.send(request);
+        }
+        self.flush();
+    }
+
+    /// End-of-run accounting: the column really travelled the wire and
+    /// stranded nothing.
+    fn assert_clean(&mut self, seed: u64) {
+        self.flush();
+        let server = self.server.as_ref().expect("server running");
+        let stats = server.stats();
+        assert_eq!(
+            stats.protocol_errors, 0,
+            "the wire column hit protocol errors (seed {seed})"
+        );
+        assert_eq!(
+            server.outstanding_tickets(),
+            0,
+            "the wire column stranded tickets (seed {seed})"
+        );
+        let frontend = server.frontend_stats();
+        assert_eq!(
+            frontend.submitted, frontend.completed,
+            "wire submissions were stranded (seed {seed})"
+        );
+        assert!(
+            self.total_frames + stats.frames_received > OPS_PER_SEED as u64,
+            "the wire column barely used the wire (seed {seed})"
+        );
+        assert!(
+            self.restarts >= 1,
+            "the wire column never survived a server teardown (seed {seed})"
+        );
+    }
+}
+
+impl KvStore for NetKv {
+    fn put(&mut self, key: Key, value: Value) -> Result<Nanos> {
+        self.send(Request::Put { key, value });
+        Ok(Nanos::ZERO)
+    }
+
+    fn delete(&mut self, key: &Key) -> Result<Nanos> {
+        self.send(Request::Delete { key: key.clone() });
+        Ok(Nanos::ZERO)
+    }
+
+    fn get(&mut self, key: &Key) -> Result<Lookup> {
+        self.flush();
+        let value = self.client.get(key.clone())?;
+        Ok(Lookup {
+            value,
+            latency: Nanos::ZERO,
+            source: prismdb::types::ReadSource::NotFound,
+        })
+    }
+
+    fn scan(&mut self, start: &Key, count: usize) -> Result<ScanResult> {
+        self.flush();
+        let entries = self.client.scan(start.clone(), count as u32)?;
+        Ok(ScanResult {
+            entries,
+            latency: Nanos::ZERO,
+        })
+    }
+
+    fn stats(&self) -> EngineStats {
+        ConcurrentKvStore::stats(&*self.db)
+    }
+
+    fn elapsed(&self) -> Nanos {
+        ConcurrentKvStore::elapsed(&*self.db)
+    }
+
+    fn engine_name(&self) -> &str {
+        "prismdb-net"
+    }
+}
+
 /// One random operation over the bounded key space. Weights favour writes
 /// and deletes so state churns; scans exercise the cross-partition merge.
 fn random_op(rng: &mut StdRng) -> Op {
@@ -487,19 +705,23 @@ fn run_seed(seed: u64) {
     // The transactional column: same op stream committed through
     // optimistic multi-key transactions.
     let mut prism_txn = TxnKv::new(prism_engine(Partitioning::Hash));
+    // The wire column: same op stream through the network serving layer
+    // end to end (duplex-pipe transport, real server and client).
+    let mut prism_net = NetKv::new(prism_engine(Partitioning::Hash));
     let mut lsm = lsm_engine();
     let mut oracle = MemStore::default();
 
     for ops_done in 0..OPS_PER_SEED {
         let op = random_op(&mut rng);
         let (oracle_read, oracle_scan) = apply(&mut oracle, &op);
-        let mut engines: [(&str, &mut dyn KvStore); 7] = [
+        let mut engines: [(&str, &mut dyn KvStore); 8] = [
             ("prismdb-hash", &mut prism_hash),
             ("prismdb-range", &mut prism_range),
             ("prismdb-bg", &mut prism_bg),
             ("prismdb-batched", &mut prism_batched),
             ("prismdb-async", &mut prism_async),
             ("prismdb-txn", &mut prism_txn),
+            ("prismdb-net", &mut prism_net),
             ("rocksdb-het", &mut lsm),
         ];
         for (name, engine) in engines.iter_mut() {
@@ -537,18 +759,20 @@ fn run_seed(seed: u64) {
             // The async column takes the burst *through its queues*: the
             // submissions below are in flight (unacked) while the crash
             // races the executors on other threads.
-            let mut burst_targets: [(&str, &mut dyn KvStore); 7] = [
+            let mut burst_targets: [(&str, &mut dyn KvStore); 8] = [
                 ("oracle", &mut oracle),
                 ("prismdb-hash", &mut prism_hash),
                 ("prismdb-range", &mut prism_range),
                 ("prismdb-bg", &mut prism_bg),
                 ("prismdb-async", &mut prism_async),
                 ("prismdb-txn", &mut prism_txn),
+                ("prismdb-net", &mut prism_net),
                 ("rocksdb-het", &mut lsm),
             ];
             let burst = crash_burst(&mut rng, &mut burst_targets);
             let db = prism_batched.engine();
             let async_db = prism_async.engine();
+            let net_db = prism_net.engine();
             std::thread::scope(|scope| {
                 let crasher = Arc::clone(&db);
                 scope.spawn(move || {
@@ -560,6 +784,15 @@ fn run_seed(seed: u64) {
                 let async_crasher = Arc::clone(&async_db);
                 scope.spawn(move || {
                     async_crasher.crash_and_recover();
+                });
+                // Crash the wire column's engine underneath its *live*
+                // server, with the burst's tail frames still unacked in
+                // its pipeline (the window leaves up to NET_WINDOW-1 in
+                // flight): the server keeps serving across the recovery
+                // and the column reconverges.
+                let net_crasher = Arc::clone(&net_db);
+                scope.spawn(move || {
+                    net_crasher.crash_and_recover();
                 });
                 db.apply_batch(burst).expect("mid-crash batch");
             });
@@ -573,6 +806,12 @@ fn run_seed(seed: u64) {
             // unacked tickets outstanding for the same reason.
             prism_batched.crash_and_recover();
             prism_async.crash_and_recover();
+            // The wire column's hardest fault: tear down the WHOLE
+            // server — off the state-check boundary, so frames are most
+            // likely still pipelined — crash-recover the engine, restart
+            // the server, reconnect, and replay exactly the frames the
+            // teardown refused or dropped.
+            prism_net.crash_and_restart();
         }
         if (ops_done + 1) == OPS_PER_SEED / 2 + 101 {
             // The transactional column's fault injection: a
@@ -623,13 +862,15 @@ fn run_seed(seed: u64) {
     prism_async.crash_and_recover();
     prism_txn.flush().expect("final txn flush");
     prism_txn.crash_and_recover();
-    let mut engines: [(&str, &mut dyn KvStore); 7] = [
+    prism_net.crash_and_restart();
+    let mut engines: [(&str, &mut dyn KvStore); 8] = [
         ("prismdb-hash (recovered)", &mut prism_hash),
         ("prismdb-range (recovered)", &mut prism_range),
         ("prismdb-bg (recovered)", &mut prism_bg),
         ("prismdb-batched (recovered)", &mut prism_batched),
         ("prismdb-async (recovered)", &mut prism_async),
         ("prismdb-txn (recovered)", &mut prism_txn),
+        ("prismdb-net (recovered)", &mut prism_net),
         ("rocksdb-het", &mut lsm),
     ];
     assert_state_matches(&mut engines, &mut oracle, seed, OPS_PER_SEED);
@@ -670,6 +911,10 @@ fn run_seed(seed: u64) {
         txn_stats.commit_rolled_back >= 1,
         "the torn commit was never rolled back (seed {seed})"
     );
+
+    // The wire column must really have travelled the wire, survived its
+    // server teardown, and stranded nothing.
+    prism_net.assert_clean(seed);
 }
 
 #[test]
