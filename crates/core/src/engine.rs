@@ -9,12 +9,12 @@ use std::time::Duration;
 
 use prism_storage::{group_digest, CommitLog, CommitPart, TieredStorage};
 use prism_types::{
-    BatchOp, ConcurrentKvStore, EngineStats, Key, KvStore, Lookup, Nanos, PrismError, Result,
-    ScanResult, SnapshotId, TxnStats, Value, WriteBatch,
+    BatchOp, ConcurrentKvStore, EngineStats, Key, KvStore, Lookup, Nanos, PartitionHealth,
+    PrismError, Result, ScanResult, SnapshotId, TxnStats, Value, WriteBatch,
 };
 
 use crate::options::{Options, Partitioning};
-use crate::partition::Partition;
+use crate::partition::{Partition, ScrubReport};
 use crate::sequence::CommitSequencer;
 use crate::workers::{worker_loop, JobRequest, RequestKind, Scheduler};
 
@@ -45,6 +45,18 @@ struct TxnCounters {
     conflicts: AtomicU64,
 }
 
+/// Engine-level integrity counters (engine-lifetime, like device counters;
+/// they survive `crash_and_recover`). Per-partition detection/quarantine
+/// counters live in the partitions; these cover events the engine observes
+/// above the partition layer.
+#[derive(Debug, Default)]
+struct IntegrityCounters {
+    /// Injected I/O errors surfaced to callers as [`PrismError::Io`].
+    io_faults: AtomicU64,
+    /// Snapshot pins force-expired by the history caps.
+    snapshots_expired: AtomicU64,
+}
+
 /// Engine state shared between client handles and background worker
 /// threads.
 pub(crate) struct EngineShared {
@@ -60,6 +72,7 @@ pub(crate) struct EngineShared {
     /// NVM-resident intent log making multi-partition batches atomic.
     commit_log: CommitLog,
     txn: TxnCounters,
+    integrity: IntegrityCounters,
 }
 
 impl EngineShared {
@@ -196,7 +209,17 @@ impl PrismDb {
     /// Returns [`PrismError::InvalidConfig`] if the options fail validation.
     pub fn open(options: Options) -> Result<Self> {
         options.validate()?;
-        let storage = TieredStorage::new(options.nvm_profile, options.flash_profile);
+        // A configured fault plan is threaded through the devices (latency
+        // spikes) and the data-owning layers (torn writes, bit flips, I/O
+        // errors) so the whole stack shares one deterministic schedule.
+        let storage = match &options.fault_plan {
+            Some(plan) => TieredStorage::with_fault_plan(
+                options.nvm_profile,
+                options.flash_profile,
+                Arc::clone(plan),
+            ),
+            None => TieredStorage::new(options.nvm_profile, options.flash_profile),
+        };
         Self::open_with_storage(options, storage)
     }
 
@@ -235,6 +258,7 @@ impl PrismDb {
             seq,
             commit_log,
             txn: TxnCounters::default(),
+            integrity: IntegrityCounters::default(),
             options: options.clone(),
         });
         let workers = (0..options.compaction_workers)
@@ -474,6 +498,155 @@ impl PrismDb {
         self.shared.seq.current()
     }
 
+    /// Approximate DRAM bytes currently held by snapshot version history
+    /// across all partitions. Bounded by `Options::max_history_bytes`
+    /// when that cap is set.
+    pub fn snapshot_history_bytes(&self) -> u64 {
+        self.shared.seq.history_bytes()
+    }
+
+    /// Health of one partition under corruption pressure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn partition_health(&self, idx: usize) -> PartitionHealth {
+        self.shared.read_partition(idx).health()
+    }
+
+    /// Total objects currently quarantined (tombstoned-with-error after a
+    /// checksum failure) across partitions.
+    pub fn quarantined_object_count(&self) -> usize {
+        (0..self.partition_count())
+            .map(|i| self.shared.read_partition(i).quarantined_len())
+            .sum()
+    }
+
+    /// Run one budgeted scrub slice against a partition. A report with
+    /// `completed == false` parked its cursor mid-walk; call again to
+    /// resume. A completed pass with `corrupt_found == 0` re-arms a
+    /// degraded partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn scrub_partition(&self, idx: usize, budget_bytes: u64) -> ScrubReport {
+        self.shared.write_partition(idx).scrub_pass(budget_bytes)
+    }
+
+    /// Drive one complete scrub pass over every partition (in budget
+    /// slices of `Options::scrub_io_budget_bytes`), returning the
+    /// aggregated report. A pass that still found corruption usually
+    /// warrants a second call: the follow-up pass coming back clean is
+    /// what returns a degraded partition to [`PartitionHealth::Healthy`].
+    pub fn scrub(&self) -> ScrubReport {
+        let budget = self.shared.options.scrub_io_budget_bytes.max(1);
+        let mut total = ScrubReport {
+            completed: true,
+            ..ScrubReport::default()
+        };
+        for idx in 0..self.partition_count() {
+            loop {
+                let report = self.shared.write_partition(idx).scrub_pass(budget);
+                total.examined += report.examined;
+                total.examined_bytes += report.examined_bytes;
+                total.corrupt_found += report.corrupt_found;
+                total.repaired += report.repaired;
+                total.quarantined += report.quarantined;
+                if report.completed {
+                    break;
+                }
+            }
+        }
+        total
+    }
+
+    /// Reject writes routed to a degraded (read-only) partition with the
+    /// retryable [`PrismError::Degraded`] before taking its write lock.
+    /// The check is advisory — a partition degrading between the check
+    /// and the write is indistinguishable from the write racing ahead of
+    /// the degradation, which is fine either way.
+    fn check_writable(&self, idx: usize) -> Result<()> {
+        let p = self.shared.read_partition(idx);
+        if p.health() == PartitionHealth::Degraded {
+            p.note_degraded_refusal();
+            return Err(PrismError::Degraded { partition: idx });
+        }
+        Ok(())
+    }
+
+    /// Ask the background pool to scrub a partition after corruption was
+    /// detected (no-op in inline mode, where callers scrub explicitly via
+    /// [`PrismDb::scrub`]).
+    fn request_scrub(&self, idx: usize) {
+        if self.shared.background() {
+            let fg = self.shared.read_partition(idx).fg();
+            self.shared.scheduler().enqueue(JobRequest {
+                partition: idx,
+                kind: RequestKind::Scrub,
+                trigger_fg: fg,
+            });
+        }
+    }
+
+    /// Count an injected I/O error surfaced to a caller.
+    fn note_io_fault(&self, err: &PrismError) {
+        if matches!(err, PrismError::Io(_)) {
+            self.shared
+                .integrity
+                .io_faults
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Post-write bookkeeping shared by every write path: successful
+    /// writes enforce the snapshot-history caps, failed ones feed the
+    /// I/O-fault counter.
+    fn finish_write(&self, result: Result<Nanos>) -> Result<Nanos> {
+        match &result {
+            Ok(_) => self.enforce_snapshot_caps(),
+            Err(err) => self.note_io_fault(err),
+        }
+        result
+    }
+
+    /// Enforce `Options::{max_pin_age_ops, max_history_bytes}`: while the
+    /// oldest pinned snapshot is older than the age cap or the preserved
+    /// history exceeds the byte cap, force-expire the oldest pin (its
+    /// handles fail with [`PrismError::SnapshotExpired`]) and prune every
+    /// partition's history down to what the surviving pins can reach.
+    fn enforce_snapshot_caps(&self) {
+        let age_cap = self.shared.options.max_pin_age_ops;
+        let bytes_cap = self.shared.options.max_history_bytes;
+        if age_cap == 0 && bytes_cap == 0 {
+            return;
+        }
+        loop {
+            let Some(oldest) = self.shared.seq.oldest_pin() else {
+                return;
+            };
+            let over_age =
+                age_cap > 0 && self.shared.seq.current().saturating_sub(oldest) > age_cap;
+            let over_bytes = bytes_cap > 0 && self.shared.seq.history_bytes() > bytes_cap;
+            if !over_age && !over_bytes {
+                return;
+            }
+            let Some((_seq, count)) = self.shared.seq.expire_oldest() else {
+                return;
+            };
+            self.shared
+                .integrity
+                .snapshots_expired
+                .fetch_add(count, Ordering::Relaxed);
+            // Prune before re-checking, so the byte cap observes the
+            // space the expiry actually freed.
+            let survivor = self.shared.seq.oldest_pin();
+            for idx in 0..self.partition_count() {
+                self.shared.write_partition(idx).prune_history(survivor);
+            }
+        }
+    }
+
     fn partition_for(&self, key: &Key) -> usize {
         match self.shared.options.partitioning {
             Partitioning::Hash => (splitmix64(key.id()) % self.partition_count() as u64) as usize,
@@ -601,6 +774,26 @@ impl PrismDb {
             cost += self.after_background_write(idx)?;
         }
         Ok(cost)
+    }
+
+    /// The multi-partition half of [`ConcurrentKvStore::apply_batch`]:
+    /// run the commit-log protocol over ascending write locks, then the
+    /// per-partition watermark/back-pressure bookkeeping (which re-locks
+    /// partitions, so it must run after the multi-lock hold is released).
+    fn apply_batch_multi(&self, groups: &mut [Vec<BatchOp>], touched: &[usize]) -> Result<Nanos> {
+        let mut guards: Vec<(usize, RwLockWriteGuard<'_, Partition>)> = touched
+            .iter()
+            .map(|&idx| (idx, self.shared.write_partition(idx)))
+            .collect();
+        let result = self.install_groups_with_intent(groups, &mut guards, true, usize::MAX);
+        drop(guards);
+        let (_batch_id, mut total) = result?;
+        if self.shared.background() {
+            for &idx in touched {
+                total += self.after_background_write(idx)?;
+            }
+        }
+        Ok(total)
     }
 
     /// The cross-partition commit protocol, run under an already-held set
@@ -808,15 +1001,35 @@ impl ConcurrentKvStore for PrismDb {
             });
         }
         let idx = self.partition_for(&key);
-        if !self.shared.background() {
-            return self.shared.write_partition(idx).put(key, value);
-        }
-        self.background_write(idx, move |p| p.put(key.clone(), value.clone()))
+        self.check_writable(idx)?;
+        let result = if !self.shared.background() {
+            self.shared.write_partition(idx).put(key, value)
+        } else {
+            self.background_write(idx, move |p| p.put(key.clone(), value.clone()))
+        };
+        self.finish_write(result)
     }
 
     fn get(&self, key: &Key) -> Result<Lookup> {
         let idx = self.partition_for(key);
-        let (lookup, pressure) = self.shared.read_partition(idx).get_with_pressure(key)?;
+        // Bind before matching: a match on the locking expression would
+        // keep the read guard alive into the Corruption arm, which needs
+        // the write lock on the same partition.
+        let result = self.shared.read_partition(idx).get_with_pressure(key);
+        let (lookup, pressure) = match result {
+            Ok(found) => found,
+            Err(PrismError::Corruption(_)) => {
+                // Escalate: quarantine the key so the corrupt version can
+                // never be served again, and get a scrub pass going.
+                let err = self.shared.write_partition(idx).quarantine_on_read(key);
+                self.request_scrub(idx);
+                return Err(err);
+            }
+            Err(err) => {
+                self.note_io_fault(&err);
+                return Err(err);
+            }
+        };
         if pressure {
             self.drain_reads(idx)?;
         }
@@ -825,11 +1038,14 @@ impl ConcurrentKvStore for PrismDb {
 
     fn delete(&self, key: &Key) -> Result<Nanos> {
         let idx = self.partition_for(key);
-        if !self.shared.background() {
-            return self.shared.write_partition(idx).delete(key);
-        }
-        let key = key.clone();
-        self.background_write(idx, move |p| p.delete(&key))
+        self.check_writable(idx)?;
+        let result = if !self.shared.background() {
+            self.shared.write_partition(idx).delete(key)
+        } else {
+            let key = key.clone();
+            self.background_write(idx, move |p| p.delete(&key))
+        };
+        self.finish_write(result)
     }
 
     /// Apply a [`WriteBatch`] with per-partition group commit.
@@ -892,30 +1108,21 @@ impl ConcurrentKvStore for PrismDb {
             .filter(|(_, g)| !g.is_empty())
             .map(|(idx, _)| idx)
             .collect();
+        // Degraded partitions refuse writes up front, so a batch touching
+        // one rejects whole (all-or-nothing) with the retryable error.
+        for &idx in &touched {
+            self.check_writable(idx)?;
+        }
         // A single-partition batch is already atomic under its one
         // write-lock hold; skip the commit-log round trip.
         if touched.len() <= 1 {
-            let mut total = Nanos::ZERO;
-            for idx in touched {
-                total += self.apply_partition_group(idx, std::mem::take(&mut groups[idx]))?;
-            }
-            return Ok(total);
+            let result = touched.into_iter().try_fold(Nanos::ZERO, |acc, idx| {
+                Ok(acc + self.apply_partition_group(idx, std::mem::take(&mut groups[idx]))?)
+            });
+            return self.finish_write(result);
         }
-        let mut guards: Vec<(usize, RwLockWriteGuard<'_, Partition>)> = touched
-            .iter()
-            .map(|&idx| (idx, self.shared.write_partition(idx)))
-            .collect();
-        let result = self.install_groups_with_intent(&mut groups, &mut guards, true, usize::MAX);
-        drop(guards);
-        let (_batch_id, mut total) = result?;
-        if self.shared.background() {
-            // Watermark/back-pressure bookkeeping re-locks partitions, so
-            // it must run after the multi-lock hold is released.
-            for idx in touched {
-                total += self.after_background_write(idx)?;
-            }
-        }
-        Ok(total)
+        let result = self.apply_batch_multi(&mut groups, &touched);
+        self.finish_write(result)
     }
 
     fn scan(&self, start: &Key, count: usize) -> Result<ScanResult> {
@@ -941,7 +1148,11 @@ impl ConcurrentKvStore for PrismDb {
             ..EngineStats::default()
         };
         for i in 0..self.partition_count() {
-            let p = self.shared.read_partition(i).stats();
+            let part = self.shared.read_partition(i);
+            let integrity = part.integrity_stats();
+            let p = part.stats();
+            drop(part);
+            stats.integrity = stats.integrity.merged(integrity);
             stats.reads_from_dram += p.reads_from_dram;
             stats.reads_from_nvm += p.reads_from_nvm;
             stats.reads_from_flash += p.reads_from_flash;
@@ -975,6 +1186,12 @@ impl ConcurrentKvStore for PrismDb {
             commit_replayed: log.replayed,
             commit_rolled_back: log.rolled_back,
         };
+        stats.integrity.io_errors += self.shared.integrity.io_faults.load(Ordering::Relaxed);
+        stats.integrity.snapshots_expired += self
+            .shared
+            .integrity
+            .snapshots_expired
+            .load(Ordering::Relaxed);
         stats
     }
 
@@ -1037,6 +1254,9 @@ impl ConcurrentKvStore for PrismDb {
     }
 
     fn snapshot_get(&self, snapshot: SnapshotId, key: &Key) -> Result<Option<Value>> {
+        if self.shared.seq.is_expired(snapshot.sequence()) {
+            return Err(PrismError::SnapshotExpired);
+        }
         let idx = self.partition_for(key);
         let (value, _cost) = self
             .shared
@@ -1051,6 +1271,9 @@ impl ConcurrentKvStore for PrismDb {
         start: &Key,
         count: usize,
     ) -> Result<Vec<(Key, Value)>> {
+        if self.shared.seq.is_expired(snapshot.sequence()) {
+            return Err(PrismError::SnapshotExpired);
+        }
         let (entries, _cost) = self.snapshot_scan_parts(snapshot.sequence(), start, count)?;
         Ok(entries)
     }
@@ -1061,6 +1284,9 @@ impl ConcurrentKvStore for PrismDb {
     /// set — through the commit-log protocol when it spans partitions,
     /// so the transaction is atomic even across a crash.
     fn txn_commit(&self, snapshot: SnapshotId, reads: &[Key], writes: WriteBatch) -> Result<Nanos> {
+        if self.shared.seq.is_expired(snapshot.sequence()) {
+            return Err(PrismError::SnapshotExpired);
+        }
         // Validate value sizes up front so an oversized value cannot
         // leave the transaction half-applied (mirrors `apply_batch`).
         let max_slot = self
@@ -1101,6 +1327,9 @@ impl ConcurrentKvStore for PrismDb {
             self.shared.txn.commits.fetch_add(1, Ordering::Relaxed);
             return Ok(Nanos::ZERO);
         }
+        for &idx in &write_parts {
+            self.check_writable(idx)?;
+        }
         let mut guards: Vec<(usize, RwLockWriteGuard<'_, Partition>)> = touched
             .iter()
             .map(|&idx| (idx, self.shared.write_partition(idx)))
@@ -1137,16 +1366,22 @@ impl ConcurrentKvStore for PrismDb {
                 .map(|(_, cost)| cost)
         };
         drop(guards);
-        let mut total = result?;
+        let mut total = match result {
+            Ok(cost) => cost,
+            Err(err) => return self.finish_write(Err(err)),
+        };
         if self.shared.background() {
             // Watermark/back-pressure bookkeeping re-locks partitions, so
             // it must run after the multi-lock hold is released.
             for idx in write_parts {
-                total += self.after_background_write(idx)?;
+                match self.after_background_write(idx) {
+                    Ok(cost) => total += cost,
+                    Err(err) => return self.finish_write(Err(err)),
+                }
             }
         }
         self.shared.txn.commits.fetch_add(1, Ordering::Relaxed);
-        Ok(total)
+        self.finish_write(Ok(total))
     }
 }
 

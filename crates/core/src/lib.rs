@@ -51,6 +51,14 @@ mod workers;
 pub use cache::LruCache;
 pub use engine::PrismDb;
 pub use options::{Options, OptionsBuilder, Partitioning};
+pub use partition::ScrubReport;
+// Fault-injection and integrity vocabulary, re-exported so engine users
+// can configure a plan and read health/integrity state without depending
+// on the substrate crates directly.
+pub use prism_storage::{
+    FaultCountersSnapshot, FaultMode, FaultOp, FaultPlan, FaultTier, TargetedFault, TierFaultRates,
+};
+pub use prism_types::{IntegrityStats, PartitionHealth};
 
 #[cfg(test)]
 mod proptests {

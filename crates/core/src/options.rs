@@ -1,7 +1,9 @@
 //! Engine configuration.
 
+use std::sync::Arc;
+
 use prism_compaction::{CompactionConfig, ReadTriggerConfig};
-use prism_storage::DeviceProfile;
+use prism_storage::{DeviceProfile, FaultPlan};
 use prism_types::{PrismError, Result};
 
 /// How keys are assigned to partitions.
@@ -103,6 +105,27 @@ pub struct Options {
     /// synchronously (it has no WAL), so this only affects reporting parity
     /// with baselines that add an fsync per write.
     pub fsync: bool,
+    /// Deterministic storage fault-injection plan shared by both devices
+    /// and the data layers above them; `None` (the default) runs
+    /// fault-free.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Number of distinct corrupt objects a partition quarantines before
+    /// it flips into read-only degraded mode (writes refused with the
+    /// retryable `Degraded` error until a scrub pass comes back clean).
+    pub corruption_quarantine_threshold: u64,
+    /// Per-pass I/O budget of the background scrubber, in bytes of slab
+    /// and SST data walked; a pass that exhausts the budget resumes where
+    /// it left off on the next pass.
+    pub scrub_io_budget_bytes: u64,
+    /// Maximum age of a pinned snapshot, measured in commits allocated
+    /// after the pin. Exceeding it aborts the oldest pin with
+    /// `SnapshotExpired` and frees its preserved history. `0` disables
+    /// the cap.
+    pub max_pin_age_ops: u64,
+    /// Maximum bytes of superseded-version history preserved for pinned
+    /// snapshots across all partitions. Exceeding it aborts the oldest
+    /// pin and frees its history. `0` disables the cap.
+    pub max_history_bytes: u64,
 }
 
 impl Options {
@@ -149,6 +172,11 @@ impl Options {
             promotion_batch_flash_reads: 200,
             merge_batch_duplicates: true,
             fsync: false,
+            fault_plan: None,
+            corruption_quarantine_threshold: 8,
+            scrub_io_budget_bytes: 4 << 20,
+            max_pin_age_ops: 0,
+            max_history_bytes: 0,
         }
     }
 
@@ -216,6 +244,16 @@ impl Options {
         if self.sst_target_bytes == 0 {
             return Err(PrismError::InvalidConfig(
                 "sst_target_bytes must be non-zero".into(),
+            ));
+        }
+        if self.corruption_quarantine_threshold == 0 {
+            return Err(PrismError::InvalidConfig(
+                "corruption_quarantine_threshold must be non-zero".into(),
+            ));
+        }
+        if self.scrub_io_budget_bytes == 0 {
+            return Err(PrismError::InvalidConfig(
+                "scrub_io_budget_bytes must be non-zero".into(),
             ));
         }
         self.compaction.validate()?;
@@ -328,6 +366,39 @@ impl OptionsBuilder {
         self
     }
 
+    /// Attach a deterministic storage fault-injection plan.
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.options.fault_plan = Some(plan);
+        self
+    }
+
+    /// Set how many quarantined objects flip a partition into read-only
+    /// degraded mode.
+    pub fn corruption_quarantine_threshold(mut self, threshold: u64) -> Self {
+        self.options.corruption_quarantine_threshold = threshold;
+        self
+    }
+
+    /// Set the scrubber's per-pass I/O budget in bytes.
+    pub fn scrub_io_budget(mut self, bytes: u64) -> Self {
+        self.options.scrub_io_budget_bytes = bytes;
+        self
+    }
+
+    /// Cap the age of pinned snapshots in commits (`0` = unlimited); older
+    /// pins are aborted with `SnapshotExpired`.
+    pub fn max_pin_age_ops(mut self, ops: u64) -> Self {
+        self.options.max_pin_age_ops = ops;
+        self
+    }
+
+    /// Cap the bytes of superseded-version history kept for pinned
+    /// snapshots (`0` = unlimited); exceeding it aborts the oldest pin.
+    pub fn max_history_bytes(mut self, bytes: u64) -> Self {
+        self.options.max_history_bytes = bytes;
+        self
+    }
+
     /// Finish building.
     ///
     /// # Errors
@@ -393,6 +464,34 @@ mod tests {
         let mut bad = Options::scaled_default(100);
         bad.tracker_fraction = 0.0;
         assert!(bad.validate().is_err());
+        let mut bad = Options::scaled_default(100);
+        bad.corruption_quarantine_threshold = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = Options::scaled_default(100);
+        bad.scrub_io_budget_bytes = 0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn robustness_knobs_build_and_default_off() {
+        let defaults = Options::scaled_default(1000);
+        assert!(defaults.fault_plan.is_none());
+        assert_eq!(defaults.max_pin_age_ops, 0);
+        assert_eq!(defaults.max_history_bytes, 0);
+        let plan = Arc::new(FaultPlan::new(7));
+        let options = Options::builder(1000)
+            .fault_plan(Arc::clone(&plan))
+            .corruption_quarantine_threshold(3)
+            .scrub_io_budget(1 << 16)
+            .max_pin_age_ops(500)
+            .max_history_bytes(1 << 20)
+            .build()
+            .unwrap();
+        assert!(options.fault_plan.is_some());
+        assert_eq!(options.corruption_quarantine_threshold, 3);
+        assert_eq!(options.scrub_io_budget_bytes, 1 << 16);
+        assert_eq!(options.max_pin_age_ops, 500);
+        assert_eq!(options.max_history_bytes, 1 << 20);
     }
 
     #[test]

@@ -45,10 +45,11 @@ use prism_compaction::{
 use prism_flash::{Manifest, SortedLog, SstBuilder, SstEntry, SstFile};
 use prism_index::BTreeIndex;
 use prism_nvm::{NvmAddress, SlabConfig, SlabStore};
-use prism_storage::{CpuCosts, Device, TieredStorage};
+use prism_storage::{CpuCosts, Device, FaultOp, FaultPlan, FaultTier, TieredStorage};
 use prism_tracker::{ClockTracker, Mapper, PinDecision};
 use prism_types::{
-    BatchOp, CompactionStats, Key, Lookup, Nanos, PrismError, ReadSource, Result, Value,
+    BatchOp, CompactionStats, IntegrityStats, Key, Lookup, Nanos, PartitionHealth, PrismError,
+    ReadSource, Result, Value,
 };
 
 use crate::cache::LruCache;
@@ -128,6 +129,40 @@ pub(crate) struct CompactionOutcome {
     pub promoted: u64,
 }
 
+/// Result of one scrub pass (see [`crate::PrismDb::scrub_partition`]):
+/// a budget-bounded integrity walk over the partition's slabs and SST
+/// files.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Objects whose checksums were verified this pass.
+    pub examined: u64,
+    /// Payload bytes read and verified this pass.
+    pub examined_bytes: u64,
+    /// Corrupt objects discovered this pass.
+    pub corrupt_found: u64,
+    /// Corrupt objects repaired from a surviving clean copy (a newer
+    /// NVM version shadowing a corrupt flash record, or the DRAM
+    /// cache's last committed value).
+    pub repaired: u64,
+    /// Corrupt objects with no surviving copy, quarantined instead.
+    pub quarantined: u64,
+    /// Whether the walk reached the end of the partition. `false` means
+    /// the IO budget ran out and the pass parked a resume cursor.
+    pub completed: bool,
+}
+
+/// Resume point of a budget-bounded scrub walk: scrub verifies the NVM
+/// index first, then the flash files in key order. Both phases are
+/// keyed by `Key` (not slot address or file id) so a cursor survives
+/// concurrent writes, compactions and file rebuilds.
+#[derive(Debug, Clone)]
+enum ScrubCursor {
+    /// Next NVM index key to verify.
+    Nvm(Key),
+    /// Flash phase: next file (identified by its minimum key) to verify.
+    Flash(Key),
+}
+
 pub(crate) struct Partition {
     id: usize,
     options: Arc<Options>,
@@ -167,6 +202,30 @@ pub(crate) struct Partition {
     /// A read-triggered promotion compaction is due (set by a drain).
     promote_pending: bool,
     stats: PartitionStats,
+    /// Fault plan shared with the storage layer (`None` in healthy runs).
+    fault: Option<Arc<FaultPlan>>,
+    /// Read-only degraded mode flips on when quarantines cross
+    /// `Options::corruption_quarantine_threshold` and back off after a
+    /// clean scrub pass.
+    health: PartitionHealth,
+    /// Key ids quarantined after corruption with no surviving copy: the
+    /// tombstone-with-error sentinel set. Reads of these keys fail with
+    /// `Corruption` (never stale data from an older tier); a successful
+    /// rewrite or scrub repair removes the sentinel.
+    quarantined: HashSet<u64>,
+    /// Integrity counters mutated under the write lock.
+    integrity: IntegrityStats,
+    /// Writes refused while degraded (atomic: the engine counts the
+    /// refusal under the partition *read* lock).
+    degraded_refusals: AtomicU64,
+    /// Corruption detections made by `&self` readers (scans) that cannot
+    /// touch the plain `integrity` struct.
+    scan_detected: AtomicU64,
+    /// Bytes currently buffered in `history` (mirrored into the shared
+    /// sequencer total for lock-free engine-side cap checks).
+    history_bytes: u64,
+    /// Parked resume point of an incomplete scrub pass.
+    scrub_cursor: Option<ScrubCursor>,
 }
 
 impl Partition {
@@ -181,7 +240,10 @@ impl Partition {
             slot_sizes: options.slab_slot_sizes.clone(),
             capacity_bytes: (options.nvm_capacity_bytes / partitions).max(4096),
         };
-        let slab = SlabStore::new(slab_config, storage.nvm.clone())?;
+        let mut slab = SlabStore::new(slab_config, storage.nvm.clone())?;
+        if let Some(plan) = &options.fault_plan {
+            slab.attach_faults(plan.clone(), id);
+        }
         let tracker_capacity = (options.tracker_capacity() / options.num_partitions).max(8);
         let mut compaction_config = options.compaction;
         // Give each partition its own deterministic-but-distinct seed.
@@ -211,6 +273,14 @@ impl Partition {
             epoch: 0,
             promote_pending: false,
             stats: PartitionStats::default(),
+            fault: options.fault_plan.clone(),
+            health: PartitionHealth::Healthy,
+            quarantined: HashSet::new(),
+            integrity: IntegrityStats::default(),
+            degraded_refusals: AtomicU64::new(0),
+            scan_detected: AtomicU64::new(0),
+            history_bytes: 0,
+            scrub_cursor: None,
             options,
         })
     }
@@ -263,6 +333,113 @@ impl Partition {
         stats
     }
 
+    // ------------------------------------------------------------------
+    // Integrity, quarantine, degraded mode
+    // ------------------------------------------------------------------
+
+    /// Current health (degraded = read-only until a clean scrub pass).
+    pub(crate) fn health(&self) -> PartitionHealth {
+        self.health
+    }
+
+    /// This partition's integrity counters, folding in the atomics that
+    /// `&self` paths maintain and the degraded gauge.
+    pub(crate) fn integrity_stats(&self) -> IntegrityStats {
+        let mut stats = self.integrity;
+        stats.degraded_write_refusals += self.degraded_refusals.load(Ordering::Relaxed);
+        stats.checksum_failures += self.scan_detected.load(Ordering::Relaxed);
+        stats.degraded_partitions = (self.health == PartitionHealth::Degraded) as u64;
+        stats
+    }
+
+    /// Count one write refused with `Degraded` (called by the engine
+    /// under the partition *read* lock, hence the atomic).
+    pub(crate) fn note_degraded_refusal(&self) {
+        self.degraded_refusals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of keys currently under a quarantine sentinel.
+    pub(crate) fn quarantined_len(&self) -> usize {
+        self.quarantined.len()
+    }
+
+    fn corruption_error(&self, key: &Key) -> PrismError {
+        PrismError::Corruption(format!(
+            "partition {}: key {} is quarantined after a checksum failure",
+            self.id,
+            key.id()
+        ))
+    }
+
+    /// Record one detected checksum failure (write-lock paths).
+    fn note_checksum_failure(&mut self) {
+        self.integrity.checksum_failures += 1;
+        if let Some(plan) = &self.fault {
+            plan.note_detected();
+        }
+    }
+
+    /// Record one detected checksum failure from a `&self` reader.
+    fn note_checksum_failure_shared(&self) {
+        self.scan_detected.fetch_add(1, Ordering::Relaxed);
+        if let Some(plan) = &self.fault {
+            plan.note_detected();
+        }
+    }
+
+    /// Place `key` under a quarantine sentinel: remove any NVM slot (so
+    /// a recovery scan cannot resurrect the corrupt version) but keep
+    /// the DRAM cache entry — it holds the last committed value and is
+    /// the scrubber's repair source. Returns false if already
+    /// quarantined.
+    fn quarantine_key(&mut self, key: &Key) -> bool {
+        let key_id = key.id();
+        if !self.quarantined.insert(key_id) {
+            return false;
+        }
+        self.integrity.quarantined_objects += 1;
+        if let Some(entry) = self.index.get(key).copied() {
+            let _ = self.slab.remove(entry.addr);
+            self.index.remove(key);
+            self.buckets.on_nvm_remove(key_id);
+        }
+        self.maybe_degrade();
+        true
+    }
+
+    /// Quarantine after a read-path checksum failure (idempotent); the
+    /// returned error is what the failed read surfaces to the caller.
+    pub(crate) fn quarantine_on_read(&mut self, key: &Key) -> PrismError {
+        if self.quarantine_key(key) {
+            self.note_checksum_failure();
+        }
+        self.corruption_error(key)
+    }
+
+    /// Flip into read-only degraded mode once enough objects are
+    /// quarantined.
+    fn maybe_degrade(&mut self) {
+        if self.health == PartitionHealth::Healthy
+            && self.quarantined.len() as u64 >= self.options.corruption_quarantine_threshold
+        {
+            self.health = PartitionHealth::Degraded;
+            self.integrity.degraded_entered += 1;
+        }
+    }
+
+    /// Roll the fault plan for an injected flash read error.
+    fn roll_flash_read_fault(&self) -> Result<()> {
+        if let Some(plan) = &self.fault {
+            if plan.roll_io_error(FaultTier::Flash, self.id, FaultOp::Read) {
+                return Err(PrismError::Io(format!(
+                    "injected flash read error on partition {}",
+                    self.id
+                )));
+            }
+        }
+        Ok(())
+    }
+
     pub(crate) fn nvm_object_count(&self) -> usize {
         self.slab.object_count()
     }
@@ -297,7 +474,14 @@ impl Partition {
             if entry.tombstone {
                 return Some((entry.timestamp, None));
             }
-            let value = self.slab.peek(entry.addr).map(|slot| slot.value.clone());
+            // A slot failing its checksum reads as absent here: snapshot
+            // history and transaction pre-images must never capture (and
+            // later re-serve) damaged bytes.
+            let value = self
+                .slab
+                .peek(entry.addr)
+                .filter(|slot| slot.verify())
+                .map(|slot| slot.value.clone());
             return Some((entry.timestamp, value));
         }
         let file = self.log.lookup(key)?;
@@ -325,10 +509,57 @@ impl Partition {
         live.into_iter().chain(hist).max()
     }
 
+    /// Approximate DRAM footprint of one preserved history version (key
+    /// + value bytes + per-entry bookkeeping).
+    fn history_entry_bytes(key: &Key, value: &Option<Value>) -> u64 {
+        key.len() as u64 + value.as_ref().map(|v| v.len() as u64).unwrap_or(0) + 16
+    }
+
     fn push_history(&mut self, key: &Key, version: (u64, Option<Value>)) {
         let list = self.history.entry(key.clone()).or_default();
         if list.last().map(|(seq, _)| *seq) != Some(version.0) {
+            let bytes = Self::history_entry_bytes(key, &version.1);
+            self.history_bytes += bytes;
+            self.seq.add_history_bytes(bytes);
             list.push(version);
+        }
+    }
+
+    /// Drop all preserved history and return its byte accounting.
+    fn clear_history(&mut self) {
+        if !self.history.is_empty() {
+            self.history.clear();
+        }
+        if self.history_bytes > 0 {
+            self.seq.sub_history_bytes(self.history_bytes);
+            self.history_bytes = 0;
+        }
+    }
+
+    /// Free history versions no live pin can reach: for each key, every
+    /// version older than the newest one at or below `oldest_pin` is
+    /// dead for all remaining pins. With no pins at all, everything
+    /// goes. Called by the engine after it force-expires a pin.
+    pub(crate) fn prune_history(&mut self, oldest_pin: Option<u64>) {
+        let Some(pin) = oldest_pin else {
+            self.clear_history();
+            return;
+        };
+        let mut freed = 0u64;
+        self.history.retain(|key, list| {
+            // Newest index with seq <= pin; everything before it is
+            // unreachable by any pin >= `pin`.
+            let keep_from = list.iter().rposition(|(seq, _)| *seq <= pin).unwrap_or(0);
+            if keep_from > 0 {
+                for (_, value) in list.drain(..keep_from) {
+                    freed += Self::history_entry_bytes(key, &value);
+                }
+            }
+            !list.is_empty()
+        });
+        if freed > 0 {
+            self.history_bytes = self.history_bytes.saturating_sub(freed);
+            self.seq.sub_history_bytes(freed);
         }
     }
 
@@ -347,9 +578,7 @@ impl Partition {
     /// the new version (see `crate::sequence`).
     fn note_supersession(&mut self, key: &Key, delete_seq: Option<u64>) {
         if !self.seq.has_pins() {
-            if !self.history.is_empty() {
-                self.history.clear();
-            }
+            self.clear_history();
             return;
         }
         if let Some(version) = self.current_version(key) {
@@ -566,6 +795,9 @@ impl Partition {
         if was_new {
             self.buckets.on_nvm_insert(key_id);
         }
+        // A successful rewrite heals a quarantined key: the fresh version
+        // supersedes whatever was corrupt.
+        self.quarantined.remove(&key_id);
         cost += self.observe_access_now(&key, false);
         self.lock_cache().remove(&key);
         self.stats.user_bytes_written += value_len;
@@ -727,6 +959,11 @@ impl Partition {
     /// is computed inside the critical section the read already pays for,
     /// so the hot read path locks the read-side buffer exactly once.
     pub(crate) fn get_with_pressure(&self, key: &Key) -> Result<(Lookup, bool)> {
+        // A quarantined key fails before any tier is consulted: an older
+        // clean version on flash must never shadow the corrupt one.
+        if self.quarantined.contains(&key.id()) {
+            return Err(self.corruption_error(key));
+        }
         let mut cost = self.cpu.request_overhead + self.cpu.index_op;
         let mut source = ReadSource::NotFound;
         let mut value: Option<Value> = None;
@@ -749,12 +986,21 @@ impl Partition {
             // Flash path: the SST index and bloom filter live on NVM.
             cost += self.cpu.bloom_probe;
             if let Some(file) = self.log.lookup(key) {
+                self.roll_flash_read_fault()?;
                 let probe = file.probe(key);
                 if probe.may_contain {
                     cost += self.nvm_dev.read_random(512);
                     if probe.data_block_bytes > 0 {
                         cost += self.flash_dev.read_random(probe.data_block_bytes);
                     }
+                }
+                if probe.corrupt {
+                    self.note_checksum_failure_shared();
+                    return Err(PrismError::Corruption(format!(
+                        "partition {}: flash record for key {} failed its checksum",
+                        self.id,
+                        key.id()
+                    )));
                 }
                 if let Some(entry) = probe.entry {
                     if let Some(found) = entry.value {
@@ -834,12 +1080,17 @@ impl Partition {
 
         self.note_supersession(key, Some(ts));
         let existing = self.index.get(key).copied();
-        // Does any version of this key exist on flash?
+        // Does any version of this key exist on flash? A corrupt flash
+        // record counts: it must be tombstone-shadowed too, or reads
+        // after the delete would keep tripping on it.
         cost += self.cpu.bloom_probe;
         let on_flash = self
             .log
             .lookup(key)
-            .map(|file| file.probe(key).entry.is_some())
+            .map(|file| {
+                let probe = file.probe(key);
+                probe.entry.is_some() || probe.corrupt
+            })
             .unwrap_or(false);
 
         if let Some(entry) = existing {
@@ -883,6 +1134,9 @@ impl Partition {
             self.buckets.on_nvm_insert(key_id);
         }
 
+        // A delete supersedes a quarantined version: the key is now
+        // legitimately absent (or tombstoned), not corrupt.
+        self.quarantined.remove(&key_id);
         self.lock_cache().remove(key);
         Ok(cost)
     }
@@ -893,6 +1147,9 @@ impl Partition {
     /// the latest version) and buffers no read-side state — snapshot
     /// reads must not perturb popularity tracking.
     pub(crate) fn snapshot_get(&self, key: &Key, pinned: u64) -> Result<(Option<Value>, Nanos)> {
+        if self.quarantined.contains(&key.id()) {
+            return Err(self.corruption_error(key));
+        }
         let mut cost = self.cpu.request_overhead + self.cpu.index_op;
         let mut live: Option<(u64, Option<Value>)> = None;
         if let Some(entry) = self.index.get(key).copied() {
@@ -906,12 +1163,21 @@ impl Partition {
         } else {
             cost += self.cpu.bloom_probe;
             if let Some(file) = self.log.lookup(key) {
+                self.roll_flash_read_fault()?;
                 let probe = file.probe(key);
                 if probe.may_contain {
                     cost += self.nvm_dev.read_random(512);
                     if probe.data_block_bytes > 0 {
                         cost += self.flash_dev.read_random(probe.data_block_bytes);
                     }
+                }
+                if probe.corrupt {
+                    self.note_checksum_failure_shared();
+                    return Err(PrismError::Corruption(format!(
+                        "partition {}: flash record for key {} failed its checksum",
+                        self.id,
+                        key.id()
+                    )));
                 }
                 if let Some(entry) = probe.entry {
                     live = Some((entry.timestamp, entry.value));
@@ -987,19 +1253,30 @@ impl Partition {
                 if entry.tombstone {
                     live = Some((entry.timestamp, None));
                 } else if let Some(slot) = self.slab.peek(entry.addr) {
-                    live = Some((entry.timestamp, Some(slot.value.clone())));
-                    nvm_reads += 1;
+                    if slot.verify() {
+                        live = Some((entry.timestamp, Some(slot.value.clone())));
+                        nvm_reads += 1;
+                    } else {
+                        // Skip-and-report: a corrupt slot reads as absent
+                        // for the scan (counted, never emitted as garbage)
+                        // — history may still hold a clean pinned version.
+                        self.note_checksum_failure_shared();
+                    }
                 }
             }
             if flash_next.as_ref() == Some(&key) {
                 if !nvm_holds_key {
                     let (fk, entry) = &flash_buf[flash_pos];
-                    match &entry.value {
-                        Some(v) => {
-                            flash_bytes_consumed += v.len() as u64 + fk.len() as u64;
-                            live = Some((entry.timestamp, Some(v.clone())));
+                    if entry.verify() {
+                        match &entry.value {
+                            Some(v) => {
+                                flash_bytes_consumed += v.len() as u64 + fk.len() as u64;
+                                live = Some((entry.timestamp, Some(v.clone())));
+                            }
+                            None => live = Some((entry.timestamp, None)),
                         }
-                        None => live = Some((entry.timestamp, None)),
+                    } else {
+                        self.note_checksum_failure_shared();
                     }
                 }
                 flash_pos += 1;
@@ -1013,7 +1290,11 @@ impl Partition {
                 _ => self.history_version_at(&key, pinned),
             };
             if let Some(value) = visible {
-                out.push((key, value));
+                // Quarantined keys are skipped (reported via the
+                // quarantine counters), not served from an older tier.
+                if !self.quarantined.contains(&key.id()) {
+                    out.push((key, value));
+                }
             }
         }
         drop(nvm_iter);
@@ -1353,7 +1634,17 @@ impl Partition {
                     None
                 } else {
                     match self.slab.peek(entry.addr) {
-                        Some(slot) => Some(slot.value.clone()),
+                        Some(slot) if slot.verify() => Some(slot.value.clone()),
+                        // A corrupt slot must never enter a demotion job:
+                        // the execute step rebuilds the SST record with a
+                        // freshly computed checksum, which would launder
+                        // the damaged bytes into flash as "clean". Drop
+                        // and quarantine it here instead.
+                        Some(_) => {
+                            self.note_checksum_failure();
+                            self.quarantine_key(&key);
+                            continue;
+                        }
                         // The index points at a missing slot; skip rather
                         // than demote a value we cannot read.
                         None => continue,
@@ -1454,6 +1745,16 @@ impl Partition {
         let mut out: Vec<(Key, SstEntry)> = Vec::with_capacity(exec.merged.len());
 
         for m in exec.merged {
+            if !m.entry.verify() {
+                // Corrupt bytes must never propagate through a compaction
+                // into fresh SST files: drop the record, and quarantine
+                // the key unless a live NVM version shadows it.
+                self.note_checksum_failure();
+                if !self.index.contains_key(&m.key) {
+                    self.quarantine_key(&m.key);
+                }
+                continue;
+            }
             match m.origin {
                 MergedOrigin::Nvm { timestamp } => {
                     // A foreground write (update or delete) between plan
@@ -1573,14 +1874,14 @@ impl Partition {
             return Ok((files, cost));
         }
         let target = self.options.sst_target_bytes;
-        let mut builder = SstBuilder::new(self.manifest.allocate_file_id());
+        let mut builder = SstBuilder::new(self.manifest.allocate_file_id()).for_partition(self.id);
         for (key, entry) in merged {
             builder.add(key.clone(), entry.clone());
             if builder.size_bytes() >= target {
                 let (file, c) = builder.finish(&self.flash_dev);
                 cost += c;
                 files.push(Arc::new(file));
-                builder = SstBuilder::new(self.manifest.allocate_file_id());
+                builder = SstBuilder::new(self.manifest.allocate_file_id()).for_partition(self.id);
             }
         }
         if !builder.is_empty() {
@@ -1619,19 +1920,48 @@ impl Partition {
         self.buckets = BucketMap::new(self.options.compaction.bucket_size_keys);
 
         let cost = self.slab.recovery_scan_cost();
+        // First pass: verify every slot. A key with *any* corrupt slot is
+        // quarantined whole — a corrupt slot's timestamp cannot be
+        // trusted, so newest-version selection among its siblings could
+        // resurrect a superseded value. Recovery quarantines; it never
+        // guesses.
+        let scanned: Vec<(NvmAddress, Key, u64, bool, bool)> = self
+            .slab
+            .scan()
+            .map(|(addr, slot)| {
+                (
+                    addr,
+                    slot.key.clone(),
+                    slot.timestamp,
+                    slot.value.is_empty(),
+                    slot.verify(),
+                )
+            })
+            .collect();
+        let corrupt_ids: HashSet<u64> = scanned
+            .iter()
+            .filter(|(_, _, _, _, ok)| !ok)
+            .map(|(_, key, _, _, _)| key.id())
+            .collect();
         let mut newest: std::collections::HashMap<Key, (NvmAddress, u64, bool)> =
             std::collections::HashMap::new();
         let mut stale: Vec<NvmAddress> = Vec::new();
         let mut max_ts = 0u64;
-        for (addr, slot) in self.slab.scan() {
-            max_ts = max_ts.max(slot.timestamp);
-            let tombstone = slot.value.is_empty();
-            match newest.get(&slot.key) {
-                Some((_, ts, _)) if *ts >= slot.timestamp => stale.push(addr),
+        for (addr, key, timestamp, tombstone, ok) in scanned {
+            if !ok {
+                self.note_checksum_failure();
+            }
+            if corrupt_ids.contains(&key.id()) {
+                // Every slot of a corrupt key is dropped, clean siblings
+                // included.
+                stale.push(addr);
+                continue;
+            }
+            max_ts = max_ts.max(timestamp);
+            match newest.get(&key) {
+                Some((_, ts, _)) if *ts >= timestamp => stale.push(addr),
                 _ => {
-                    if let Some((old, _, _)) =
-                        newest.insert(slot.key.clone(), (addr, slot.timestamp, tombstone))
-                    {
+                    if let Some((old, _, _)) = newest.insert(key, (addr, timestamp, tombstone)) {
                         stale.push(old);
                     }
                 }
@@ -1657,20 +1987,235 @@ impl Partition {
                 },
             );
         }
-        for (key, _) in self.log.iter() {
-            self.buckets.on_flash_insert(key.id());
+        for id in corrupt_ids {
+            if self.quarantined.insert(id) {
+                self.integrity.quarantined_objects += 1;
+            }
         }
+        let mut flash_corrupt: Vec<Key> = Vec::new();
+        for (key, entry) in self.log.iter() {
+            if entry.verify() {
+                self.buckets.on_flash_insert(key.id());
+            } else {
+                flash_corrupt.push(key.clone());
+            }
+        }
+        for key in flash_corrupt {
+            self.note_checksum_failure();
+            if !self.index.contains_key(&key) {
+                self.quarantine_key(&key);
+            }
+        }
+        self.maybe_degrade();
+        self.scrub_cursor = None;
         // The history buffer is DRAM state: snapshots pinned across a
         // crash lose their preserved versions (a snapshot read may then
         // see a key as absent, never a stale value — live versions with
         // `seq <= pinned` are by definition the pinned-time state).
-        self.history.clear();
+        self.clear_history();
         // The commit clock is rebuilt from the largest persisted
         // sequence; it never moves backwards, so sequences are not
         // reused even when flash holds later versions than the slabs.
         self.seq.advance_past(max_ts);
         self.advance_fg(cost);
         cost
+    }
+
+    // ------------------------------------------------------------------
+    // Scrubbing
+    // ------------------------------------------------------------------
+
+    /// One budget-bounded scrub pass: verify NVM slots in index order,
+    /// then flash files in key order. Corrupt objects are repaired from
+    /// a surviving clean copy — a newer NVM version shadowing a corrupt
+    /// flash record, or the DRAM cache's last committed value — and
+    /// quarantined otherwise. Files containing corrupt records are
+    /// rewritten without them, so a later pass over the same data comes
+    /// back clean. A completed pass that found no corruption re-arms a
+    /// degraded partition.
+    pub(crate) fn scrub_pass(&mut self, budget_bytes: u64) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        let mut budget = budget_bytes.max(1);
+        let mut cost = Nanos::ZERO;
+        let mut cursor = self
+            .scrub_cursor
+            .take()
+            .unwrap_or(ScrubCursor::Nvm(Key::min()));
+
+        if let ScrubCursor::Nvm(start) = cursor.clone() {
+            let mut corrupt: Vec<Key> = Vec::new();
+            let mut resume: Option<Key> = None;
+            let mut nvm_bytes = 0u64;
+            for (key, entry) in self.index.range_from(&start) {
+                if budget == 0 {
+                    resume = Some(key.clone());
+                    break;
+                }
+                report.examined += 1;
+                let slot_bytes = match self.slab.peek(entry.addr) {
+                    Some(slot) => {
+                        if !slot.verify() {
+                            corrupt.push(key.clone());
+                        }
+                        slot.value.len() as u64 + 64
+                    }
+                    None => {
+                        // Dangling index entry: treat as corrupt.
+                        corrupt.push(key.clone());
+                        64
+                    }
+                };
+                nvm_bytes += slot_bytes;
+                report.examined_bytes += slot_bytes;
+                budget = budget.saturating_sub(slot_bytes);
+            }
+            if nvm_bytes > 0 {
+                cost += self.nvm_dev.read_sequential(nvm_bytes);
+            }
+            for key in corrupt {
+                report.corrupt_found += 1;
+                self.note_checksum_failure();
+                // Drop the corrupt slot before attempting a repair.
+                if let Some(entry) = self.index.get(&key).copied() {
+                    let _ = self.slab.remove(entry.addr);
+                    self.index.remove(&key);
+                    self.buckets.on_nvm_remove(key.id());
+                }
+                self.scrub_repair_or_quarantine(key, &mut report, &mut cost);
+            }
+            match resume {
+                Some(key) => {
+                    return self.finish_scrub_pass(report, cost, Some(ScrubCursor::Nvm(key)));
+                }
+                None => cursor = ScrubCursor::Flash(Key::min()),
+            }
+        }
+
+        let ScrubCursor::Flash(start) = cursor else {
+            unreachable!("the NVM phase either returned or advanced the cursor to flash");
+        };
+        // Snapshot the file set: rebuilds below swap files out of the
+        // log mid-walk.
+        let files: Vec<Arc<SstFile>> = self
+            .log
+            .files()
+            .iter()
+            .filter(|f| f.min_key() >= &start)
+            .cloned()
+            .collect();
+        for file in files {
+            if budget == 0 {
+                return self.finish_scrub_pass(
+                    report,
+                    cost,
+                    Some(ScrubCursor::Flash(file.min_key().clone())),
+                );
+            }
+            let bytes = file.size_bytes();
+            report.examined += file.iter().count() as u64;
+            report.examined_bytes += bytes;
+            budget = budget.saturating_sub(bytes);
+            cost += self.flash_dev.read_sequential(bytes);
+            let corrupt = file.corrupt_keys();
+            if corrupt.is_empty() {
+                continue;
+            }
+            report.corrupt_found += corrupt.len() as u64;
+            // Rewrite the file without its corrupt records so the next
+            // pass over this range comes back clean.
+            let keep: Vec<(Key, SstEntry)> =
+                file.iter().filter(|(_, e)| e.verify()).cloned().collect();
+            let mut builder =
+                SstBuilder::new(self.manifest.allocate_file_id()).for_partition(self.id);
+            for (k, e) in keep {
+                builder.add(k, e);
+            }
+            let mut new_files: Vec<Arc<SstFile>> = Vec::new();
+            if !builder.is_empty() {
+                let (rebuilt, c) = builder.finish(&self.flash_dev);
+                cost += c;
+                new_files.push(Arc::new(rebuilt));
+            }
+            let old_id = file.id();
+            if self.manifest.remove_file(old_id).is_ok() {
+                let _ = self.log.install(&[old_id], new_files.clone());
+                for f in &new_files {
+                    let _ = self.manifest.add_file(f.clone());
+                }
+                self.manifest.collect_garbage(&self.flash_dev);
+            }
+            for key in corrupt {
+                self.note_checksum_failure();
+                if self.index.contains_key(&key) {
+                    // A newer NVM version shadows the corrupt record:
+                    // dropping it from the rebuilt file *is* the repair.
+                    report.repaired += 1;
+                    self.integrity.scrub_repairs += 1;
+                } else {
+                    self.scrub_repair_or_quarantine(key, &mut report, &mut cost);
+                }
+            }
+        }
+        self.finish_scrub_pass(report, cost, None)
+    }
+
+    /// Repair a corrupt object by re-inserting the DRAM cache's last
+    /// committed value (writes invalidate the cache, so a surviving
+    /// entry is exactly the newest committed version), or quarantine it
+    /// when no clean copy exists.
+    fn scrub_repair_or_quarantine(&mut self, key: Key, report: &mut ScrubReport, cost: &mut Nanos) {
+        let cached = self.lock_cache().get(&key);
+        if let Some(value) = cached {
+            let ts = self.seq.allocate();
+            if let Ok((addr, c)) = self.slab.insert(key.clone(), value, ts) {
+                *cost += c;
+                self.index.insert(
+                    key.clone(),
+                    IndexEntry {
+                        addr,
+                        timestamp: ts,
+                        tombstone: false,
+                    },
+                );
+                self.buckets.on_nvm_insert(key.id());
+                self.quarantined.remove(&key.id());
+                report.repaired += 1;
+                self.integrity.scrub_repairs += 1;
+                return;
+            }
+        }
+        if self.quarantined.insert(key.id()) {
+            self.integrity.quarantined_objects += 1;
+        }
+        report.quarantined += 1;
+        self.maybe_degrade();
+    }
+
+    /// Book-keep the end of a scrub pass: park (or clear) the resume
+    /// cursor, charge the IO to the partition's background timeline, and
+    /// re-arm a degraded partition after a completed clean pass.
+    fn finish_scrub_pass(
+        &mut self,
+        mut report: ScrubReport,
+        cost: Nanos,
+        cursor: Option<ScrubCursor>,
+    ) -> ScrubReport {
+        report.completed = cursor.is_none();
+        self.scrub_cursor = cursor;
+        if !cost.is_zero() {
+            self.busy_until = self.busy_until.max(self.fg()) + cost;
+        }
+        if report.completed {
+            self.integrity.scrub_passes += 1;
+            if report.corrupt_found == 0 {
+                self.integrity.scrub_clean_passes += 1;
+                if self.health == PartitionHealth::Degraded {
+                    self.health = PartitionHealth::Healthy;
+                    self.integrity.degraded_recovered += 1;
+                }
+            }
+        }
+        report
     }
 }
 

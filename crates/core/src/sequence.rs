@@ -21,7 +21,7 @@
 //! the snapshot correctly sees the *new* version and needs no undo).
 //! Either way no snapshot ever loses a version it was entitled to.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -31,6 +31,19 @@ pub(crate) struct CommitSequencer {
     counter: AtomicU64,
     /// pinned sequence -> number of live snapshots pinned at it.
     pins: Mutex<BTreeMap<u64, usize>>,
+    /// Sequences whose pins were force-expired (snapshot-cap
+    /// enforcement): their handles observe `SnapshotExpired` instead of
+    /// silently reading freed history. An expired sequence can never be
+    /// re-pinned — expiry requires the counter to have advanced past it,
+    /// and new pins always pin the current counter — so membership is
+    /// permanent and unambiguous. The set grows by one entry per expiry
+    /// event, which is bounded by the configured caps in practice.
+    expired: Mutex<HashSet<u64>>,
+    /// Total bytes of superseded-version history preserved across all
+    /// partitions for the live pins (partitions add on preserve, subtract
+    /// on prune/clear). The engine's snapshot-cap enforcement reads this
+    /// without touching any partition lock.
+    history_bytes: AtomicU64,
 }
 
 impl CommitSequencer {
@@ -95,6 +108,64 @@ impl CommitSequencer {
     pub(crate) fn active_pins(&self) -> u64 {
         self.lock().values().map(|c| *c as u64).sum()
     }
+
+    /// The oldest pinned sequence, if any snapshot is live.
+    pub(crate) fn oldest_pin(&self) -> Option<u64> {
+        self.lock().keys().next().copied()
+    }
+
+    /// Force-expire every pin at the oldest pinned sequence (snapshot-cap
+    /// enforcement): the pins are dropped from the registry and the
+    /// sequence is recorded as expired, so their handles fail with
+    /// `SnapshotExpired` instead of reading history that is about to be
+    /// freed. Returns `(sequence, pin_count)` or `None` with no pins.
+    pub(crate) fn expire_oldest(&self) -> Option<(u64, u64)> {
+        let mut pins = self.lock();
+        let (&seq, &count) = pins.iter().next()?;
+        pins.remove(&seq);
+        drop(pins);
+        self.expired
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .insert(seq);
+        Some((seq, count as u64))
+    }
+
+    /// Whether a pinned sequence was force-expired.
+    pub(crate) fn is_expired(&self, seq: u64) -> bool {
+        self.expired
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .contains(&seq)
+    }
+
+    /// Record history bytes preserved for pinned snapshots.
+    pub(crate) fn add_history_bytes(&self, bytes: u64) {
+        self.history_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record history bytes freed by a prune or clear.
+    pub(crate) fn sub_history_bytes(&self, bytes: u64) {
+        // Saturate rather than wrap if accounting ever drifts.
+        let mut current = self.history_bytes.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(bytes);
+            match self.history_bytes.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Total preserved-history bytes across all partitions.
+    pub(crate) fn history_bytes(&self) -> u64 {
+        self.history_bytes.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -136,6 +207,42 @@ mod tests {
         seq.advance_past(50);
         assert_eq!(seq.current(), 100);
         assert!(seq.allocate() > 100);
+    }
+
+    #[test]
+    fn expiring_the_oldest_pin_drops_it_and_marks_it_expired() {
+        let seq = CommitSequencer::new();
+        seq.allocate();
+        let old = seq.pin();
+        seq.allocate();
+        seq.allocate();
+        let new = seq.pin();
+        assert!(new > old);
+        let (expired_seq, count) = seq.expire_oldest().expect("a pin exists");
+        assert_eq!(expired_seq, old);
+        assert_eq!(count, 1);
+        assert!(seq.is_expired(old));
+        assert!(!seq.is_expired(new));
+        assert_eq!(seq.oldest_pin(), Some(new));
+        // Releasing an expired handle is a harmless no-op.
+        seq.release(old);
+        assert_eq!(seq.active_pins(), 1);
+        assert_eq!(seq.expire_oldest(), Some((new, 1)));
+        assert_eq!(seq.oldest_pin(), None);
+        assert!(seq.expire_oldest().is_none());
+    }
+
+    #[test]
+    fn history_byte_accounting_saturates() {
+        let seq = CommitSequencer::new();
+        assert_eq!(seq.history_bytes(), 0);
+        seq.add_history_bytes(100);
+        seq.add_history_bytes(50);
+        assert_eq!(seq.history_bytes(), 150);
+        seq.sub_history_bytes(100);
+        assert_eq!(seq.history_bytes(), 50);
+        seq.sub_history_bytes(500);
+        assert_eq!(seq.history_bytes(), 0);
     }
 
     #[test]

@@ -46,6 +46,8 @@ pub(crate) enum RequestKind {
     Demote,
     /// Read-triggered promotion compaction.
     Promote,
+    /// Integrity scrub walk (corruption detected, or periodic repair).
+    Scrub,
 }
 
 /// Queued/in-flight flags per partition (dedup: at most one queued request
@@ -54,6 +56,7 @@ pub(crate) enum RequestKind {
 struct Pending {
     demote_queued: bool,
     promote_queued: bool,
+    scrub_queued: bool,
     inflight: bool,
 }
 
@@ -131,6 +134,7 @@ impl Scheduler {
         let already = match req.kind {
             RequestKind::Demote => pending.demote_queued,
             RequestKind::Promote => pending.promote_queued,
+            RequestKind::Scrub => pending.scrub_queued,
         };
         if already {
             return;
@@ -138,6 +142,7 @@ impl Scheduler {
         match req.kind {
             RequestKind::Demote => pending.demote_queued = true,
             RequestKind::Promote => pending.promote_queued = true,
+            RequestKind::Scrub => pending.scrub_queued = true,
         }
         state.queue.push_back(req);
         let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
@@ -169,6 +174,7 @@ impl Scheduler {
                     match req.kind {
                         RequestKind::Demote => pending.demote_queued = false,
                         RequestKind::Promote => pending.promote_queued = false,
+                        RequestKind::Scrub => pending.scrub_queued = false,
                     }
                     pending.inflight = true;
                     state.inflight += 1;
@@ -364,6 +370,25 @@ fn run_promotion(shared: &EngineShared, req: JobRequest) {
     sched.bump_generation();
 }
 
+/// Run one budgeted scrub slice and keep the pass going: a parked cursor
+/// (budget exhausted mid-walk) or a completed pass that still found
+/// corruption re-enqueues, so the partition keeps scrubbing until a full
+/// pass comes back clean (which re-arms a degraded partition).
+fn run_scrub(shared: &EngineShared, req: JobRequest) {
+    let sched = shared.scheduler();
+    let budget = shared.options.scrub_io_budget_bytes.max(1);
+    let report = shared.write_partition(req.partition).scrub_pass(budget);
+    sched.bump_generation();
+    if !report.completed || report.corrupt_found > 0 {
+        let fg = shared.read_partition(req.partition).fg();
+        sched.enqueue(JobRequest {
+            partition: req.partition,
+            kind: RequestKind::Scrub,
+            trigger_fg: fg,
+        });
+    }
+}
+
 /// Clears a partition's in-flight flag (and wakes waiters) when dropped,
 /// so even a panicking job cannot leave the partition permanently marked
 /// busy — which would silently disable background compaction for it.
@@ -392,6 +417,7 @@ pub(crate) fn worker_loop(shared: Arc<EngineShared>, worker_id: usize) {
         match req.kind {
             RequestKind::Demote => run_demotions(&shared, req),
             RequestKind::Promote => run_promotion(&shared, req),
+            RequestKind::Scrub => run_scrub(&shared, req),
         }
         drop(finish);
         // Requests raised while this partition was in flight were deduped

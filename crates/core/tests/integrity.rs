@@ -1,0 +1,343 @@
+//! End-to-end integrity batteries: targeted fault injection must be
+//! detected 100% of the time, corruption must quarantine (never
+//! resurrect), degraded partitions must serve reads / refuse writes /
+//! re-arm after a clean scrub, and a stuck snapshot pin must not grow
+//! history without bound.
+
+use std::sync::Arc;
+
+use prism_db::{
+    FaultMode, FaultOp, FaultPlan, FaultTier, Options, PartitionHealth, PrismDb, TargetedFault,
+};
+use prism_types::{ConcurrentKvStore, Key, PrismError, Value};
+
+fn faulted_db(partitions: usize, plan: &Arc<FaultPlan>, threshold: u64) -> PrismDb {
+    let mut options = Options::scaled_default(512);
+    options.num_partitions = partitions;
+    options.fault_plan = Some(Arc::clone(plan));
+    options.corruption_quarantine_threshold = threshold;
+    PrismDb::open(options).expect("valid options")
+}
+
+fn arm_nvm_write_flip(plan: &FaultPlan) {
+    plan.arm(TargetedFault {
+        tier: FaultTier::Nvm,
+        partition: None,
+        op: FaultOp::Write,
+        mode: FaultMode::BitFlip,
+    });
+}
+
+/// The CI chaos gate: every deliberately injected NVM bit flip must be
+/// caught by a slab checksum on the very next read of that key — a 100%
+/// detection rate, not a statistical one.
+#[test]
+fn every_injected_nvm_bit_flip_is_detected() {
+    const FLIPS: u64 = 32;
+    let plan = Arc::new(FaultPlan::new(0xB17));
+    // Threshold above FLIPS: the battery measures detection, not
+    // degradation, so the partition must keep serving.
+    let db = faulted_db(2, &plan, FLIPS + 1);
+
+    for id in 0..FLIPS {
+        arm_nvm_write_flip(&plan);
+        db.put(Key::from_id(id), Value::filled(300, id as u8))
+            .expect("a bit flip is silent at write time");
+    }
+    assert_eq!(plan.snapshot().bit_flips, FLIPS, "every armed flip fired");
+
+    for id in 0..FLIPS {
+        let err = db.get(&Key::from_id(id)).expect_err("flip must be caught");
+        assert!(
+            matches!(err, PrismError::Corruption(_)),
+            "key {id} surfaced {err} instead of Corruption"
+        );
+    }
+    let snap = plan.snapshot();
+    assert!(
+        snap.detected >= FLIPS,
+        "only {} of {FLIPS} injected flips were detected",
+        snap.detected
+    );
+    let stats = ConcurrentKvStore::stats(&db);
+    assert!(stats.integrity.checksum_failures >= FLIPS);
+    assert_eq!(db.quarantined_object_count() as u64, FLIPS);
+}
+
+/// Bit flips injected while records are demoted to flash are all caught:
+/// a full scrub pass finds every corrupt SST record, and no probe ever
+/// returns damaged bytes.
+#[test]
+fn every_injected_flash_bit_flip_is_detected() {
+    const FLIPS: u64 = 3;
+    const KEYS: u64 = 200;
+    let plan = Arc::new(FaultPlan::new(0xF1A5));
+    let mut options = Options::scaled_default(KEYS);
+    options.num_partitions = 1;
+    // NVM far smaller than the dataset: inline demotions must run.
+    options.nvm_capacity_bytes = 32 * 1024;
+    options.nvm_profile.capacity_bytes = 32 * 1024;
+    options.sst_target_bytes = 8 * 1024;
+    options.compaction.bucket_size_keys = 64;
+    options.fault_plan = Some(Arc::clone(&plan));
+    options.corruption_quarantine_threshold = 100;
+    let db = PrismDb::open(options).expect("valid options");
+
+    for id in 0..KEYS {
+        db.put(Key::from_id(id), Value::filled(600, id as u8))
+            .expect("clean warm-up writes");
+    }
+    for _ in 0..FLIPS {
+        plan.arm(TargetedFault {
+            tier: FaultTier::Flash,
+            partition: None,
+            op: FaultOp::Write,
+            mode: FaultMode::BitFlip,
+        });
+    }
+    // Overwrite everything once more: the armed flips fire inside the
+    // demotion SST writes this churn forces.
+    for id in 0..KEYS {
+        db.put(Key::from_id(id), Value::filled(600, (id + 1) as u8))
+            .expect("writes stay silent under flash write flips");
+    }
+    assert_eq!(plan.snapshot().bit_flips, FLIPS, "every armed flip fired");
+
+    // Under churn a flipped record can also be *superseded*: a later
+    // compaction merges a newer version over it and drops the damaged
+    // record unread, so it never persists and there is nothing left to
+    // detect. The engine contract is therefore: every flip is either
+    // detected (install-time verify or scrub) or provably gone — after a
+    // full scrub no corrupt record survives anywhere.
+    let report = db.scrub();
+    assert!(report.completed);
+    let second = db.scrub();
+    assert_eq!(
+        second.corrupt_found, 0,
+        "a corrupt record survived scrubbing (first report {report:?})"
+    );
+    let snap = plan.snapshot();
+    assert!(
+        snap.detected >= 1,
+        "no flash flip was ever caught (report {report:?})"
+    );
+
+    // And no probe anywhere returns damaged bytes.
+    for id in 0..KEYS {
+        match db.get(&Key::from_id(id)) {
+            Ok(lookup) => {
+                let value = lookup.value.expect("no deletes in this battery");
+                assert_eq!(value, Value::filled(600, (id + 1) as u8), "key {id}");
+            }
+            Err(PrismError::Corruption(_)) => {}
+            Err(err) => panic!("key {id} surfaced {err}"),
+        }
+    }
+}
+
+/// The quarantine -> degraded -> scrub -> healthy lifecycle: a degraded
+/// partition keeps serving clean reads, refuses writes with the
+/// retryable `Degraded` error, re-arms after a clean scrub pass, and a
+/// rewrite of a quarantined key heals it.
+#[test]
+fn degraded_partition_serves_reads_refuses_writes_and_rearms() {
+    let plan = Arc::new(FaultPlan::new(0xDE6));
+    let db = faulted_db(1, &plan, 2);
+
+    db.put(Key::from_id(1), Value::filled(100, 1)).unwrap();
+    for id in [2u64, 3] {
+        arm_nvm_write_flip(&plan);
+        db.put(Key::from_id(id), Value::filled(100, id as u8))
+            .unwrap();
+    }
+    for id in [2u64, 3] {
+        assert!(matches!(
+            db.get(&Key::from_id(id)),
+            Err(PrismError::Corruption(_))
+        ));
+    }
+    assert_eq!(db.partition_health(0), PartitionHealth::Degraded);
+
+    // Reads of clean keys still land; writes are refused retryably.
+    assert_eq!(
+        db.get(&Key::from_id(1)).unwrap().value,
+        Some(Value::filled(100, 1))
+    );
+    match db.put(Key::from_id(4), Value::filled(100, 4)) {
+        Err(PrismError::Degraded { partition }) => assert_eq!(partition, 0),
+        other => panic!("degraded write returned {other:?}"),
+    }
+    // Scans skip the quarantined keys instead of erroring.
+    let entries = db.scan(&Key::from_id(0), 16).unwrap().entries;
+    assert_eq!(entries.len(), 1, "only the clean key is visible");
+    assert_eq!(entries[0].0.id(), 1);
+
+    // The quarantined slots were dropped, so the next full scrub pass is
+    // clean and re-arms the partition.
+    let report = db.scrub();
+    assert_eq!(report.corrupt_found, 0);
+    assert_eq!(db.partition_health(0), PartitionHealth::Healthy);
+    db.put(Key::from_id(4), Value::filled(100, 4))
+        .expect("healthy again");
+
+    // A rewrite supersedes the quarantine sentinel entirely.
+    db.put(Key::from_id(2), Value::filled(100, 22)).unwrap();
+    assert_eq!(
+        db.get(&Key::from_id(2)).unwrap().value,
+        Some(Value::filled(100, 22))
+    );
+
+    let stats = ConcurrentKvStore::stats(&db);
+    assert_eq!(stats.integrity.degraded_entered, 1);
+    assert_eq!(stats.integrity.degraded_recovered, 1);
+    assert!(stats.integrity.degraded_write_refusals >= 1);
+    assert_eq!(stats.integrity.degraded_partitions, 0);
+}
+
+/// Crash recovery over a slab holding a corrupt slot quarantines the key
+/// rather than resurrecting any version of it — neither the damaged
+/// bytes nor a stale clean sibling may come back.
+#[test]
+fn recovery_over_a_corrupted_slab_quarantines_not_resurrects() {
+    let plan = Arc::new(FaultPlan::new(0xEC0));
+    let db = faulted_db(1, &plan, 16);
+
+    db.put(Key::from_id(1), Value::filled(200, 1)).unwrap();
+    db.put(Key::from_id(2), Value::filled(200, 2)).unwrap();
+    // Overwrite key 1 with a silently-corrupted version.
+    arm_nvm_write_flip(&plan);
+    db.put(Key::from_id(1), Value::filled(200, 11)).unwrap();
+
+    db.crash_and_recover();
+
+    // The corrupt key is quarantined: reads error, they do not serve the
+    // damaged new version or resurrect the superseded old one.
+    assert!(matches!(
+        db.get(&Key::from_id(1)),
+        Err(PrismError::Corruption(_))
+    ));
+    // The untouched sibling survived recovery.
+    assert_eq!(
+        db.get(&Key::from_id(2)).unwrap().value,
+        Some(Value::filled(200, 2))
+    );
+    // Scans skip the quarantined key.
+    let entries = db.scan(&Key::from_id(0), 16).unwrap().entries;
+    assert_eq!(entries.len(), 1);
+    assert_eq!(entries[0].0.id(), 2);
+    assert!(db.quarantined_object_count() >= 1);
+
+    // A fresh write heals it.
+    db.put(Key::from_id(1), Value::filled(200, 111)).unwrap();
+    assert_eq!(
+        db.get(&Key::from_id(1)).unwrap().value,
+        Some(Value::filled(200, 111))
+    );
+    assert_eq!(db.quarantined_object_count(), 0);
+}
+
+/// In background mode a corruption-triggered scrub request re-arms the
+/// degraded partition without any foreground help.
+#[test]
+fn background_scrubber_rearms_a_degraded_partition() {
+    let plan = Arc::new(FaultPlan::new(0xBC6));
+    let mut options = Options::scaled_default(512);
+    options.num_partitions = 1;
+    options.compaction_workers = 1;
+    options.fault_plan = Some(Arc::clone(&plan));
+    options.corruption_quarantine_threshold = 1;
+    let db = PrismDb::open(options).expect("valid options");
+
+    db.put(Key::from_id(1), Value::filled(100, 1)).unwrap();
+    arm_nvm_write_flip(&plan);
+    db.put(Key::from_id(2), Value::filled(100, 2)).unwrap();
+    assert!(matches!(
+        db.get(&Key::from_id(2)),
+        Err(PrismError::Corruption(_))
+    ));
+    // The failed read queued a scrub job; the worker pool's clean pass
+    // must flip the partition back to healthy on its own.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        if db.partition_health(0) == PartitionHealth::Healthy {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "background scrub never re-armed the partition"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let stats = ConcurrentKvStore::stats(&db);
+    assert!(stats.integrity.scrub_passes >= 1);
+    assert!(stats.integrity.degraded_recovered >= 1);
+}
+
+/// Satellite regression: a stuck snapshot pin cannot hold unbounded
+/// history. Exceeding `max_history_bytes` force-expires the oldest pin,
+/// caps DRAM held by superseded versions, and the abandoned handle
+/// surfaces `SnapshotExpired`.
+#[test]
+fn a_stuck_pin_cannot_grow_history_unboundedly() {
+    const CAP: u64 = 32 * 1024;
+    let mut options = Options::scaled_default(512);
+    options.num_partitions = 2;
+    options.max_history_bytes = CAP;
+    let db = PrismDb::open(options).expect("valid options");
+    let key = Key::from_id(7);
+    db.put(key.clone(), Value::filled(1024, 0)).unwrap();
+
+    let pin = db.snapshot().expect("pin");
+    assert_eq!(db.active_snapshots(), 1);
+    // A stuck reader while a hot key churns: unbounded history would
+    // retain ~100 KiB here. One entry of slack covers the version that
+    // trips the cap before enforcement runs.
+    for round in 0..100u64 {
+        db.put(key.clone(), Value::filled(1024, round as u8))
+            .unwrap();
+        assert!(
+            db.snapshot_history_bytes() <= CAP + 2048,
+            "history grew to {} bytes under a {} byte cap",
+            db.snapshot_history_bytes(),
+            CAP
+        );
+    }
+    assert_eq!(db.active_snapshots(), 0, "the stuck pin was force-expired");
+    assert!(matches!(
+        db.snapshot_get(pin, &key),
+        Err(PrismError::SnapshotExpired)
+    ));
+    let stats = ConcurrentKvStore::stats(&db);
+    assert_eq!(stats.integrity.snapshots_expired, 1);
+
+    // Fresh pins still work after the expiry.
+    let pin2 = db.snapshot().expect("pin");
+    assert_eq!(
+        db.snapshot_get(pin2, &key).unwrap(),
+        Some(Value::filled(1024, 99))
+    );
+    db.release_snapshot(pin2);
+}
+
+/// Same cap family, age-based: a pin older than `max_pin_age_ops`
+/// commits is aborted even if its history footprint is small.
+#[test]
+fn an_overaged_pin_is_expired_by_the_op_cap() {
+    let mut options = Options::scaled_default(512);
+    options.num_partitions = 2;
+    options.max_pin_age_ops = 50;
+    let db = PrismDb::open(options).expect("valid options");
+    let pin = db.snapshot().expect("pin");
+    // Distinct keys: no version is superseded, history stays empty, only
+    // the age cap can trip.
+    for id in 0..60u64 {
+        db.put(Key::from_id(id), Value::filled(64, id as u8))
+            .unwrap();
+    }
+    assert!(matches!(
+        db.snapshot_scan(pin, &Key::from_id(0), 10),
+        Err(PrismError::SnapshotExpired)
+    ));
+    assert_eq!(db.active_snapshots(), 0);
+    assert_eq!(ConcurrentKvStore::stats(&db).integrity.snapshots_expired, 1);
+}

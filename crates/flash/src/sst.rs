@@ -2,7 +2,8 @@
 
 use std::sync::Arc;
 
-use prism_storage::Device;
+use prism_storage::{Device, FaultTier, InjectedFault};
+use prism_types::checksum::Crc32;
 use prism_types::{Key, Nanos, Value};
 
 use crate::bloom::BloomFilter;
@@ -23,14 +24,20 @@ pub struct SstEntry {
     pub value: Option<Value>,
     /// Logical timestamp of the version.
     pub timestamp: u64,
+    /// CRC32 over the timestamp, tombstone flag, value length and value
+    /// bytes, written with the record and re-verified on every probe,
+    /// range read, recovery scan and compaction execute.
+    pub checksum: u32,
 }
 
 impl SstEntry {
     /// A live value entry.
     pub fn value(value: Value, timestamp: u64) -> Self {
+        let checksum = SstEntry::compute_checksum(Some(&value), timestamp);
         SstEntry {
             value: Some(value),
             timestamp,
+            checksum,
         }
     }
 
@@ -39,7 +46,28 @@ impl SstEntry {
         SstEntry {
             value: None,
             timestamp,
+            checksum: SstEntry::compute_checksum(None, timestamp),
         }
+    }
+
+    /// The CRC32 a record with this content must carry.
+    pub fn compute_checksum(value: Option<&Value>, timestamp: u64) -> u32 {
+        let mut crc = Crc32::new();
+        crc.update_u64(timestamp);
+        match value {
+            Some(v) => {
+                crc.update_u64(1 + v.len() as u64);
+                crc.update(v.as_bytes());
+            }
+            None => crc.update_u64(0),
+        }
+        crc.finish()
+    }
+
+    /// True when the stored checksum still matches the record content —
+    /// false after a bit flip or a torn write truncated the value.
+    pub fn verify(&self) -> bool {
+        self.checksum == SstEntry::compute_checksum(self.value.as_ref(), self.timestamp)
     }
 
     /// True if this entry is a tombstone.
@@ -59,6 +87,9 @@ struct BlockMeta {
     start: usize,
     len: usize,
     bytes: u64,
+    /// CRC32 chaining the record checksums of the block, written in the
+    /// block trailer and verified by [`SstFile::verify_integrity`].
+    checksum: u32,
 }
 
 /// Result of probing an SST file for a key.
@@ -77,6 +108,10 @@ pub struct BlockProbe {
     /// Bytes of data block that had to be read from flash (0 when the bloom
     /// filter rejected the key).
     pub data_block_bytes: u64,
+    /// True when the key was found but its record failed the checksum;
+    /// `entry` is withheld (`None`) so corrupt bytes are never served —
+    /// the caller must surface `PrismError::Corruption` instead.
+    pub corrupt: bool,
 }
 
 /// An immutable sorted file of key-value entries, made of ~4 KB blocks with
@@ -88,6 +123,12 @@ pub struct SstFile {
     blocks: Vec<BlockMeta>,
     bloom: BloomFilter,
     total_bytes: u64,
+    min_key: Key,
+    max_key: Key,
+    /// CRC32 of the file footer: chains every block checksum plus the
+    /// file id and size, so metadata damage is detected before any block
+    /// is trusted.
+    footer_checksum: u32,
 }
 
 impl SstFile {
@@ -96,14 +137,59 @@ impl SstFile {
         self.id
     }
 
-    /// Smallest key in the file.
+    /// Smallest key in the file (recorded in the footer at build time, so
+    /// no panic path even if the entry vector were damaged).
     pub fn min_key(&self) -> &Key {
-        &self.entries.first().expect("SST files are never empty").0
+        &self.min_key
     }
 
     /// Largest key in the file.
     pub fn max_key(&self) -> &Key {
-        &self.entries.last().expect("SST files are never empty").0
+        &self.max_key
+    }
+
+    fn compute_footer_checksum(id: FileId, total_bytes: u64, blocks: &[BlockMeta]) -> u32 {
+        let mut crc = Crc32::new();
+        crc.update_u64(id);
+        crc.update_u64(total_bytes);
+        crc.update_u64(blocks.len() as u64);
+        for block in blocks {
+            crc.update_u32(block.checksum);
+        }
+        crc.finish()
+    }
+
+    fn compute_block_checksum(entries: &[(Key, SstEntry)]) -> u32 {
+        let mut crc = Crc32::new();
+        for (key, entry) in entries {
+            crc.update_u64(key.id());
+            crc.update_u32(entry.checksum);
+        }
+        crc.finish()
+    }
+
+    /// Walk every record and return the keys whose checksums fail.
+    ///
+    /// Used by the recovery scan and the scrubber; the per-read hot path
+    /// only verifies the record it serves.
+    pub fn corrupt_keys(&self) -> Vec<Key> {
+        self.entries
+            .iter()
+            .filter(|(_, entry)| !entry.verify())
+            .map(|(key, _)| key.clone())
+            .collect()
+    }
+
+    /// True when footer, block trailers and every record all pass their
+    /// checksums.
+    pub fn verify_integrity(&self) -> bool {
+        self.footer_checksum
+            == SstFile::compute_footer_checksum(self.id, self.total_bytes, &self.blocks)
+            && self.blocks.iter().all(|block| {
+                let slice = &self.entries[block.start..block.start + block.len];
+                SstFile::compute_block_checksum(slice) == block.checksum
+            })
+            && self.corrupt_keys().is_empty()
     }
 
     /// Number of entries in the file.
@@ -144,6 +230,7 @@ impl SstFile {
                 entry: None,
                 may_contain: false,
                 data_block_bytes: 0,
+                corrupt: false,
             };
         }
         // Find the block whose first key is <= key.
@@ -153,6 +240,7 @@ impl SstFile {
                     entry: None,
                     may_contain: true,
                     data_block_bytes: 0,
+                    corrupt: false,
                 }
             }
             n => n - 1,
@@ -163,10 +251,14 @@ impl SstFile {
             .binary_search_by(|(k, _)| k.cmp(key))
             .ok()
             .map(|i| slice[i].1.clone());
+        // Verify the record before serving it: a failed checksum is
+        // reported as corruption, never returned as data.
+        let corrupt = entry.as_ref().map(|e| !e.verify()).unwrap_or(false);
         BlockProbe {
-            entry,
+            entry: if corrupt { None } else { entry },
             may_contain: true,
             data_block_bytes: block.bytes,
+            corrupt,
         }
     }
 
@@ -198,6 +290,7 @@ pub struct SstBuilder {
     id: FileId,
     entries: Vec<(Key, SstEntry)>,
     bytes: u64,
+    partition: usize,
 }
 
 impl SstBuilder {
@@ -207,7 +300,15 @@ impl SstBuilder {
             id,
             entries: Vec::new(),
             bytes: 0,
+            partition: 0,
         }
+    }
+
+    /// Tag the builder with the owning partition, giving the device's
+    /// fault plan (if any) its targeting context.
+    pub fn for_partition(mut self, partition: usize) -> Self {
+        self.partition = partition;
+        self
     }
 
     /// Append an entry. Keys must be added in strictly ascending order.
@@ -247,41 +348,84 @@ impl SstBuilder {
     /// Panics if no entries were added; callers must not create empty SSTs.
     pub fn finish(self, device: &Arc<Device>) -> (SstFile, Nanos) {
         assert!(!self.entries.is_empty(), "cannot build an empty SST file");
+        let mut entries = self.entries;
+
+        // Write-path fault injection: corrupt stored bytes *after* each
+        // record's checksum was computed, so a later probe or scan sees
+        // content that no longer matches its checksum. Block and footer
+        // checksums are computed over the (possibly damaged) stored
+        // records, mirroring a trailer written from the same buffer the
+        // media tore — record-level checksums carry the detection.
+        if let Some(plan) = device.fault_plan() {
+            for (_, entry) in entries.iter_mut() {
+                let payload = entry.value.as_ref().map_or(0, Value::len);
+                match plan.roll_corruption(FaultTier::Flash, self.partition, payload) {
+                    Some(InjectedFault::BitFlip { byte, bit }) => match &entry.value {
+                        Some(v) if !v.is_empty() => {
+                            let mut bytes = v.as_bytes().to_vec();
+                            let idx = byte % bytes.len();
+                            bytes[idx] ^= 1 << bit;
+                            entry.value = Some(Value::from_vec(bytes));
+                        }
+                        _ => entry.checksum ^= 1,
+                    },
+                    Some(InjectedFault::TornWrite { keep }) => match &entry.value {
+                        Some(v) if !v.is_empty() => {
+                            let keep = keep.min(v.len() - 1);
+                            entry.value = Some(Value::from_vec(v.as_bytes()[..keep].to_vec()));
+                        }
+                        _ => entry.checksum ^= 1,
+                    },
+                    _ => {}
+                }
+            }
+        }
+
         let mut blocks = Vec::new();
         let mut block_start = 0usize;
         let mut block_bytes = 0u64;
-        let mut bloom = BloomFilter::new(self.entries.len(), 10);
-        for (i, (key, entry)) in self.entries.iter().enumerate() {
+        let mut bloom = BloomFilter::new(entries.len(), 10);
+        for (i, (key, entry)) in entries.iter().enumerate() {
             bloom.add(key);
             let sz = entry.encoded_size(key) as u64;
             if block_bytes + sz > BLOCK_SIZE as u64 && i > block_start {
+                let slice = &entries[block_start..i];
                 blocks.push(BlockMeta {
-                    first_key: self.entries[block_start].0.clone(),
+                    first_key: entries[block_start].0.clone(),
                     start: block_start,
                     len: i - block_start,
                     bytes: block_bytes,
+                    checksum: SstFile::compute_block_checksum(slice),
                 });
                 block_start = i;
                 block_bytes = 0;
             }
             block_bytes += sz;
         }
+        let tail = &entries[block_start..];
         blocks.push(BlockMeta {
-            first_key: self.entries[block_start].0.clone(),
+            first_key: entries[block_start].0.clone(),
             start: block_start,
-            len: self.entries.len() - block_start,
+            len: entries.len() - block_start,
             bytes: block_bytes,
+            checksum: SstFile::compute_block_checksum(tail),
         });
         let total_bytes = self.bytes;
+        let footer_checksum = SstFile::compute_footer_checksum(self.id, total_bytes, &blocks);
+        let min_key = entries[0].0.clone();
+        let max_key = entries[entries.len() - 1].0.clone();
         let cost = device.write_sequential(total_bytes);
         device.allocate(total_bytes);
         (
             SstFile {
                 id: self.id,
-                entries: self.entries,
+                entries,
                 blocks,
                 bloom,
                 total_bytes,
+                min_key,
+                max_key,
+                footer_checksum,
             },
             cost,
         )
@@ -402,6 +546,75 @@ mod tests {
         assert_eq!(dev.counters().as_tier_io().bytes_written, expected_bytes);
         assert_eq!(dev.used_bytes(), expected_bytes);
         assert!(sst.metadata_bytes() > 0);
+    }
+
+    #[test]
+    fn clean_files_pass_integrity_and_probe_uncorrupted() {
+        let sst = build_file(&(0..300).collect::<Vec<_>>());
+        assert!(sst.verify_integrity());
+        assert!(sst.corrupt_keys().is_empty());
+        let probe = sst.probe(&Key::from_id(123));
+        assert!(!probe.corrupt);
+        assert!(probe.entry.unwrap().verify());
+    }
+
+    #[test]
+    fn injected_bit_flip_is_withheld_by_probe_and_listed() {
+        use prism_storage::{FaultMode, FaultOp, FaultPlan, FaultTier, TargetedFault};
+
+        let plan = Arc::new(FaultPlan::new(77));
+        let dev = Arc::new(Device::with_faults(
+            DeviceProfile::qlc_flash(1 << 30),
+            plan.clone(),
+            FaultTier::Flash,
+        ));
+        plan.arm(TargetedFault {
+            tier: FaultTier::Flash,
+            partition: Some(4),
+            op: FaultOp::Write,
+            mode: FaultMode::BitFlip,
+        });
+        let mut b = SstBuilder::new(8).for_partition(4);
+        for id in 0..50u64 {
+            b.add(Key::from_id(id), SstEntry::value(Value::filled(120, 7), id));
+        }
+        let (sst, _) = b.finish(&dev);
+        assert_eq!(plan.snapshot().bit_flips, 1);
+
+        let corrupt = sst.corrupt_keys();
+        assert_eq!(corrupt.len(), 1, "exactly one record was damaged");
+        assert!(!sst.verify_integrity());
+
+        let probe = sst.probe(&corrupt[0]);
+        assert!(probe.corrupt, "probe must flag the damaged record");
+        assert!(probe.entry.is_none(), "corrupt bytes are never served");
+        // Every other record still probes clean.
+        let clean_hits = (0..50u64)
+            .map(Key::from_id)
+            .filter(|k| *k != corrupt[0])
+            .filter(|k| {
+                let p = sst.probe(k);
+                !p.corrupt && p.entry.is_some()
+            })
+            .count();
+        assert_eq!(clean_hits, 49);
+    }
+
+    #[test]
+    fn entry_checksums_catch_every_single_bit_flip() {
+        let entry = SstEntry::value(Value::filled(32, 0xC3), 9);
+        for byte in 0..32 {
+            for bit in 0..8 {
+                let mut bytes = entry.value.as_ref().unwrap().as_bytes().to_vec();
+                bytes[byte] ^= 1 << bit;
+                let damaged = SstEntry {
+                    value: Some(Value::from_vec(bytes)),
+                    ..entry.clone()
+                };
+                assert!(!damaged.verify(), "byte {byte} bit {bit} undetected");
+            }
+        }
+        assert!(SstEntry::tombstone(4).verify());
     }
 
     #[test]

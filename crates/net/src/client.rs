@@ -3,9 +3,18 @@
 //! [`NetClient`] assigns request ids, keeps every unanswered request
 //! encoded for retransmission, and matches responses back by id in
 //! whatever order the server delivers them. Retryable refusals
-//! ([`Status::Backpressure`]) are resent transparently with a small
-//! backoff, so a caller using the blocking conveniences only ever sees
-//! requests that landed or failed for real.
+//! ([`Status::Backpressure`], [`Status::Degraded`]) are resent
+//! transparently with a small backoff, so a caller using the blocking
+//! conveniences only ever sees requests that landed or failed for real.
+//!
+//! A client built with [`NetClient::with_dialer`] additionally survives
+//! connection loss: on a failed read or write it re-dials with capped
+//! exponential backoff and replays exactly the unacknowledged frames
+//! (everything sent but not yet answered), in original send order. The
+//! semantics are at-least-once — a request whose response was in flight
+//! when the connection died is re-executed on the new connection, which
+//! is safe for this protocol's idempotent operations (last-writer-wins
+//! puts/deletes/batches, pure reads).
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -19,10 +28,15 @@ use crate::protocol::{
 use crate::transport::Conn;
 
 struct Pending {
-    /// The encoded frame, kept for back-pressure retransmission.
+    /// The encoded frame, kept for back-pressure retransmission and
+    /// replay after a reconnect.
     frame: Vec<u8>,
     retries: u32,
 }
+
+/// Re-dials the server after a connection loss. Called once per
+/// reconnect attempt; each call must produce a fresh connection.
+pub type Dialer = Box<dyn FnMut() -> std::io::Result<Conn> + Send>;
 
 /// A client connection speaking the wire protocol. Single-threaded by
 /// design: one client pipelines many requests on one connection; drive
@@ -35,17 +49,32 @@ pub struct NetClient {
     pending: HashMap<u64, Pending>,
     /// Responses received while waiting for a different id.
     received: HashMap<u64, Response>,
+    /// Re-dials the server on connection loss; `None` means a lost
+    /// connection is terminal ([`PrismError::Disconnected`]).
+    dialer: Option<Dialer>,
     /// Most transparent resends of one request before its back-pressure
     /// refusal is surfaced to the caller.
     pub max_retries: u32,
     /// Nap between a back-pressure refusal and the resend.
     pub retry_backoff: Duration,
+    /// Most consecutive failed dial attempts before a connection loss is
+    /// surfaced as [`PrismError::Disconnected`].
+    pub max_reconnect_attempts: u32,
+    /// Nap before the first reconnect attempt; doubles per failed
+    /// attempt up to [`Self::reconnect_backoff_cap`].
+    pub reconnect_backoff: Duration,
+    /// Ceiling for the exponential reconnect backoff.
+    pub reconnect_backoff_cap: Duration,
     /// Back-pressure refusals observed (including retried ones).
     pub backpressure_seen: u64,
+    /// Successful reconnects performed (each replays the unacked frames).
+    pub reconnects: u64,
 }
 
 impl NetClient {
-    /// Wrap an established connection.
+    /// Wrap an established connection. The client cannot reconnect; use
+    /// [`NetClient::with_dialer`] for a client that survives connection
+    /// loss.
     pub fn new(conn: Conn) -> NetClient {
         NetClient {
             reader: conn.reader,
@@ -54,9 +83,66 @@ impl NetClient {
             next_id: 1,
             pending: HashMap::new(),
             received: HashMap::new(),
+            dialer: None,
             max_retries: 10_000,
             retry_backoff: Duration::from_micros(100),
+            max_reconnect_attempts: 64,
+            reconnect_backoff: Duration::from_micros(500),
+            reconnect_backoff_cap: Duration::from_millis(50),
             backpressure_seen: 0,
+            reconnects: 0,
+        }
+    }
+
+    /// Dial the server and wrap the connection in a client that re-dials
+    /// on connection loss, replaying the unacknowledged frames.
+    ///
+    /// # Errors
+    ///
+    /// [`PrismError::Disconnected`] if the initial dial fails.
+    pub fn with_dialer(mut dialer: Dialer) -> Result<NetClient> {
+        let conn = dialer().map_err(|_| PrismError::Disconnected)?;
+        let mut client = NetClient::new(conn);
+        client.dialer = Some(dialer);
+        Ok(client)
+    }
+
+    /// Drop the current connection and re-dial with capped exponential
+    /// backoff, then replay every unacknowledged frame in original send
+    /// order. A replay failure counts as a failed attempt and re-dials.
+    fn reconnect_and_replay(&mut self) -> Result<()> {
+        if self.dialer.is_none() {
+            return Err(PrismError::Disconnected);
+        }
+        let mut backoff = self.reconnect_backoff;
+        let mut attempts = 0u32;
+        'dial: loop {
+            if attempts >= self.max_reconnect_attempts {
+                return Err(PrismError::Disconnected);
+            }
+            attempts += 1;
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(self.reconnect_backoff_cap);
+            let dialer = self.dialer.as_mut().expect("checked above");
+            let conn = match dialer() {
+                Ok(conn) => conn,
+                Err(_) => continue 'dial,
+            };
+            self.reader = conn.reader;
+            self.writer = conn.writer;
+            // The old stream died mid-frame for all we know; any
+            // buffered partial bytes belong to it, not the new one.
+            self.decoder = FrameDecoder::new();
+            let mut ids: Vec<u64> = self.pending.keys().copied().collect();
+            ids.sort_unstable();
+            for id in ids {
+                let frame = self.pending[&id].frame.clone();
+                if self.writer.write_all(&frame).is_err() {
+                    continue 'dial;
+                }
+            }
+            self.reconnects += 1;
+            return Ok(());
         }
     }
 
@@ -75,10 +161,14 @@ impl NetClient {
         let id = self.next_id;
         self.next_id += 1;
         let frame = encode_request(id, request)?;
-        self.writer
-            .write_all(&frame)
-            .map_err(|_| PrismError::Disconnected)?;
+        // Registered before the write so a reconnect replays it too.
         self.pending.insert(id, Pending { frame, retries: 0 });
+        if self.writer.write_all(&self.pending[&id].frame).is_err() {
+            if let Err(err) = self.reconnect_and_replay() {
+                self.pending.remove(&id);
+                return Err(err);
+            }
+        }
         Ok(id)
     }
 
@@ -94,7 +184,14 @@ impl NetClient {
             if let Some(response) = self.received.remove(&id) {
                 return Ok(response);
             }
-            let response = self.read_response()?;
+            let response = match self.read_response() {
+                Ok(response) => response,
+                Err(PrismError::Disconnected) => {
+                    self.reconnect_and_replay()?;
+                    continue;
+                }
+                Err(err) => return Err(err),
+            };
             let for_id = response.id;
             if response.status.is_retryable() {
                 self.backpressure_seen += 1;
@@ -103,9 +200,11 @@ impl NetClient {
                         pending.retries += 1;
                         let frame = pending.frame.clone();
                         std::thread::sleep(self.retry_backoff);
-                        self.writer
-                            .write_all(&frame)
-                            .map_err(|_| PrismError::Disconnected)?;
+                        if self.writer.write_all(&frame).is_err() {
+                            // The reconnect replays every pending frame,
+                            // this one included.
+                            self.reconnect_and_replay()?;
+                        }
                         continue;
                     }
                 }
@@ -160,6 +259,10 @@ impl NetClient {
             }),
             Status::ServerError => Err(PrismError::Io(response.message)),
             Status::ProtocolError => Err(PrismError::Protocol(response.message)),
+            // The wire does not carry the partition index; the message
+            // has it for humans, retry logic only needs the variant.
+            Status::Degraded => Err(PrismError::Degraded { partition: 0 }),
+            Status::Corruption => Err(PrismError::Corruption(response.message)),
         }
     }
 
@@ -245,6 +348,7 @@ impl std::fmt::Debug for NetClient {
         f.debug_struct("NetClient")
             .field("in_flight", &self.pending.len())
             .field("backpressure_seen", &self.backpressure_seen)
+            .field("reconnects", &self.reconnects)
             .finish()
     }
 }

@@ -22,6 +22,15 @@
 //!   refuses everything else with [`Status::ShuttingDown`]; no ticket is
 //!   ever stranded (observable via
 //!   [`server::NetServer::outstanding_tickets`]).
+//! - **Integrity.** Engine-side corruption surfaces as its own pair of
+//!   statuses: [`Status::Corruption`] is terminal for the request
+//!   (resending cannot make the data whole), while [`Status::Degraded`]
+//!   — a partition in read-only quarantine — is retryable, because a
+//!   background scrub pass re-arms the partition.
+//! - **Reconnect.** A client built with [`client::NetClient::with_dialer`]
+//!   survives connection loss: it re-dials with capped exponential
+//!   backoff and replays exactly the unacknowledged frames, giving
+//!   at-least-once semantics over the protocol's idempotent operations.
 //!
 //! # Example
 //!
@@ -46,13 +55,15 @@
 //! [`Status::ProtocolError`]: protocol::Status::ProtocolError
 //! [`Status::Backpressure`]: protocol::Status::Backpressure
 //! [`Status::ShuttingDown`]: protocol::Status::ShuttingDown
+//! [`Status::Corruption`]: protocol::Status::Corruption
+//! [`Status::Degraded`]: protocol::Status::Degraded
 
 pub mod client;
 pub mod protocol;
 pub mod server;
 pub mod transport;
 
-pub use client::NetClient;
+pub use client::{Dialer, NetClient};
 pub use protocol::{
     decode_request, decode_response, encode_request, encode_response, latency_class, FrameDecoder,
     Request, Response, ResponseBody, Status, MAX_FRAME,

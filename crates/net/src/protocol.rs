@@ -110,6 +110,15 @@ pub enum Status {
     /// The request frame was malformed. The offending frame was
     /// discarded; subsequent frames on the connection still execute.
     ProtocolError = 4,
+    /// The target partition is in degraded (read-only) mode after
+    /// corruption crossed its quarantine threshold. Retryable: a scrub
+    /// pass re-arms the partition, after which the same request lands.
+    Degraded = 5,
+    /// The engine detected data corruption serving this request (a
+    /// checksum mismatch, a quarantined object). Terminal for the
+    /// request — resending cannot make the data whole; the message
+    /// carries the tier/partition/slot context.
+    Corruption = 6,
 }
 
 impl Status {
@@ -120,13 +129,15 @@ impl Status {
             2 => Status::ShuttingDown,
             3 => Status::ServerError,
             4 => Status::ProtocolError,
+            5 => Status::Degraded,
+            6 => Status::Corruption,
             other => return Err(PrismError::Protocol(format!("unknown status byte {other}"))),
         })
     }
 
     /// True for statuses a client may transparently retry.
     pub fn is_retryable(self) -> bool {
-        matches!(self, Status::Backpressure)
+        matches!(self, Status::Backpressure | Status::Degraded)
     }
 }
 
@@ -705,11 +716,28 @@ mod tests {
             Response::refusal(6, opcode::BATCH, Status::ShuttingDown, "draining"),
             Response::refusal(7, opcode::GET, Status::ServerError, "capacity exceeded"),
             Response::refusal(8, opcode::PING, Status::ProtocolError, "bad frame"),
+            Response::refusal(9, opcode::PUT, Status::Degraded, "partition 2 read-only"),
+            Response::refusal(10, opcode::GET, Status::Corruption, "nvm checksum mismatch"),
         ];
         for response in cases {
             let frame = encode_response(&response).expect("encode");
             let got = decode_response(&frame[LEN_PREFIX..]).expect("decode");
             assert_eq!(got, response);
+        }
+    }
+
+    #[test]
+    fn only_backpressure_and_degraded_are_retryable() {
+        assert!(Status::Backpressure.is_retryable());
+        assert!(Status::Degraded.is_retryable());
+        for terminal in [
+            Status::Ok,
+            Status::ShuttingDown,
+            Status::ServerError,
+            Status::ProtocolError,
+            Status::Corruption,
+        ] {
+            assert!(!terminal.is_retryable(), "{terminal:?} must be terminal");
         }
     }
 

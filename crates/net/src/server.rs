@@ -109,6 +109,12 @@ impl InFlight {
             Err(PrismError::ShuttingDown) => {
                 Response::refusal(self.id, self.opcode, Status::ShuttingDown, "draining")
             }
+            Err(err @ PrismError::Degraded { .. }) => {
+                Response::refusal(self.id, self.opcode, Status::Degraded, err.to_string())
+            }
+            Err(err @ PrismError::Corruption(_)) => {
+                Response::refusal(self.id, self.opcode, Status::Corruption, err.to_string())
+            }
             Err(err) => {
                 Response::refusal(self.id, self.opcode, Status::ServerError, err.to_string())
             }
@@ -309,6 +315,14 @@ impl<E: ConcurrentKvStore + 'static> NetShared<E> {
                     Response::refusal(id, opcode, Status::ShuttingDown, "server draining"),
                 );
             }
+            Err(err @ PrismError::Degraded { .. }) => self.push_ready(
+                conn,
+                Response::refusal(id, opcode, Status::Degraded, err.to_string()),
+            ),
+            Err(err @ PrismError::Corruption(_)) => self.push_ready(
+                conn,
+                Response::refusal(id, opcode, Status::Corruption, err.to_string()),
+            ),
             Err(err) => self.push_ready(
                 conn,
                 Response::refusal(id, opcode, Status::ServerError, err.to_string()),

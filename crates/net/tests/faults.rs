@@ -8,10 +8,12 @@
 //! snapshot pins — and keeps serving everyone else.
 
 use std::io::Write;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use prism_db::{Options, PrismDb};
+use prism_db::{
+    FaultMode, FaultOp, FaultPlan, FaultTier, Options, PartitionHealth, PrismDb, TargetedFault,
+};
 use prism_frontend::FrontendOptions;
 use prism_net::client::NetClient;
 use prism_net::protocol::{Request, Status};
@@ -311,6 +313,202 @@ fn graceful_shutdown_acks_in_flight_and_refuses_stragglers() {
         other => panic!("writes after shutdown must fail, got {other:?}"),
     }
     let _ = (acked, refused);
+}
+
+#[test]
+fn server_kill_mid_pipeline_reconnects_replays_and_converges() {
+    let mut engine_options = Options::scaled_default(8_000);
+    engine_options.num_partitions = 4;
+    let engine = Arc::new(PrismDb::open(engine_options).expect("valid options"));
+    let (listener, connector) = duplex_listener();
+    let mut first = NetServer::start(
+        Arc::clone(&engine),
+        Arc::new(listener),
+        ServerOptions::default(),
+    )
+    .expect("first server");
+
+    // The dialer reads the *current* connector from a shared slot, so a
+    // replacement server on a fresh listener becomes reachable the
+    // moment the slot is swapped.
+    let current = Arc::new(Mutex::new(connector));
+    let dial_slot = Arc::clone(&current);
+    let mut client = NetClient::with_dialer(Box::new(move || {
+        dial_slot.lock().expect("connector slot").connect()
+    }))
+    .expect("initial dial");
+
+    // Pipeline a burst and kill the server with it in flight: some
+    // frames are acked, some refused mid-drain, and the rest die unread
+    // on the closing socket.
+    const OPS: u64 = 200;
+    let ids: Vec<u64> = (0..OPS)
+        .map(|id| {
+            client
+                .send(&Request::Put {
+                    key: Key::from_id(id),
+                    value: Value::filled(32, id as u8),
+                })
+                .expect("send")
+        })
+        .collect();
+    first.shutdown();
+
+    // Bring a replacement up over the same engine and point the dialer
+    // at it.
+    let (listener, connector) = duplex_listener();
+    *current.lock().expect("connector slot") = connector;
+    let second = NetServer::start(
+        Arc::clone(&engine),
+        Arc::new(listener),
+        ServerOptions::default(),
+    )
+    .expect("second server");
+
+    // Draining heals the connection transparently: every id resolves —
+    // acked by the first server, refused ShuttingDown mid-drain, or
+    // replayed to the second and acked there. Nothing hangs, nothing is
+    // silently lost.
+    let mut refused = Vec::new();
+    for (key_id, wire_id) in ids.iter().enumerate() {
+        let response = client.wait(*wire_id).expect("pipeline must resolve");
+        match response.status {
+            Status::Ok => {}
+            Status::ShuttingDown => refused.push(key_id as u64),
+            other => panic!("unexpected status {other:?}: {}", response.message),
+        }
+    }
+    for key_id in refused {
+        client
+            .put(Key::from_id(key_id), Value::filled(32, key_id as u8))
+            .expect("re-put of a refused write");
+    }
+
+    // Every key converges on the shared engine, read back through
+    // whatever connection the client is on now.
+    for id in 0..OPS {
+        let value = client
+            .get(Key::from_id(id))
+            .expect("get")
+            .expect("key must have landed");
+        assert_eq!(value.as_bytes()[0], id as u8);
+    }
+    assert!(
+        client.reconnects >= 1,
+        "killing the server mid-pipeline must force at least one reconnect"
+    );
+    assert_eq!(second.outstanding_tickets(), 0);
+    let _ = second;
+}
+
+#[test]
+fn reconnect_without_a_dialer_stays_a_hard_disconnect() {
+    let (mut server, connector) = test_server(2_000, ServerOptions::default());
+    let mut plain = client(&connector);
+    plain
+        .put(Key::from_id(1), Value::filled(8, 1))
+        .expect("put");
+    server.shutdown(); // takes the listener and every connection down
+                       // The very first post-shutdown write may catch a ShuttingDown
+                       // refusal off the draining server; after that the dead socket is a
+                       // hard Disconnected — never a silent reconnect.
+    let mut disconnected = false;
+    for id in 2..10u64 {
+        match plain.put(Key::from_id(id), Value::filled(8, id as u8)) {
+            Err(PrismError::Disconnected) => {
+                disconnected = true;
+                break;
+            }
+            Err(PrismError::ShuttingDown) => continue,
+            other => panic!("writes after shutdown must fail, got {other:?}"),
+        }
+    }
+    assert!(
+        disconnected,
+        "a dialer-less client must surface Disconnected"
+    );
+    assert_eq!(plain.reconnects, 0);
+}
+
+#[test]
+fn corruption_and_degraded_mode_map_onto_their_wire_statuses() {
+    // One partition with a hair-trigger quarantine threshold, plus an
+    // armed one-shot bit flip on the next NVM write.
+    let plan = Arc::new(FaultPlan::new(42));
+    let mut engine_options = Options::scaled_default(2_000);
+    engine_options.num_partitions = 1;
+    engine_options.corruption_quarantine_threshold = 1;
+    engine_options.fault_plan = Some(Arc::clone(&plan));
+    let engine = Arc::new(PrismDb::open(engine_options).expect("valid options"));
+    let (listener, connector) = duplex_listener();
+    let server = NetServer::start(
+        Arc::clone(&engine),
+        Arc::new(listener),
+        ServerOptions::default(),
+    )
+    .expect("server");
+    let mut client = client(&connector);
+    // Degraded is retryable on the wire; keep the transparent retry
+    // short so the refusal surfaces while the partition is still down.
+    client.max_retries = 2;
+    client.retry_backoff = Duration::from_micros(10);
+
+    client
+        .put(Key::from_id(1), Value::filled(64, 1))
+        .expect("clean put");
+
+    plan.arm(TargetedFault {
+        tier: FaultTier::Nvm,
+        partition: Some(0),
+        op: FaultOp::Write,
+        mode: FaultMode::BitFlip,
+    });
+    client
+        .put(Key::from_id(2), Value::filled(64, 2))
+        .expect("the corrupting put itself succeeds");
+
+    // The read detects the flip: a terminal Corruption on the wire,
+    // and — with threshold 1 — the partition flips to read-only.
+    match client.get(Key::from_id(2)) {
+        Err(PrismError::Corruption(message)) => {
+            assert!(
+                !message.is_empty(),
+                "corruption context must survive the wire"
+            );
+        }
+        other => panic!("a corrupt read must map to Corruption, got {other:?}"),
+    }
+    assert_eq!(engine.partition_health(0), PartitionHealth::Degraded);
+
+    // Writes now refuse with the retryable Degraded status...
+    match client.put(Key::from_id(3), Value::filled(64, 3)) {
+        Err(PrismError::Degraded { .. }) => {}
+        other => panic!("writes to a degraded partition must map to Degraded, got {other:?}"),
+    }
+    assert!(
+        client.backpressure_seen >= 2,
+        "Degraded must be retried transparently before surfacing"
+    );
+    // ...while reads of healthy keys keep being served.
+    assert!(client
+        .get(Key::from_id(1))
+        .expect("degraded read")
+        .is_some());
+
+    // A clean scrub pass re-arms the partition and writes land again —
+    // including a rewrite of the quarantined key, which heals it.
+    engine.scrub();
+    assert_eq!(engine.partition_health(0), PartitionHealth::Healthy);
+    client
+        .put(Key::from_id(3), Value::filled(64, 3))
+        .expect("put after scrub re-arm");
+    client
+        .put(Key::from_id(2), Value::filled(64, 9))
+        .expect("rewrite of the quarantined key");
+    let healed = client.get(Key::from_id(2)).expect("healed get");
+    assert_eq!(healed.expect("present").as_bytes()[0], 9);
+    assert!(plan.injected_corruptions() >= 1);
+    let _ = server;
 }
 
 #[test]

@@ -130,5 +130,52 @@ mod proptests {
             expected.sort_unstable();
             prop_assert_eq!(scanned, expected);
         }
+
+        /// A freshly built slot always verifies, and flipping any single
+        /// bit of its value is always detected by the header CRC.
+        #[test]
+        fn slot_checksum_roundtrips_and_catches_any_single_bit_flip(
+            id in 0u64..1_000_000,
+            ts in 0u64..u64::MAX,
+            bytes in prop::collection::vec(0u8..255, 1..2048),
+            flip_at in 0usize..usize::MAX,
+            flip_bit in 0u32..8,
+        ) {
+            let entry = SlotEntry::new(Key::from_id(id), Value::from_vec(bytes.clone()), ts);
+            prop_assert!(entry.verify(), "clean slot must round-trip");
+
+            let mut damaged = bytes;
+            let idx = flip_at % damaged.len();
+            damaged[idx] ^= 1 << flip_bit;
+            let flipped = SlotEntry {
+                value: Value::from_vec(damaged),
+                ..entry.clone()
+            };
+            prop_assert!(!flipped.verify(), "a single bit flip must fail the CRC");
+
+            // Metadata damage is caught too: the CRC covers key id and
+            // timestamp, not just the value bytes.
+            let ts_flip = SlotEntry { timestamp: entry.timestamp ^ 1, ..entry };
+            prop_assert!(!ts_flip.verify());
+        }
+
+        /// A torn write that truncated the value tail (any strictly
+        /// shorter prefix, including empty) is always rejected: the CRC
+        /// covers the length, so even a same-content prefix cannot pass.
+        #[test]
+        fn truncated_tail_slots_are_rejected(
+            id in 0u64..1_000_000,
+            ts in 0u64..u64::MAX,
+            bytes in prop::collection::vec(0u8..255, 1..2048),
+            keep in 0usize..usize::MAX,
+        ) {
+            let entry = SlotEntry::new(Key::from_id(id), Value::from_vec(bytes.clone()), ts);
+            let keep = keep % bytes.len();
+            let torn = SlotEntry {
+                value: Value::from_vec(bytes[..keep].to_vec()),
+                ..entry
+            };
+            prop_assert!(!torn.verify(), "a truncated slot must fail the CRC");
+        }
     }
 }

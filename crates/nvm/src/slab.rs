@@ -3,6 +3,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use prism_types::checksum::Crc32;
 use prism_types::{Key, Value};
 
 /// One live object stored in a slab slot, together with the metadata header
@@ -17,6 +18,40 @@ pub struct SlotEntry {
     /// Logical timestamp assigned by the owning partition; used during
     /// recovery to keep only the most recent version of a key.
     pub timestamp: u64,
+    /// CRC32 over key id, timestamp, value length and value bytes, written
+    /// with the slot header and re-verified on every read, recovery scan
+    /// and compaction execute.
+    pub checksum: u32,
+}
+
+impl SlotEntry {
+    /// Build an entry with its header checksum computed over the content.
+    pub fn new(key: Key, value: Value, timestamp: u64) -> SlotEntry {
+        let checksum = SlotEntry::compute_checksum(&key, &value, timestamp);
+        SlotEntry {
+            key,
+            value,
+            timestamp,
+            checksum,
+        }
+    }
+
+    /// The CRC32 a slot holding this content must carry.
+    pub fn compute_checksum(key: &Key, value: &Value, timestamp: u64) -> u32 {
+        let mut crc = Crc32::new();
+        crc.update_u64(key.id());
+        crc.update_u64(timestamp);
+        crc.update_u64(value.len() as u64);
+        crc.update(value.as_bytes());
+        crc.finish()
+    }
+
+    /// True when the stored checksum still matches the slot's content —
+    /// false after a bit flip in the value bytes or a torn write that
+    /// truncated them.
+    pub fn verify(&self) -> bool {
+        self.checksum == SlotEntry::compute_checksum(&self.key, &self.value, self.timestamp)
+    }
 }
 
 /// A slab file dedicated to one slot size.
@@ -130,11 +165,7 @@ mod tests {
     use super::*;
 
     fn entry(id: u64, size: usize, ts: u64) -> SlotEntry {
-        SlotEntry {
-            key: Key::from_id(id),
-            value: Value::filled(size, id as u8),
-            timestamp: ts,
-        }
+        SlotEntry::new(Key::from_id(id), Value::filled(size, id as u8), ts)
     }
 
     #[test]
@@ -186,6 +217,32 @@ mod tests {
         assert!(slab.remove(slot).is_some());
         assert!(slab.remove(slot).is_none());
         assert_eq!(slab.live(), 0);
+    }
+
+    #[test]
+    fn slot_checksum_catches_bit_flips_and_truncation() {
+        let good = entry(9, 80, 4);
+        assert!(good.verify());
+
+        let mut flipped_bytes = good.value.as_bytes().to_vec();
+        flipped_bytes[40] ^= 0x20;
+        let flipped = SlotEntry {
+            value: Value::from_vec(flipped_bytes),
+            ..good.clone()
+        };
+        assert!(!flipped.verify());
+
+        let torn = SlotEntry {
+            value: Value::from_vec(good.value.as_bytes()[..33].to_vec()),
+            ..good.clone()
+        };
+        assert!(!torn.verify(), "a truncated-tail slot must be rejected");
+
+        let stale_ts = SlotEntry {
+            timestamp: good.timestamp + 1,
+            ..good
+        };
+        assert!(!stale_ts.verify());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use prism_storage::Device;
+use prism_storage::{Device, FaultOp, FaultPlan, FaultTier, InjectedFault};
 use prism_types::{Key, Nanos, PrismError, Result, Value};
 
 use crate::slab::{SlabFile, SlotEntry};
@@ -96,6 +96,8 @@ pub struct SlabStore {
     used_bytes: u64,
     live_slot_bytes: u64,
     live_objects: usize,
+    fault: Option<Arc<FaultPlan>>,
+    partition: usize,
 }
 
 impl SlabStore {
@@ -119,7 +121,66 @@ impl SlabStore {
             used_bytes: 0,
             live_slot_bytes: 0,
             live_objects: 0,
+            fault: None,
+            partition: 0,
         })
+    }
+
+    /// Attach a fault-injection plan: writes may be corrupted or fail, and
+    /// reads may fail, per the plan's rates and armed one-shot faults.
+    /// `partition` gives the plan (and corruption errors) their context.
+    pub fn attach_faults(&mut self, plan: Arc<FaultPlan>, partition: usize) {
+        self.fault = Some(plan);
+        self.partition = partition;
+    }
+
+    /// Roll the attached plan for one slab op; returns any extra latency.
+    ///
+    /// Write-path corruption (bit flip / torn write) is applied to `entry`
+    /// *after* its checksum was computed, so the damage is real: a later
+    /// read sees content that no longer matches the header checksum.
+    fn roll_fault(
+        &self,
+        op: FaultOp,
+        entry: Option<&mut SlotEntry>,
+        addr: impl std::fmt::Display,
+    ) -> Result<Nanos> {
+        let Some(plan) = &self.fault else {
+            return Ok(Nanos::ZERO);
+        };
+        let payload = entry.as_ref().map_or(0, |e| e.value.len());
+        match plan.roll(FaultTier::Nvm, self.partition, op, payload) {
+            None => Ok(Nanos::ZERO),
+            Some(InjectedFault::IoError) => Err(PrismError::Io(format!(
+                "injected nvm {op:?} fault at {addr} (partition {})",
+                self.partition
+            ))),
+            Some(InjectedFault::LatencySpike(extra)) => Ok(extra),
+            Some(InjectedFault::BitFlip { byte, bit }) => {
+                if let Some(entry) = entry {
+                    if !entry.value.is_empty() {
+                        let mut bytes = entry.value.as_bytes().to_vec();
+                        let idx = byte % bytes.len();
+                        bytes[idx] ^= 1 << bit;
+                        entry.value = Value::from_vec(bytes);
+                    } else {
+                        entry.checksum ^= 1;
+                    }
+                }
+                Ok(Nanos::ZERO)
+            }
+            Some(InjectedFault::TornWrite { keep }) => {
+                if let Some(entry) = entry {
+                    if entry.value.is_empty() {
+                        entry.checksum ^= 1;
+                    } else {
+                        let keep = keep.min(entry.value.len() - 1);
+                        entry.value = Value::from_vec(entry.value.as_bytes()[..keep].to_vec());
+                    }
+                }
+                Ok(Nanos::ZERO)
+            }
+        }
     }
 
     fn slab_for(&self, size: usize) -> Result<u8> {
@@ -182,14 +243,17 @@ impl SlabStore {
                 available: self.capacity_bytes.saturating_sub(self.live_slot_bytes),
             });
         }
+        let mut entry = SlotEntry::new(key, value, timestamp);
+        let key_id = entry.key.id();
+        let extra = self.roll_fault(
+            FaultOp::Write,
+            Some(&mut entry),
+            format_args!("key {key_id}"),
+        )?;
         let reused_slot = {
             let slab = &mut self.slabs[slab_idx as usize];
             let before = slab.allocated_slots();
-            let slot = slab.insert(SlotEntry {
-                key,
-                value,
-                timestamp,
-            });
+            let slot = slab.insert(entry);
             let grew = slab.allocated_slots() > before;
             if grew {
                 self.used_bytes += slot_size;
@@ -199,7 +263,7 @@ impl SlabStore {
         };
         self.live_objects += 1;
         self.live_slot_bytes += slot_size;
-        let cost = self.device.write_random(slot_size);
+        let cost = self.device.write_random(slot_size) + extra;
         Ok((NvmAddress::new(slab_idx, reused_slot), cost))
     }
 
@@ -221,20 +285,15 @@ impl SlabStore {
         let new_slab = self.slab_for(value.len())?;
         if new_slab == addr.slab {
             let slot_size = self.slabs[addr.slab as usize].slot_size() as u64;
-            let ok = self.slabs[addr.slab as usize].update_in_place(
-                addr.slot,
-                SlotEntry {
-                    key: key.clone(),
-                    value,
-                    timestamp,
-                },
-            );
+            let mut entry = SlotEntry::new(key.clone(), value, timestamp);
+            let extra = self.roll_fault(FaultOp::Write, Some(&mut entry), addr)?;
+            let ok = self.slabs[addr.slab as usize].update_in_place(addr.slot, entry);
             if !ok {
                 return Err(PrismError::Corruption(format!(
                     "update of empty nvm slot {addr}"
                 )));
             }
-            let cost = self.device.write_random(slot_size);
+            let cost = self.device.write_random(slot_size) + extra;
             Ok((addr, cost))
         } else {
             // Size class changed: the paper deletes the old slot and inserts
@@ -247,13 +306,15 @@ impl SlabStore {
         }
     }
 
-    /// Read the object stored at `addr`.
+    /// Read the object stored at `addr`, verifying its header checksum.
     ///
     /// # Errors
     ///
-    /// Returns [`PrismError::Corruption`] if the address does not refer to a
-    /// live slot (a stale index entry).
+    /// * [`PrismError::Corruption`] if the address does not refer to a live
+    ///   slot (a stale index entry) or the slot fails its checksum.
+    /// * [`PrismError::Io`] for an injected read fault.
     pub fn read(&self, addr: NvmAddress) -> Result<(&SlotEntry, Nanos)> {
+        let extra = self.roll_fault(FaultOp::Read, None, addr)?;
         let slab = self
             .slabs
             .get(addr.slab as usize)
@@ -261,7 +322,18 @@ impl SlabStore {
         let entry = slab
             .get(addr.slot)
             .ok_or_else(|| PrismError::Corruption(format!("read of empty nvm slot {addr}")))?;
-        let cost = self.device.read_random(slab.slot_size() as u64);
+        let cost = self.device.read_random(slab.slot_size() as u64) + extra;
+        if !entry.verify() {
+            if let Some(plan) = &self.fault {
+                plan.note_detected();
+            }
+            return Err(PrismError::Corruption(format!(
+                "nvm slot {addr} failed checksum (partition {}, key {}, ts {})",
+                self.partition,
+                entry.key.id(),
+                entry.timestamp
+            )));
+        }
         Ok((entry, cost))
     }
 
@@ -444,6 +516,102 @@ mod tests {
         let io = device.counters().as_tier_io();
         assert_eq!(io.writes, 1);
         assert_eq!(io.reads, 1);
+    }
+
+    #[test]
+    fn injected_bit_flip_is_caught_by_read_checksum() {
+        use prism_storage::{FaultMode, TargetedFault};
+
+        let mut s = store(1 << 20);
+        let plan = Arc::new(prism_storage::FaultPlan::new(3));
+        s.attach_faults(plan.clone(), 7);
+        let (clean_addr, _) = s.insert(Key::from_id(1), Value::filled(64, 1), 1).unwrap();
+
+        plan.arm(TargetedFault {
+            tier: FaultTier::Nvm,
+            partition: Some(7),
+            op: FaultOp::Write,
+            mode: FaultMode::BitFlip,
+        });
+        let (bad_addr, _) = s.insert(Key::from_id(2), Value::filled(64, 2), 2).unwrap();
+
+        assert!(s.read(clean_addr).is_ok());
+        let err = s.read(bad_addr).unwrap_err();
+        assert!(matches!(err, PrismError::Corruption(_)), "got {err:?}");
+        assert!(err.to_string().contains("partition 7"));
+        let snap = plan.snapshot();
+        assert_eq!(snap.bit_flips, 1);
+        assert_eq!(snap.detected, 1);
+        // The corrupt slot is visible to a scan and fails verification
+        // there too (how the scrubber finds it).
+        let corrupt: Vec<_> = s.scan().filter(|(_, e)| !e.verify()).collect();
+        assert_eq!(corrupt.len(), 1);
+        assert_eq!(corrupt[0].0, bad_addr);
+    }
+
+    #[test]
+    fn injected_torn_write_rejected_and_io_faults_surface() {
+        use prism_storage::{FaultMode, TargetedFault};
+
+        let mut s = store(1 << 20);
+        let plan = Arc::new(prism_storage::FaultPlan::new(4));
+        s.attach_faults(plan.clone(), 0);
+
+        plan.arm(TargetedFault {
+            tier: FaultTier::Nvm,
+            partition: None,
+            op: FaultOp::Write,
+            mode: FaultMode::TornWrite,
+        });
+        let (torn_addr, _) = s.insert(Key::from_id(5), Value::filled(200, 5), 1).unwrap();
+        assert!(matches!(s.read(torn_addr), Err(PrismError::Corruption(_))));
+
+        plan.arm(TargetedFault {
+            tier: FaultTier::Nvm,
+            partition: None,
+            op: FaultOp::Read,
+            mode: FaultMode::IoError,
+        });
+        let (addr, _) = s.insert(Key::from_id(6), Value::filled(64, 6), 2).unwrap();
+        assert!(matches!(s.read(addr), Err(PrismError::Io(_))));
+        // One-shot: the next read succeeds.
+        assert!(s.read(addr).is_ok());
+
+        plan.arm(TargetedFault {
+            tier: FaultTier::Nvm,
+            partition: None,
+            op: FaultOp::Write,
+            mode: FaultMode::IoError,
+        });
+        let before = s.object_count();
+        assert!(matches!(
+            s.insert(Key::from_id(7), Value::filled(64, 7), 3),
+            Err(PrismError::Io(_))
+        ));
+        assert_eq!(s.object_count(), before, "failed insert stores nothing");
+    }
+
+    #[test]
+    fn repairing_update_clears_corruption() {
+        use prism_storage::{FaultMode, TargetedFault};
+
+        let mut s = store(1 << 20);
+        let plan = Arc::new(prism_storage::FaultPlan::new(5));
+        s.attach_faults(plan.clone(), 0);
+        plan.arm(TargetedFault {
+            tier: FaultTier::Nvm,
+            partition: None,
+            op: FaultOp::Write,
+            mode: FaultMode::BitFlip,
+        });
+        let (addr, _) = s.insert(Key::from_id(9), Value::filled(64, 9), 1).unwrap();
+        assert!(s.read(addr).is_err());
+        // A rewrite with fresh content (the scrubber's repair) restores
+        // the slot to a verifiable state.
+        let (addr2, _) = s
+            .update(addr, &Key::from_id(9), Value::filled(64, 9), 2)
+            .unwrap();
+        assert_eq!(s.read(addr2).unwrap().0.timestamp, 2);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use prism_types::checksum::Crc32;
 use prism_types::{Key, Nanos, Value};
 
 use crate::Device;
@@ -65,6 +66,41 @@ pub struct CommitRecord {
     pub parts: Vec<CommitPart>,
     /// True once every partition group was installed.
     pub sealed: bool,
+    /// CRC32 over the batch id and every part (partition, entries,
+    /// digest, pre-images), computed at [`CommitLog::begin`]. The `sealed`
+    /// flag is excluded: sealing mutates the record in place after the
+    /// intent bytes were already persisted.
+    pub checksum: u32,
+}
+
+impl CommitRecord {
+    /// CRC32 over the record's intent content (everything but `sealed`).
+    pub fn compute_checksum(batch_id: u64, parts: &[CommitPart]) -> u32 {
+        let mut crc = Crc32::new();
+        crc.update_u64(batch_id);
+        for part in parts {
+            crc.update_u64(part.partition as u64);
+            crc.update_u64(part.entries);
+            crc.update_u64(part.digest);
+            crc.update_u64(part.pre_images.len() as u64);
+            for (key, value) in &part.pre_images {
+                crc.update_u64(key.id());
+                match value {
+                    Some(v) => {
+                        crc.update_u64(1 + v.len() as u64);
+                        crc.update(v.as_bytes());
+                    }
+                    None => crc.update_u64(0),
+                }
+            }
+        }
+        crc.finish()
+    }
+
+    /// True when the stored checksum still matches the record's content.
+    pub fn verify(&self) -> bool {
+        self.checksum == CommitRecord::compute_checksum(self.batch_id, &self.parts)
+    }
 }
 
 /// Order-sensitive digest over a partition group's keys and value sizes
@@ -96,6 +132,9 @@ pub struct CommitLogCounters {
     pub replayed: u64,
     /// Unsealed records handed to recovery for rollback.
     pub rolled_back: u64,
+    /// Records dropped by recovery because their checksum failed: a
+    /// corrupt intent can be trusted neither for replay nor rollback.
+    pub corrupt_dropped: u64,
 }
 
 #[derive(Debug, Default)]
@@ -154,10 +193,12 @@ impl CommitLog {
                 }
             });
         }
+        let checksum = CommitRecord::compute_checksum(batch_id, &parts);
         inner.records.push(CommitRecord {
             batch_id,
             parts,
             sealed: false,
+            checksum,
         });
         (batch_id, cost)
     }
@@ -182,14 +223,46 @@ impl CommitLog {
     /// Drain the log for recovery: sealed records (acknowledged, in
     /// commit order) and unsealed records (torn, to roll back — newest
     /// first, the order rollback must apply pre-images in).
+    ///
+    /// Every record is checksum-verified first; corrupt records are
+    /// dropped and counted in [`CommitLogCounters::corrupt_dropped`]
+    /// rather than replayed or rolled back from untrustworthy bytes.
     pub fn drain_for_recovery(&self) -> (Vec<CommitRecord>, Vec<CommitRecord>) {
         let mut inner = self.lock();
         let records = std::mem::take(&mut inner.records);
+        let before = records.len();
+        let records: Vec<CommitRecord> = records.into_iter().filter(CommitRecord::verify).collect();
+        inner.counters.corrupt_dropped += (before - records.len()) as u64;
         let (sealed, mut torn): (Vec<_>, Vec<_>) = records.into_iter().partition(|r| r.sealed);
         torn.sort_by_key(|record| std::cmp::Reverse(record.batch_id));
         inner.counters.replayed += sealed.len() as u64;
         inner.counters.rolled_back += torn.len() as u64;
         (sealed, torn)
+    }
+
+    /// Flip one bit in the stored pre-image bytes (or the checksum, for
+    /// records without pre-image payload) of record `batch_id` —
+    /// the fault-injection hook used by chaos tests to model a corrupted
+    /// intent. Returns true when a record was tampered with.
+    pub fn corrupt_record(&self, batch_id: u64) -> bool {
+        let mut inner = self.lock();
+        let Some(record) = inner.records.iter_mut().find(|r| r.batch_id == batch_id) else {
+            return false;
+        };
+        for part in &mut record.parts {
+            for (_, value) in &mut part.pre_images {
+                if let Some(v) = value {
+                    if !v.is_empty() {
+                        let mut bytes = v.as_bytes().to_vec();
+                        bytes[0] ^= 0x01;
+                        *v = Value::from_vec(bytes);
+                        return true;
+                    }
+                }
+            }
+        }
+        record.checksum ^= 0x1;
+        true
     }
 
     /// Number of records currently in the log (sealed + unsealed).
@@ -281,6 +354,33 @@ mod tests {
             group_digest([(&k1, Some(4u64))].into_iter()),
             group_digest([(&k1, Some(5u64))].into_iter()),
         );
+    }
+
+    #[test]
+    fn checksums_round_trip_and_catch_tampering() {
+        let log = CommitLog::new(device());
+        let (a, _) = log.begin(vec![part(0)]);
+        log.seal(a);
+        let (b, _) = log.begin(vec![part(1)]);
+        // Sealing does not invalidate the checksum (it covers intent
+        // content only); tampering with record `b`'s pre-image does.
+        assert!(log.corrupt_record(b));
+        let (sealed, torn) = log.drain_for_recovery();
+        assert_eq!(sealed.len(), 1);
+        assert_eq!(sealed[0].batch_id, a);
+        assert!(sealed[0].verify());
+        assert!(
+            torn.is_empty(),
+            "a corrupt torn record must not be rolled back"
+        );
+        assert_eq!(log.counters().corrupt_dropped, 1);
+        assert_eq!(log.counters().rolled_back, 0);
+    }
+
+    #[test]
+    fn corrupting_unknown_record_reports_false() {
+        let log = CommitLog::new(device());
+        assert!(!log.corrupt_record(123));
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! The simulated block device.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use prism_types::{Nanos, TierIo};
 
+use crate::fault::{FaultPlan, FaultTier};
 use crate::profile::DeviceProfile;
 
 /// The standard page size used for random-access charging.
@@ -24,6 +26,11 @@ pub struct DeviceCounters {
     pub random_pages_read: AtomicU64,
     /// Random 4 KB pages written (subset of `writes`).
     pub random_pages_written: AtomicU64,
+    /// Latency-spike faults injected into this device's accesses by an
+    /// attached [`FaultPlan`].
+    pub latency_spikes_injected: AtomicU64,
+    /// Extra simulated nanoseconds those spikes added.
+    pub spike_nanos_injected: AtomicU64,
 }
 
 impl DeviceCounters {
@@ -64,6 +71,7 @@ pub struct Device {
     profile: DeviceProfile,
     counters: DeviceCounters,
     used_bytes: AtomicU64,
+    fault: Option<(Arc<FaultPlan>, FaultTier)>,
 }
 
 impl Device {
@@ -73,6 +81,17 @@ impl Device {
             profile,
             counters: DeviceCounters::default(),
             used_bytes: AtomicU64::new(0),
+            fault: None,
+        }
+    }
+
+    /// Create a device whose accesses roll `plan` for latency-spike
+    /// faults (error and corruption faults are rolled by the data-owning
+    /// layers — the device holds no data; see the `fault` module docs).
+    pub fn with_faults(profile: DeviceProfile, plan: Arc<FaultPlan>, tier: FaultTier) -> Self {
+        Device {
+            fault: Some((plan, tier)),
+            ..Device::new(profile)
         }
     }
 
@@ -84,6 +103,32 @@ impl Device {
     /// Cumulative I/O counters.
     pub fn counters(&self) -> &DeviceCounters {
         &self.counters
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.fault.as_ref().map(|(plan, _)| plan)
+    }
+
+    /// Roll the attached fault plan for a latency spike and account for
+    /// it; returns the extra latency to add to one access (zero without
+    /// a plan or when the roll comes up clean).
+    fn spike(&self) -> Nanos {
+        let Some((plan, tier)) = &self.fault else {
+            return Nanos::ZERO;
+        };
+        match plan.roll_latency(*tier) {
+            Some(extra) => {
+                self.counters
+                    .latency_spikes_injected
+                    .fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .spike_nanos_injected
+                    .fetch_add(extra.as_nanos(), Ordering::Relaxed);
+                extra
+            }
+            None => Nanos::ZERO,
+        }
     }
 
     fn pages(bytes: u64) -> u64 {
@@ -104,7 +149,7 @@ impl Device {
         self.counters
             .random_pages_read
             .fetch_add(pages, Ordering::Relaxed);
-        self.profile.read_latency_4k * pages
+        self.profile.read_latency_4k * pages + self.spike()
     }
 
     /// Random write of `bytes` bytes. Charged per 4 KB page.
@@ -117,7 +162,7 @@ impl Device {
         self.counters
             .random_pages_written
             .fetch_add(pages, Ordering::Relaxed);
-        self.profile.write_latency_4k * pages
+        self.profile.write_latency_4k * pages + self.spike()
     }
 
     /// Sequential read of `bytes` bytes: one access latency plus a
@@ -125,7 +170,9 @@ impl Device {
     pub fn read_sequential(&self, bytes: u64) -> Nanos {
         self.counters.bytes_read.fetch_add(bytes, Ordering::Relaxed);
         self.counters.reads.fetch_add(1, Ordering::Relaxed);
-        self.profile.read_latency_4k + Self::seq_transfer_time(bytes, self.profile.seq_read_mbps)
+        self.profile.read_latency_4k
+            + Self::seq_transfer_time(bytes, self.profile.seq_read_mbps)
+            + self.spike()
     }
 
     /// Sequential write of `bytes` bytes: one access latency plus a
@@ -135,7 +182,7 @@ impl Device {
             .bytes_written
             .fetch_add(bytes, Ordering::Relaxed);
         self.counters.writes.fetch_add(1, Ordering::Relaxed);
-        self.write_sequential_cost(bytes)
+        self.write_sequential_cost(bytes) + self.spike()
     }
 
     /// The simulated latency of writing `bytes` as one sequential
@@ -251,5 +298,37 @@ mod tests {
     fn sync_costs_a_write() {
         let dev = Device::new(DeviceProfile::optane_nvm(1 << 30));
         assert_eq!(dev.sync(), dev.profile().write_latency_4k);
+    }
+
+    #[test]
+    fn latency_spikes_slow_accesses_and_are_counted() {
+        use crate::fault::{FaultPlan, FaultTier, TierFaultRates};
+
+        let spike = Nanos::from_micros(750);
+        let plan = Arc::new(FaultPlan::new(42).with_rates(TierFaultRates {
+            latency_spike: 1.0,
+            spike,
+            ..TierFaultRates::default()
+        }));
+        let profile = DeviceProfile::qlc_flash(1 << 30);
+        let faulty = Device::with_faults(profile, plan.clone(), FaultTier::Flash);
+        let clean = Device::new(profile);
+        assert_eq!(faulty.read_random(4096), clean.read_random(4096) + spike);
+        assert_eq!(faulty.write_random(4096), clean.write_random(4096) + spike);
+        assert_eq!(
+            faulty
+                .counters()
+                .latency_spikes_injected
+                .load(Ordering::Relaxed),
+            2
+        );
+        assert_eq!(
+            faulty
+                .counters()
+                .spike_nanos_injected
+                .load(Ordering::Relaxed),
+            2 * spike.as_nanos()
+        );
+        assert_eq!(plan.snapshot().latency_spikes, 2);
     }
 }

@@ -32,12 +32,17 @@ mod commitlog;
 mod cost;
 mod device;
 mod endurance;
+mod fault;
 mod profile;
 
 pub use commitlog::{group_digest, CommitLog, CommitLogCounters, CommitPart, CommitRecord};
 pub use cost::{blended_cost_per_gb, CostBreakdown};
 pub use device::{Device, DeviceCounters};
 pub use endurance::{lifetime_years, EnduranceModel, WARRANTY_YEARS};
+pub use fault::{
+    FaultCounters, FaultCountersSnapshot, FaultMode, FaultOp, FaultPlan, FaultTier, InjectedFault,
+    TargetedFault, TierFaultRates,
+};
 pub use profile::{CpuCosts, DeviceKind, DeviceProfile};
 
 use std::sync::Arc;
@@ -58,6 +63,9 @@ pub struct TieredStorage {
     pub flash: Arc<Device>,
     /// CPU cost constants used when charging for index lookups, merges, etc.
     pub cpu: CpuCosts,
+    /// The fault-injection plan shared by both devices and the data
+    /// layers above them (`None` for a fault-free deployment).
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl TieredStorage {
@@ -67,6 +75,30 @@ impl TieredStorage {
             nvm: Arc::new(Device::new(nvm_profile)),
             flash: Arc::new(Device::new(flash_profile)),
             cpu: CpuCosts::default(),
+            fault: None,
+        }
+    }
+
+    /// Build a tiered setup whose devices and data layers share a
+    /// fault-injection plan.
+    pub fn with_fault_plan(
+        nvm_profile: DeviceProfile,
+        flash_profile: DeviceProfile,
+        plan: Arc<FaultPlan>,
+    ) -> Self {
+        TieredStorage {
+            nvm: Arc::new(Device::with_faults(
+                nvm_profile,
+                plan.clone(),
+                FaultTier::Nvm,
+            )),
+            flash: Arc::new(Device::with_faults(
+                flash_profile,
+                plan.clone(),
+                FaultTier::Flash,
+            )),
+            cpu: CpuCosts::default(),
+            fault: Some(plan),
         }
     }
 
@@ -122,6 +154,24 @@ mod tests {
         assert!(cost > qlc_cost && cost < nvm_cost);
         // Paper: ~11% NVM lands near $0.34/GB.
         assert!(cost > 0.25 && cost < 0.45, "cost was {cost}");
+    }
+
+    #[test]
+    fn fault_plan_is_shared_by_both_devices() {
+        let plan = Arc::new(FaultPlan::new(9).with_rates(TierFaultRates {
+            latency_spike: 1.0,
+            spike: prism_types::Nanos::from_micros(100),
+            ..TierFaultRates::default()
+        }));
+        let storage = TieredStorage::with_fault_plan(
+            DeviceProfile::optane_nvm(1 << 30),
+            DeviceProfile::qlc_flash(1 << 30),
+            plan.clone(),
+        );
+        storage.nvm.read_random(4096);
+        storage.flash.write_random(4096);
+        assert_eq!(plan.snapshot().latency_spikes, 2);
+        assert!(storage.fault.is_some());
     }
 
     #[test]

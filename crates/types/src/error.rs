@@ -75,6 +75,32 @@ pub enum PrismError {
     /// response written into a closed transport). Requests already
     /// submitted keep executing server-side; their acks are discarded.
     Disconnected,
+    /// The partition crossed its corruption threshold and is serving in
+    /// read-only degraded mode: reads and scans still work, writes are
+    /// refused until a background scrub pass comes back clean and re-arms
+    /// the partition. Retryable — resubmit after the scrub.
+    Degraded {
+        /// Partition refusing writes.
+        partition: usize,
+    },
+    /// A pinned snapshot was aborted by the engine before the caller
+    /// released it — it out-lived `Options::max_pin_age_ops` commits or
+    /// its preserved history exceeded `Options::max_history_bytes` — and
+    /// its superseded versions were garbage collected. Reads through the
+    /// snapshot can no longer be answered consistently; pin a fresh one.
+    SnapshotExpired,
+}
+
+impl PrismError {
+    /// True for errors a client may transparently retry: the request was
+    /// refused without side effects and a later identical submission can
+    /// succeed (queue drained, scrub re-armed the partition, ...).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            PrismError::Backpressure { .. } | PrismError::Degraded { .. }
+        )
+    }
 }
 
 impl fmt::Display for PrismError {
@@ -106,6 +132,14 @@ impl fmt::Display for PrismError {
             PrismError::Unsupported(what) => write!(f, "unsupported capability: {what}"),
             PrismError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
             PrismError::Disconnected => write!(f, "peer disconnected"),
+            PrismError::Degraded { partition } => write!(
+                f,
+                "partition {partition} is degraded (read-only until a clean scrub pass)"
+            ),
+            PrismError::SnapshotExpired => write!(
+                f,
+                "snapshot expired: its pinned history was garbage collected"
+            ),
         }
     }
 }
@@ -155,6 +189,8 @@ mod tests {
                 "frame of 99 bytes",
             ),
             (PrismError::Disconnected, "disconnected"),
+            (PrismError::Degraded { partition: 2 }, "partition 2"),
+            (PrismError::SnapshotExpired, "snapshot expired"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();
@@ -167,5 +203,18 @@ mod tests {
     fn error_is_send_sync_and_std_error() {
         fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
         assert_traits::<PrismError>();
+    }
+
+    #[test]
+    fn only_backpressure_and_degraded_are_retryable() {
+        assert!(PrismError::Backpressure {
+            partition: 0,
+            depth: 1
+        }
+        .is_retryable());
+        assert!(PrismError::Degraded { partition: 0 }.is_retryable());
+        assert!(!PrismError::Corruption("x".into()).is_retryable());
+        assert!(!PrismError::ShuttingDown.is_retryable());
+        assert!(!PrismError::SnapshotExpired.is_retryable());
     }
 }

@@ -25,6 +25,7 @@
 //! ```
 
 mod batch;
+pub mod checksum;
 mod completion;
 mod concurrent;
 mod error;
@@ -43,7 +44,10 @@ pub use error::{PrismError, Result};
 pub use key::Key;
 pub use mem::MemStore;
 pub use ops::{Lookup, Op, OpKind, ReadSource, ScanResult};
-pub use stats::{CompactionStats, EngineStats, FrontendStats, NetStats, TierIo, TxnStats};
+pub use stats::{
+    CompactionStats, EngineStats, FrontendStats, IntegrityStats, NetStats, PartitionHealth, TierIo,
+    TxnStats,
+};
 pub use time::Nanos;
 pub use txn::{run_transaction, SnapshotId, Transaction};
 pub use value::Value;

@@ -272,6 +272,106 @@ impl TxnStats {
     }
 }
 
+/// Health of one partition under corruption pressure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionHealth {
+    /// No unresolved corruption: reads and writes both served.
+    #[default]
+    Healthy,
+    /// The partition crossed its corruption threshold: reads and scans are
+    /// still served (quarantined objects skipped), writes are refused with
+    /// the retryable `Degraded` error until a scrub pass comes back clean.
+    Degraded,
+}
+
+/// Integrity, fault-injection and scrubber counters.
+///
+/// All fields are monotone counters except the gauges noted; engines
+/// without the integrity subsystem report all-zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntegrityStats {
+    /// Checksum mismatches detected on any read, recovery scan, scrub
+    /// walk, or compaction execute (each corrupt object counted each time
+    /// it is observed until quarantined).
+    pub checksum_failures: u64,
+    /// Injected I/O errors surfaced to callers as `PrismError::Io`.
+    pub io_errors: u64,
+    /// Objects quarantined (replaced by a tombstone-with-error sentinel)
+    /// after corruption was detected.
+    pub quarantined_objects: u64,
+    /// Corrupt objects repaired by a scrub pass from a surviving clean
+    /// copy instead of quarantined.
+    pub scrub_repairs: u64,
+    /// Scrub passes completed (clean or not).
+    pub scrub_passes: u64,
+    /// Scrub passes that found no corruption and re-armed a degraded
+    /// partition.
+    pub scrub_clean_passes: u64,
+    /// Writes refused with the retryable `Degraded` error.
+    pub degraded_write_refusals: u64,
+    /// Times a partition entered degraded (read-only) mode.
+    pub degraded_entered: u64,
+    /// Times a clean scrub pass returned a degraded partition to healthy.
+    pub degraded_recovered: u64,
+    /// Snapshots aborted with `SnapshotExpired` by the pin age or history
+    /// byte caps.
+    pub snapshots_expired: u64,
+    /// Instantaneous number of partitions currently degraded (a gauge:
+    /// `delta_since` keeps the later snapshot's value).
+    pub degraded_partitions: u64,
+}
+
+impl IntegrityStats {
+    /// Element-wise sum (for aggregating per-partition counters).
+    pub fn merged(self, other: IntegrityStats) -> IntegrityStats {
+        IntegrityStats {
+            checksum_failures: self.checksum_failures + other.checksum_failures,
+            io_errors: self.io_errors + other.io_errors,
+            quarantined_objects: self.quarantined_objects + other.quarantined_objects,
+            scrub_repairs: self.scrub_repairs + other.scrub_repairs,
+            scrub_passes: self.scrub_passes + other.scrub_passes,
+            scrub_clean_passes: self.scrub_clean_passes + other.scrub_clean_passes,
+            degraded_write_refusals: self.degraded_write_refusals + other.degraded_write_refusals,
+            degraded_entered: self.degraded_entered + other.degraded_entered,
+            degraded_recovered: self.degraded_recovered + other.degraded_recovered,
+            snapshots_expired: self.snapshots_expired + other.snapshots_expired,
+            degraded_partitions: self.degraded_partitions + other.degraded_partitions,
+        }
+    }
+
+    /// Element-wise difference (`self - earlier`); the gauge keeps the
+    /// later snapshot's value.
+    pub fn delta_since(self, earlier: IntegrityStats) -> IntegrityStats {
+        IntegrityStats {
+            checksum_failures: self
+                .checksum_failures
+                .saturating_sub(earlier.checksum_failures),
+            io_errors: self.io_errors.saturating_sub(earlier.io_errors),
+            quarantined_objects: self
+                .quarantined_objects
+                .saturating_sub(earlier.quarantined_objects),
+            scrub_repairs: self.scrub_repairs.saturating_sub(earlier.scrub_repairs),
+            scrub_passes: self.scrub_passes.saturating_sub(earlier.scrub_passes),
+            scrub_clean_passes: self
+                .scrub_clean_passes
+                .saturating_sub(earlier.scrub_clean_passes),
+            degraded_write_refusals: self
+                .degraded_write_refusals
+                .saturating_sub(earlier.degraded_write_refusals),
+            degraded_entered: self
+                .degraded_entered
+                .saturating_sub(earlier.degraded_entered),
+            degraded_recovered: self
+                .degraded_recovered
+                .saturating_sub(earlier.degraded_recovered),
+            snapshots_expired: self
+                .snapshots_expired
+                .saturating_sub(earlier.snapshots_expired),
+            degraded_partitions: self.degraded_partitions,
+        }
+    }
+}
+
 /// Cumulative statistics reported by an engine via [`crate::KvStore::stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineStats {
@@ -308,6 +408,9 @@ pub struct EngineStats {
     /// Snapshot / transaction / commit-log counters (all-zero for engines
     /// without snapshot support).
     pub txn: TxnStats,
+    /// Integrity, fault-injection and scrubber counters (all-zero for
+    /// engines without the integrity subsystem).
+    pub integrity: IntegrityStats,
 }
 
 impl EngineStats {
@@ -363,6 +466,7 @@ impl EngineStats {
                 .saturating_sub(earlier.batch_merged_writes),
             reads_per_level,
             txn: self.txn.delta_since(earlier.txn),
+            integrity: self.integrity.delta_since(earlier.integrity),
         }
     }
 }
@@ -370,6 +474,47 @@ impl EngineStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn integrity_stats_delta_keeps_gauge_and_merges() {
+        let earlier = IntegrityStats {
+            checksum_failures: 2,
+            quarantined_objects: 1,
+            scrub_passes: 3,
+            degraded_partitions: 1,
+            ..IntegrityStats::default()
+        };
+        let later = IntegrityStats {
+            checksum_failures: 5,
+            quarantined_objects: 2,
+            scrub_passes: 7,
+            scrub_clean_passes: 4,
+            degraded_entered: 1,
+            degraded_recovered: 1,
+            snapshots_expired: 2,
+            degraded_partitions: 0,
+            ..IntegrityStats::default()
+        };
+        let delta = later.delta_since(earlier);
+        assert_eq!(delta.checksum_failures, 3);
+        assert_eq!(delta.quarantined_objects, 1);
+        assert_eq!(delta.scrub_passes, 4);
+        assert_eq!(delta.scrub_clean_passes, 4);
+        assert_eq!(delta.snapshots_expired, 2);
+        // The gauge keeps the later value, not the difference.
+        assert_eq!(delta.degraded_partitions, 0);
+
+        let merged = earlier.merged(later);
+        assert_eq!(merged.checksum_failures, 7);
+        assert_eq!(merged.scrub_passes, 10);
+        assert_eq!(merged.degraded_partitions, 1);
+    }
+
+    #[test]
+    fn partition_health_defaults_healthy() {
+        assert_eq!(PartitionHealth::default(), PartitionHealth::Healthy);
+        assert_ne!(PartitionHealth::Degraded, PartitionHealth::Healthy);
+    }
 
     #[test]
     fn frontend_stats_width_and_delta() {

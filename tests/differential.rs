@@ -54,13 +54,25 @@
 //! engine is crash-recovered, a fresh server is started, and the client
 //! reconnects and replays exactly the unlanded frames in order — so the
 //! column must still equal the oracle exactly.
+//!
+//! A ninth column replays the same op stream under a seeded low-rate
+//! *storage fault plan* (injected I/O errors, bit flips and torn writes
+//! on both tiers). Exact equality is impossible — failed writes leave a
+//! key in one of a small acceptable-state set — so this column runs an
+//! uncertainty-aware oracle with a different contract: the engine may
+//! *error* (corruption is detected and surfaced, degraded partitions
+//! refuse writes) but may never *lie* — every value a read or scan
+//! returns must be a state some legal execution could hold. It is
+//! crash-recovered mid-run with corrupt slots live (recovery must
+//! quarantine, never resurrect), and after a final heal-and-scrub phase
+//! it must converge to the oracle exactly.
 
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use prismdb::db::{Options, Partitioning, PrismDb};
+use prismdb::db::{FaultPlan, Options, PartitionHealth, Partitioning, PrismDb, TierFaultRates};
 use prismdb::frontend::{Frontend, FrontendOptions, WriteTicket};
 use prismdb::lsm::{LsmConfig, LsmTree};
 use prismdb::net::protocol::{Request, Status};
@@ -915,6 +927,428 @@ fn run_seed(seed: u64) {
     // The wire column must really have travelled the wire, survived its
     // server teardown, and stranded nothing.
     prism_net.assert_clean(seed);
+}
+
+// ---------------------------------------------------------------------
+// The ninth column: the same op stream under a seeded low-rate storage
+// fault plan (injected I/O errors, bit flips, torn writes, latency
+// spikes on both tiers). Faults make exact oracle equality impossible —
+// a failed write leaves the engine in one of two legitimate states, a
+// corrupt object must *error*, not compare — so this column carries its
+// own uncertainty-aware oracle and a different contract:
+//
+//   1. The engine never returns wrong data. Every successful read or
+//      scan entry must equal a state some legal fault-free/faulted
+//      execution could hold: the committed value, or — for a key whose
+//      write failed ambiguously — one of its acceptable states. Errors
+//      are allowed; silent corruption is not.
+//   2. A key a scan omits must be provably corrupt (probe reads error
+//      with `Corruption`) or still correct under a point read (the scan
+//      skipped a corrupt storage copy the read served from DRAM).
+//   3. Crash-recovery under faults quarantines rather than resurrects,
+//      and after quarantined keys are rewritten (healed) and scrub
+//      passes come back clean, the engine converges to the oracle
+//      EXACTLY — point reads and scans.
+// ---------------------------------------------------------------------
+
+/// The fault column's oracle: definite state plus, for keys whose write
+/// failed ambiguously (an injected I/O error can strike before or after
+/// the slab install, e.g. in an inline compaction the write triggered),
+/// the set of states the engine may legitimately hold. A successful
+/// read collapses the ambiguity to the observed state.
+struct FaultOracle {
+    /// Definite state: key id -> value (absent = deleted/never written).
+    committed: std::collections::BTreeMap<u64, Value>,
+    /// Keys in ambiguous state -> every value (or absence) the engine
+    /// may legitimately report for them.
+    suspects: std::collections::HashMap<u64, Vec<Option<Value>>>,
+}
+
+impl FaultOracle {
+    fn new() -> Self {
+        FaultOracle {
+            committed: std::collections::BTreeMap::new(),
+            suspects: std::collections::HashMap::new(),
+        }
+    }
+
+    /// A write landed: the state is definite again.
+    fn write_ok(&mut self, id: u64, value: Option<Value>) {
+        match value {
+            Some(v) => {
+                self.committed.insert(id, v);
+            }
+            None => {
+                self.committed.remove(&id);
+            }
+        }
+        self.suspects.remove(&id);
+    }
+
+    /// A write failed ambiguously: the engine now holds any previously
+    /// acceptable state, or the attempted one.
+    fn write_ambiguous(&mut self, id: u64, attempted: Option<Value>) {
+        let states = self.suspects.entry(id).or_default();
+        if states.is_empty() {
+            states.push(self.committed.get(&id).cloned());
+        }
+        if !states.contains(&attempted) {
+            states.push(attempted);
+        }
+    }
+
+    /// A read succeeded: the observed state must be acceptable, and it
+    /// collapses any ambiguity (single-threaded column — what was read
+    /// is what is stored).
+    fn observe(&mut self, id: u64, observed: &Option<Value>, seed: u64, at: &str) {
+        if let Some(states) = self.suspects.remove(&id) {
+            assert!(
+                states.contains(observed),
+                "fault column read a value outside the acceptable set for \
+                 key {id} ({at}, seed {seed})"
+            );
+            match observed {
+                Some(v) => {
+                    self.committed.insert(id, v.clone());
+                }
+                None => {
+                    self.committed.remove(&id);
+                }
+            }
+        } else {
+            let expected = self.committed.get(&id).cloned();
+            if observed != &expected {
+                let diff = match (observed, &expected) {
+                    (Some(o), Some(e)) if o.len() == e.len() => format!(
+                        "{} differing bytes of {} (obs[0]={:#04x} exp[0]={:#04x})",
+                        o.as_bytes()
+                            .iter()
+                            .zip(e.as_bytes())
+                            .filter(|(a, b)| a != b)
+                            .count(),
+                        o.len(),
+                        o.as_bytes()[0],
+                        e.as_bytes()[0],
+                    ),
+                    (o, e) => format!(
+                        "lengths {:?} vs {:?}",
+                        o.as_ref().map(Value::len),
+                        e.as_ref().map(Value::len)
+                    ),
+                };
+                panic!("fault column served WRONG DATA for key {id} ({at}, seed {seed}): {diff}");
+            }
+        }
+    }
+
+    fn is_suspect(&self, id: u64) -> bool {
+        self.suspects.contains_key(&id)
+    }
+
+    /// The state to (re)write when healing a quarantined key: the last
+    /// attempted value for suspects, the committed one otherwise.
+    fn heal_target(&self, id: u64) -> Option<Value> {
+        match self.suspects.get(&id) {
+            Some(states) => states.last().cloned().expect("suspect sets are non-empty"),
+            None => self.committed.get(&id).cloned(),
+        }
+    }
+}
+
+/// Point read with retry across transient injected I/O errors.
+/// Corruption is returned immediately (it is persistent until healed).
+fn faulted_get(db: &PrismDb, key: &Key) -> Result<Option<Value>> {
+    let mut last = PrismError::Io("unreachable: no read attempted".into());
+    for _ in 0..64 {
+        match db.get(key) {
+            Ok(lookup) => return Ok(lookup.value),
+            Err(err @ PrismError::Corruption(_)) => return Err(err),
+            Err(err @ PrismError::Io(_)) => last = err,
+            Err(other) => panic!("fault column get failed with {other}"),
+        }
+    }
+    Err(last)
+}
+
+/// Scan with retry across transient injected I/O errors.
+fn faulted_scan(db: &PrismDb, start: &Key, count: usize) -> Vec<(Key, Value)> {
+    let mut last = String::new();
+    for _ in 0..64 {
+        match db.scan(start, count) {
+            Ok(result) => return result.entries,
+            Err(err) => last = err.to_string(),
+        }
+    }
+    panic!("fault column scan failed persistently: {last}");
+}
+
+/// Apply one write (put or delete) to the engine and record the outcome
+/// in the oracle. Degraded refusals change nothing (the gate runs before
+/// any mutation); injected I/O errors leave the key ambiguous.
+fn faulted_write(
+    db: &PrismDb,
+    oracle: &mut FaultOracle,
+    key: Key,
+    value: Option<Value>,
+    refusals: &mut u64,
+    write_faults: &mut u64,
+) {
+    let id = key.id();
+    let result = match &value {
+        Some(v) => db.put(key, v.clone()),
+        None => db.delete(&key),
+    };
+    match result {
+        Ok(_) => oracle.write_ok(id, value),
+        Err(PrismError::Degraded { .. }) => *refusals += 1,
+        Err(PrismError::Io(_)) => {
+            *write_faults += 1;
+            oracle.write_ambiguous(id, value);
+        }
+        Err(other) => panic!("fault column write failed with {other}"),
+    }
+}
+
+/// Check one scan against the oracle: every returned entry must be an
+/// acceptable state, and every committed key the scan silently omitted
+/// must be provably corrupt (or still correct under a point read, which
+/// can serve from DRAM a copy whose storage version the scan skipped).
+fn check_faulted_scan(
+    db: &PrismDb,
+    oracle: &mut FaultOracle,
+    start: &Key,
+    count: usize,
+    seed: u64,
+    ops_done: usize,
+) {
+    let entries = faulted_scan(db, start, count);
+    for (key, value) in &entries {
+        oracle.observe(key.id(), &Some(value.clone()), seed, "scan entry");
+    }
+    let returned: std::collections::HashSet<u64> = entries.iter().map(|(k, _)| k.id()).collect();
+    let window_end = if entries.len() < count {
+        u64::MAX
+    } else {
+        entries.last().map(|(k, _)| k.id()).unwrap_or(u64::MAX)
+    };
+    let missing: Vec<u64> = oracle
+        .committed
+        .range(start.id()..=window_end)
+        .map(|(id, _)| *id)
+        .filter(|id| !returned.contains(id) && !oracle.is_suspect(*id))
+        .collect();
+    for id in missing {
+        match faulted_get(db, &Key::from_id(id)) {
+            // The scan skipped a corrupt storage copy; the point read
+            // served a verified one (DRAM holds the last committed
+            // value). Still not wrong data.
+            Ok(observed) => oracle.observe(id, &observed, seed, "scan-omission probe"),
+            Err(PrismError::Corruption(_)) => {} // provably corrupt: a legal omission
+            Err(err) => panic!(
+                "scan-omission probe for key {id} failed with {err} \
+                 (seed {seed}, op {ops_done})"
+            ),
+        }
+    }
+}
+
+/// Scrub every partition until a full pass finds nothing corrupt and all
+/// partitions are healthy again. Returns the number of passes.
+fn scrub_until_clean(db: &PrismDb, seed: u64) -> u32 {
+    for pass in 1..=32u32 {
+        let report = db.scrub();
+        let all_healthy = (0..ConcurrentKvStore::shard_count(db))
+            .all(|p| db.partition_health(p) == PartitionHealth::Healthy);
+        if report.corrupt_found == 0 && all_healthy {
+            return pass;
+        }
+    }
+    panic!("scrub never came back clean (seed {seed})");
+}
+
+fn run_fault_seed(seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let plan = Arc::new(FaultPlan::new(seed ^ 0xFA17).with_rates(TierFaultRates {
+        io_error: 0.0015,
+        bit_flip: 0.004,
+        torn_write: 0.0015,
+        latency_spike: 0.005,
+        spike: Nanos::from_micros(400),
+    }));
+    let mut options = Options::scaled_default(KEY_SPACE);
+    options.num_partitions = 3;
+    options.compaction.bucket_size_keys = 128;
+    options.sst_target_bytes = 16 * 1024;
+    options.nvm_capacity_bytes = 256 * 1024;
+    options.nvm_profile.capacity_bytes = 256 * 1024;
+    options.fault_plan = Some(Arc::clone(&plan));
+    // Hair-trigger degraded mode so the run exercises the full
+    // quarantine -> read-only -> scrub -> re-arm lifecycle.
+    options.corruption_quarantine_threshold = 3;
+    options.scrub_io_budget_bytes = 64 * 1024;
+    let db = PrismDb::open(options).expect("valid options");
+    let mut oracle = FaultOracle::new();
+    let mut refusals = 0u64;
+    let mut write_faults = 0u64;
+    let mut corruption_reads = 0u64;
+
+    for ops_done in 0..OPS_PER_SEED {
+        match random_op(&mut rng) {
+            Op::Update(key, value) | Op::Insert(key, value) => faulted_write(
+                &db,
+                &mut oracle,
+                key,
+                Some(value),
+                &mut refusals,
+                &mut write_faults,
+            ),
+            Op::Delete(key) => faulted_write(
+                &db,
+                &mut oracle,
+                key,
+                None,
+                &mut refusals,
+                &mut write_faults,
+            ),
+            Op::Read(key) => match faulted_get(&db, &key) {
+                Ok(observed) => oracle.observe(key.id(), &observed, seed, "point read"),
+                Err(PrismError::Corruption(_)) => corruption_reads += 1,
+                Err(PrismError::Io(_)) => {} // persistently unlucky: still not wrong data
+                Err(err) => panic!("fault column read failed with {err}"),
+            },
+            Op::ReadModifyWrite(key, value) => {
+                match faulted_get(&db, &key) {
+                    Ok(observed) => oracle.observe(key.id(), &observed, seed, "rmw read"),
+                    Err(PrismError::Corruption(_)) => corruption_reads += 1,
+                    Err(PrismError::Io(_)) => {}
+                    Err(err) => panic!("fault column rmw read failed with {err}"),
+                }
+                faulted_write(
+                    &db,
+                    &mut oracle,
+                    key,
+                    Some(value),
+                    &mut refusals,
+                    &mut write_faults,
+                );
+            }
+            Op::Scan(key, count) => {
+                check_faulted_scan(&db, &mut oracle, &key, count, seed, ops_done);
+            }
+        }
+        if (ops_done + 1) % BATCH == 0 {
+            // Periodic scrub: repairs what has a surviving copy,
+            // quarantines what does not, re-arms degraded partitions.
+            db.scrub();
+        }
+        if (ops_done + 1) == OPS_PER_SEED / 2 {
+            // Crash mid-run with corrupt slots likely present: recovery
+            // must quarantine them, never resurrect or serve them.
+            db.crash_and_recover();
+        }
+    }
+
+    // Final convergence. Crash once more, then heal: every key must read
+    // back an acceptable state or a provable Corruption; quarantined
+    // keys are rewritten (a fresh write supersedes the corrupt version).
+    // Healing writes roll new faults, so iterate to a fixed point.
+    db.crash_and_recover();
+    let mut healed = false;
+    for _round in 0..32 {
+        scrub_until_clean(&db, seed);
+        let mut dirty = false;
+        for id in 0..KEY_SPACE {
+            let key = Key::from_id(id);
+            match faulted_get(&db, &key) {
+                Ok(observed) => oracle.observe(id, &observed, seed, "final sweep"),
+                Err(_) => {
+                    dirty = true;
+                    let target = oracle.heal_target(id);
+                    faulted_write(
+                        &db,
+                        &mut oracle,
+                        key,
+                        target,
+                        &mut refusals,
+                        &mut write_faults,
+                    );
+                }
+            }
+        }
+        if !dirty {
+            healed = true;
+            break;
+        }
+    }
+    assert!(healed, "healing never reached a fixed point (seed {seed})");
+    assert!(
+        oracle.suspects.is_empty(),
+        "the full healed sweep must collapse every ambiguous key (seed {seed})"
+    );
+
+    // Converged: the engine now equals the oracle EXACTLY — point reads
+    // did above (final sweep), scans here.
+    for start in [0, KEY_SPACE / 3, KEY_SPACE / 2, KEY_SPACE - 40] {
+        let entries = faulted_scan(&db, &Key::from_id(start), 64);
+        let expected: Vec<(Key, Value)> = oracle
+            .committed
+            .range(start..)
+            .take(64)
+            .map(|(id, v)| (Key::from_id(*id), v.clone()))
+            .collect();
+        assert_eq!(
+            entries, expected,
+            "healed scan from {start} diverged (seed {seed})"
+        );
+    }
+
+    // The column must genuinely have been under fire, and every
+    // corruption that reached a read must have been caught by a
+    // checksum (that is what made the reads error instead of lie).
+    let snap = plan.snapshot();
+    assert!(
+        snap.bit_flips + snap.torn_writes > 0,
+        "the fault plan never injected corruption (seed {seed})"
+    );
+    assert!(
+        snap.io_errors > 0,
+        "the fault plan never injected an I/O error (seed {seed})"
+    );
+    let stats = ConcurrentKvStore::stats(&db);
+    assert!(
+        stats.integrity.checksum_failures > 0,
+        "no injected corruption was ever caught by a checksum (seed {seed})"
+    );
+    assert!(
+        stats.integrity.scrub_passes > 0 && stats.integrity.scrub_clean_passes > 0,
+        "the scrubber never completed a pass (seed {seed})"
+    );
+    // Quarantines happened and were healed: nothing is quarantined now.
+    assert!(
+        stats.integrity.quarantined_objects > 0,
+        "corruption never led to a quarantine (seed {seed})"
+    );
+    assert_eq!(
+        db.quarantined_object_count(),
+        0,
+        "healing must clear every quarantine sentinel (seed {seed})"
+    );
+    let _ = (refusals, write_faults, corruption_reads);
+}
+
+#[test]
+fn faulted_engine_never_serves_wrong_data_seed_1() {
+    run_fault_seed(0xFA17_0001);
+}
+
+#[test]
+fn faulted_engine_never_serves_wrong_data_seed_2() {
+    run_fault_seed(0xFA17_0002);
+}
+
+#[test]
+fn faulted_engine_never_serves_wrong_data_seed_3() {
+    run_fault_seed(0xFA17_0003);
 }
 
 #[test]
