@@ -64,6 +64,55 @@ pub fn prismdb_shared(record_count: u64) -> std::sync::Arc<PrismDb> {
     std::sync::Arc::new(prismdb(record_count))
 }
 
+/// Options for the read-path (cache-sharding) sweep: a configuration
+/// where the DRAM cache's lock is the *only* scaling obstacle left on the
+/// read path, so sharding it (or not) is what the sweep measures.
+///
+/// - **Range partitioning** so that a latest-style key distribution lands
+///   on one hot partition — the "Zipfian-hot partition" case the sharded
+///   cache exists for. The default hash partitioning would scatter the
+///   hot keys and hide the per-partition lock entirely.
+/// - **NVM sized for the whole dataset** so no read pays a flash access.
+///   At a ~65x flash:NVM latency gap a handful of flash reads would
+///   dominate the makespan and mask any lock contention.
+/// - **DRAM cache sized for the hot set** (per-partition share covers the
+///   partition's whole key range) so both the sharded and the mutexed
+///   variant converge to the same hit rate and the comparison isolates
+///   lock contention rather than capacity-split effects.
+pub fn read_path_options(record_count: u64) -> Options {
+    let mut options = prism_options(record_count);
+    options.partitioning = prism_db::Partitioning::Range;
+    // NVM is split evenly across partitions, but range partitioning over
+    // a half-full id space leaves the upper partitions empty — each *live*
+    // partition owns 2/num_partitions of the dataset, so the total must be
+    // several times the dataset for the live partitions' shares to hold
+    // their whole range without demoting the tail to flash.
+    let nvm = (record_count * 1024 * 6).max(64 * 1024);
+    options.nvm_capacity_bytes = nvm;
+    options.nvm_profile = DeviceProfile::optane_nvm(nvm);
+    options.dram_cache_bytes = record_count * 1024 * 2 * options.num_partitions as u64;
+    options
+}
+
+/// PrismDB configured for the read-path sweep (see [`read_path_options`])
+/// with the default sharded DRAM cache, behind a shared handle.
+pub fn prismdb_read_path(record_count: u64) -> std::sync::Arc<PrismDb> {
+    std::sync::Arc::new(PrismDb::open(read_path_options(record_count)).expect("valid options"))
+}
+
+/// PrismDB with the per-partition DRAM cache collapsed to a single
+/// sub-shard (one mutex): the baseline the read-path scalability sweep
+/// compares the sharded cache against. Every cache probe on a partition
+/// serialises on the same lock, so the serial read residue reported via
+/// `ConcurrentKvStore::shard_read_serial_times` grows with the read rate
+/// instead of dividing across sub-shards. Everything else matches
+/// [`prismdb_read_path`].
+pub fn prismdb_mutexed_cache(record_count: u64) -> std::sync::Arc<PrismDb> {
+    let mut options = read_path_options(record_count);
+    options.cache_shards = 1;
+    std::sync::Arc::new(PrismDb::open(options).expect("valid options"))
+}
+
 /// PrismDB with `workers` background compaction worker threads (demotions
 /// and promotions run off the foreground path; writes only stall at the
 /// back-pressure ceiling), behind a shared handle.

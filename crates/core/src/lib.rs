@@ -48,7 +48,7 @@ mod partition;
 mod sequence;
 mod workers;
 
-pub use cache::LruCache;
+pub use cache::{CacheStats, LruCache};
 pub use engine::PrismDb;
 pub use options::{Options, OptionsBuilder, Partitioning};
 pub use partition::ScrubReport;

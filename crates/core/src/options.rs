@@ -60,6 +60,12 @@ pub struct Options {
     /// Bytes of DRAM used as an object cache (stand-in for the OS page
     /// cache the paper relies on).
     pub dram_cache_bytes: u64,
+    /// Number of independently locked sub-shards each partition's DRAM
+    /// cache is split into (key-hash → sub-cache). `1` reproduces the old
+    /// single-mutex cache; higher values let concurrent point reads of one
+    /// partition proceed without serialising on the cache lock. The
+    /// effective count is reduced for tiny cache capacities.
+    pub cache_shards: usize,
     /// Slab slot sizes for the NVM store.
     pub slab_slot_sizes: Vec<u32>,
     /// Tracker capacity as a fraction of `expected_keys` (0.2 in §7).
@@ -117,6 +123,14 @@ pub struct Options {
     /// and SST data walked; a pass that exhausts the budget resumes where
     /// it left off on the next pass.
     pub scrub_io_budget_bytes: u64,
+    /// Steady background scrub cadence: in background-compaction mode,
+    /// after every `scrub_interval_ops` client operations the engine
+    /// enqueues a scrub pass for the next partition (round-robin) — but
+    /// only while the worker pool's queue is idle, so scrubbing rides the
+    /// pool's idle budget and never delays compactions. `0` disables the
+    /// cadence (scrubs then run only on demand or after corruption is
+    /// observed).
+    pub scrub_interval_ops: u64,
     /// Maximum age of a pinned snapshot, measured in commits allocated
     /// after the pin. Exceeding it aborts the oldest pin with
     /// `SnapshotExpired` and frees its preserved history. `0` disables
@@ -155,6 +169,7 @@ impl Options {
             partitioning: Partitioning::Hash,
             // The paper provisions DRAM at a 1:10 ratio to storage capacity.
             dram_cache_bytes: flash_capacity / 10,
+            cache_shards: 8,
             slab_slot_sizes: vec![128, 256, 512, 1024, 2048, 4096],
             tracker_fraction: 0.2,
             pinning_threshold: 0.7,
@@ -175,6 +190,7 @@ impl Options {
             fault_plan: None,
             corruption_quarantine_threshold: 8,
             scrub_io_budget_bytes: 4 << 20,
+            scrub_interval_ops: 100_000,
             max_pin_age_ops: 0,
             max_history_bytes: 0,
         }
@@ -256,6 +272,11 @@ impl Options {
                 "scrub_io_budget_bytes must be non-zero".into(),
             ));
         }
+        if self.cache_shards == 0 || self.cache_shards > 1024 {
+            return Err(PrismError::InvalidConfig(
+                "cache_shards must be in [1, 1024]".into(),
+            ));
+        }
         self.compaction.validate()?;
         Ok(())
     }
@@ -300,6 +321,13 @@ impl OptionsBuilder {
     /// Set the DRAM object-cache size.
     pub fn dram_cache(mut self, bytes: u64) -> Self {
         self.options.dram_cache_bytes = bytes;
+        self
+    }
+
+    /// Set the number of sub-shards each partition's DRAM cache splits
+    /// into (`1` = the old single-mutex cache; default 8).
+    pub fn cache_shards(mut self, shards: usize) -> Self {
+        self.options.cache_shards = shards;
         self
     }
 
@@ -382,6 +410,13 @@ impl OptionsBuilder {
     /// Set the scrubber's per-pass I/O budget in bytes.
     pub fn scrub_io_budget(mut self, bytes: u64) -> Self {
         self.options.scrub_io_budget_bytes = bytes;
+        self
+    }
+
+    /// Set the steady background scrub cadence in client operations
+    /// (`0` disables it; only active in background-compaction mode).
+    pub fn scrub_interval_ops(mut self, ops: u64) -> Self {
+        self.options.scrub_interval_ops = ops;
         self
     }
 
@@ -470,6 +505,25 @@ mod tests {
         let mut bad = Options::scaled_default(100);
         bad.scrub_io_budget_bytes = 0;
         assert!(bad.validate().is_err());
+        let mut bad = Options::scaled_default(100);
+        bad.cache_shards = 0;
+        assert!(bad.validate().is_err());
+        bad.cache_shards = 2048;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn read_path_knobs_build_and_default_sharded() {
+        let defaults = Options::scaled_default(1000);
+        assert_eq!(defaults.cache_shards, 8);
+        assert_eq!(defaults.scrub_interval_ops, 100_000);
+        let options = Options::builder(1000)
+            .cache_shards(1)
+            .scrub_interval_ops(0)
+            .build()
+            .unwrap();
+        assert_eq!(options.cache_shards, 1);
+        assert_eq!(options.scrub_interval_ops, 0);
     }
 
     #[test]

@@ -14,12 +14,19 @@
 //! Point reads and scans take `&self`: the engine keeps each partition
 //! behind an `RwLock`, so reads on the same partition overlap with each
 //! other and only serialise against writers. Whatever a read must mutate
-//! is split out of the critical section — the DRAM cache sits behind its
-//! own small mutex, read counters are atomics, and tracker/clock/
-//! read-trigger updates are buffered in a [`ReadSideState`] that the next
-//! write (or an explicit engine-driven drain) applies under the write
-//! lock. The CPU cost of the tracker update is still charged to the read
-//! that caused it; only the application is deferred.
+//! is split out of the critical section — the DRAM cache is hash-sharded
+//! over independently locked sub-caches ([`ShardedLruCache`]), every read
+//! counter is an atomic, and the clock-tracker update for an
+//! already-tracked key is a lock-free [`ClockTracker::touch`] (an atomic
+//! swap on the entry's clock byte) folded into the mapper histogram with
+//! an atomic [`Mapper::promote_to_max`]. Only *structural* tracker work —
+//! admitting a key the tracker has never seen, which may evict another —
+//! is buffered in a [`ReadSideState`] for the next write (or an
+//! engine-forced drain) to apply under the write lock. The CPU cost of
+//! the tracker update is still charged to the read that caused it; only
+//! structural application is deferred. Point lookups resolve the key's
+//! NVM address through the index's hash-directory fast path
+//! ([`prism_index::FastIndex`]) instead of a B-tree walk.
 //!
 //! # Compaction pipeline
 //!
@@ -43,7 +50,7 @@ use prism_compaction::{
     DemoteEntry, ExecutedJob, JobKind, MergedOrigin, RangeStatsBuilder, ReadTriggeredController,
 };
 use prism_flash::{Manifest, SortedLog, SstBuilder, SstEntry, SstFile};
-use prism_index::BTreeIndex;
+use prism_index::FastIndex;
 use prism_nvm::{NvmAddress, SlabConfig, SlabStore};
 use prism_storage::{CpuCosts, Device, FaultOp, FaultPlan, FaultTier, TieredStorage};
 use prism_tracker::{ClockTracker, Mapper, PinDecision};
@@ -52,7 +59,7 @@ use prism_types::{
     ReadSource, Result, Value,
 };
 
-use crate::cache::LruCache;
+use crate::cache::ShardedLruCache;
 use crate::options::Options;
 use crate::sequence::CommitSequencer;
 
@@ -92,21 +99,33 @@ struct ReadStats {
     not_found: AtomicU64,
 }
 
-/// Tracker/clock/read-trigger updates buffered by `&self` reads and
-/// applied by the next writer (or an engine-forced drain).
+/// Structural tracker admissions buffered by `&self` reads and applied by
+/// the next writer (or an engine-forced drain). Only keys the clock
+/// tracker does not yet track land here — a tracked key's re-access is
+/// applied lock-free on the read path itself ([`ClockTracker::touch`]).
 #[derive(Debug, Default)]
 struct ReadSideState {
-    /// `(key, served_from_flash)` per found read, in arrival order.
+    /// `(key, served_from_flash)` per untracked found read, in arrival
+    /// order.
     accesses: Vec<(Key, bool)>,
+}
+
+/// Read-side counters maintained entirely with atomics: the hot read path
+/// bumps these without taking any lock, and write-lock holders drain them.
+#[derive(Debug, Default)]
+struct ReadSideCounters {
+    /// Mirrors `ReadSideState::accesses.len()` so drain pressure is
+    /// checked without the buffer mutex.
+    pending_accesses: AtomicU64,
     /// Total reads observed since the last drain.
-    reads: u64,
+    reads: AtomicU64,
     /// Reads served from NVM since the last drain.
-    nvm_hits: u64,
+    nvm_hits: AtomicU64,
     /// Reads served from flash since the last drain.
-    flash_hits: u64,
+    flash_hits: AtomicU64,
     /// Flash-served reads since the last promotion compaction (persists
     /// across drains; reset when a promotion is scheduled).
-    flash_reads_since_promotion: u64,
+    flash_reads_since_promotion: AtomicU64,
 }
 
 /// Slab device writes accumulated by one batched partition group. The
@@ -170,7 +189,7 @@ pub(crate) struct Partition {
     nvm_dev: Arc<Device>,
     flash_dev: Arc<Device>,
     slab: SlabStore,
-    index: BTreeIndex<Key, IndexEntry>,
+    index: FastIndex<Key, IndexEntry>,
     log: SortedLog,
     manifest: Manifest,
     tracker: ClockTracker,
@@ -178,8 +197,9 @@ pub(crate) struct Partition {
     buckets: BucketMap,
     planner: CompactionPlanner,
     read_trigger: Option<ReadTriggeredController>,
-    cache: Mutex<LruCache>,
+    cache: ShardedLruCache,
     read_side: Mutex<ReadSideState>,
+    read_counters: ReadSideCounters,
     read_stats: ReadStats,
     /// Global commit sequencer shared by every partition of the engine:
     /// allocates the per-version timestamps (which double as commit
@@ -255,7 +275,7 @@ impl Partition {
             nvm_dev: storage.nvm.clone(),
             flash_dev: storage.flash.clone(),
             slab,
-            index: BTreeIndex::new(),
+            index: FastIndex::new(),
             log: SortedLog::new(),
             manifest: Manifest::new(),
             tracker: ClockTracker::new(tracker_capacity),
@@ -263,8 +283,12 @@ impl Partition {
             buckets: BucketMap::new(options.compaction.bucket_size_keys),
             planner,
             read_trigger: options.read_trigger.map(ReadTriggeredController::new),
-            cache: Mutex::new(LruCache::new(options.dram_cache_bytes / partitions)),
+            cache: ShardedLruCache::new(
+                options.dram_cache_bytes / partitions,
+                options.cache_shards,
+            ),
             read_side: Mutex::new(ReadSideState::default()),
+            read_counters: ReadSideCounters::default(),
             read_stats: ReadStats::default(),
             seq,
             history: BTreeMap::new(),
@@ -283,12 +307,6 @@ impl Partition {
             scrub_cursor: None,
             options,
         })
-    }
-
-    fn lock_cache(&self) -> MutexGuard<'_, LruCache> {
-        self.cache
-            .lock()
-            .unwrap_or_else(|poison| poison.into_inner())
     }
 
     fn lock_read_side(&self) -> MutexGuard<'_, ReadSideState> {
@@ -331,6 +349,19 @@ impl Partition {
         stats.reads_from_flash = self.read_stats.flash.load(Ordering::Relaxed);
         stats.reads_not_found = self.read_stats.not_found.load(Ordering::Relaxed);
         stats
+    }
+
+    /// Serial virtual time accumulated by this partition's busiest DRAM
+    /// cache sub-shard (see [`ShardedLruCache::busiest_serial_ns`]): the
+    /// residual single-lock component of the read path that a threaded
+    /// makespan model must keep on the critical path.
+    pub(crate) fn read_serial_busiest_ns(&self) -> u64 {
+        self.cache.busiest_serial_ns()
+    }
+
+    /// Occupancy and hit/miss counters of this partition's DRAM cache.
+    pub(crate) fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.cache.stats()
     }
 
     // ------------------------------------------------------------------
@@ -602,31 +633,37 @@ impl Partition {
     // Read-side drain
     // ------------------------------------------------------------------
 
-    /// Drain/promotion pressure given the current buffer state; the
-    /// caller must hold the read-side lock (the borrow proves it).
-    fn pressure_of(&self, rs: &ReadSideState) -> bool {
+    /// Drain/promotion pressure from the atomic read-side counters alone:
+    /// the hot read path calls this without holding any lock.
+    fn read_pressure(&self) -> bool {
         let trigger_enabled = self.options.promotions_enabled
             && self
                 .read_trigger
                 .as_ref()
                 .is_some_and(|ctrl| ctrl.promotions_enabled());
-        rs.accesses.len() >= READ_SIDE_DRAIN
+        self.read_counters.pending_accesses.load(Ordering::Relaxed) as usize >= READ_SIDE_DRAIN
             || (trigger_enabled
-                && rs.flash_reads_since_promotion >= self.options.promotion_batch_flash_reads)
+                && self
+                    .read_counters
+                    .flash_reads_since_promotion
+                    .load(Ordering::Relaxed)
+                    >= self.options.promotion_batch_flash_reads)
     }
 
-    /// Apply buffered read-side updates to the tracker, mapper, bucket map
-    /// and read-trigger controller. Requires the write lock (`&mut self`).
+    /// Apply buffered structural tracker admissions and drain the atomic
+    /// read counters into the read-trigger controller. Requires the write
+    /// lock (`&mut self`).
     pub(crate) fn apply_read_side(&mut self) {
-        let (accesses, reads, nvm_hits, flash_hits) = {
+        let accesses = {
             let mut rs = self.lock_read_side();
-            (
-                std::mem::take(&mut rs.accesses),
-                std::mem::take(&mut rs.reads),
-                std::mem::take(&mut rs.nvm_hits),
-                std::mem::take(&mut rs.flash_hits),
-            )
+            self.read_counters
+                .pending_accesses
+                .store(0, Ordering::Relaxed);
+            std::mem::take(&mut rs.accesses)
         };
+        let reads = self.read_counters.reads.swap(0, Ordering::Relaxed);
+        let nvm_hits = self.read_counters.nvm_hits.swap(0, Ordering::Relaxed);
+        let flash_hits = self.read_counters.flash_hits.swap(0, Ordering::Relaxed);
         for (key, on_flash) in &accesses {
             // Cost already charged to the read that buffered the access.
             let _ = self.observe_access_now(key, *on_flash);
@@ -657,16 +694,11 @@ impl Partition {
         if !enabled {
             return;
         }
-        let due = {
-            let mut rs = self.lock_read_side();
-            if rs.flash_reads_since_promotion >= self.options.promotion_batch_flash_reads {
-                rs.flash_reads_since_promotion = 0;
-                true
-            } else {
-                false
-            }
-        };
-        if due {
+        // `&mut self` means no reader holds the partition lock, so the
+        // load/store pair cannot lose a concurrent increment.
+        let ctr = &self.read_counters.flash_reads_since_promotion;
+        if ctr.load(Ordering::Relaxed) >= self.options.promotion_batch_flash_reads {
+            ctr.store(0, Ordering::Relaxed);
             self.promote_pending = true;
         }
     }
@@ -799,7 +831,7 @@ impl Partition {
         // supersedes whatever was corrupt.
         self.quarantined.remove(&key_id);
         cost += self.observe_access_now(&key, false);
-        self.lock_cache().remove(&key);
+        self.cache.remove(&key);
         self.stats.user_bytes_written += value_len;
         Ok(cost)
     }
@@ -955,9 +987,14 @@ impl Partition {
 
     /// Point lookup, also reporting whether enough read-side state has
     /// accumulated that the engine should take the write lock and drain it
-    /// (tracker updates, or a due promotion compaction). The pressure bool
-    /// is computed inside the critical section the read already pays for,
-    /// so the hot read path locks the read-side buffer exactly once.
+    /// (structural tracker admissions, or a due promotion compaction).
+    ///
+    /// The hot path acquires no partition-wide mutex: the DRAM cache probe
+    /// locks only the key's cache sub-shard, the index probe is the hash
+    /// directory's `O(1)` fast path, popularity is re-heated with an atomic
+    /// clock swap, and every counter (including the pressure inputs) is an
+    /// atomic. Only a read of a key the tracker has never seen touches the
+    /// read-side buffer mutex, to queue the structural admission.
     pub(crate) fn get_with_pressure(&self, key: &Key) -> Result<(Lookup, bool)> {
         // A quarantined key fails before any tier is consulted: an older
         // clean version on flash must never shadow the corrupt one.
@@ -968,7 +1005,16 @@ impl Partition {
         let mut source = ReadSource::NotFound;
         let mut value: Option<Value> = None;
 
-        let cached = self.lock_cache().get(key);
+        // The cache probe (and a later fill) is the read's only serial
+        // section: charge its virtual time to the key's sub-shard so the
+        // threaded makespan model sees exactly how much of the read path
+        // still serialises per sub-shard. The critical section is the whole
+        // probe — the hash lookup (`index_op`) and the LRU splice plus value
+        // copy (`dram_hit`) both run under the sub-shard lock — so the
+        // charge is their sum, not just the copy.
+        let cache_serial = (self.cpu.index_op + self.cpu.dram_hit).as_nanos();
+        let cached = self.cache.get(key);
+        self.cache.charge_serial(key, cache_serial);
         if let Some(cached) = cached {
             cost += self.cpu.dram_hit;
             source = ReadSource::Dram;
@@ -979,7 +1025,8 @@ impl Partition {
                 let found = slot.value.clone();
                 cost += read_cost;
                 source = ReadSource::Nvm;
-                self.lock_cache().insert(key.clone(), found.clone());
+                self.cache.insert(key.clone(), found.clone());
+                self.cache.charge_serial(key, cache_serial);
                 value = Some(found);
             }
         } else {
@@ -1005,7 +1052,8 @@ impl Partition {
                 if let Some(entry) = probe.entry {
                     if let Some(found) = entry.value {
                         source = ReadSource::Flash;
-                        self.lock_cache().insert(key.clone(), found.clone());
+                        self.cache.insert(key.clone(), found.clone());
+                        self.cache.charge_serial(key, cache_serial);
                         value = Some(found);
                     }
                 }
@@ -1019,26 +1067,45 @@ impl Partition {
             ReadSource::NotFound => self.read_stats.not_found.fetch_add(1, Ordering::Relaxed),
         };
         if value.is_some() {
-            // The tracker update itself is deferred to the next drain, but
-            // its CPU cost belongs to this read.
+            // The popularity update's CPU cost belongs to this read either
+            // way; which path applies it depends on whether the tracker
+            // already knows the key.
             cost += self.cpu.tracker_op;
-        }
-        let pressure = {
-            let mut rs = self.lock_read_side();
-            if value.is_some() {
-                rs.accesses.push((key.clone(), source == ReadSource::Flash));
-            }
-            rs.reads += 1;
-            match source {
-                ReadSource::Nvm => rs.nvm_hits += 1,
-                ReadSource::Flash => {
-                    rs.flash_hits += 1;
-                    rs.flash_reads_since_promotion += 1;
+            let on_flash = source == ReadSource::Flash;
+            match self.tracker.touch(key, on_flash) {
+                // Tracked: the clock byte was atomically re-heated to the
+                // maximum; fold the class transition into the histogram.
+                // The key's popularity bit is already set (it was set when
+                // the key entered the tracker and only eviction clears it),
+                // so no bucket-map update is needed.
+                Some(old) => self.mapper.promote_to_max(old),
+                // Untracked: admission may evict another key — structural
+                // work for the next write-lock holder.
+                None => {
+                    let mut rs = self.lock_read_side();
+                    rs.accesses.push((key.clone(), on_flash));
+                    self.read_counters
+                        .pending_accesses
+                        .store(rs.accesses.len() as u64, Ordering::Relaxed);
                 }
-                _ => {}
             }
-            self.pressure_of(&rs)
-        };
+        }
+        self.read_counters.reads.fetch_add(1, Ordering::Relaxed);
+        match source {
+            ReadSource::Nvm => {
+                self.read_counters.nvm_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            ReadSource::Flash => {
+                self.read_counters
+                    .flash_hits
+                    .fetch_add(1, Ordering::Relaxed);
+                self.read_counters
+                    .flash_reads_since_promotion
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        let pressure = self.read_pressure();
         self.advance_fg(cost);
         Ok((
             Lookup {
@@ -1137,7 +1204,7 @@ impl Partition {
         // A delete supersedes a quarantined version: the key is now
         // legitimately absent (or tombstoned), not corrupt.
         self.quarantined.remove(&key_id);
-        self.lock_cache().remove(key);
+        self.cache.remove(key);
         Ok(cost)
     }
 
@@ -1907,11 +1974,13 @@ impl Partition {
     pub(crate) fn crash_and_recover(&mut self) -> Nanos {
         self.epoch += 1;
         self.promote_pending = false;
-        self.lock_cache().clear();
+        self.cache.clear();
+        debug_assert!(self.cache.is_empty(), "a crash loses all DRAM state");
         {
             let mut rs = self.lock_read_side();
             *rs = ReadSideState::default();
         }
+        self.read_counters = ReadSideCounters::default();
         self.index.clear();
         let tracker_capacity =
             (self.options.tracker_capacity() / self.options.num_partitions).max(8);
@@ -2164,7 +2233,7 @@ impl Partition {
     /// entry is exactly the newest committed version), or quarantine it
     /// when no clean copy exists.
     fn scrub_repair_or_quarantine(&mut self, key: Key, report: &mut ScrubReport, cost: &mut Nanos) {
-        let cached = self.lock_cache().get(&key);
+        let cached = self.cache.get(&key);
         if let Some(value) = cached {
             let ts = self.seq.allocate();
             if let Ok((addr, c)) = self.slab.insert(key.clone(), value, ts) {

@@ -81,6 +81,12 @@ struct PartitionQueue {
     items: Mutex<VecDeque<Request>>,
     /// Signalled after a drain frees queue space, for blocked submitters.
     not_full: Condvar,
+    /// Serialises whole drains (swap + service) of this partition, so a
+    /// stealing executor and the owner can never interleave two drained
+    /// batches — the per-partition submission-order contract survives
+    /// work stealing. Always `try_lock`ed: a held lock means someone is
+    /// already servicing the partition, so the contender moves on.
+    drain_lock: Mutex<()>,
 }
 
 /// Wake-up channel of one executor thread.
@@ -97,6 +103,9 @@ struct Shared<E> {
     engine: Arc<E>,
     queue_capacity: usize,
     max_coalesce: usize,
+    /// Queue depth at which an enqueue also wakes a helper executor (see
+    /// [`FrontendOptions::steal_help_depth`]; `0` disables).
+    steal_help_depth: usize,
     queues: Vec<PartitionQueue>,
     signals: Vec<ExecSignal>,
     shutdown: AtomicBool,
@@ -119,6 +128,11 @@ struct Shared<E> {
     coalesced_groups: AtomicU64,
     coalesced_entries: AtomicU64,
     wakeups: AtomicU64,
+    steals: AtomicU64,
+    /// Rotates which peer a helper wake-up targets, so one hot partition
+    /// spreads its overflow across every other executor instead of
+    /// pinning a single neighbour.
+    help_rr: AtomicUsize,
     depth: AtomicU64,
     max_queue_depth: AtomicU64,
     /// Virtual-time accounting for the benchmark harness: simulated time
@@ -134,9 +148,26 @@ impl<E: ConcurrentKvStore> Shared<E> {
     }
 
     fn signal(&self, partition: usize) {
-        let signal = &self.signals[self.executor_of(partition)];
+        self.signal_executor(self.executor_of(partition));
+    }
+
+    fn signal_executor(&self, exec_id: usize) {
+        let signal = &self.signals[exec_id];
         *lock(&signal.pending) = true;
         signal.cv.notify_one();
+    }
+
+    /// Wake one executor that does *not* own `partition`, rotating the
+    /// choice, so an idle peer steal-sweeps its backlog. No-op with a
+    /// single executor.
+    fn signal_helper(&self, partition: usize) {
+        let executors = self.signals.len();
+        if executors < 2 {
+            return;
+        }
+        let owner = self.executor_of(partition);
+        let offset = self.help_rr.fetch_add(1, Ordering::Relaxed) % (executors - 1);
+        self.signal_executor((owner + 1 + offset) % executors);
     }
 
     fn signal_all(&self) {
@@ -152,6 +183,7 @@ impl<E: ConcurrentKvStore> Shared<E> {
     /// Enqueue onto a partition queue, blocking while it is full.
     fn enqueue(&self, partition: usize, request: Request) -> Result<()> {
         let queue = &self.queues[partition];
+        let depth;
         {
             let mut items = lock(&queue.items);
             loop {
@@ -170,9 +202,13 @@ impl<E: ConcurrentKvStore> Shared<E> {
             // Count while still holding the queue lock: a drain that can
             // already see the item must never decrement `depth` (or
             // complete the request) before these increments land.
-            self.note_enqueued(items.len());
+            depth = items.len();
+            self.note_enqueued(depth);
         }
         self.signal(partition);
+        if self.steal_help_depth != 0 && depth >= self.steal_help_depth {
+            self.signal_helper(partition);
+        }
         Ok(())
     }
 
@@ -186,6 +222,7 @@ impl<E: ConcurrentKvStore> Shared<E> {
         request: Request,
     ) -> Result<()> {
         let queue = &self.queues[partition];
+        let help_depth;
         {
             let mut items = lock(&queue.items);
             if self.shutdown.load(Ordering::Acquire) {
@@ -199,9 +236,13 @@ impl<E: ConcurrentKvStore> Shared<E> {
             }
             items.push_back(request);
             // See `enqueue`: counters move under the queue lock.
-            self.note_enqueued(items.len());
+            help_depth = items.len();
+            self.note_enqueued(help_depth);
         }
         self.signal(partition);
+        if self.steal_help_depth != 0 && help_depth >= self.steal_help_depth {
+            self.signal_helper(partition);
+        }
         Ok(())
     }
 
@@ -308,8 +349,19 @@ impl<E: ConcurrentKvStore> Shared<E> {
 
     /// Drain and service one partition queue. Writes install first (all
     /// coalesced), then the drained reads run against the resulting state
-    /// — see the crate-level ordering contract.
-    fn drain_partition(&self, exec_id: usize, partition: usize) -> bool {
+    /// — see the crate-level ordering contract. `stolen` marks a drain by
+    /// an executor that does not own the partition (statistics only; the
+    /// drain lock is what keeps stealing safe).
+    fn drain_partition(&self, exec_id: usize, partition: usize, stolen: bool) -> bool {
+        // Hold the drain lock across swap *and* service: two executors
+        // interleaving "swap batch A / swap batch B / service B / service
+        // A" would reorder writes across drains. `try_lock` because a
+        // held lock means the partition is already being serviced.
+        let _draining = match self.queues[partition].drain_lock.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::Poisoned(poison)) => poison.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return false,
+        };
         let drained = {
             let mut items = lock(&self.queues[partition].items);
             if items.is_empty() {
@@ -317,6 +369,9 @@ impl<E: ConcurrentKvStore> Shared<E> {
             }
             std::mem::take(&mut *items)
         };
+        if stolen {
+            self.steals.fetch_add(1, Ordering::Relaxed);
+        }
         self.queues[partition].not_full.notify_all();
         self.depth
             .fetch_sub(drained.len() as u64, Ordering::Relaxed);
@@ -369,19 +424,38 @@ impl<E: ConcurrentKvStore> Shared<E> {
             self.engine.shard_write_pressure(partition) >= 1.0,
             Ordering::Relaxed,
         );
+        // Release the drain lock *before* re-arming: requests enqueued
+        // while we serviced did signal the owner, but the owner may have
+        // bounced off the held drain lock and parked again — re-signal so
+        // nothing strands until the next enqueue.
+        drop(_draining);
+        if !lock(&self.queues[partition].items).is_empty() {
+            self.signal(partition);
+        }
         true
     }
 
-    /// Main loop of one executor thread: sweep the owned partitions, park
-    /// on the wake-up signal when a full sweep found nothing.
+    /// Main loop of one executor thread: sweep the owned partitions,
+    /// steal-sweep everyone else's when the owned sweep found nothing,
+    /// and park on the wake-up signal only when the whole pool's queues
+    /// look empty. Stealing means a Zipfian-hot partition is served by
+    /// every idle executor, not just its owner — the drain lock in
+    /// [`Shared::drain_partition`] keeps per-partition ordering intact.
     fn executor_loop(&self, exec_id: usize) {
         let executors = self.signals.len();
         loop {
             let mut busy = false;
             let mut partition = exec_id;
             while partition < self.queues.len() {
-                busy |= self.drain_partition(exec_id, partition);
+                busy |= self.drain_partition(exec_id, partition, false);
                 partition += executors;
+            }
+            if !busy && executors > 1 {
+                for partition in 0..self.queues.len() {
+                    if partition % executors != exec_id {
+                        busy |= self.drain_partition(exec_id, partition, true);
+                    }
+                }
             }
             if busy {
                 continue;
@@ -449,10 +523,12 @@ impl<E: ConcurrentKvStore + 'static> Frontend<E> {
             engine,
             queue_capacity: options.queue_capacity,
             max_coalesce: options.max_coalesce,
+            steal_help_depth: options.steal_help_depth,
             queues: (0..partitions)
                 .map(|_| PartitionQueue {
                     items: Mutex::new(VecDeque::new()),
                     not_full: Condvar::new(),
+                    drain_lock: Mutex::new(()),
                 })
                 .collect(),
             signals: (0..executors)
@@ -471,6 +547,8 @@ impl<E: ConcurrentKvStore + 'static> Frontend<E> {
             coalesced_groups: AtomicU64::new(0),
             coalesced_entries: AtomicU64::new(0),
             wakeups: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            help_rr: AtomicUsize::new(0),
             depth: AtomicU64::new(0),
             max_queue_depth: AtomicU64::new(0),
             exec_clocks: (0..executors).map(|_| AtomicU64::new(0)).collect(),
@@ -726,6 +804,7 @@ impl<E: ConcurrentKvStore + 'static> Frontend<E> {
             coalesced_groups: shared.coalesced_groups.load(Ordering::Relaxed),
             coalesced_entries: shared.coalesced_entries.load(Ordering::Relaxed),
             wakeups: shared.wakeups.load(Ordering::Relaxed),
+            stolen_drains: shared.steals.load(Ordering::Relaxed),
             queue_depth: shared.depth.load(Ordering::Relaxed),
             max_queue_depth: shared.max_queue_depth.load(Ordering::Relaxed),
             outstanding_tickets: shared.gauge.outstanding(),

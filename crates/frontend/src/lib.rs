@@ -27,6 +27,16 @@
 //!   Write coalescing therefore **emerges from queue pressure**: the more
 //!   logical clients are in flight, the wider the groups — no client-side
 //!   buffering required.
+//! * Executors **steal work**: partitions have owning executors (partition
+//!   *p* belongs to executor *p mod E*) for locality, but an executor
+//!   whose own partitions are empty sweeps everyone else's queues before
+//!   parking, and an enqueue that finds a deep backlog
+//!   ([`FrontendOptions::steal_help_depth`]) wakes a rotating peer to
+//!   help. A skew-hot partition (Zipfian/latest workloads) is therefore
+//!   served by the whole pool, not throttled by one owner. A per-partition
+//!   drain lock serialises whole drains (swap + service), so stealing
+//!   cannot reorder a partition's requests;
+//!   [`prism_types::FrontendStats::stolen_drains`] counts stolen drains.
 //!
 //! # Ordering and durability contract
 //!

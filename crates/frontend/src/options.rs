@@ -39,6 +39,13 @@ pub struct FrontendOptions {
     /// more pending writes installs several groups back to back (whole
     /// requests are never split across groups).
     pub max_coalesce: usize,
+    /// Queue depth at which an enqueue wakes a *neighbouring* executor in
+    /// addition to the partition's owner, so an idle peer steals the
+    /// backlog instead of letting one hot partition serialise on its
+    /// owner. Idle executors always steal-sweep foreign partitions before
+    /// parking regardless of this knob; it only controls the proactive
+    /// wake-up. `0` disables helper wake-ups.
+    pub steal_help_depth: usize,
 }
 
 impl Default for FrontendOptions {
@@ -47,6 +54,7 @@ impl Default for FrontendOptions {
             executors: 0,
             queue_capacity: 64,
             max_coalesce: 128,
+            steal_help_depth: 8,
         }
     }
 }

@@ -561,6 +561,140 @@ fn gauge_counts_outstanding_tickets_and_drain_quiesces() {
     assert_eq!(frontend.outstanding_tickets(), 0);
 }
 
+/// A four-shard engine (`shard_of = id % 4`) whose `apply_batch` blocks
+/// on a gate only for batches touching shard 0 — so one executor can be
+/// deterministically wedged on one of its partitions while its *other*
+/// partition accumulates a backlog that only a stealing peer can drain.
+struct ShardedGatedEngine {
+    inner: Mutex<MemStore>,
+    gate: Mutex<()>,
+}
+
+impl ShardedGatedEngine {
+    fn new() -> Self {
+        ShardedGatedEngine {
+            inner: Mutex::new(MemStore::default()),
+            gate: Mutex::new(()),
+        }
+    }
+
+    fn hold(&self) -> MutexGuard<'_, ()> {
+        self.gate.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn store(&self) -> MutexGuard<'_, MemStore> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl ConcurrentKvStore for ShardedGatedEngine {
+    fn put(&self, key: Key, value: Value) -> Result<Nanos> {
+        prism_types::KvStore::put(&mut *self.store(), key, value)
+    }
+
+    fn get(&self, key: &Key) -> Result<Lookup> {
+        prism_types::KvStore::get(&mut *self.store(), key)
+    }
+
+    fn delete(&self, key: &Key) -> Result<Nanos> {
+        prism_types::KvStore::delete(&mut *self.store(), key)
+    }
+
+    fn scan(&self, start: &Key, count: usize) -> Result<ScanResult> {
+        prism_types::KvStore::scan(&mut *self.store(), start, count)
+    }
+
+    fn apply_batch(&self, batch: WriteBatch) -> Result<Nanos> {
+        let gated = batch.entries().iter().any(|op| op.key().id() % 4 == 0);
+        let _gate = gated.then(|| self.hold());
+        prism_types::KvStore::apply_batch(&mut *self.store(), batch)
+    }
+
+    fn stats(&self) -> EngineStats {
+        prism_types::KvStore::stats(&*self.store())
+    }
+
+    fn elapsed(&self) -> Nanos {
+        prism_types::KvStore::elapsed(&*self.store())
+    }
+
+    fn engine_name(&self) -> &str {
+        "sharded-gated-memstore"
+    }
+
+    fn shard_count(&self) -> usize {
+        4
+    }
+
+    fn shard_of(&self, key: &Key) -> usize {
+        (key.id() % 4) as usize
+    }
+}
+
+/// With two executors over four shards, executor 0 owns partitions 0 and
+/// 2. Wedge it inside an install on partition 0, then pile writes onto
+/// partition 2: only executor 1 *stealing* the foreign partition can
+/// complete them while the gate is still held.
+#[test]
+fn idle_executors_steal_a_blocked_owners_backlog() {
+    let engine = Arc::new(ShardedGatedEngine::new());
+    let frontend = Frontend::start(
+        Arc::clone(&engine),
+        FrontendOptions {
+            executors: 2,
+            steal_help_depth: 1,
+            ..FrontendOptions::default()
+        },
+    )
+    .expect("valid frontend options");
+    let gate = engine.hold();
+    let wedged = frontend
+        .submit_put(Key::from_id(0), Value::filled(16, 0))
+        .expect("submit");
+    // Wait until executor 0 has drained the write and is blocked inside
+    // apply_batch on the held gate.
+    while frontend.stats().queue_depth > 0 {
+        std::thread::yield_now();
+    }
+    // Backlog on executor 0's *other* partition. The enqueues wake a
+    // helper (steal_help_depth = 1) and executor 1's own partitions are
+    // empty, so it must steal partition 2's drains.
+    let mut stolen_work = Vec::new();
+    for i in 0..50u64 {
+        stolen_work.push(
+            frontend
+                .submit_put(Key::from_id(2 + i * 4), Value::filled(16, i as u8))
+                .expect("submit"),
+        );
+    }
+    for ticket in stolen_work {
+        ticket
+            .wait()
+            .expect("a stolen drain must service the backlog");
+    }
+    // The gate is still held: the owner cannot have serviced these.
+    assert!(frontend.stats().stolen_drains >= 1);
+    assert!(
+        engine.get(&Key::from_id(2)).expect("get").value.is_some(),
+        "stolen writes must really land"
+    );
+    drop(gate);
+    wedged.wait().expect("wedged write completes once released");
+    frontend.drain();
+    assert_eq!(frontend.outstanding_tickets(), 0);
+    // Per-partition order survived stealing: a read after the drain sees
+    // every acked write.
+    for i in 0..50u64 {
+        assert!(frontend
+            .submit_get(&Key::from_id(2 + i * 4))
+            .expect("submit")
+            .wait()
+            .expect("read")
+            .value
+            .is_some());
+    }
+}
+
 #[test]
 fn try_submit_scan_and_batch_round_trip() {
     let frontend = prism_frontend(2_000, 2);

@@ -23,16 +23,77 @@
 //! ```
 
 mod btree;
+mod point;
 
 pub use btree::{BTreeIndex, Range};
+pub use point::{FastIndex, HashDirectory};
 
 #[cfg(test)]
 mod proptests {
-    use super::BTreeIndex;
+    use super::{BTreeIndex, FastIndex, HashDirectory};
     use proptest::prelude::*;
     use std::collections::BTreeMap;
 
     proptest! {
+        /// The combined index (tree + directory, mutations mirrored
+        /// internally) behaves exactly like the ordered model for point
+        /// lookups, membership, removal *and* ordered range iteration.
+        #[test]
+        fn fast_index_matches_model(
+            ops in prop::collection::vec((0u8..3, 0u64..200, 0u32..1000), 0..400),
+            start in 0u64..200
+        ) {
+            let mut ours: FastIndex<u64, u32> = FastIndex::new();
+            let mut model: BTreeMap<u64, u32> = BTreeMap::new();
+            for (op, key, value) in ops {
+                match op {
+                    0 => {
+                        prop_assert_eq!(ours.insert(key, value), model.insert(key, value));
+                    }
+                    1 => {
+                        prop_assert_eq!(ours.remove(&key), model.remove(&key));
+                    }
+                    _ => {
+                        prop_assert_eq!(ours.get(&key), model.get(&key));
+                        prop_assert_eq!(ours.contains_key(&key), model.contains_key(&key));
+                    }
+                }
+                prop_assert_eq!(ours.len(), model.len());
+            }
+            let got: Vec<(u64, u32)> = ours.range_from(&start).map(|(k, v)| (*k, *v)).collect();
+            let expected: Vec<(u64, u32)> =
+                model.range(start..).map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(got, expected);
+        }
+
+        /// The point-lookup fast path, maintained alongside the B+-tree the
+        /// way the partition maintains it (every insert/remove mirrored),
+        /// never returns a stale or missing version: after any interleaving
+        /// of operations, every lookup agrees with the ordered oracle.
+        #[test]
+        fn hash_directory_never_serves_stale_versions(
+            ops in prop::collection::vec((0u8..3, 0u64..200, 0u32..1000), 0..400)
+        ) {
+            let mut tree: BTreeIndex<u64, u32> = BTreeIndex::with_order(8);
+            let mut fast: HashDirectory<u64, u32> = HashDirectory::with_ways(8);
+            for (op, key, value) in ops {
+                match op {
+                    0 => {
+                        prop_assert_eq!(tree.insert(key, value), fast.insert(key, value));
+                    }
+                    1 => {
+                        prop_assert_eq!(tree.remove(&key), fast.remove(&key));
+                    }
+                    _ => {
+                        prop_assert_eq!(tree.get(&key), fast.get(&key));
+                    }
+                }
+                prop_assert_eq!(tree.len(), fast.len());
+            }
+            for (key, value) in tree.iter() {
+                prop_assert_eq!(fast.get(key), Some(value));
+            }
+        }
         /// The B-tree behaves exactly like the standard-library ordered map
         /// under an arbitrary interleaving of inserts, removals and lookups.
         #[test]

@@ -23,7 +23,7 @@ use std::time::Duration;
 use prism_types::{Key, Nanos, PrismError, Result, Value, WriteBatch};
 
 use crate::protocol::{
-    decode_response, encode_request, FrameDecoder, Request, Response, ResponseBody, Status,
+    decode_response, encode_request, Frame, FrameDecoder, Request, Response, ResponseBody, Status,
 };
 use crate::transport::Conn;
 
@@ -69,6 +69,12 @@ pub struct NetClient {
     pub backpressure_seen: u64,
     /// Successful reconnects performed (each replays the unacked frames).
     pub reconnects: u64,
+    /// Response frames discarded because they failed the header CRC
+    /// (each triggers a best-effort resend of the affected request).
+    pub corrupt_frames_seen: u64,
+    /// Entries of streamed scan responses whose terminal frame has not
+    /// arrived yet, keyed by request id.
+    partial_scans: HashMap<u64, Vec<(Key, Value)>>,
 }
 
 impl NetClient {
@@ -91,6 +97,8 @@ impl NetClient {
             reconnect_backoff_cap: Duration::from_millis(50),
             backpressure_seen: 0,
             reconnects: 0,
+            corrupt_frames_seen: 0,
+            partial_scans: HashMap::new(),
         }
     }
 
@@ -131,8 +139,11 @@ impl NetClient {
             self.reader = conn.reader;
             self.writer = conn.writer;
             // The old stream died mid-frame for all we know; any
-            // buffered partial bytes belong to it, not the new one.
+            // buffered partial bytes belong to it, not the new one. The
+            // same goes for half-assembled streamed scans: the replayed
+            // request re-streams every chunk from the start.
             self.decoder = FrameDecoder::new();
+            self.partial_scans.clear();
             let mut ids: Vec<u64> = self.pending.keys().copied().collect();
             ids.sort_unstable();
             for id in ids {
@@ -193,6 +204,27 @@ impl NetClient {
                 Err(err) => return Err(err),
             };
             let for_id = response.id;
+            if response.more {
+                // A continuation chunk of a streamed scan: stash its
+                // entries and keep reading — the request stays pending
+                // until the terminal frame arrives.
+                if let ResponseBody::Entries(entries) = response.body {
+                    self.partial_scans
+                        .entry(for_id)
+                        .or_default()
+                        .extend(entries);
+                }
+                continue;
+            }
+            let mut response = response;
+            if let Some(mut acc) = self.partial_scans.remove(&for_id) {
+                // Terminal frame of a streamed scan: stitch the stashed
+                // chunks and this tail back into one response.
+                if let ResponseBody::Entries(tail) = response.body {
+                    acc.extend(tail);
+                    response.body = ResponseBody::Entries(acc);
+                }
+            }
             if response.status.is_retryable() {
                 self.backpressure_seen += 1;
                 if let Some(pending) = self.pending.get_mut(&for_id) {
@@ -234,8 +266,24 @@ impl NetClient {
 
     fn read_response(&mut self) -> Result<Response> {
         loop {
-            if let Some(payload) = self.decoder.next_frame()? {
-                return decode_response(&payload);
+            match self.decoder.next_frame()? {
+                Some(Frame::Intact(payload)) => return decode_response(&payload),
+                Some(Frame::Corrupt { id }) => {
+                    // A response frame was corrupted on the wire. The
+                    // request itself may have executed, so resend it
+                    // (every request is idempotent) if the best-effort
+                    // id matches something pending; otherwise the frame
+                    // is simply dropped and the stream continues.
+                    self.corrupt_frames_seen += 1;
+                    if let Some(pending) = self.pending.get(&id) {
+                        let frame = pending.frame.clone();
+                        if self.writer.write_all(&frame).is_err() {
+                            self.reconnect_and_replay()?;
+                        }
+                    }
+                    continue;
+                }
+                None => {}
             }
             let mut buf = [0u8; 8192];
             let n = self

@@ -1,10 +1,17 @@
-//! The wire protocol: length-prefixed binary frames.
+//! The wire protocol: length-prefixed, checksummed binary frames.
 //!
-//! Every frame is a little-endian `u32` payload length followed by the
-//! payload itself. Requests and responses share the framing but have
-//! distinct payload layouts (see [`Request`] and [`Response`]); both
-//! start with the client-assigned request id, so responses may be
-//! delivered out of order and matched back by id.
+//! Every frame is a little-endian `u32` payload length, a CRC32 of the
+//! payload, then the payload itself. Requests and responses share the
+//! framing but have distinct payload layouts (see [`Request`] and
+//! [`Response`]); both start with the client-assigned request id, so
+//! responses may be delivered out of order and matched back by id.
+//!
+//! The header CRC gives the stream end-to-end integrity: any bit flipped
+//! on the wire inside the payload (or the CRC field itself) is caught at
+//! the framing layer, before the payload reaches a decoder. A CRC
+//! mismatch costs only that frame ([`Frame::Corrupt`]) — the length
+//! prefix still bounds it, so the stream re-synchronises at the next
+//! frame boundary and the connection survives.
 //!
 //! Decoding never panics on hostile input: a malformed payload inside a
 //! sound frame yields [`PrismError::Protocol`] and framing recovers at
@@ -12,6 +19,7 @@
 //! (oversized) is fatal to the connection, because the byte stream can no
 //! longer be re-synchronised.
 
+use prism_types::checksum::crc32;
 use prism_types::{BatchOp, Key, Nanos, PrismError, Result, Value, WriteBatch};
 
 /// Maximum payload bytes in one frame. Large enough for a full batch of
@@ -21,6 +29,12 @@ pub const MAX_FRAME: usize = 1 << 20;
 
 /// Bytes of the frame length prefix.
 pub const LEN_PREFIX: usize = 4;
+
+/// Bytes of the payload CRC32 that follows the length prefix.
+pub const CRC_PREFIX: usize = 4;
+
+/// Bytes of the full frame header (length prefix + payload CRC).
+pub const HEADER: usize = LEN_PREFIX + CRC_PREFIX;
 
 /// Maximum key bytes on the wire (`u16` length field).
 pub const MAX_KEY_LEN: usize = u16::MAX as usize;
@@ -181,6 +195,10 @@ pub struct Response {
     pub latency: Nanos,
     /// Result payload; [`ResponseBody::Ack`] for non-ok statuses.
     pub body: ResponseBody,
+    /// Continuation marker for streamed scan results: `true` means more
+    /// frames with this id follow; the terminal frame carries `false`.
+    /// Always `false` for non-scan responses.
+    pub more: bool,
 }
 
 impl Response {
@@ -193,6 +211,7 @@ impl Response {
             message: message.into(),
             latency: Nanos::ZERO,
             body: ResponseBody::Ack,
+            more: false,
         }
     }
 
@@ -211,9 +230,9 @@ struct FrameBuilder {
 
 impl FrameBuilder {
     fn new() -> FrameBuilder {
-        // Reserve the length prefix; patched in `finish`.
+        // Reserve the length prefix and payload CRC; patched in `finish`.
         FrameBuilder {
-            buf: vec![0u8; LEN_PREFIX],
+            buf: vec![0u8; HEADER],
         }
     }
 
@@ -259,13 +278,15 @@ impl FrameBuilder {
     }
 
     fn finish(mut self) -> Result<Vec<u8>> {
-        let payload = self.buf.len() - LEN_PREFIX;
+        let payload = self.buf.len() - HEADER;
         if payload > MAX_FRAME {
             return Err(PrismError::Protocol(format!(
                 "frame payload of {payload} bytes exceeds the maximum of {MAX_FRAME}"
             )));
         }
         self.buf[..LEN_PREFIX].copy_from_slice(&(payload as u32).to_le_bytes());
+        let crc = crc32(&self.buf[HEADER..]);
+        self.buf[LEN_PREFIX..HEADER].copy_from_slice(&crc.to_le_bytes());
         Ok(self.buf)
     }
 }
@@ -339,6 +360,7 @@ pub fn encode_response(response: &Response) -> Result<Vec<u8>> {
         },
         ResponseBody::Entries(entries) => {
             frame.u32(entries.len() as u32);
+            frame.u8(response.more as u8);
             for (key, value) in entries {
                 frame.key(key)?;
                 frame.value(value);
@@ -520,8 +542,10 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
             message,
             latency,
             body: ResponseBody::Ack,
+            more: false,
         });
     }
+    let mut more = false;
     let body = match opcode {
         opcode::PUT | opcode::DELETE | opcode::BATCH | opcode::PING => ResponseBody::Ack,
         opcode::GET => match cursor.u8()? {
@@ -541,6 +565,15 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
                     payload.len()
                 )));
             }
+            more = match cursor.u8()? {
+                0 => false,
+                1 => true,
+                tag => {
+                    return Err(PrismError::Protocol(format!(
+                        "unknown continuation tag {tag}"
+                    )))
+                }
+            };
             let mut entries = Vec::with_capacity(n);
             for _ in 0..n {
                 let key = cursor.key()?;
@@ -559,24 +592,85 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
         message: String::new(),
         latency,
         body,
+        more,
     })
+}
+
+/// Split a scan response whose entry list may exceed [`MAX_FRAME`] into
+/// a sequence of frame-sized responses sharing the same id: every chunk
+/// but the last carries `more == true`, the terminal chunk carries the
+/// remaining entries and `more == false`. Responses that already fit
+/// (and every non-scan response) come back as a single-element sequence,
+/// unchanged.
+pub fn split_scan_response(response: Response) -> Vec<Response> {
+    let ResponseBody::Entries(entries) = &response.body else {
+        return vec![response];
+    };
+    // Per-entry wire cost plus the fixed response header; stay well
+    // under the cap so the estimate never has to be exact.
+    let budget = MAX_FRAME - 4096;
+    let entry_bytes = |(key, value): &(Key, Value)| 2 + key.as_bytes().len() + 4 + value.len();
+    if entries.iter().map(entry_bytes).sum::<usize>() <= budget {
+        return vec![response];
+    }
+    let mut chunks: Vec<Vec<(Key, Value)>> = vec![Vec::new()];
+    let mut used = 0usize;
+    for entry in entries.clone() {
+        let cost = entry_bytes(&entry);
+        if used + cost > budget && !chunks.last().expect("non-empty").is_empty() {
+            chunks.push(Vec::new());
+            used = 0;
+        }
+        used += cost;
+        chunks.last_mut().expect("non-empty").push(entry);
+    }
+    let last = chunks.len() - 1;
+    chunks
+        .into_iter()
+        .enumerate()
+        .map(|(i, chunk)| Response {
+            body: ResponseBody::Entries(chunk),
+            more: i < last,
+            message: String::new(),
+            ..response.clone()
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
 // Incremental framing
 
+/// One frame pulled out of a [`FrameDecoder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A payload that matched its header CRC.
+    Intact(Vec<u8>),
+    /// A frame whose payload failed its header CRC. The frame boundary
+    /// was still sound, so exactly its bytes were consumed and the
+    /// stream continues at the next frame; `id` is the (best-effort,
+    /// possibly itself corrupt) request id peeked from the payload so
+    /// the peer can be told which request was lost.
+    Corrupt {
+        /// Best-effort request id from the corrupt payload.
+        id: u64,
+    },
+}
+
 /// Incremental frame splitter: feed it raw bytes as they arrive, pull
-/// complete payloads out. A frame whose payload later fails to decode
-/// costs only that frame — the splitter has already consumed exactly its
-/// bytes, so the next frame starts clean. Only an oversized length
-/// prefix is unrecoverable (the stream cannot be re-synchronised) and
-/// poisons the decoder.
+/// complete payloads out. Every payload is verified against the header
+/// CRC32 before it is handed out; a mismatch yields [`Frame::Corrupt`]
+/// and costs only that frame. A frame whose payload later fails to
+/// decode likewise costs only that frame — the splitter has already
+/// consumed exactly its bytes, so the next frame starts clean. Only an
+/// oversized length prefix is unrecoverable (the stream cannot be
+/// re-synchronised) and poisons the decoder.
 #[derive(Debug, Default)]
 pub struct FrameDecoder {
     buf: Vec<u8>,
     /// Bytes of `buf` already consumed (compacted opportunistically).
     consumed: usize,
     poisoned: bool,
+    corrupt_frames: u64,
 }
 
 impl FrameDecoder {
@@ -601,21 +695,29 @@ impl FrameDecoder {
         self.buf.len() - self.consumed
     }
 
-    /// Extract the next complete frame payload, if one is buffered.
+    /// Number of frames discarded so far because their payload failed
+    /// the header CRC.
+    pub fn corrupt_frames(&self) -> u64 {
+        self.corrupt_frames
+    }
+
+    /// Extract the next complete frame, if one is buffered. A payload
+    /// that fails its header CRC comes back as [`Frame::Corrupt`] — the
+    /// frame is consumed, the stream stays synchronised.
     ///
     /// # Errors
     ///
     /// [`PrismError::Protocol`] if a length prefix exceeds [`MAX_FRAME`];
     /// the decoder is then poisoned and every later call fails too — the
     /// connection must be torn down.
-    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>> {
+    pub fn next_frame(&mut self) -> Result<Option<Frame>> {
         if self.poisoned {
             return Err(PrismError::Protocol(
                 "stream poisoned by an earlier unrecoverable framing error".into(),
             ));
         }
         let pending = &self.buf[self.consumed..];
-        if pending.len() < LEN_PREFIX {
+        if pending.len() < HEADER {
             return Ok(None);
         }
         let len = u32::from_le_bytes(pending[..LEN_PREFIX].try_into().expect("4 bytes")) as usize;
@@ -625,12 +727,19 @@ impl FrameDecoder {
                 "length prefix {len} exceeds the frame maximum of {MAX_FRAME}"
             )));
         }
-        if pending.len() < LEN_PREFIX + len {
+        if pending.len() < HEADER + len {
             return Ok(None);
         }
-        let payload = pending[LEN_PREFIX..LEN_PREFIX + len].to_vec();
-        self.consumed += LEN_PREFIX + len;
-        Ok(Some(payload))
+        let wire_crc = u32::from_le_bytes(pending[LEN_PREFIX..HEADER].try_into().expect("4 bytes"));
+        let payload = &pending[HEADER..HEADER + len];
+        self.consumed += HEADER + len;
+        if crc32(payload) != wire_crc {
+            self.corrupt_frames += 1;
+            return Ok(Some(Frame::Corrupt {
+                id: peek_request_id(payload),
+            }));
+        }
+        Ok(Some(Frame::Intact(payload.to_vec())))
     }
 }
 
@@ -668,7 +777,7 @@ mod tests {
         for (i, request) in sample_requests().into_iter().enumerate() {
             let id = 1000 + i as u64;
             let frame = encode_request(id, &request).expect("encode");
-            let (got_id, got) = decode_request(&frame[LEN_PREFIX..]).expect("decode");
+            let (got_id, got) = decode_request(&frame[HEADER..]).expect("decode");
             assert_eq!(got_id, id);
             assert_eq!(got, request);
         }
@@ -684,6 +793,7 @@ mod tests {
                 message: String::new(),
                 latency: Nanos::from_micros(12),
                 body: ResponseBody::Ack,
+                more: false,
             },
             Response {
                 id: 2,
@@ -692,6 +802,7 @@ mod tests {
                 message: String::new(),
                 latency: Nanos::from_nanos(999),
                 body: ResponseBody::Value(Some(Value::filled(64, 3))),
+                more: false,
             },
             Response {
                 id: 3,
@@ -700,6 +811,7 @@ mod tests {
                 message: String::new(),
                 latency: Nanos::ZERO,
                 body: ResponseBody::Value(None),
+                more: false,
             },
             Response {
                 id: 4,
@@ -711,6 +823,18 @@ mod tests {
                     (Key::from_id(1), Value::filled(4, 1)),
                     (Key::from_id(2), Value::empty()),
                 ]),
+                more: false,
+            },
+            // A non-terminal streamed-scan chunk keeps its continuation
+            // marker across the wire.
+            Response {
+                id: 11,
+                opcode: opcode::SCAN,
+                status: Status::Ok,
+                message: String::new(),
+                latency: Nanos::from_micros(5),
+                body: ResponseBody::Entries(vec![(Key::from_id(9), Value::filled(4, 9))]),
+                more: true,
             },
             Response::refusal(5, opcode::PUT, Status::Backpressure, "queue full"),
             Response::refusal(6, opcode::BATCH, Status::ShuttingDown, "draining"),
@@ -721,7 +845,7 @@ mod tests {
         ];
         for response in cases {
             let frame = encode_response(&response).expect("encode");
-            let got = decode_response(&frame[LEN_PREFIX..]).expect("decode");
+            let got = decode_response(&frame[HEADER..]).expect("decode");
             assert_eq!(got, response);
         }
     }
@@ -761,7 +885,7 @@ mod tests {
             },
         )
         .expect("encode");
-        let payload = &frame[LEN_PREFIX..];
+        let payload = &frame[HEADER..];
         for cut in 0..payload.len() {
             let err = decode_request(&payload[..cut]).expect_err("truncation must error");
             assert!(matches!(err, PrismError::Protocol(_)), "got {err:?}");
@@ -772,7 +896,7 @@ mod tests {
     fn trailing_bytes_are_rejected() {
         let mut frame = encode_request(1, &Request::Ping).expect("encode");
         frame.push(0xFF);
-        let err = decode_request(&frame[LEN_PREFIX..]).expect_err("trailing byte");
+        let err = decode_request(&frame[HEADER..]).expect_err("trailing byte");
         assert!(err.to_string().contains("trailing"));
     }
 
@@ -797,6 +921,15 @@ mod tests {
         assert!(err.to_string().contains("batch count"));
     }
 
+    /// Pull the next frame and unwrap the intact payload.
+    fn intact(decoder: &mut FrameDecoder) -> Option<Vec<u8>> {
+        match decoder.next_frame().expect("sound stream") {
+            Some(Frame::Intact(payload)) => Some(payload),
+            Some(Frame::Corrupt { id }) => panic!("unexpected corrupt frame (id {id})"),
+            None => None,
+        }
+    }
+
     #[test]
     fn frame_decoder_reassembles_byte_by_byte() {
         let mut stream = Vec::new();
@@ -808,7 +941,7 @@ mod tests {
         let mut decoded = Vec::new();
         for byte in stream {
             decoder.push(&[byte]);
-            while let Some(payload) = decoder.next_frame().expect("sound stream") {
+            while let Some(payload) = intact(&mut decoder) {
                 decoded.push(decode_request(&payload).expect("decode"));
             }
         }
@@ -818,12 +951,14 @@ mod tests {
             assert_eq!(request, requests[i]);
         }
         assert_eq!(decoder.pending_bytes(), 0);
+        assert_eq!(decoder.corrupt_frames(), 0);
     }
 
     #[test]
     fn oversized_length_prefix_poisons_the_decoder() {
         let mut decoder = FrameDecoder::new();
         decoder.push(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        decoder.push(&[0u8; CRC_PREFIX]);
         assert!(decoder.next_frame().is_err());
         // Poisoned: even pushing sound bytes afterwards keeps failing.
         decoder.push(&encode_request(1, &Request::Ping).expect("encode"));
@@ -832,17 +967,135 @@ mod tests {
 
     #[test]
     fn corrupt_frame_does_not_desync_the_next_one() {
+        // A framing-sound payload (correct CRC) that fails to decode.
         let mut garbage_payload = 3u64.to_le_bytes().to_vec();
         garbage_payload.push(250); // unknown opcode
         let mut stream = (garbage_payload.len() as u32).to_le_bytes().to_vec();
+        stream.extend(crc32(&garbage_payload).to_le_bytes());
         stream.extend(&garbage_payload);
         stream.extend(encode_request(4, &Request::Ping).expect("encode"));
         let mut decoder = FrameDecoder::new();
         decoder.push(&stream);
-        let bad = decoder.next_frame().expect("framing sound").expect("frame");
+        let bad = intact(&mut decoder).expect("frame");
         assert!(decode_request(&bad).is_err());
         // The next frame decodes cleanly: no desync.
-        let good = decoder.next_frame().expect("framing sound").expect("frame");
+        let good = intact(&mut decoder).expect("frame");
         assert_eq!(decode_request(&good).expect("decode").0, 4);
+    }
+
+    /// The frame-CRC gate: every single-bit flip anywhere past the
+    /// length prefix is caught by the header CRC as [`Frame::Corrupt`],
+    /// charged to exactly one frame, and the following frame still
+    /// decodes — the connection survives. (A flip inside the length
+    /// prefix moves the frame boundary itself; those are detected too —
+    /// the misframed bytes can never pass the CRC — but re-synchronising
+    /// after one is not guaranteed, which is why the length prefix is
+    /// the only fatal field.)
+    #[test]
+    fn every_single_bit_flip_past_the_length_prefix_is_detected() {
+        let frame = encode_request(
+            42,
+            &Request::Put {
+                key: Key::from_id(7),
+                value: Value::filled(100, 0x55),
+            },
+        )
+        .expect("encode");
+        let follow_up = encode_request(43, &Request::Ping).expect("encode");
+        for bit in (LEN_PREFIX * 8)..(frame.len() * 8) {
+            let mut stream = frame.clone();
+            stream[bit / 8] ^= 1 << (bit % 8);
+            stream.extend_from_slice(&follow_up);
+            let mut decoder = FrameDecoder::new();
+            decoder.push(&stream);
+            match decoder.next_frame().expect("framing sound") {
+                Some(Frame::Corrupt { .. }) => {}
+                other => panic!("bit flip {bit} went undetected: {other:?}"),
+            }
+            assert_eq!(decoder.corrupt_frames(), 1);
+            // The connection survives: the next frame is intact and
+            // decodes as the follow-up request.
+            let next = intact(&mut decoder).expect("follow-up frame");
+            assert_eq!(decode_request(&next).expect("decode").0, 43);
+        }
+    }
+
+    /// Length-prefix flips either poison the decoder (oversized length)
+    /// or mis-frame the stream — but the mis-framed bytes still never
+    /// pass the CRC, so corrupt data is never served as intact.
+    #[test]
+    fn length_prefix_flips_never_serve_a_corrupt_frame_as_intact() {
+        let frame = encode_request(42, &Request::Ping).expect("encode");
+        let original_payload = frame[HEADER..].to_vec();
+        for bit in 0..(LEN_PREFIX * 8) {
+            let mut stream = frame.clone();
+            stream[bit / 8] ^= 1 << (bit % 8);
+            let mut decoder = FrameDecoder::new();
+            decoder.push(&stream);
+            match decoder.next_frame() {
+                Ok(Some(Frame::Intact(payload))) => {
+                    assert_ne!(
+                        payload, original_payload,
+                        "bit flip {bit} served the corrupt frame as intact"
+                    );
+                }
+                // Corrupt, incomplete (waiting for bytes that never
+                // come), or poisoned: all are detection, none serve
+                // corrupt data.
+                Ok(Some(Frame::Corrupt { .. })) | Ok(None) | Err(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn split_scan_response_chunks_oversized_scans_and_preserves_order() {
+        let value = Value::filled(8 * 1024, 7);
+        let entries: Vec<(Key, Value)> = (0..300u64)
+            .map(|id| (Key::from_id(id), value.clone()))
+            .collect();
+        let response = Response {
+            id: 5,
+            opcode: opcode::SCAN,
+            status: Status::Ok,
+            message: String::new(),
+            latency: Nanos::from_micros(33),
+            body: ResponseBody::Entries(entries.clone()),
+            more: false,
+        };
+        // ~2.4 MB of entries: must split into multiple frames.
+        assert!(encode_response(&response).is_err(), "must exceed MAX_FRAME");
+        let chunks = split_scan_response(response);
+        assert!(chunks.len() >= 3, "expected several chunks");
+        let mut reassembled = Vec::new();
+        for (i, chunk) in chunks.iter().enumerate() {
+            assert_eq!(chunk.id, 5);
+            assert_eq!(chunk.more, i + 1 < chunks.len(), "terminal marker");
+            // Every chunk must round-trip the wire individually.
+            let frame = encode_response(chunk).expect("chunk fits a frame");
+            let got = decode_response(&frame[HEADER..]).expect("decode");
+            assert_eq!(&got, chunk);
+            match got.body {
+                ResponseBody::Entries(part) => reassembled.extend(part),
+                other => panic!("non-entries chunk body {other:?}"),
+            }
+        }
+        assert_eq!(reassembled, entries);
+    }
+
+    #[test]
+    fn split_scan_response_passes_small_scans_through() {
+        let response = Response {
+            id: 6,
+            opcode: opcode::SCAN,
+            status: Status::Ok,
+            message: String::new(),
+            latency: Nanos::from_micros(1),
+            body: ResponseBody::Entries(vec![(Key::from_id(1), Value::filled(16, 1))]),
+            more: false,
+        };
+        let chunks = split_scan_response(response.clone());
+        assert_eq!(chunks, vec![response]);
+        let ack = Response::refusal(7, opcode::PUT, Status::Backpressure, "full");
+        assert_eq!(split_scan_response(ack.clone()), vec![ack]);
     }
 }

@@ -26,8 +26,8 @@ use prism_frontend::{Frontend, FrontendOptions, ReadTicket, ScanTicket, WriteTic
 use prism_types::{ConcurrentKvStore, NetStats, PrismError, Result};
 
 use crate::protocol::{
-    decode_request, encode_response, peek_request_id, FrameDecoder, Request, Response,
-    ResponseBody, Status,
+    decode_request, encode_response, peek_request_id, split_scan_response, Frame, FrameDecoder,
+    Request, Response, ResponseBody, Status,
 };
 use crate::transport::{Conn, Listener, ReadCloser};
 
@@ -105,6 +105,7 @@ impl InFlight {
                 message: String::new(),
                 latency,
                 body,
+                more: false,
             },
             Err(PrismError::ShuttingDown) => {
                 Response::refusal(self.id, self.opcode, Status::ShuttingDown, "draining")
@@ -279,6 +280,7 @@ impl<E: ConcurrentKvStore + 'static> NetShared<E> {
                         message: String::new(),
                         latency: prism_types::Nanos::ZERO,
                         body: ResponseBody::Ack,
+                        more: false,
                     },
                 );
                 return;
@@ -361,9 +363,26 @@ impl<E: ConcurrentKvStore + 'static> NetShared<E> {
             decoder.push(&buf[..n]);
             loop {
                 match decoder.next_frame() {
-                    Ok(Some(payload)) => {
+                    Ok(Some(Frame::Intact(payload))) => {
                         self.wait_for_window(conn);
                         self.handle_frame(conn, &payload);
+                    }
+                    Ok(Some(Frame::Corrupt { id })) => {
+                        // The frame failed its header CRC: refuse just
+                        // that request (best-effort id) and keep the
+                        // connection — the stream is still in sync.
+                        self.counters
+                            .protocol_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.push_ready(
+                            conn,
+                            Response::refusal(
+                                id,
+                                0,
+                                Status::ProtocolError,
+                                "request frame failed its checksum",
+                            ),
+                        );
                     }
                     Ok(None) => break,
                     Err(_) => {
@@ -406,41 +425,48 @@ impl<E: ConcurrentKvStore + 'static> NetShared<E> {
                 }
                 inner.reading_done && inner.inflight.is_empty() && inner.ready.is_empty()
             };
-            if !to_write.is_empty() {
+            let idle = to_write.is_empty();
+            if !idle {
                 // Window space freed: wake a reader blocked on it.
                 conn.cv.notify_all();
             }
-            for response in &to_write {
+            for response in to_write {
                 self.counters.in_flight.fetch_sub(1, Ordering::AcqRel);
                 if write_failed {
                     continue; // keep draining tickets, discard the acks
                 }
-                let frame = match encode_response(response) {
-                    Ok(frame) => frame,
-                    Err(_) => {
-                        // A response too large to frame (pathological
-                        // scan): refuse it instead of killing the
-                        // connection.
-                        self.counters
-                            .protocol_errors
-                            .fetch_add(1, Ordering::Relaxed);
-                        let refusal = Response::refusal(
-                            response.id,
-                            response.opcode,
-                            Status::ServerError,
-                            "response exceeded the frame size limit",
-                        );
-                        encode_response(&refusal).expect("refusals are small")
+                // A scan result larger than one frame streams out as
+                // continuation frames sharing the response id; the
+                // terminal frame clears the `more` marker. Everything
+                // else passes through as a single frame.
+                for part in split_scan_response(response) {
+                    let frame = match encode_response(&part) {
+                        Ok(frame) => frame,
+                        Err(_) => {
+                            // A response still too large to frame (one
+                            // pathological entry): refuse it instead of
+                            // killing the connection.
+                            self.counters
+                                .protocol_errors
+                                .fetch_add(1, Ordering::Relaxed);
+                            let refusal = Response::refusal(
+                                part.id,
+                                part.opcode,
+                                Status::ServerError,
+                                "response exceeded the frame size limit",
+                            );
+                            encode_response(&refusal).expect("refusals are small")
+                        }
+                    };
+                    if writer.write_all(&frame).is_err() {
+                        // Peer is gone. Stop writing, EOF the reader, and
+                        // keep polling so no ticket is left unobserved.
+                        write_failed = true;
+                        lock(&conn.inner).write_failed = true;
+                        conn.cv.notify_all();
+                        closer();
+                        break;
                     }
-                };
-                if writer.write_all(&frame).is_err() {
-                    // Peer is gone. Stop writing, EOF the reader, and
-                    // keep polling so no ticket is left unobserved.
-                    write_failed = true;
-                    lock(&conn.inner).write_failed = true;
-                    conn.cv.notify_all();
-                    closer();
-                } else {
                     self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
                     self.counters
                         .bytes_sent
@@ -451,7 +477,7 @@ impl<E: ConcurrentKvStore + 'static> NetShared<E> {
                 let _ = writer.flush();
                 return;
             }
-            if to_write.is_empty() {
+            if idle {
                 // Completions fire on executor threads that cannot signal
                 // this condvar, so poll with a short nap instead of a
                 // wakeup protocol; 50µs keeps added latency well under

@@ -16,9 +16,10 @@ use prism_db::{
 };
 use prism_frontend::FrontendOptions;
 use prism_net::client::NetClient;
-use prism_net::protocol::{Request, Status};
+use prism_net::protocol::{encode_request, Request, Status};
 use prism_net::server::{NetServer, ServerOptions};
 use prism_net::transport::{duplex_listener, DuplexConnector};
+use prism_types::checksum::crc32;
 use prism_types::{Key, PrismError, Value, WriteBatch};
 
 fn test_server(keys: u64, options: ServerOptions) -> (NetServer<PrismDb>, DuplexConnector) {
@@ -153,6 +154,7 @@ fn corrupt_frames_get_protocol_errors_without_killing_the_connection() {
     garbage_payload.push(200);
     garbage_payload.extend_from_slice(&[1, 2, 3]);
     let mut frame = (garbage_payload.len() as u32).to_le_bytes().to_vec();
+    frame.extend(crc32(&garbage_payload).to_le_bytes());
     frame.extend(&garbage_payload);
     conn.writer.write_all(&frame).expect("garbage frame");
 
@@ -166,6 +168,78 @@ fn corrupt_frames_get_protocol_errors_without_killing_the_connection() {
         .expect("put after garbage");
     assert_eq!(server.stats().protocol_errors, 1);
     assert_eq!(server.stats().connections_closed, 0);
+}
+
+#[test]
+fn checksum_failed_frames_are_refused_and_the_connection_survives() {
+    let (server, connector) = test_server(2_000, ServerOptions::default());
+    let mut conn = connector.connect().expect("dial");
+
+    // A well-formed PUT whose payload is damaged *after* the CRC was
+    // computed — the wire-corruption case the frame checksum exists for.
+    let id = 77u64;
+    let mut frame = encode_request(
+        id,
+        &Request::Put {
+            key: Key::from_id(3),
+            value: Value::filled(16, 3),
+        },
+    )
+    .expect("encode");
+    let last = frame.len() - 1;
+    frame[last] ^= 0x40; // single bit flip in the payload
+    conn.writer.write_all(&frame).expect("corrupt frame");
+
+    let mut client = NetClient::new(conn);
+    // The server detects the flip, refuses exactly that id, and keeps
+    // the connection; the flipped value must never have been applied.
+    let response = client.wait(id).expect("checksum refusal");
+    assert_eq!(response.status, Status::ProtocolError);
+    assert!(
+        response.message.contains("checksum"),
+        "refusal must say why: {}",
+        response.message
+    );
+    assert_eq!(client.get(Key::from_id(3)).expect("get"), None);
+    client
+        .put(Key::from_id(3), Value::filled(16, 3))
+        .expect("put after corruption");
+    assert_eq!(server.stats().protocol_errors, 1);
+    assert_eq!(server.stats().connections_closed, 0);
+}
+
+#[test]
+fn oversized_scans_stream_as_continuation_frames_and_reassemble() {
+    // ~2 000 entries x 1 KiB is several times the 1 MiB frame bound, so
+    // the server must stream the scan as continuation frames instead of
+    // refusing it; the client hands back one seamless result.
+    const KEYS: u64 = 2_000;
+    let (server, connector) = test_server(KEYS, ServerOptions::default());
+    let mut client = client(&connector);
+    for id in 0..KEYS {
+        client
+            .put(Key::from_id(id), Value::filled(1_024, id as u8))
+            .expect("load");
+    }
+
+    let entries = client
+        .scan(Key::from_id(0), KEYS as u32)
+        .expect("oversized scan");
+    assert_eq!(entries.len(), KEYS as usize, "no entry may be dropped");
+    for (i, (key, value)) in entries.iter().enumerate() {
+        assert_eq!(key.id(), i as u64, "scan order must survive streaming");
+        assert_eq!(value.len(), 1_024);
+        assert_eq!(value.as_bytes()[0], i as u8);
+    }
+    // The wire really did split it: more response frames than requests.
+    let stats = server.stats();
+    assert!(
+        stats.frames_sent > stats.frames_received,
+        "a streamed scan must emit continuation frames ({} sent vs {} received)",
+        stats.frames_sent,
+        stats.frames_received
+    );
+    assert_eq!(stats.connections_closed, 0);
 }
 
 #[test]

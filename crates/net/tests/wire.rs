@@ -4,8 +4,8 @@
 //! frame that follows.
 
 use prism_net::protocol::{
-    self, decode_request, decode_response, encode_request, encode_response, FrameDecoder, Request,
-    Response, ResponseBody, Status, LEN_PREFIX, MAX_FRAME,
+    self, decode_request, decode_response, encode_request, encode_response, Frame, FrameDecoder,
+    Request, Response, ResponseBody, Status, CRC_PREFIX, HEADER, LEN_PREFIX, MAX_FRAME,
 };
 use prism_types::{Key, Nanos, Value, WriteBatch};
 use proptest::prelude::*;
@@ -89,6 +89,16 @@ fn build_response(op: u8, id_seed: u64, size: usize) -> Response {
         message: String::new(),
         latency: Nanos::from_nanos(id_seed.wrapping_mul(7919) % 100_000_000),
         body,
+        more: false,
+    }
+}
+
+/// Unwrap a frame the test knows was not corrupted on the (in-memory)
+/// wire.
+fn intact(frame: Frame) -> Vec<u8> {
+    match frame {
+        Frame::Intact(payload) => payload,
+        Frame::Corrupt { id } => panic!("frame {id} unexpectedly corrupt"),
     }
 }
 
@@ -114,8 +124,8 @@ proptest! {
         let mut decoded = Vec::new();
         for piece in stream.chunks(chunk) {
             decoder.push(piece);
-            while let Some(payload) = decoder.next_frame().expect("sound stream") {
-                decoded.push(decode_request(&payload).expect("decode"));
+            while let Some(frame) = decoder.next_frame().expect("sound stream") {
+                decoded.push(decode_request(&intact(frame)).expect("decode"));
             }
         }
         prop_assert_eq!(decoded.len(), requests.len());
@@ -134,7 +144,7 @@ proptest! {
         for (op, id, size) in ops {
             let response = build_response(op, id, size);
             let frame = encode_response(&response).expect("encode");
-            let got = decode_response(&frame[LEN_PREFIX..]).expect("decode");
+            let got = decode_response(&frame[HEADER..]).expect("decode");
             prop_assert_eq!(got, response);
         }
     }
@@ -148,7 +158,7 @@ proptest! {
     ) {
         let request = build_request(op, id, size);
         let frame = encode_request(id, &request).expect("encode");
-        let payload = &frame[LEN_PREFIX..];
+        let payload = &frame[HEADER..];
         let cut = cut_seed % payload.len().max(1);
         match decode_request(&payload[..cut]) {
             Ok((got_id, got)) => {
@@ -165,8 +175,9 @@ proptest! {
         }
     }
 
-    /// Flipping a byte inside one frame's payload never panics the
-    /// decoder and never desyncs the next frame.
+    /// Flipping a byte inside one frame's CRC or payload is caught by
+    /// the checksum ([`Frame::Corrupt`]), never panics the decoder, and
+    /// never desyncs the next frame.
     #[test]
     fn corrupt_payload_bytes_do_not_desync_the_stream(
         (op, id, size) in (0u8..6, 0u64..1_000_000, 0usize..2048),
@@ -175,26 +186,26 @@ proptest! {
     ) {
         let victim = build_request(op, id, size);
         let mut victim_frame = encode_request(id, &victim).expect("encode");
-        let payload_len = victim_frame.len() - LEN_PREFIX;
-        // Corrupt strictly inside the payload, sparing the length prefix
+        let tail_len = victim_frame.len() - LEN_PREFIX;
+        // Corrupt the CRC or the payload, sparing the length prefix
         // (framing relies on it; a corrupt prefix is the fatal case
         // covered separately below).
-        if payload_len > 0 {
-            let at = LEN_PREFIX + flip_seed % payload_len;
-            victim_frame[at] ^= flip_mask;
-        }
+        let at = LEN_PREFIX + flip_seed % tail_len;
+        victim_frame[at] ^= flip_mask;
         let follower = Request::Get { key: Key::from_id(42) };
         let mut stream = victim_frame;
         stream.extend(encode_request(id + 1, &follower).expect("encode"));
 
         let mut decoder = FrameDecoder::new();
         decoder.push(&stream);
-        // Frame 1: decodes to *something* or errors cleanly — both fine.
+        // Frame 1: the checksum must catch the flip.
         let first = decoder.next_frame().expect("framing intact").expect("frame 1");
-        let _ = decode_request(&first);
+        prop_assert!(matches!(first, Frame::Corrupt { .. }));
+        prop_assert_eq!(decoder.corrupt_frames(), 1);
         // Frame 2 must be byte-exact regardless.
         let second = decoder.next_frame().expect("framing intact").expect("frame 2");
-        let (follower_id, follower_got) = decode_request(&second).expect("follower intact");
+        let (follower_id, follower_got) =
+            decode_request(&intact(second)).expect("follower intact");
         prop_assert_eq!(follower_id, id + 1);
         prop_assert_eq!(follower_got, follower);
         prop_assert_eq!(decoder.pending_bytes(), 0);
@@ -209,6 +220,9 @@ proptest! {
     ) {
         let mut decoder = FrameDecoder::new();
         decoder.push(&(MAX_FRAME as u32 + excess).to_le_bytes());
+        // The decoder waits for the full header (length + CRC) before
+        // judging the length, so give it a CRC's worth of bytes too.
+        decoder.push(&[0u8; CRC_PREFIX]);
         decoder.push(&junk);
         prop_assert!(decoder.next_frame().is_err());
         // Still poisoned after more (sound) bytes arrive.

@@ -1,16 +1,21 @@
 //! The multi-bit clock tracker.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 
 use prism_types::Key;
 
 /// Maximum clock value (two clock bits).
 pub const MAX_CLOCK: u8 = 3;
 
-#[derive(Debug, Clone, Copy)]
+/// One tracked key's state. The clock value and location bit are atomics
+/// so the read path can re-heat an already-tracked key ([`ClockTracker::touch`])
+/// without the partition write lock; structural changes (inserts, ring
+/// management, evictions) still require `&mut self`.
+#[derive(Debug)]
 struct Entry {
-    clock: u8,
-    on_flash: bool,
+    clock: AtomicU8,
+    on_flash: AtomicBool,
 }
 
 /// What happened to the tracker state as a result of one access.
@@ -86,20 +91,22 @@ impl ClockTracker {
 
     /// The clock value of `key`, if tracked.
     pub fn clock_of(&self, key: &Key) -> Option<u8> {
-        self.map.get(key).map(|e| e.clock)
+        self.map.get(key).map(|e| e.clock.load(Ordering::Relaxed))
     }
 
     /// True if the tracked key's latest version is recorded as living on
     /// flash.
     pub fn is_on_flash(&self, key: &Key) -> Option<bool> {
-        self.map.get(key).map(|e| e.on_flash)
+        self.map
+            .get(key)
+            .map(|e| e.on_flash.load(Ordering::Relaxed))
     }
 
     /// Update the location bit of a tracked key (e.g. after a demotion or
     /// promotion); does nothing if the key is not tracked.
-    pub fn set_location(&mut self, key: &Key, on_flash: bool) {
-        if let Some(entry) = self.map.get_mut(key) {
-            entry.on_flash = on_flash;
+    pub fn set_location(&self, key: &Key, on_flash: bool) {
+        if let Some(entry) = self.map.get(key) {
+            entry.on_flash.store(on_flash, Ordering::Relaxed);
         }
     }
 
@@ -108,17 +115,37 @@ impl ClockTracker {
         if self.map.is_empty() {
             return 0.0;
         }
-        let on_flash = self.map.values().filter(|e| e.on_flash).count();
+        let on_flash = self
+            .map
+            .values()
+            .filter(|e| e.on_flash.load(Ordering::Relaxed))
+            .count();
         on_flash as f64 / self.map.len() as f64
+    }
+
+    /// Re-heat an already-tracked key without the write lock: atomically
+    /// swap its clock value to [`MAX_CLOCK`], refresh the location bit and
+    /// return the previous clock value. Returns `None` (and changes
+    /// nothing) if the key is not tracked — the caller defers such
+    /// accesses to the structural [`ClockTracker::access`] path.
+    ///
+    /// Safe against concurrent touches of the same key: the swap
+    /// serialises the clock transitions, so exactly one racing touch
+    /// observes each pre-`MAX` value (keeping the mapper's histogram
+    /// exact). Structural changes never race with touches because they
+    /// require `&mut self` (the partition write lock).
+    pub fn touch(&self, key: &Key, on_flash: bool) -> Option<u8> {
+        let entry = self.map.get(key)?;
+        entry.on_flash.store(on_flash, Ordering::Relaxed);
+        Some(entry.clock.swap(MAX_CLOCK, Ordering::Relaxed))
     }
 
     /// Record an access to `key`, inserting it if necessary (possibly
     /// evicting a cold key) and returning the resulting state changes.
     pub fn access(&mut self, key: &Key, on_flash: bool) -> AccessEvent {
         if let Some(entry) = self.map.get_mut(key) {
-            let old = entry.clock;
-            entry.clock = MAX_CLOCK;
-            entry.on_flash = on_flash;
+            let old = entry.clock.swap(MAX_CLOCK, Ordering::Relaxed);
+            entry.on_flash.store(on_flash, Ordering::Relaxed);
             return AccessEvent {
                 old_clock: Some(old),
                 new_clock: MAX_CLOCK,
@@ -149,7 +176,13 @@ impl ClockTracker {
             self.ring[slot] = key.clone();
         }
 
-        self.map.insert(key.clone(), Entry { clock: 0, on_flash });
+        self.map.insert(
+            key.clone(),
+            Entry {
+                clock: AtomicU8::new(0),
+                on_flash: AtomicBool::new(on_flash),
+            },
+        );
         AccessEvent {
             old_clock: None,
             new_clock: 0,
@@ -171,12 +204,13 @@ impl ClockTracker {
                 .map
                 .get_mut(&candidate)
                 .expect("ring keys are always tracked");
-            if entry.clock == 0 {
+            let clock = entry.clock.load(Ordering::Relaxed);
+            if clock == 0 {
                 self.map.remove(&candidate);
                 return (candidate, decrements);
             }
-            decrements.push(entry.clock);
-            entry.clock -= 1;
+            decrements.push(clock);
+            entry.clock.store(clock - 1, Ordering::Relaxed);
         }
     }
 }
@@ -267,6 +301,49 @@ mod tests {
                 "hot key {hot} was evicted"
             );
         }
+    }
+
+    #[test]
+    fn touch_reheats_tracked_keys_without_structural_changes() {
+        let mut t = ClockTracker::new(4);
+        let k = Key::from_id(1);
+        t.access(&k, false); // clock 0, on NVM
+        assert_eq!(t.touch(&k, true), Some(0));
+        assert_eq!(t.clock_of(&k), Some(MAX_CLOCK));
+        assert_eq!(t.is_on_flash(&k), Some(true));
+        // A second touch sees the key already at MAX.
+        assert_eq!(t.touch(&k, true), Some(MAX_CLOCK));
+        // Untracked keys are not inserted by touch.
+        assert_eq!(t.touch(&Key::from_id(99), false), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn racing_touches_observe_each_pre_max_value_exactly_once() {
+        use std::sync::Arc;
+        let mut t = ClockTracker::new(8);
+        let k = Key::from_id(7);
+        t.access(&k, false); // enters at clock 0
+        let t = Arc::new(t);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let t = Arc::clone(&t);
+            let k = k.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut non_max_observed = 0u32;
+                for _ in 0..1000 {
+                    if t.touch(&k, false) != Some(MAX_CLOCK) {
+                        non_max_observed += 1;
+                    }
+                }
+                non_max_observed
+            }));
+        }
+        let total: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        // The key started below MAX exactly once, so exactly one touch
+        // across all threads saw a pre-MAX clock value.
+        assert_eq!(total, 1);
+        assert_eq!(t.clock_of(&k), Some(MAX_CLOCK));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! use prism_types::Key;
 //!
 //! let mut tracker = ClockTracker::new(100);
-//! let mut mapper = Mapper::new();
+//! let mapper = Mapper::new();
 //! for id in 0..50u64 {
 //!     let event = tracker.access(&Key::from_id(id), false);
 //!     mapper.apply(&event);
@@ -52,10 +52,33 @@ mod proptests {
             accesses in prop::collection::vec((0u64..200, prop::bool::ANY), 1..800)
         ) {
             let mut tracker = ClockTracker::new(capacity);
-            let mut mapper = Mapper::new();
+            let mapper = Mapper::new();
             for (id, on_flash) in accesses {
                 let event = tracker.access(&Key::from_id(id), on_flash);
                 mapper.apply(&event);
+                prop_assert!(tracker.len() <= capacity);
+                let total: u64 = mapper.histogram().iter().sum();
+                prop_assert_eq!(total as usize, tracker.len());
+            }
+        }
+
+        /// Interleaving lock-free touches (tracked keys) with structural
+        /// accesses (untracked keys) keeps the histogram summing to the
+        /// tracker population — the invariant the read path's atomic
+        /// fast path relies on.
+        #[test]
+        fn touches_keep_histogram_consistent(
+            capacity in 4usize..64,
+            ops in prop::collection::vec((0u64..200, prop::bool::ANY), 1..800)
+        ) {
+            let mut tracker = ClockTracker::new(capacity);
+            let mapper = Mapper::new();
+            for (id, on_flash) in ops {
+                let key = Key::from_id(id);
+                match tracker.touch(&key, on_flash) {
+                    Some(old) => mapper.promote_to_max(old),
+                    None => mapper.apply(&tracker.access(&key, on_flash)),
+                }
                 prop_assert!(tracker.len() <= capacity);
                 let total: u64 = mapper.histogram().iter().sum();
                 prop_assert_eq!(total as usize, tracker.len());
@@ -69,7 +92,7 @@ mod proptests {
             counts in prop::array::uniform4(0u64..1000),
             threshold in 0.0f64..1.0
         ) {
-            let mut mapper = Mapper::new();
+            let mapper = Mapper::new();
             mapper.set_histogram(counts);
             let tracked: u64 = counts.iter().sum();
             let mut seen_non_pin = false;

@@ -1,6 +1,8 @@
 //! The mapper: clock-value distribution and the pinning-threshold
 //! algorithm.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::clock::{AccessEvent, MAX_CLOCK};
 
 /// Placement decision for one object during compaction.
@@ -31,10 +33,24 @@ impl PinDecision {
 /// enforces the pinning threshold.
 ///
 /// The mapper is deliberately tiny — four counters — matching the paper's
-/// implementation as an array of four atomic integers.
-#[derive(Debug, Default, Clone)]
+/// implementation as an array of four atomic integers. Since the lock-free
+/// read path landed, the counters really are atomics: a hot read that
+/// promotes a tracked key to [`MAX_CLOCK`] moves the key between clock
+/// classes with two relaxed atomic ops ([`Mapper::promote_to_max`]) and no
+/// lock, while structural tracker changes (inserts, evictions, hand
+/// sweeps) keep flowing through [`Mapper::apply`] under the partition
+/// write lock.
+#[derive(Debug, Default)]
 pub struct Mapper {
-    counts: [u64; (MAX_CLOCK as usize) + 1],
+    counts: [AtomicU64; (MAX_CLOCK as usize) + 1],
+}
+
+impl Clone for Mapper {
+    fn clone(&self) -> Self {
+        let mapper = Mapper::new();
+        mapper.set_histogram(self.histogram());
+        mapper
+    }
 }
 
 impl Mapper {
@@ -44,41 +60,75 @@ impl Mapper {
     }
 
     /// Apply the state changes of one tracker access.
-    pub fn apply(&mut self, event: &AccessEvent) {
+    pub fn apply(&self, event: &AccessEvent) {
         if let Some(old) = event.old_clock {
-            self.counts[old as usize] = self.counts[old as usize].saturating_sub(1);
+            self.dec(old as usize, 1);
         }
-        self.counts[event.new_clock as usize] += 1;
+        self.counts[event.new_clock as usize].fetch_add(1, Ordering::Relaxed);
         if let Some((_, clock)) = &event.evicted {
-            self.counts[*clock as usize] = self.counts[*clock as usize].saturating_sub(1);
+            self.dec(*clock as usize, 1);
         }
         for (from, count) in &event.decremented {
             let from = *from as usize;
-            self.counts[from] = self.counts[from].saturating_sub(*count);
-            self.counts[from - 1] += *count;
+            self.dec(from, *count);
+            self.counts[from - 1].fetch_add(*count, Ordering::Relaxed);
+        }
+    }
+
+    /// A tracked key at clock value `old` was promoted to [`MAX_CLOCK`] by
+    /// a read-path touch. Lock-free: two relaxed atomic ops. A no-op when
+    /// the key was already at the maximum (racing touches of the same key
+    /// observe `old == MAX_CLOCK` for all but the first, because the
+    /// tracker's clock swap serialises the transitions).
+    pub fn promote_to_max(&self, old: u8) {
+        if old == MAX_CLOCK {
+            return;
+        }
+        self.dec(old as usize, 1);
+        self.counts[MAX_CLOCK as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Saturating decrement of one clock class.
+    fn dec(&self, idx: usize, by: u64) {
+        let counter = &self.counts[idx];
+        let mut current = counter.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(by);
+            match counter.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
         }
     }
 
     /// The raw clock-value histogram, index = clock value.
     pub fn histogram(&self) -> [u64; (MAX_CLOCK as usize) + 1] {
-        self.counts
+        let mut out = [0u64; (MAX_CLOCK as usize) + 1];
+        for (slot, counter) in out.iter_mut().zip(self.counts.iter()) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
+        out
     }
 
     /// Overwrite the histogram (used by tests and by engines that rebuild
     /// the mapper after recovery).
-    pub fn set_histogram(&mut self, counts: [u64; (MAX_CLOCK as usize) + 1]) {
-        self.counts = counts;
+    pub fn set_histogram(&self, counts: [u64; (MAX_CLOCK as usize) + 1]) {
+        for (counter, value) in self.counts.iter().zip(counts.iter()) {
+            counter.store(*value, Ordering::Relaxed);
+        }
     }
 
     /// The histogram normalised to fractions of the tracked population
     /// (all zeros when nothing is tracked). Index = clock value.
     pub fn distribution(&self) -> [f64; (MAX_CLOCK as usize) + 1] {
-        let total: u64 = self.counts.iter().sum();
+        let counts = self.histogram();
+        let total: u64 = counts.iter().sum();
         let mut dist = [0.0; (MAX_CLOCK as usize) + 1];
         if total == 0 {
             return dist;
         }
-        for (i, &c) in self.counts.iter().enumerate() {
+        for (i, &c) in counts.iter().enumerate() {
             dist[i] = c as f64 / total as f64;
         }
         dist
@@ -110,14 +160,14 @@ impl Mapper {
             return PinDecision::Demote;
         }
         // Count objects in classes strictly hotter than `clock`.
-        let hotter: u64 = self
-            .counts
+        let counts = self.histogram();
+        let hotter: u64 = counts
             .iter()
             .enumerate()
             .filter(|(c, _)| *c > clock as usize)
             .map(|(_, &n)| n)
             .sum();
-        let class = self.counts[clock as usize];
+        let class = counts[clock as usize];
         let hotter = hotter as f64;
         let class = class as f64;
         if hotter + class <= budget {
@@ -140,7 +190,7 @@ mod tests {
     #[test]
     fn histogram_tracks_accesses() {
         let mut tracker = ClockTracker::new(10);
-        let mut mapper = Mapper::new();
+        let mapper = Mapper::new();
         for id in 0..5u64 {
             mapper.apply(&tracker.access(&Key::from_id(id), false));
         }
@@ -155,9 +205,43 @@ mod tests {
     }
 
     #[test]
+    fn promote_to_max_moves_one_key_between_classes() {
+        let mapper = Mapper::new();
+        mapper.set_histogram([5, 2, 0, 1]);
+        mapper.promote_to_max(0);
+        assert_eq!(mapper.histogram(), [4, 2, 0, 2]);
+        mapper.promote_to_max(1);
+        assert_eq!(mapper.histogram(), [4, 1, 0, 3]);
+        // A key already at MAX must not be double-counted (racing touches
+        // of the same key observe old == MAX for all but the first).
+        mapper.promote_to_max(MAX_CLOCK);
+        assert_eq!(mapper.histogram(), [4, 1, 0, 3]);
+    }
+
+    #[test]
+    fn concurrent_promotions_keep_the_population_exact() {
+        use std::sync::Arc;
+        let mapper = Arc::new(Mapper::new());
+        mapper.set_histogram([4000, 0, 0, 0]);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let mapper = Arc::clone(&mapper);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    mapper.promote_to_max(0);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(mapper.histogram(), [0, 0, 0, 4000]);
+    }
+
+    #[test]
     fn histogram_stays_consistent_under_eviction() {
         let mut tracker = ClockTracker::new(8);
-        let mut mapper = Mapper::new();
+        let mapper = Mapper::new();
         for id in 0..100u64 {
             mapper.apply(&tracker.access(&Key::from_id(id % 20), id % 3 == 0));
             let total: u64 = mapper.histogram().iter().sum();
@@ -170,7 +254,7 @@ mod tests {
         // §4.3 example: 10% at clock 3, 10% at clock 2, 30% at clock 1,
         // 50% at clock 0, threshold 15%: clock 3 always pinned, clock 2
         // sampled at 0.5, clock 1/0 and untracked demoted.
-        let mut mapper = Mapper::new();
+        let mapper = Mapper::new();
         mapper.set_histogram([500, 300, 100, 100]);
         let tracked = 1000;
         assert_eq!(
@@ -197,7 +281,7 @@ mod tests {
 
     #[test]
     fn extreme_thresholds() {
-        let mut mapper = Mapper::new();
+        let mapper = Mapper::new();
         mapper.set_histogram([10, 10, 10, 10]);
         assert_eq!(mapper.pin_decision(Some(3), 0.0, 40), PinDecision::Demote);
         assert_eq!(mapper.pin_decision(Some(0), 1.0, 40), PinDecision::Pin);

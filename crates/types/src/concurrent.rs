@@ -142,6 +142,19 @@ pub trait ConcurrentKvStore: Send + Sync {
         Vec::new()
     }
 
+    /// Cumulative *serial* read-path time accumulated by each shard's
+    /// busiest internal lock domain, indexed by shard. Even when
+    /// [`Self::concurrent_reads`] is `true`, a small slice of every read
+    /// still serialises inside the engine (a DRAM-cache sub-shard probe,
+    /// for instance); this exposes that slice so harness queueing models
+    /// can charge it to the shard instead of pretending reads are free of
+    /// serial work. Engines whose reads serialise entirely (already
+    /// captured by `concurrent_reads() == false`) or that do not track the
+    /// residue return the default empty vector.
+    fn shard_read_serial_times(&self) -> Vec<Nanos> {
+        Vec::new()
+    }
+
     /// Write-pressure hint for one shard, used by submission front-ends
     /// to apply back-pressure *before* a write stalls inside the engine.
     /// Values at or above `1.0` mean the shard's fast tier has reached its
@@ -270,6 +283,10 @@ impl<E: ConcurrentKvStore + ?Sized> ConcurrentKvStore for Arc<E> {
 
     fn background_worker_times(&self) -> Vec<Nanos> {
         (**self).background_worker_times()
+    }
+
+    fn shard_read_serial_times(&self) -> Vec<Nanos> {
+        (**self).shard_read_serial_times()
     }
 
     fn shard_write_pressure(&self, shard: usize) -> f64 {

@@ -126,6 +126,11 @@ pub struct FrontendStats {
     pub coalesced_entries: u64,
     /// Times an executor thread was woken from its idle wait.
     pub wakeups: u64,
+    /// Queue drains an executor performed on a partition it does not own
+    /// (work stealing): an idle executor that finds its own partitions
+    /// empty sweeps its neighbours' queues, so one Zipfian-hot partition
+    /// no longer bottlenecks on its owner's throughput.
+    pub stolen_drains: u64,
     /// Instantaneous number of requests waiting in partition queues (a
     /// gauge: `delta_since` keeps the later snapshot's value).
     pub queue_depth: u64,
@@ -163,6 +168,7 @@ impl FrontendStats {
                 .coalesced_entries
                 .saturating_sub(earlier.coalesced_entries),
             wakeups: self.wakeups.saturating_sub(earlier.wakeups),
+            stolen_drains: self.stolen_drains.saturating_sub(earlier.stolen_drains),
             queue_depth: self.queue_depth,
             max_queue_depth: self.max_queue_depth,
             outstanding_tickets: self.outstanding_tickets,

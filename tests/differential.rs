@@ -1276,8 +1276,17 @@ fn run_fault_seed(seed: u64) {
             }
         }
         if !dirty {
-            healed = true;
-            break;
+            // The sweep itself reads every key, and a read can trip a
+            // read-triggered compaction whose demotion writes roll fresh
+            // faults — silently corrupting a newly demoted copy while
+            // the DRAM cache keeps serving the clean value, so the point
+            // reads above would never notice. Converged means *storage*
+            // is clean too: one more full scrub must find nothing (and
+            // repairs what it does find for the next round).
+            if db.scrub().corrupt_found == 0 {
+                healed = true;
+                break;
+            }
         }
     }
     assert!(healed, "healing never reached a fixed point (seed {seed})");
