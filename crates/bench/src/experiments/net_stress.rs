@@ -20,13 +20,14 @@ use prism_net::client::NetClient;
 use prism_net::protocol::{Request, Status};
 use prism_net::server::{NetServer, ServerOptions};
 use prism_net::transport::{duplex_listener, tcp_connect, Conn, TcpServerListener};
+use prism_obs::LatencyHistogram;
 use prism_types::{ConcurrentKvStore, Key, NetStats, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::engines;
 use crate::report::{fmt_f64, write_bench_json, SummaryEntry, Table};
-use crate::runner::percentile;
+use crate::runner::hist_percentile_us;
 use crate::Scale;
 
 /// Connection-count sweep.
@@ -64,7 +65,10 @@ fn random_request(rng: &mut StdRng, keys: u64) -> Request {
 }
 
 /// Drive `ops` requests through one client with a `window`-deep pipeline,
-/// recording the wall-clock round trip of each measured request.
+/// recording the wall-clock round trip of each measured request into the
+/// shared lock-free histogram (all client threads record into the same
+/// one — the same concurrent-recording path the frontend's per-stage
+/// timers use in production).
 fn drive_client(
     mut client: NetClient,
     keys: u64,
@@ -72,13 +76,11 @@ fn drive_client(
     warmup_ops: u64,
     ops: u64,
     window: usize,
-    latencies: &mut Vec<u64>,
+    hist: &LatencyHistogram,
 ) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut in_flight: VecDeque<(u64, Instant, bool)> = VecDeque::new();
-    let reap = |client: &mut NetClient,
-                in_flight: &mut VecDeque<(u64, Instant, bool)>,
-                latencies: &mut Vec<u64>| {
+    let reap = |client: &mut NetClient, in_flight: &mut VecDeque<(u64, Instant, bool)>| {
         let (id, sent_at, measured) = in_flight.pop_front().expect("non-empty window");
         let response = client.wait(id).expect("stress response");
         assert_eq!(
@@ -88,7 +90,7 @@ fn drive_client(
             response.message
         );
         if measured {
-            latencies.push(sent_at.elapsed().as_nanos() as u64);
+            hist.record(sent_at.elapsed().as_nanos() as u64);
         }
     };
     for op in 0..warmup_ops + ops {
@@ -96,11 +98,11 @@ fn drive_client(
         let id = client.send(&request).expect("stress send");
         in_flight.push_back((id, Instant::now(), op >= warmup_ops));
         if in_flight.len() >= window {
-            reap(&mut client, &mut in_flight, latencies);
+            reap(&mut client, &mut in_flight);
         }
     }
     while !in_flight.is_empty() {
-        reap(&mut client, &mut in_flight, latencies);
+        reap(&mut client, &mut in_flight);
     }
 }
 
@@ -124,13 +126,14 @@ where
     let warmup_per_conn = scale.warmup_ops / connections as u64;
     let ops_per_conn = scale.measure_ops / connections as u64;
     let started = Instant::now();
-    let mut all_latencies: Vec<u64> = std::thread::scope(|scope| {
+    let hist = LatencyHistogram::new();
+    std::thread::scope(|scope| {
         let dial = &dial;
+        let hist = &hist;
         let handles: Vec<_> = (0..connections)
             .map(|conn_id| {
                 scope.spawn(move || {
                     let client = NetClient::new(dial());
-                    let mut latencies = Vec::with_capacity(ops_per_conn as usize);
                     drive_client(
                         client,
                         keys,
@@ -138,23 +141,26 @@ where
                         warmup_per_conn,
                         ops_per_conn,
                         window,
-                        &mut latencies,
+                        hist,
                     );
-                    latencies
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|handle| handle.join().expect("stress client thread"))
-            .collect()
+        for handle in handles {
+            handle.join().expect("stress client thread");
+        }
     });
     let elapsed = started.elapsed();
     let net = server.stats();
     server.shutdown();
 
-    all_latencies.sort_unstable();
+    let snap = hist.snapshot();
     let measured_ops = ops_per_conn * connections as u64;
+    assert_eq!(
+        snap.count(),
+        measured_ops,
+        "every measured round trip must land in the shared histogram"
+    );
     StressResult {
         // Wall time includes the warm-up phase; scale it out by the op
         // ratio rather than timing mid-scope (all clients run both).
@@ -162,9 +168,9 @@ where
             / (elapsed.as_secs_f64() * measured_ops as f64
                 / (measured_ops + warmup_per_conn * connections as u64) as f64)
             / 1_000.0,
-        p50_us: percentile(&all_latencies, 0.50),
-        p99_us: percentile(&all_latencies, 0.99),
-        p999_us: percentile(&all_latencies, 0.999),
+        p50_us: hist_percentile_us(&snap, 0.50),
+        p99_us: hist_percentile_us(&snap, 0.99),
+        p999_us: hist_percentile_us(&snap, 0.999),
         net,
     }
 }
@@ -289,6 +295,48 @@ pub fn run(scale: &Scale) -> Vec<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::percentile;
+
+    /// Old-vs-new regression: the CDF cells in `BENCH_net.json` now come
+    /// from the shared log-bucketed histogram; on a realistic skewed
+    /// round-trip distribution they must agree with the retired
+    /// sorted-vec math within one bucket's relative error (×√2), and the
+    /// exact order statistic must lie inside the reported bucket.
+    #[test]
+    fn histogram_cdf_matches_sorted_oracle_within_one_bucket() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let hist = LatencyHistogram::new();
+        let mut sorted: Vec<u64> = (0..10_000)
+            .map(|_| {
+                // Log-uniform µs-to-ms round trips with a heavy tail,
+                // like a pipelined wire under occasional back-pressure.
+                let base = 10f64.powf(rng.gen_range(3.0..6.0)) as u64;
+                if rng.gen_range(0u32..100) < 2 {
+                    base * 20
+                } else {
+                    base
+                }
+            })
+            .inspect(|&ns| hist.record(ns))
+            .collect();
+        sorted.sort_unstable();
+        let snap = hist.snapshot();
+        assert_eq!(snap.count(), sorted.len() as u64);
+        for q in [0.50, 0.99, 0.999] {
+            let oracle_us = percentile(&sorted, q);
+            let new_us = hist_percentile_us(&snap, q);
+            let (lo, hi) = snap.percentile_bounds(q);
+            let oracle_ns = (oracle_us * 1_000.0).round() as u64;
+            assert!(
+                lo <= oracle_ns && oracle_ns <= hi,
+                "q={q}: oracle {oracle_ns}ns outside bucket [{lo}, {hi}]"
+            );
+            assert!(
+                new_us >= oracle_us / 1.45 && new_us <= oracle_us * 1.45,
+                "q={q}: histogram {new_us}us vs oracle {oracle_us}us exceeds one-bucket error"
+            );
+        }
+    }
 
     fn cell_f64(table: &Table, row: &str, col: &str) -> f64 {
         table

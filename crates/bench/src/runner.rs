@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use prism_frontend::{Frontend, FrontendOptions, ReadTicket, ScanTicket, WriteTicket};
+use prism_obs::{HistogramSnapshot, LatencyHistogram};
 use prism_types::{
     ConcurrentKvStore, EngineStats, FrontendStats, Key, KvStore, Nanos, Op, OpKind, PrismError,
     Result, Value, WriteBatch,
@@ -92,9 +93,15 @@ pub struct RunResult {
     pub cost_per_gb: f64,
     /// Per-window results (length = `RunConfig::windows`).
     pub windows: Vec<Window>,
-    /// All measured operation latencies, sorted ascending, in microseconds
-    /// (used for CDF plots such as Figure 14a).
+    /// All measured operation latencies, sorted ascending, in microseconds.
+    /// Kept as the exact sorted-vec oracle for the bucketed
+    /// [`RunResult::latency_hist`] the reported percentiles come from.
     pub read_latencies_us: Vec<f64>,
+    /// Shared log-bucketed histogram of every measured latency (ns); the
+    /// source of `p50_us`/`p99_us` and the Figure 14a CDF, and the same
+    /// [`prism_obs::LatencyHistogram`] type the frontend and engine
+    /// record into at runtime.
+    pub latency_hist: HistogramSnapshot,
 }
 
 /// Latency summary for one operation kind.
@@ -110,12 +117,24 @@ pub struct KindLatency {
     pub p99_us: f64,
 }
 
+/// Exact nearest-rank percentile of a sorted nanosecond slice, in µs.
+///
+/// This is the *oracle*: reported percentiles now come from the shared
+/// [`prism_obs::LatencyHistogram`] (same nearest-rank definition,
+/// log-bucketed), and the regression tests pin the bucketed estimate to
+/// this exact value within one bucket's relative error.
+#[cfg(test)]
 pub(crate) fn percentile(sorted: &[u64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
     let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
     sorted[idx.min(sorted.len() - 1)] as f64 / 1_000.0
+}
+
+/// Rank-`q` percentile of a histogram snapshot, in µs.
+pub(crate) fn hist_percentile_us(snap: &HistogramSnapshot, q: f64) -> f64 {
+    snap.percentile(q) / 1_000.0
 }
 
 /// Drives engines through load, warm-up and measurement phases.
@@ -181,9 +200,13 @@ impl Runner {
             Self::apply(engine, &op).expect("warm-up must not fail");
         }
 
-        // Measured phase, possibly split into windows.
+        // Measured phase, possibly split into windows. Every latency is
+        // recorded twice: into the exact sorted-vec oracle (kept on the
+        // result for CDF regression tests) and into the shared
+        // log-bucketed histogram the reported percentiles come from.
         let mut latencies: Vec<u64> = Vec::with_capacity(self.config.measure_ops as usize);
-        let mut by_kind: HashMap<OpKind, Vec<u64>> = HashMap::new();
+        let hist = LatencyHistogram::new();
+        let mut by_kind: HashMap<OpKind, LatencyHistogram> = HashMap::new();
         let mut windows = Vec::with_capacity(self.config.windows);
         let start_stats = engine.stats();
         let start_elapsed = engine.elapsed();
@@ -196,7 +219,8 @@ impl Runner {
                 let op = stream.next().expect("stream is infinite");
                 let (latency, kind) = Self::apply(engine, &op).expect("measured ops must not fail");
                 latencies.push(latency.as_nanos());
-                by_kind.entry(kind).or_default().push(latency.as_nanos());
+                hist.record(latency.as_nanos());
+                by_kind.entry(kind).or_default().record(latency.as_nanos());
             }
             let now_stats = engine.stats();
             let now_elapsed = engine.elapsed();
@@ -220,23 +244,18 @@ impl Runner {
         let measured_ops = ops_per_window * self.config.windows as u64;
 
         latencies.sort_unstable();
-        let mean_us = if latencies.is_empty() {
-            0.0
-        } else {
-            latencies.iter().sum::<u64>() as f64 / latencies.len() as f64 / 1_000.0
-        };
+        let latency_hist = hist.snapshot();
         let per_kind = by_kind
             .into_iter()
-            .map(|(kind, mut v)| {
-                v.sort_unstable();
-                let mean = v.iter().sum::<u64>() as f64 / v.len() as f64 / 1_000.0;
+            .map(|(kind, h)| {
+                let snap = h.snapshot();
                 (
                     kind,
                     KindLatency {
-                        count: v.len() as u64,
-                        mean_us: mean,
-                        p50_us: percentile(&v, 0.5),
-                        p99_us: percentile(&v, 0.99),
+                        count: snap.count(),
+                        mean_us: snap.mean() / 1_000.0,
+                        p50_us: hist_percentile_us(&snap, 0.5),
+                        p99_us: hist_percentile_us(&snap, 0.99),
                     },
                 )
             })
@@ -252,15 +271,16 @@ impl Runner {
             } else {
                 measured_ops as f64 / elapsed.as_secs_f64() / 1_000.0
             },
-            mean_us,
-            p50_us: percentile(&latencies, 0.5),
-            p99_us: percentile(&latencies, 0.99),
+            mean_us: latency_hist.mean() / 1_000.0,
+            p50_us: hist_percentile_us(&latency_hist, 0.5),
+            p99_us: hist_percentile_us(&latency_hist, 0.99),
             per_kind,
             stats,
             elapsed,
             cost_per_gb,
             windows,
             read_latencies_us,
+            latency_hist,
         }
     }
 }
@@ -989,8 +1009,17 @@ impl RunResult {
     }
 
     /// A percentile (0.0–1.0) of the measured per-operation latencies, in
-    /// microseconds.
+    /// microseconds, read from the shared log-bucketed histogram (the
+    /// estimate is within one bucket — ×√2 — of the exact order
+    /// statistic; see [`RunResult::latency_hist`]).
     pub fn latency_percentile_us(&self, p: f64) -> f64 {
+        hist_percentile_us(&self.latency_hist, p.clamp(0.0, 1.0))
+    }
+
+    /// The exact sorted-vec percentile in µs, kept as the oracle the
+    /// histogram-backed [`RunResult::latency_percentile_us`] is
+    /// regression-tested against.
+    pub fn oracle_percentile_us(&self, p: f64) -> f64 {
         if self.read_latencies_us.is_empty() {
             return 0.0;
         }
@@ -1010,6 +1039,40 @@ mod tests {
         let sorted = vec![100, 200, 300, 400, 1_000_000];
         assert!(percentile(&sorted, 0.5) <= percentile(&sorted, 0.99));
         assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    /// Old-vs-new regression: the reported (histogram-bucketed)
+    /// percentiles must agree with the sorted-vec oracle within one
+    /// bucket's relative error — the oracle value lies inside the
+    /// reported bucket's bounds, and the midpoint estimate is within ×√2.
+    #[test]
+    fn histogram_percentiles_match_sorted_oracle_within_one_bucket() {
+        let runner = Runner::new(RunConfig::quick(1_500));
+        let mut db = engines::prismdb(1_500);
+        let cost = db.cost_per_gb();
+        let result = runner.run(&mut db, &Workload::ycsb_b(1_500), cost);
+        assert_eq!(
+            result.latency_hist.count() as usize,
+            result.read_latencies_us.len(),
+            "every measured op must be in the histogram"
+        );
+        for q in [0.10, 0.50, 0.90, 0.99, 0.999] {
+            let oracle_us = result.oracle_percentile_us(q);
+            let reported_us = result.latency_percentile_us(q);
+            let (lo, hi) = result.latency_hist.percentile_bounds(q);
+            let oracle_ns = (oracle_us * 1_000.0).round() as u64;
+            assert!(
+                lo <= oracle_ns && oracle_ns <= hi,
+                "q={q}: oracle {oracle_ns}ns outside reported bucket [{lo}, {hi}]"
+            );
+            assert!(
+                reported_us >= oracle_us / 1.45 && reported_us <= oracle_us * 1.45,
+                "q={q}: reported {reported_us}us vs oracle {oracle_us}us exceeds one-bucket error"
+            );
+        }
+        // The overall p50/p99 fields come from the same histogram.
+        assert_eq!(result.p50_us, result.latency_percentile_us(0.50));
+        assert_eq!(result.p99_us, result.latency_percentile_us(0.99));
     }
 
     #[test]

@@ -5,12 +5,13 @@
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use prism_obs::{trace::category, Counter, LatencyHistogram, ObsHub, TraceBuffer};
 use prism_storage::{group_digest, CommitLog, CommitPart, TieredStorage};
 use prism_types::{
     BatchOp, ConcurrentKvStore, EngineStats, Key, KvStore, Lookup, Nanos, PartitionHealth,
-    PrismError, Result, ScanResult, SnapshotId, TxnStats, Value, WriteBatch,
+    PrismError, ReadSource, Result, ScanResult, SnapshotId, TxnStats, Value, WriteBatch,
 };
 
 use crate::options::{Options, Partitioning};
@@ -67,6 +68,72 @@ struct ScrubCadence {
     next_partition: AtomicU64,
 }
 
+/// Engine-side observability: per-tier read and per-op-class latency
+/// histograms (simulated-nanosecond domain, unlike the front-end's
+/// wall-clock stage timers), compaction/scrub duration histograms, the
+/// install-discard counter and the shared trace buffer. Instruments live
+/// in the hub's registry, so an admin plane over the same hub serves
+/// them by name.
+pub(crate) struct EngineObs {
+    pub(crate) hub: Arc<ObsHub>,
+    get_dram: Arc<LatencyHistogram>,
+    get_nvm: Arc<LatencyHistogram>,
+    get_flash: Arc<LatencyHistogram>,
+    put: Arc<LatencyHistogram>,
+    scan: Arc<LatencyHistogram>,
+    batch: Arc<LatencyHistogram>,
+    txn_commit: Arc<LatencyHistogram>,
+    /// Simulated duration of each installed compaction job.
+    pub(crate) compaction_job: Arc<LatencyHistogram>,
+    /// Wall-clock duration of each scrub pass slice.
+    pub(crate) scrub_pass: Arc<LatencyHistogram>,
+    /// Compaction results discarded at install (stale epoch / retired
+    /// inputs); each discard means the work is re-planned.
+    pub(crate) install_discards: Arc<Counter>,
+    /// Allocates job ids tying a compaction's plan → execute → install
+    /// trace events together.
+    job_ids: AtomicU64,
+}
+
+impl EngineObs {
+    fn new(hub: Arc<ObsHub>) -> Self {
+        let h = |name: &str| hub.registry.histogram(name);
+        EngineObs {
+            get_dram: h("engine_get_dram_ns"),
+            get_nvm: h("engine_get_nvm_ns"),
+            get_flash: h("engine_get_flash_ns"),
+            put: h("engine_put_ns"),
+            scan: h("engine_scan_ns"),
+            batch: h("engine_batch_ns"),
+            txn_commit: h("engine_txn_commit_ns"),
+            compaction_job: h("engine_compaction_job_ns"),
+            scrub_pass: h("engine_scrub_pass_ns"),
+            install_discards: hub.registry.counter("engine_compaction_install_discards"),
+            job_ids: AtomicU64::new(0),
+            hub,
+        }
+    }
+
+    fn record_get(&self, lookup: &Lookup) {
+        let hist = match lookup.source {
+            ReadSource::Dram => &self.get_dram,
+            ReadSource::Nvm => &self.get_nvm,
+            ReadSource::Flash => &self.get_flash,
+            ReadSource::NotFound => return,
+        };
+        hist.record(lookup.latency.as_nanos());
+    }
+
+    /// Allocate the next compaction job id (1-based; 0 means "no job").
+    pub(crate) fn next_job_id(&self) -> u64 {
+        self.job_ids.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    pub(crate) fn trace(&self) -> &TraceBuffer {
+        &self.hub.trace
+    }
+}
+
 /// Engine state shared between client handles and background worker
 /// threads.
 pub(crate) struct EngineShared {
@@ -84,6 +151,7 @@ pub(crate) struct EngineShared {
     txn: TxnCounters,
     integrity: IntegrityCounters,
     scrub: ScrubCadence,
+    pub(crate) obs: EngineObs,
 }
 
 impl EngineShared {
@@ -112,6 +180,101 @@ impl EngineShared {
 
     fn background(&self) -> bool {
         self.sched.is_some()
+    }
+
+    /// Run one budgeted scrub slice against a partition, recording its
+    /// wall duration, a `scrub_pass` trace event, and — when a clean
+    /// completed pass returns a degraded partition to healthy — the
+    /// `rearm` flip. Every scrub path (inline and background) funnels
+    /// through here so the trace sees all of them.
+    pub(crate) fn scrub_pass_traced(&self, idx: usize, budget_bytes: u64) -> ScrubReport {
+        let start = Instant::now();
+        let (was, report, now) = {
+            let mut p = self.write_partition(idx);
+            let was = p.health();
+            let report = p.scrub_pass(budget_bytes);
+            (was, report, p.health())
+        };
+        let wall = start.elapsed().as_nanos();
+        self.obs
+            .scrub_pass
+            .record(wall.min(u64::MAX as u128) as u64);
+        self.obs.trace().record(
+            category::SCRUB_PASS,
+            Some(idx as u32),
+            0,
+            format!(
+                "examined={} corrupt={} repaired={} quarantined={} completed={}",
+                report.examined,
+                report.corrupt_found,
+                report.repaired,
+                report.quarantined,
+                report.completed
+            ),
+        );
+        if was == PartitionHealth::Degraded && now == PartitionHealth::Healthy {
+            self.obs.trace().record(
+                category::REARM,
+                Some(idx as u32),
+                0,
+                "clean scrub pass re-armed the partition",
+            );
+        }
+        report
+    }
+
+    /// Aggregate engine statistics (also served through the hub's engine
+    /// source, so `GET /stats.json` and [`ConcurrentKvStore::stats`] read
+    /// the same numbers).
+    pub(crate) fn stats_snapshot(&self) -> EngineStats {
+        let mut stats = EngineStats {
+            nvm_io: self.storage.nvm_io(),
+            flash_io: self.storage.flash_io(),
+            ..EngineStats::default()
+        };
+        for i in 0..self.partitions.len() {
+            let part = self.read_partition(i);
+            let integrity = part.integrity_stats();
+            let p = part.stats();
+            drop(part);
+            stats.integrity = stats.integrity.merged(integrity);
+            stats.reads_from_dram += p.reads_from_dram;
+            stats.reads_from_nvm += p.reads_from_nvm;
+            stats.reads_from_flash += p.reads_from_flash;
+            stats.reads_not_found += p.reads_not_found;
+            stats.user_bytes_written += p.user_bytes_written;
+            stats.batch_groups += p.batch_groups;
+            stats.batch_entries += p.batch_entries;
+            stats.batch_merged_writes += p.batch_merged_writes;
+            stats.compaction.jobs += p.compaction.jobs;
+            stats.compaction.total_time += p.compaction.total_time;
+            stats.compaction.fast_tier_time += p.compaction.fast_tier_time;
+            stats.compaction.slow_tier_time += p.compaction.slow_tier_time;
+            stats.compaction.demoted_objects += p.compaction.demoted_objects;
+            stats.compaction.promoted_objects += p.compaction.promoted_objects;
+            stats.compaction.stall_time += p.compaction.stall_time;
+            stats.compaction.overlap_time += p.compaction.overlap_time;
+            stats.compaction.backpressure_stalls += p.compaction.backpressure_stalls;
+        }
+        if let Some(sched) = &self.sched {
+            stats.compaction.queue_depth = sched.queue_depth();
+            stats.compaction.max_queue_depth = sched.max_queue_depth();
+            stats.compaction.enqueued_jobs = sched.enqueued_total();
+        }
+        let log = self.commit_log.counters();
+        stats.txn = TxnStats {
+            snapshots: self.txn.snapshots.load(Ordering::Relaxed),
+            txn_commits: self.txn.commits.load(Ordering::Relaxed),
+            txn_conflicts: self.txn.conflicts.load(Ordering::Relaxed),
+            commit_intents: log.intents,
+            commit_seals: log.seals,
+            commit_replayed: log.replayed,
+            commit_rolled_back: log.rolled_back,
+        };
+        stats.integrity.io_errors += self.integrity.io_faults.load(Ordering::Relaxed);
+        stats.integrity.snapshots_expired +=
+            self.integrity.snapshots_expired.load(Ordering::Relaxed);
+        stats
     }
 }
 
@@ -271,8 +434,15 @@ impl PrismDb {
             txn: TxnCounters::default(),
             integrity: IntegrityCounters::default(),
             scrub: ScrubCadence::default(),
+            obs: EngineObs::new(options.obs.clone().unwrap_or_default()),
             options: options.clone(),
         });
+        // The hub serves typed engine stats through a weak handle, so a
+        // long-lived hub never keeps a dropped engine alive.
+        let weak = Arc::downgrade(&shared);
+        shared.obs.hub.registry.set_engine_source(Box::new(move || {
+            weak.upgrade().map(|shared| shared.stats_snapshot())
+        }));
         let workers = (0..options.compaction_workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
@@ -558,7 +728,7 @@ impl PrismDb {
     ///
     /// Panics if `idx` is out of range.
     pub fn scrub_partition(&self, idx: usize, budget_bytes: u64) -> ScrubReport {
-        self.shared.write_partition(idx).scrub_pass(budget_bytes)
+        self.shared.scrub_pass_traced(idx, budget_bytes)
     }
 
     /// Drive one complete scrub pass over every partition (in budget
@@ -574,7 +744,7 @@ impl PrismDb {
         };
         for idx in 0..self.partition_count() {
             loop {
-                let report = self.shared.write_partition(idx).scrub_pass(budget);
+                let report = self.shared.scrub_pass_traced(idx, budget);
                 total.examined += report.examined;
                 total.examined_bytes += report.examined_bytes;
                 total.corrupt_found += report.corrupt_found;
@@ -698,9 +868,15 @@ impl PrismDb {
             if !over_age && !over_bytes {
                 return;
             }
-            let Some((_seq, count)) = self.shared.seq.expire_oldest() else {
+            let Some((seq, count)) = self.shared.seq.expire_oldest() else {
                 return;
             };
+            self.shared.obs.trace().record(
+                category::SNAPSHOT_EXPIRED,
+                None,
+                seq,
+                format!("handles={count}"),
+            );
             self.shared
                 .integrity
                 .snapshots_expired
@@ -797,6 +973,12 @@ impl PrismDb {
         if util < self.shared.options.backpressure_ceiling {
             return Ok(Nanos::ZERO);
         }
+        self.shared.obs.trace().record(
+            category::BACKPRESSURE,
+            Some(idx as u32),
+            0,
+            format!("util={util:.3}"),
+        );
         // Back-pressure: block until a worker brings utilisation back
         // under the ceiling, then charge the virtual wait as a stall.
         let mut waits = 0;
@@ -1074,7 +1256,11 @@ impl ConcurrentKvStore for PrismDb {
         } else {
             self.background_write(idx, move |p| p.put(key.clone(), value.clone()))
         };
-        self.finish_write(result)
+        let result = self.finish_write(result);
+        if let Ok(latency) = &result {
+            self.shared.obs.put.record(latency.as_nanos());
+        }
+        result
     }
 
     fn get(&self, key: &Key) -> Result<Lookup> {
@@ -1088,7 +1274,26 @@ impl ConcurrentKvStore for PrismDb {
             Err(PrismError::Corruption(_)) => {
                 // Escalate: quarantine the key so the corrupt version can
                 // never be served again, and get a scrub pass going.
-                let err = self.shared.write_partition(idx).quarantine_on_read(key);
+                let (err, was, now) = {
+                    let mut p = self.shared.write_partition(idx);
+                    let was = p.health();
+                    let err = p.quarantine_on_read(key);
+                    (err, was, p.health())
+                };
+                self.shared.obs.trace().record(
+                    category::QUARANTINE,
+                    Some(idx as u32),
+                    key.id(),
+                    "checksum failure on read",
+                );
+                if was != now && now == PartitionHealth::Degraded {
+                    self.shared.obs.trace().record(
+                        category::DEGRADED,
+                        Some(idx as u32),
+                        0,
+                        "quarantine threshold crossed",
+                    );
+                }
                 self.request_scrub(idx);
                 return Err(err);
             }
@@ -1101,6 +1306,7 @@ impl ConcurrentKvStore for PrismDb {
             self.drain_reads(idx)?;
         }
         self.tick_scrub_cadence();
+        self.shared.obs.record_get(&lookup);
         Ok(lookup)
     }
 
@@ -1113,7 +1319,11 @@ impl ConcurrentKvStore for PrismDb {
             let key = key.clone();
             self.background_write(idx, move |p| p.delete(&key))
         };
-        self.finish_write(result)
+        let result = self.finish_write(result);
+        if let Ok(latency) = &result {
+            self.shared.obs.put.record(latency.as_nanos());
+        }
+        result
     }
 
     /// Apply a [`WriteBatch`] with per-partition group commit.
@@ -1187,10 +1397,18 @@ impl ConcurrentKvStore for PrismDb {
             let result = touched.into_iter().try_fold(Nanos::ZERO, |acc, idx| {
                 Ok(acc + self.apply_partition_group(idx, std::mem::take(&mut groups[idx]))?)
             });
-            return self.finish_write(result);
+            let result = self.finish_write(result);
+            if let Ok(latency) = &result {
+                self.shared.obs.batch.record(latency.as_nanos());
+            }
+            return result;
         }
         let result = self.apply_batch_multi(&mut groups, &touched);
-        self.finish_write(result)
+        let result = self.finish_write(result);
+        if let Ok(latency) = &result {
+            self.shared.obs.batch.record(latency.as_nanos());
+        }
+        result
     }
 
     fn scan(&self, start: &Key, count: usize) -> Result<ScanResult> {
@@ -1206,61 +1424,12 @@ impl ConcurrentKvStore for PrismDb {
         let result = self.snapshot_scan_parts(pinned, start, count);
         self.shared.seq.release(pinned);
         let (entries, latency) = result?;
+        self.shared.obs.scan.record(latency.as_nanos());
         Ok(ScanResult { entries, latency })
     }
 
     fn stats(&self) -> EngineStats {
-        let mut stats = EngineStats {
-            nvm_io: self.shared.storage.nvm_io(),
-            flash_io: self.shared.storage.flash_io(),
-            ..EngineStats::default()
-        };
-        for i in 0..self.partition_count() {
-            let part = self.shared.read_partition(i);
-            let integrity = part.integrity_stats();
-            let p = part.stats();
-            drop(part);
-            stats.integrity = stats.integrity.merged(integrity);
-            stats.reads_from_dram += p.reads_from_dram;
-            stats.reads_from_nvm += p.reads_from_nvm;
-            stats.reads_from_flash += p.reads_from_flash;
-            stats.reads_not_found += p.reads_not_found;
-            stats.user_bytes_written += p.user_bytes_written;
-            stats.batch_groups += p.batch_groups;
-            stats.batch_entries += p.batch_entries;
-            stats.batch_merged_writes += p.batch_merged_writes;
-            stats.compaction.jobs += p.compaction.jobs;
-            stats.compaction.total_time += p.compaction.total_time;
-            stats.compaction.fast_tier_time += p.compaction.fast_tier_time;
-            stats.compaction.slow_tier_time += p.compaction.slow_tier_time;
-            stats.compaction.demoted_objects += p.compaction.demoted_objects;
-            stats.compaction.promoted_objects += p.compaction.promoted_objects;
-            stats.compaction.stall_time += p.compaction.stall_time;
-            stats.compaction.overlap_time += p.compaction.overlap_time;
-            stats.compaction.backpressure_stalls += p.compaction.backpressure_stalls;
-        }
-        if let Some(sched) = &self.shared.sched {
-            stats.compaction.queue_depth = sched.queue_depth();
-            stats.compaction.max_queue_depth = sched.max_queue_depth();
-            stats.compaction.enqueued_jobs = sched.enqueued_total();
-        }
-        let log = self.shared.commit_log.counters();
-        stats.txn = TxnStats {
-            snapshots: self.shared.txn.snapshots.load(Ordering::Relaxed),
-            txn_commits: self.shared.txn.commits.load(Ordering::Relaxed),
-            txn_conflicts: self.shared.txn.conflicts.load(Ordering::Relaxed),
-            commit_intents: log.intents,
-            commit_seals: log.seals,
-            commit_replayed: log.replayed,
-            commit_rolled_back: log.rolled_back,
-        };
-        stats.integrity.io_errors += self.shared.integrity.io_faults.load(Ordering::Relaxed);
-        stats.integrity.snapshots_expired += self
-            .shared
-            .integrity
-            .snapshots_expired
-            .load(Ordering::Relaxed);
-        stats
+        self.shared.stats_snapshot()
     }
 
     fn elapsed(&self) -> Nanos {
@@ -1459,7 +1628,19 @@ impl ConcurrentKvStore for PrismDb {
             }
         }
         self.shared.txn.commits.fetch_add(1, Ordering::Relaxed);
-        self.finish_write(Ok(total))
+        let result = self.finish_write(Ok(total));
+        if let Ok(latency) = &result {
+            self.shared.obs.txn_commit.record(latency.as_nanos());
+        }
+        result
+    }
+
+    fn shard_health(&self, shard: usize) -> PartitionHealth {
+        self.partition_health(shard)
+    }
+
+    fn quarantined_objects(&self) -> u64 {
+        self.quarantined_object_count() as u64
     }
 }
 

@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use prism_compaction::{CompactionConfig, ReadTriggerConfig};
+use prism_obs::ObsHub;
 use prism_storage::{DeviceProfile, FaultPlan};
 use prism_types::{PrismError, Result};
 
@@ -140,6 +141,13 @@ pub struct Options {
     /// snapshots across all partitions. Exceeding it aborts the oldest
     /// pin and frees its history. `0` disables the cap.
     pub max_history_bytes: u64,
+    /// Shared observability hub: per-tier read / compaction / scrub
+    /// latency histograms land in its registry and engine lifecycle
+    /// events (compaction pipeline, quarantine flips, snapshot expiry,
+    /// back-pressure) in its trace buffer. `None` (the default) gives the
+    /// engine a private hub — instrumentation always runs, it is just
+    /// not externally visible.
+    pub obs: Option<Arc<ObsHub>>,
 }
 
 impl Options {
@@ -193,6 +201,7 @@ impl Options {
             scrub_interval_ops: 100_000,
             max_pin_age_ops: 0,
             max_history_bytes: 0,
+            obs: None,
         }
     }
 
@@ -397,6 +406,14 @@ impl OptionsBuilder {
     /// Attach a deterministic storage fault-injection plan.
     pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
         self.options.fault_plan = Some(plan);
+        self
+    }
+
+    /// Attach a shared observability hub: engine histograms register in
+    /// its metrics registry and lifecycle events land in its trace
+    /// buffer, so an admin plane over the same hub sees the engine.
+    pub fn obs(mut self, hub: Arc<ObsHub>) -> Self {
+        self.options.obs = Some(hub);
         self
     }
 

@@ -24,6 +24,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use prism_compaction::execute_job;
+use prism_obs::trace::category;
 use prism_types::Nanos;
 
 use crate::engine::EngineShared;
@@ -303,13 +304,29 @@ fn execute_and_install(
     shared: &EngineShared,
     partition: usize,
     job: prism_compaction::CompactionJob,
+    job_id: u64,
 ) -> Option<CompactionOutcome> {
     let trigger_fg = job.trigger_fg;
+    shared.obs.trace().record(
+        category::COMPACTION_EXECUTE,
+        Some(partition as u32),
+        job_id,
+        "executing planned job",
+    );
     let exec = execute_job(job, &shared.storage.cpu, &shared.storage.flash);
     let mut guard = shared.write_partition(partition);
     let installed = guard
         .install_compaction(exec)
         .expect("background install must not corrupt partition state");
+    if installed.is_none() {
+        shared.obs.install_discards.inc();
+        shared.obs.trace().record(
+            category::COMPACTION_DISCARD,
+            Some(partition as u32),
+            job_id,
+            "stale epoch or retired victim files",
+        );
+    }
     installed.map(|outcome| {
         // The partition's background completion time chains on its own
         // virtual timeline, exactly like inline mode: a job starts no
@@ -319,6 +336,21 @@ fn execute_and_install(
         guard.set_busy_until(end);
         guard.note_overlap(outcome.duration);
         shared.scheduler().tally_virtual(outcome.duration);
+        shared
+            .obs
+            .compaction_job
+            .record(outcome.duration.as_nanos());
+        shared.obs.trace().record(
+            category::COMPACTION_INSTALL,
+            Some(partition as u32),
+            job_id,
+            format!(
+                "demoted={} promoted={} duration_ns={}",
+                outcome.demoted,
+                outcome.promoted,
+                outcome.duration.as_nanos()
+            ),
+        );
         outcome
     })
 }
@@ -338,7 +370,14 @@ fn run_demotions(shared: &EngineShared, req: JobRequest) {
             .write_partition(p)
             .plan_demotion(false, req.trigger_fg);
         let Some(job) = job else { break };
-        let outcome = execute_and_install(shared, p, job);
+        let job_id = shared.obs.next_job_id();
+        shared.obs.trace().record(
+            category::COMPACTION_PLAN,
+            Some(p as u32),
+            job_id,
+            "kind=demote",
+        );
+        let outcome = execute_and_install(shared, p, job, job_id);
         sched.bump_generation();
         let Some(outcome) = outcome else { break };
         if outcome.demoted == 0 {
@@ -346,7 +385,14 @@ fn run_demotions(shared: &EngineShared, req: JobRequest) {
                 .write_partition(p)
                 .plan_demotion(true, req.trigger_fg);
             let Some(job) = job else { break };
-            let forced = execute_and_install(shared, p, job);
+            let job_id = shared.obs.next_job_id();
+            shared.obs.trace().record(
+                category::COMPACTION_PLAN,
+                Some(p as u32),
+                job_id,
+                "kind=forced-demote",
+            );
+            let forced = execute_and_install(shared, p, job, job_id);
             sched.bump_generation();
             match forced {
                 Some(f) if f.demoted > 0 => {}
@@ -365,7 +411,14 @@ fn run_promotion(shared: &EngineShared, req: JobRequest) {
         .write_partition(req.partition)
         .plan_promotion(req.trigger_fg);
     if let Some(job) = job {
-        execute_and_install(shared, req.partition, job);
+        let job_id = shared.obs.next_job_id();
+        shared.obs.trace().record(
+            category::COMPACTION_PLAN,
+            Some(req.partition as u32),
+            job_id,
+            "kind=promote",
+        );
+        execute_and_install(shared, req.partition, job, job_id);
     }
     sched.bump_generation();
 }
@@ -377,7 +430,7 @@ fn run_promotion(shared: &EngineShared, req: JobRequest) {
 fn run_scrub(shared: &EngineShared, req: JobRequest) {
     let sched = shared.scheduler();
     let budget = shared.options.scrub_io_budget_bytes.max(1);
-    let report = shared.write_partition(req.partition).scrub_pass(budget);
+    let report = shared.scrub_pass_traced(req.partition, budget);
     sched.bump_generation();
     if !report.completed || report.corrupt_found > 0 {
         let fg = shared.read_partition(req.partition).fg();

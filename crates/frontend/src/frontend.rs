@@ -4,13 +4,78 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
 
+use prism_obs::{LatencyHistogram, ObsHub};
 use prism_types::{
     completion_pair_gauged, BatchOp, Completion, ConcurrentKvStore, FrontendStats, Key, Lookup,
     Nanos, PrismError, Result, ScanResult, Ticket, TicketGauge, Value, WriteBatch,
 };
 
 use crate::options::FrontendOptions;
+
+/// Request class a per-stage histogram is keyed by. Writes with one op
+/// are `put`, multi-op writes are `batch`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpClass {
+    Get = 0,
+    Put = 1,
+    Batch = 2,
+    Scan = 3,
+}
+
+const OP_CLASSES: [(&str, OpClass); 4] = [
+    ("get", OpClass::Get),
+    ("put", OpClass::Put),
+    ("batch", OpClass::Batch),
+    ("scan", OpClass::Scan),
+];
+
+/// Wall-clock per-stage histograms the front-end records into: for each
+/// op class, the time a request waited in its partition queue
+/// (`frontend_queue_wait_*_ns`), the wall time the engine call took
+/// (`frontend_service_*_ns`), and the end-to-end submission→completion
+/// latency (`frontend_e2e_*_ns`); plus the steal-latency histogram (age
+/// of the oldest request in a stolen drain) and whole-drain durations.
+/// All instruments live in the shared [`ObsHub`] registry, so the admin
+/// plane serves them by name.
+struct FrontendObs {
+    hub: Arc<ObsHub>,
+    queue_wait: [Arc<LatencyHistogram>; 4],
+    service: [Arc<LatencyHistogram>; 4],
+    e2e: [Arc<LatencyHistogram>; 4],
+    steal_latency: Arc<LatencyHistogram>,
+    drain: Arc<LatencyHistogram>,
+}
+
+impl FrontendObs {
+    fn new(hub: Arc<ObsHub>) -> Self {
+        let stage = |stage: &str| -> [Arc<LatencyHistogram>; 4] {
+            OP_CLASSES.map(|(class, _)| {
+                hub.registry
+                    .histogram(&format!("frontend_{stage}_{class}_ns"))
+            })
+        };
+        FrontendObs {
+            queue_wait: stage("queue_wait"),
+            service: stage("service"),
+            e2e: stage("e2e"),
+            steal_latency: hub.registry.histogram("frontend_steal_latency_ns"),
+            drain: hub.registry.histogram("frontend_drain_ns"),
+            hub,
+        }
+    }
+
+    #[inline]
+    fn record_stage(&self, stage: &[Arc<LatencyHistogram>; 4], class: OpClass, ns: u128) {
+        stage[class as usize].record(clamp_u64(ns));
+    }
+}
+
+#[inline]
+fn clamp_u64(ns: u128) -> u64 {
+    ns.min(u64::MAX as u128) as u64
+}
 
 /// Ticket for a submitted write (put, delete or batch): resolves to the
 /// simulated latency of the group(s) that installed it.
@@ -69,12 +134,30 @@ impl WriteAgg {
     }
 }
 
-/// One queued request.
+/// One queued request. Every variant carries its enqueue instant so the
+/// drain can decompose latency into queue-wait / service / end-to-end.
 enum Request {
     /// Coalescable write work: the ops of one part, in submission order.
-    Write(Vec<BatchOp>, Arc<WriteAgg>),
-    Get(Key, Completion<Result<Lookup>>),
-    Scan(Key, usize, Completion<Result<ScanResult>>),
+    Write(Vec<BatchOp>, Arc<WriteAgg>, Instant),
+    Get(Key, Completion<Result<Lookup>>, Instant),
+    Scan(Key, usize, Completion<Result<ScanResult>>, Instant),
+}
+
+impl Request {
+    fn enqueued_at(&self) -> Instant {
+        match self {
+            Request::Write(_, _, at) | Request::Get(_, _, at) | Request::Scan(_, _, _, at) => *at,
+        }
+    }
+
+    fn class(&self) -> OpClass {
+        match self {
+            Request::Write(ops, ..) if ops.len() == 1 => OpClass::Put,
+            Request::Write(..) => OpClass::Batch,
+            Request::Get(..) => OpClass::Get,
+            Request::Scan(..) => OpClass::Scan,
+        }
+    }
 }
 
 struct PartitionQueue {
@@ -133,8 +216,17 @@ struct Shared<E> {
     /// spreads its overflow across every other executor instead of
     /// pinning a single neighbour.
     help_rr: AtomicUsize,
+    /// Rotates the start index of the idle steal sweep, so contending
+    /// idle executors fan out across the foreign queues instead of all
+    /// scanning from partition 0 and colliding on the same drain locks.
+    steal_rr: AtomicUsize,
     depth: AtomicU64,
     max_queue_depth: AtomicU64,
+    /// High-water mark of the *total* queued-request count (all
+    /// partition queues combined).
+    max_total_depth: AtomicU64,
+    /// Per-stage wall-clock histograms and the shared observability hub.
+    obs: FrontendObs,
     /// Virtual-time accounting for the benchmark harness: simulated time
     /// each executor spent servicing requests, and the serial (write)
     /// work charged to each engine shard.
@@ -248,7 +340,8 @@ impl<E: ConcurrentKvStore> Shared<E> {
 
     /// Caller holds the partition's queue lock with the request pushed.
     fn note_enqueued(&self, partition_depth: usize) {
-        self.depth.fetch_add(1, Ordering::Relaxed);
+        let total = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max_total_depth.fetch_max(total, Ordering::Relaxed);
         self.max_queue_depth
             .fetch_max(partition_depth as u64, Ordering::Relaxed);
         self.submitted.fetch_add(1, Ordering::Relaxed);
@@ -275,20 +368,21 @@ impl<E: ConcurrentKvStore> Shared<E> {
     fn flush_writes(
         &self,
         partition: usize,
-        parts: &mut Vec<(Vec<BatchOp>, Arc<WriteAgg>)>,
+        parts: &mut Vec<(Vec<BatchOp>, Arc<WriteAgg>, Instant)>,
     ) -> Nanos {
         let mut total = Nanos::ZERO;
         while !parts.is_empty() {
             let mut take = 0;
             let mut entries = 0;
-            for (ops, _) in parts.iter() {
+            for (ops, _, _) in parts.iter() {
                 if take > 0 && entries + ops.len() > self.max_coalesce {
                     break;
                 }
                 take += 1;
                 entries += ops.len();
             }
-            let mut group: Vec<(Vec<BatchOp>, Arc<WriteAgg>)> = parts.drain(..take).collect();
+            let mut group: Vec<(Vec<BatchOp>, Arc<WriteAgg>, Instant)> =
+                parts.drain(..take).collect();
             self.coalesced_groups.fetch_add(1, Ordering::Relaxed);
             self.coalesced_entries
                 .fetch_add(entries as u64, Ordering::Relaxed);
@@ -300,42 +394,83 @@ impl<E: ConcurrentKvStore> Shared<E> {
                 // The common light-pressure case: a per-part retry cannot
                 // differ from the group, so move the payload instead of
                 // cloning it.
-                let (ops, agg) = group.pop().expect("one part");
+                let (ops, agg, enqueued_at) = group.pop().expect("one part");
+                let class = if ops.len() == 1 {
+                    OpClass::Put
+                } else {
+                    OpClass::Batch
+                };
                 let mut batch = WriteBatch::with_capacity(ops.len());
                 batch.extend(ops);
+                let service_start = Instant::now();
                 let result = self.engine.apply_batch(batch);
+                let service = service_start.elapsed();
                 if let Ok(latency) = result {
                     self.charge_write(partition, latency);
                     total += latency;
                 }
                 agg.finish(result);
+                self.obs
+                    .record_stage(&self.obs.service, class, service.as_nanos());
+                self.obs
+                    .record_stage(&self.obs.e2e, class, enqueued_at.elapsed().as_nanos());
                 continue;
             }
             let mut batch = WriteBatch::with_capacity(entries);
-            for (ops, _) in &group {
+            for (ops, _, _) in &group {
                 batch.extend(ops.iter().cloned());
             }
+            let service_start = Instant::now();
             match self.engine.apply_batch(batch) {
                 Ok(latency) => {
+                    // The group installed as one engine call; every part
+                    // shares the group's wall-clock service time.
+                    let service = service_start.elapsed();
                     self.charge_write(partition, latency);
                     total += latency;
-                    for (_, agg) in &group {
+                    for (ops, agg, enqueued_at) in group {
+                        let class = if ops.len() == 1 {
+                            OpClass::Put
+                        } else {
+                            OpClass::Batch
+                        };
                         agg.finish(Ok(latency));
+                        self.obs
+                            .record_stage(&self.obs.service, class, service.as_nanos());
+                        self.obs.record_stage(
+                            &self.obs.e2e,
+                            class,
+                            enqueued_at.elapsed().as_nanos(),
+                        );
                     }
                 }
                 Err(_) => {
                     // Shared fate would fail innocent bystanders (e.g. one
                     // client's oversized value rejecting the whole group):
                     // retry each part alone.
-                    for (ops, agg) in group {
+                    for (ops, agg, enqueued_at) in group {
+                        let class = if ops.len() == 1 {
+                            OpClass::Put
+                        } else {
+                            OpClass::Batch
+                        };
                         let mut batch = WriteBatch::with_capacity(ops.len());
                         batch.extend(ops);
+                        let service_start = Instant::now();
                         let result = self.engine.apply_batch(batch);
+                        let service = service_start.elapsed();
                         if let Ok(latency) = result {
                             self.charge_write(partition, latency);
                             total += latency;
                         }
                         agg.finish(result);
+                        self.obs
+                            .record_stage(&self.obs.service, class, service.as_nanos());
+                        self.obs.record_stage(
+                            &self.obs.e2e,
+                            class,
+                            enqueued_at.elapsed().as_nanos(),
+                        );
                     }
                 }
             }
@@ -375,12 +510,30 @@ impl<E: ConcurrentKvStore> Shared<E> {
         self.queues[partition].not_full.notify_all();
         self.depth
             .fetch_sub(drained.len() as u64, Ordering::Relaxed);
+        // Queue-wait ends here for everything in this batch: each request
+        // waited from its enqueue instant to the moment the drain picked
+        // it up. A stolen drain additionally records the age of its
+        // oldest request as the steal latency — how stale a foreign
+        // backlog was before an idle peer got to it.
+        let drain_start = Instant::now();
+        let mut oldest_wait_ns: u128 = 0;
+        for request in &drained {
+            let waited = drain_start
+                .saturating_duration_since(request.enqueued_at())
+                .as_nanos();
+            oldest_wait_ns = oldest_wait_ns.max(waited);
+            self.obs
+                .record_stage(&self.obs.queue_wait, request.class(), waited);
+        }
+        if stolen {
+            self.obs.steal_latency.record(clamp_u64(oldest_wait_ns));
+        }
         let mut exec_time = Nanos::ZERO;
-        let mut writes: Vec<(Vec<BatchOp>, Arc<WriteAgg>)> = Vec::new();
+        let mut writes: Vec<(Vec<BatchOp>, Arc<WriteAgg>, Instant)> = Vec::new();
         let mut reads: Vec<Request> = Vec::new();
         for request in drained {
             match request {
-                Request::Write(ops, agg) => writes.push((ops, agg)),
+                Request::Write(ops, agg, at) => writes.push((ops, agg, at)),
                 read => reads.push(read),
             }
         }
@@ -388,8 +541,10 @@ impl<E: ConcurrentKvStore> Shared<E> {
         for request in reads {
             match request {
                 Request::Write(..) => unreachable!("writes were split off above"),
-                Request::Get(key, completion) => {
+                Request::Get(key, completion, enqueued_at) => {
+                    let service_start = Instant::now();
                     let result = self.engine.get(&key);
+                    let service = service_start.elapsed();
                     if let Ok(lookup) = &result {
                         exec_time += lookup.latency;
                         if !self.concurrent_reads {
@@ -398,9 +553,18 @@ impl<E: ConcurrentKvStore> Shared<E> {
                     }
                     self.completed.fetch_add(1, Ordering::Relaxed);
                     completion.complete(result);
+                    self.obs
+                        .record_stage(&self.obs.service, OpClass::Get, service.as_nanos());
+                    self.obs.record_stage(
+                        &self.obs.e2e,
+                        OpClass::Get,
+                        enqueued_at.elapsed().as_nanos(),
+                    );
                 }
-                Request::Scan(start, count, completion) => {
+                Request::Scan(start, count, completion, enqueued_at) => {
+                    let service_start = Instant::now();
                     let result = self.engine.scan(&start, count);
+                    let service = service_start.elapsed();
                     if let Ok(scan) = &result {
                         exec_time += scan.latency;
                         if !self.concurrent_reads {
@@ -413,9 +577,19 @@ impl<E: ConcurrentKvStore> Shared<E> {
                     }
                     self.completed.fetch_add(1, Ordering::Relaxed);
                     completion.complete(result);
+                    self.obs
+                        .record_stage(&self.obs.service, OpClass::Scan, service.as_nanos());
+                    self.obs.record_stage(
+                        &self.obs.e2e,
+                        OpClass::Scan,
+                        enqueued_at.elapsed().as_nanos(),
+                    );
                 }
             }
         }
+        self.obs
+            .drain
+            .record(clamp_u64(drain_start.elapsed().as_nanos()));
         self.exec_clocks[exec_id].fetch_add(exec_time.as_nanos(), Ordering::Relaxed);
         // Refresh the partition's watermark hint now that this drain's
         // writes are installed (the executor may briefly take the
@@ -451,7 +625,13 @@ impl<E: ConcurrentKvStore> Shared<E> {
                 partition += executors;
             }
             if !busy && executors > 1 {
-                for partition in 0..self.queues.len() {
+                // Rotate the sweep's start index so simultaneously idle
+                // executors fan out over the foreign queues instead of
+                // all contending for partition 0's drain lock first.
+                let partitions = self.queues.len();
+                let start = self.steal_rr.fetch_add(1, Ordering::Relaxed) % partitions;
+                for i in 0..partitions {
+                    let partition = (start + i) % partitions;
                     if partition % executors != exec_id {
                         busy |= self.drain_partition(exec_id, partition, true);
                     }
@@ -478,6 +658,26 @@ impl<E: ConcurrentKvStore> Shared<E> {
         }
     }
 
+    /// Snapshot of the cumulative statistics (also served through the
+    /// registry's frontend source, so `GET /stats.json` and
+    /// [`Frontend::stats`] read the same numbers).
+    fn stats_snapshot(&self) -> FrontendStats {
+        FrontendStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            coalesced_groups: self.coalesced_groups.load(Ordering::Relaxed),
+            coalesced_entries: self.coalesced_entries.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+            stolen_drains: self.steals.load(Ordering::Relaxed),
+            queue_depth: self.depth.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            max_total_queue_depth: self.max_total_depth.load(Ordering::Relaxed),
+            outstanding_tickets: self.gauge.outstanding(),
+            max_outstanding_tickets: self.gauge.high_water(),
+        }
+    }
+
     /// Fail every request still queued (used after the executors exited:
     /// requests that raced shutdown must not strand their clients).
     fn fail_stragglers(&self) {
@@ -488,11 +688,11 @@ impl<E: ConcurrentKvStore> Shared<E> {
             for request in stragglers {
                 self.completed.fetch_add(1, Ordering::Relaxed);
                 match request {
-                    Request::Write(_, agg) => agg.finish(Err(PrismError::ShuttingDown)),
-                    Request::Get(_, completion) => {
+                    Request::Write(_, agg, _) => agg.finish(Err(PrismError::ShuttingDown)),
+                    Request::Get(_, completion, _) => {
                         completion.complete(Err(PrismError::ShuttingDown));
                     }
-                    Request::Scan(_, _, completion) => {
+                    Request::Scan(_, _, completion, _) => {
                         completion.complete(Err(PrismError::ShuttingDown));
                     }
                 }
@@ -515,7 +715,26 @@ impl<E: ConcurrentKvStore + 'static> Frontend<E> {
     ///
     /// Returns [`PrismError::InvalidConfig`] if `options` fail validation.
     pub fn start(engine: Arc<E>, options: FrontendOptions) -> Result<Self> {
+        Frontend::start_with_obs(engine, options, None)
+    }
+
+    /// [`Frontend::start`] recording into a shared observability hub: the
+    /// per-stage latency histograms land in `obs.registry` and the hub's
+    /// frontend stats source is installed (over a weak handle, so the
+    /// hub never keeps a stopped front-end alive). With `None` a private
+    /// hub is created — instrumentation always runs, it is just not
+    /// externally visible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::InvalidConfig`] if `options` fail validation.
+    pub fn start_with_obs(
+        engine: Arc<E>,
+        options: FrontendOptions,
+        obs: Option<Arc<ObsHub>>,
+    ) -> Result<Self> {
         options.validate()?;
+        let hub = obs.unwrap_or_default();
         let partitions = engine.shard_count().max(1);
         let executors = options.resolved_executors(partitions);
         let concurrent_reads = engine.concurrent_reads();
@@ -549,11 +768,18 @@ impl<E: ConcurrentKvStore + 'static> Frontend<E> {
             wakeups: AtomicU64::new(0),
             steals: AtomicU64::new(0),
             help_rr: AtomicUsize::new(0),
+            steal_rr: AtomicUsize::new(0),
             depth: AtomicU64::new(0),
             max_queue_depth: AtomicU64::new(0),
+            max_total_depth: AtomicU64::new(0),
+            obs: FrontendObs::new(Arc::clone(&hub)),
             exec_clocks: (0..executors).map(|_| AtomicU64::new(0)).collect(),
             shard_serial: (0..partitions).map(|_| AtomicU64::new(0)).collect(),
         });
+        let weak = Arc::downgrade(&shared);
+        hub.registry.set_frontend_source(Box::new(move || {
+            weak.upgrade().map(|shared| shared.stats_snapshot())
+        }));
         let handles = (0..executors)
             .map(|id| {
                 let shared = Arc::clone(&shared);
@@ -594,7 +820,7 @@ impl<E: ConcurrentKvStore + 'static> Frontend<E> {
         let (agg, ticket) = WriteAgg::new(1, &self.shared.gauge);
         self.shared.enqueue(
             partition,
-            Request::Write(vec![BatchOp::Put(key, value)], agg),
+            Request::Write(vec![BatchOp::Put(key, value)], agg, Instant::now()),
         )?;
         Ok(ticket)
     }
@@ -609,7 +835,7 @@ impl<E: ConcurrentKvStore + 'static> Frontend<E> {
         let (agg, ticket) = WriteAgg::new(1, &self.shared.gauge);
         self.shared.enqueue(
             partition,
-            Request::Write(vec![BatchOp::Delete(key.clone())], agg),
+            Request::Write(vec![BatchOp::Delete(key.clone())], agg, Instant::now()),
         )?;
         Ok(ticket)
     }
@@ -637,8 +863,10 @@ impl<E: ConcurrentKvStore + 'static> Frontend<E> {
             agg.finish(Ok(Nanos::ZERO));
             return Ok(ticket);
         };
-        self.shared
-            .enqueue(home, Request::Write(batch.into_entries(), agg))?;
+        self.shared.enqueue(
+            home,
+            Request::Write(batch.into_entries(), agg, Instant::now()),
+        )?;
         Ok(ticket)
     }
 
@@ -652,8 +880,10 @@ impl<E: ConcurrentKvStore + 'static> Frontend<E> {
     pub fn submit_get(&self, key: &Key) -> Result<ReadTicket> {
         let partition = self.partition_of(key);
         let (completion, ticket) = completion_pair_gauged(&self.shared.gauge);
-        self.shared
-            .enqueue(partition, Request::Get(key.clone(), completion))?;
+        self.shared.enqueue(
+            partition,
+            Request::Get(key.clone(), completion, Instant::now()),
+        )?;
         Ok(ticket)
     }
 
@@ -665,8 +895,10 @@ impl<E: ConcurrentKvStore + 'static> Frontend<E> {
     pub fn submit_scan(&self, start: &Key, count: usize) -> Result<ScanTicket> {
         let partition = self.partition_of(start);
         let (completion, ticket) = completion_pair_gauged(&self.shared.gauge);
-        self.shared
-            .enqueue(partition, Request::Scan(start.clone(), count, completion))?;
+        self.shared.enqueue(
+            partition,
+            Request::Scan(start.clone(), count, completion, Instant::now()),
+        )?;
         Ok(ticket)
     }
 
@@ -690,7 +922,11 @@ impl<E: ConcurrentKvStore + 'static> Frontend<E> {
         self.shared.try_enqueue(
             partition,
             capacity,
-            Request::Write(vec![BatchOp::Put(key.clone(), value.clone())], agg),
+            Request::Write(
+                vec![BatchOp::Put(key.clone(), value.clone())],
+                agg,
+                Instant::now(),
+            ),
         )?;
         Ok(ticket)
     }
@@ -708,7 +944,7 @@ impl<E: ConcurrentKvStore + 'static> Frontend<E> {
         self.shared.try_enqueue(
             partition,
             capacity,
-            Request::Write(vec![BatchOp::Delete(key.clone())], agg),
+            Request::Write(vec![BatchOp::Delete(key.clone())], agg, Instant::now()),
         )?;
         Ok(ticket)
     }
@@ -725,7 +961,7 @@ impl<E: ConcurrentKvStore + 'static> Frontend<E> {
         self.shared.try_enqueue(
             partition,
             self.shared.queue_capacity,
-            Request::Get(key.clone(), completion),
+            Request::Get(key.clone(), completion, Instant::now()),
         )?;
         Ok(ticket)
     }
@@ -742,7 +978,7 @@ impl<E: ConcurrentKvStore + 'static> Frontend<E> {
         self.shared.try_enqueue(
             partition,
             self.shared.queue_capacity,
-            Request::Scan(start.clone(), count, completion),
+            Request::Scan(start.clone(), count, completion, Instant::now()),
         )?;
         Ok(ticket)
     }
@@ -769,7 +1005,7 @@ impl<E: ConcurrentKvStore + 'static> Frontend<E> {
         self.shared.try_enqueue(
             home,
             capacity,
-            Request::Write(batch.entries().to_vec(), agg),
+            Request::Write(batch.entries().to_vec(), agg, Instant::now()),
         )?;
         Ok(ticket)
     }
@@ -796,19 +1032,14 @@ impl<E: ConcurrentKvStore + 'static> Frontend<E> {
 
     /// Snapshot of the front-end's cumulative statistics.
     pub fn stats(&self) -> FrontendStats {
-        let shared = &self.shared;
-        FrontendStats {
-            submitted: shared.submitted.load(Ordering::Relaxed),
-            completed: shared.completed.load(Ordering::Relaxed),
-            rejected: shared.rejected.load(Ordering::Relaxed),
-            coalesced_groups: shared.coalesced_groups.load(Ordering::Relaxed),
-            coalesced_entries: shared.coalesced_entries.load(Ordering::Relaxed),
-            wakeups: shared.wakeups.load(Ordering::Relaxed),
-            stolen_drains: shared.steals.load(Ordering::Relaxed),
-            queue_depth: shared.depth.load(Ordering::Relaxed),
-            max_queue_depth: shared.max_queue_depth.load(Ordering::Relaxed),
-            outstanding_tickets: shared.gauge.outstanding(),
-        }
+        self.shared.stats_snapshot()
+    }
+
+    /// The observability hub this front-end records into (the one passed
+    /// to [`Frontend::start_with_obs`], or a private hub for
+    /// [`Frontend::start`]).
+    pub fn obs_hub(&self) -> &Arc<ObsHub> {
+        &self.shared.obs.hub
     }
 
     /// Number of tickets handed out by this front-end that are neither

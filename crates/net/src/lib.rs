@@ -5,8 +5,10 @@
 //! either real TCP or a deterministic in-process duplex pipe
 //! ([`transport`]), a multiplexing server that maps each decoded request
 //! onto the front-end's `try_submit_*` queues and streams completions
-//! back out of order ([`server`]), and a pipelining client with
-//! transparent back-pressure retry ([`client`]).
+//! back out of order ([`server`]), a pipelining client with
+//! transparent back-pressure retry ([`client`]), and an HTTP/JSON admin
+//! plane serving metrics, health, and trace dumps over the same
+//! transports ([`admin`]).
 //!
 //! The contract, end to end:
 //!
@@ -58,11 +60,13 @@
 //! [`Status::Corruption`]: protocol::Status::Corruption
 //! [`Status::Degraded`]: protocol::Status::Degraded
 
+pub mod admin;
 pub mod client;
 pub mod protocol;
 pub mod server;
 pub mod transport;
 
+pub use admin::{http_get, AdminClient, AdminServer, HttpResponse};
 pub use client::{Dialer, NetClient};
 pub use protocol::{
     decode_request, decode_response, encode_request, encode_response, latency_class, FrameDecoder,

@@ -23,6 +23,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use prism_frontend::{Frontend, FrontendOptions, ReadTicket, ScanTicket, WriteTicket};
+use prism_obs::registry::{HealthReport, ShardHealthView};
+use prism_obs::trace::category;
+use prism_obs::ObsHub;
 use prism_types::{ConcurrentKvStore, NetStats, PrismError, Result};
 
 use crate::protocol::{
@@ -157,6 +160,7 @@ struct Counters {
     shutdown_refusals: AtomicU64,
     in_flight: AtomicU64,
     max_in_flight: AtomicU64,
+    max_conn_in_flight: AtomicU64,
 }
 
 impl Counters {
@@ -173,6 +177,7 @@ impl Counters {
             shutdown_refusals: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
             max_in_flight: AtomicU64::new(0),
+            max_conn_in_flight: AtomicU64::new(0),
         }
     }
 
@@ -194,12 +199,14 @@ impl Counters {
             shutdown_refusals: self.shutdown_refusals.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Acquire),
             max_in_flight: self.max_in_flight.load(Ordering::Relaxed),
+            max_conn_in_flight: self.max_conn_in_flight.load(Ordering::Relaxed),
         }
     }
 }
 
 struct NetShared<E: ConcurrentKvStore + 'static> {
     frontend: Frontend<E>,
+    obs: Arc<ObsHub>,
     shutdown: AtomicBool,
     counters: Counters,
     max_in_flight_per_conn: usize,
@@ -215,7 +222,14 @@ impl<E: ConcurrentKvStore + 'static> NetShared<E> {
     /// gauge (the responder decrements when it writes or drops it).
     fn push_ready(&self, conn: &ConnShared, response: Response) {
         self.counters.note_in_flight();
-        lock(&conn.inner).ready.push(response);
+        let pending = {
+            let mut inner = lock(&conn.inner);
+            inner.ready.push(response);
+            ConnShared::pending(&inner) as u64
+        };
+        self.counters
+            .max_conn_in_flight
+            .fetch_max(pending, Ordering::Relaxed);
         conn.cv.notify_all();
     }
 
@@ -289,9 +303,14 @@ impl<E: ConcurrentKvStore + 'static> NetShared<E> {
         match submitted {
             Ok(ticket) => {
                 self.counters.note_in_flight();
-                lock(&conn.inner)
-                    .inflight
-                    .push(InFlight { id, opcode, ticket });
+                let pending = {
+                    let mut inner = lock(&conn.inner);
+                    inner.inflight.push(InFlight { id, opcode, ticket });
+                    ConnShared::pending(&inner) as u64
+                };
+                self.counters
+                    .max_conn_in_flight
+                    .fetch_max(pending, Ordering::Relaxed);
                 conn.cv.notify_all();
             }
             Err(PrismError::Backpressure { partition, depth }) => {
@@ -493,6 +512,9 @@ impl<E: ConcurrentKvStore + 'static> NetShared<E> {
 
     /// Serve one connection to completion (both halves).
     fn serve_conn(self: &Arc<Self>, conn_id: u64, conn: Conn) {
+        self.obs
+            .trace
+            .record(category::CONN_OPEN, None, conn_id, conn.peer().to_string());
         let closer = conn.read_closer();
         let Conn {
             mut reader,
@@ -523,6 +545,9 @@ impl<E: ConcurrentKvStore + 'static> NetShared<E> {
         self.counters
             .connections_closed
             .fetch_add(1, Ordering::Relaxed);
+        self.obs
+            .trace
+            .record(category::CONN_CLOSE, None, conn_id, "");
     }
 }
 
@@ -546,16 +571,59 @@ impl<E: ConcurrentKvStore + 'static> NetServer<E> {
         listener: Arc<dyn Listener>,
         options: ServerOptions,
     ) -> Result<Self> {
+        Self::start_with_obs(engine, listener, options, None)
+    }
+
+    /// Start serving `engine` on `listener`, recording into `obs` (a
+    /// private hub when `None`). The hub's registry gets the net-stats
+    /// and health sources installed, alongside whatever the embedded
+    /// front-end (and, if the engine was opened with the same hub, the
+    /// engine itself) already registered — so one
+    /// [`MetricsRegistry::snapshot`] covers the whole stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrismError::InvalidConfig`] for invalid `options`.
+    ///
+    /// [`MetricsRegistry::snapshot`]: prism_obs::MetricsRegistry::snapshot
+    pub fn start_with_obs(
+        engine: Arc<E>,
+        listener: Arc<dyn Listener>,
+        options: ServerOptions,
+        obs: Option<Arc<ObsHub>>,
+    ) -> Result<Self> {
         options.validate()?;
-        let frontend = Frontend::start(engine, options.frontend)?;
+        let hub = obs.unwrap_or_default();
+        let frontend = Frontend::start_with_obs(engine, options.frontend, Some(Arc::clone(&hub)))?;
         let shared = Arc::new(NetShared {
             frontend,
+            obs: hub,
             shutdown: AtomicBool::new(false),
             counters: Counters::new(),
             max_in_flight_per_conn: options.max_in_flight_per_conn,
             closers: Mutex::new(HashMap::new()),
             conn_threads: Mutex::new(Vec::new()),
         });
+        let weak = Arc::downgrade(&shared);
+        shared.obs.registry.set_net_source(Box::new(move || {
+            weak.upgrade().map(|shared| shared.counters.snapshot())
+        }));
+        let weak = Arc::downgrade(&shared);
+        shared.obs.registry.set_health_source(Box::new(move || {
+            weak.upgrade().map(|shared| {
+                let engine = shared.frontend.engine();
+                HealthReport {
+                    partitions: (0..engine.shard_count())
+                        .map(|shard| ShardHealthView {
+                            shard,
+                            health: engine.shard_health(shard),
+                        })
+                        .collect(),
+                    quarantined_objects: engine.quarantined_objects(),
+                    outstanding_tickets: shared.frontend.outstanding_tickets(),
+                }
+            })
+        }));
         let accept_thread = {
             let shared = Arc::clone(&shared);
             let listener = Arc::clone(&listener);
@@ -606,6 +674,14 @@ impl<E: ConcurrentKvStore + 'static> NetServer<E> {
     /// Snapshot of the server's cumulative wire statistics.
     pub fn stats(&self) -> NetStats {
         self.shared.counters.snapshot()
+    }
+
+    /// The observability hub this server records into (shared, or the
+    /// private one created at start). Hand it to an
+    /// [`AdminServer`](crate::admin::AdminServer) to serve the metrics
+    /// over HTTP.
+    pub fn obs_hub(&self) -> Arc<ObsHub> {
+        Arc::clone(&self.shared.obs)
     }
 
     /// Statistics of the embedded submission front-end.

@@ -1,0 +1,683 @@
+//! Named metrics registry and its snapshot / exposition formats.
+//!
+//! A [`MetricsRegistry`] holds three kinds of live instruments —
+//! monotone [`Counter`]s, instantaneous [`Gauge`]s with built-in
+//! high-water marks, and [`LatencyHistogram`]s — plus *typed stats
+//! sources*: closures that produce the repo's six existing stats structs
+//! ([`EngineStats`], [`FrontendStats`], [`NetStats`] and the
+//! [`CompactionStats`]/[`TxnStats`]/[`IntegrityStats`] nested inside
+//! `EngineStats`) from whatever layer owns them. One
+//! [`MetricsRegistry::snapshot`] call folds everything into a
+//! [`MetricsSnapshot`]: the typed structs survive as typed views (no
+//! existing caller breaks) *and* every field is flattened into the
+//! name→value counter map, so the Prometheus and JSON expositions cover
+//! the whole system uniformly.
+//!
+//! [`CompactionStats`]: prism_types::CompactionStats
+//! [`TxnStats`]: prism_types::TxnStats
+//! [`IntegrityStats`]: prism_types::IntegrityStats
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use prism_types::{EngineStats, FrontendStats, NetStats, PartitionHealth};
+
+use crate::hist::{HistogramSnapshot, LatencyHistogram};
+use crate::json::{fmt_f64, JsonObject};
+
+/// A monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous value with a built-in high-water mark: every update
+/// that raises the value also raises the peak, so post-run snapshots see
+/// peak pressure, not just the final state.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+    high_water: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Set the instantaneous value (raising the high-water mark if
+    /// needed).
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.high_water.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` and return the new value (raising the high-water mark).
+    pub fn add(&self, n: u64) -> u64 {
+        let now = self.value.fetch_add(n, Ordering::Relaxed) + n;
+        self.high_water.fetch_max(now, Ordering::Relaxed);
+        now
+    }
+
+    /// Subtract `n`, saturating at zero.
+    pub fn sub(&self, n: u64) {
+        let mut current = self.value.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(n);
+            match self.value.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Instantaneous value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest value ever observed.
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+}
+
+/// Point-in-time view of one [`Gauge`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GaugeView {
+    /// Instantaneous value at snapshot time.
+    pub value: u64,
+    /// Highest value ever observed.
+    pub high_water: u64,
+}
+
+/// Health of one shard as reported through the admin plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardHealthView {
+    /// Shard (partition) index.
+    pub shard: usize,
+    /// Current health state.
+    pub health: PartitionHealth,
+}
+
+/// Per-partition health rollup served by `GET /health`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Health of every shard, in shard order.
+    pub partitions: Vec<ShardHealthView>,
+    /// Objects currently quarantined across all shards.
+    pub quarantined_objects: u64,
+    /// Tickets handed out but not yet completed or abandoned.
+    pub outstanding_tickets: u64,
+}
+
+impl HealthReport {
+    /// Number of shards currently degraded.
+    pub fn degraded_partitions(&self) -> u64 {
+        self.partitions
+            .iter()
+            .filter(|p| p.health == PartitionHealth::Degraded)
+            .count() as u64
+    }
+
+    /// True when every shard is healthy.
+    pub fn healthy(&self) -> bool {
+        self.degraded_partitions() == 0
+    }
+
+    /// Render as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.boolean("healthy", self.healthy());
+        obj.number("partitions", self.partitions.len() as u64);
+        obj.number("degraded_partitions", self.degraded_partitions());
+        obj.number("quarantined_objects", self.quarantined_objects);
+        obj.number("outstanding_tickets", self.outstanding_tickets);
+        let mut shards = String::from("[");
+        for (i, shard) in self.partitions.iter().enumerate() {
+            if i > 0 {
+                shards.push(',');
+            }
+            let mut entry = JsonObject::new();
+            entry.number("partition", shard.shard as u64);
+            entry.string(
+                "health",
+                match shard.health {
+                    PartitionHealth::Healthy => "healthy",
+                    PartitionHealth::Degraded => "degraded",
+                },
+            );
+            shards.push_str(&entry.finish());
+        }
+        shards.push(']');
+        obj.raw("shards", &shards);
+        obj.finish()
+    }
+}
+
+type EngineSource = Box<dyn Fn() -> Option<EngineStats> + Send>;
+type FrontendSource = Box<dyn Fn() -> Option<FrontendStats> + Send>;
+type NetSource = Box<dyn Fn() -> Option<NetStats> + Send>;
+type HealthSource = Box<dyn Fn() -> Option<HealthReport> + Send>;
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<LatencyHistogram>>,
+    engine: Option<EngineSource>,
+    frontend: Option<FrontendSource>,
+    net: Option<NetSource>,
+    health: Option<HealthSource>,
+}
+
+/// Registry of named instruments plus typed stats sources; see the
+/// [module docs](self).
+///
+/// Instruments are created on first use (`counter`/`gauge`/`histogram`
+/// are get-or-create) and shared by `Arc`, so the layer that records
+/// into an instrument holds it directly — the registry lock is only
+/// taken at registration and snapshot time, never on the record path.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("MetricsRegistry")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.lock();
+        Arc::clone(
+            inner
+                .counters
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.lock();
+        Arc::clone(
+            inner
+                .gauges
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<LatencyHistogram> {
+        let mut inner = self.lock();
+        Arc::clone(
+            inner
+                .histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(LatencyHistogram::new())),
+        )
+    }
+
+    /// Install the engine-stats source (typically a closure over a
+    /// `Weak` engine handle returning `None` once the engine is gone).
+    /// Replaces any previous source.
+    pub fn set_engine_source(&self, source: EngineSource) {
+        self.lock().engine = Some(source);
+    }
+
+    /// Install the frontend-stats source. Replaces any previous source.
+    pub fn set_frontend_source(&self, source: FrontendSource) {
+        self.lock().frontend = Some(source);
+    }
+
+    /// Install the net-stats source. Replaces any previous source.
+    pub fn set_net_source(&self, source: NetSource) {
+        self.lock().net = Some(source);
+    }
+
+    /// Install the health source. Replaces any previous source.
+    pub fn set_health_source(&self, source: HealthSource) {
+        self.lock().health = Some(source);
+    }
+
+    /// Fold every instrument and typed source into one snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.lock();
+        let mut counters: BTreeMap<String, u64> = inner
+            .counters
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let gauges: BTreeMap<String, GaugeView> = inner
+            .gauges
+            .iter()
+            .map(|(name, g)| {
+                (
+                    name.clone(),
+                    GaugeView {
+                        value: g.get(),
+                        high_water: g.high_water(),
+                    },
+                )
+            })
+            .collect();
+        let histograms: BTreeMap<String, HistogramSnapshot> = inner
+            .histograms
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect();
+        let engine = inner.engine.as_ref().and_then(|s| s());
+        let frontend = inner.frontend.as_ref().and_then(|s| s());
+        let net = inner.net.as_ref().and_then(|s| s());
+        let health = inner.health.as_ref().and_then(|s| s());
+        drop(inner);
+        if let Some(stats) = &engine {
+            flatten_engine(stats, &mut counters);
+        }
+        if let Some(stats) = &frontend {
+            flatten_frontend(stats, &mut counters);
+        }
+        if let Some(stats) = &net {
+            flatten_net(stats, &mut counters);
+        }
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+            engine,
+            frontend,
+            net,
+            health,
+        }
+    }
+}
+
+/// Point-in-time copy of everything a [`MetricsRegistry`] knows.
+///
+/// The six pre-existing stats structs survive as the typed views
+/// (`engine` carries `CompactionStats`, `TxnStats` and `IntegrityStats`
+/// inside it); `counters` additionally holds every one of their fields
+/// flattened under `engine_*` / `frontend_*` / `net_*` names, alongside
+/// the explicitly registered counters.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Registered counters plus every flattened typed-stats field.
+    pub counters: BTreeMap<String, u64>,
+    /// Registered gauges with their high-water marks.
+    pub gauges: BTreeMap<String, GaugeView>,
+    /// Registered histograms.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Typed engine view, when an engine source is installed.
+    pub engine: Option<EngineStats>,
+    /// Typed frontend view, when a frontend source is installed.
+    pub frontend: Option<FrontendStats>,
+    /// Typed net view, when a net source is installed.
+    pub net: Option<NetStats>,
+    /// Health rollup, when a health source is installed.
+    pub health: Option<HealthReport>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a (possibly flattened) counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// A histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Render in Prometheus text exposition format (served by
+    /// `GET /metrics`).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        use std::fmt::Write as _;
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, view) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", view.value);
+            let _ = writeln!(out, "# TYPE {name}_high_water gauge");
+            let _ = writeln!(out, "{name}_high_water {}", view.high_water);
+        }
+        for (name, hist) in &self.histograms {
+            hist.to_prometheus(name, &mut out);
+        }
+        out
+    }
+
+    /// Render the full snapshot as one JSON object (served by
+    /// `GET /stats.json`).
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        let mut counters = JsonObject::new();
+        for (name, value) in &self.counters {
+            counters.number(name, *value);
+        }
+        obj.raw("counters", &counters.finish());
+        let mut gauges = JsonObject::new();
+        for (name, view) in &self.gauges {
+            let mut entry = JsonObject::new();
+            entry.number("value", view.value);
+            entry.number("high_water", view.high_water);
+            gauges.raw(name, &entry.finish());
+        }
+        obj.raw("gauges", &gauges.finish());
+        let mut hists = JsonObject::new();
+        for (name, hist) in &self.histograms {
+            let mut entry = JsonObject::new();
+            entry.number("count", hist.count());
+            entry.number("sum", hist.sum);
+            entry.number("min", if hist.is_empty() { 0 } else { hist.min });
+            entry.number("max", hist.max);
+            entry.raw("mean", &fmt_f64(hist.mean()));
+            entry.raw("p50", &fmt_f64(hist.percentile(0.50)));
+            entry.raw("p90", &fmt_f64(hist.percentile(0.90)));
+            entry.raw("p99", &fmt_f64(hist.percentile(0.99)));
+            entry.raw("p999", &fmt_f64(hist.percentile(0.999)));
+            hists.raw(name, &entry.finish());
+        }
+        obj.raw("histograms", &hists.finish());
+        if let Some(health) = &self.health {
+            obj.raw("health", &health.to_json());
+        }
+        obj.finish()
+    }
+}
+
+fn put(map: &mut BTreeMap<String, u64>, name: &str, value: u64) {
+    map.insert(name.to_string(), value);
+}
+
+fn flatten_engine(stats: &EngineStats, map: &mut BTreeMap<String, u64>) {
+    put(map, "engine_reads_from_dram", stats.reads_from_dram);
+    put(map, "engine_reads_from_nvm", stats.reads_from_nvm);
+    put(map, "engine_reads_from_flash", stats.reads_from_flash);
+    put(map, "engine_reads_not_found", stats.reads_not_found);
+    put(map, "engine_user_bytes_written", stats.user_bytes_written);
+    put(map, "engine_batch_groups", stats.batch_groups);
+    put(map, "engine_batch_entries", stats.batch_entries);
+    put(map, "engine_batch_merged_writes", stats.batch_merged_writes);
+    for (tier, io) in [("nvm", stats.nvm_io), ("flash", stats.flash_io)] {
+        put(map, &format!("engine_{tier}_bytes_read"), io.bytes_read);
+        put(
+            map,
+            &format!("engine_{tier}_bytes_written"),
+            io.bytes_written,
+        );
+        put(map, &format!("engine_{tier}_reads"), io.reads);
+        put(map, &format!("engine_{tier}_writes"), io.writes);
+    }
+    let c = &stats.compaction;
+    put(map, "engine_compaction_jobs", c.jobs);
+    put(
+        map,
+        "engine_compaction_total_time_ns",
+        c.total_time.as_nanos(),
+    );
+    put(
+        map,
+        "engine_compaction_fast_tier_time_ns",
+        c.fast_tier_time.as_nanos(),
+    );
+    put(
+        map,
+        "engine_compaction_slow_tier_time_ns",
+        c.slow_tier_time.as_nanos(),
+    );
+    put(map, "engine_compaction_demoted_objects", c.demoted_objects);
+    put(
+        map,
+        "engine_compaction_promoted_objects",
+        c.promoted_objects,
+    );
+    put(
+        map,
+        "engine_compaction_stall_time_ns",
+        c.stall_time.as_nanos(),
+    );
+    put(
+        map,
+        "engine_compaction_overlap_time_ns",
+        c.overlap_time.as_nanos(),
+    );
+    put(
+        map,
+        "engine_compaction_backpressure_stalls",
+        c.backpressure_stalls,
+    );
+    put(map, "engine_compaction_enqueued_jobs", c.enqueued_jobs);
+    put(map, "engine_compaction_queue_depth", c.queue_depth);
+    put(map, "engine_compaction_max_queue_depth", c.max_queue_depth);
+    let t = &stats.txn;
+    put(map, "engine_snapshots", t.snapshots);
+    put(map, "engine_txn_commits", t.txn_commits);
+    put(map, "engine_txn_conflicts", t.txn_conflicts);
+    put(map, "engine_commit_intents", t.commit_intents);
+    put(map, "engine_commit_seals", t.commit_seals);
+    put(map, "engine_commit_replayed", t.commit_replayed);
+    put(map, "engine_commit_rolled_back", t.commit_rolled_back);
+    let i = &stats.integrity;
+    put(map, "engine_checksum_failures", i.checksum_failures);
+    put(map, "engine_io_errors", i.io_errors);
+    put(map, "engine_quarantined_objects", i.quarantined_objects);
+    put(map, "engine_scrub_repairs", i.scrub_repairs);
+    put(map, "engine_scrub_passes", i.scrub_passes);
+    put(map, "engine_scrub_clean_passes", i.scrub_clean_passes);
+    put(
+        map,
+        "engine_degraded_write_refusals",
+        i.degraded_write_refusals,
+    );
+    put(map, "engine_degraded_entered", i.degraded_entered);
+    put(map, "engine_degraded_recovered", i.degraded_recovered);
+    put(map, "engine_snapshots_expired", i.snapshots_expired);
+    put(map, "engine_degraded_partitions", i.degraded_partitions);
+    for (level, reads) in stats.reads_per_level.iter().enumerate() {
+        if *reads > 0 {
+            put(map, &format!("engine_reads_level_{level}"), *reads);
+        }
+    }
+}
+
+fn flatten_frontend(stats: &FrontendStats, map: &mut BTreeMap<String, u64>) {
+    put(map, "frontend_submitted", stats.submitted);
+    put(map, "frontend_completed", stats.completed);
+    put(map, "frontend_rejected", stats.rejected);
+    put(map, "frontend_coalesced_groups", stats.coalesced_groups);
+    put(map, "frontend_coalesced_entries", stats.coalesced_entries);
+    put(map, "frontend_wakeups", stats.wakeups);
+    put(map, "frontend_stolen_drains", stats.stolen_drains);
+    put(map, "frontend_queue_depth", stats.queue_depth);
+    put(map, "frontend_max_queue_depth", stats.max_queue_depth);
+    put(
+        map,
+        "frontend_max_total_queue_depth",
+        stats.max_total_queue_depth,
+    );
+    put(
+        map,
+        "frontend_outstanding_tickets",
+        stats.outstanding_tickets,
+    );
+    put(
+        map,
+        "frontend_max_outstanding_tickets",
+        stats.max_outstanding_tickets,
+    );
+}
+
+fn flatten_net(stats: &NetStats, map: &mut BTreeMap<String, u64>) {
+    put(map, "net_connections_accepted", stats.connections_accepted);
+    put(map, "net_connections_closed", stats.connections_closed);
+    put(map, "net_frames_received", stats.frames_received);
+    put(map, "net_frames_sent", stats.frames_sent);
+    put(map, "net_bytes_received", stats.bytes_received);
+    put(map, "net_bytes_sent", stats.bytes_sent);
+    put(map, "net_protocol_errors", stats.protocol_errors);
+    put(
+        map,
+        "net_backpressure_rejections",
+        stats.backpressure_rejections,
+    );
+    put(map, "net_shutdown_refusals", stats.shutdown_refusals);
+    put(map, "net_in_flight", stats.in_flight);
+    put(map, "net_max_in_flight", stats.max_in_flight);
+    put(map, "net_max_conn_in_flight", stats.max_conn_in_flight);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_are_shared_by_name() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("ops");
+        let b = registry.counter("ops");
+        a.inc();
+        b.add(2);
+        assert_eq!(registry.counter("ops").get(), 3);
+
+        let gauge = registry.gauge("depth");
+        gauge.add(5);
+        gauge.sub(3);
+        gauge.sub(10);
+        assert_eq!(gauge.get(), 0);
+        assert_eq!(gauge.high_water(), 5);
+    }
+
+    #[test]
+    fn snapshot_flattens_typed_sources_and_keeps_views() {
+        let registry = MetricsRegistry::new();
+        registry.counter("custom_total").add(9);
+        registry.histogram("lat_ns").record(500);
+        registry.set_engine_source(Box::new(|| {
+            let mut stats = EngineStats {
+                reads_from_nvm: 4,
+                ..EngineStats::default()
+            };
+            stats.compaction.jobs = 2;
+            stats.integrity.scrub_passes = 1;
+            Some(stats)
+        }));
+        registry.set_frontend_source(Box::new(|| {
+            Some(FrontendStats {
+                submitted: 11,
+                ..FrontendStats::default()
+            })
+        }));
+        registry.set_net_source(Box::new(|| {
+            Some(NetStats {
+                frames_sent: 7,
+                ..NetStats::default()
+            })
+        }));
+        registry.set_health_source(Box::new(|| {
+            Some(HealthReport {
+                partitions: vec![
+                    ShardHealthView {
+                        shard: 0,
+                        health: PartitionHealth::Healthy,
+                    },
+                    ShardHealthView {
+                        shard: 1,
+                        health: PartitionHealth::Degraded,
+                    },
+                ],
+                quarantined_objects: 3,
+                outstanding_tickets: 2,
+            })
+        }));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("custom_total"), Some(9));
+        assert_eq!(snap.counter("engine_reads_from_nvm"), Some(4));
+        assert_eq!(snap.counter("engine_compaction_jobs"), Some(2));
+        assert_eq!(snap.counter("engine_scrub_passes"), Some(1));
+        assert_eq!(snap.counter("frontend_submitted"), Some(11));
+        assert_eq!(snap.counter("net_frames_sent"), Some(7));
+        // Typed views survive unchanged.
+        assert_eq!(snap.engine.unwrap().reads_from_nvm, 4);
+        assert_eq!(snap.frontend.unwrap().submitted, 11);
+        assert_eq!(snap.net.unwrap().frames_sent, 7);
+        let health = snap.health.as_ref().unwrap();
+        assert!(!health.healthy());
+        assert_eq!(health.degraded_partitions(), 1);
+        assert_eq!(snap.histogram("lat_ns").unwrap().count(), 1);
+
+        let text = snap.to_prometheus();
+        assert!(text.contains("engine_reads_from_nvm 4"));
+        assert!(text.contains("# TYPE lat_ns histogram"));
+        let json = snap.to_json();
+        assert!(json.contains("\"frontend_submitted\":11"));
+        assert!(json.contains("\"health\":{\"healthy\":false"));
+        assert!(json.contains("\"p99\":"));
+    }
+
+    #[test]
+    fn health_report_json_shape() {
+        let report = HealthReport {
+            partitions: vec![ShardHealthView {
+                shard: 0,
+                health: PartitionHealth::Healthy,
+            }],
+            quarantined_objects: 0,
+            outstanding_tickets: 5,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"healthy\":true"));
+        assert!(json.contains("\"outstanding_tickets\":5"));
+        assert!(json.contains("{\"partition\":0,\"health\":\"healthy\"}"));
+    }
+}

@@ -47,7 +47,10 @@ use std::thread::Thread;
 /// assert_eq!(ticket.wait(), 3);
 /// ```
 #[derive(Clone, Debug, Default)]
-pub struct TicketGauge(Arc<AtomicU64>);
+pub struct TicketGauge {
+    outstanding: Arc<AtomicU64>,
+    high_water: Arc<AtomicU64>,
+}
 
 impl TicketGauge {
     /// A fresh gauge reading zero.
@@ -58,15 +61,23 @@ impl TicketGauge {
     /// Number of gauged completions created but not yet completed or
     /// abandoned.
     pub fn outstanding(&self) -> u64 {
-        self.0.load(Ordering::Acquire)
+        self.outstanding.load(Ordering::Acquire)
+    }
+
+    /// Highest outstanding count ever observed (a cumulative high-water
+    /// mark): the peak number of requests simultaneously in flight, even
+    /// after a drain has returned [`TicketGauge::outstanding`] to zero.
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Acquire)
     }
 
     fn incr(&self) {
-        self.0.fetch_add(1, Ordering::AcqRel);
+        let now = self.outstanding.fetch_add(1, Ordering::AcqRel) + 1;
+        self.high_water.fetch_max(now, Ordering::AcqRel);
     }
 
     fn decr(&self) {
-        self.0.fetch_sub(1, Ordering::AcqRel);
+        self.outstanding.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -333,6 +344,27 @@ mod tests {
         let (completion, mut ticket) = completion_pair::<u8>();
         drop(completion);
         ticket.poll();
+    }
+
+    #[test]
+    fn gauge_tracks_high_water_across_drains() {
+        let gauge = TicketGauge::new();
+        let (a, ta) = completion_pair_gauged::<u8>(&gauge);
+        let (b, tb) = completion_pair_gauged::<u8>(&gauge);
+        assert_eq!(gauge.outstanding(), 2);
+        assert_eq!(gauge.high_water(), 2);
+        a.complete(1);
+        drop(b); // abandonment also drains the gauge
+        assert_eq!(gauge.outstanding(), 0);
+        // The peak survives the drain.
+        assert_eq!(gauge.high_water(), 2);
+        let (c, tc) = completion_pair_gauged::<u8>(&gauge);
+        assert_eq!(gauge.outstanding(), 1);
+        assert_eq!(gauge.high_water(), 2);
+        c.complete(3);
+        assert_eq!(ta.wait(), 1);
+        assert_eq!(tc.wait(), 3);
+        drop(tb);
     }
 
     #[test]

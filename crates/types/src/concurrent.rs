@@ -22,8 +22,8 @@
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::{
-    BatchOp, EngineStats, Key, KvStore, Lookup, Nanos, PrismError, Result, ScanResult, SnapshotId,
-    Value, WriteBatch,
+    BatchOp, EngineStats, Key, KvStore, Lookup, Nanos, PartitionHealth, PrismError, Result,
+    ScanResult, SnapshotId, Value, WriteBatch,
 };
 
 /// A storage engine safe to drive from many threads through `&self`.
@@ -153,6 +153,21 @@ pub trait ConcurrentKvStore: Send + Sync {
     /// residue return the default empty vector.
     fn shard_read_serial_times(&self) -> Vec<Nanos> {
         Vec::new()
+    }
+
+    /// Health of one shard under corruption pressure, for health
+    /// endpoints and admin planes. The default reports every shard
+    /// healthy; engines with a quarantine/degraded-mode subsystem
+    /// (PrismDB) override it.
+    fn shard_health(&self, _shard: usize) -> PartitionHealth {
+        PartitionHealth::Healthy
+    }
+
+    /// Number of objects currently quarantined (replaced by
+    /// tombstone-with-error sentinels) across all shards. The default
+    /// reports zero; engines with an integrity subsystem override it.
+    fn quarantined_objects(&self) -> u64 {
+        0
     }
 
     /// Write-pressure hint for one shard, used by submission front-ends
@@ -287,6 +302,14 @@ impl<E: ConcurrentKvStore + ?Sized> ConcurrentKvStore for Arc<E> {
 
     fn shard_read_serial_times(&self) -> Vec<Nanos> {
         (**self).shard_read_serial_times()
+    }
+
+    fn shard_health(&self, shard: usize) -> PartitionHealth {
+        (**self).shard_health(shard)
+    }
+
+    fn quarantined_objects(&self) -> u64 {
+        (**self).quarantined_objects()
     }
 
     fn shard_write_pressure(&self, shard: usize) -> f64 {

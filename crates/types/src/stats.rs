@@ -137,11 +137,22 @@ pub struct FrontendStats {
     /// Highest single-partition queue depth observed (a cumulative
     /// high-water mark; `delta_since` keeps the later snapshot's value).
     pub max_queue_depth: u64,
+    /// Highest *total* queued-request count observed across all
+    /// partition queues at once (a cumulative high-water mark;
+    /// `delta_since` keeps the later snapshot's value). Compare against
+    /// `queue_depth` to see peak aggregate pressure, not just the final
+    /// state.
+    pub max_total_queue_depth: u64,
     /// Instantaneous number of tickets handed out but neither completed
     /// nor abandoned (a gauge: `delta_since` keeps the later snapshot's
     /// value). After a graceful drain this must read zero — a non-zero
     /// value means a client request was stranded.
     pub outstanding_tickets: u64,
+    /// Highest outstanding-ticket count ever observed (a cumulative
+    /// high-water mark; `delta_since` keeps the later snapshot's value):
+    /// the peak number of requests in flight between submission and
+    /// completion.
+    pub max_outstanding_tickets: u64,
 }
 
 impl FrontendStats {
@@ -171,7 +182,9 @@ impl FrontendStats {
             stolen_drains: self.stolen_drains.saturating_sub(earlier.stolen_drains),
             queue_depth: self.queue_depth,
             max_queue_depth: self.max_queue_depth,
+            max_total_queue_depth: self.max_total_queue_depth,
             outstanding_tickets: self.outstanding_tickets,
+            max_outstanding_tickets: self.max_outstanding_tickets,
         }
     }
 }
@@ -208,6 +221,11 @@ pub struct NetStats {
     /// Highest per-server in-flight count observed (a cumulative
     /// high-water mark; `delta_since` keeps the later snapshot's value).
     pub max_in_flight: u64,
+    /// Highest in-flight count observed on any *single* connection (a
+    /// cumulative high-water mark; `delta_since` keeps the later
+    /// snapshot's value): how close the busiest connection came to its
+    /// per-connection pipelining window.
+    pub max_conn_in_flight: u64,
 }
 
 impl NetStats {
@@ -234,6 +252,7 @@ impl NetStats {
                 .saturating_sub(earlier.shutdown_refusals),
             in_flight: self.in_flight,
             max_in_flight: self.max_in_flight,
+            max_conn_in_flight: self.max_conn_in_flight,
         }
     }
 }
@@ -536,14 +555,18 @@ mod tests {
         later.wakeups = 5;
         later.queue_depth = 3;
         later.max_queue_depth = 9;
+        later.max_total_queue_depth = 14;
         later.outstanding_tickets = 4;
+        later.max_outstanding_tickets = 21;
         let delta = later.delta_since(stats);
         assert_eq!(delta.submitted, 30);
         assert_eq!(delta.coalesced_groups, 0);
         // Gauges report the later snapshot, not a difference.
         assert_eq!(delta.queue_depth, 3);
         assert_eq!(delta.max_queue_depth, 9);
+        assert_eq!(delta.max_total_queue_depth, 14);
         assert_eq!(delta.outstanding_tickets, 4);
+        assert_eq!(delta.max_outstanding_tickets, 21);
     }
 
     #[test]
@@ -569,6 +592,7 @@ mod tests {
             shutdown_refusals: 2,
             in_flight: 4,
             max_in_flight: 12,
+            max_conn_in_flight: 6,
         };
         let delta = later.delta_since(earlier);
         assert_eq!(delta.connections_accepted, 1);
@@ -578,6 +602,7 @@ mod tests {
         // Gauges report the later snapshot, not a difference.
         assert_eq!(delta.in_flight, 4);
         assert_eq!(delta.max_in_flight, 12);
+        assert_eq!(delta.max_conn_in_flight, 6);
     }
 
     #[test]

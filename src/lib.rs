@@ -14,7 +14,10 @@
 //!   logical clients onto a few OS threads,
 //! * [`net`] — the network serving layer (length-prefixed wire protocol,
 //!   TCP and in-process duplex transports, multiplexing server, pipelining
-//!   client) that puts a wire in front of the front-end,
+//!   client) that puts a wire in front of the front-end, plus the
+//!   HTTP/JSON admin plane,
+//! * [`obs`] — the observability subsystem (lock-free latency histograms,
+//!   metrics registry, structured event trace) every layer records into,
 //! * [`bench`](mod@bench) — the experiment harness that regenerates every table and
 //!   figure of the paper,
 //! * the individual substrates ([`nvm`], [`flash`], [`index`], [`tracker`],
@@ -77,6 +80,8 @@ pub use prism_lsm as lsm;
 pub use prism_net as net;
 /// NVM slab store substrate (re-export of `prism-nvm`).
 pub use prism_nvm as nvm;
+/// Observability subsystem (re-export of `prism-obs`).
+pub use prism_obs as obs;
 /// Tiered storage simulator (re-export of `prism-storage`).
 pub use prism_storage as storage;
 /// Popularity tracker substrate (re-export of `prism-tracker`).
@@ -105,5 +110,6 @@ mod tests {
         let _: crate::index::BTreeIndex<u64, u64> = crate::index::BTreeIndex::new();
         let _ = crate::tracker::Mapper::new();
         let _ = crate::compaction::CompactionConfig::default();
+        let _ = crate::obs::ObsHub::new();
     }
 }
